@@ -1,0 +1,249 @@
+//! Atomic-update adjoint convolution (the §III-B "hardware support"
+//! alternative).
+//!
+//! Every grid update becomes a compare-exchange loop on the bit pattern of
+//! an `f32`. Any thread may scatter any sample — no partitioning, no task
+//! graph, no privatization — at the price of an atomic RMW per tap and the
+//! loss of SIMD rows. The paper dismisses this approach as "high overhead,
+//! will not scale"; the Figure 12-adjacent ablation quantifies that on this
+//! implementation.
+
+use nufft_core::conv::Window;
+use nufft_core::grid::{extract_scaled, Geometry};
+use nufft_core::kernel::{beatty_beta, KbKernel};
+use nufft_core::scale::build_scale;
+use nufft_core::OpTimers;
+use nufft_fft::FftNd;
+use nufft_math::Complex32;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Adjoint NUFFT whose scatter uses lock-free atomic float adds.
+pub struct AtomicAdjoint<const D: usize> {
+    geo: Geometry<D>,
+    kernel: KbKernel,
+    scale: Vec<f32>,
+    fft: FftNd,
+    coords: Vec<[f32; D]>,
+    w: f32,
+    threads: usize,
+    grid: Vec<Complex32>,
+    last_adjoint: OpTimers,
+}
+
+/// `target += add` via CAS loop on the f32 bit pattern.
+#[inline]
+fn atomic_add_f32(target: &AtomicU32, add: f32) {
+    let mut cur = target.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) + add).to_bits();
+        match target.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl<const D: usize> AtomicAdjoint<D> {
+    /// Builds the plan (trajectory in ν ∈ `[-1/2, 1/2)`).
+    pub fn new(n: [usize; D], traj: &[[f64; D]], alpha: f64, w: f64, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let geo = Geometry::new(n, alpha);
+        let kernel = KbKernel::with_density(
+            w,
+            beatty_beta(w, alpha),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let scale = build_scale(&geo, &kernel);
+        let fft = FftNd::new(&geo.m);
+        let coords: Vec<[f32; D]> = traj
+            .iter()
+            .map(|p| {
+                core::array::from_fn(|d| {
+                    assert!((-0.5..0.5).contains(&p[d]), "ν out of range");
+                    let mut u = ((p[d] + 0.5) * geo.m[d] as f64) as f32;
+                    if u >= geo.m[d] as f32 {
+                        u -= geo.m[d] as f32;
+                    }
+                    u
+                })
+            })
+            .collect();
+        let grid = vec![Complex32::ZERO; geo.grid_len()];
+        AtomicAdjoint {
+            geo,
+            kernel,
+            scale,
+            fft,
+            coords,
+            w: w as f32,
+            threads,
+            grid,
+            last_adjoint: OpTimers::default(),
+        }
+    }
+
+    /// Phase breakdown of the last adjoint call.
+    pub fn adjoint_timers(&self) -> OpTimers {
+        self.last_adjoint
+    }
+
+    /// Adjoint NUFFT: atomic scatter → iFFT → scale.
+    pub fn adjoint(&mut self, samples: &[Complex32], out: &mut [Complex32]) {
+        assert_eq!(samples.len(), self.coords.len(), "sample buffer length mismatch");
+        assert_eq!(out.len(), self.geo.image_len(), "image length mismatch");
+        let t_start = Instant::now();
+
+        let t0 = Instant::now();
+        self.grid.fill(Complex32::ZERO);
+        {
+            // View the complex grid as interleaved atomics. AtomicU32 and
+            // f32 share size/alignment; we hold the only reference.
+            let flat = Complex32::as_interleaved_mut(&mut self.grid);
+            // SAFETY: AtomicU32 has the same layout as u32/f32 and the
+            // exclusive borrow is handed to the atomic view for the scope.
+            let atoms: &[AtomicU32] = unsafe {
+                core::slice::from_raw_parts(flat.as_ptr() as *const AtomicU32, flat.len())
+            };
+            let coords = &self.coords;
+            let kernel = &self.kernel;
+            let m = &self.geo.m;
+            let w = self.w;
+            let next = AtomicUsize::new(0);
+            let grain = 64;
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads {
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let start = next.fetch_add(grain, Ordering::Relaxed);
+                        if start >= coords.len() {
+                            break;
+                        }
+                        let end = (start + grain).min(coords.len());
+                        for p in start..end {
+                            let win: [Window; D] = core::array::from_fn(|d| {
+                                Window::compute(coords[p][d], w, kernel)
+                            });
+                            scatter_atomic(atoms, m, &win, samples[p]);
+                        }
+                    });
+                }
+            });
+        }
+        let conv_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        self.fft.backward(&mut self.grid);
+        let fft_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        extract_scaled(&self.geo, &self.grid, &self.scale, out);
+        let scale_t = t0.elapsed().as_secs_f64();
+
+        self.last_adjoint = OpTimers {
+            scale: scale_t,
+            fft: fft_t,
+            conv: conv_t,
+            total: t_start.elapsed().as_secs_f64(),
+        };
+    }
+}
+
+#[inline(always)]
+fn wrap(x: i32, m: usize) -> usize {
+    x.rem_euclid(m as i32) as usize
+}
+
+fn scatter_atomic<const D: usize>(
+    atoms: &[AtomicU32],
+    m: &[usize; D],
+    win: &[Window; D],
+    val: Complex32,
+) {
+    let tap = |flat: usize, weight: f32| {
+        atomic_add_f32(&atoms[2 * flat], val.re * weight);
+        atomic_add_f32(&atoms[2 * flat + 1], val.im * weight);
+    };
+    match D {
+        1 => {
+            for i in 0..win[0].len {
+                tap(wrap(win[0].start + i as i32, m[0]), win[0].w[i]);
+            }
+        }
+        2 => {
+            for i in 0..win[0].len {
+                let gx = wrap(win[0].start + i as i32, m[0]);
+                for j in 0..win[1].len {
+                    let gy = wrap(win[1].start + j as i32, m[1]);
+                    tap(gx * m[1] + gy, win[0].w[i] * win[1].w[j]);
+                }
+            }
+        }
+        3 => {
+            for i in 0..win[0].len {
+                let gx = wrap(win[0].start + i as i32, m[0]);
+                for j in 0..win[1].len {
+                    let gy = wrap(win[1].start + j as i32, m[1]);
+                    let wxy = win[0].w[i] * win[1].w[j];
+                    for k in 0..win[2].len {
+                        let gz = wrap(win[2].start + k as i32, m[2]);
+                        tap((gx * m[1] + gy) * m[2] + gz, wxy * win[2].w[k]);
+                    }
+                }
+            }
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_core::{NufftConfig, NufftPlan};
+    use nufft_math::error::rel_l2_c32;
+
+    #[test]
+    fn matches_core_adjoint() {
+        let n = [12usize, 12];
+        let traj: Vec<[f64; 2]> = (0..150)
+            .map(|i| {
+                [
+                    ((i as f64 * 0.618) % 1.0) - 0.5,
+                    ((i as f64 * 0.414) % 1.0) - 0.5,
+                ]
+            })
+            .collect();
+        let samples: Vec<Complex32> =
+            (0..150).map(|i| Complex32::new(0.5, (i as f32 * 0.11).cos())).collect();
+
+        let mut base = AtomicAdjoint::new(n, &traj, 2.0, 2.0, 4);
+        let mut want = vec![Complex32::ZERO; 144];
+        base.adjoint(&samples, &mut want);
+
+        let mut core_plan = NufftPlan::new(
+            n,
+            &traj,
+            NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
+        );
+        let mut got = vec![Complex32::ZERO; 144];
+        core_plan.adjoint(&samples, &mut got);
+
+        let e = rel_l2_c32(&got, &want);
+        assert!(e < 1e-4, "atomic baseline and core disagree: {e}");
+    }
+
+    #[test]
+    fn atomic_add_accumulates_concurrently() {
+        let target = AtomicU32::new(0.0f32.to_bits());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        atomic_add_f32(&target, 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(f32::from_bits(target.load(Ordering::Relaxed)), 2000.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Direct `O(N^d·K)` DTFT — the exact oracle.
+//!
+//! Evaluates `F(ν_p) = Σ_{n ∈ [-N/2,N/2)^D} f[n]·e^{-2πi ν_p·n}` and its
+//! adjoint with `f64` phase accumulation. Quadratic cost: use for accuracy
+//! measurement only.
+
+use nufft_math::{Complex32, Complex64};
+
+fn strides<const D: usize>(n: &[usize; D]) -> [usize; D] {
+    let mut s = [1usize; D];
+    for d in (0..D.saturating_sub(1)).rev() {
+        s[d] = s[d + 1] * n[d + 1];
+    }
+    s
+}
+
+/// Exact forward DTFT at the trajectory points (ν in `[-1/2, 1/2)`).
+pub fn forward<const D: usize>(
+    image: &[Complex32],
+    n: [usize; D],
+    traj: &[[f64; D]],
+) -> Vec<Complex64> {
+    let len: usize = n.iter().product();
+    assert_eq!(image.len(), len, "image length mismatch");
+    let st = strides(&n);
+    traj.iter()
+        .map(|nu| {
+            let mut acc = Complex64::ZERO;
+            for (flat, &v) in image.iter().enumerate() {
+                let mut phase = 0.0;
+                let mut rem = flat;
+                for d in 0..D {
+                    let pos = rem / st[d];
+                    rem %= st[d];
+                    phase += nu[d] * (pos as f64 - (n[d] / 2) as f64);
+                }
+                acc += v.to_f64() * Complex64::cis(-core::f64::consts::TAU * phase);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Exact adjoint DTFT: `H[n] = Σ_p y_p·e^{+2πi ν_p·n}`.
+pub fn adjoint<const D: usize>(
+    samples: &[Complex32],
+    n: [usize; D],
+    traj: &[[f64; D]],
+) -> Vec<Complex64> {
+    assert_eq!(samples.len(), traj.len(), "sample/trajectory length mismatch");
+    let len: usize = n.iter().product();
+    let st = strides(&n);
+    let mut out = vec![Complex64::ZERO; len];
+    for (flat, o) in out.iter_mut().enumerate() {
+        let mut idx = [0f64; D];
+        let mut rem = flat;
+        for d in 0..D {
+            idx[d] = (rem / st[d]) as f64 - (n[d] / 2) as f64;
+            rem %= st[d];
+        }
+        let mut acc = Complex64::ZERO;
+        for (p, &y) in samples.iter().enumerate() {
+            let mut phase = 0.0;
+            for d in 0..D {
+                phase += traj[p][d] * idx[d];
+            }
+            acc += y.to_f64() * Complex64::cis(core::f64::consts::TAU * phase);
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_point_sums_the_image() {
+        let image = vec![Complex32::new(2.0, -1.0); 9];
+        let got = forward(&image, [3, 3], &[[0.0, 0.0]]);
+        assert!((got[0] - Complex64::new(18.0, -9.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adjoint_of_unit_sample_is_phase_ramp() {
+        let got = adjoint(&[Complex32::ONE], [4], &[[0.25]]);
+        for (pos, z) in got.iter().enumerate() {
+            let n = pos as f64 - 2.0;
+            let want = Complex64::cis(core::f64::consts::TAU * 0.25 * n);
+            assert!((*z - want).abs() < 1e-12, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn forward_adjoint_dot_test() {
+        let n = [4usize, 4];
+        let traj = [[0.1, -0.2], [0.31, 0.05], [-0.45, 0.4]];
+        let x: Vec<Complex32> =
+            (0..16).map(|i| Complex32::new(i as f32 * 0.1, -(i as f32) * 0.2)).collect();
+        let y = [
+            Complex32::new(1.0, 0.5),
+            Complex32::new(-0.5, 1.0),
+            Complex32::new(0.25, -0.75),
+        ];
+        let ax = forward(&x, n, &traj);
+        let aty = adjoint(&y, n, &traj);
+        let lhs: Complex64 =
+            ax.iter().zip(&y).map(|(&a, &b)| a.conj() * b.to_f64()).sum();
+        let rhs: Complex64 =
+            x.iter().zip(&aty).map(|(&a, &b)| a.to_f64().conj() * b).sum();
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs:?} vs {rhs:?}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Gather-based adjoint convolution — the Obeid et al. approach (§VI).
+//!
+//! Instead of scattering samples into the grid (races!), invert the loop:
+//! every grid point *gathers* from the samples near it, using preprocessed
+//! proximal bins. There are no write conflicts at all — each output point
+//! is owned by exactly one thread — which is why it suits GPUs. The costs
+//! the paper calls out, reproduced here by construction:
+//!
+//! * every sample is visited by all `(2W)^d` grid points it touches, so
+//!   Part 1 work (distance/kernel evaluation) is multiplied by the window
+//!   volume rather than amortized per sample — "does not scale with large
+//!   convolution window sizes";
+//! * sparse grid regions still pay the neighborhood scan.
+//!
+//! Preprocessing bins samples by their integer grid cell (CSR layout);
+//! each output point scans the `(2W+2)^d` surrounding cells.
+
+use nufft_core::grid::Geometry;
+use nufft_core::kernel::{beatty_beta, InterpKernel};
+use nufft_math::Complex32;
+use nufft_parallel::exec::Executor;
+use std::time::Instant;
+
+/// Gather-based adjoint convolution for 3D problems.
+pub struct GatherAdjoint {
+    geo: Geometry<3>,
+    kernel: InterpKernel,
+    w: f32,
+    /// Sample coordinates in grid units.
+    coords: Vec<[f32; 3]>,
+    /// CSR cell index: `cell_start[c]..cell_start[c+1]` indexes
+    /// `cell_samples` for flattened cell `c`.
+    cell_start: Vec<u32>,
+    cell_samples: Vec<u32>,
+    exec: Executor,
+    last_conv_seconds: f64,
+}
+
+impl GatherAdjoint {
+    /// Builds the gather plan (trajectory in ν ∈ [-1/2, 1/2)).
+    pub fn new(n: [usize; 3], traj: &[[f64; 3]], alpha: f64, w: f64, threads: usize) -> Self {
+        let geo = Geometry::new(n, alpha);
+        let kernel = InterpKernel::with_density(
+            w,
+            beatty_beta(w, alpha),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let coords: Vec<[f32; 3]> = traj
+            .iter()
+            .map(|p| {
+                core::array::from_fn(|d| {
+                    assert!((-0.5..0.5).contains(&p[d]), "ν out of range");
+                    let mut u = ((p[d] + 0.5) * geo.m[d] as f64) as f32;
+                    if u >= geo.m[d] as f32 {
+                        u -= geo.m[d] as f32;
+                    }
+                    u
+                })
+            })
+            .collect();
+        // CSR binning by integer cell (counting sort).
+        let n_cells = geo.grid_len();
+        let cell_of = |c: &[f32; 3]| -> usize {
+            let x = (c[0] as usize).min(geo.m[0] - 1);
+            let y = (c[1] as usize).min(geo.m[1] - 1);
+            let z = (c[2] as usize).min(geo.m[2] - 1);
+            (x * geo.m[1] + y) * geo.m[2] + z
+        };
+        let mut counts = vec![0u32; n_cells + 1];
+        for c in &coords {
+            counts[cell_of(c) + 1] += 1;
+        }
+        for i in 0..n_cells {
+            counts[i + 1] += counts[i];
+        }
+        let cell_start = counts;
+        let mut fill = cell_start.clone();
+        let mut cell_samples = vec![0u32; coords.len()];
+        for (p, c) in coords.iter().enumerate() {
+            let cell = cell_of(c);
+            cell_samples[fill[cell] as usize] = p as u32;
+            fill[cell] += 1;
+        }
+        GatherAdjoint {
+            geo,
+            kernel,
+            w: w as f32,
+            coords,
+            cell_start,
+            cell_samples,
+            exec: Executor::new(threads.max(1)),
+            last_conv_seconds: 0.0,
+        }
+    }
+
+    /// Wall time of the last [`GatherAdjoint::convolve`].
+    pub fn last_conv_seconds(&self) -> f64 {
+        self.last_conv_seconds
+    }
+
+    /// Adjoint convolution only: fills `grid` (length `Π M_d`) from the
+    /// samples by gathering at every grid point. Race-free by construction.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn convolve(&mut self, samples: &[Complex32], grid: &mut [Complex32]) {
+        assert_eq!(samples.len(), self.coords.len(), "sample length mismatch");
+        assert_eq!(grid.len(), self.geo.grid_len(), "grid length mismatch");
+        let t0 = Instant::now();
+        let m = self.geo.m;
+        let wrad = self.w;
+        let reach = wrad.ceil() as i64 + 1;
+        let kernel = &self.kernel;
+        let coords = &self.coords;
+        let cell_start = &self.cell_start;
+        let cell_samples = &self.cell_samples;
+        let grid_ptr = grid.as_mut_ptr() as usize;
+        let grain = (grid.len() / (8 * self.exec.threads())).max(512);
+        self.exec.parallel_for(grid.len(), grain, |range, _w| {
+            // SAFETY: parallel_for ranges are disjoint.
+            let out = unsafe {
+                core::slice::from_raw_parts_mut(
+                    (grid_ptr as *mut Complex32).add(range.start),
+                    range.len(),
+                )
+            };
+            for (slot, flat) in out.iter_mut().zip(range) {
+                let gx = (flat / (m[1] * m[2])) as i64;
+                let gy = ((flat / m[2]) % m[1]) as i64;
+                let gz = (flat % m[2]) as i64;
+                let mut acc = Complex32::ZERO;
+                // Scan the (2·reach+1)^3 neighborhood of cells (cyclic).
+                for cx in -reach..=reach {
+                    let nx = (gx + cx).rem_euclid(m[0] as i64) as usize;
+                    for cy in -reach..=reach {
+                        let ny = (gy + cy).rem_euclid(m[1] as i64) as usize;
+                        for cz in -reach..=reach {
+                            let nz = (gz + cz).rem_euclid(m[2] as i64) as usize;
+                            let cell = (nx * m[1] + ny) * m[2] + nz;
+                            let lo = cell_start[cell] as usize;
+                            let hi = cell_start[cell + 1] as usize;
+                            for &p in &cell_samples[lo..hi] {
+                                let c = &coords[p as usize];
+                                // Cyclic distances from sample to this
+                                // grid point per dimension.
+                                let dxw = cyc_dist(c[0], gx as f32, m[0]);
+                                if dxw.abs() > wrad {
+                                    continue;
+                                }
+                                let dyw = cyc_dist(c[1], gy as f32, m[1]);
+                                if dyw.abs() > wrad {
+                                    continue;
+                                }
+                                let dzw = cyc_dist(c[2], gz as f32, m[2]);
+                                if dzw.abs() > wrad {
+                                    continue;
+                                }
+                                let wgt = kernel.eval_lut(dxw)
+                                    * kernel.eval_lut(dyw)
+                                    * kernel.eval_lut(dzw);
+                                acc += samples[p as usize].scale(wgt);
+                            }
+                        }
+                    }
+                }
+                *slot = acc;
+            }
+        });
+        self.last_conv_seconds = t0.elapsed().as_secs_f64();
+    }
+}
+
+/// Signed cyclic distance `u − g` wrapped into `(−M/2, M/2]`.
+#[inline(always)]
+fn cyc_dist(u: f32, g: f32, m: usize) -> f32 {
+    let mf = m as f32;
+    let mut d = u - g;
+    if d > mf * 0.5 {
+        d -= mf;
+    } else if d < -mf * 0.5 {
+        d += mf;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_core::{NufftConfig, NufftPlan};
+    use nufft_math::error::rel_l2_c32;
+
+    #[test]
+    fn gather_matches_scatter_convolution() {
+        let n = [10usize, 10, 10];
+        let traj: Vec<[f64; 3]> = (0..150)
+            .map(|i| {
+                [
+                    ((i as f64 * 0.618) % 1.0) - 0.5,
+                    ((i as f64 * 0.414) % 1.0) - 0.5,
+                    ((i as f64 * 0.259) % 1.0) - 0.5,
+                ]
+            })
+            .collect();
+        let samples: Vec<Complex32> =
+            (0..150).map(|i| Complex32::new((i as f32 * 0.3).sin(), 0.4)).collect();
+
+        // Reference: the scatter convolution through the plan's grid.
+        // Compare end-to-end adjoint outputs instead of raw grids to share
+        // the FFT/scale code: run both adjoints and compare.
+        let mut gather = GatherAdjoint::new(n, &traj, 2.0, 2.0, 2);
+        let mut grid_g = vec![Complex32::ZERO; 20 * 20 * 20];
+        gather.convolve(&samples, &mut grid_g);
+        assert!(gather.last_conv_seconds() > 0.0);
+
+        let mut plan = NufftPlan::new(
+            n,
+            &traj,
+            NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
+        );
+        plan.adjoint_convolution_only(&samples);
+        // Access the scattered grid indirectly: run the same iFFT+scale on
+        // the gather grid by comparing through a fresh adjoint.
+        // Simpler: compare the grids directly by re-scattering with the
+        // sequential reference.
+        let seq_kernel = InterpKernel::with_density(
+            2.0,
+            beatty_beta(2.0, 2.0),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let mut grid_s = vec![Complex32::ZERO; 20 * 20 * 20];
+        for (p, nu) in traj.iter().enumerate() {
+            let win: [nufft_core::conv::Window; 3] = core::array::from_fn(|d| {
+                let mut u = ((nu[d] + 0.5) * 20.0) as f32;
+                if u >= 20.0 {
+                    u -= 20.0;
+                }
+                nufft_core::conv::Window::compute(u, 2.0, &seq_kernel)
+            });
+            crate::sequential::scatter_scalar(&mut grid_s, &[20, 20, 20], &win, samples[p]);
+        }
+        let err = rel_l2_c32(&grid_g, &grid_s);
+        assert!(err < 1e-4, "gather vs scatter grids differ: {err}");
+    }
+
+    #[test]
+    fn gather_work_grows_faster_with_w_than_scatter() {
+        // The paper's §VI critique, measured: gather time divided by
+        // scatter time grows with W.
+        let n = [12usize, 12, 12];
+        let traj: Vec<[f64; 3]> = (0..2000)
+            .map(|i| {
+                [
+                    ((i as f64 * 0.618) % 1.0) - 0.5,
+                    ((i as f64 * 0.414) % 1.0) - 0.5,
+                    ((i as f64 * 0.259) % 1.0) - 0.5,
+                ]
+            })
+            .collect();
+        let samples = vec![Complex32::ONE; 2000];
+        let mut ratios = Vec::new();
+        for w in [2.0f64, 4.0] {
+            let mut gather = GatherAdjoint::new(n, &traj, 2.0, w, 1);
+            let mut grid = vec![Complex32::ZERO; 24 * 24 * 24];
+            gather.convolve(&samples, &mut grid);
+            let tg = gather.last_conv_seconds();
+            let mut plan = NufftPlan::new(
+                n,
+                &traj,
+                NufftConfig { threads: 1, w, ..NufftConfig::default() },
+            );
+            let ts = plan.adjoint_convolution_only(&samples);
+            ratios.push(tg / ts);
+        }
+        // Not asserting exact factors (timing), only that gather is the
+        // slower approach at the larger width.
+        assert!(
+            ratios[1] > 1.0,
+            "gather should lose to scatter at W=4: ratios {ratios:?}"
+        );
+    }
+}

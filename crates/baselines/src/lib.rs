@@ -1,0 +1,39 @@
+//! Baseline and comparator NUFFT implementations.
+//!
+//! Everything the paper measures its contribution against, built on the
+//! same kernel / scale / FFT substrates so differences are purely
+//! algorithmic:
+//!
+//! * [`direct`] — the `O(N^d·K)` DTFT evaluated exactly in `f64`: the
+//!   accuracy oracle for every experiment;
+//! * [`sequential`] — the scalar, sequential gridding NUFFT of Figure 3's
+//!   baseline breakdown ("Base" in Figure 9): one straightforward loop per
+//!   sample, no task system, no SIMD rows, no reordering;
+//! * [`privatized`] — the full-grid thread-privatization adjoint of Shu et
+//!   al. (Table IV's comparator): every thread owns a complete grid copy,
+//!   samples are split evenly, and a final reduction folds all copies —
+//!   memory cost `T × grid`, reduction cost independent of sample sparsity;
+//! * [`gather`] — the gather-based (output-driven) adjoint of Obeid et al.
+//!   (§VI): race-free by construction but every sample is revisited by all
+//!   `(2W)³` grid points it touches, so it loses badly at large `W`;
+//! * [`sparse`] — the precomputed-coefficient ("sparse matrix") operator
+//!   of Fessler's toolbox: no kernel evaluation at apply time, at the cost
+//!   of storing every tap explicitly — the trade-off the paper's LUT
+//!   design avoids;
+//! * [`atomics`] — the lock-free atomic-update adjoint (the "hardware
+//!   mutual exclusion" alternative discussed in §III-B): correct at any
+//!   thread count but pays a compare-exchange on *every* grid update and
+//!   cannot use the SIMD row kernels.
+//!
+//! The remaining paper baselines (fixed-width partitions, FIFO queue, no
+//! privatization, no reorder, scalar SIMD) are *configuration toggles* of
+//! `nufft-core` — see [`nufft_core::NufftConfig`] — so they exercise the
+//! identical code path modulo the one optimization under study, exactly as
+//! an ablation should.
+
+pub mod atomics;
+pub mod direct;
+pub mod gather;
+pub mod privatized;
+pub mod sequential;
+pub mod sparse;

@@ -1,0 +1,211 @@
+//! Full-grid thread privatization — the Shu et al. comparator (Table IV).
+//!
+//! The straightforward way to parallelize the adjoint scatter: give every
+//! thread its own complete copy of the oversampled grid, split the samples
+//! evenly, scatter without any coordination, then reduce all `T` copies
+//! into one. Correct and simple, but:
+//!
+//! * memory grows as `T × grid` (the paper: "impractical for massive
+//!   parallelization of large numerical problems");
+//! * the reduction touches `T × grid` elements regardless of how sparse the
+//!   sample coverage is, so it dominates as `T` grows.
+//!
+//! The convolution itself reuses the optimized SIMD row kernels, so the
+//! Table IV comparison isolates the *parallelization strategy*, not scalar
+//! vs vector code.
+
+use nufft_core::conv::{adjoint_scatter, Window};
+use nufft_core::grid::{extract_scaled, Geometry};
+use nufft_core::kernel::{beatty_beta, KbKernel};
+use nufft_core::scale::build_scale;
+use nufft_core::OpTimers;
+use nufft_fft::FftNd;
+use nufft_math::Complex32;
+use nufft_parallel::exec::Executor;
+use std::time::Instant;
+
+/// Adjoint NUFFT with full-grid-per-thread privatization.
+pub struct PrivatizedAdjoint<const D: usize> {
+    geo: Geometry<D>,
+    kernel: KbKernel,
+    scale: Vec<f32>,
+    fft: FftNd,
+    coords: Vec<[f32; D]>,
+    w: f32,
+    threads: usize,
+    exec: Executor,
+    /// One full grid per thread (the whole point of this baseline).
+    grids: Vec<Vec<Complex32>>,
+    last_adjoint: OpTimers,
+}
+
+impl<const D: usize> PrivatizedAdjoint<D> {
+    /// Builds the plan (trajectory in ν ∈ `[-1/2, 1/2)`).
+    pub fn new(n: [usize; D], traj: &[[f64; D]], alpha: f64, w: f64, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let geo = Geometry::new(n, alpha);
+        let kernel = KbKernel::with_density(
+            w,
+            beatty_beta(w, alpha),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let scale = build_scale(&geo, &kernel);
+        let fft = FftNd::new(&geo.m);
+        let coords: Vec<[f32; D]> = traj
+            .iter()
+            .map(|p| {
+                core::array::from_fn(|d| {
+                    assert!((-0.5..0.5).contains(&p[d]), "ν out of range");
+                    let mut u = ((p[d] + 0.5) * geo.m[d] as f64) as f32;
+                    if u >= geo.m[d] as f32 {
+                        u -= geo.m[d] as f32;
+                    }
+                    u
+                })
+            })
+            .collect();
+        let grids = (0..threads).map(|_| vec![Complex32::ZERO; geo.grid_len()]).collect();
+        PrivatizedAdjoint {
+            geo,
+            kernel,
+            scale,
+            fft,
+            coords,
+            w: w as f32,
+            threads,
+            exec: Executor::new(threads),
+            grids,
+            last_adjoint: OpTimers::default(),
+        }
+    }
+
+    /// Memory held in grid copies (elements) — `T × Π M_d`.
+    pub fn privatized_elements(&self) -> usize {
+        self.threads * self.geo.grid_len()
+    }
+
+    /// Phase breakdown of the last adjoint (the reduction is folded into
+    /// `conv`).
+    pub fn adjoint_timers(&self) -> OpTimers {
+        self.last_adjoint
+    }
+
+    /// Adjoint NUFFT: scatter into per-thread grids → reduce → iFFT → scale.
+    pub fn adjoint(&mut self, samples: &[Complex32], out: &mut [Complex32]) {
+        assert_eq!(samples.len(), self.coords.len(), "sample buffer length mismatch");
+        assert_eq!(out.len(), self.geo.image_len(), "image length mismatch");
+        let t_start = Instant::now();
+
+        let t0 = Instant::now();
+        for g in &mut self.grids {
+            g.fill(Complex32::ZERO);
+        }
+        // Scatter: even static split of samples, one private grid each.
+        {
+            let coords = &self.coords;
+            let kernel = &self.kernel;
+            let m = &self.geo.m;
+            let w = self.w;
+            let n_samples = coords.len();
+            let threads = self.threads;
+            let chunk = n_samples.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (tid, grid) in self.grids.iter_mut().enumerate() {
+                    scope.spawn(move || {
+                        let start = (tid * chunk).min(n_samples);
+                        let end = ((tid + 1) * chunk).min(n_samples);
+                        for p in start..end {
+                            let win: [Window; D] = core::array::from_fn(|d| {
+                                Window::compute(coords[p][d], w, kernel)
+                            });
+                            adjoint_scatter(grid, m, &win, samples[p]);
+                        }
+                    });
+                }
+            });
+        }
+        // Global reduction: fold grids 1..T into grid 0, parallel over
+        // disjoint chunks of the grid.
+        {
+            let (first, rest) = self.grids.split_at_mut(1);
+            let dst = &mut first[0][..];
+            let grain = (dst.len() / (4 * self.threads)).max(1024);
+            let rest_refs: Vec<&[Complex32]> = rest.iter().map(|g| g.as_slice()).collect();
+            let dst_ptr = dst.as_mut_ptr() as usize;
+            self.exec.parallel_for(dst.len(), grain, |range, _w| {
+                // SAFETY: ranges from parallel_for are disjoint; dst outlives
+                // the scope.
+                let dst = unsafe {
+                    core::slice::from_raw_parts_mut(
+                        (dst_ptr as *mut Complex32).add(range.start),
+                        range.len(),
+                    )
+                };
+                for src in &rest_refs {
+                    nufft_simd::accumulate(dst, &src[range.clone()]);
+                }
+            });
+        }
+        let conv_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        self.fft.backward(&mut self.grids[0]);
+        let fft_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        extract_scaled(&self.geo, &self.grids[0], &self.scale, out);
+        let scale_t = t0.elapsed().as_secs_f64();
+
+        self.last_adjoint = OpTimers {
+            scale: scale_t,
+            fft: fft_t,
+            conv: conv_t,
+            total: t_start.elapsed().as_secs_f64(),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_core::{NufftConfig, NufftPlan};
+    use nufft_math::error::rel_l2_c32;
+
+    #[test]
+    fn matches_core_adjoint() {
+        let n = [16usize, 16];
+        let traj: Vec<[f64; 2]> = (0..200)
+            .map(|i| {
+                [
+                    ((i as f64 * 0.618) % 1.0) - 0.5,
+                    ((i as f64 * 0.414) % 1.0) - 0.5,
+                ]
+            })
+            .collect();
+        let samples: Vec<Complex32> =
+            (0..200).map(|i| Complex32::new((i as f32 * 0.2).sin(), 0.3)).collect();
+
+        let mut base = PrivatizedAdjoint::new(n, &traj, 2.0, 3.0, 4);
+        let mut want = vec![Complex32::ZERO; 256];
+        base.adjoint(&samples, &mut want);
+
+        let mut core_plan = NufftPlan::new(
+            n,
+            &traj,
+            NufftConfig { threads: 2, w: 3.0, ..NufftConfig::default() },
+        );
+        let mut got = vec![Complex32::ZERO; 256];
+        core_plan.adjoint(&samples, &mut got);
+
+        let e = rel_l2_c32(&got, &want);
+        assert!(e < 1e-5, "privatized baseline and core disagree: {e}");
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_threads() {
+        let traj: Vec<[f64; 2]> = vec![[0.0, 0.0]];
+        let a = PrivatizedAdjoint::new([16usize, 16], &traj, 2.0, 2.0, 1);
+        let b = PrivatizedAdjoint::new([16usize, 16], &traj, 2.0, 2.0, 8);
+        assert_eq!(b.privatized_elements(), 8 * a.privatized_elements());
+    }
+}

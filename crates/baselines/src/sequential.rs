@@ -1,0 +1,289 @@
+//! Scalar, sequential gridding NUFFT — the paper's baseline code.
+//!
+//! This is a faithful rendering of Figure 2's pseudo-code: per sample, look
+//! up the per-dimension kernel windows (Part 1), then run the separable
+//! convolution as plain scalar loops with a `mod M` on every neighbor index
+//! (Part 2). No threads, no SIMD row kernels, no sample reordering, no task
+//! system. Figure 3's breakdown and Figure 9's "Base" bar come from here,
+//! and it doubles as an independent differential oracle for `nufft-core`
+//! (same kernel and scale, different convolution code).
+
+use nufft_core::conv::Window;
+use nufft_core::grid::{embed_scaled, extract_scaled, Geometry};
+use nufft_core::kernel::{beatty_beta, KbKernel};
+use nufft_core::scale::build_scale;
+use nufft_core::OpTimers;
+use nufft_fft::FftNd;
+use nufft_math::Complex32;
+use std::time::Instant;
+
+/// A sequential scalar NUFFT plan.
+pub struct SequentialNufft<const D: usize> {
+    geo: Geometry<D>,
+    kernel: KbKernel,
+    scale: Vec<f32>,
+    fft: FftNd,
+    coords: Vec<[f32; D]>,
+    w: f32,
+    grid: Vec<Complex32>,
+    last_forward: OpTimers,
+    last_adjoint: OpTimers,
+}
+
+impl<const D: usize> SequentialNufft<D> {
+    /// Builds the baseline plan (trajectory in ν ∈ `[-1/2, 1/2)`).
+    pub fn new(n: [usize; D], traj: &[[f64; D]], alpha: f64, w: f64) -> Self {
+        let geo = Geometry::new(n, alpha);
+        let kernel = KbKernel::with_density(
+            w,
+            beatty_beta(w, alpha),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let scale = build_scale(&geo, &kernel);
+        let fft = FftNd::new(&geo.m);
+        let coords: Vec<[f32; D]> = traj
+            .iter()
+            .map(|p| {
+                core::array::from_fn(|d| {
+                    assert!((-0.5..0.5).contains(&p[d]), "ν out of range");
+                    let mut u = ((p[d] + 0.5) * geo.m[d] as f64) as f32;
+                    if u >= geo.m[d] as f32 {
+                        u -= geo.m[d] as f32;
+                    }
+                    u
+                })
+            })
+            .collect();
+        let grid = vec![Complex32::ZERO; geo.grid_len()];
+        SequentialNufft {
+            geo,
+            kernel,
+            scale,
+            fft,
+            coords,
+            w: w as f32,
+            grid,
+            last_forward: OpTimers::default(),
+            last_adjoint: OpTimers::default(),
+        }
+    }
+
+    /// Number of non-uniform samples.
+    pub fn num_samples(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Phase breakdown of the last forward call.
+    pub fn forward_timers(&self) -> OpTimers {
+        self.last_forward
+    }
+
+    /// Phase breakdown of the last adjoint call.
+    pub fn adjoint_timers(&self) -> OpTimers {
+        self.last_adjoint
+    }
+
+    /// Forward NUFFT (scale → FFT → gather), everything sequential scalar.
+    pub fn forward(&mut self, image: &[Complex32], out: &mut [Complex32]) {
+        assert_eq!(out.len(), self.coords.len(), "sample buffer length mismatch");
+        let t_start = Instant::now();
+        let t0 = Instant::now();
+        self.grid.fill(Complex32::ZERO);
+        embed_scaled(&self.geo, image, &self.scale, &mut self.grid);
+        let scale_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        self.fft.forward(&mut self.grid);
+        let fft_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        for (p, c) in self.coords.iter().enumerate() {
+            let win: [Window; D] =
+                core::array::from_fn(|d| Window::compute(c[d], self.w, &self.kernel));
+            out[p] = gather_scalar(&self.grid, &self.geo.m, &win);
+        }
+        let conv_t = t0.elapsed().as_secs_f64();
+        self.last_forward = OpTimers {
+            scale: scale_t,
+            fft: fft_t,
+            conv: conv_t,
+            total: t_start.elapsed().as_secs_f64(),
+        };
+    }
+
+    /// Adjoint NUFFT (scatter → iFFT → scale), everything sequential scalar.
+    pub fn adjoint(&mut self, samples: &[Complex32], out: &mut [Complex32]) {
+        assert_eq!(samples.len(), self.coords.len(), "sample buffer length mismatch");
+        let t_start = Instant::now();
+        let t0 = Instant::now();
+        self.grid.fill(Complex32::ZERO);
+        for (p, c) in self.coords.iter().enumerate() {
+            let win: [Window; D] =
+                core::array::from_fn(|d| Window::compute(c[d], self.w, &self.kernel));
+            scatter_scalar(&mut self.grid, &self.geo.m, &win, samples[p]);
+        }
+        let conv_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        self.fft.backward(&mut self.grid);
+        let fft_t = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        extract_scaled(&self.geo, &self.grid, &self.scale, out);
+        let scale_t = t0.elapsed().as_secs_f64();
+        self.last_adjoint = OpTimers {
+            scale: scale_t,
+            fft: fft_t,
+            conv: conv_t,
+            total: t_start.elapsed().as_secs_f64(),
+        };
+    }
+}
+
+#[inline(always)]
+fn wrap(x: i32, m: usize) -> usize {
+    x.rem_euclid(m as i32) as usize
+}
+
+/// Plain scalar gather, `mod M` on every tap (Figure 2, Part 2a).
+pub fn gather_scalar<const D: usize>(
+    grid: &[Complex32],
+    m: &[usize; D],
+    win: &[Window; D],
+) -> Complex32 {
+    let mut acc = Complex32::ZERO;
+    match D {
+        1 => {
+            for i in 0..win[0].len {
+                let g = wrap(win[0].start + i as i32, m[0]);
+                acc += grid[g].scale(win[0].w[i]);
+            }
+        }
+        2 => {
+            for i in 0..win[0].len {
+                let gx = wrap(win[0].start + i as i32, m[0]);
+                for j in 0..win[1].len {
+                    let gy = wrap(win[1].start + j as i32, m[1]);
+                    acc += grid[gx * m[1] + gy].scale(win[0].w[i] * win[1].w[j]);
+                }
+            }
+        }
+        3 => {
+            for i in 0..win[0].len {
+                let gx = wrap(win[0].start + i as i32, m[0]);
+                for j in 0..win[1].len {
+                    let gy = wrap(win[1].start + j as i32, m[1]);
+                    let wxy = win[0].w[i] * win[1].w[j];
+                    for k in 0..win[2].len {
+                        let gz = wrap(win[2].start + k as i32, m[2]);
+                        acc += grid[(gx * m[1] + gy) * m[2] + gz].scale(wxy * win[2].w[k]);
+                    }
+                }
+            }
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+    acc
+}
+
+/// Plain scalar scatter, `mod M` on every tap (Figure 2, Part 2b).
+pub fn scatter_scalar<const D: usize>(
+    grid: &mut [Complex32],
+    m: &[usize; D],
+    win: &[Window; D],
+    val: Complex32,
+) {
+    match D {
+        1 => {
+            for i in 0..win[0].len {
+                let g = wrap(win[0].start + i as i32, m[0]);
+                grid[g] += val.scale(win[0].w[i]);
+            }
+        }
+        2 => {
+            for i in 0..win[0].len {
+                let gx = wrap(win[0].start + i as i32, m[0]);
+                for j in 0..win[1].len {
+                    let gy = wrap(win[1].start + j as i32, m[1]);
+                    grid[gx * m[1] + gy] += val.scale(win[0].w[i] * win[1].w[j]);
+                }
+            }
+        }
+        3 => {
+            for i in 0..win[0].len {
+                let gx = wrap(win[0].start + i as i32, m[0]);
+                for j in 0..win[1].len {
+                    let gy = wrap(win[1].start + j as i32, m[1]);
+                    let wxy = win[0].w[i] * win[1].w[j];
+                    for k in 0..win[2].len {
+                        let gz = wrap(win[2].start + k as i32, m[2]);
+                        grid[(gx * m[1] + gy) * m[2] + gz] += val.scale(wxy * win[2].w[k]);
+                    }
+                }
+            }
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_core::{NufftConfig, NufftPlan};
+    use nufft_math::error::rel_l2_c32;
+
+    fn traj2(count: usize) -> Vec<[f64; 2]> {
+        (0..count)
+            .map(|i| {
+                [
+                    ((i as f64 * 0.618) % 1.0) - 0.5,
+                    ((i as f64 * 0.414) % 1.0) - 0.5,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_matches_optimized_core() {
+        let n = [20usize, 20];
+        let traj = traj2(250);
+        let image: Vec<Complex32> =
+            (0..400).map(|i| Complex32::new((i as f32 * 0.1).sin(), 0.2)).collect();
+        let samples: Vec<Complex32> =
+            (0..250).map(|i| Complex32::new(1.0, i as f32 * 0.01)).collect();
+
+        let mut seq = SequentialNufft::new(n, &traj, 2.0, 3.0);
+        let mut core_plan = NufftPlan::new(
+            n,
+            &traj,
+            NufftConfig { threads: 3, w: 3.0, ..NufftConfig::default() },
+        );
+
+        let mut f_seq = vec![Complex32::ZERO; 250];
+        let mut f_core = vec![Complex32::ZERO; 250];
+        seq.forward(&image, &mut f_seq);
+        core_plan.forward(&image, &mut f_core);
+        let ef = rel_l2_c32(&f_core, &f_seq);
+        assert!(ef < 1e-5, "forward differs from sequential oracle by {ef}");
+
+        let mut a_seq = vec![Complex32::ZERO; 400];
+        let mut a_core = vec![Complex32::ZERO; 400];
+        seq.adjoint(&samples, &mut a_seq);
+        core_plan.adjoint(&samples, &mut a_core);
+        let ea = rel_l2_c32(&a_core, &a_seq);
+        assert!(ea < 1e-5, "adjoint differs from sequential oracle by {ea}");
+    }
+
+    #[test]
+    fn timers_populate() {
+        let mut seq = SequentialNufft::new([16usize, 16], &traj2(50), 2.0, 2.0);
+        let image = vec![Complex32::ONE; 256];
+        let mut s = vec![Complex32::ZERO; 50];
+        seq.forward(&image, &mut s);
+        assert!(seq.forward_timers().total > 0.0);
+        let mut img = vec![Complex32::ZERO; 256];
+        seq.adjoint(&s, &mut img);
+        assert!(seq.adjoint_timers().conv > 0.0);
+        assert_eq!(seq.num_samples(), 50);
+    }
+}

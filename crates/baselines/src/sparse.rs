@@ -1,0 +1,245 @@
+//! Precomputed-coefficient ("sparse matrix") NUFFT convolution.
+//!
+//! The classic alternative (Fessler's NUFFT toolbox) to the paper's
+//! on-the-fly LUT interpolation: during preprocessing, evaluate *every*
+//! kernel tap of every sample once and store the interpolation operator
+//! explicitly as a CSR-like sparse matrix (per sample: `(2W)^d` flattened
+//! grid indices + weights). Applying the forward/adjoint convolution is
+//! then a pure sparse gather / scatter with no kernel evaluation at all.
+//!
+//! Trade-off the paper implicitly makes by choosing the LUT instead:
+//!
+//! * memory — the matrix stores `K·(2W)³` index+weight pairs (a Table I
+//!   dataset at W=4 needs ~50 GB; the LUT needs a few KiB);
+//! * bandwidth — streaming precomputed taps displaces the grid from cache,
+//!   so past small problems the LUT wins on speed too;
+//! * flexibility — the matrix is frozen per trajectory, the LUT is not.
+//!
+//! Provided as a baseline so the trade-off is measurable (`operators`
+//! bench) rather than asserted.
+
+use nufft_core::conv::Window;
+use nufft_core::grid::Geometry;
+use nufft_core::kernel::{beatty_beta, InterpKernel};
+use nufft_math::Complex32;
+
+/// Explicit sparse interpolation operator for one trajectory.
+pub struct SparseConv<const D: usize> {
+    geo: Geometry<D>,
+    /// Per-sample tap ranges into `idx`/`weight` (CSR row pointers).
+    row_start: Vec<u32>,
+    /// Flattened (wrapped) grid indices of every tap.
+    idx: Vec<u32>,
+    /// Kernel weight of every tap (product across dimensions).
+    weight: Vec<f32>,
+}
+
+impl<const D: usize> SparseConv<D> {
+    /// Precomputes the operator (trajectory in ν ∈ [-1/2, 1/2)).
+    pub fn new(n: [usize; D], traj: &[[f64; D]], alpha: f64, w: f64) -> Self {
+        let geo = Geometry::new(n, alpha);
+        let kernel = InterpKernel::with_density(
+            w,
+            beatty_beta(w, alpha),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let strides = geo.grid_strides();
+        let mut row_start = Vec::with_capacity(traj.len() + 1);
+        row_start.push(0u32);
+        let mut idx = Vec::new();
+        let mut weight = Vec::new();
+        for p in traj {
+            let win: [Window; D] = core::array::from_fn(|d| {
+                let mf = geo.m[d] as f64;
+                let mut u = ((p[d] + 0.5) * mf) as f32;
+                if u >= geo.m[d] as f32 {
+                    u -= geo.m[d] as f32;
+                }
+                Window::compute(u, w as f32, &kernel)
+            });
+            // Cartesian product of the per-dimension taps: decompose a
+            // linear tap counter into per-dimension indices.
+            let total: usize = win.iter().map(|w| w.len).product();
+            for t in 0..total {
+                let mut rem = t;
+                let mut flat = 0usize;
+                let mut wgt = 1.0f32;
+                for d in (0..D).rev() {
+                    let tap = rem % win[d].len;
+                    rem /= win[d].len;
+                    let g = (win[d].start + tap as i32).rem_euclid(geo.m[d] as i32) as usize;
+                    flat += g * strides[d];
+                    wgt *= win[d].w[tap];
+                }
+                idx.push(flat as u32);
+                weight.push(wgt);
+            }
+            row_start.push(idx.len() as u32);
+        }
+        SparseConv { geo, row_start, idx, weight }
+    }
+
+    /// Stored taps (nonzeros of the interpolation matrix).
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Bytes held by the precomputed operator.
+    pub fn memory_bytes(&self) -> usize {
+        self.idx.len() * (4 + 4) + self.row_start.len() * 4
+    }
+
+    /// Grid geometry.
+    pub fn geometry(&self) -> &Geometry<D> {
+        &self.geo
+    }
+
+    /// Forward (gather) convolution: `out[p] = Σ_taps w·grid[idx]`.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn forward(&self, grid: &[Complex32], out: &mut [Complex32]) {
+        assert_eq!(grid.len(), self.geo.grid_len(), "grid length mismatch");
+        assert_eq!(out.len(), self.row_start.len() - 1, "sample length mismatch");
+        for (p, o) in out.iter_mut().enumerate() {
+            let lo = self.row_start[p] as usize;
+            let hi = self.row_start[p + 1] as usize;
+            let mut acc = Complex32::ZERO;
+            for t in lo..hi {
+                acc += grid[self.idx[t] as usize].scale(self.weight[t]);
+            }
+            *o = acc;
+        }
+    }
+
+    /// Adjoint (scatter) convolution: `grid[idx] += w·samples[p]`.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn adjoint(&self, samples: &[Complex32], grid: &mut [Complex32]) {
+        assert_eq!(grid.len(), self.geo.grid_len(), "grid length mismatch");
+        assert_eq!(samples.len(), self.row_start.len() - 1, "sample length mismatch");
+        for (p, &s) in samples.iter().enumerate() {
+            let lo = self.row_start[p] as usize;
+            let hi = self.row_start[p + 1] as usize;
+            for t in lo..hi {
+                grid[self.idx[t] as usize] += s.scale(self.weight[t]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_core::{NufftConfig, NufftPlan};
+    use nufft_math::error::rel_l2_c32;
+
+    fn traj3(count: usize) -> Vec<[f64; 3]> {
+        (0..count)
+            .map(|i| {
+                [
+                    ((i as f64 * 0.618) % 1.0) - 0.5,
+                    ((i as f64 * 0.414) % 1.0) - 0.5,
+                    ((i as f64 * 0.259) % 1.0) - 0.5,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_adjoint_matches_lut_scatter() {
+        let n = [10usize, 10, 10];
+        let traj = traj3(200);
+        let samples: Vec<Complex32> =
+            (0..200).map(|i| Complex32::new((i as f32 * 0.17).sin(), 0.3)).collect();
+        let sp = SparseConv::new(n, &traj, 2.0, 2.0);
+        let mut grid_sp = vec![Complex32::ZERO; sp.geometry().grid_len()];
+        sp.adjoint(&samples, &mut grid_sp);
+
+        // LUT path through the sequential scalar reference.
+        let kernel = InterpKernel::with_density(
+            2.0,
+            beatty_beta(2.0, 2.0),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let mut grid_lut = vec![Complex32::ZERO; 8000];
+        for (p, nu) in traj.iter().enumerate() {
+            let win: [Window; 3] = core::array::from_fn(|d| {
+                let mut u = ((nu[d] + 0.5) * 20.0) as f32;
+                if u >= 20.0 {
+                    u -= 20.0;
+                }
+                Window::compute(u, 2.0, &kernel)
+            });
+            crate::sequential::scatter_scalar(&mut grid_lut, &[20, 20, 20], &win, samples[p]);
+        }
+        let e = rel_l2_c32(&grid_sp, &grid_lut);
+        assert!(e < 1e-6, "sparse vs LUT scatter: {e}");
+    }
+
+    #[test]
+    fn sparse_forward_adjoint_dot_test() {
+        let n = [8usize, 8, 8];
+        let traj = traj3(100);
+        let sp = SparseConv::new(n, &traj, 2.0, 2.0);
+        let glen = sp.geometry().grid_len();
+        let g: Vec<Complex32> =
+            (0..glen).map(|i| Complex32::new((i as f32 * 0.01).sin(), 0.1)).collect();
+        let y: Vec<Complex32> =
+            (0..100).map(|i| Complex32::new(0.5, (i as f32 * 0.2).cos())).collect();
+        let mut fy = vec![Complex32::ZERO; 100];
+        sp.forward(&g, &mut fy);
+        let mut aty = vec![Complex32::ZERO; glen];
+        sp.adjoint(&y, &mut aty);
+        let dot = |a: &[Complex32], b: &[Complex32]| -> nufft_math::Complex64 {
+            a.iter().zip(b).map(|(&p, &q)| p.to_f64().conj() * q.to_f64()).sum()
+        };
+        let lhs = dot(&fy, &y);
+        let rhs = dot(&g, &aty);
+        assert!((lhs - rhs).abs() / lhs.abs().max(1e-9) < 1e-5, "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn nnz_and_memory_accounting() {
+        let n = [8usize, 8, 8];
+        let traj = traj3(50);
+        let sp = SparseConv::new(n, &traj, 2.0, 2.0);
+        // W=2: between (2W)³=64 and (2W+1)³=125 taps per sample.
+        assert!(sp.nnz() >= 50 * 64 && sp.nnz() <= 50 * 125, "nnz {}", sp.nnz());
+        assert_eq!(sp.memory_bytes(), sp.nnz() * 8 + (50 + 1) * 4);
+    }
+
+    #[test]
+    fn matches_full_plan_convolution() {
+        // End to end: plug the sparse conv into grid→iFFT→scale manually
+        // and compare against the optimized plan's adjoint.
+        let n = [8usize, 8, 8];
+        let traj = traj3(120);
+        let samples: Vec<Complex32> =
+            (0..120).map(|i| Complex32::new(1.0, (i as f32 * 0.31).sin())).collect();
+        let mut plan = NufftPlan::new(
+            n,
+            &traj,
+            NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
+        );
+        let mut want = vec![Complex32::ZERO; 512];
+        plan.adjoint(&samples, &mut want);
+
+        let sp = SparseConv::new(n, &traj, 2.0, 2.0);
+        let mut grid = vec![Complex32::ZERO; sp.geometry().grid_len()];
+        sp.adjoint(&samples, &mut grid);
+        let fft = nufft_fft::FftNd::new(&sp.geometry().m);
+        fft.backward(&mut grid);
+        let kernel = InterpKernel::with_density(
+            2.0,
+            beatty_beta(2.0, 2.0),
+            nufft_core::kernel::DEFAULT_LUT_DENSITY,
+        );
+        let scale = nufft_core::scale::build_scale(sp.geometry(), &kernel);
+        let mut got = vec![Complex32::ZERO; 512];
+        nufft_core::grid::extract_scaled(sp.geometry(), &grid, &scale, &mut got);
+        let e = rel_l2_c32(&got, &want);
+        assert!(e < 1e-5, "sparse pipeline vs plan: {e}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Convolution benchmarks: SIMD row kernels per ISA level and the full
+//! per-sample scatter/gather at the paper's kernel widths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nufft_core::conv::{adjoint_scatter, forward_gather, Window};
+use nufft_core::kernel::KbKernel;
+use nufft_math::Complex32;
+use nufft_simd::{detect_isa, set_isa_override, IsaLevel};
+
+fn bench_rows(c: &mut Criterion) {
+    let detected = detect_isa();
+    let mut g = c.benchmark_group("row_kernels");
+    for len in [4usize, 8, 16] {
+        let mut grid = vec![Complex32::new(0.1, 0.2); 4096 + len];
+        let w: Vec<f32> = (0..len).map(|i| 0.01 + i as f32 * 0.01).collect();
+        let val = Complex32::new(0.5, -0.25);
+        for isa in [IsaLevel::StrictScalar, IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2Fma] {
+            if isa > detected {
+                continue;
+            }
+            set_isa_override(isa).unwrap();
+            g.throughput(Throughput::Elements(len as u64));
+            g.bench_function(format!("scatter_len{len}_{}", isa.name()), |b| {
+                let mut off = 0usize;
+                b.iter(|| {
+                    off = (off + 31) & 4095;
+                    nufft_simd::scatter_row(&mut grid[off..off + len], &w, val);
+                })
+            });
+            g.bench_function(format!("gather_len{len}_{}", isa.name()), |b| {
+                let mut off = 0usize;
+                b.iter(|| {
+                    off = (off + 31) & 4095;
+                    black_box(nufft_simd::gather_row(&grid[off..off + len], &w))
+                })
+            });
+        }
+        set_isa_override(detected).unwrap();
+    }
+    g.finish();
+}
+
+fn bench_sample_conv(c: &mut Criterion) {
+    let m = [64usize, 64, 64];
+    let mut grid = vec![Complex32::new(0.1, -0.1); 64 * 64 * 64];
+    let mut g = c.benchmark_group("per_sample_conv3d");
+    for wrad in [2.0f64, 4.0, 8.0] {
+        let kernel = KbKernel::new(wrad, 2.0);
+        let mut u = 13.7f32;
+        g.bench_function(format!("adjoint_scatter_w{wrad}"), |b| {
+            b.iter(|| {
+                u = (u * 1.001) % 60.0 + 2.0;
+                let win: [Window; 3] = core::array::from_fn(|d| {
+                    Window::compute(u + d as f32 * 7.3, wrad as f32, &kernel)
+                });
+                adjoint_scatter(&mut grid, &m, &win, Complex32::new(1.0, 0.5));
+            })
+        });
+        g.bench_function(format!("forward_gather_w{wrad}"), |b| {
+            b.iter(|| {
+                u = (u * 1.001) % 60.0 + 2.0;
+                let win: [Window; 3] = core::array::from_fn(|d| {
+                    Window::compute(u + d as f32 * 7.3, wrad as f32, &kernel)
+                });
+                black_box(forward_gather(&grid, &m, &win))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_rows, bench_sample_conv
+}
+criterion_main!(benches);

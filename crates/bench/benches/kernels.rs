@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the interpolation kernel: direct Bessel evaluation
+//! vs the LUT (the Dale/Beatty optimization the paper builds on), and
+//! window (Part 1) computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nufft_core::conv::Window;
+use nufft_core::kernel::{beatty_beta, KbKernel};
+use nufft_math::bessel::bessel_i0;
+
+fn bench_kernels(c: &mut Criterion) {
+    let kernel = KbKernel::new(4.0, 2.0);
+    let xs: Vec<f32> = (0..256).map(|i| (i as f32 * 0.015) % 4.0).collect();
+
+    let mut g = c.benchmark_group("kernel");
+    g.bench_function("bessel_i0", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &x in &xs {
+                acc += bessel_i0(black_box(x as f64 * 4.0));
+            }
+            acc
+        })
+    });
+    g.bench_function("kb_exact_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &x in &xs {
+                acc += kernel.eval_exact(black_box(x) as f64);
+            }
+            acc
+        })
+    });
+    g.bench_function("kb_lut_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in &xs {
+                acc += kernel.eval_lut(black_box(x));
+            }
+            acc
+        })
+    });
+    g.bench_function("beatty_beta", |b| b.iter(|| beatty_beta(black_box(4.0), black_box(2.0))));
+    g.finish();
+
+    let mut g = c.benchmark_group("part1_window");
+    for w in [2.0f64, 4.0, 8.0] {
+        let k = KbKernel::new(w, 2.0);
+        g.bench_function(format!("window_w{w}"), |b| {
+            let mut u = 17.3f32;
+            b.iter(|| {
+                u = (u * 1.000_1) % 100.0;
+                black_box(Window::compute(black_box(u), w as f32, &k))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

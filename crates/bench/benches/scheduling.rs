@@ -1,0 +1,75 @@
+//! Scheduler benchmarks: ready-queue disciplines, task-graph construction,
+//! executor overhead and the discrete-event simulator itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nufft_parallel::exec::Executor;
+use nufft_parallel::graph::{QueuePolicy, TaskGraph};
+use nufft_parallel::queue::{Entry, ReadyQueue};
+use nufft_sim::{simulate, LinearCost};
+
+fn skewed_graph(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new(&[n, n]);
+    let c = n / 2;
+    for t in 0..g.len() {
+        let idx = g.unflatten(t);
+        let d = idx[0].abs_diff(c) + idx[1].abs_diff(c);
+        g.set_weight(t, if d == 0 { 4000 } else { 40 / (d as u64) + 1 });
+    }
+    g
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ready_queue");
+    for policy in [QueuePolicy::Fifo, QueuePolicy::Priority] {
+        g.throughput(Throughput::Elements(1024));
+        g.bench_function(format!("push_pop_1k_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut q = ReadyQueue::new(policy);
+                for i in 0..1024u64 {
+                    q.push(Entry { weight: (i * 2654435761) % 1000, payload: i });
+                }
+                let mut acc = 0u64;
+                while let Some(e) = q.pop() {
+                    acc = acc.wrapping_add(e.payload);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("task_graph");
+    g.bench_function("build_16x16x16_cyclic", |b| {
+        b.iter(|| TaskGraph::new_cyclic(black_box(&[16, 16, 16]), &[true; 3]))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10);
+    let graph = skewed_graph(12);
+    let exec = Executor::new(2);
+    g.bench_function("run_graph_144_tasks_noop", |b| {
+        b.iter(|| exec.run_graph(&graph, QueuePolicy::Priority, |_t, _p, _w| {}))
+    });
+    g.bench_function("parallel_for_100k_noop", |b| {
+        b.iter(|| exec.parallel_for(100_000, 512, |r, _w| {
+            black_box(r.len());
+        }))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("simulator");
+    let graph = skewed_graph(24);
+    let model = LinearCost::per_sample(1.0);
+    g.bench_function("simulate_576_tasks_40_workers", |b| {
+        b.iter(|| simulate(&graph, QueuePolicy::Priority, 40, &model).makespan)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_scheduling
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Reproduction driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p nufft-bench --bin repro -- all
+//! cargo run --release -p nufft-bench --bin repro -- tab3 fig13
+//! cargo run --release -p nufft-bench --bin repro -- all --scale 8 --ncap 96
+//! cargo run --release -p nufft-bench --bin repro -- tab2 --full   # paper-size (slow)
+//! ```
+//!
+//! Output: aligned tables on stdout plus CSV mirrors under `results/`.
+
+use nufft_bench::experiments;
+use nufft_bench::RunScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = RunScale::from_args(&args);
+    let mut ids: Vec<&str> =
+        args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
+    // Skip values consumed by flags.
+    ids.retain(|a| a.parse::<usize>().is_err());
+    if ids.is_empty() || ids.contains(&"help") {
+        eprintln!("usage: repro <experiment...|all> [--full] [--scale <div>] [--ncap <N>] [--reps <r>]");
+        eprintln!("experiments: {}", experiments::ALL.join(" "));
+        return;
+    }
+    if ids.contains(&"all") {
+        ids = experiments::ALL.to_vec();
+    }
+
+    println!(
+        "# nufft reproduction harness — scale: 1/{} samples, N cap {}, {} reps, {} host threads",
+        scale.sample_div,
+        if scale.n_cap == usize::MAX { "none".to_string() } else { scale.n_cap.to_string() },
+        scale.reps,
+        nufft_bench::host_threads()
+    );
+    println!(
+        "# SIMD: {} | multi-core points are discrete-event simulations of the real task graphs",
+        nufft_simd::detect_isa().name()
+    );
+
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        if !experiments::run(id, &scale) {
+            eprintln!("unknown experiment '{id}' — known: {}", experiments::ALL.join(" "));
+            std::process::exit(1);
+        }
+        println!("  [{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

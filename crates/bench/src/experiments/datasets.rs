@@ -1,0 +1,62 @@
+//! Table I and Figure 1: the evaluation datasets.
+
+use crate::report::Table;
+use crate::RunScale;
+use nufft_traj::{DatasetKind, TABLE1};
+use std::io::Write;
+
+/// Table I: dataset parameters, plus the scaled versions this host runs.
+pub fn tab1(scale: &RunScale) {
+    let mut t = Table::new(
+        "Table I — dataset parameters (paper / as-run)",
+        &["#", "N", "K", "S", "SR", "samples", "N(run)", "K(run)", "S(run)", "samples(run)"],
+    );
+    for (i, p) in TABLE1.iter().enumerate() {
+        let s = scale.apply(p);
+        t.row(&[
+            (i + 1).to_string(),
+            p.n.to_string(),
+            p.k.to_string(),
+            p.s.to_string(),
+            format!("{:.2}", p.sr),
+            p.total_samples().to_string(),
+            s.n.to_string(),
+            s.k.to_string(),
+            s.s.to_string(),
+            s.total_samples().to_string(),
+        ]);
+    }
+    t.emit("tab1");
+}
+
+/// Figure 1: 2D scatter clouds of the three distributions (CSV) plus
+/// density signatures.
+pub fn fig1(scale: &RunScale) {
+    let p = scale.apply(&TABLE1[0]);
+    let mut t = Table::new(
+        "Figure 1 — dataset density signatures (fraction of samples within radius)",
+        &["dataset", "r<0.0625", "r<0.125", "r<0.25", "r<0.5"],
+    );
+    let _ = std::fs::create_dir_all("results");
+    for kind in DatasetKind::ALL {
+        let traj = nufft_traj::dataset::generate(kind, &p, 7);
+        t.row(&[
+            kind.name().to_string(),
+            format!("{:.3}", traj.density_below(0.0625)),
+            format!("{:.3}", traj.density_below(0.125)),
+            format!("{:.3}", traj.density_below(0.25)),
+            format!("{:.3}", traj.density_below(0.5)),
+        ]);
+        // Central-slab (|z| < 0.05) projection for plotting, capped points.
+        if let Ok(mut f) =
+            std::fs::File::create(format!("results/fig1_{}.csv", kind.name().to_lowercase()))
+        {
+            let _ = writeln!(f, "x,y");
+            for pt in traj.points.iter().filter(|pt| pt[2].abs() < 0.05).take(20_000) {
+                let _ = writeln!(f, "{:.5},{:.5}", pt[0], pt[1]);
+            }
+        }
+    }
+    t.emit("fig1_density");
+    println!("  [csv] results/fig1_<dataset>.csv hold the 2D scatter clouds");
+}

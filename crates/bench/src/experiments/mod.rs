@@ -1,0 +1,43 @@
+//! One module per paper artifact. See DESIGN.md §3 for the experiment
+//! index mapping each table/figure to these functions.
+
+pub mod breakdown;
+pub mod comparisons;
+pub mod datasets;
+pub mod extensions;
+pub mod scaling;
+pub mod throughput;
+
+use crate::RunScale;
+
+/// All experiment ids in paper order.
+pub const ALL: [&str; 18] = [
+    "tab1", "fig1", "fig3", "fig7", "fig8", "tab2", "tab3", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "tab4", "tab5", "extgather", "exttoeplitz", "extkernel",
+];
+
+/// Runs one experiment by id. Returns false for an unknown id.
+pub fn run(id: &str, scale: &RunScale) -> bool {
+    match id {
+        "tab1" => datasets::tab1(scale),
+        "fig1" => datasets::fig1(scale),
+        "fig3" => breakdown::fig3(scale),
+        "fig7" => breakdown::fig7(scale),
+        "fig8" => breakdown::fig8(scale),
+        "tab2" => breakdown::tab2(scale),
+        "tab3" => throughput::tab3(scale),
+        "fig13" => throughput::fig13(scale),
+        "fig9" => scaling::fig9(scale),
+        "fig10" => scaling::fig10(scale),
+        "fig11" => scaling::fig11(scale),
+        "fig12" => scaling::fig12(scale),
+        "fig14" => scaling::fig14(scale),
+        "tab4" => comparisons::tab4(scale),
+        "tab5" => comparisons::tab5(scale),
+        "extgather" => extensions::extgather(scale),
+        "exttoeplitz" => extensions::exttoeplitz(scale),
+        "extkernel" => extensions::extkernel(scale),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,261 @@
+//! Figures 9–12 and 14: the scaling and ablation studies.
+//!
+//! Single-core numbers are measured; 10/20/40-core points replay the real
+//! task graphs in the `nufft-sim` discrete-event scheduler with a cost
+//! model calibrated from the measured single-core convolution (see
+//! DESIGN.md §1 for why this substitution preserves the figures' shapes).
+
+use crate::report::{secs, speedup, Table};
+use crate::{build_problem, calibrate_cost, time_median, RunScale, SIM_CORES};
+use nufft_core::NufftConfig;
+use nufft_math::Complex32;
+use nufft_parallel::graph::QueuePolicy;
+use nufft_sim::simulate;
+use nufft_traj::{DatasetKind, DatasetParams, TABLE1};
+
+fn n_variants(scale: &RunScale) -> Vec<DatasetParams> {
+    // The paper sweeps N ∈ {128, 256, 320}: rows 0, 1 and 4 of Table I.
+    // Simulation experiments afford the full sizes (one calibration
+    // convolution each); --tiny falls back to scaled rows.
+    [0usize, 1, 4].iter().map(|&i| scale.apply_for_sim(&TABLE1[i])).collect()
+}
+
+/// Plan configuration for a simulated `cores`-wide machine: partition
+/// count and the Eq. 6 privatization threshold are sized for `cores` (the
+/// one calibration measurement runs oversubscribed on the host, which is
+/// fine — only its total time is used).
+fn sim_cfg(w: f64, cores: usize) -> NufftConfig {
+    let p = (((8 * cores) as f64).powf(1.0 / 3.0).ceil() as usize).max(2);
+    NufftConfig {
+        threads: cores,
+        w,
+        partitions_per_dim: Some(p),
+        ..NufftConfig::default()
+    }
+}
+
+/// Simulated adjoint-convolution speedup curve for a built problem.
+fn sim_speedups(
+    prob: &mut crate::Problem,
+    policy: QueuePolicy,
+    cores: &[usize],
+) -> Vec<f64> {
+    let model = calibrate_cost(&mut prob.plan, &prob.samples);
+    let base = simulate(prob.plan.graph(), policy, 1, &model).makespan;
+    cores
+        .iter()
+        .map(|&c| base / simulate(prob.plan.graph(), policy, c, &model).makespan)
+        .collect()
+}
+
+/// Figure 9: cumulative speedup from each successive optimization.
+pub fn fig9(scale: &RunScale) {
+    let p = scale.apply(&TABLE1[1]);
+    let mut t = Table::new(
+        "Figure 9 — successive optimizations (geomean over datasets, conv time, 1 thread measured)",
+        &["stage", "conv seconds", "cumulative speedup"],
+    );
+    // Geometric mean across the three dataset kinds.
+    let mut base_s = 1.0f64;
+    let mut reorder_s = 1.0f64;
+    let mut simd_s = 1.0f64;
+    let detected = nufft_simd::detect_isa();
+    for kind in DatasetKind::ALL {
+        // Base: true-scalar ISA, no reorder (the paper's baseline).
+        nufft_simd::set_isa_override(nufft_simd::IsaLevel::StrictScalar).unwrap();
+        let cfg =
+            NufftConfig { threads: 1, w: 4.0, reorder: false, ..NufftConfig::default() };
+        let mut prob = build_problem(kind, &p, cfg);
+        base_s *= time_median(scale.reps, || {
+            prob.plan.adjoint_convolution_only(&prob.samples)
+        });
+        // + Reorder.
+        let cfg = NufftConfig { threads: 1, w: 4.0, reorder: true, ..NufftConfig::default() };
+        let mut prob = build_problem(kind, &p, cfg);
+        reorder_s *= time_median(scale.reps, || {
+            prob.plan.adjoint_convolution_only(&prob.samples)
+        });
+        // + SIMD.
+        nufft_simd::set_isa_override(detected).unwrap();
+        let mut prob = build_problem(kind, &p, cfg);
+        simd_s *= time_median(scale.reps, || {
+            prob.plan.adjoint_convolution_only(&prob.samples)
+        });
+    }
+    let g = 1.0 / 3.0;
+    let (base_s, reorder_s, simd_s) = (base_s.powf(g), reorder_s.powf(g), simd_s.powf(g));
+    t.row(&["Base (strict scalar, unordered)".into(), secs(base_s), speedup(1.0)]);
+    t.row(&["+ Reorder".into(), secs(reorder_s), speedup(base_s / reorder_s)]);
+    t.row(&[format!("+ SIMD ({})", detected.name()), secs(simd_s), speedup(base_s / simd_s)]);
+
+    // Parallel stages: simulate on the SIMD-config radial graph (paper
+    // averages over datasets; radial is the binding one), partitioned for
+    // the largest simulated machine.
+    let mut prob = build_problem(DatasetKind::Radial, &scale.apply_for_sim(&TABLE1[1]), sim_cfg(4.0, 40));
+    let sims = sim_speedups(&mut prob, QueuePolicy::Priority, &[10, 20, 40]);
+    for (c, s) in [10, 20, 40].iter().zip(&sims) {
+        t.row(&[
+            format!("+ {c} cores (simulated)"),
+            secs(simd_s / s),
+            speedup(base_s / simd_s * s),
+        ]);
+    }
+    t.emit("fig9");
+    println!("  paper: Reorder +7%, SIMD 3.4x, then near-linear core scaling to ~147x total");
+}
+
+/// Figure 10: adjoint/forward scaling across W and N.
+pub fn fig10(scale: &RunScale) {
+    let mut t = Table::new(
+        "Figure 10 — simulated adjoint-conv speedup across W and N (priority queue, privatization on)",
+        &["N", "W", "dataset", "10 cores", "20 cores", "40 cores"],
+    );
+    for params in [scale.apply_for_sim(&TABLE1[0]), scale.apply_for_sim(&TABLE1[1])] {
+        for w in [2.0f64, 8.0] {
+            for kind in DatasetKind::ALL {
+                let mut prob = build_problem(kind, &params, sim_cfg(w, 40));
+                let s = sim_speedups(&mut prob, QueuePolicy::Priority, &[10, 20, 40]);
+                t.row(&[
+                    params.n.to_string(),
+                    format!("{w:.0}"),
+                    kind.name().to_string(),
+                    speedup(s[0]),
+                    speedup(s[1]),
+                    speedup(s[2]),
+                ]);
+            }
+        }
+    }
+    t.emit("fig10");
+    println!("  paper shape: larger W and N scale better (more work per task)");
+}
+
+/// Figure 11: fixed- vs variable-width partitions on radial datasets.
+pub fn fig11(scale: &RunScale) {
+    let mut t = Table::new(
+        "Figure 11 — fixed vs variable width partitions (radial, simulated speedups)",
+        &["N", "partitioning", "tasks", "10 cores", "20 cores", "40 cores"],
+    );
+    for params in n_variants(scale) {
+        for fixed in [true, false] {
+            let cfg = NufftConfig {
+                fixed_partitions: fixed,
+                // Fixed-width must blanket the grid at minimum width to
+                // resolve the dense center — that is exactly its flaw
+                // (one task per 2W+1-wide cell everywhere).
+                partitions_per_dim: if fixed { Some(usize::MAX / 2) } else { Some(8) },
+                ..sim_cfg(4.0, 40)
+            };
+            let mut prob = build_problem(DatasetKind::Radial, &params, cfg);
+            let tasks = prob.plan.graph().len();
+            let s = sim_speedups(&mut prob, QueuePolicy::Priority, &[10, 20, 40]);
+            t.row(&[
+                params.n.to_string(),
+                if fixed { "fixed".into() } else { "variable".to_string() },
+                tasks.to_string(),
+                speedup(s[0]),
+                speedup(s[1]),
+                speedup(s[2]),
+            ]);
+        }
+    }
+    t.emit("fig11");
+    println!("  paper shape: fixed width stops scaling past 10 cores; variable keeps scaling");
+}
+
+/// Figure 12: selective privatization (A vs B) and priority queue (B vs C).
+pub fn fig12(scale: &RunScale) {
+    let mut t = Table::new(
+        "Figure 12 — privatization & priority queue (radial, simulated speedups)",
+        &["N", "config", "privatized tasks", "10 cores", "20 cores", "40 cores"],
+    );
+    for params in n_variants(scale) {
+        let configs: [(&str, bool, QueuePolicy); 3] = [
+            ("A: no privatization", false, QueuePolicy::Fifo),
+            ("B: + selective privatization", true, QueuePolicy::Fifo),
+            ("C: + priority queue", true, QueuePolicy::Priority),
+        ];
+        for (name, privatize, policy) in configs {
+            let cfg = NufftConfig {
+                threads: 40, // Eq. 6 threshold for the simulated machine
+                privatization: privatize,
+                policy,
+                ..sim_cfg(4.0, 40)
+            };
+            let mut prob = build_problem(DatasetKind::Radial, &params, cfg);
+            let npriv = prob.plan.graph().num_privatized();
+            let s = sim_speedups(&mut prob, policy, &[10, 20, 40]);
+            t.row(&[
+                params.n.to_string(),
+                name.to_string(),
+                npriv.to_string(),
+                speedup(s[0]),
+                speedup(s[1]),
+                speedup(s[2]),
+            ]);
+        }
+        // Extension row: the barrier-colored schedule of Zhang et al.
+        // (§VI) on the same partitioning — what the TDG's no-barrier
+        // design improves upon.
+        {
+            let cfg = NufftConfig { privatization: false, ..sim_cfg(4.0, 40) };
+            let mut prob = build_problem(DatasetKind::Radial, &params, cfg);
+            let model = crate::calibrate_cost(&mut prob.plan, &prob.samples);
+            let base = nufft_sim::simulate_colored(prob.plan.graph(), 1, &model);
+            let s: Vec<f64> = [10usize, 20, 40]
+                .iter()
+                .map(|&c| base / nufft_sim::simulate_colored(prob.plan.graph(), c, &model))
+                .collect();
+            t.row(&[
+                params.n.to_string(),
+                "D: colored + barriers (Zhang-style)".to_string(),
+                "0".to_string(),
+                speedup(s[0]),
+                speedup(s[1]),
+                speedup(s[2]),
+            ]);
+        }
+    }
+    t.emit("fig12");
+    println!("  paper shape: privatization biggest for small N; PQ adds ~10-45% at 20-40 cores");
+}
+
+/// Figure 14: preprocessing overhead vs one NUFFT iteration.
+pub fn fig14(scale: &RunScale) {
+    let mut t = Table::new(
+        "Figure 14 — preprocessing vs one NUFFT iteration (FWD+ADJ)",
+        &["dataset", "N", "samples", "preproc", "iteration (1 thread)", "ratio @1", "ratio @40 (sim)"],
+    );
+    for (i, row) in TABLE1.iter().enumerate() {
+        let params = scale.apply(row);
+        let mut prob = build_problem(DatasetKind::Radial, &params, sim_cfg(4.0, 40));
+        let pre = prob.plan.preprocess_seconds();
+        let mut s_out = vec![Complex32::ZERO; prob.samples.len()];
+        let mut i_out = vec![Complex32::ZERO; prob.image.len()];
+        prob.plan.forward(&prob.image, &mut s_out);
+        prob.plan.adjoint(&prob.samples, &mut i_out);
+        let it1 = prob.plan.forward_timers().total + prob.plan.adjoint_timers().total;
+        // Iteration at 40 cores: conv simulated, FFT/scale by line model.
+        let model = calibrate_cost(&mut prob.plan, &prob.samples);
+        let adj40 = simulate(prob.plan.graph(), QueuePolicy::Priority, 40, &model).makespan;
+        let ft = prob.plan.forward_timers();
+        let at = prob.plan.adjoint_timers();
+        let it40 = adj40
+            + ft.conv / 40.0
+            + (ft.fft + at.fft) / 40.0
+            + ft.scale
+            + at.scale;
+        t.row(&[
+            (i + 1).to_string(),
+            params.n.to_string(),
+            params.total_samples().to_string(),
+            secs(pre),
+            secs(it1),
+            format!("{:.2}", pre / it1),
+            format!("{:.2}", pre / it40),
+        ]);
+    }
+    t.emit("fig14");
+    println!("  paper shape: ratio grows from ~0.16 @1 core to ~1.7 @40 (preproc is serial)");
+    let _ = SIM_CORES; // referenced by docs
+}

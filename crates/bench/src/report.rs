@@ -1,0 +1,132 @@
+//! Text-table and CSV emission for the repro harness.
+//!
+//! Every experiment prints an aligned table to stdout and mirrors it as CSV
+//! under `results/` so figures can be re-plotted outside the harness.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-aligned table that also serializes to CSV.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn rowd<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..ncol {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>width$}  ", cell, width = widths[c]));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * ncol));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = Path::new("results");
+        if fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if let Ok(mut f) = fs::File::create(&path) {
+                let _ = writeln!(f, "# {}", self.title);
+                let _ = writeln!(f, "{}", self.header.join(","));
+                for r in &self.rows {
+                    let _ = writeln!(f, "{}", r.join(","));
+                }
+                println!("  [csv] {}", path.display());
+            }
+        }
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(t: f64) -> String {
+    if t >= 10.0 {
+        format!("{t:.1}s")
+    } else if t >= 0.1 {
+        format!("{t:.2}s")
+    } else if t >= 1e-3 {
+        format!("{:.2}ms", t * 1e3)
+    } else {
+        format!("{:.1}us", t * 1e6)
+    }
+}
+
+/// Formats a speedup factor.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_column"]);
+        t.rowd(&[1, 22222]);
+        t.rowd(&[333, 4]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long_column"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn secs_formats_ranges() {
+        assert_eq!(secs(12.3), "12.3s");
+        assert_eq!(secs(0.5), "0.50s");
+        assert_eq!(secs(0.005), "5.00ms");
+        assert_eq!(secs(5e-6), "5.0us");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only one".to_string()]);
+    }
+}

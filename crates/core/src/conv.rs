@@ -1,0 +1,487 @@
+//! The convolution kernels (Figure 2 of the paper).
+//!
+//! Part 1 computes, per sample and dimension, the window of grid neighbors
+//! `x1 = ⌈u−W⌉ … x2 = ⌊u+W⌋` and their kernel weights via LUT. Part 2 is the
+//! separable convolution proper: the forward operator *gathers* weighted
+//! grid values into the sample, the adjoint *scatters* the sample into the
+//! grid. The innermost dimension is contiguous in memory, so Part 2 rows go
+//! through the `nufft-simd` row kernels (SIMD-within-a-sample, §III-C);
+//! wrap-around rows are split into at most two contiguous segments.
+//!
+//! Privatized tasks scatter into a local buffer in *unwrapped* coordinates
+//! (every neighbor of a task's samples lies within its halo box, so no mod
+//! arithmetic is needed there); the reduction adds the buffer back into the
+//! global grid with wrapping.
+
+use crate::kernel::KbKernel;
+use nufft_math::Complex32;
+use nufft_simd::{gather_row, scatter_row, scatter_row2};
+
+/// Maximum taps per dimension: `2W+1` with the paper's largest `W = 8`.
+pub const MAX_TAPS: usize = 17;
+
+/// One dimension's interpolation window for one sample (Part 1 output).
+#[derive(Clone, Copy, Debug)]
+pub struct Window {
+    /// First (unwrapped) neighbor index `x1 = ⌈u−W⌉`; may be negative or
+    /// reach past the grid edge — wrapping is Part 2's job.
+    pub start: i32,
+    /// Number of taps `lx = x2 − x1 + 1` (`2W` or `2W+1`).
+    pub len: usize,
+    /// LUT kernel weights for each tap.
+    pub w: [f32; MAX_TAPS],
+}
+
+impl Window {
+    /// Part 1 for one coordinate: neighbor range and LUT weights.
+    ///
+    /// `wrad` is the kernel radius `W`; `u` must lie in `[0, M)`. The
+    /// bounds are computed in `f64`, where `u ± W` is exact — an `f32`
+    /// `u + W` can round *up* across an integer and admit a tap just
+    /// outside the true support, overflowing privatized halo buffers.
+    #[inline]
+    pub fn compute(u: f32, wrad: f32, kernel: &KbKernel) -> Window {
+        let x1 = (u as f64 - wrad as f64).ceil() as i32;
+        let x2 = (u as f64 + wrad as f64).floor() as i32;
+        let len = (x2 - x1 + 1) as usize;
+        debug_assert!(len <= MAX_TAPS, "window of {len} taps exceeds MAX_TAPS");
+        let mut w = [0.0f32; MAX_TAPS];
+        for (i, wi) in w[..len].iter_mut().enumerate() {
+            *wi = kernel.eval_lut((x1 + i as i32) as f32 - u);
+        }
+        Window { start: x1, len, w }
+    }
+}
+
+#[inline(always)]
+fn wrap(x: i32, m: usize) -> usize {
+    x.rem_euclid(m as i32) as usize
+}
+
+/// Scatters `val` along one (possibly wrapping) grid row: the innermost loop
+/// of the adjoint convolution.
+#[inline(always)]
+fn scatter_wrapped_row(
+    grid: &mut [Complex32],
+    row_base: usize,
+    m_last: usize,
+    wz: &Window,
+    val: Complex32,
+) {
+    let z0 = wrap(wz.start, m_last);
+    if z0 + wz.len <= m_last {
+        scatter_row(&mut grid[row_base + z0..row_base + z0 + wz.len], &wz.w[..wz.len], val);
+    } else {
+        let first = m_last - z0;
+        scatter_row(&mut grid[row_base + z0..row_base + m_last], &wz.w[..first], val);
+        scatter_row(&mut grid[row_base..row_base + wz.len - first], &wz.w[first..wz.len], val);
+    }
+}
+
+/// Gathers one (possibly wrapping) grid row weighted by `wz`.
+#[inline(always)]
+fn gather_wrapped_row(
+    grid: &[Complex32],
+    row_base: usize,
+    m_last: usize,
+    wz: &Window,
+) -> Complex32 {
+    let z0 = wrap(wz.start, m_last);
+    if z0 + wz.len <= m_last {
+        gather_row(&grid[row_base + z0..row_base + z0 + wz.len], &wz.w[..wz.len])
+    } else {
+        let first = m_last - z0;
+        let a = gather_row(&grid[row_base + z0..row_base + m_last], &wz.w[..first]);
+        let b = gather_row(&grid[row_base..row_base + wz.len - first], &wz.w[first..wz.len]);
+        a + b
+    }
+}
+
+/// Adjoint (scatter) convolution of one sample onto the global grid
+/// (Figure 2, Part 2b).
+#[inline]
+pub fn adjoint_scatter<const D: usize>(
+    grid: &mut [Complex32],
+    m: &[usize; D],
+    win: &[Window; D],
+    val: Complex32,
+) {
+    match D {
+        1 => scatter_wrapped_row(grid, 0, m[0], &win[0], val),
+        2 => {
+            for ix in 0..win[0].len {
+                let gx = wrap(win[0].start + ix as i32, m[0]);
+                let f = val.scale(win[0].w[ix]);
+                scatter_wrapped_row(grid, gx * m[1], m[1], &win[1], f);
+            }
+        }
+        3 => {
+            // Small-W fast path (§III-C "SIMD across several y iterations"):
+            // when the z-row does not wrap, fuse pairs of y-rows through
+            // scatter_row2 so one weight-expansion feeds two FMA rows.
+            let z0 = wrap(win[2].start, m[2]);
+            let z_contiguous = z0 + win[2].len <= m[2];
+            for ix in 0..win[0].len {
+                let gx = wrap(win[0].start + ix as i32, m[0]);
+                let fx = win[0].w[ix];
+                let mut iy = 0;
+                if z_contiguous {
+                    while iy + 2 <= win[1].len {
+                        let gy0 = wrap(win[1].start + iy as i32, m[1]);
+                        let gy1 = wrap(win[1].start + (iy + 1) as i32, m[1]);
+                        let f0 = val.scale(fx * win[1].w[iy]);
+                        let f1 = val.scale(fx * win[1].w[iy + 1]);
+                        let b0 = (gx * m[1] + gy0) * m[2] + z0;
+                        let b1 = (gx * m[1] + gy1) * m[2] + z0;
+                        // SAFETY: gy0 != gy1 (adjacent wrapped indices on a
+                        // grid of extent ≥ 2W+1 > 1), so the two rows are
+                        // disjoint subslices of `grid`.
+                        let (r0, r1) = unsafe {
+                            let base = grid.as_mut_ptr();
+                            (
+                                core::slice::from_raw_parts_mut(base.add(b0), win[2].len),
+                                core::slice::from_raw_parts_mut(base.add(b1), win[2].len),
+                            )
+                        };
+                        scatter_row2(r0, f0, r1, f1, &win[2].w[..win[2].len]);
+                        iy += 2;
+                    }
+                }
+                while iy < win[1].len {
+                    let gy = wrap(win[1].start + iy as i32, m[1]);
+                    let f = val.scale(fx * win[1].w[iy]);
+                    scatter_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], &win[2], f);
+                    iy += 1;
+                }
+            }
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+}
+
+/// Forward (gather) convolution of one sample from the global grid
+/// (Figure 2, Part 2a).
+#[inline]
+pub fn forward_gather<const D: usize>(
+    grid: &[Complex32],
+    m: &[usize; D],
+    win: &[Window; D],
+) -> Complex32 {
+    match D {
+        1 => gather_wrapped_row(grid, 0, m[0], &win[0]),
+        2 => {
+            let mut acc = Complex32::ZERO;
+            for ix in 0..win[0].len {
+                let gx = wrap(win[0].start + ix as i32, m[0]);
+                let row = gather_wrapped_row(grid, gx * m[1], m[1], &win[1]);
+                acc += row.scale(win[0].w[ix]);
+            }
+            acc
+        }
+        3 => {
+            let mut acc = Complex32::ZERO;
+            for ix in 0..win[0].len {
+                let gx = wrap(win[0].start + ix as i32, m[0]);
+                let fx = win[0].w[ix];
+                for iy in 0..win[1].len {
+                    let gy = wrap(win[1].start + iy as i32, m[1]);
+                    let row =
+                        gather_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], &win[2]);
+                    acc += row.scale(fx * win[1].w[iy]);
+                }
+            }
+            acc
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+}
+
+/// Adjoint scatter into a privatized local buffer (no wrapping: the buffer
+/// covers the task's halo box in unwrapped coordinates, §III-B4).
+///
+/// `origin` is the buffer's unwrapped starting coordinate per dimension and
+/// `size` its extents; every window tap is guaranteed in range by
+/// preprocessing.
+#[inline]
+pub fn adjoint_scatter_local<const D: usize>(
+    buf: &mut [Complex32],
+    origin: &[i32; D],
+    size: &[usize; D],
+    win: &[Window; D],
+    val: Complex32,
+) {
+    match D {
+        1 => {
+            let l0 = (win[0].start - origin[0]) as usize;
+            scatter_row(&mut buf[l0..l0 + win[0].len], &win[0].w[..win[0].len], val);
+        }
+        2 => {
+            let ly = (win[1].start - origin[1]) as usize;
+            for ix in 0..win[0].len {
+                let lx = (win[0].start - origin[0]) as usize + ix;
+                let f = val.scale(win[0].w[ix]);
+                let base = lx * size[1] + ly;
+                scatter_row(&mut buf[base..base + win[1].len], &win[1].w[..win[1].len], f);
+            }
+        }
+        3 => {
+            let lz = (win[2].start - origin[2]) as usize;
+            for ix in 0..win[0].len {
+                let lx = (win[0].start - origin[0]) as usize + ix;
+                let fx = win[0].w[ix];
+                for iy in 0..win[1].len {
+                    let ly = (win[1].start - origin[1]) as usize + iy;
+                    let f = val.scale(fx * win[1].w[iy]);
+                    let base = (lx * size[1] + ly) * size[2] + lz;
+                    scatter_row(&mut buf[base..base + win[2].len], &win[2].w[..win[2].len], f);
+                }
+            }
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+}
+
+/// Reduces a privatized buffer into the global grid with wrapping — the
+/// decoupled reduction phase of §III-B4. Rows are added via the SIMD
+/// accumulate kernel, split at the wrap point when needed.
+pub fn reduce_local<const D: usize>(
+    grid: &mut [Complex32],
+    m: &[usize; D],
+    buf: &[Complex32],
+    origin: &[i32; D],
+    size: &[usize; D],
+) {
+    match D {
+        1 => {
+            add_wrapped_row(grid, 0, m[0], origin[0], &buf[..size[0]]);
+        }
+        2 => {
+            for lx in 0..size[0] {
+                let gx = wrap(origin[0] + lx as i32, m[0]);
+                let row = &buf[lx * size[1]..(lx + 1) * size[1]];
+                add_wrapped_row(grid, gx * m[1], m[1], origin[1], row);
+            }
+        }
+        3 => {
+            for lx in 0..size[0] {
+                let gx = wrap(origin[0] + lx as i32, m[0]);
+                for ly in 0..size[1] {
+                    let gy = wrap(origin[1] + ly as i32, m[1]);
+                    let row = &buf[(lx * size[1] + ly) * size[2]..(lx * size[1] + ly + 1) * size[2]];
+                    add_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], origin[2], row);
+                }
+            }
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+}
+
+/// `grid[base + (origin + i) mod m] += row[i]`, split into contiguous runs.
+#[inline]
+fn add_wrapped_row(
+    grid: &mut [Complex32],
+    row_base: usize,
+    m_last: usize,
+    origin: i32,
+    row: &[Complex32],
+) {
+    debug_assert!(row.len() <= m_last, "privatized row wider than the grid");
+    let z0 = wrap(origin, m_last);
+    if z0 + row.len() <= m_last {
+        nufft_simd::accumulate(&mut grid[row_base + z0..row_base + z0 + row.len()], row);
+    } else {
+        let first = m_last - z0;
+        nufft_simd::accumulate(&mut grid[row_base + z0..row_base + m_last], &row[..first]);
+        nufft_simd::accumulate(&mut grid[row_base..row_base + row.len() - first], &row[first..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KbKernel;
+
+    fn kernel() -> KbKernel {
+        KbKernel::new(2.0, 2.0)
+    }
+
+    #[test]
+    fn window_taps_and_range() {
+        let k = kernel();
+        // Non-integer coordinate: 2W taps.
+        let w = Window::compute(5.3, 2.0, &k);
+        assert_eq!(w.start, 4); // ceil(3.3)
+        assert_eq!(w.len, 4); // 4,5,6,7 (floor(7.3))
+        // Integer coordinate: 2W+1 taps.
+        let w = Window::compute(5.0, 2.0, &k);
+        assert_eq!(w.start, 3);
+        assert_eq!(w.len, 5);
+        // Weights are symmetric for the integer case.
+        assert!((w.w[0] - w.w[4]).abs() < 1e-6);
+        assert!((w.w[1] - w.w[3]).abs() < 1e-6);
+        // Peak at the center tap.
+        assert!(w.w[2] > w.w[1]);
+    }
+
+    #[test]
+    fn window_taps_never_exceed_the_true_support() {
+        // Regression: an f32 `u + W` can round up across an integer
+        // (binade-crossing, e.g. u = 121 − 2⁻¹⁷, W = 8: f32(u+8) = 129.0)
+        // and admit a tap outside [u−W, u+W], overflowing privatized halo
+        // buffers. Bounds must be computed exactly.
+        let k8 = KbKernel::new(8.0, 2.0);
+        let hazardous = 121.0f32 - 2.0f32.powi(-17);
+        let w = Window::compute(hazardous, 8.0, &k8);
+        let last = (w.start + w.len as i32 - 1) as f64;
+        assert!(
+            last - hazardous as f64 <= 8.0,
+            "tap {last} outside support of u={hazardous}"
+        );
+        // And fuzz the invariant across binades and widths.
+        let k = kernel();
+        for i in 0..20000 {
+            let u = f32::from_bits((i as u32).wrapping_mul(2654435761) % 0x4380_0000);
+            if !(0.0..1000.0).contains(&u) {
+                continue;
+            }
+            for (wrad, kk) in [(2.0f32, &k), (8.0, &k8)] {
+                let w = Window::compute(u, wrad, kk);
+                let first = w.start as f64;
+                let last = (w.start + w.len as i32 - 1) as f64;
+                assert!(first >= u as f64 - wrad as f64 - 1e-12, "u={u} w={wrad}");
+                assert!(last <= u as f64 + wrad as f64 + 1e-12, "u={u} w={wrad}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_near_zero_goes_negative() {
+        let k = kernel();
+        let w = Window::compute(0.5, 2.0, &k);
+        assert_eq!(w.start, -1); // ceil(-1.5)
+        assert_eq!(w.len, 4);
+    }
+
+    #[test]
+    fn scatter_gather_1d_round_trip_weights() {
+        let k = kernel();
+        let m = [16usize];
+        let mut grid = vec![Complex32::ZERO; 16];
+        let win = [Window::compute(7.4, 2.0, &k)];
+        adjoint_scatter(&mut grid, &m, &win, Complex32::ONE);
+        // gather at the same point returns Σ w².
+        let got = forward_gather(&grid, &m, &win);
+        let want: f32 = win[0].w[..win[0].len].iter().map(|x| x * x).sum();
+        assert!((got.re - want).abs() < 1e-6 && got.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_wraps_across_edge_1d() {
+        let k = kernel();
+        let m = [16usize];
+        let mut grid = vec![Complex32::ZERO; 16];
+        let win = [Window::compute(0.5, 2.0, &k)];
+        adjoint_scatter(&mut grid, &m, &win, Complex32::ONE);
+        // Taps at −1,0,1,2 → grid 15,0,1,2.
+        assert!(grid[15].re > 0.0);
+        assert!(grid[0].re > 0.0);
+        assert!(grid[2].re > 0.0);
+        assert_eq!(grid[3], Complex32::ZERO);
+        // Total mass conserved.
+        let mass: f32 = grid.iter().map(|z| z.re).sum();
+        let want: f32 = win[0].w[..win[0].len].iter().sum();
+        assert!((mass - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scatter_3d_mass_conservation_with_wrap() {
+        let k = kernel();
+        let m = [8usize, 8, 8];
+        let mut grid = vec![Complex32::ZERO; 512];
+        // Coordinate near a corner: wraps in every dimension.
+        let win = [
+            Window::compute(0.3, 2.0, &k),
+            Window::compute(7.6, 2.0, &k),
+            Window::compute(0.1, 2.0, &k),
+        ];
+        let val = Complex32::new(2.0, -1.0);
+        adjoint_scatter(&mut grid, &m, &win, val);
+        let mass: Complex32 = grid.iter().copied().sum();
+        let wsum: f32 = (0..3)
+            .map(|d| win[d].w[..win[d].len].iter().sum::<f32>())
+            .product();
+        assert!((mass.re - val.re * wsum).abs() < 1e-4);
+        assert!((mass.im - val.im * wsum).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gather_is_exact_adjoint_of_scatter_3d() {
+        // ⟨scatter(v), g⟩ == v·conj(gather(g)) ... with real weights:
+        // gather(scatter(e)) over two different windows equals the windows'
+        // overlap inner product either way round.
+        let k = kernel();
+        let m = [8usize, 8, 8];
+        let win_a = [
+            Window::compute(3.2, 2.0, &k),
+            Window::compute(4.7, 2.0, &k),
+            Window::compute(2.9, 2.0, &k),
+        ];
+        let win_b = [
+            Window::compute(4.1, 2.0, &k),
+            Window::compute(3.9, 2.0, &k),
+            Window::compute(3.4, 2.0, &k),
+        ];
+        let mut ga = vec![Complex32::ZERO; 512];
+        adjoint_scatter(&mut ga, &m, &win_a, Complex32::ONE);
+        let mut gb = vec![Complex32::ZERO; 512];
+        adjoint_scatter(&mut gb, &m, &win_b, Complex32::ONE);
+        // ⟨A e, B e⟩ both ways.
+        let ab = forward_gather(&ga, &m, &win_b).re;
+        let ba = forward_gather(&gb, &m, &win_a).re;
+        assert!((ab - ba).abs() < 1e-5, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn local_scatter_plus_reduce_equals_direct_scatter() {
+        let k = kernel();
+        let m = [8usize, 8, 8];
+        // Task halo box around a corner-adjacent cell: origin may be
+        // negative.
+        let origin = [-2i32, 3, -2];
+        let size = [7usize, 5, 8];
+        let mut buf = vec![Complex32::ZERO; size.iter().product()];
+        let win = [
+            Window::compute(1.4, 2.0, &k),
+            Window::compute(5.5, 2.0, &k),
+            Window::compute(0.2, 2.0, &k),
+        ];
+        let val = Complex32::new(1.0, 2.0);
+        adjoint_scatter_local(&mut buf, &origin, &size, &win, val);
+
+        let mut via_private = vec![Complex32::ZERO; 512];
+        reduce_local(&mut via_private, &m, &buf, &origin, &size);
+
+        let mut direct = vec![Complex32::ZERO; 512];
+        adjoint_scatter(&mut direct, &m, &win, val);
+
+        for (i, (a, b)) in via_private.iter().zip(&direct).enumerate() {
+            assert!(
+                (a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6,
+                "mismatch at {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_from_constant_grid_sums_weights() {
+        let k = kernel();
+        let m = [8usize, 8];
+        let grid = vec![Complex32::new(3.0, 0.0); 64];
+        let win = [Window::compute(3.3, 2.0, &k), Window::compute(6.8, 2.0, &k)];
+        let got = forward_gather(&grid, &m, &win);
+        let want: f32 = 3.0
+            * win[0].w[..win[0].len].iter().sum::<f32>()
+            * win[1].w[..win[1].len].iter().sum::<f32>();
+        assert!((got.re - want).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,225 @@
+//! Image ↔ oversampled-grid geometry.
+//!
+//! The image has extent `N` per dimension with *centered* logical indices
+//! `n ∈ [−N/2, N/2)`; the oversampled Cartesian grid has extent `M = α·N`.
+//! The image is embedded into the grid at wrapped positions
+//! `(n mod M)` — negative indices land at the top of the grid — which makes
+//! the unnormalized FFT of the grid exactly the centered-index DTFT
+//! `Σ_n f[n]·e^{-2πi n·m/M}` with no phase ramps. The spectrum is centered
+//! (ν = 0 at grid coordinate M/2) by folding the `(−1)^{Σ n}` "chop" into
+//! the real scale array (see [`crate::scale`]).
+
+use nufft_math::Complex32;
+
+/// Static geometry of one NUFFT problem instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry<const D: usize> {
+    /// Image extent per dimension.
+    pub n: [usize; D],
+    /// Oversampled grid extent per dimension.
+    pub m: [usize; D],
+}
+
+impl<const D: usize> Geometry<D> {
+    /// Builds the geometry for image extents `n` at oversampling `alpha`
+    /// (grid extents are `round(alpha·n)`).
+    ///
+    /// # Panics
+    /// Panics if any extent is zero, `alpha < 1`, or an oversampled extent
+    /// fails to exceed its image extent.
+    pub fn new(n: [usize; D], alpha: f64) -> Self {
+        assert!(alpha >= 1.0, "oversampling must be ≥ 1");
+        let mut m = [0usize; D];
+        for d in 0..D {
+            assert!(n[d] > 0, "image extent must be positive");
+            m[d] = (n[d] as f64 * alpha).round() as usize;
+            assert!(m[d] >= n[d], "oversampled extent must cover the image");
+        }
+        Geometry { n, m }
+    }
+
+    /// Total image elements.
+    pub fn image_len(&self) -> usize {
+        self.n.iter().product()
+    }
+
+    /// Total grid elements.
+    pub fn grid_len(&self) -> usize {
+        self.m.iter().product()
+    }
+
+    /// Row-major strides of the image.
+    pub fn image_strides(&self) -> [usize; D] {
+        strides(&self.n)
+    }
+
+    /// Row-major strides of the grid.
+    pub fn grid_strides(&self) -> [usize; D] {
+        strides(&self.m)
+    }
+}
+
+fn strides<const D: usize>(ext: &[usize; D]) -> [usize; D] {
+    let mut s = [1usize; D];
+    for d in (0..D.saturating_sub(1)).rev() {
+        s[d] = s[d + 1] * ext[d + 1];
+    }
+    s
+}
+
+/// Embeds the scaled image into the (pre-zeroed) oversampled grid:
+/// `grid[wrap(pos − N/2)] = image[pos] · scale[pos]`.
+///
+/// # Panics
+/// Panics on any length mismatch.
+pub fn embed_scaled<const D: usize>(
+    geo: &Geometry<D>,
+    image: &[Complex32],
+    scale: &[f32],
+    grid: &mut [Complex32],
+) {
+    assert_eq!(image.len(), geo.image_len(), "image length mismatch");
+    assert_eq!(scale.len(), geo.image_len(), "scale length mismatch");
+    assert_eq!(grid.len(), geo.grid_len(), "grid length mismatch");
+    let gs = geo.grid_strides();
+    for_each_index(&geo.n, |flat, idx| {
+        let mut g = 0usize;
+        for d in 0..D {
+            // Centered index n = idx − N/2, wrapped into [0, M).
+            let wrapped = (idx[d] + geo.m[d] - geo.n[d] / 2) % geo.m[d];
+            g += wrapped * gs[d];
+        }
+        grid[g] = image[flat] * scale[flat];
+    });
+}
+
+/// Extracts the image region back out of the grid with the same scaling:
+/// `out[pos] = grid[wrap(pos − N/2)] · scale[pos]`.
+///
+/// Together with [`embed_scaled`] this makes the grid-domain pipeline
+/// exactly self-adjoint (the scale is real).
+///
+/// # Panics
+/// Panics on any length mismatch.
+pub fn extract_scaled<const D: usize>(
+    geo: &Geometry<D>,
+    grid: &[Complex32],
+    scale: &[f32],
+    out: &mut [Complex32],
+) {
+    assert_eq!(out.len(), geo.image_len(), "image length mismatch");
+    assert_eq!(scale.len(), geo.image_len(), "scale length mismatch");
+    assert_eq!(grid.len(), geo.grid_len(), "grid length mismatch");
+    let gs = geo.grid_strides();
+    for_each_index(&geo.n, |flat, idx| {
+        let mut g = 0usize;
+        for d in 0..D {
+            let wrapped = (idx[d] + geo.m[d] - geo.n[d] / 2) % geo.m[d];
+            g += wrapped * gs[d];
+        }
+        out[flat] = grid[g] * scale[flat];
+    });
+}
+
+/// Calls `f(flat, idx)` for every row-major index of `ext`.
+pub fn for_each_index<const D: usize>(ext: &[usize; D], mut f: impl FnMut(usize, [usize; D])) {
+    let len: usize = ext.iter().product();
+    let mut idx = [0usize; D];
+    for flat in 0..len {
+        f(flat, idx);
+        for d in (0..D).rev() {
+            idx[d] += 1;
+            if idx[d] < ext[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_extents_and_strides() {
+        let g = Geometry::new([4, 6, 8], 2.0);
+        assert_eq!(g.m, [8, 12, 16]);
+        assert_eq!(g.image_len(), 192);
+        assert_eq!(g.grid_len(), 1536);
+        assert_eq!(g.image_strides(), [48, 8, 1]);
+        assert_eq!(g.grid_strides(), [192, 16, 1]);
+    }
+
+    #[test]
+    fn geometry_alpha_1_25_rounds() {
+        let g = Geometry::new([240], 1.25);
+        assert_eq!(g.m, [300]);
+    }
+
+    #[test]
+    fn for_each_index_is_row_major() {
+        let mut seen = Vec::new();
+        for_each_index(&[2usize, 3], |flat, idx| seen.push((flat, idx)));
+        assert_eq!(seen[0], (0, [0, 0]));
+        assert_eq!(seen[1], (1, [0, 1]));
+        assert_eq!(seen[3], (3, [1, 0]));
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn embed_extract_round_trip() {
+        let geo = Geometry::new([4, 4], 2.0);
+        let image: Vec<Complex32> =
+            (0..16).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let scale = vec![1.0f32; 16];
+        let mut grid = vec![Complex32::ZERO; geo.grid_len()];
+        embed_scaled(&geo, &image, &scale, &mut grid);
+        // Exactly 16 nonzeros.
+        assert_eq!(grid.iter().filter(|z| **z != Complex32::ZERO).count(), 15); // element 0 is 0+0i
+        let mut back = vec![Complex32::ZERO; 16];
+        extract_scaled(&geo, &grid, &scale, &mut back);
+        assert_eq!(back, image);
+    }
+
+    #[test]
+    fn embed_wraps_negative_indices_to_top() {
+        // 1D: N=4, M=8. Centered indices −2..2 map to grid 6,7,0,1.
+        let geo = Geometry::new([4], 2.0);
+        let image = vec![
+            Complex32::new(1.0, 0.0), // n = −2 -> grid 6
+            Complex32::new(2.0, 0.0), // n = −1 -> grid 7
+            Complex32::new(3.0, 0.0), // n =  0 -> grid 0
+            Complex32::new(4.0, 0.0), // n = +1 -> grid 1
+        ];
+        let scale = vec![1.0f32; 4];
+        let mut grid = vec![Complex32::ZERO; 8];
+        embed_scaled(&geo, &image, &scale, &mut grid);
+        assert_eq!(grid[6].re, 1.0);
+        assert_eq!(grid[7].re, 2.0);
+        assert_eq!(grid[0].re, 3.0);
+        assert_eq!(grid[1].re, 4.0);
+        assert_eq!(grid[2], Complex32::ZERO);
+    }
+
+    #[test]
+    fn scaling_is_applied_both_ways() {
+        let geo = Geometry::new([2], 2.0);
+        let image = vec![Complex32::ONE, Complex32::ONE];
+        let scale = vec![2.0f32, -3.0];
+        let mut grid = vec![Complex32::ZERO; 4];
+        embed_scaled(&geo, &image, &scale, &mut grid);
+        let mut back = vec![Complex32::ZERO; 2];
+        extract_scaled(&geo, &grid, &scale, &mut back);
+        assert_eq!(back[0].re, 4.0);
+        assert_eq!(back[1].re, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn embed_validates_lengths() {
+        let geo = Geometry::new([4], 2.0);
+        let mut grid = vec![Complex32::ZERO; 8];
+        embed_scaled(&geo, &[Complex32::ZERO; 3], &[1.0; 3], &mut grid);
+    }
+}

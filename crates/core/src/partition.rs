@@ -1,0 +1,274 @@
+//! Geometric data partitioning (§III-B1, Figure 5).
+//!
+//! The oversampled grid is cut into a d-dimensional grid of sub-grids, one
+//! task per cell. Widths are chosen *per dimension* from the cumulative
+//! sample histogram: starting from the minimum legal width `2W+1`, each
+//! partition grows until it holds at least `total/P` samples (in that
+//! dimension's marginal). Variable widths put the smallest legal partitions
+//! over the dense spectral center and wide ones over the sparse edges —
+//! the paper's fix for radial/spiral load imbalance. A fixed-width variant
+//! is provided as the Figure 11 baseline.
+//!
+//! Two amendments keep the cyclic exclusion invariant airtight (the paper's
+//! pseudo-code doesn't address the grid's mod-M wrap):
+//!
+//! * every partition — including the last — is at least `2W+1` wide (a
+//!   trailing remnant is merged into its predecessor), so no two same-turn
+//!   tasks can reach each other's halo *through* an intervening partition;
+//! * each dimension ends up with an even number of partitions (or exactly
+//!   one), so index parity is consistent around the wrap and the Gray-code
+//!   turn ordering remains valid cyclically.
+
+/// Partition boundaries along every dimension.
+///
+/// `bounds[d]` is the ascending boundary list `[0, e₁, …, M_d]`; partition
+/// `i` along `d` covers grid columns `[bounds[d][i], bounds[d][i+1])`.
+#[derive(Clone, Debug)]
+pub struct Partitions<const D: usize> {
+    bounds: [Vec<usize>; D],
+}
+
+impl<const D: usize> Partitions<D> {
+    /// Variable-width partitioning from sample coordinates (Figure 5).
+    ///
+    /// `m` is the grid extent, `p` the desired partition count per
+    /// dimension, `min_width` the minimum legal width (`2W+1`).
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or `min_width == 0`.
+    pub fn variable(coords: &[[f32; D]], m: [usize; D], p: usize, min_width: usize) -> Self {
+        assert!(p > 0, "need at least one partition per dimension");
+        assert!(min_width > 0, "minimum width must be positive");
+        let avg = (coords.len() / p).max(1);
+        let bounds = core::array::from_fn(|d| {
+            // Cumulative histogram: hist[i] = #samples with coord < i.
+            let mut hist = vec![0usize; m[d] + 1];
+            for c in coords {
+                let bin = (c[d] as usize).min(m[d] - 1);
+                hist[bin + 1] += 1;
+            }
+            for i in 0..m[d] {
+                hist[i + 1] += hist[i];
+            }
+            let mut b = vec![0usize];
+            let mut start = 0usize;
+            while start < m[d] {
+                let mut end = (start + min_width).min(m[d]);
+                while end < m[d] && hist[end] - hist[start] < avg {
+                    end += 1;
+                }
+                b.push(end);
+                start = end;
+            }
+            fix_bounds(&mut b, m[d], min_width);
+            b
+        });
+        Partitions { bounds }
+    }
+
+    /// Fixed-width partitioning: `p` equal cells per dimension (clamped so
+    /// each is at least `min_width` wide) — the Figure 11 baseline.
+    pub fn fixed(m: [usize; D], p: usize, min_width: usize) -> Self {
+        assert!(p > 0, "need at least one partition per dimension");
+        assert!(min_width > 0, "minimum width must be positive");
+        let bounds = core::array::from_fn(|d| {
+            let count = p.min(m[d] / min_width).max(1);
+            let mut b: Vec<usize> = (0..=count).map(|i| i * m[d] / count).collect();
+            fix_bounds(&mut b, m[d], min_width);
+            b
+        });
+        Partitions { bounds }
+    }
+
+    /// Number of partitions per dimension.
+    pub fn counts(&self) -> [usize; D] {
+        core::array::from_fn(|d| self.bounds[d].len() - 1)
+    }
+
+    /// Boundary list along `dim`.
+    pub fn bounds(&self, dim: usize) -> &[usize] {
+        &self.bounds[dim]
+    }
+
+    /// The partition cell `[start, end)` of task multi-index `idx`.
+    pub fn cell(&self, idx: &[usize; D]) -> ([usize; D], [usize; D]) {
+        let start = core::array::from_fn(|d| self.bounds[d][idx[d]]);
+        let end = core::array::from_fn(|d| self.bounds[d][idx[d] + 1]);
+        (start, end)
+    }
+
+    /// Locates the partition multi-index containing grid coordinate `u`.
+    pub fn locate(&self, u: &[f32; D]) -> [usize; D] {
+        core::array::from_fn(|d| {
+            let b = &self.bounds[d];
+            // partition_point returns the first boundary > u; the owning
+            // partition is one before it.
+            let i = b.partition_point(|&e| e as f32 <= u[d]);
+            i.saturating_sub(1).min(b.len() - 2)
+        })
+    }
+
+    /// Smallest partition width along `dim`.
+    pub fn min_width(&self, dim: usize) -> usize {
+        self.bounds[dim].windows(2).map(|w| w[1] - w[0]).min().unwrap_or(0)
+    }
+}
+
+/// Enforces the two cyclic-safety amendments on a boundary list.
+fn fix_bounds(b: &mut Vec<usize>, m: usize, min_width: usize) {
+    debug_assert!(b.len() >= 2 && b[0] == 0 && *b.last().unwrap() == m);
+    // (1) Merge a too-thin final partition into its predecessor.
+    while b.len() > 2 {
+        let k = b.len();
+        if b[k - 1] - b[k - 2] < min_width {
+            b.remove(k - 2);
+        } else {
+            break;
+        }
+    }
+    // If the whole dimension is narrower than min_width a single partition
+    // remains, which is always legal (it has no distinct neighbors).
+    // (2) Even partition count (or exactly one) for cyclic parity. Prefer
+    // splitting the widest partition (preserves the fine partitions over
+    // the dense center); merge the thinnest adjacent pair only when nothing
+    // is wide enough to split.
+    let count = b.len() - 1;
+    if count > 1 && count % 2 == 1 {
+        let widest = (0..count)
+            .max_by_key(|&i| b[i + 1] - b[i])
+            .expect("non-empty partition list");
+        if b[widest + 1] - b[widest] >= 2 * min_width {
+            let mid = (b[widest] + b[widest + 1]) / 2;
+            b.insert(widest + 1, mid);
+        } else {
+            let best = (1..b.len() - 1)
+                .min_by_key(|&i| b[i + 1] - b[i - 1])
+                .expect("at least two partitions");
+            b.remove(best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn widths(p: &Partitions<1>) -> Vec<usize> {
+        p.bounds(0).windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    #[test]
+    fn uniform_samples_give_roughly_equal_partitions() {
+        let coords: Vec<[f32; 1]> = (0..1000).map(|i| [i as f32 * 0.128]).collect();
+        let p = Partitions::variable(&coords, [128], 8, 9);
+        let w = widths(&p);
+        assert!(w.len() >= 2 && w.len().is_multiple_of(2), "{w:?}");
+        assert!(w.iter().all(|&x| x >= 9), "{w:?}");
+        assert_eq!(w.iter().sum::<usize>(), 128);
+        // Near-equal widths for uniform data.
+        let max = *w.iter().max().unwrap();
+        let min = *w.iter().min().unwrap();
+        assert!(max <= 2 * min + 9, "{w:?}");
+    }
+
+    #[test]
+    fn center_dense_samples_give_narrow_center_partitions() {
+        // All mass near the center: center partitions hit the minimum
+        // width, edge partitions become wide.
+        let mut coords: Vec<[f32; 1]> = Vec::new();
+        for i in 0..2000 {
+            coords.push([64.0 + 8.0 * ((i as f32 / 2000.0) - 0.5)]);
+        }
+        let p = Partitions::variable(&coords, [128], 8, 9);
+        let b = p.bounds(0);
+        let w = widths(&p);
+        assert!(w.iter().all(|&x| x >= 9), "{w:?}");
+        // Some partition near the center is exactly min width.
+        let center_part = p.locate(&[64.0])[0];
+        let center_w = b[center_part + 1] - b[center_part];
+        assert!(center_w <= 16, "center partition too wide: {center_w} ({w:?})");
+        // Edge partitions are far wider than the center one.
+        assert!(w[0] > 2 * center_w, "{w:?}");
+    }
+
+    #[test]
+    fn all_partitions_at_least_min_width() {
+        for seedish in 0..5u32 {
+            let coords: Vec<[f32; 1]> = (0..500)
+                .map(|i: u32| {
+                    let x = (i.wrapping_mul(2654435761).wrapping_add(seedish) % 12800) as f32
+                        / 100.0;
+                    [x]
+                })
+                .collect();
+            let p = Partitions::variable(&coords, [128], 16, 9);
+            assert!(widths(&p).iter().all(|&w| w >= 9), "{:?}", widths(&p));
+        }
+    }
+
+    #[test]
+    fn partition_count_is_even_or_one() {
+        for m in [32usize, 64, 100, 128, 17, 9, 8] {
+            let coords: Vec<[f32; 1]> =
+                (0..300).map(|i| [(i % m) as f32]).collect();
+            let p = Partitions::variable(&coords, [m], 7, 9);
+            let c = p.counts()[0];
+            assert!(c == 1 || c % 2 == 0, "m={m}: count {c}");
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_cell_ranges() {
+        let coords: Vec<[f32; 2]> = (0..400)
+            .map(|i| [(i % 64) as f32 + 0.3, ((i * 7) % 64) as f32 + 0.7])
+            .collect();
+        let p = Partitions::variable(&coords, [64, 64], 4, 5);
+        for c in &coords {
+            let idx = p.locate(c);
+            let (start, end) = p.cell(&idx);
+            for d in 0..2 {
+                assert!(
+                    start[d] as f32 <= c[d] && c[d] < end[d] as f32,
+                    "coord {c:?} not inside cell {start:?}..{end:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_partitions_are_equal_width() {
+        let p = Partitions::<1>::fixed([128], 8, 9);
+        let w = widths(&p);
+        assert_eq!(w.len(), 8);
+        assert!(w.iter().all(|&x| x == 16));
+    }
+
+    #[test]
+    fn fixed_partitions_clamp_to_min_width() {
+        // 128 / 9 = 14 partitions of ≥9 max; requesting 32 must clamp.
+        let p = Partitions::<1>::fixed([128], 32, 9);
+        let c = p.counts()[0];
+        assert!(c <= 14);
+        assert!(widths(&p).iter().all(|&x| x >= 9));
+        assert!(c == 1 || c.is_multiple_of(2));
+    }
+
+    #[test]
+    fn tiny_grid_collapses_to_single_partition() {
+        let coords: Vec<[f32; 1]> = vec![[3.0]; 10];
+        let p = Partitions::variable(&coords, [8], 4, 9);
+        assert_eq!(p.counts()[0], 1);
+        assert_eq!(p.bounds(0), &[0, 8]);
+    }
+
+    #[test]
+    fn boundary_coordinates_locate_into_last_partition() {
+        let coords: Vec<[f32; 1]> = (0..100).map(|i| [i as f32 * 1.27]).collect();
+        let p = Partitions::variable(&coords, [128], 4, 9);
+        // The maximum legal coordinate is just below M.
+        let idx = p.locate(&[127.9999]);
+        assert_eq!(idx[0], p.counts()[0] - 1);
+        let idx0 = p.locate(&[0.0]);
+        assert_eq!(idx0[0], 0);
+    }
+}

@@ -1,0 +1,619 @@
+//! The NUFFT plan: preprocess once, apply forward/adjoint many times.
+//!
+//! [`NufftPlan`] owns everything an iterative solver reuses across calls:
+//! the Kaiser–Bessel kernel and LUT, the roll-off/chop scale array, FFT
+//! plans, the oversampled grid workspace, the partitioning + task graph +
+//! sample reordering, and the privatized tasks' halo buffers. The two
+//! operators are exact adjoints of each other:
+//!
+//! * [`NufftPlan::forward`] (the paper's FWD, MRI "type 2"):
+//!   scale → oversampled FFT → gather interpolation onto the samples;
+//! * [`NufftPlan::adjoint`] (the paper's ADJ, "type 1"):
+//!   scatter interpolation → oversampled inverse FFT (unnormalized) →
+//!   scale.
+//!
+//! Every phase is timed ([`OpTimers`]) and the adjoint convolution records
+//! per-worker/per-task execution logs ([`NufftPlan::last_run_stats`]) for
+//! the load-balance experiments.
+
+use crate::conv::{
+    adjoint_scatter, adjoint_scatter_local, forward_gather, reduce_local, Window,
+};
+use crate::grid::{embed_scaled, extract_scaled, Geometry};
+use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
+use crate::scale::build_scale;
+use crate::tasks::{preprocess, Preprocess, PreprocessConfig};
+use nufft_fft::{Direction, FftNd};
+use nufft_math::Complex32;
+use nufft_parallel::exec::{Executor, RunStats, TaskPhase};
+use nufft_parallel::graph::{QueuePolicy, TaskGraph};
+use std::time::Instant;
+
+/// Plan construction knobs. `Default` reproduces the paper's main
+/// configuration: α = 2, W = 4, priority queue, variable-width partitions,
+/// selective privatization and sample reordering all on.
+#[derive(Clone, Copy, Debug)]
+pub struct NufftConfig {
+    /// Grid oversampling factor α = M/N.
+    pub alpha: f64,
+    /// Kernel radius `W` in oversampled-grid units.
+    pub w: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Ready-queue discipline for the adjoint convolution.
+    pub policy: QueuePolicy,
+    /// Partitions per dimension (`None` = sized from the thread count).
+    pub partitions_per_dim: Option<usize>,
+    /// Use fixed-width partitions (Figure 11 baseline) instead of
+    /// variable-width.
+    pub fixed_partitions: bool,
+    /// Enable selective privatization (Eq. 6).
+    pub privatization: bool,
+    /// Reorder samples within tasks for cache locality (§III-D).
+    pub reorder: bool,
+    /// Kernel family (Kaiser–Bessel is the paper's; Gaussian is the
+    /// Greengard–Lee comparison kernel).
+    pub kernel: KernelChoice,
+    /// Kernel LUT entries per unit argument.
+    pub lut_density: usize,
+    /// Samples per chunk in the forward gather's dynamic loop.
+    pub grain: usize,
+}
+
+impl Default for NufftConfig {
+    fn default() -> Self {
+        NufftConfig {
+            alpha: 2.0,
+            w: 4.0,
+            threads: Executor::host().threads(),
+            policy: QueuePolicy::Priority,
+            partitions_per_dim: None,
+            fixed_partitions: false,
+            privatization: true,
+            reorder: true,
+            kernel: KernelChoice::KaiserBessel,
+            lut_density: DEFAULT_LUT_DENSITY,
+            grain: 256,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one operator application, in seconds — the
+/// quantities behind Figures 3 and 8.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpTimers {
+    /// Scale phase: roll-off multiply + embed/extract.
+    pub scale: f64,
+    /// Oversampled (i)FFT.
+    pub fft: f64,
+    /// Convolution interpolation (includes grid zeroing for the adjoint).
+    pub conv: f64,
+    /// End-to-end operator time.
+    pub total: f64,
+}
+
+/// Raw-pointer wrapper for disjoint-region writes from worker threads.
+///
+/// Soundness is established by the callers: grid writers are serialized by
+/// the task graph (adjacent tasks never run concurrently — see the
+/// exclusion tests in `nufft-parallel`), forward gathers write distinct
+/// output slots, and FFT lines are pairwise disjoint.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: see type docs — all users write pairwise-disjoint regions.
+unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above.
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — edition-2021 precise capture would otherwise grab the
+    /// raw-pointer field itself, which is not `Sync`.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// A reusable D-dimensional NUFFT plan (D ∈ {1, 2, 3}).
+pub struct NufftPlan<const D: usize> {
+    cfg: NufftConfig,
+    geo: Geometry<D>,
+    kernel: InterpKernel,
+    scale: Vec<f32>,
+    fft: FftNd,
+    exec: Executor,
+    pre: Preprocess<D>,
+    grid: Vec<Complex32>,
+    /// Extra grids for the batched (multi-coil) operators, grown on demand.
+    batch_grids: Vec<Vec<Complex32>>,
+    /// Privatized tasks' halo buffers, indexed by `buf_of_task`.
+    priv_bufs: Vec<Vec<Complex32>>,
+    buf_of_task: Vec<u32>,
+    preprocess_seconds: f64,
+    last_forward: OpTimers,
+    last_adjoint: OpTimers,
+    last_stats: Option<RunStats>,
+}
+
+impl<const D: usize> NufftPlan<D> {
+    /// Builds a plan for image extents `n` and a trajectory in normalized
+    /// frequencies `ν ∈ [-1/2, 1/2)` per dimension.
+    ///
+    /// # Panics
+    /// Panics if `D ∉ {1,2,3}`, extents are zero, the kernel does not fit
+    /// the grid (`M < 2W+1`), or a trajectory point is out of range.
+    pub fn new(n: [usize; D], traj: &[[f64; D]], cfg: NufftConfig) -> Self {
+        assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
+        let geo = Geometry::new(n, cfg.alpha);
+        let coords: Vec<[f32; D]> = traj
+            .iter()
+            .map(|p| {
+                core::array::from_fn(|d| {
+                    assert!(
+                        (-0.5..0.5).contains(&p[d]),
+                        "trajectory component {} outside [-1/2, 1/2)",
+                        p[d]
+                    );
+                    let mf = geo.m[d] as f64;
+                    let mut u = ((p[d] + 0.5) * mf) as f32;
+                    if u >= geo.m[d] as f32 {
+                        u -= geo.m[d] as f32;
+                    }
+                    u
+                })
+            })
+            .collect();
+        Self::from_grid_coords(n, coords, cfg)
+    }
+
+    /// Builds a plan from coordinates already in oversampled-grid units
+    /// `[0, M)`.
+    ///
+    /// # Panics
+    /// See [`NufftPlan::new`].
+    pub fn from_grid_coords(n: [usize; D], coords: Vec<[f32; D]>, cfg: NufftConfig) -> Self {
+        assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
+        assert!(cfg.w > 0.0, "kernel radius must be positive");
+        let geo = Geometry::new(n, cfg.alpha);
+        let min_width = 2 * cfg.w.ceil() as usize + 1;
+        for d in 0..D {
+            assert!(
+                geo.m[d] >= min_width,
+                "grid extent {} too small for kernel radius W={}",
+                geo.m[d],
+                cfg.w
+            );
+        }
+        let kernel = InterpKernel::of(cfg.kernel, cfg.w, cfg.alpha, cfg.lut_density);
+        let scale = build_scale(&geo, &kernel);
+        let fft = FftNd::new(&geo.m);
+        let exec = Executor::new(cfg.threads.max(1));
+
+        let partitions = cfg.partitions_per_dim.unwrap_or_else(|| {
+            // Aim for ~8 tasks per thread overall.
+            let target = (8 * cfg.threads.max(1)) as f64;
+            (target.powf(1.0 / D as f64).ceil() as usize).max(2)
+        });
+        let pcfg = PreprocessConfig {
+            partitions_per_dim: partitions,
+            w: cfg.w,
+            fixed_partitions: cfg.fixed_partitions,
+            privatization: cfg.privatization,
+            threads: cfg.threads,
+            reorder: cfg.reorder,
+            tile: (4.0 * cfg.w).ceil() as usize,
+        };
+        let t0 = Instant::now();
+        let pre = preprocess(&coords, geo.m, &pcfg);
+        let preprocess_seconds = t0.elapsed().as_secs_f64();
+
+        let mut priv_bufs = Vec::new();
+        let mut buf_of_task = vec![u32::MAX; pre.graph.len()];
+        for (t, region) in pre.regions.iter().enumerate() {
+            if let Some(r) = region {
+                buf_of_task[t] = priv_bufs.len() as u32;
+                priv_bufs.push(vec![Complex32::ZERO; r.len()]);
+            }
+        }
+
+        let grid = vec![Complex32::ZERO; geo.grid_len()];
+        NufftPlan {
+            cfg,
+            geo,
+            kernel,
+            scale,
+            fft,
+            exec,
+            pre,
+            grid,
+            batch_grids: Vec::new(),
+            priv_bufs,
+            buf_of_task,
+            preprocess_seconds,
+            last_forward: OpTimers::default(),
+            last_adjoint: OpTimers::default(),
+            last_stats: None,
+        }
+    }
+
+    /// Problem geometry.
+    pub fn geometry(&self) -> &Geometry<D> {
+        &self.geo
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &NufftConfig {
+        &self.cfg
+    }
+
+    /// Number of non-uniform samples.
+    pub fn num_samples(&self) -> usize {
+        self.pre.coords.len()
+    }
+
+    /// Image element count (`Π n_d`).
+    pub fn image_len(&self) -> usize {
+        self.geo.image_len()
+    }
+
+    /// The preprocessing wall time (Figure 14).
+    pub fn preprocess_seconds(&self) -> f64 {
+        self.preprocess_seconds
+    }
+
+    /// The task-dependency graph (weights = task sample counts) — consumed
+    /// by the `nufft-sim` scaling experiments.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.pre.graph
+    }
+
+    /// Phase breakdown of the most recent [`NufftPlan::forward`].
+    pub fn forward_timers(&self) -> OpTimers {
+        self.last_forward
+    }
+
+    /// Phase breakdown of the most recent [`NufftPlan::adjoint`].
+    pub fn adjoint_timers(&self) -> OpTimers {
+        self.last_adjoint
+    }
+
+    /// Per-worker/per-task execution log of the most recent adjoint
+    /// convolution.
+    pub fn last_run_stats(&self) -> Option<&RunStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Forward NUFFT: image → samples. `out[p]` receives the DTFT
+    /// approximation at trajectory point `p` (original sample order).
+    ///
+    /// # Panics
+    /// Panics if buffer lengths don't match the plan.
+    pub fn forward(&mut self, image: &[Complex32], out: &mut [Complex32]) {
+        assert_eq!(image.len(), self.geo.image_len(), "image length mismatch");
+        assert_eq!(out.len(), self.num_samples(), "sample buffer length mismatch");
+        let t_start = Instant::now();
+
+        // Phase 1: scale + embed.
+        let t0 = Instant::now();
+        self.grid.fill(Complex32::ZERO);
+        embed_scaled(&self.geo, image, &self.scale, &mut self.grid);
+        let scale_t = t0.elapsed().as_secs_f64();
+
+        // Phase 2: oversampled FFT (lines parallelized per axis).
+        let t0 = Instant::now();
+        Self::fft_parallel(&self.fft, &mut self.grid, &self.exec, Direction::Forward);
+        let fft_t = t0.elapsed().as_secs_f64();
+
+        // Phase 3: gather convolution, dynamic loop partitioning.
+        let t0 = Instant::now();
+        self.run_forward_convolution(out);
+        let conv_t = t0.elapsed().as_secs_f64();
+
+        self.last_forward = OpTimers {
+            scale: scale_t,
+            fft: fft_t,
+            conv: conv_t,
+            total: t_start.elapsed().as_secs_f64(),
+        };
+    }
+
+    /// Adjoint NUFFT: samples → image. Exact conjugate-transpose of
+    /// [`NufftPlan::forward`] (no normalization is applied; divide by
+    /// `Π M_d` for the inverse-FFT convention).
+    ///
+    /// # Panics
+    /// Panics if buffer lengths don't match the plan.
+    pub fn adjoint(&mut self, samples: &[Complex32], out: &mut [Complex32]) {
+        assert_eq!(samples.len(), self.num_samples(), "sample buffer length mismatch");
+        assert_eq!(out.len(), self.geo.image_len(), "image length mismatch");
+        let t_start = Instant::now();
+
+        // Phase 1: scatter convolution under the task graph.
+        let t0 = Instant::now();
+        self.grid.fill(Complex32::ZERO);
+        let stats = self.run_adjoint_convolution(samples);
+        let conv_t = t0.elapsed().as_secs_f64();
+        // Phase 2: unnormalized backward FFT (the exact FFT adjoint).
+        let t0 = Instant::now();
+        Self::fft_parallel(&self.fft, &mut self.grid, &self.exec, Direction::Backward);
+        let fft_t = t0.elapsed().as_secs_f64();
+
+        // Phase 3: extract + scale.
+        let t0 = Instant::now();
+        extract_scaled(&self.geo, &self.grid, &self.scale, out);
+        let scale_t = t0.elapsed().as_secs_f64();
+
+        self.last_adjoint = OpTimers {
+            scale: scale_t,
+            fft: fft_t,
+            conv: conv_t,
+            total: t_start.elapsed().as_secs_f64(),
+        };
+        self.last_stats = Some(stats);
+    }
+
+    /// Batched forward NUFFT over `C` images sharing this trajectory (the
+    /// multichannel/SENSE case): the per-sample interpolation windows
+    /// (Part 1) are computed once and reused across all channels.
+    ///
+    /// `images[c]` and `outs[c]` follow the same conventions as
+    /// [`NufftPlan::forward`]. Holds `C` oversampled grids concurrently.
+    ///
+    /// # Panics
+    /// Panics if `images.len() != outs.len()` or any buffer length is
+    /// wrong.
+    pub fn forward_batch(&mut self, images: &[&[Complex32]], outs: &mut [&mut [Complex32]]) {
+        assert_eq!(images.len(), outs.len(), "channel count mismatch");
+        let channels = images.len();
+        if channels == 0 {
+            return;
+        }
+        self.ensure_batch_grids(channels);
+        for c in 0..channels {
+            assert_eq!(images[c].len(), self.geo.image_len(), "image {c} length mismatch");
+            assert_eq!(outs[c].len(), self.num_samples(), "output {c} length mismatch");
+            let grid = &mut self.batch_grids[c];
+            grid.fill(Complex32::ZERO);
+            embed_scaled(&self.geo, images[c], &self.scale, grid);
+            Self::fft_parallel(&self.fft, grid, &self.exec, Direction::Forward);
+        }
+        // Gather: one Part 1 per sample, C Part 2 gathers.
+        let grids = &self.batch_grids[..channels];
+        let m = &self.geo.m;
+        let kernel = &self.kernel;
+        let wrad = self.cfg.w as f32;
+        let coords = &self.pre.coords;
+        let order = &self.pre.order;
+        let out_ptrs: Vec<SendPtr<Complex32>> =
+            outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())).collect();
+        self.exec.parallel_for(coords.len(), self.cfg.grain, |range, _w| {
+            for i in range {
+                let win: [Window; D] =
+                    core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
+                for (c, out_ptr) in out_ptrs.iter().enumerate() {
+                    let v = forward_gather(&grids[c], m, &win);
+                    // SAFETY: `order` is a permutation; each (c, i) writes a
+                    // distinct slot of channel c's output.
+                    unsafe { *out_ptr.get().add(order[i] as usize) = v };
+                }
+            }
+        });
+    }
+
+    /// Batched adjoint NUFFT over `C` sample vectors sharing this
+    /// trajectory; windows are computed once per sample and scattered into
+    /// all `C` grids under a single task-graph traversal.
+    ///
+    /// # Panics
+    /// Panics on any length mismatch.
+    pub fn adjoint_batch(&mut self, samples: &[&[Complex32]], outs: &mut [&mut [Complex32]]) {
+        assert_eq!(samples.len(), outs.len(), "channel count mismatch");
+        let channels = samples.len();
+        if channels == 0 {
+            return;
+        }
+        for c in 0..channels {
+            assert_eq!(samples[c].len(), self.num_samples(), "samples {c} length mismatch");
+            assert_eq!(outs[c].len(), self.geo.image_len(), "output {c} length mismatch");
+        }
+        self.ensure_batch_grids(channels);
+        for g in &mut self.batch_grids[..channels] {
+            g.fill(Complex32::ZERO);
+        }
+        {
+            let grid_len = self.grid.len();
+            let grid_ptrs: Vec<SendPtr<Complex32>> = self.batch_grids[..channels]
+                .iter_mut()
+                .map(|g| SendPtr(g.as_mut_ptr()))
+                .collect();
+            let m = &self.geo.m;
+            let kernel = &self.kernel;
+            let wrad = self.cfg.w as f32;
+            let pre = &self.pre;
+            let order = &pre.order;
+            let coords = &pre.coords;
+            // The batched path runs privatized tasks like normal tasks:
+            // their buffers are single-channel, and the TDG exclusion alone
+            // is sufficient for correctness. (Privatization's critical-path
+            // benefit matters for the scaling studies, not the batched
+            // solver whose per-task work is already C× larger.)
+            let mut graph = pre.graph.clone();
+            for t in 0..graph.len() {
+                graph.set_privatized(t, false);
+            }
+            self.exec.run_graph(&graph, self.cfg.policy, |t, _phase, _w| {
+                for i in pre.ranges[t].clone() {
+                    let win: [Window; D] =
+                        core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
+                    for (c, gp) in grid_ptrs.iter().enumerate() {
+                        // SAFETY: the task graph serializes adjacent tasks;
+                        // each task touches only its halo box of each grid.
+                        let grid =
+                            unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
+                        adjoint_scatter(grid, m, &win, samples[c][order[i] as usize]);
+                    }
+                }
+            });
+        }
+        for c in 0..channels {
+            let grid = &mut self.batch_grids[c];
+            Self::fft_parallel(&self.fft, grid, &self.exec, Direction::Backward);
+            extract_scaled(&self.geo, grid, &self.scale, outs[c]);
+        }
+    }
+
+    fn ensure_batch_grids(&mut self, channels: usize) {
+        let glen = self.geo.grid_len();
+        while self.batch_grids.len() < channels {
+            self.batch_grids.push(vec![Complex32::ZERO; glen]);
+        }
+    }
+
+    /// Runs only the adjoint *convolution* (grid zeroing + scatter under
+    /// the task graph) and returns its wall time in seconds. The grid
+    /// workspace afterwards holds the scattered data. Used by throughput
+    /// experiments (Table III) that must not pay for the FFT per
+    /// measurement.
+    pub fn adjoint_convolution_only(&mut self, samples: &[Complex32]) -> f64 {
+        assert_eq!(samples.len(), self.num_samples(), "sample buffer length mismatch");
+        let t0 = Instant::now();
+        self.grid.fill(Complex32::ZERO);
+        let stats = self.run_adjoint_convolution(samples);
+        let dt = t0.elapsed().as_secs_f64();
+        self.last_stats = Some(stats);
+        dt
+    }
+
+    /// Runs only the forward *convolution* (gather from the current grid
+    /// workspace contents) and returns its wall time in seconds.
+    pub fn forward_convolution_only(&mut self, out: &mut [Complex32]) -> f64 {
+        assert_eq!(out.len(), self.num_samples(), "sample buffer length mismatch");
+        let t0 = Instant::now();
+        self.run_forward_convolution(out);
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// Runs only Part 1 of the convolution (window/LUT computation) over
+    /// every sample and returns the elapsed seconds — the Figure 7
+    /// diagnostic.
+    pub fn part1_seconds(&self) -> f64 {
+        let wrad = self.cfg.w as f32;
+        let t0 = Instant::now();
+        let mut sink = 0.0f32;
+        for c in &self.pre.coords {
+            for d in 0..D {
+                let w = Window::compute(c[d], wrad, &self.kernel);
+                sink += w.w[0] + w.w[w.len - 1];
+            }
+        }
+        std::hint::black_box(sink);
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// Gather convolution over all samples (no timing, no FFT).
+    fn run_forward_convolution(&self, out: &mut [Complex32]) {
+        let grid = &self.grid;
+        let m = &self.geo.m;
+        let kernel = &self.kernel;
+        let wrad = self.cfg.w as f32;
+        let coords = &self.pre.coords;
+        let order = &self.pre.order;
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        self.exec.parallel_for(coords.len(), self.cfg.grain, |range, _w| {
+            for i in range {
+                let win: [Window; D] =
+                    core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
+                let v = forward_gather(grid, m, &win);
+                // SAFETY: `order` is a permutation, so every i writes a
+                // distinct slot of `out`.
+                unsafe { *out_ptr.get().add(order[i] as usize) = v };
+            }
+        });
+    }
+
+    /// Scatter convolution of all samples into the (pre-zeroed) grid under
+    /// the task graph, including the privatization protocol.
+    fn run_adjoint_convolution(&mut self, samples: &[Complex32]) -> RunStats {
+        let grid_ptr = SendPtr(self.grid.as_mut_ptr());
+        let grid_len = self.grid.len();
+        let m = &self.geo.m;
+        let kernel = &self.kernel;
+        let wrad = self.cfg.w as f32;
+        let pre = &self.pre;
+        let buf_of_task = &self.buf_of_task;
+        let buf_ptrs: Vec<(SendPtr<Complex32>, usize)> = self
+            .priv_bufs
+            .iter_mut()
+            .map(|b| (SendPtr(b.as_mut_ptr()), b.len()))
+            .collect();
+        let order = &pre.order;
+        let coords = &pre.coords;
+
+        self.exec.run_graph(&pre.graph, self.cfg.policy, |t, phase, _w| {
+            match phase {
+                TaskPhase::Normal => {
+                    // SAFETY: the task graph serializes adjacent tasks;
+                    // this task only touches its own halo box.
+                    let grid =
+                        unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
+                    for i in pre.ranges[t].clone() {
+                        let win: [Window; D] = core::array::from_fn(|d| {
+                            Window::compute(coords[i][d], wrad, kernel)
+                        });
+                        adjoint_scatter(grid, m, &win, samples[order[i] as usize]);
+                    }
+                }
+                TaskPhase::PrivateConvolve => {
+                    let region = pre.regions[t].expect("privatized task has region");
+                    let (ptr, len) = buf_ptrs[buf_of_task[t] as usize];
+                    // SAFETY: each privatized task owns its buffer
+                    // exclusively; phases of one task never overlap.
+                    let buf = unsafe { core::slice::from_raw_parts_mut(ptr.get(), len) };
+                    buf.fill(Complex32::ZERO);
+                    for i in pre.ranges[t].clone() {
+                        let win: [Window; D] = core::array::from_fn(|d| {
+                            Window::compute(coords[i][d], wrad, kernel)
+                        });
+                        adjoint_scatter_local(
+                            buf,
+                            &region.origin,
+                            &region.size,
+                            &win,
+                            samples[order[i] as usize],
+                        );
+                    }
+                }
+                TaskPhase::Reduce => {
+                    let region = pre.regions[t].expect("privatized task has region");
+                    let (ptr, len) = buf_ptrs[buf_of_task[t] as usize];
+                    // SAFETY: reductions run under the same exclusion
+                    // edges as normal tasks; the buffer was filled by
+                    // this task's convolve phase which has completed.
+                    let grid =
+                        unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
+                    let buf = unsafe { core::slice::from_raw_parts(ptr.get(), len) };
+                    reduce_local(grid, m, buf, &region.origin, &region.size);
+                }
+            }
+        })
+    }
+
+    /// Parallel n-dimensional FFT: lines of each axis sharded over the
+    /// executor.
+    fn fft_parallel(fft: &FftNd, data: &mut [Complex32], exec: &Executor, dir: Direction) {
+        let base = SendPtr(data.as_mut_ptr());
+        for axis in 0..fft.shape().len() {
+            let lines = fft.num_lines(axis);
+            let grain = (lines / (4 * exec.threads())).clamp(1, 64);
+            exec.parallel_for(lines, grain, |range, _w| {
+                let mut scratch = vec![Complex32::ZERO; fft.scratch_len()];
+                for line in range {
+                    // SAFETY: lines of one axis are pairwise disjoint; the
+                    // axes are processed with a barrier between them
+                    // (parallel_for joins before returning).
+                    unsafe { fft.transform_line_raw(base.get(), axis, line, &mut scratch, dir) };
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Roll-off correction ("scaling function", §II-B) with folded chop.
+//!
+//! Spectral convolution with the compact kernel apodizes the image by the
+//! kernel's continuous Fourier transform: position `n` (centered) is
+//! attenuated by `Π_d Â(n_d / M_d)`. The scale array precompensates by the
+//! pointwise inverse — computed from the closed-form KB transform rather
+//! than the paper's numeric delta-regridding, which we keep as a test-side
+//! cross-check.
+//!
+//! Two further factors are folded into the same real array so the hot path
+//! applies a single multiply per element:
+//!
+//! * the chop `(−1)^{Σ_d n_d}`, which centers the spectrum: grid bin `m`
+//!   then corresponds to ν = m/M − 1/2, so trajectory coordinates map to
+//!   grid coordinates by the affine `u = (ν + 1/2)·M`;
+//! * nothing else — FFT normalization is deliberately *not* included, so
+//!   the adjoint stays the exact conjugate-transpose of the forward.
+
+use crate::grid::{for_each_index, Geometry};
+use crate::kernel::KbKernel;
+
+/// Builds the combined scale array (roll-off ⁻¹ × chop) over the image.
+///
+/// Entry at row-major position `pos` is
+/// `(−1)^{Σ(pos_d − N_d/2)} · Π_d 1/Â((pos_d − N_d/2)/M_d)`.
+pub fn build_scale<const D: usize>(geo: &Geometry<D>, kernel: &KbKernel) -> Vec<f32> {
+    // Precompute per-dimension 1D factors, then take the outer product.
+    let mut per_dim: Vec<Vec<f64>> = Vec::with_capacity(D);
+    for d in 0..D {
+        let n = geo.n[d];
+        let m = geo.m[d] as f64;
+        let f: Vec<f64> = (0..n)
+            .map(|pos| {
+                let c = pos as f64 - (n / 2) as f64; // centered index
+                let a = kernel.fourier(c / m);
+                assert!(
+                    a.abs() > 1e-12,
+                    "kernel FT vanishes inside the image band (dim {d}, n={c}); \
+                     increase oversampling or kernel width"
+                );
+                let sign = if (pos + n / 2).is_multiple_of(2) { 1.0 } else { -1.0 };
+                sign / a
+            })
+            .collect();
+        per_dim.push(f);
+    }
+    let mut out = vec![0.0f32; geo.image_len()];
+    for_each_index(&geo.n, |flat, idx| {
+        let mut v = 1.0f64;
+        for d in 0..D {
+            v *= per_dim[d][idx[d]];
+        }
+        out[flat] = v as f32;
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_fft::{naive::naive_dft64, Direction};
+    use nufft_math::Complex64;
+
+    #[test]
+    fn scale_is_symmetric_in_magnitude() {
+        let geo = Geometry::new([16], 2.0);
+        let k = KbKernel::new(4.0, 2.0);
+        let s = build_scale(&geo, &k);
+        // |s| is symmetric about the center index N/2.
+        for i in 1..8 {
+            let a = s[8 - i].abs();
+            let b = s[8 + i].abs();
+            assert!((a - b) / a < 1e-5, "asymmetric at ±{i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn chop_sign_alternates() {
+        let geo = Geometry::new([8], 2.0);
+        let k = KbKernel::new(4.0, 2.0);
+        let s = build_scale(&geo, &k);
+        for i in 0..7 {
+            assert!(s[i] * s[i + 1] < 0.0, "no alternation at {i}");
+        }
+        // Center (pos = N/2, n = 0) is positive: sign = (−1)^{N/2 + N/2}.
+        assert!(s[4] > 0.0);
+    }
+
+    #[test]
+    fn magnitude_grows_toward_image_edge() {
+        // The roll-off correction compensates edge attenuation, so |s| is
+        // minimal at the center and grows monotonically outward.
+        let geo = Geometry::new([32], 2.0);
+        let k = KbKernel::new(4.0, 2.0);
+        let s = build_scale(&geo, &k);
+        let mags: Vec<f32> = s.iter().map(|x| x.abs()).collect();
+        for i in 16..31 {
+            assert!(mags[i + 1] >= mags[i], "not growing at {i}");
+        }
+        assert!(mags[31] > mags[16]);
+    }
+
+    #[test]
+    fn separable_outer_product_in_2d() {
+        let geo2 = Geometry::new([4, 8], 2.0);
+        let k = KbKernel::new(2.0, 2.0);
+        let s2 = build_scale(&geo2, &k);
+        let sa = build_scale(&Geometry::new([4], 2.0), &k);
+        let sb = build_scale(&Geometry::new([8], 2.0), &k);
+        for i in 0..4 {
+            for j in 0..8 {
+                let want = sa[i] * sb[j];
+                let got = s2[i * 8 + j];
+                assert!((got - want).abs() < 1e-6 * want.abs(), "({i},{j})");
+            }
+        }
+    }
+
+    /// Cross-check the analytic roll-off against the paper's numeric recipe:
+    /// grid a delta at the spectral center via the kernel, inverse-DFT, and
+    /// compare the resulting image-domain apodization with 1/scale.
+    #[test]
+    fn analytic_rolloff_matches_numeric_delta_regridding() {
+        let n = 24usize;
+        let alpha = 2.0;
+        let m = (n as f64 * alpha) as usize;
+        let w = 4.0;
+        let k = KbKernel::new(w, alpha);
+        let geo = Geometry::new([n], alpha);
+        let s = build_scale(&geo, &k);
+
+        // Scatter a unit sample at the exact grid center u = M/2 (ν = 0).
+        let u = m as f64 / 2.0;
+        let mut grid = vec![Complex64::ZERO; m];
+        let x1 = (u - w).ceil() as i64;
+        let x2 = (u + w).floor() as i64;
+        for nx in x1..=x2 {
+            let kx = nx.rem_euclid(m as i64) as usize;
+            grid[kx] += Complex64::from_re(k.eval_exact(nx as f64 - u));
+        }
+        // Backward DFT and read the centered image region; the chop in the
+        // scale accounts for the center offset, so apply it symmetrically:
+        // apodization a[pos] should satisfy a[pos] · s[pos] ≈ const = 1.
+        let img = naive_dft64(&grid, Direction::Backward);
+        for pos in 0..n {
+            let wrapped = (pos + m - n / 2) % m;
+            let a = img[wrapped];
+            let prod = a.re * s[pos] as f64 // chop sign folds the (−1)^n phase
+                - 0.0;
+            // The imaginary part must vanish (symmetric real kernel).
+            assert!(a.im.abs() < 1e-9 * a.re.abs().max(1e-12), "pos {pos}: {a:?}");
+            assert!(
+                (prod.abs() - 1.0).abs() < 2e-3,
+                "pos {pos}: apodization×scale = {prod}, expected ±1"
+            );
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! NUFFT preprocessing (§III-B, §III-D, Figure 14).
+//!
+//! Run once per trajectory and reused across every operator call:
+//!
+//! 1. partition the grid (variable- or fixed-width, [`crate::partition`]);
+//! 2. bin samples into partition tasks (stable counting sort) and reorder
+//!    them within each task in tiled scan-line order for cache locality
+//!    (§III-D);
+//! 3. build the cyclic Gray-code [`TaskGraph`] with task weights;
+//! 4. apply the selective-privatization criterion (Eq. 6): tasks holding
+//!    more than `total / (threads · 2^{d+1})` samples get a private halo
+//!    buffer and a decoupled reduction.
+
+use crate::partition::Partitions;
+use nufft_parallel::graph::TaskGraph;
+
+/// A privatized task's local buffer geometry: the task cell grown by the
+/// kernel radius on every side, in *unwrapped* coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region<const D: usize> {
+    /// Unwrapped starting coordinate (can be negative).
+    pub origin: [i32; D],
+    /// Extent per dimension.
+    pub size: [usize; D],
+}
+
+impl<const D: usize> Region<D> {
+    /// Buffer length in elements.
+    pub fn len(&self) -> usize {
+        self.size.iter().product()
+    }
+
+    /// True for degenerate zero-size regions (never produced in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Preprocessing knobs (a subset of the plan config).
+#[derive(Clone, Copy, Debug)]
+pub struct PreprocessConfig {
+    /// Desired partitions per dimension (`P` in Figure 5).
+    pub partitions_per_dim: usize,
+    /// Kernel radius `W` — sets the minimum partition width `2⌈W⌉+1` and
+    /// halo sizes.
+    pub w: f64,
+    /// Fixed- instead of variable-width partitioning (Figure 11 baseline).
+    pub fixed_partitions: bool,
+    /// Enable selective privatization (Eq. 6).
+    pub privatization: bool,
+    /// Worker count `P` used in the privatization threshold.
+    pub threads: usize,
+    /// Reorder samples within tasks in tiled scan-line order (§III-D).
+    pub reorder: bool,
+    /// Tile edge (grid cells) for the reorder; the paper uses "one level of
+    /// tiling" over the scan-line order.
+    pub tile: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            partitions_per_dim: 8,
+            w: 4.0,
+            fixed_partitions: false,
+            privatization: true,
+            threads: 1,
+            reorder: true,
+            tile: 16,
+        }
+    }
+}
+
+/// The reusable preprocessing product.
+#[derive(Clone, Debug)]
+pub struct Preprocess<const D: usize> {
+    /// Partition boundaries.
+    pub parts: Partitions<D>,
+    /// Cyclic Gray-code dependency graph; weights are task sample counts.
+    pub graph: TaskGraph,
+    /// Permutation: internal position `i` holds original sample
+    /// `order[i]`.
+    pub order: Vec<u32>,
+    /// Per task: the range of internal positions it owns.
+    pub ranges: Vec<core::ops::Range<usize>>,
+    /// Coordinates in internal order (grid units).
+    pub coords: Vec<[f32; D]>,
+    /// Per task: the privatized halo region, if selected.
+    pub regions: Vec<Option<Region<D>>>,
+    /// The Eq. 6 threshold used (samples per task).
+    pub threshold: usize,
+}
+
+/// Runs the full preprocessing pipeline.
+///
+/// `coords` are sample positions in oversampled-grid units `[0, M)` per
+/// dimension.
+///
+/// # Panics
+/// Panics if any coordinate is out of range or non-finite.
+pub fn preprocess<const D: usize>(
+    coords: &[[f32; D]],
+    m: [usize; D],
+    cfg: &PreprocessConfig,
+) -> Preprocess<D> {
+    let wc = cfg.w.ceil() as usize;
+    let min_width = 2 * wc + 1;
+    for (p, c) in coords.iter().enumerate() {
+        for d in 0..D {
+            assert!(
+                c[d].is_finite() && c[d] >= 0.0 && c[d] < m[d] as f32,
+                "sample {p} coordinate {} out of [0, {}) in dim {d}",
+                c[d],
+                m[d]
+            );
+        }
+    }
+
+    let parts = if cfg.fixed_partitions {
+        Partitions::fixed(m, cfg.partitions_per_dim, min_width)
+    } else {
+        Partitions::variable(coords, m, cfg.partitions_per_dim, min_width)
+    };
+    let dims = parts.counts();
+    let mut graph = TaskGraph::new_cyclic(&dims, &[true; D]);
+    let n_tasks = graph.len();
+
+    // Bin samples into tasks (counting sort, stable).
+    let mut task_of = vec![0u32; coords.len()];
+    let mut counts = vec![0usize; n_tasks];
+    for (p, c) in coords.iter().enumerate() {
+        let t = graph.flatten(&parts.locate(c));
+        task_of[p] = t as u32;
+        counts[t] += 1;
+    }
+    let mut starts = vec![0usize; n_tasks + 1];
+    for t in 0..n_tasks {
+        starts[t + 1] = starts[t] + counts[t];
+    }
+    let ranges: Vec<core::ops::Range<usize>> =
+        (0..n_tasks).map(|t| starts[t]..starts[t + 1]).collect();
+    let mut fill = starts.clone();
+    let mut order = vec![0u32; coords.len()];
+    for (p, &t) in task_of.iter().enumerate() {
+        order[fill[t as usize]] = p as u32;
+        fill[t as usize] += 1;
+    }
+
+    // Within-task tiled scan-line reorder (§III-D).
+    if cfg.reorder {
+        let tile = cfg.tile.max(1) as u32;
+        for r in &ranges {
+            order[r.clone()].sort_by_key(|&p| {
+                let c = &coords[p as usize];
+                let mut key_hi = 0u64;
+                let mut key_lo = 0u64;
+                for d in 0..D {
+                    let cell = c[d] as u32;
+                    key_hi = key_hi * 4096 + (cell / tile) as u64;
+                    key_lo = key_lo * 4096 + cell as u64;
+                }
+                (key_hi, key_lo)
+            });
+        }
+    }
+
+    let permuted: Vec<[f32; D]> = order.iter().map(|&p| coords[p as usize]).collect();
+
+    for (t, &c) in counts.iter().enumerate() {
+        graph.set_weight(t, c as u64);
+    }
+
+    // Selective privatization (Eq. 6): threshold = M / (P · 2^{d+1}).
+    let threshold = (coords.len() / (cfg.threads.max(1) * (1 << (D + 1)))).max(1);
+    let mut regions: Vec<Option<Region<D>>> = vec![None; n_tasks];
+    if cfg.privatization {
+        for t in 0..n_tasks {
+            if counts[t] > threshold {
+                let idx_arr: [usize; D] = graph.unflatten(t).try_into().expect("dims match D");
+                let (start, end) = parts.cell(&idx_arr);
+                let mut origin = [0i32; D];
+                let mut size = [0usize; D];
+                let mut fits = true;
+                for d in 0..D {
+                    origin[d] = start[d] as i32 - wc as i32;
+                    size[d] = end[d] - start[d] + 2 * wc;
+                    // A halo wider than the grid would self-overlap under
+                    // wrapping; skip privatization for such (tiny-grid)
+                    // tasks.
+                    if size[d] > m[d] {
+                        fits = false;
+                    }
+                }
+                if fits {
+                    graph.set_privatized(t, true);
+                    regions[t] = Some(Region { origin, size });
+                }
+            }
+        }
+    }
+
+    Preprocess { parts, graph, order, ranges, coords: permuted, regions, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_coords(n: usize, m: usize) -> Vec<[f32; 2]> {
+        (0..n)
+            .map(|i| {
+                let a = (i as f32 * 0.61803) % 1.0;
+                let b = (i as f32 * 0.41421) % 1.0;
+                [a * m as f32, b * m as f32]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binning_is_complete_and_consistent() {
+        let coords = demo_coords(500, 64);
+        let cfg = PreprocessConfig { partitions_per_dim: 4, w: 2.0, ..Default::default() };
+        let pre = preprocess(&coords, [64, 64], &cfg);
+        // Permutation property.
+        let mut seen = vec![false; 500];
+        for &p in &pre.order {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Ranges tile 0..n and agree with weights.
+        let mut total = 0;
+        for (t, r) in pre.ranges.iter().enumerate() {
+            assert_eq!(r.start, total);
+            total = r.end;
+            assert_eq!(pre.graph.weight(t), (r.end - r.start) as u64);
+        }
+        assert_eq!(total, 500);
+        // Every sample's permuted coordinate lies in its task cell.
+        for (t, r) in pre.ranges.iter().enumerate() {
+            let idx: [usize; 2] = pre.graph.unflatten(t).try_into().unwrap();
+            let (start, end) = pre.parts.cell(&idx);
+            for i in r.clone() {
+                let c = pre.coords[i];
+                for d in 0..2 {
+                    assert!(start[d] as f32 <= c[d] && c[d] < end[d] as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_improves_sortedness_within_tasks() {
+        let coords = demo_coords(2000, 128);
+        let base = PreprocessConfig {
+            partitions_per_dim: 2,
+            w: 2.0,
+            reorder: false,
+            ..Default::default()
+        };
+        let no = preprocess(&coords, [128, 128], &base);
+        let yes = preprocess(&coords, [128, 128], &PreprocessConfig { reorder: true, ..base });
+        // Measure locality as the mean jump distance between consecutive
+        // samples of a task.
+        let jump = |pre: &Preprocess<2>| -> f64 {
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for r in &pre.ranges {
+                for i in r.start + 1..r.end {
+                    let a = pre.coords[i - 1];
+                    let b = pre.coords[i];
+                    acc += ((a[0] - b[0]).abs() + (a[1] - b[1]).abs()) as f64;
+                    n += 1;
+                }
+            }
+            acc / n.max(1) as f64
+        };
+        assert!(
+            jump(&yes) < 0.5 * jump(&no),
+            "reorder should shrink consecutive-sample distance: {} vs {}",
+            jump(&yes),
+            jump(&no)
+        );
+    }
+
+    #[test]
+    fn privatization_marks_only_heavy_tasks() {
+        // Concentrate samples in one cell.
+        let mut coords = vec![[10.0f32, 10.0]; 900];
+        for i in 0..100 {
+            coords.push([((i * 7) % 64) as f32, ((i * 13) % 64) as f32]);
+        }
+        let cfg = PreprocessConfig {
+            partitions_per_dim: 4,
+            w: 2.0,
+            threads: 4,
+            privatization: true,
+            ..Default::default()
+        };
+        let pre = preprocess(&coords, [64, 64], &cfg);
+        assert!(pre.graph.num_privatized() >= 1);
+        for t in 0..pre.graph.len() {
+            if pre.graph.privatized(t) {
+                assert!(pre.graph.weight(t) as usize > pre.threshold);
+                let region = pre.regions[t].expect("privatized task has a region");
+                // Region covers cell + halo.
+                let idx: [usize; 2] = pre.graph.unflatten(t).try_into().unwrap();
+                let (start, end) = pre.parts.cell(&idx);
+                for d in 0..2 {
+                    assert_eq!(region.origin[d], start[d] as i32 - 2);
+                    assert_eq!(region.size[d], end[d] - start[d] + 4);
+                }
+            } else {
+                assert!(pre.regions[t].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn privatization_disabled_marks_nothing() {
+        let coords = vec![[10.0f32, 10.0]; 1000];
+        let cfg = PreprocessConfig {
+            partitions_per_dim: 4,
+            w: 2.0,
+            privatization: false,
+            ..Default::default()
+        };
+        let pre = preprocess(&coords, [64, 64], &cfg);
+        assert_eq!(pre.graph.num_privatized(), 0);
+    }
+
+    #[test]
+    fn windows_of_task_samples_stay_inside_region() {
+        use crate::conv::Window;
+        use crate::kernel::KbKernel;
+        let coords = demo_coords(1500, 64);
+        let cfg = PreprocessConfig {
+            partitions_per_dim: 4,
+            w: 2.0,
+            threads: 16,
+            ..Default::default()
+        };
+        let pre = preprocess(&coords, [64, 64], &cfg);
+        let kernel = KbKernel::new(2.0, 2.0);
+        let mut checked = 0;
+        for t in 0..pre.graph.len() {
+            let Some(region) = pre.regions[t] else { continue };
+            for i in pre.ranges[t].clone() {
+                let c = pre.coords[i];
+                for d in 0..2 {
+                    let w = Window::compute(c[d], 2.0, &kernel);
+                    assert!(w.start >= region.origin[d], "tap below region");
+                    assert!(
+                        w.start + w.len as i32 <= region.origin[d] + region.size[d] as i32,
+                        "tap above region"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no privatized samples checked");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 64)")]
+    fn out_of_range_coordinates_rejected() {
+        let coords = vec![[64.0f32, 0.0]];
+        let _ = preprocess(&coords, [64, 64], &PreprocessConfig::default());
+    }
+
+    #[test]
+    fn fixed_partitioning_path_works() {
+        let coords = demo_coords(300, 64);
+        let cfg = PreprocessConfig {
+            partitions_per_dim: 4,
+            w: 2.0,
+            fixed_partitions: true,
+            ..Default::default()
+        };
+        let pre = preprocess(&coords, [64, 64], &cfg);
+        assert_eq!(pre.parts.counts(), [4, 4]);
+        let widths: Vec<usize> =
+            pre.parts.bounds(0).windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(widths.iter().all(|&w| w == 16));
+    }
+}

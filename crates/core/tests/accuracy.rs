@@ -1,0 +1,332 @@
+//! End-to-end NUFFT validation against the direct DTFT.
+//!
+//! The operator under test approximates
+//! `F(ν) = Σ_{n ∈ [-N/2,N/2)^D} f[n] · e^{-2πi ν·n}`; its adjoint is the
+//! exact conjugate transpose. These tests pin both properties and verify
+//! that every scheduler/vectorization configuration computes the same
+//! numbers.
+
+use nufft_core::{NufftConfig, NufftPlan};
+use nufft_math::error::rel_l2_mixed;
+use nufft_math::{Complex32, Complex64};
+use nufft_parallel::graph::QueuePolicy;
+
+/// Quasi-random trajectory in [-1/2, 1/2)^D via an additive recurrence.
+fn qr_traj<const D: usize>(count: usize, seed: u64) -> Vec<[f64; D]> {
+    const ALPHAS: [f64; 3] = [0.618_033_988_749_894_9, 0.414_213_562_373_095, 0.259_921_049_894_873_2];
+    (0..count)
+        .map(|i| {
+            core::array::from_fn(|d| {
+                let x = ((i as f64 + 1.0) * ALPHAS[d] + seed as f64 * 0.137) % 1.0;
+                // Bias toward the center (center-dense like real datasets):
+                // average of two uniforms is triangular on [0,1).
+                let y = (x + ((i as f64 * ALPHAS[(d + 1) % 3]) % 1.0)) / 2.0;
+                y - 0.5
+            })
+        })
+        .collect()
+}
+
+fn demo_image(len: usize) -> Vec<Complex32> {
+    (0..len)
+        .map(|i| {
+            let x = i as f32;
+            Complex32::new((0.05 * x).sin() + 0.3, (0.03 * x).cos() * 0.5)
+        })
+        .collect()
+}
+
+/// Direct DTFT with centered indices — the oracle.
+fn direct_forward<const D: usize>(
+    image: &[Complex32],
+    n: [usize; D],
+    traj: &[[f64; D]],
+) -> Vec<Complex64> {
+    let mut strides = [1usize; D];
+    for d in (0..D.saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * n[d + 1];
+    }
+    traj.iter()
+        .map(|nu| {
+            let mut acc = Complex64::ZERO;
+            for (flat, &v) in image.iter().enumerate() {
+                let mut phase = 0.0;
+                let mut rem = flat;
+                for d in 0..D {
+                    let pos = rem / strides[d];
+                    rem %= strides[d];
+                    let centered = pos as f64 - (n[d] / 2) as f64;
+                    phase += nu[d] * centered;
+                }
+                acc += v.to_f64() * Complex64::cis(-core::f64::consts::TAU * phase);
+            }
+            acc
+        })
+        .collect()
+}
+
+fn cfg(threads: usize, w: f64) -> NufftConfig {
+    NufftConfig { threads, w, ..NufftConfig::default() }
+}
+
+#[test]
+fn forward_matches_direct_dtft_1d() {
+    let n = [64usize];
+    let traj = qr_traj::<1>(120, 3);
+    let image = demo_image(64);
+    let mut plan = NufftPlan::new(n, &traj, cfg(1, 4.0));
+    let mut got = vec![Complex32::ZERO; traj.len()];
+    plan.forward(&image, &mut got);
+    let want = direct_forward(&image, n, &traj);
+    let err = rel_l2_mixed(&got, &want);
+    assert!(err < 2e-4, "1D forward error {err}");
+}
+
+#[test]
+fn forward_matches_direct_dtft_2d() {
+    let n = [24usize, 24];
+    let traj = qr_traj::<2>(300, 1);
+    let image = demo_image(24 * 24);
+    let mut plan = NufftPlan::new(n, &traj, cfg(2, 4.0));
+    let mut got = vec![Complex32::ZERO; traj.len()];
+    plan.forward(&image, &mut got);
+    let want = direct_forward(&image, n, &traj);
+    let err = rel_l2_mixed(&got, &want);
+    assert!(err < 2e-4, "2D forward error {err}");
+}
+
+#[test]
+fn forward_matches_direct_dtft_3d() {
+    let n = [12usize, 12, 12];
+    let traj = qr_traj::<3>(400, 7);
+    let image = demo_image(12 * 12 * 12);
+    let mut plan = NufftPlan::new(n, &traj, cfg(2, 4.0));
+    let mut got = vec![Complex32::ZERO; traj.len()];
+    plan.forward(&image, &mut got);
+    let want = direct_forward(&image, n, &traj);
+    let err = rel_l2_mixed(&got, &want);
+    assert!(err < 3e-4, "3D forward error {err}");
+}
+
+#[test]
+fn accuracy_improves_with_kernel_width() {
+    let n = [32usize, 32];
+    let traj = qr_traj::<2>(200, 5);
+    let image = demo_image(32 * 32);
+    let want = direct_forward(&image, n, &traj);
+    let mut errs = Vec::new();
+    for w in [2.0f64, 4.0, 6.0] {
+        let mut plan = NufftPlan::new(n, &traj, cfg(1, w));
+        let mut got = vec![Complex32::ZERO; traj.len()];
+        plan.forward(&image, &mut got);
+        errs.push(rel_l2_mixed(&got, &want));
+    }
+    // W=2 is coarser than W=4; W=6 saturates near f32 round-off, so only
+    // require monotone non-degradation there.
+    assert!(errs[0] > errs[1], "errors not improving: {errs:?}");
+    assert!(errs[1] < 1e-3 && errs[2] < 1e-3, "{errs:?}");
+}
+
+#[test]
+fn kaiser_bessel_beats_gaussian_at_equal_width() {
+    // The literature result (and why the paper uses KB): at equal kernel
+    // radius, Kaiser–Bessel with Beatty β is more accurate than the
+    // Greengard–Lee Gaussian.
+    let n = [32usize, 32];
+    let traj = qr_traj::<2>(250, 13);
+    let image = demo_image(32 * 32);
+    let want = direct_forward(&image, n, &traj);
+    let mut errs = Vec::new();
+    for kernel in [
+        nufft_core::KernelChoice::KaiserBessel,
+        nufft_core::KernelChoice::Gaussian,
+    ] {
+        let c = NufftConfig { kernel, ..cfg(1, 4.0) };
+        let mut plan = NufftPlan::new(n, &traj, c);
+        let mut got = vec![Complex32::ZERO; traj.len()];
+        plan.forward(&image, &mut got);
+        errs.push(rel_l2_mixed(&got, &want));
+    }
+    let (kb, gauss) = (errs[0], errs[1]);
+    assert!(kb < gauss, "KB ({kb}) should beat Gaussian ({gauss}) at W=4");
+    // Both must still be usable kernels.
+    assert!(gauss < 5e-3, "Gaussian error too large: {gauss}");
+}
+
+#[test]
+fn gaussian_kernel_adjoint_is_still_exact() {
+    // The adjointness property is structural — it must hold for any kernel.
+    let n = [16usize, 16];
+    let traj = qr_traj::<2>(120, 17);
+    let x = demo_image(256);
+    let y: Vec<Complex32> =
+        (0..120).map(|i| Complex32::new((i as f32 * 0.9).sin(), 0.4)).collect();
+    let c = NufftConfig { kernel: nufft_core::KernelChoice::Gaussian, ..cfg(2, 3.0) };
+    let mut plan = NufftPlan::new(n, &traj, c);
+    let mut ax = vec![Complex32::ZERO; 120];
+    plan.forward(&x, &mut ax);
+    let mut aty = vec![Complex32::ZERO; 256];
+    plan.adjoint(&y, &mut aty);
+    let dot = |a: &[Complex32], b: &[Complex32]| -> Complex64 {
+        a.iter().zip(b).map(|(&p, &q)| p.to_f64().conj() * q.to_f64()).sum()
+    };
+    let lhs = dot(&ax, &y);
+    let rhs = dot(&x, &aty);
+    assert!((lhs - rhs).abs() / lhs.abs().max(1e-9) < 1e-4);
+}
+
+#[test]
+fn adjoint_is_exact_conjugate_transpose() {
+    // ⟨A x, y⟩ == ⟨x, A† y⟩ for random x (image), y (samples).
+    let n = [16usize, 16];
+    let traj = qr_traj::<2>(150, 11);
+    let x = demo_image(256);
+    let y: Vec<Complex32> = (0..150)
+        .map(|i| Complex32::new((i as f32 * 0.7).sin(), (i as f32 * 0.3).cos()))
+        .collect();
+    let mut plan = NufftPlan::new(n, &traj, cfg(2, 3.0));
+
+    let mut ax = vec![Complex32::ZERO; 150];
+    plan.forward(&x, &mut ax);
+    let mut aty = vec![Complex32::ZERO; 256];
+    plan.adjoint(&y, &mut aty);
+
+    let dot = |a: &[Complex32], b: &[Complex32]| -> Complex64 {
+        a.iter().zip(b).map(|(&p, &q)| p.to_f64().conj() * q.to_f64()).sum()
+    };
+    let lhs = dot(&ax, &y);
+    let rhs = dot(&x, &aty);
+    let scale = lhs.abs().max(1e-9);
+    assert!(
+        (lhs - rhs).abs() / scale < 1e-4,
+        "adjoint mismatch: ⟨Ax,y⟩ = {lhs:?} vs ⟨x,A†y⟩ = {rhs:?}"
+    );
+}
+
+#[test]
+fn every_configuration_computes_the_same_operator() {
+    let n = [20usize, 20];
+    let traj = qr_traj::<2>(500, 2);
+    let image = demo_image(400);
+    let samples: Vec<Complex32> = (0..500)
+        .map(|i| Complex32::new(1.0 / (1.0 + i as f32), (i as f32 * 0.13).sin()))
+        .collect();
+
+    // Reference: single-thread, default everything.
+    let mut reference_fwd = vec![Complex32::ZERO; 500];
+    let mut reference_adj = vec![Complex32::ZERO; 400];
+    {
+        let mut plan = NufftPlan::new(n, &traj, cfg(1, 3.0));
+        plan.forward(&image, &mut reference_fwd);
+        plan.adjoint(&samples, &mut reference_adj);
+    }
+
+    let variants: Vec<(&str, NufftConfig)> = vec![
+        ("4 threads", cfg(4, 3.0)),
+        ("fifo", NufftConfig { policy: QueuePolicy::Fifo, ..cfg(3, 3.0) }),
+        ("fixed partitions", NufftConfig { fixed_partitions: true, ..cfg(3, 3.0) }),
+        ("no privatization", NufftConfig { privatization: false, ..cfg(3, 3.0) }),
+        ("no reorder", NufftConfig { reorder: false, ..cfg(3, 3.0) }),
+        (
+            "explicit partitions",
+            NufftConfig { partitions_per_dim: Some(6), ..cfg(4, 3.0) },
+        ),
+    ];
+    for (name, c) in variants {
+        let mut plan = NufftPlan::new(n, &traj, c);
+        let mut fwd = vec![Complex32::ZERO; 500];
+        plan.forward(&image, &mut fwd);
+        let mut adj = vec![Complex32::ZERO; 400];
+        plan.adjoint(&samples, &mut adj);
+        let ef = nufft_math::error::rel_l2_c32(&fwd, &reference_fwd);
+        let ea = nufft_math::error::rel_l2_c32(&adj, &reference_adj);
+        assert!(ef < 1e-5, "{name}: forward diverged by {ef}");
+        assert!(ea < 1e-5, "{name}: adjoint diverged by {ea}");
+    }
+}
+
+#[test]
+fn scalar_and_simd_agree() {
+    let n = [16usize, 16, 16];
+    let traj = qr_traj::<3>(600, 9);
+    let samples: Vec<Complex32> =
+        (0..600).map(|i| Complex32::new((i as f32).cos(), 0.5)).collect();
+    let mut adj_by_isa = Vec::new();
+    let detected = nufft_simd::detect_isa();
+    for isa in [
+        nufft_simd::IsaLevel::Scalar,
+        nufft_simd::IsaLevel::Sse2,
+        nufft_simd::IsaLevel::Avx2Fma,
+    ] {
+        if isa > detected {
+            continue;
+        }
+        nufft_simd::set_isa_override(isa).unwrap();
+        let mut plan = NufftPlan::new(n, &traj, cfg(2, 4.0));
+        let mut adj = vec![Complex32::ZERO; 16 * 16 * 16];
+        plan.adjoint(&samples, &mut adj);
+        adj_by_isa.push((isa, adj));
+    }
+    nufft_simd::set_isa_override(detected).unwrap();
+    for (isa, adj) in &adj_by_isa[1..] {
+        let e = nufft_math::error::rel_l2_c32(adj, &adj_by_isa[0].1);
+        assert!(e < 1e-5, "{isa:?} diverged from scalar by {e}");
+    }
+}
+
+#[test]
+fn timers_and_stats_are_recorded() {
+    let n = [16usize, 16];
+    let traj = qr_traj::<2>(300, 4);
+    let mut plan = NufftPlan::new(n, &traj, cfg(2, 2.0));
+    let image = demo_image(256);
+    let mut s = vec![Complex32::ZERO; 300];
+    plan.forward(&image, &mut s);
+    let ft = plan.forward_timers();
+    assert!(ft.total > 0.0 && ft.fft > 0.0 && ft.conv > 0.0);
+    let mut img = vec![Complex32::ZERO; 256];
+    plan.adjoint(&s, &mut img);
+    let at = plan.adjoint_timers();
+    assert!(at.total >= at.conv);
+    let stats = plan.last_run_stats().expect("adjoint records stats");
+    assert_eq!(stats.worker_busy.len(), 2);
+    assert!(plan.preprocess_seconds() > 0.0);
+    assert!(plan.part1_seconds() > 0.0);
+}
+
+#[test]
+fn zero_image_maps_to_zero_everything() {
+    let n = [8usize, 8];
+    let traj = qr_traj::<2>(50, 6);
+    let mut plan = NufftPlan::new(n, &traj, cfg(1, 2.0));
+    let image = vec![Complex32::ZERO; 64];
+    let mut s = vec![Complex32::new(9.0, 9.0); 50];
+    plan.forward(&image, &mut s);
+    assert!(s.iter().all(|z| z.re == 0.0 && z.im == 0.0));
+}
+
+#[test]
+fn single_sample_trajectory_works() {
+    let n = [16usize];
+    let traj = vec![[0.25f64]];
+    let image = demo_image(16);
+    let mut plan = NufftPlan::new(n, &traj, cfg(1, 2.0));
+    let mut got = vec![Complex32::ZERO; 1];
+    plan.forward(&image, &mut got);
+    let want = direct_forward(&image, n, &traj);
+    assert!((got[0].to_f64() - want[0]).abs() < 1e-3 * want[0].abs().max(1.0));
+}
+
+#[test]
+fn dc_sample_equals_image_sum() {
+    // F(0) = Σ f[n].
+    let n = [12usize, 12];
+    let traj = vec![[0.0f64, 0.0]];
+    let image = demo_image(144);
+    let mut plan = NufftPlan::new(n, &traj, cfg(1, 4.0));
+    let mut got = vec![Complex32::ZERO; 1];
+    plan.forward(&image, &mut got);
+    let want: Complex64 = image.iter().map(|z| z.to_f64()).sum();
+    let err = (got[0].to_f64() - want).abs() / want.abs();
+    assert!(err < 1e-4, "DC mismatch: {:?} vs {want:?}", got[0]);
+}

@@ -1,0 +1,137 @@
+//! Batched (multichannel) operators must agree exactly with per-channel
+//! application of the single-channel operators.
+
+use nufft_core::{NufftConfig, NufftPlan};
+use nufft_math::error::rel_l2_c32;
+use nufft_math::Complex32;
+
+fn traj2(count: usize) -> Vec<[f64; 2]> {
+    (0..count)
+        .map(|i| {
+            [
+                ((i as f64 * 0.618) % 1.0) - 0.5,
+                ((i as f64 * 0.414) % 1.0) - 0.5,
+            ]
+        })
+        .collect()
+}
+
+fn channel_image(n: usize, c: usize) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| Complex32::new((i as f32 * 0.1 + c as f32).sin(), (c as f32 * 0.5) - 0.2))
+        .collect()
+}
+
+#[test]
+fn forward_batch_matches_per_channel() {
+    let n = [16usize, 16];
+    let traj = traj2(200);
+    let cfg = NufftConfig { threads: 2, w: 3.0, ..NufftConfig::default() };
+    let mut plan = NufftPlan::new(n, &traj, cfg);
+    let channels = 4usize;
+    let images: Vec<Vec<Complex32>> = (0..channels).map(|c| channel_image(256, c)).collect();
+
+    // Per-channel reference.
+    let mut want = Vec::new();
+    for img in &images {
+        let mut out = vec![Complex32::ZERO; 200];
+        plan.forward(img, &mut out);
+        want.push(out);
+    }
+
+    // Batched.
+    let image_refs: Vec<&[Complex32]> = images.iter().map(|v| v.as_slice()).collect();
+    let mut outs: Vec<Vec<Complex32>> = vec![vec![Complex32::ZERO; 200]; channels];
+    let mut out_refs: Vec<&mut [Complex32]> =
+        outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+    plan.forward_batch(&image_refs, &mut out_refs);
+
+    for c in 0..channels {
+        let e = rel_l2_c32(&outs[c], &want[c]);
+        assert!(e < 1e-6, "channel {c} forward mismatch: {e}");
+    }
+}
+
+#[test]
+fn adjoint_batch_matches_per_channel() {
+    let n = [16usize, 16];
+    let traj = traj2(300);
+    let cfg = NufftConfig { threads: 3, w: 3.0, ..NufftConfig::default() };
+    let mut plan = NufftPlan::new(n, &traj, cfg);
+    let channels = 3usize;
+    let data: Vec<Vec<Complex32>> = (0..channels)
+        .map(|c| {
+            (0..300)
+                .map(|i| Complex32::new((i as f32 * 0.2 + c as f32).cos(), 0.1 * c as f32))
+                .collect()
+        })
+        .collect();
+
+    let mut want = Vec::new();
+    for y in &data {
+        let mut out = vec![Complex32::ZERO; 256];
+        plan.adjoint(y, &mut out);
+        want.push(out);
+    }
+
+    let data_refs: Vec<&[Complex32]> = data.iter().map(|v| v.as_slice()).collect();
+    let mut outs: Vec<Vec<Complex32>> = vec![vec![Complex32::ZERO; 256]; channels];
+    let mut out_refs: Vec<&mut [Complex32]> =
+        outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+    plan.adjoint_batch(&data_refs, &mut out_refs);
+
+    for c in 0..channels {
+        let e = rel_l2_c32(&outs[c], &want[c]);
+        assert!(e < 1e-5, "channel {c} adjoint mismatch: {e}");
+    }
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let mut plan = NufftPlan::new(
+        [8usize, 8],
+        &traj2(20),
+        NufftConfig { threads: 1, w: 2.0, ..NufftConfig::default() },
+    );
+    plan.forward_batch(&[], &mut []);
+    plan.adjoint_batch(&[], &mut []);
+}
+
+#[test]
+fn batch_reuses_across_calls() {
+    // Growing then shrinking the channel count must work (grids cached).
+    let n = [12usize, 12];
+    let traj = traj2(80);
+    let mut plan = NufftPlan::new(
+        n,
+        &traj,
+        NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
+    );
+    for &channels in &[1usize, 4, 2] {
+        let images: Vec<Vec<Complex32>> =
+            (0..channels).map(|c| channel_image(144, c)).collect();
+        let image_refs: Vec<&[Complex32]> = images.iter().map(|v| v.as_slice()).collect();
+        let mut outs: Vec<Vec<Complex32>> = vec![vec![Complex32::ZERO; 80]; channels];
+        let mut out_refs: Vec<&mut [Complex32]> =
+            outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        plan.forward_batch(&image_refs, &mut out_refs);
+        // Spot check against single-channel.
+        let mut single = vec![Complex32::ZERO; 80];
+        plan.forward(&images[channels - 1], &mut single);
+        let e = rel_l2_c32(&outs[channels - 1], &single);
+        assert!(e < 1e-6, "channels={channels}: {e}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "channel count mismatch")]
+fn mismatched_channel_counts_rejected() {
+    let mut plan = NufftPlan::new(
+        [8usize, 8],
+        &traj2(10),
+        NufftConfig { threads: 1, w: 2.0, ..NufftConfig::default() },
+    );
+    let img = vec![Complex32::ZERO; 64];
+    let refs: Vec<&[Complex32]> = vec![&img];
+    plan.forward_batch(&refs, &mut []);
+}

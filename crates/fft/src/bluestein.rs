@@ -1,0 +1,135 @@
+//! Bluestein's chirp-z algorithm for arbitrary transform lengths.
+//!
+//! Rewrites the DFT as a circular convolution via `jk = (j² + k² − (j−k)²)/2`:
+//!
+//! `X[k] = a_k · Σ_j (x_j·a_j) · conj(a_{j−k})`, with `a_j = e^{-iπ j²/n}`.
+//!
+//! The convolution is carried out on a power-of-two grid of length
+//! `L ≥ 2n−1` using the mixed-radix engine, so this module turns *any* length
+//! into a handful of radix-4/2 transforms. Needed by e.g. the Table V dataset
+//! (N = 344 → oversampled M = 688 = 16·43).
+
+use crate::plan::{Direction, Fft};
+use nufft_math::{Complex32, Complex64};
+
+pub(crate) struct Bluestein {
+    n: usize,
+    /// Convolution length (power of two ≥ 2n−1).
+    l: usize,
+    inner: Fft,
+    /// Forward chirp `a_j = e^{-iπ j²/n}`, `j ∈ [0, n)`.
+    chirp: Vec<Complex32>,
+    /// Forward FFT of the padded symmetric kernel `conj(a)`, pre-scaled by
+    /// `1/L` so the inverse transform after pointwise multiply needs no
+    /// extra normalization pass.
+    kernel_hat: Vec<Complex32>,
+}
+
+impl Bluestein {
+    pub(crate) fn new(n: usize) -> Self {
+        let l = (2 * n - 1).next_power_of_two();
+        let inner = Fft::new(l);
+        let chirp: Vec<Complex32> = (0..n)
+            .map(|j| {
+                // j² mod 2n keeps the argument small for trig accuracy.
+                let ph = core::f64::consts::PI * ((j * j) % (2 * n)) as f64 / n as f64;
+                Complex64::cis(-ph).to_f32()
+            })
+            .collect();
+        // Kernel v_j = conj(a_j) = e^{+iπ j²/n}, circularly symmetric.
+        let mut kernel = vec![Complex32::ZERO; l];
+        for j in 0..n {
+            let v = chirp[j].conj();
+            kernel[j] = v;
+            if j > 0 {
+                kernel[l - j] = v;
+            }
+        }
+        inner.forward(&mut kernel);
+        let scale = 1.0 / l as f32;
+        for z in &mut kernel {
+            *z *= scale;
+        }
+        Bluestein { n, l, inner, chirp, kernel_hat: kernel }
+    }
+
+    pub(crate) fn scratch_len(&self) -> usize {
+        // One padded buffer plus the inner plan's own scratch.
+        self.l + self.inner.scratch_len()
+    }
+
+    pub(crate) fn process(&self, data: &mut [Complex32], scratch: &mut [Complex32], dir: Direction) {
+        debug_assert_eq!(data.len(), self.n);
+        // Backward = conj ∘ forward ∘ conj (saves storing a second chirp).
+        if dir == Direction::Backward {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+            self.process(data, scratch, Direction::Forward);
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+            return;
+        }
+
+        let (buf, inner_scratch) = scratch.split_at_mut(self.l);
+        // u_j = x_j · a_j, zero-padded to L.
+        for j in 0..self.n {
+            buf[j] = data[j] * self.chirp[j];
+        }
+        for z in buf[self.n..].iter_mut() {
+            *z = Complex32::ZERO;
+        }
+        self.inner.process_with_scratch(buf, inner_scratch, Direction::Forward);
+        for (z, &k) in buf.iter_mut().zip(&self.kernel_hat) {
+            *z *= k;
+        }
+        self.inner.process_with_scratch(buf, inner_scratch, Direction::Backward);
+        // X_k = a_k · (u ⊛ v)[k]; kernel_hat carried the 1/L.
+        for k in 0..self.n {
+            data[k] = buf[k] * self.chirp[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_dft32;
+    use nufft_math::error::rel_l2_c32;
+
+    #[test]
+    fn prime_lengths_match_naive() {
+        for n in [17usize, 19, 23, 43, 127] {
+            let x: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+                .collect();
+            let b = Bluestein::new(n);
+            let mut got = x.clone();
+            let mut scratch = vec![Complex32::ZERO; b.scratch_len()];
+            b.process(&mut got, &mut scratch, Direction::Forward);
+            let want = naive_dft32(&x, Direction::Forward);
+            let err = rel_l2_c32(&got, &want);
+            assert!(err < 5e-5, "n={n}: err {err}");
+        }
+    }
+
+    #[test]
+    fn backward_round_trips() {
+        let n = 29;
+        let x: Vec<Complex32> =
+            (0..n).map(|i| Complex32::new(i as f32 - 10.0, 0.5 * i as f32)).collect();
+        let b = Bluestein::new(n);
+        let mut y = x.clone();
+        let mut scratch = vec![Complex32::ZERO; b.scratch_len()];
+        b.process(&mut y, &mut scratch, Direction::Forward);
+        b.process(&mut y, &mut scratch, Direction::Backward);
+        for (g, w) in y.iter().zip(&x) {
+            let want = w.scale(n as f32);
+            assert!(
+                (g.re - want.re).abs() < 1e-2 && (g.im - want.im).abs() < 1e-2,
+                "{g:?} vs {want:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Small-radix DFT butterflies.
+//!
+//! Each butterfly computes an r-point DFT `s[k] = Σ_q t[q]·W_r^{qk}` with
+//! `W_r = e^{sign·2πi/r}` (`sign = -1` forward, `+1` backward). Radix 2/3/4/5
+//! are hand-specialized; other primes up to [`MAX_RADIX`] use a precomputed
+//! `r×r` table of roots of unity.
+
+use nufft_math::Complex32;
+
+/// Largest prime radix handled by the Cooley–Tukey path; lengths containing a
+/// prime factor above this go through Bluestein.
+pub const MAX_RADIX: usize = 13;
+
+/// In-place 2-point butterfly.
+#[inline(always)]
+pub fn bfly2(t: &mut [Complex32]) {
+    let (a, b) = (t[0], t[1]);
+    t[0] = a + b;
+    t[1] = a - b;
+}
+
+/// In-place 3-point DFT. `sign` is −1 for forward, +1 for backward.
+#[inline(always)]
+pub fn bfly3(t: &mut [Complex32], sign: f32) {
+    // W3 = -1/2 + sign·i·√3/2.
+    const HALF_SQRT3: f32 = 0.866_025_4;
+    let (a, b, c) = (t[0], t[1], t[2]);
+    let sum = b + c;
+    let diff = b - c;
+    // Re/Im of sign·i·(√3/2)·diff.
+    let rot = Complex32::new(-sign * HALF_SQRT3 * diff.im, sign * HALF_SQRT3 * diff.re);
+    let mid = a - sum.scale(0.5);
+    t[0] = a + sum;
+    t[1] = mid + rot;
+    t[2] = mid - rot;
+}
+
+/// In-place 4-point DFT. `sign` is −1 for forward, +1 for backward.
+#[inline(always)]
+pub fn bfly4(t: &mut [Complex32], sign: f32) {
+    let (a, b, c, d) = (t[0], t[1], t[2], t[3]);
+    let s02 = a + c;
+    let d02 = a - c;
+    let s13 = b + d;
+    let d13 = b - d;
+    // sign·i·d13.
+    let j = Complex32::new(-sign * d13.im, sign * d13.re);
+    t[0] = s02 + s13;
+    t[1] = d02 + j;
+    t[2] = s02 - s13;
+    t[3] = d02 - j;
+}
+
+/// In-place 5-point DFT. `sign` is −1 for forward, +1 for backward.
+#[inline(always)]
+pub fn bfly5(t: &mut [Complex32], sign: f32) {
+    // cos/sin of 2π/5 and 4π/5.
+    const C1: f32 = 0.309_017; // cos(2π/5)
+    const S1: f32 = 0.951_056_5; // sin(2π/5)
+    const C2: f32 = -0.809_017; // cos(4π/5)
+    const S2: f32 = 0.587_785_24; // sin(4π/5)
+    let a = t[0];
+    let (p1, m1) = (t[1] + t[4], t[1] - t[4]);
+    let (p2, m2) = (t[2] + t[3], t[2] - t[3]);
+    t[0] = a + p1 + p2;
+    // X1/X4 pair and X2/X3 pair share real combinations.
+    let r1 = a + p1.scale(C1) + p2.scale(C2);
+    let r2 = a + p1.scale(C2) + p2.scale(C1);
+    // Imag rotations i·(S1·m1 + S2·m2) and i·(S2·m1 − S1·m2), scaled by sign.
+    let i1 = Complex32::new(
+        -sign * (S1 * m1.im + S2 * m2.im),
+        sign * (S1 * m1.re + S2 * m2.re),
+    );
+    let i2 = Complex32::new(
+        -sign * (S2 * m1.im - S1 * m2.im),
+        sign * (S2 * m1.re - S1 * m2.re),
+    );
+    t[1] = r1 + i1;
+    t[4] = r1 - i1;
+    t[2] = r2 + i2;
+    t[3] = r2 - i2;
+}
+
+/// Generic r-point DFT using a precomputed forward root table
+/// `roots[q*r + k] = e^{-2πi·qk/r}`; conjugated on the fly for backward.
+#[inline]
+pub fn bfly_generic(t: &mut [Complex32], scratch: &mut [Complex32], roots: &[Complex32], forward: bool) {
+    let r = t.len();
+    debug_assert_eq!(scratch.len(), r);
+    debug_assert_eq!(roots.len(), r * r);
+    for k in 0..r {
+        let mut acc = t[0];
+        for q in 1..r {
+            let mut w = roots[q * r + k];
+            if !forward {
+                w = w.conj();
+            }
+            acc = acc.mul_add(t[q], w);
+        }
+        scratch[k] = acc;
+    }
+    t.copy_from_slice(scratch);
+}
+
+/// Builds the forward root table for [`bfly_generic`].
+pub fn generic_roots(r: usize) -> Vec<Complex32> {
+    let mut roots = vec![Complex32::ZERO; r * r];
+    for q in 0..r {
+        for k in 0..r {
+            let angle = -core::f64::consts::TAU * ((q * k) % r) as f64 / r as f64;
+            roots[q * r + k] = nufft_math::Complex64::cis(angle).to_f32();
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_math::Complex64;
+
+    fn naive_small(t: &[Complex32], sign: f64) -> Vec<Complex32> {
+        let r = t.len();
+        (0..r)
+            .map(|k| {
+                let mut acc = Complex64::ZERO;
+                for (q, &v) in t.iter().enumerate() {
+                    let w = Complex64::cis(sign * core::f64::consts::TAU * (q * k) as f64 / r as f64);
+                    acc += v.to_f64() * w;
+                }
+                acc.to_f32()
+            })
+            .collect()
+    }
+
+    fn demo(r: usize) -> Vec<Complex32> {
+        (0..r).map(|i| Complex32::new(1.0 + i as f32, (i as f32) * 0.5 - 1.0)).collect()
+    }
+
+    fn check(got: &[Complex32], want: &[Complex32], what: &str) {
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g.re - w.re).abs() < 1e-4 && (g.im - w.im).abs() < 1e-4,
+                "{what}: {g:?} vs {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_butterflies_match_naive() {
+        for &(r, sign) in
+            &[(2, -1.0), (2, 1.0), (3, -1.0), (3, 1.0), (4, -1.0), (4, 1.0), (5, -1.0), (5, 1.0)]
+        {
+            let mut t = demo(r);
+            let want = naive_small(&t, sign);
+            match r {
+                2 => bfly2(&mut t),
+                3 => bfly3(&mut t, sign as f32),
+                4 => bfly4(&mut t, sign as f32),
+                5 => bfly5(&mut t, sign as f32),
+                _ => unreachable!(),
+            }
+            check(&t, &want, &format!("radix {r} sign {sign}"));
+        }
+    }
+
+    #[test]
+    fn generic_butterfly_matches_naive() {
+        for r in [7usize, 11, 13] {
+            let roots = generic_roots(r);
+            for forward in [true, false] {
+                let mut t = demo(r);
+                let sign = if forward { -1.0 } else { 1.0 };
+                let want = naive_small(&t, sign);
+                let mut scratch = vec![Complex32::ZERO; r];
+                bfly_generic(&mut t, &mut scratch, &roots, forward);
+                check(&t, &want, &format!("generic radix {r} fwd {forward}"));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_backward_compose_to_scaled_identity() {
+        let mut t = demo(4);
+        let orig = t.clone();
+        bfly4(&mut t, -1.0);
+        bfly4(&mut t, 1.0);
+        for (g, w) in t.iter().zip(&orig) {
+            assert!((g.re - 4.0 * w.re).abs() < 1e-4 && (g.im - 4.0 * w.im).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! From-scratch complex FFT substrate for the NUFFT suite.
+//!
+//! The paper uses Intel MKL's FFTW-interface FFT for the oversampled
+//! Cartesian transforms; this crate plays that role. It provides:
+//!
+//! * [`Fft`] — a 1D complex-to-complex plan: recursive decimation-in-time
+//!   mixed-radix Cooley–Tukey with specialized radix-2/3/4/5 butterflies,
+//!   generic small-prime butterflies up to 13, and Bluestein's chirp-z
+//!   algorithm for lengths with larger prime factors (e.g. the 688 = 16·43
+//!   oversampled grid of the Table V dataset);
+//! * [`FftNd`] — row-major n-dimensional transforms built from 1D line
+//!   transforms, with a raw per-line entry point that `nufft-core` uses to
+//!   parallelize lines across the task pool;
+//! * [`shift`] — `fftshift` / index "chopping" utilities (§II-B of the
+//!   paper);
+//! * [`naive`] — `O(n²)` reference DFTs in `f64`, the oracle for every FFT
+//!   test and the accuracy baseline for the NUFFT experiments.
+//!
+//! Conventions: `forward` computes `X[k] = Σ_n x[n]·e^{-2πi nk/N}`
+//! (unnormalized); [`Fft::backward`] is its exact adjoint (unnormalized
+//! `e^{+2πi nk/N}` sum); [`Fft::inverse`] is `backward` scaled by `1/N` so
+//! that `inverse(forward(x)) == x`.
+
+// Index-based loops below frequently address several parallel arrays
+// at once; clippy's iterator suggestion would obscure that.
+#![allow(clippy::needless_range_loop)]
+
+pub mod naive;
+pub mod ndim;
+pub mod plan;
+pub mod shift;
+
+mod bluestein;
+mod butterflies;
+
+pub use ndim::FftNd;
+pub use plan::{Direction, Fft};

@@ -1,0 +1,76 @@
+//! `O(n²)` reference DFTs.
+//!
+//! These are the oracles for FFT tests and the accuracy yardstick for the
+//! NUFFT experiments. The accumulation is in `f64` regardless of input
+//! precision, so oracle error is negligible next to `f32` transform error.
+
+use crate::plan::Direction;
+use nufft_math::{Complex32, Complex64};
+
+/// Naive DFT of a double-precision signal.
+pub fn naive_dft64(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Backward => 1.0,
+    };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                // (j·k) mod n keeps the phase argument in [0, 2π·n).
+                let ph = sign * core::f64::consts::TAU * ((j * k) % n) as f64 / n as f64;
+                acc += v * Complex64::cis(ph);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Naive DFT of a single-precision signal with `f64` accumulation.
+pub fn naive_dft32(x: &[Complex32], dir: Direction) -> Vec<Complex32> {
+    let wide: Vec<Complex64> = x.iter().map(|z| z.to_f64()).collect();
+    naive_dft64(&wide, dir).into_iter().map(|z| z.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_signal_concentrates_at_zero() {
+        let x = vec![Complex64::ONE; 8];
+        let y = naive_dft64(&x, Direction::Forward);
+        assert!((y[0] - Complex64::from_re(8.0)).abs() < 1e-12);
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_its_bin() {
+        let n = 16;
+        let tone = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(core::f64::consts::TAU * (tone * j) as f64 / n as f64))
+            .collect();
+        let y = naive_dft64(&x, Direction::Forward);
+        for (k, z) in y.iter().enumerate() {
+            if k == tone {
+                assert!((z.re - n as f64).abs() < 1e-9 && z.im.abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_backward_scale_identity() {
+        let x: Vec<Complex64> =
+            (0..6).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let y = naive_dft64(&naive_dft64(&x, Direction::Forward), Direction::Backward);
+        for (g, w) in y.iter().zip(&x) {
+            assert!((*g - w.scale(6.0)).abs() < 1e-10);
+        }
+    }
+}

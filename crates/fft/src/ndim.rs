@@ -1,0 +1,299 @@
+//! n-dimensional FFT over row-major (C-order) complex buffers.
+//!
+//! The transform is separable: each axis is handled by a 1D [`Fft`] applied
+//! to every line along that axis. The innermost axis is contiguous and is
+//! transformed in place; other axes go through a line buffer. The per-line
+//! entry points ([`FftNd::num_lines`], [`FftNd::transform_line_raw`]) exist
+//! so `nufft-core` can shard lines across its worker pool — the plan itself
+//! is `Sync` and the lines of one axis are pairwise disjoint.
+
+use crate::plan::{Direction, Fft};
+use nufft_math::Complex32;
+
+/// An n-dimensional complex FFT plan for a fixed row-major shape.
+pub struct FftNd {
+    shape: Vec<usize>,
+    plans: Vec<Fft>,
+    len: usize,
+}
+
+impl FftNd {
+    /// Prepares a plan for `shape` (row-major; last axis contiguous).
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty or any extent is zero.
+    pub fn new(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "shape must have at least one axis");
+        assert!(shape.iter().all(|&n| n > 0), "all extents must be positive");
+        let plans = shape.iter().map(|&n| Fft::new(n)).collect();
+        let len = shape.iter().product();
+        FftNd { shape: shape.to_vec(), plans, len }
+    }
+
+    /// The row-major shape this plan transforms.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (zero extents are rejected at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Element stride between consecutive entries along `axis`.
+    pub fn axis_stride(&self, axis: usize) -> usize {
+        self.shape[axis + 1..].iter().product()
+    }
+
+    /// Number of independent lines along `axis`.
+    pub fn num_lines(&self, axis: usize) -> usize {
+        self.len / self.shape[axis]
+    }
+
+    /// Start offset of line `line` along `axis`.
+    ///
+    /// Lines are indexed by `(outer, inner)` flattened as
+    /// `line = outer·stride + inner` where `stride = axis_stride(axis)` and
+    /// `outer` ranges over the axes before `axis`.
+    pub fn line_start(&self, axis: usize, line: usize) -> usize {
+        let stride = self.axis_stride(axis);
+        let outer = line / stride;
+        let inner = line % stride;
+        outer * self.shape[axis] * stride + inner
+    }
+
+    /// Scratch length required per worker for any axis of this plan.
+    pub fn scratch_len(&self) -> usize {
+        let fft_scratch = self.plans.iter().map(|p| p.scratch_len()).max().unwrap_or(0);
+        let line_buf = self.shape.iter().copied().max().unwrap_or(0);
+        fft_scratch + line_buf
+    }
+
+    /// Transforms a single line along `axis` through a raw base pointer.
+    ///
+    /// `scratch` must be at least [`FftNd::scratch_len`] long.
+    ///
+    /// # Safety
+    /// `base` must point to the start of a buffer of [`FftNd::len`]
+    /// elements valid for reads and writes, and no other thread may
+    /// concurrently access the elements of this line (other lines of the
+    /// same axis are disjoint, so sharding whole lines across threads is
+    /// sound).
+    pub unsafe fn transform_line_raw(
+        &self,
+        base: *mut Complex32,
+        axis: usize,
+        line: usize,
+        scratch: &mut [Complex32],
+        dir: Direction,
+    ) {
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        let start = self.line_start(axis, line);
+        let plan = &self.plans[axis];
+        if stride == 1 {
+            // Contiguous line: transform in place.
+            let lane = core::slice::from_raw_parts_mut(base.add(start), n);
+            plan.process_with_scratch(lane, scratch, dir);
+        } else {
+            let (buf, fft_scratch) = scratch.split_at_mut(n);
+            for j in 0..n {
+                buf[j] = *base.add(start + j * stride);
+            }
+            plan.process_with_scratch(buf, fft_scratch, dir);
+            for j in 0..n {
+                *base.add(start + j * stride) = buf[j];
+            }
+        }
+    }
+
+    /// Transforms every line of `axis` sequentially.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` doesn't match the plan.
+    pub fn transform_axis(&self, data: &mut [Complex32], axis: usize, dir: Direction) {
+        assert_eq!(data.len(), self.len, "data length mismatch");
+        let mut scratch = vec![Complex32::ZERO; self.scratch_len()];
+        let base = data.as_mut_ptr();
+        for line in 0..self.num_lines(axis) {
+            // SAFETY: we hold &mut data and process lines one at a time.
+            unsafe { self.transform_line_raw(base, axis, line, &mut scratch, dir) };
+        }
+    }
+
+    /// Full n-dimensional transform (sequential over axes and lines).
+    pub fn process(&self, data: &mut [Complex32], dir: Direction) {
+        for axis in 0..self.shape.len() {
+            self.transform_axis(data, axis, dir);
+        }
+    }
+
+    /// Forward n-dimensional transform.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        self.process(data, Direction::Forward);
+    }
+
+    /// Unnormalized backward transform (exact adjoint of [`FftNd::forward`]).
+    pub fn backward(&self, data: &mut [Complex32]) {
+        self.process(data, Direction::Backward);
+    }
+
+    /// Normalized inverse: `inverse(forward(x)) == x`.
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        self.backward(data);
+        let s = 1.0 / self.len as f32;
+        for z in data {
+            *z *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_math::error::rel_l2_c32;
+    use nufft_math::Complex64;
+
+    fn demo(len: usize) -> Vec<Complex32> {
+        (0..len)
+            .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.29).cos()))
+            .collect()
+    }
+
+    /// Naive n-D DFT oracle in f64.
+    fn naive_nd(x: &[Complex32], shape: &[usize], sign: f64) -> Vec<Complex32> {
+        let len = x.len();
+        let mut out = vec![Complex64::ZERO; len];
+        let nd = shape.len();
+        let mut strides = vec![1usize; nd];
+        for d in (0..nd.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1];
+        }
+        let unravel = |mut i: usize| -> Vec<usize> {
+            let mut idx = vec![0; nd];
+            for d in 0..nd {
+                idx[d] = i / strides[d];
+                i %= strides[d];
+            }
+            idx
+        };
+        for (ko, out_z) in out.iter_mut().enumerate() {
+            let kk = unravel(ko);
+            let mut acc = Complex64::ZERO;
+            for (jo, &v) in x.iter().enumerate() {
+                let jj = unravel(jo);
+                let mut ph = 0.0;
+                for d in 0..nd {
+                    ph += (jj[d] * kk[d]) as f64 / shape[d] as f64;
+                }
+                acc += v.to_f64() * Complex64::cis(sign * core::f64::consts::TAU * ph);
+            }
+            *out_z = acc;
+        }
+        out.into_iter().map(|z| z.to_f32()).collect()
+    }
+
+    #[test]
+    fn line_geometry_is_consistent() {
+        let plan = FftNd::new(&[2, 3, 4]);
+        assert_eq!(plan.axis_stride(0), 12);
+        assert_eq!(plan.axis_stride(1), 4);
+        assert_eq!(plan.axis_stride(2), 1);
+        assert_eq!(plan.num_lines(0), 12);
+        assert_eq!(plan.num_lines(1), 8);
+        assert_eq!(plan.num_lines(2), 6);
+        // Every element belongs to exactly one line per axis.
+        for axis in 0..3 {
+            let stride = plan.axis_stride(axis);
+            let n = plan.shape()[axis];
+            let mut seen = vec![false; plan.len()];
+            for line in 0..plan.num_lines(axis) {
+                let s = plan.line_start(axis, line);
+                for j in 0..n {
+                    let idx = s + j * stride;
+                    assert!(!seen[idx], "element {idx} visited twice on axis {axis}");
+                    seen[idx] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "axis {axis} missed elements");
+        }
+    }
+
+    #[test]
+    fn matches_naive_2d() {
+        let shape = [6usize, 8];
+        let x = demo(48);
+        let plan = FftNd::new(&shape);
+        let mut got = x.clone();
+        plan.forward(&mut got);
+        let want = naive_nd(&x, &shape, -1.0);
+        let err = rel_l2_c32(&got, &want);
+        assert!(err < 2e-5, "2d err {err}");
+    }
+
+    #[test]
+    fn matches_naive_3d() {
+        let shape = [4usize, 5, 6];
+        let x = demo(120);
+        let plan = FftNd::new(&shape);
+        for (dir, sign) in [(Direction::Forward, -1.0), (Direction::Backward, 1.0)] {
+            let mut got = x.clone();
+            plan.process(&mut got, dir);
+            let want = naive_nd(&x, &shape, sign);
+            let err = rel_l2_c32(&got, &want);
+            assert!(err < 2e-5, "3d {dir:?} err {err}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips_3d() {
+        let shape = [8usize, 4, 10];
+        let x = demo(320);
+        let plan = FftNd::new(&shape);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        assert!(rel_l2_c32(&y, &x) < 1e-5);
+    }
+
+    #[test]
+    fn one_dimensional_plan_matches_1d_fft() {
+        let n = 30;
+        let x = demo(n);
+        let nd = FftNd::new(&[n]);
+        let fft = Fft::new(n);
+        let mut a = x.clone();
+        let mut b = x.clone();
+        nd.forward(&mut a);
+        fft.forward(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn separable_impulse_3d() {
+        // A delta at the origin transforms to all-ones.
+        let shape = [3usize, 4, 5];
+        let mut x = vec![Complex32::ZERO; 60];
+        x[0] = Complex32::ONE;
+        FftNd::new(&shape).forward(&mut x);
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-5 && z.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = FftNd::new(&[4, 0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Spectral/image shifting utilities (§II-B of the paper).
+//!
+//! MRI reconstructions need the image and/or spectrum origin moved to the
+//! array center before/after FFT calls. Two equivalent mechanisms exist:
+//!
+//! * [`fftshift`] / [`ifftshift`] — circularly rotate each axis by half its
+//!   extent (the Matlab commands of the same names);
+//! * [`chop`] — multiply element `(i₀,…,i_d)` by `(−1)^{Σ i}`, which performs
+//!   the *conjugate-domain* shift in linear time with no data movement. For
+//!   even extents, `chop` before and after a transform equals shifting both
+//!   domains.
+
+use nufft_math::Complex32;
+
+/// Rotates each axis left by `⌈n/2⌉`, moving index 0 to the center
+/// (Matlab `fftshift`). In place, row-major.
+///
+/// # Panics
+/// Panics if `data.len()` is not the product of `shape`.
+pub fn fftshift(data: &mut [Complex32], shape: &[usize]) {
+    shift_axes(data, shape, |n| n.div_ceil(2));
+}
+
+/// The inverse of [`fftshift`]: rotates each axis left by `⌊n/2⌋`.
+pub fn ifftshift(data: &mut [Complex32], shape: &[usize]) {
+    shift_axes(data, shape, |n| n / 2);
+}
+
+fn shift_axes(data: &mut [Complex32], shape: &[usize], amount: impl Fn(usize) -> usize) {
+    let len: usize = shape.iter().product();
+    assert_eq!(data.len(), len, "data length must match shape product");
+    let nd = shape.len();
+    let mut line_buf: Vec<Complex32> = Vec::new();
+    for axis in 0..nd {
+        let n = shape[axis];
+        let k = amount(n);
+        if k == 0 || n <= 1 {
+            continue;
+        }
+        let stride: usize = shape[axis + 1..].iter().product();
+        let lines = len / n;
+        line_buf.resize(n, Complex32::ZERO);
+        for line in 0..lines {
+            let outer = line / stride;
+            let inner = line % stride;
+            let start = outer * n * stride + inner;
+            if stride == 1 {
+                data[start..start + n].rotate_left(k);
+            } else {
+                for j in 0..n {
+                    line_buf[j] = data[start + j * stride];
+                }
+                line_buf.rotate_left(k);
+                for j in 0..n {
+                    data[start + j * stride] = line_buf[j];
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies element `(i₀,…,i_d)` by `(−1)^{i₀+⋯+i_d}` ("chopping").
+///
+/// # Panics
+/// Panics if `data.len()` is not the product of `shape`.
+pub fn chop(data: &mut [Complex32], shape: &[usize]) {
+    let len: usize = shape.iter().product();
+    assert_eq!(data.len(), len, "data length must match shape product");
+    // Row-major: the parity of the flattened index does NOT equal the parity
+    // of the index sum in general, so track the sum explicitly per element
+    // by iterating odometer style over the leading axes and flipping within
+    // the last.
+    let nd = shape.len();
+    let last = shape[nd - 1];
+    let rows = len / last;
+    let mut idx = vec![0usize; nd.saturating_sub(1)];
+    for r in 0..rows {
+        let parity: usize = idx.iter().sum();
+        let base = r * last;
+        for j in 0..last {
+            if (parity + j) % 2 == 1 {
+                data[base + j] = -data[base + j];
+            }
+        }
+        // Odometer increment over leading axes (row-major order).
+        for d in (0..nd - 1).rev() {
+            idx[d] += 1;
+            if idx[d] < shape[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FftNd;
+
+    fn demo(len: usize) -> Vec<Complex32> {
+        (0..len).map(|i| Complex32::new(i as f32, -(i as f32))).collect()
+    }
+
+    #[test]
+    fn fftshift_1d_even() {
+        let mut x = demo(6);
+        fftshift(&mut x, &[6]);
+        let want: Vec<f32> = vec![3.0, 4.0, 5.0, 0.0, 1.0, 2.0];
+        assert!(x.iter().zip(&want).all(|(z, &w)| z.re == w));
+    }
+
+    #[test]
+    fn fftshift_1d_odd_round_trips_with_ifftshift() {
+        let x = demo(7);
+        let mut y = x.clone();
+        fftshift(&mut y, &[7]);
+        // Zero index moves to the center position ⌊n/2⌋.
+        assert_eq!(y[3].re, 0.0);
+        ifftshift(&mut y, &[7]);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn fftshift_2d_moves_origin_to_center() {
+        let shape = [4usize, 6];
+        let mut x = vec![Complex32::ZERO; 24];
+        x[0] = Complex32::ONE;
+        fftshift(&mut x, &shape);
+        // Origin lands at (2, 3) → flat 2*6+3 = 15.
+        assert_eq!(x[15], Complex32::ONE);
+        assert_eq!(x.iter().filter(|z| z.re != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn shift_round_trip_3d() {
+        let shape = [3usize, 4, 5];
+        let x = demo(60);
+        let mut y = x.clone();
+        fftshift(&mut y, &shape);
+        ifftshift(&mut y, &shape);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn chop_flips_odd_parity_sites() {
+        let shape = [2usize, 3];
+        let mut x = vec![Complex32::ONE; 6];
+        chop(&mut x, &shape);
+        // Index sums: (0,0)=0 (0,1)=1 (0,2)=2 (1,0)=1 (1,1)=2 (1,2)=3.
+        let want = [1.0f32, -1.0, 1.0, -1.0, 1.0, -1.0];
+        for (z, &w) in x.iter().zip(&want) {
+            assert_eq!(z.re, w);
+        }
+    }
+
+    #[test]
+    fn chop_twice_is_identity() {
+        let shape = [3usize, 5, 2];
+        let x = demo(30);
+        let mut y = x.clone();
+        chop(&mut y, &shape);
+        chop(&mut y, &shape);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn chop_equals_fftshift_in_conjugate_domain_even_sizes() {
+        // For even extents: FFT(chop(x)) == fftshift(FFT(x)).
+        let shape = [4usize, 8];
+        let x = demo(32);
+        let plan = FftNd::new(&shape);
+
+        let mut via_chop = x.clone();
+        chop(&mut via_chop, &shape);
+        plan.forward(&mut via_chop);
+
+        let mut via_shift = x.clone();
+        plan.forward(&mut via_shift);
+        fftshift(&mut via_shift, &shape);
+
+        for (a, b) in via_chop.iter().zip(&via_shift) {
+            assert!(
+                (a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3,
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+}

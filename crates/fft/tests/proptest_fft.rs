@@ -1,0 +1,99 @@
+//! Property tests for the FFT engine over random signals and lengths.
+
+use nufft_fft::naive::naive_dft32;
+use nufft_fft::{Direction, Fft, FftNd};
+use nufft_math::error::rel_l2_c32;
+use nufft_math::Complex32;
+use proptest::prelude::*;
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), len..=len)
+        .prop_map(|v| v.into_iter().map(|(r, i)| Complex32::new(r, i)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_matches_naive(n in 1usize..200, seed in any::<u64>()) {
+        let x: Vec<Complex32> = (0..n).map(|i| {
+            let t = (i as u64).wrapping_mul(seed | 1) as f64 / u64::MAX as f64;
+            Complex32::new((t * 13.0).sin() as f32, (t * 7.0).cos() as f32)
+        }).collect();
+        let plan = Fft::new(n);
+        let mut got = x.clone();
+        plan.forward(&mut got);
+        let want = naive_dft32(&x, Direction::Forward);
+        prop_assert!(rel_l2_c32(&got, &want) < 1e-4, "n={}", n);
+    }
+
+    #[test]
+    fn round_trip_is_identity(n in 1usize..300, x_seed in any::<u32>()) {
+        let x: Vec<Complex32> = (0..n).map(|i| {
+            let v = (i as u32).wrapping_mul(x_seed | 1);
+            Complex32::new((v % 1000) as f32 / 500.0 - 1.0, (v % 777) as f32 / 388.0 - 1.0)
+        }).collect();
+        let plan = Fft::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        prop_assert!(rel_l2_c32(&y, &x) < 1e-4, "n={}", n);
+    }
+
+    #[test]
+    fn linearity(x in signal(64), y in signal(64), a in -3.0f32..3.0) {
+        let plan = Fft::new(64);
+        // F(x + a·y) == F(x) + a·F(y)
+        let mut lhs: Vec<Complex32> =
+            x.iter().zip(&y).map(|(&p, &q)| p + q.scale(a)).collect();
+        plan.forward(&mut lhs);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fy = y.clone();
+        plan.forward(&mut fy);
+        let rhs: Vec<Complex32> = fx.iter().zip(&fy).map(|(&p, &q)| p + q.scale(a)).collect();
+        prop_assert!(rel_l2_c32(&lhs, &rhs) < 1e-4);
+    }
+
+    #[test]
+    fn parseval(x in signal(90)) {
+        let plan = Fft::new(90);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        let ex: f64 = x.iter().map(|z| z.to_f64().norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.to_f64().norm_sqr()).sum();
+        prop_assert!((ey / 90.0 - ex).abs() <= 1e-4 * ex.max(1.0));
+    }
+
+    #[test]
+    fn circular_shift_theorem(x in signal(32), shift in 0usize..32) {
+        // FFT of circularly shifted signal = phase ramp × FFT.
+        let plan = Fft::new(32);
+        let mut shifted = x.clone();
+        shifted.rotate_right(shift);
+        plan.forward(&mut shifted);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        for (k, (s, f)) in shifted.iter().zip(&fx).enumerate() {
+            let ph = nufft_math::Complex64::cis(
+                -core::f64::consts::TAU * (shift * k % 32) as f64 / 32.0,
+            );
+            let want = (f.to_f64() * ph).to_f32();
+            prop_assert!((s.re - want.re).abs() < 2e-3 && (s.im - want.im).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn nd_round_trip(a in 1usize..8, b in 1usize..8, c in 1usize..8, seed in any::<u32>()) {
+        let len = a * b * c;
+        let x: Vec<Complex32> = (0..len).map(|i| {
+            let v = (i as u32).wrapping_mul(seed | 1);
+            Complex32::new((v % 997) as f32 / 500.0 - 1.0, (v % 641) as f32 / 320.0 - 1.0)
+        }).collect();
+        let plan = FftNd::new(&[a, b, c]);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        prop_assert!(rel_l2_c32(&y, &x) < 1e-4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Error metrics between complex signals.
+//!
+//! Every accuracy experiment in the suite (NUFFT vs direct DTFT, SIMD vs
+//! scalar kernels, FFT vs naive DFT) reports errors through these functions so
+//! that tolerances are comparable across crates.
+
+use crate::complex::{Complex32, Complex64};
+
+/// Relative L2 error `‖a − b‖₂ / ‖b‖₂` between two complex signals, where `b`
+/// is the reference. Returns the absolute L2 norm of `a` if `b` is all zeros.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn rel_l2_c64(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x - y).norm_sqr();
+        den += y.norm_sqr();
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Single-precision variant of [`rel_l2_c64`]; accumulation is in `f64`.
+pub fn rel_l2_c32(a: &[Complex32], b: &[Complex32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x.to_f64() - y.to_f64()).norm_sqr();
+        den += y.to_f64().norm_sqr();
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Mixed-precision relative L2 error: single-precision result `a` against a
+/// double-precision oracle `b`.
+pub fn rel_l2_mixed(a: &[Complex32], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x.to_f64() - y).norm_sqr();
+        den += y.norm_sqr();
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Maximum pointwise magnitude error `max |aᵢ − bᵢ|` (absolute L∞).
+pub fn linf_c64(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Maximum pointwise magnitude error for single-precision signals.
+pub fn linf_c32(a: &[Complex32], b: &[Complex32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error between real slices (used for grids of weights).
+pub fn rel_l2_f64(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_have_zero_error() {
+        let a = vec![Complex64::new(1.0, -2.0); 16];
+        assert_eq!(rel_l2_c64(&a, &a), 0.0);
+        assert_eq!(linf_c64(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn scaled_signal_has_expected_rel_error() {
+        let b: Vec<Complex64> = (0..32).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let a: Vec<Complex64> = b.iter().map(|&z| z.scale(1.01)).collect();
+        let e = rel_l2_c64(&a, &b);
+        assert!((e - 0.01).abs() < 1e-12, "expected 1% error, got {e}");
+    }
+
+    #[test]
+    fn zero_reference_falls_back_to_absolute() {
+        let b = vec![Complex64::ZERO; 4];
+        let a = vec![Complex64::new(3.0, 4.0); 4];
+        assert!((rel_l2_c64(&a, &b) - 10.0).abs() < 1e-12); // sqrt(4·25)
+    }
+
+    #[test]
+    fn linf_picks_worst_point() {
+        let b = vec![Complex64::ZERO; 3];
+        let a = vec![
+            Complex64::new(0.1, 0.0),
+            Complex64::new(0.0, -0.5),
+            Complex64::new(0.2, 0.0),
+        ];
+        assert_eq!(linf_c64(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn mixed_precision_consistency() {
+        let b64: Vec<Complex64> = (1..9).map(|i| Complex64::new(i as f64, 0.5 * i as f64)).collect();
+        let a32: Vec<Complex32> = b64.iter().map(|z| z.to_f32()).collect();
+        // Round-tripping through f32 should give ~1e-8 relative error, not more.
+        let e = rel_l2_mixed(&a32, &b64);
+        assert!(e < 1e-6, "unexpected mixed-precision error {e}");
+    }
+
+    #[test]
+    fn real_metric_matches_complex_metric() {
+        let b = [1.0, 2.0, 3.0];
+        let a = [1.1, 2.0, 3.0];
+        let want = (0.01f64 / 14.0).sqrt();
+        assert!((rel_l2_f64(&a, &b) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rel_l2_c64(&[Complex64::ZERO], &[]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Numeric substrate for the NUFFT suite.
+//!
+//! This crate provides the small set of numerical building blocks the rest of
+//! the workspace is written against:
+//!
+//! * [`Complex`] — a `#[repr(C)]` complex number usable directly over
+//!   interleaved `(re, im)` buffers, with [`Complex32`]/[`Complex64`] aliases;
+//! * [`bessel`] — modified Bessel functions `I0`/`I1` needed by the
+//!   Kaiser–Bessel interpolation kernel;
+//! * [`special`] — `sinh(x)/x`-style shape functions used by the closed-form
+//!   Fourier transform of the Kaiser–Bessel window, plus `sinc`;
+//! * [`stats`] — streaming mean/variance and percentiles for benchmark
+//!   reporting;
+//! * [`error`] — relative L2/L∞ error metrics between complex signals.
+//!
+//! Everything here is dependency-free and deliberately boring: correctness of
+//! the NUFFT accuracy experiments rests on these primitives.
+
+pub mod bessel;
+pub mod complex;
+pub mod error;
+pub mod special;
+pub mod stats;
+
+pub use complex::{Complex, Complex32, Complex64};

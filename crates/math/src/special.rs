@@ -1,0 +1,122 @@
+//! Shape functions appearing in NUFFT analysis.
+//!
+//! The Fourier transform of the Kaiser–Bessel window of half-width `W`
+//! and shape `β` evaluated at (normalized angular) position `t` is
+//! proportional to `sinhc(√(β² − t²))`, where the argument turns imaginary
+//! for `|t| > β` and the hyperbolic sine becomes a circular sine. The
+//! roll-off correction in `nufft-core::scale` is built on [`kb_ft_shape`].
+
+/// `sinh(x)/x`, continuous at zero (`sinhc(0) = 1`).
+pub fn sinhc(x: f64) -> f64 {
+    if x.abs() < 1e-5 {
+        // Taylor: 1 + x²/6 + x⁴/120.
+        let x2 = x * x;
+        1.0 + x2 / 6.0 + x2 * x2 / 120.0
+    } else {
+        x.sinh() / x
+    }
+}
+
+/// `sin(x)/x`, continuous at zero (`sinc(0) = 1`). Unnormalized sinc.
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-5 {
+        let x2 = x * x;
+        1.0 - x2 / 6.0 + x2 * x2 / 120.0
+    } else {
+        x.sin() / x
+    }
+}
+
+/// Normalized sinc `sin(πx)/(πx)`, the Fourier transform of a unit box.
+pub fn sinc_pi(x: f64) -> f64 {
+    sinc(core::f64::consts::PI * x)
+}
+
+/// The Kaiser–Bessel Fourier-transform shape: `sinhc(√(β² − t²))`.
+///
+/// Analytically continued across `|t| = β`: for `t² > β²` the square root is
+/// imaginary and `sinh(iy)/(iy) = sin(y)/y`, so the function transitions
+/// smoothly into a decaying oscillation. `t` is the kernel's conjugate-domain
+/// coordinate `2πWx/M` (see `nufft-core::scale`).
+pub fn kb_ft_shape(beta: f64, t: f64) -> f64 {
+    let d = beta * beta - t * t;
+    if d >= 0.0 {
+        sinhc(d.sqrt())
+    } else {
+        sinc((-d).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    #[test]
+    fn sinhc_at_zero_and_small() {
+        assert_eq!(sinhc(0.0), 1.0);
+        // Near the Taylor/direct switch the two branches must agree.
+        let a = sinhc(9.99e-6);
+        let b = sinhc(1.01e-5);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sinhc_matches_direct_formula() {
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            assert!((sinhc(x) - x.sinh() / x).abs() < 1e-14 * x.sinh().abs());
+        }
+    }
+
+    #[test]
+    fn sinhc_is_even() {
+        for &x in &[0.3, 2.0, 7.0] {
+            assert_eq!(sinhc(x), sinhc(-x));
+        }
+    }
+
+    #[test]
+    fn sinc_zeros_at_multiples_of_pi() {
+        for k in 1..5 {
+            assert!(sinc(k as f64 * PI).abs() < 1e-15);
+        }
+        assert_eq!(sinc(0.0), 1.0);
+    }
+
+    #[test]
+    fn sinc_pi_is_one_at_zero_and_zero_at_integers() {
+        assert_eq!(sinc_pi(0.0), 1.0);
+        for k in 1..6 {
+            assert!(sinc_pi(k as f64).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn kb_ft_shape_continuous_across_beta() {
+        let beta = 11.5;
+        // Around |t| = β the function behaves like 1 + (β²−t²)/6, so moving t
+        // by 1e-7 changes the value by ~β·1e-7/3; the branches themselves
+        // must agree to that order (no jump).
+        let lo = kb_ft_shape(beta, beta - 1e-7);
+        let hi = kb_ft_shape(beta, beta + 1e-7);
+        assert!((lo - hi).abs() < 1e-6, "discontinuity at |t| = beta: {lo} vs {hi}");
+        assert!((kb_ft_shape(beta, beta) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kb_ft_shape_peaks_at_center() {
+        let beta = 13.9;
+        let center = kb_ft_shape(beta, 0.0);
+        for &t in &[1.0, 5.0, beta, beta * 1.5, beta * 3.0] {
+            assert!(kb_ft_shape(beta, t) < center);
+        }
+    }
+
+    #[test]
+    fn kb_ft_shape_decays_past_beta() {
+        // In the oscillatory regime the envelope decays like 1/t.
+        let beta = 6.0;
+        let near = kb_ft_shape(beta, beta + 2.0).abs();
+        assert!(near < 1.0);
+    }
+}

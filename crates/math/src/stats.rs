@@ -1,0 +1,163 @@
+//! Small statistics helpers for benchmark reporting.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long benchmark runs; used by the repro harness to
+/// summarize per-iteration timings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Unbiased sample variance; 0 for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; +∞ if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −∞ if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `data` by linear interpolation.
+///
+/// Sorts a copy; intended for small benchmark sample sets, not hot paths.
+///
+/// # Panics
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    v[lo] + (v[hi] - v[lo]) * frac
+}
+
+/// Median shorthand for [`quantile`] at 0.5.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Geometric mean of strictly positive data (used for "average speedup over
+/// datasets" summaries, as in the paper's cross-dataset averages).
+///
+/// # Panics
+/// Panics if `data` is empty or any element is not strictly positive.
+pub fn geomean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "geomean of empty slice");
+    let mut acc = 0.0;
+    for &x in data {
+        assert!(x > 0.0, "geomean requires positive data, got {x}");
+        acc += x.ln();
+    }
+    (acc / data.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sum of squared deviations = 32, unbiased variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(median(&data), 2.5);
+        assert_eq!(quantile(&data, 1.0 / 3.0), 2.0);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let data = [9.0, 1.0, 5.0];
+        assert_eq!(median(&data), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

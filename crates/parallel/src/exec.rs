@@ -1,0 +1,577 @@
+//! The task executor (§III-B2–§III-B4).
+//!
+//! [`Executor::run_graph`] runs a [`TaskGraph`] on `T` worker threads with a
+//! shared blocking ready queue — no global barrier anywhere:
+//!
+//! * tasks become ready the moment their (≤ 2) predecessor edges are
+//!   satisfied;
+//! * *selectively privatized* tasks are split in two: the convolution phase
+//!   is ready immediately (it writes a private buffer), and the reduction
+//!   phase inherits the task's dependency edges, decoupling expensive
+//!   convolution from the critical path (§III-B4);
+//! * the ready queue is FIFO or largest-first priority per
+//!   [`QueuePolicy`] (§III-B3).
+//!
+//! [`Executor::parallel_for`] is the dynamic loop-partitioning used for the
+//! forward (gather) convolution and the FFT line sweeps, where iterations
+//! are independent.
+
+use crate::graph::{QueuePolicy, TaskGraph, TaskId};
+use crate::queue::{Entry, ReadyQueue};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Which phase of a task the executor is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// The whole task, for non-privatized tasks (convolve into the shared
+    /// grid under TDG exclusion).
+    Normal,
+    /// Convolution of a privatized task into its private buffer (no
+    /// dependencies; scheduled immediately).
+    PrivateConvolve,
+    /// Reduction of a privatized task's buffer into the shared grid
+    /// (inherits the task's TDG dependencies).
+    Reduce,
+}
+
+impl TaskPhase {
+    fn encode(self) -> u64 {
+        match self {
+            TaskPhase::Normal => 0,
+            TaskPhase::PrivateConvolve => 1,
+            TaskPhase::Reduce => 2,
+        }
+    }
+
+    fn decode(v: u64) -> Self {
+        match v {
+            0 => TaskPhase::Normal,
+            1 => TaskPhase::PrivateConvolve,
+            2 => TaskPhase::Reduce,
+            _ => unreachable!("invalid phase tag"),
+        }
+    }
+}
+
+/// One executed (task, phase) with its timing, relative to run start.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskRecord {
+    /// Which task ran.
+    pub task: TaskId,
+    /// Which phase of it.
+    pub phase: TaskPhase,
+    /// Worker index that ran it.
+    pub worker: usize,
+    /// Start time in seconds from run start.
+    pub start: f64,
+    /// End time in seconds from run start.
+    pub end: f64,
+}
+
+/// Timing summary of one [`Executor::run_graph`] call.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock duration of the whole run in seconds.
+    pub makespan: f64,
+    /// Per-worker sum of task execution times in seconds.
+    pub worker_busy: Vec<f64>,
+    /// Every (task, phase) execution with timings, unordered.
+    pub log: Vec<TaskRecord>,
+}
+
+impl RunStats {
+    /// Parallel efficiency: total busy time / (T × makespan).
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0.0 || self.worker_busy.is_empty() {
+            return 1.0;
+        }
+        let busy: f64 = self.worker_busy.iter().sum();
+        busy / (self.makespan * self.worker_busy.len() as f64)
+    }
+}
+
+struct Inner {
+    ready: ReadyQueue,
+    /// Unsatisfied predecessor count per task.
+    pending: Vec<u32>,
+    /// Whether a privatized task's convolve phase has finished.
+    conv_done: Vec<bool>,
+    /// Logical units completed (privatized tasks count twice).
+    completed: usize,
+    /// Logical units total.
+    total: usize,
+    /// Set when a task panicked: workers drain out instead of waiting.
+    poisoned: bool,
+}
+
+struct Shared<'g> {
+    graph: &'g TaskGraph,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl<'g> Shared<'g> {
+    fn pop_blocking(&self) -> Option<Entry> {
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.poisoned {
+                return None;
+            }
+            if let Some(e) = inner.ready.pop() {
+                return Some(e);
+            }
+            if inner.completed == inner.total {
+                return None;
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Marks the run as failed so every worker drains out; called when a
+    /// task panics, before the panic is propagated through the scope.
+    fn poison(&self) {
+        let mut inner = self.inner.lock();
+        inner.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Post-completion bookkeeping; pushes newly ready entries and wakes
+    /// waiting workers.
+    fn complete(&self, task: TaskId, phase: TaskPhase) {
+        let graph = self.graph;
+        let mut inner = self.inner.lock();
+        inner.completed += 1;
+        match phase {
+            TaskPhase::PrivateConvolve => {
+                inner.conv_done[task] = true;
+                if inner.pending[task] == 0 {
+                    inner.ready.push(Entry {
+                        weight: graph.weight(task),
+                        payload: (task as u64) * 4 + TaskPhase::Reduce.encode(),
+                    });
+                }
+            }
+            TaskPhase::Normal | TaskPhase::Reduce => {
+                for s in graph.succs(task) {
+                    inner.pending[s] -= 1;
+                    if inner.pending[s] == 0 {
+                        if graph.privatized(s) {
+                            if inner.conv_done[s] {
+                                inner.ready.push(Entry {
+                                    weight: graph.weight(s),
+                                    payload: (s as u64) * 4 + TaskPhase::Reduce.encode(),
+                                });
+                            }
+                            // Otherwise the reduce is pushed when the
+                            // convolve phase completes.
+                        } else {
+                            inner.ready.push(Entry {
+                                weight: graph.weight(s),
+                                payload: (s as u64) * 4 + TaskPhase::Normal.encode(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Wake everyone: multiple entries may have become ready, and the
+        // termination condition must also be re-checked by all sleepers.
+        self.cv.notify_all();
+    }
+}
+
+/// A fixed-width thread team. Threads are spawned per call via scoped
+/// threads, so closures may borrow freely from the caller's stack.
+///
+/// ```
+/// use nufft_parallel::exec::Executor;
+/// use nufft_parallel::graph::{QueuePolicy, TaskGraph};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let graph = TaskGraph::new(&[3, 3]);
+/// let ran = AtomicUsize::new(0);
+/// Executor::new(2).run_graph(&graph, QueuePolicy::Priority, |_task, _phase, _worker| {
+///     ran.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(ran.load(Ordering::Relaxed), 9); // every task ran exactly once
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        Executor { threads }
+    }
+
+    /// An executor sized to the host's available parallelism.
+    pub fn host() -> Self {
+        let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Executor::new(t)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task of `graph` exactly once, respecting dependency edges
+    /// and the privatization protocol. `task_fn(task, phase, worker)` is
+    /// called for each (task, phase) unit; the caller guarantees that the
+    /// work done under [`TaskPhase::Normal`]/[`TaskPhase::Reduce`] for
+    /// adjacent tasks touches the shared grid only within the task's own
+    /// partition halo (which the TDG then serializes correctly).
+    pub fn run_graph<F>(&self, graph: &TaskGraph, policy: QueuePolicy, task_fn: F) -> RunStats
+    where
+        F: Fn(TaskId, TaskPhase, usize) + Sync,
+    {
+        let n = graph.len();
+        let mut ready = ReadyQueue::new(policy);
+        let mut pending = vec![0u32; n];
+        let mut total = 0usize;
+        for t in 0..n {
+            pending[t] = graph.pred_count(t) as u32;
+            if graph.privatized(t) {
+                total += 2;
+                // Convolve phase is ready immediately regardless of edges.
+                ready.push(Entry {
+                    weight: graph.weight(t),
+                    payload: (t as u64) * 4 + TaskPhase::PrivateConvolve.encode(),
+                });
+                // A privatized task with no predecessors still must wait for
+                // its own convolve phase, handled via conv_done below.
+            } else {
+                total += 1;
+                if pending[t] == 0 {
+                    ready.push(Entry {
+                        weight: graph.weight(t),
+                        payload: (t as u64) * 4 + TaskPhase::Normal.encode(),
+                    });
+                }
+            }
+        }
+        let shared = Shared {
+            graph,
+            inner: Mutex::new(Inner {
+                ready,
+                pending,
+                conv_done: vec![false; n],
+                completed: 0,
+                total,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        };
+
+        let t0 = Instant::now();
+        let busy: Vec<Mutex<f64>> = (0..self.threads).map(|_| Mutex::new(0.0)).collect();
+        let logs: Vec<Mutex<Vec<TaskRecord>>> =
+            (0..self.threads).map(|_| Mutex::new(Vec::new())).collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..self.threads {
+                let shared = &shared;
+                let task_fn = &task_fn;
+                let busy = &busy[w];
+                let log = &logs[w];
+                scope.spawn(move || {
+                    while let Some(e) = shared.pop_blocking() {
+                        let task = (e.payload / 4) as TaskId;
+                        let phase = TaskPhase::decode(e.payload % 4);
+                        let start = t0.elapsed().as_secs_f64();
+                        // A panicking task must not leave the other workers
+                        // blocked on the condvar: poison first, then let the
+                        // scope propagate the panic.
+                        let result = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| task_fn(task, phase, w)),
+                        );
+                        if let Err(payload) = result {
+                            shared.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                        let end = t0.elapsed().as_secs_f64();
+                        *busy.lock() += end - start;
+                        log.lock().push(TaskRecord { task, phase, worker: w, start, end });
+                        shared.complete(task, phase);
+                    }
+                });
+            }
+        });
+
+        let makespan = t0.elapsed().as_secs_f64();
+        let worker_busy: Vec<f64> = busy.iter().map(|m| *m.lock()).collect();
+        let mut log = Vec::new();
+        for l in logs {
+            log.extend(l.into_inner());
+        }
+        RunStats { makespan, worker_busy, log }
+    }
+
+    /// Dynamic parallel loop over `0..n`: workers grab `grain`-sized chunks
+    /// from an atomic counter until the range is exhausted.
+    ///
+    /// # Panics
+    /// Panics if `grain == 0`.
+    pub fn parallel_for<F>(&self, n: usize, grain: usize, body: F)
+    where
+        F: Fn(core::ops::Range<usize>, usize) + Sync,
+    {
+        assert!(grain > 0, "grain must be positive");
+        if n == 0 {
+            return;
+        }
+        if self.threads == 1 {
+            body(0..n, 0);
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..self.threads {
+                let next = &next;
+                let body = &body;
+                scope.spawn(move || loop {
+                    let start = next.fetch_add(grain, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + grain).min(n);
+                    body(start..end, w);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU32};
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let graph = TaskGraph::new(&[4, 5]);
+        let counts: Vec<AtomicU32> = (0..graph.len()).map(|_| AtomicU32::new(0)).collect();
+        let exec = Executor::new(4);
+        let stats = exec.run_graph(&graph, QueuePolicy::Fifo, |t, phase, _w| {
+            assert_eq!(phase, TaskPhase::Normal);
+            counts[t].fetch_add(1, Ordering::SeqCst);
+        });
+        for (t, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {t}");
+        }
+        assert_eq!(stats.log.len(), graph.len());
+    }
+
+    #[test]
+    fn privatized_tasks_run_two_phases_in_order() {
+        let mut graph = TaskGraph::new(&[3, 3]);
+        for t in 0..graph.len() {
+            graph.set_privatized(t, t % 2 == 0);
+        }
+        let conv_seen: Vec<AtomicBool> =
+            (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        let reduce_seen: Vec<AtomicBool> =
+            (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        let exec = Executor::new(3);
+        exec.run_graph(&graph, QueuePolicy::Priority, |t, phase, _w| match phase {
+            TaskPhase::Normal => {
+                assert!(!graph.privatized(t));
+            }
+            TaskPhase::PrivateConvolve => {
+                assert!(graph.privatized(t));
+                assert!(!reduce_seen[t].load(Ordering::SeqCst), "reduce before convolve");
+                conv_seen[t].store(true, Ordering::SeqCst);
+            }
+            TaskPhase::Reduce => {
+                assert!(graph.privatized(t));
+                assert!(conv_seen[t].load(Ordering::SeqCst), "reduce before convolve");
+                reduce_seen[t].store(true, Ordering::SeqCst);
+            }
+        });
+        for t in 0..graph.len() {
+            if graph.privatized(t) {
+                assert!(conv_seen[t].load(Ordering::SeqCst));
+                assert!(reduce_seen[t].load(Ordering::SeqCst));
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_order_is_respected() {
+        let graph = TaskGraph::new(&[5, 4]);
+        let done: Vec<AtomicBool> = (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        let exec = Executor::new(4);
+        exec.run_graph(&graph, QueuePolicy::Fifo, |t, _phase, _w| {
+            for p in graph.preds(t) {
+                assert!(done[p].load(Ordering::SeqCst), "task {t} ran before pred {p}");
+            }
+            done[t].store(true, Ordering::SeqCst);
+        });
+    }
+
+    /// The load-bearing safety property: no two adjacent tasks are ever in
+    /// flight at the same time, under any interleaving the OS gives us.
+    #[test]
+    fn adjacent_tasks_never_run_concurrently() {
+        let graph = TaskGraph::new(&[6, 6]);
+        let running: Vec<AtomicBool> =
+            (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        let exec = Executor::new(8);
+        for policy in [QueuePolicy::Fifo, QueuePolicy::Priority] {
+            exec.run_graph(&graph, policy, |t, _phase, _w| {
+                running[t].store(true, Ordering::SeqCst);
+                for other in 0..graph.len() {
+                    if graph.adjacent(t, other) {
+                        assert!(
+                            !running[other].load(Ordering::SeqCst),
+                            "adjacent tasks {t} and {other} concurrent"
+                        );
+                    }
+                }
+                // Dwell to widen the race window.
+                std::thread::yield_now();
+                for other in 0..graph.len() {
+                    if graph.adjacent(t, other) {
+                        assert!(!running[other].load(Ordering::SeqCst));
+                    }
+                }
+                running[t].store(false, Ordering::SeqCst);
+            });
+        }
+    }
+
+    /// Privatized convolve phases may overlap with anything; reductions must
+    /// still be mutually excluded from adjacent shared-grid writers.
+    #[test]
+    fn privatized_reductions_are_excluded_like_normal_tasks() {
+        let mut graph = TaskGraph::new(&[5, 5]);
+        graph.set_privatized(12, true); // center task
+        let touching_grid: Vec<AtomicBool> =
+            (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        let exec = Executor::new(6);
+        exec.run_graph(&graph, QueuePolicy::Priority, |t, phase, _w| {
+            if phase == TaskPhase::PrivateConvolve {
+                return; // private buffer only
+            }
+            touching_grid[t].store(true, Ordering::SeqCst);
+            for other in 0..graph.len() {
+                if graph.adjacent(t, other) {
+                    assert!(!touching_grid[other].load(Ordering::SeqCst));
+                }
+            }
+            std::thread::yield_now();
+            touching_grid[t].store(false, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn single_worker_priority_order_respects_weights() {
+        // With one worker and all tasks independent (1×n grid has a chain,
+        // so use rank-0 tasks of a 1D row): build 1×7 grid — ranks alternate.
+        // Instead use a 7×1 grid: dims [7,1] -> 1D chain. For a pure
+        // independence test use dims [9] with every task rank 0? A 1D grid
+        // alternates ranks 0/1, so rank-0 tasks {0,2,4,...} are independent
+        // and should pop in weight order.
+        let mut graph = TaskGraph::new(&[9]);
+        let weights = [50u64, 0, 10, 0, 90, 0, 20, 0, 70];
+        for (t, &w) in weights.iter().enumerate() {
+            graph.set_weight(t, w);
+        }
+        let order = Mutex::new(Vec::new());
+        let exec = Executor::new(1);
+        exec.run_graph(&graph, QueuePolicy::Priority, |t, _phase, _w| {
+            order.lock().push(t);
+        });
+        let order = order.into_inner();
+        // The first popped task must be the heaviest rank-0 task (4: w=90).
+        assert_eq!(order[0], 4, "got order {order:?}");
+        // All 9 ran.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let graph = TaskGraph::new(&[4, 4]);
+        let exec = Executor::new(2);
+        let stats = exec.run_graph(&graph, QueuePolicy::Fifo, |_t, _p, _w| {
+            std::hint::black_box(0u64);
+        });
+        assert_eq!(stats.worker_busy.len(), 2);
+        assert!(stats.makespan > 0.0);
+        assert_eq!(stats.log.len(), 16);
+        assert!(stats.efficiency() > 0.0 && stats.efficiency() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn parallel_for_covers_range_exactly_once() {
+        let n = 1000;
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let exec = Executor::new(4);
+        exec.parallel_for(n, 13, |range, _w| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        let exec = Executor::new(3);
+        exec.parallel_for(0, 8, |_r, _w| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Executor::new(0);
+    }
+
+    #[test]
+    fn panicking_task_propagates_rather_than_deadlocking() {
+        // A panic inside one task must unwind out of run_graph (scoped
+        // threads propagate), never hang the other workers forever.
+        let graph = TaskGraph::new(&[3, 3]);
+        let exec = Executor::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.run_graph(&graph, QueuePolicy::Fifo, |t, _p, _w| {
+                if t == 4 {
+                    panic!("injected task failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+    }
+
+    #[test]
+    fn oversubscribed_executor_still_completes() {
+        // Many more workers than host cores (and than ready tasks).
+        let graph = TaskGraph::new(&[2, 2]);
+        let count = AtomicU32::new(0);
+        Executor::new(16).run_graph(&graph, QueuePolicy::Priority, |_t, _p, _w| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn parallel_for_grain_larger_than_range() {
+        let hits = AtomicU32::new(0);
+        Executor::new(4).parallel_for(3, 100, |r, _w| {
+            hits.fetch_add(r.len() as u32, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,524 @@
+//! The task-dependency graph (§III-B2).
+//!
+//! Tasks are the cells of a d-dimensional grid of partitions. A task's
+//! *turn* collects the parity (least significant bit) of its partition index
+//! in each dimension with two or more partitions. Turns are ordered by the
+//! Gray code; a task with turn of Gray rank `g > 0` may start only after its
+//! (at most two) neighbors along the single dimension in which
+//! `gray(g) ^ gray(g-1)` differs — those neighbors carry exactly the
+//! previous turn. Dimensions with a single partition carry no parity bit
+//! (they can never separate two adjacent tasks) and are excluded from the
+//! turn, exactly as required for the exclusion invariant to hold at grid
+//! boundaries.
+
+use crate::gray::{gray_code, gray_rank};
+
+/// Index of a task within a [`TaskGraph`].
+pub type TaskId = usize;
+
+/// Ready-queue discipline used when executing a graph (§III-B3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// First-in-first-out — the paper's "normal queue" baseline.
+    Fifo,
+    /// Largest-weight-first — the paper's priority queue.
+    Priority,
+}
+
+/// A static dependency graph over a d-dimensional grid of partition tasks.
+///
+/// Built once during NUFFT preprocessing and reused by every adjoint
+/// convolution call (and by the `nufft-sim` virtual executor).
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    /// Number of partitions in each dimension.
+    dims: Vec<usize>,
+    /// Strides for flattening a partition multi-index (row-major).
+    strides: Vec<usize>,
+    /// Which dims participate in the turn (those with ≥ 2 partitions).
+    turn_dims: Vec<usize>,
+    /// Gray rank of each task's turn.
+    rank: Vec<u32>,
+    /// Up to 2 predecessor task ids per task.
+    preds: Vec<[Option<TaskId>; 2]>,
+    /// Up to 2 successor task ids per task.
+    succs: Vec<[Option<TaskId>; 2]>,
+    /// Task weight — the number of samples the task owns. Used as the
+    /// priority key and by the simulator's cost model.
+    weights: Vec<u64>,
+    /// Whether the task is selectively privatized (§III-B4).
+    privatized: Vec<bool>,
+    /// Per-dimension periodicity: `wrap[d]` makes partitions 0 and
+    /// `dims[d]-1` neighbors (grid convolution wraps mod M, so edge
+    /// partitions' halos overlap through the boundary).
+    wrap: Vec<bool>,
+}
+
+impl TaskGraph {
+    /// Builds the graph for a partition grid with `dims[d]` partitions along
+    /// dimension `d`. Weights and privatization flags start at zero/false;
+    /// set them with [`TaskGraph::set_weight`] / [`TaskGraph::set_privatized`].
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or contains a zero.
+    pub fn new(dims: &[usize]) -> Self {
+        Self::new_cyclic(dims, &vec![false; dims.len()])
+    }
+
+    /// Builds the graph with per-dimension periodicity. Along a wrapped
+    /// dimension the first and last partitions are treated as adjacent: they
+    /// gain dependency edges through the boundary and
+    /// [`TaskGraph::adjacent`] accounts for the cyclic distance.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or contains a zero, if `wrap.len() !=
+    /// dims.len()`, or if a wrapped dimension has an odd partition count
+    /// other than 1 (parity — and hence the turn/Gray-code invariant — is
+    /// only consistent around an even cycle).
+    pub fn new_cyclic(dims: &[usize], wrap: &[bool]) -> Self {
+        assert!(!dims.is_empty(), "at least one dimension required");
+        assert!(dims.iter().all(|&n| n > 0), "all dimensions must be non-empty");
+        assert_eq!(wrap.len(), dims.len(), "wrap flags must match dimensions");
+        for d in 0..dims.len() {
+            assert!(
+                !wrap[d] || dims[d] == 1 || dims[d].is_multiple_of(2),
+                "wrapped dimension {d} must have an even partition count (got {})",
+                dims[d]
+            );
+        }
+        let nd = dims.len();
+        let mut strides = vec![1usize; nd];
+        for d in (0..nd - 1).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+        let n_tasks: usize = dims.iter().product();
+        let turn_dims: Vec<usize> = (0..nd).filter(|&d| dims[d] >= 2).collect();
+
+        let mut graph = TaskGraph {
+            dims: dims.to_vec(),
+            strides,
+            turn_dims,
+            rank: vec![0; n_tasks],
+            preds: vec![[None; 2]; n_tasks],
+            succs: vec![[None; 2]; n_tasks],
+            weights: vec![0; n_tasks],
+            privatized: vec![false; n_tasks],
+            wrap: wrap.to_vec(),
+        };
+
+        let tbits = graph.turn_dims.len();
+        for t in 0..n_tasks {
+            let idx = graph.unflatten(t);
+            let turn = graph.turn_of(&idx);
+            let g = gray_rank(turn) as u32;
+            graph.rank[t] = g;
+            if g > 0 {
+                // The dimension in which this turn differs from the previous
+                // Gray code: its bit position within turn_dims.
+                let diff = turn ^ gray_code(g as usize - 1);
+                debug_assert_eq!(diff.count_ones(), 1);
+                let bit = diff.trailing_zeros() as usize;
+                let dim = graph.turn_dims[bit];
+                let (lo, hi) = graph.dim_neighbors(&idx, dim);
+                graph.preds[t] = [lo, hi];
+            }
+            // Successors: neighbors along the dimension in which the *next*
+            // Gray code differs, provided a next turn exists.
+            if (g as usize) + 1 < (1 << tbits) {
+                let diff = turn ^ gray_code(g as usize + 1);
+                debug_assert_eq!(diff.count_ones(), 1);
+                let bit = diff.trailing_zeros() as usize;
+                let dim = graph.turn_dims[bit];
+                let (lo, hi) = graph.dim_neighbors(&idx, dim);
+                graph.succs[t] = [lo, hi];
+            }
+        }
+        graph
+    }
+
+    /// The (deduplicated) pair of neighbors of `idx` along `dim`, honoring
+    /// the dimension's wrap flag. Packed left so `[Some, None]` layouts stay
+    /// canonical.
+    fn dim_neighbors(&self, idx: &[usize], dim: usize) -> (Option<TaskId>, Option<TaskId>) {
+        let n = self.dims[dim];
+        let mut out = [None, None];
+        let mut k = 0;
+        let mut push = |i: usize| {
+            let mut nb = idx.to_vec();
+            nb[dim] = i;
+            let t = self.flatten(&nb);
+            if out[..k].contains(&Some(t)) {
+                return;
+            }
+            out[k] = Some(t);
+            k += 1;
+        };
+        if idx[dim] > 0 {
+            push(idx[dim] - 1);
+        } else if self.wrap[dim] && n > 1 {
+            push(n - 1);
+        }
+        if idx[dim] + 1 < n {
+            push(idx[dim] + 1);
+        } else if self.wrap[dim] && n > 1 {
+            push(0);
+        }
+        (out[0], out[1])
+    }
+
+    /// Number of tasks (product of the partition counts).
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// True if the graph has no tasks (cannot happen — dims are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// Partition counts per dimension.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Flattens a partition multi-index to a [`TaskId`] (row-major).
+    pub fn flatten(&self, idx: &[usize]) -> TaskId {
+        idx.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum()
+    }
+
+    /// Inverse of [`TaskGraph::flatten`].
+    pub fn unflatten(&self, mut t: TaskId) -> Vec<usize> {
+        let mut idx = vec![0; self.dims.len()];
+        for d in 0..self.dims.len() {
+            idx[d] = t / self.strides[d];
+            t %= self.strides[d];
+        }
+        idx
+    }
+
+    /// The turn word of a partition multi-index (parities of the dims that
+    /// participate in scheduling).
+    pub fn turn_of(&self, idx: &[usize]) -> usize {
+        let mut turn = 0;
+        for (bit, &d) in self.turn_dims.iter().enumerate() {
+            turn |= (idx[d] & 1) << bit;
+        }
+        turn
+    }
+
+    /// Gray rank of the task's turn (0 = runs first).
+    pub fn rank(&self, t: TaskId) -> u32 {
+        self.rank[t]
+    }
+
+    /// Predecessor edges of `t` (at most two).
+    pub fn preds(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.preds[t].iter().flatten().copied()
+    }
+
+    /// Successor edges of `t` (at most two).
+    pub fn succs(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succs[t].iter().flatten().copied()
+    }
+
+    /// Number of unsatisfied dependencies `t` starts with.
+    pub fn pred_count(&self, t: TaskId) -> usize {
+        self.preds[t].iter().flatten().count()
+    }
+
+    /// Sets the task's weight (its sample count).
+    pub fn set_weight(&mut self, t: TaskId, w: u64) {
+        self.weights[t] = w;
+    }
+
+    /// The task's weight.
+    pub fn weight(&self, t: TaskId) -> u64 {
+        self.weights[t]
+    }
+
+    /// Marks/unmarks the task as selectively privatized.
+    pub fn set_privatized(&mut self, t: TaskId, p: bool) {
+        self.privatized[t] = p;
+    }
+
+    /// Whether the task is selectively privatized.
+    pub fn privatized(&self, t: TaskId) -> bool {
+        self.privatized[t]
+    }
+
+    /// Number of privatized tasks.
+    pub fn num_privatized(&self) -> usize {
+        self.privatized.iter().filter(|&&p| p).count()
+    }
+
+    /// True if tasks `a` and `b` are distinct and adjacent (Chebyshev
+    /// distance ≤ 1 in partition index space, cyclically along wrapped
+    /// dimensions) — i.e. their `W`-halos may overlap and they must never
+    /// run concurrently. Used by tests and the simulator's safety checker.
+    pub fn adjacent(&self, a: TaskId, b: TaskId) -> bool {
+        if a == b {
+            return false;
+        }
+        let ia = self.unflatten(a);
+        let ib = self.unflatten(b);
+        ia.iter().zip(&ib).enumerate().all(|(d, (&x, &y))| {
+            let lin = x.abs_diff(y);
+            let dist = if self.wrap[d] { lin.min(self.dims[d] - lin) } else { lin };
+            dist <= 1
+        })
+    }
+
+    /// Total weight across all tasks.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_serializes_completely() {
+        let g = TaskGraph::new(&[2, 2]);
+        // Ranks follow the Gray order 00,01,11,10 over (row, col) parities.
+        // idx (0,0) turn 00 rank 0; (0,1) col parity 1 -> depends on layout.
+        let ranks: Vec<u32> = (0..4).map(|t| g.rank(t)).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Each non-initial task has exactly one predecessor in a 2x2 grid.
+        for t in 0..4 {
+            if g.rank(t) > 0 {
+                assert_eq!(g.pred_count(t), 1, "task {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn preds_have_previous_rank() {
+        let g = TaskGraph::new(&[5, 4, 3]);
+        for t in 0..g.len() {
+            for p in g.preds(t) {
+                assert_eq!(g.rank(p) + 1, g.rank(t), "edge {p}->{t}");
+                assert!(g.adjacent(p, t));
+            }
+        }
+    }
+
+    #[test]
+    fn succs_mirror_preds() {
+        let g = TaskGraph::new(&[4, 4]);
+        for t in 0..g.len() {
+            for s in g.succs(t) {
+                assert!(g.preds(s).any(|p| p == t), "succ edge {t}->{s} missing back edge");
+            }
+            for p in g.preds(t) {
+                assert!(g.succs(p).any(|s| s == t), "pred edge {p}->{t} missing forward edge");
+            }
+        }
+    }
+
+    #[test]
+    fn same_rank_tasks_are_never_adjacent() {
+        for dims in [vec![6usize, 5], vec![3, 4, 5], vec![2, 2, 2], vec![1, 7, 4]] {
+            let g = TaskGraph::new(&dims);
+            for a in 0..g.len() {
+                for b in (a + 1)..g.len() {
+                    if g.rank(a) == g.rank(b) {
+                        assert!(!g.adjacent(a, b), "dims {dims:?}: tasks {a},{b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_dims_carry_no_turn_bit() {
+        let g = TaskGraph::new(&[1, 4]);
+        // Effective 1D: ranks alternate 0,1 along the second dimension.
+        let ranks: Vec<u32> = (0..4).map(|t| g.rank(t)).collect();
+        assert_eq!(ranks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn rank_zero_tasks_have_no_preds() {
+        let g = TaskGraph::new(&[4, 3, 2]);
+        for t in 0..g.len() {
+            assert_eq!(g.rank(t) == 0, g.pred_count(t) == 0, "task {t}");
+        }
+    }
+
+    #[test]
+    fn weights_and_privatization_round_trip() {
+        let mut g = TaskGraph::new(&[3, 3]);
+        g.set_weight(4, 100);
+        g.set_privatized(4, true);
+        assert_eq!(g.weight(4), 100);
+        assert!(g.privatized(4));
+        assert_eq!(g.num_privatized(), 1);
+        assert_eq!(g.total_weight(), 100);
+    }
+
+    #[test]
+    fn flatten_unflatten_round_trip() {
+        let g = TaskGraph::new(&[3, 5, 2]);
+        for t in 0..g.len() {
+            assert_eq!(g.flatten(&g.unflatten(t)), t);
+        }
+    }
+
+    fn assert_adjacent_ordered(g: &TaskGraph, dims: &[usize], wrap: &[bool]) {
+        let n = g.len();
+        // Reachability closure over successor edges.
+        let mut reach = vec![vec![false; n]; n];
+        let mut order: Vec<TaskId> = (0..n).collect();
+        order.sort_by_key(|&t| core::cmp::Reverse(g.rank(t)));
+        for &t in &order {
+            for s in g.succs(t) {
+                reach[t][s] = true;
+                for j in 0..n {
+                    if reach[s][j] {
+                        reach[t][j] = true;
+                    }
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && g.adjacent(a, b) {
+                    assert!(
+                        reach[a][b] || reach[b][a],
+                        "dims {dims:?} wrap {wrap:?}: adjacent tasks {a} (rank {}) and {b} \
+                         (rank {}) unordered",
+                        g.rank(a),
+                        g.rank(b)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The exclusion invariant the whole adjoint convolution rests on, for
+    /// periodic (wrapped) grids: edge partitions' halos overlap through the
+    /// mod-M boundary, and the cyclic graph must order them too.
+    #[test]
+    fn cyclic_adjacent_tasks_are_always_ordered() {
+        for dims in [
+            vec![2usize, 2],
+            vec![4, 4],
+            vec![6, 4],
+            vec![2, 6],
+            vec![1, 4],
+            vec![4, 2, 2],
+            vec![2, 2, 2],
+            vec![4, 4, 4],
+            vec![6, 2, 4],
+            vec![1, 2, 4],
+        ] {
+            let wrap = vec![true; dims.len()];
+            let g = TaskGraph::new_cyclic(&dims, &wrap);
+            assert_adjacent_ordered(&g, &dims, &wrap);
+        }
+        // Mixed wrap flags (odd counts allowed on non-wrapped dims).
+        for (dims, wrap) in [
+            (vec![5usize, 4], vec![false, true]),
+            (vec![4, 3], vec![true, false]),
+            (vec![3, 4, 2], vec![false, true, true]),
+        ] {
+            let g = TaskGraph::new_cyclic(&dims, &wrap);
+            assert_adjacent_ordered(&g, &dims, &wrap);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even partition count")]
+    fn cyclic_odd_partition_count_rejected() {
+        let _ = TaskGraph::new_cyclic(&[3, 4], &[true, false]);
+    }
+
+    #[test]
+    fn cyclic_edges_cross_the_boundary() {
+        let g = TaskGraph::new_cyclic(&[4], &[true]);
+        // Task 3 (odd index, rank 1) must depend on both neighbors: 2 and 0.
+        let preds: Vec<_> = g.preds(3).collect();
+        assert!(preds.contains(&2) && preds.contains(&0), "{preds:?}");
+        assert!(g.adjacent(0, 3));
+    }
+
+    #[test]
+    fn cyclic_two_partition_dim_dedups_neighbor() {
+        let g = TaskGraph::new_cyclic(&[2], &[true]);
+        // Task 1's -1 and +1 neighbors are both task 0: one edge, not two.
+        assert_eq!(g.pred_count(1), 1);
+    }
+
+    /// The exclusion invariant the whole adjoint convolution rests on:
+    /// any two *adjacent* tasks (overlapping halos) must be totally ordered
+    /// by the dependency DAG, so no schedule can ever run them concurrently.
+    #[test]
+    fn adjacent_tasks_are_always_ordered_by_the_dag() {
+        for dims in [
+            vec![4usize, 5],
+            vec![2, 2],
+            vec![3, 3],
+            vec![7, 2],
+            vec![1, 6],
+            vec![3, 4, 3],
+            vec![2, 3, 2],
+            vec![2, 1, 2],
+            vec![1, 2, 2],
+            vec![4, 4, 4],
+            vec![5, 1, 1],
+        ] {
+            let g = TaskGraph::new(&dims);
+            let n = g.len();
+            // Reachability closure over successor edges.
+            let mut reach = vec![vec![false; n]; n];
+            // Process tasks in decreasing rank so successors are final.
+            let mut order: Vec<TaskId> = (0..n).collect();
+            order.sort_by_key(|&t| core::cmp::Reverse(g.rank(t)));
+            for &t in &order {
+                for s in g.succs(t) {
+                    reach[t][s] = true;
+                    for j in 0..n {
+                        if reach[s][j] {
+                            reach[t][j] = true;
+                        }
+                    }
+                }
+            }
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b && g.adjacent(a, b) {
+                        assert!(
+                            reach[a][b] || reach[b][a],
+                            "dims {dims:?}: adjacent tasks {a} (rank {}) and {b} (rank {}) unordered",
+                            g.rank(a),
+                            g.rank(b)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_acyclic_and_complete() {
+        // Topological execution must cover every task.
+        let g = TaskGraph::new(&[5, 5, 5]);
+        let mut pending: Vec<usize> = (0..g.len()).map(|t| g.pred_count(t)).collect();
+        let mut ready: Vec<TaskId> = (0..g.len()).filter(|&t| pending[t] == 0).collect();
+        let mut done = 0;
+        while let Some(t) = ready.pop() {
+            done += 1;
+            for s in g.succs(t) {
+                pending[s] -= 1;
+                if pending[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        assert_eq!(done, g.len(), "deadlocked tasks remain");
+    }
+}

@@ -1,0 +1,73 @@
+//! Binary Gray codes (§III-B2).
+//!
+//! The scheduler orders task *turns* by the reflected binary Gray code so
+//! that consecutive turns differ in exactly one bit — i.e. one partition
+//! dimension — which is what bounds the dependency fan-in/out of every task
+//! to two edges in each direction.
+
+/// The `rank`-th reflected binary Gray code: `rank ^ (rank >> 1)`.
+///
+/// For 2 bits the sequence is `00, 01, 11, 10`; for 3 bits
+/// `000, 001, 011, 010, 110, 111, 101, 100` — exactly the orderings quoted in
+/// the paper.
+#[inline]
+pub fn gray_code(rank: usize) -> usize {
+    rank ^ (rank >> 1)
+}
+
+/// Inverse of [`gray_code`]: the position of `code` in the Gray sequence,
+/// computed by the prefix-XOR of all right shifts.
+#[inline]
+pub fn gray_rank(code: usize) -> usize {
+    let mut rank = 0;
+    let mut g = code;
+    while g > 0 {
+        rank ^= g;
+        g >>= 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_sequence_matches_paper() {
+        let seq: Vec<usize> = (0..4).map(gray_code).collect();
+        assert_eq!(seq, vec![0b00, 0b01, 0b11, 0b10]);
+    }
+
+    #[test]
+    fn three_bit_sequence_matches_paper() {
+        let seq: Vec<usize> = (0..8).map(gray_code).collect();
+        assert_eq!(seq, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+    }
+
+    #[test]
+    fn consecutive_codes_differ_in_one_bit() {
+        for bits in 1..=4usize {
+            for r in 1..(1 << bits) {
+                let diff = gray_code(r) ^ gray_code(r - 1);
+                assert_eq!(diff.count_ones(), 1, "bits={bits} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_inverts_code() {
+        for r in 0..256 {
+            assert_eq!(gray_rank(gray_code(r)), r, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn code_is_a_permutation() {
+        let mut seen = [false; 64];
+        for r in 0..64 {
+            let c = gray_code(r);
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Task runtime for the NUFFT suite — the paper's §III-B machinery.
+//!
+//! The adjoint NUFFT convolution scatters samples onto a shared Cartesian
+//! grid, so two tasks whose partitions are adjacent (their `W`-halos overlap)
+//! must never run concurrently. The paper's scheme, reproduced here:
+//!
+//! * [`graph`] — tasks are cells of a d-dimensional partition grid; each
+//!   task's *turn* is the d-bit word of its per-dimension index parities, and
+//!   turns are ordered by the binary **Gray code** so that consecutive turns
+//!   differ in exactly one dimension. A task depends on (at most) its two
+//!   neighbors along that dimension with the previous turn — 2 forward and 2
+//!   backward edges per task, no global barrier (§III-B2);
+//! * [`queue`] — FIFO and priority (largest-task-first) ready queues
+//!   (§III-B3);
+//! * [`exec`] — a blocking-queue executor that runs a
+//!   [`TaskGraph`] on `T` threads, including the two-phase
+//!   *selective privatization* protocol (§III-B4): privatized tasks run their
+//!   convolution immediately into a private buffer and enqueue a reduction
+//!   that respects the TDG edges; plus a dynamic `parallel_for` used for the
+//!   forward (gather) convolution and FFT lines.
+//!
+//! Everything is instrumented: the executor returns per-worker busy times and
+//! a per-task execution log, which both the load-balance experiments and the
+//! `nufft-sim` cost-model calibration consume.
+
+// Index-based loops below frequently address several parallel arrays
+// at once; clippy's iterator suggestion would obscure that.
+#![allow(clippy::needless_range_loop)]
+
+pub mod exec;
+pub mod graph;
+pub mod gray;
+pub mod queue;
+
+pub use exec::{Executor, RunStats, TaskPhase};
+pub use graph::{QueuePolicy, TaskGraph, TaskId};
+pub use gray::{gray_code, gray_rank};

@@ -1,0 +1,176 @@
+//! AVX2+FMA implementations: 256-bit vectors, four interleaved complex `f32`
+//! values per register, with fused multiply-add. This is the "wider SIMD on
+//! future architectures" configuration the paper projects (§VII).
+
+#![cfg(target_arch = "x86_64")]
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+use nufft_math::Complex32;
+
+/// Expands four weights `[w0,w1,w2,w3]` to `[w0,w0,w1,w1,w2,w2,w3,w3]`.
+#[inline(always)]
+unsafe fn dup_weights4(wp: *const f32) -> __m256 {
+    let w4 = _mm_loadu_ps(wp);
+    let both = _mm256_insertf128_ps(_mm256_castps128_ps256(w4), w4, 1);
+    let idx = _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3);
+    _mm256_permutevar8x32_ps(both, idx)
+}
+
+/// Broadcasts a complex value to `[re,im,re,im,re,im,re,im]`.
+#[inline(always)]
+unsafe fn broadcast_c32(val: Complex32) -> __m256 {
+    _mm256_setr_ps(val.re, val.im, val.re, val.im, val.re, val.im, val.re, val.im)
+}
+
+/// `dst[i] += val * w[i]`, 4 complex values per iteration with FMA.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA (checked by the dispatcher).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn scatter_row(dst: &mut [Complex32], w: &[f32], val: Complex32) {
+    debug_assert_eq!(dst.len(), w.len());
+    let n = dst.len();
+    let dp = dst.as_mut_ptr() as *mut f32;
+    let wp = w.as_ptr();
+    let vv = broadcast_c32(val);
+    let mut i = 0;
+    while i + 4 <= n {
+        let ww = dup_weights4(wp.add(i));
+        let d = _mm256_loadu_ps(dp.add(2 * i));
+        _mm256_storeu_ps(dp.add(2 * i), _mm256_fmadd_ps(ww, vv, d));
+        i += 4;
+    }
+    while i < n {
+        let wi = *wp.add(i);
+        dst.get_unchecked_mut(i).re += val.re * wi;
+        dst.get_unchecked_mut(i).im += val.im * wi;
+        i += 1;
+    }
+}
+
+/// Two-row scatter sharing one weight row (small-`W` SIMD-across-`y`,
+/// §III-C). Processes both rows in one pass so short rows still keep the
+/// vector units busy.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn scatter_row2(
+    dst0: &mut [Complex32],
+    val0: Complex32,
+    dst1: &mut [Complex32],
+    val1: Complex32,
+    w: &[f32],
+) {
+    debug_assert_eq!(dst0.len(), w.len());
+    debug_assert_eq!(dst1.len(), w.len());
+    let n = w.len();
+    let d0 = dst0.as_mut_ptr() as *mut f32;
+    let d1 = dst1.as_mut_ptr() as *mut f32;
+    let wp = w.as_ptr();
+    let v0 = broadcast_c32(val0);
+    let v1 = broadcast_c32(val1);
+    let mut i = 0;
+    while i + 4 <= n {
+        let ww = dup_weights4(wp.add(i));
+        let a = _mm256_loadu_ps(d0.add(2 * i));
+        let b = _mm256_loadu_ps(d1.add(2 * i));
+        _mm256_storeu_ps(d0.add(2 * i), _mm256_fmadd_ps(ww, v0, a));
+        _mm256_storeu_ps(d1.add(2 * i), _mm256_fmadd_ps(ww, v1, b));
+        i += 4;
+    }
+    while i < n {
+        let wi = *wp.add(i);
+        dst0.get_unchecked_mut(i).re += val0.re * wi;
+        dst0.get_unchecked_mut(i).im += val0.im * wi;
+        dst1.get_unchecked_mut(i).re += val1.re * wi;
+        dst1.get_unchecked_mut(i).im += val1.im * wi;
+        i += 1;
+    }
+}
+
+/// `Σ_i src[i] * w[i]`, 4 complex values per iteration with FMA.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gather_row(src: &[Complex32], w: &[f32]) -> Complex32 {
+    debug_assert_eq!(src.len(), w.len());
+    let n = src.len();
+    let sp = src.as_ptr() as *const f32;
+    let wp = w.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 4 <= n {
+        let ww = dup_weights4(wp.add(i));
+        let s = _mm256_loadu_ps(sp.add(2 * i));
+        acc = _mm256_fmadd_ps(ww, s, acc);
+        i += 4;
+    }
+    // Fold four complex lanes down to one.
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let s4 = _mm_add_ps(lo, hi); // [r0+r2, i0+i2, r1+r3, i1+i3]
+    let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+    let mut out = Complex32::new(_mm_cvtss_f32(s2), {
+        let im = _mm_shuffle_ps(s2, s2, 0b01);
+        _mm_cvtss_f32(im)
+    });
+    while i < n {
+        let wi = *wp.add(i);
+        let s = *src.get_unchecked(i);
+        out.re += s.re * wi;
+        out.im += s.im * wi;
+        i += 1;
+    }
+    out
+}
+
+/// `dst[i] += src[i]` over complex buffers, 8 floats per iteration.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn accumulate(dst: &mut [Complex32], src: &[Complex32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n2 = dst.len() * 2;
+    let dp = dst.as_mut_ptr() as *mut f32;
+    let sp = src.as_ptr() as *const f32;
+    let mut i = 0;
+    while i + 8 <= n2 {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = _mm256_loadu_ps(sp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, s));
+        i += 8;
+    }
+    while i < n2 {
+        *dp.add(i) += *sp.add(i);
+        i += 1;
+    }
+}
+
+/// `buf[i] *= s[i]` — pointwise real scaling of a complex buffer.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn scale_by_real(buf: &mut [Complex32], s: &[f32]) {
+    debug_assert_eq!(buf.len(), s.len());
+    let n = buf.len();
+    let bp = buf.as_mut_ptr() as *mut f32;
+    let sp = s.as_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let sv = dup_weights4(sp.add(i));
+        let b = _mm256_loadu_ps(bp.add(2 * i));
+        _mm256_storeu_ps(bp.add(2 * i), _mm256_mul_ps(b, sv));
+        i += 4;
+    }
+    while i < n {
+        let si = *sp.add(i);
+        buf.get_unchecked_mut(i).re *= si;
+        buf.get_unchecked_mut(i).im *= si;
+        i += 1;
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime ISA detection and override.
+//!
+//! The best available instruction set is probed once and cached. Benchmarks
+//! that compare vector widths (Figure 13) pin a specific level with
+//! [`set_isa_override`]; an override above the machine's capability is
+//! rejected rather than silently accepted, so a kernel is never dispatched to
+//! an ISA the CPU cannot execute.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set level a kernel may be dispatched to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum IsaLevel {
+    /// Strictly element-at-a-time code with compiler auto-vectorization
+    /// suppressed — the semantics of the paper's "scalar" baseline. Only
+    /// useful as the reference arm of SIMD-speedup experiments (Figure 13);
+    /// [`crate::dispatch::detect_isa`] never returns it.
+    StrictScalar = 0,
+    /// Portable reference loops; the compiler is free to auto-vectorize
+    /// (on x86-64 LLVM typically emits SSE2 here).
+    Scalar = 1,
+    /// 128-bit SSE2 intrinsics (two complex `f32` per vector) — the paper's
+    /// SSE path.
+    Sse2 = 2,
+    /// 256-bit AVX2 with FMA (four complex `f32` per vector).
+    Avx2Fma = 3,
+}
+
+impl IsaLevel {
+    /// Number of `f32` lanes per vector at this level.
+    pub fn f32_lanes(self) -> usize {
+        match self {
+            IsaLevel::StrictScalar | IsaLevel::Scalar => 1,
+            IsaLevel::Sse2 => 4,
+            IsaLevel::Avx2Fma => 8,
+        }
+    }
+
+    /// Number of interleaved complex `f32` values per vector.
+    pub fn c32_lanes(self) -> usize {
+        (self.f32_lanes() / 2).max(1)
+    }
+
+    /// Short human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaLevel::StrictScalar => "scalar-strict",
+            IsaLevel::Scalar => "scalar",
+            IsaLevel::Sse2 => "sse",
+            IsaLevel::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// Probes the host CPU for the best supported [`IsaLevel`].
+pub fn detect_isa() -> IsaLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return IsaLevel::Avx2Fma;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return IsaLevel::Sse2;
+        }
+    }
+    IsaLevel::Scalar
+}
+
+// 0 = not yet initialized, otherwise IsaLevel as u8 + 1.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn decode(v: u8) -> Option<IsaLevel> {
+    match v {
+        1 => Some(IsaLevel::StrictScalar),
+        2 => Some(IsaLevel::Scalar),
+        3 => Some(IsaLevel::Sse2),
+        4 => Some(IsaLevel::Avx2Fma),
+        _ => None,
+    }
+}
+
+/// Returns the ISA level kernels currently dispatch to.
+///
+/// On first call this probes the CPU; afterwards it returns the cached value
+/// (possibly overridden by [`set_isa_override`]).
+pub fn active_isa() -> IsaLevel {
+    if let Some(l) = decode(ACTIVE.load(Ordering::Relaxed)) {
+        return l;
+    }
+    let detected = detect_isa();
+    // Racing initializers all write the same detected value.
+    let _ = ACTIVE.compare_exchange(0, detected as u8 + 1, Ordering::Relaxed, Ordering::Relaxed);
+    decode(ACTIVE.load(Ordering::Relaxed)).expect("ISA cache initialized")
+}
+
+/// Pins dispatch to a specific ISA level (for A/B benchmarking, Figure 13).
+///
+/// Returns `Err` with the detected capability if `level` exceeds what the
+/// host supports. Passing a supported level always succeeds and affects all
+/// threads.
+pub fn set_isa_override(level: IsaLevel) -> Result<(), IsaLevel> {
+    let detected = detect_isa();
+    if level > detected {
+        return Err(detected);
+    }
+    ACTIVE.store(level as u8 + 1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Serializes tests that override the process-global ISA level.
+#[cfg(test)]
+pub(crate) fn test_isa_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(detect_isa(), detect_isa());
+    }
+
+    #[test]
+    fn override_round_trip() {
+        let _guard = test_isa_guard();
+        let detected = detect_isa();
+        // Scalar is always permitted.
+        set_isa_override(IsaLevel::Scalar).unwrap();
+        assert_eq!(active_isa(), IsaLevel::Scalar);
+        // Restoring the detected level is always permitted.
+        set_isa_override(detected).unwrap();
+        assert_eq!(active_isa(), detected);
+    }
+
+    #[test]
+    fn lanes_are_consistent() {
+        assert_eq!(IsaLevel::Scalar.f32_lanes(), 1);
+        assert_eq!(IsaLevel::Sse2.f32_lanes(), 4);
+        assert_eq!(IsaLevel::Avx2Fma.f32_lanes(), 8);
+        assert_eq!(IsaLevel::Sse2.c32_lanes(), 2);
+        assert_eq!(IsaLevel::Avx2Fma.c32_lanes(), 4);
+    }
+
+    #[test]
+    fn ordering_reflects_capability() {
+        assert!(IsaLevel::Scalar < IsaLevel::Sse2);
+        assert!(IsaLevel::Sse2 < IsaLevel::Avx2Fma);
+    }
+}

@@ -1,0 +1,34 @@
+//! SIMD substrate for the NUFFT suite.
+//!
+//! The paper's convolution (§III-C) is vectorized with a *hybrid* strategy:
+//! interpolation-kernel coordinates (Part 1) are computed one sample per SIMD
+//! lane, while the convolution itself (Part 2) vectorizes *within* a sample
+//! over the contiguous innermost grid dimension. This crate supplies the
+//! Part 2 primitives — complex *row* operations over interleaved
+//! `(re, im)` `f32` buffers — in three implementations:
+//!
+//! * [`IsaLevel::Scalar`] — portable reference, always available;
+//! * [`IsaLevel::Sse2`] — 128-bit, 2 complex values per vector (the paper's
+//!   SSE4 configuration);
+//! * [`IsaLevel::Avx2Fma`] — 256-bit + FMA, 4 complex values per vector (the
+//!   paper's "expected to scale to wider SIMD" projection).
+//!
+//! The active level is detected once at startup and can be overridden with
+//! [`set_isa_override`] — the Figure 13 experiment uses this to measure
+//! scalar-vs-SSE-vs-AVX speedups of the very same code paths.
+//!
+//! All kernels are exact-operation-count equivalents of their scalar
+//! references; the only permitted deviations are floating-point reassociation
+//! and FMA contraction, bounded in the property tests.
+
+pub mod dispatch;
+pub mod rows;
+pub mod vecops;
+
+mod avx;
+mod scalar;
+mod sse;
+
+pub use dispatch::{active_isa, detect_isa, set_isa_override, IsaLevel};
+pub use rows::{gather_row, scatter_row, scatter_row2};
+pub use vecops::{accumulate, dotc, scale_by_real, sum_norm_sqr};

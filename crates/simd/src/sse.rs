@@ -1,0 +1,137 @@
+//! SSE2 implementations: 128-bit vectors, two interleaved complex `f32`
+//! values per register. This mirrors the paper's SSE4 configuration (it only
+//! needs SSE2-level instructions for these kernels).
+
+#![cfg(target_arch = "x86_64")]
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+use nufft_math::Complex32;
+
+/// `dst[i] += val * w[i]` over interleaved complex rows, 2 complex per step.
+///
+/// # Safety
+/// Caller must ensure the CPU supports SSE2 (guaranteed on x86_64, but kept
+/// `unsafe` for symmetry with the AVX path and because of raw pointer use).
+#[target_feature(enable = "sse2")]
+pub unsafe fn scatter_row(dst: &mut [Complex32], w: &[f32], val: Complex32) {
+    debug_assert_eq!(dst.len(), w.len());
+    let n = dst.len();
+    let dp = dst.as_mut_ptr() as *mut f32;
+    let wp = w.as_ptr();
+    // [re, im, re, im]
+    let vv = _mm_set_ps(val.im, val.re, val.im, val.re);
+    let mut i = 0;
+    while i + 2 <= n {
+        let wv = _mm_set_ps(*wp.add(i + 1), *wp.add(i + 1), *wp.add(i), *wp.add(i));
+        let d = _mm_loadu_ps(dp.add(2 * i));
+        let prod = _mm_mul_ps(wv, vv);
+        _mm_storeu_ps(dp.add(2 * i), _mm_add_ps(d, prod));
+        i += 2;
+    }
+    while i < n {
+        let wi = *wp.add(i);
+        dst.get_unchecked_mut(i).re += val.re * wi;
+        dst.get_unchecked_mut(i).im += val.im * wi;
+        i += 1;
+    }
+}
+
+/// Two-row scatter with a shared weight row (small-`W` SIMD-across-`y`).
+///
+/// # Safety
+/// See [`scatter_row`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn scatter_row2(
+    dst0: &mut [Complex32],
+    val0: Complex32,
+    dst1: &mut [Complex32],
+    val1: Complex32,
+    w: &[f32],
+) {
+    scatter_row(dst0, w, val0);
+    scatter_row(dst1, w, val1);
+}
+
+/// `Σ_i src[i] * w[i]` over an interleaved complex row.
+///
+/// # Safety
+/// See [`scatter_row`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn gather_row(src: &[Complex32], w: &[f32]) -> Complex32 {
+    debug_assert_eq!(src.len(), w.len());
+    let n = src.len();
+    let sp = src.as_ptr() as *const f32;
+    let wp = w.as_ptr();
+    let mut acc = _mm_setzero_ps();
+    let mut i = 0;
+    while i + 2 <= n {
+        let wv = _mm_set_ps(*wp.add(i + 1), *wp.add(i + 1), *wp.add(i), *wp.add(i));
+        let s = _mm_loadu_ps(sp.add(2 * i));
+        acc = _mm_add_ps(acc, _mm_mul_ps(wv, s));
+        i += 2;
+    }
+    // Horizontal fold of the two complex lanes: [r0,i0,r1,i1] -> [r0+r1, i0+i1].
+    let hi = _mm_movehl_ps(acc, acc);
+    let folded = _mm_add_ps(acc, hi);
+    let mut out = Complex32::new(_mm_cvtss_f32(folded), {
+        let im = _mm_shuffle_ps(folded, folded, 0b01);
+        _mm_cvtss_f32(im)
+    });
+    while i < n {
+        let wi = *wp.add(i);
+        let s = *src.get_unchecked(i);
+        out.re += s.re * wi;
+        out.im += s.im * wi;
+        i += 1;
+    }
+    out
+}
+
+/// `dst[i] += src[i]` over complex buffers.
+///
+/// # Safety
+/// See [`scatter_row`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn accumulate(dst: &mut [Complex32], src: &[Complex32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n2 = dst.len() * 2;
+    let dp = dst.as_mut_ptr() as *mut f32;
+    let sp = src.as_ptr() as *const f32;
+    let mut i = 0;
+    while i + 4 <= n2 {
+        let d = _mm_loadu_ps(dp.add(i));
+        let s = _mm_loadu_ps(sp.add(i));
+        _mm_storeu_ps(dp.add(i), _mm_add_ps(d, s));
+        i += 4;
+    }
+    while i < n2 {
+        *dp.add(i) += *sp.add(i);
+        i += 1;
+    }
+}
+
+/// `buf[i] *= s[i]` — pointwise real scaling of a complex buffer.
+///
+/// # Safety
+/// See [`scatter_row`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn scale_by_real(buf: &mut [Complex32], s: &[f32]) {
+    debug_assert_eq!(buf.len(), s.len());
+    let n = buf.len();
+    let bp = buf.as_mut_ptr() as *mut f32;
+    let sp = s.as_ptr();
+    let mut i = 0;
+    while i + 2 <= n {
+        let sv = _mm_set_ps(*sp.add(i + 1), *sp.add(i + 1), *sp.add(i), *sp.add(i));
+        let b = _mm_loadu_ps(bp.add(2 * i));
+        _mm_storeu_ps(bp.add(2 * i), _mm_mul_ps(b, sv));
+        i += 2;
+    }
+    while i < n {
+        let si = *sp.add(i);
+        buf.get_unchecked_mut(i).re *= si;
+        buf.get_unchecked_mut(i).im *= si;
+        i += 1;
+    }
+}

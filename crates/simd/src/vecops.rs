@@ -1,0 +1,119 @@
+//! Dispatched whole-buffer vector operations.
+//!
+//! These run over full grids (millions of complex values): privatized-buffer
+//! reduction, roll-off scaling, and the inner products the iterative solver
+//! needs. Unlike the row kernels they are long-trip-count loops, so the
+//! vector payoff is bandwidth-bound rather than latency-bound.
+
+use crate::dispatch::{active_isa, IsaLevel};
+use crate::{avx, scalar, sse};
+use nufft_math::{Complex32, Complex64};
+
+/// `dst[i] += src[i]` — reduces a privatized sub-grid into the global grid
+/// (§III-B4 "selective privatization with reduction").
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn accumulate(dst: &mut [Complex32], src: &[Complex32]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: active_isa() only reports levels the host supports.
+        IsaLevel::Avx2Fma => unsafe { avx::accumulate(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        IsaLevel::Sse2 => unsafe { sse::accumulate(dst, src) },
+        IsaLevel::StrictScalar => scalar::accumulate_strict(dst, src),
+        _ => scalar::accumulate(dst, src),
+    }
+}
+
+/// `buf[i] *= s[i]` — pointwise real scaling (roll-off correction, §II-B).
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn scale_by_real(buf: &mut [Complex32], s: &[f32]) {
+    assert_eq!(buf.len(), s.len(), "length mismatch");
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: active_isa() only reports levels the host supports.
+        IsaLevel::Avx2Fma => unsafe { avx::scale_by_real(buf, s) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        IsaLevel::Sse2 => unsafe { sse::scale_by_real(buf, s) },
+        IsaLevel::StrictScalar => scalar::scale_by_real_strict(buf, s),
+        _ => scalar::scale_by_real(buf, s),
+    }
+}
+
+/// Conjugated inner product `Σ conj(a[i])·b[i]` with `f64` accumulation.
+///
+/// The accumulation is deliberately scalar-`f64`: CG convergence in
+/// `nufft-mri` depends on inner-product accuracy, and the buffers are touched
+/// once per iteration anyway, so this is bandwidth-bound regardless.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dotc(a: &[Complex32], b: &[Complex32]) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    scalar::dotc(a, b)
+}
+
+/// `Σ |a[i]|²` with `f64` accumulation.
+#[inline]
+pub fn sum_norm_sqr(a: &[Complex32]) -> f64 {
+    scalar::sum_norm_sqr(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_adds_elementwise() {
+        let mut dst: Vec<Complex32> =
+            (0..37).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let src: Vec<Complex32> = (0..37).map(|i| Complex32::new(1.0, i as f32)).collect();
+        let want: Vec<Complex32> = dst.iter().zip(&src).map(|(&d, &s)| d + s).collect();
+        accumulate(&mut dst, &src);
+        assert_eq!(dst, want);
+    }
+
+    #[test]
+    fn scale_by_real_matches_scalar() {
+        let mut buf: Vec<Complex32> =
+            (0..23).map(|i| Complex32::new(0.5 * i as f32, 1.0 - i as f32)).collect();
+        let s: Vec<f32> = (0..23).map(|i| 1.0 + 0.1 * i as f32).collect();
+        let mut want = buf.clone();
+        scalar::scale_by_real(&mut want, &s);
+        scale_by_real(&mut buf, &s);
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn dotc_linearity() {
+        let a: Vec<Complex32> = (0..16).map(|i| Complex32::new(i as f32, 1.0)).collect();
+        let b: Vec<Complex32> = (0..16).map(|i| Complex32::new(1.0, -(i as f32))).collect();
+        let c: Vec<Complex32> = b.iter().map(|&z| z.scale(2.0)).collect();
+        let d1 = dotc(&a, &c);
+        let d2 = dotc(&a, &b).scale(2.0);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_is_self_dot() {
+        let a: Vec<Complex32> = (0..9).map(|i| Complex32::new(i as f32, -2.0)).collect();
+        assert!((sum_norm_sqr(&a) - dotc(&a, &a).re).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_buffers_are_fine() {
+        let mut dst: Vec<Complex32> = vec![];
+        accumulate(&mut dst, &[]);
+        assert_eq!(dotc(&[], &[]), Complex64::ZERO);
+        assert_eq!(sum_norm_sqr(&[]), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: every dispatched kernel agrees with the scalar reference
+//! on random inputs at every ISA level the host supports, within FP
+//! reassociation tolerance.
+
+use nufft_math::Complex32;
+use nufft_simd::{
+    accumulate, detect_isa, gather_row, scale_by_real, scatter_row, set_isa_override, IsaLevel,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the process-global ISA override across proptest threads.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+fn cvec(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), len..=len)
+        .prop_map(|v| v.into_iter().map(|(r, i)| Complex32::new(r, i)).collect())
+}
+
+fn wvec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, len..=len)
+}
+
+fn scalar_scatter(dst: &mut [Complex32], w: &[f32], val: Complex32) {
+    for (d, &wi) in dst.iter_mut().zip(w) {
+        d.re += val.re * wi;
+        d.im += val.im * wi;
+    }
+}
+
+fn scalar_gather(src: &[Complex32], w: &[f32]) -> Complex32 {
+    let mut acc = Complex32::ZERO;
+    for (s, &wi) in src.iter().zip(w) {
+        acc.re += s.re * wi;
+        acc.im += s.im * wi;
+    }
+    acc
+}
+
+fn supported_levels() -> Vec<IsaLevel> {
+    let detected = detect_isa();
+    [IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2Fma]
+        .into_iter()
+        .filter(|&l| l <= detected)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scatter_matches_reference(
+        len in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng_state = seed;
+        let mut next = move || {
+            // xorshift64 for cheap deterministic floats in (-1, 1).
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state as i64 as f64 / i64::MAX as f64) as f32
+        };
+        let grid0: Vec<Complex32> = (0..len).map(|_| Complex32::new(next(), next())).collect();
+        let w: Vec<f32> = (0..len).map(|_| next()).collect();
+        let val = Complex32::new(next(), next());
+
+        let mut want = grid0.clone();
+        scalar_scatter(&mut want, &w, val);
+
+        let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for level in supported_levels() {
+            set_isa_override(level).unwrap();
+            let mut got = grid0.clone();
+            scatter_row(&mut got, &w, val);
+            for (a, b) in got.iter().zip(&want) {
+                prop_assert!((a.re - b.re).abs() <= 1e-5 && (a.im - b.im).abs() <= 1e-5,
+                    "level {level:?}: {a:?} vs {b:?}");
+            }
+        }
+        set_isa_override(detect_isa()).unwrap();
+    }
+
+    #[test]
+    fn gather_matches_reference(grid in cvec(19), w in wvec(19)) {
+        let want = scalar_gather(&grid, &w);
+        let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for level in supported_levels() {
+            set_isa_override(level).unwrap();
+            let got = gather_row(&grid, &w);
+            // Reassociation across ≤19 terms of magnitude ≤200.
+            prop_assert!((got.re - want.re).abs() <= 2e-3 && (got.im - want.im).abs() <= 2e-3,
+                "level {level:?}: {got:?} vs {want:?}");
+        }
+        set_isa_override(detect_isa()).unwrap();
+    }
+
+    #[test]
+    fn accumulate_matches_reference(a in cvec(33), b in cvec(33)) {
+        let want: Vec<Complex32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for level in supported_levels() {
+            set_isa_override(level).unwrap();
+            let mut got = a.clone();
+            accumulate(&mut got, &b);
+            prop_assert_eq!(&got, &want, "level {:?}", level);
+        }
+        set_isa_override(detect_isa()).unwrap();
+    }
+
+    #[test]
+    fn scale_matches_reference(buf in cvec(21), s in wvec(21)) {
+        let want: Vec<Complex32> =
+            buf.iter().zip(&s).map(|(&z, &si)| Complex32::new(z.re * si, z.im * si)).collect();
+        let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for level in supported_levels() {
+            set_isa_override(level).unwrap();
+            let mut got = buf.clone();
+            scale_by_real(&mut got, &s);
+            prop_assert_eq!(&got, &want, "level {:?}", level);
+        }
+        set_isa_override(detect_isa()).unwrap();
+    }
+
+    #[test]
+    fn scatter_then_negate_round_trips(grid in cvec(12), w in wvec(12), re in -5.0f32..5.0, im in -5.0f32..5.0) {
+        // scatter(val) then scatter(-val) must restore the grid exactly:
+        // the adds are elementwise and f32 addition of x + p - p == x is NOT
+        // guaranteed, so compare with tolerance.
+        let val = Complex32::new(re, im);
+        let mut g = grid.clone();
+        scatter_row(&mut g, &w, val);
+        scatter_row(&mut g, &w, -val);
+        for (a, b) in g.iter().zip(&grid) {
+            prop_assert!((a.re - b.re).abs() <= 1e-4 && (a.im - b.im).abs() <= 1e-4);
+        }
+    }
+}

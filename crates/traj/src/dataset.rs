@@ -1,0 +1,158 @@
+//! Table I dataset parameterization.
+//!
+//! The paper generates its evaluation datasets from four numbers: image
+//! dimension `N`, samples per interleave `K`, interleave count `S`, and
+//! sampling rate `SR`, related by `K·S = N³·SR`. This module reproduces the
+//! exact Table I rows and provides one entry point that builds any of the
+//! three distributions at any parameter row.
+
+use crate::generators::{radial, random, spiral};
+use crate::Trajectory;
+
+/// Which of the three §II-C distributions to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Equiangular projections through the origin.
+    Radial,
+    /// Variable-density Gaussian.
+    Random,
+    /// Stack-of-spirals.
+    Spiral,
+}
+
+impl DatasetKind {
+    /// All three kinds, in the paper's reporting order.
+    pub const ALL: [DatasetKind; 3] = [DatasetKind::Radial, DatasetKind::Random, DatasetKind::Spiral];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Radial => "Radial",
+            DatasetKind::Random => "Random",
+            DatasetKind::Spiral => "Spiral",
+        }
+    }
+}
+
+/// One Table I parameter row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetParams {
+    /// Image dimension (the reconstructed volume is `N³`).
+    pub n: usize,
+    /// Samples per interleave.
+    pub k: usize,
+    /// Number of interleaves.
+    pub s: usize,
+    /// Sampling rate `K·S / N³`.
+    pub sr: f64,
+}
+
+impl DatasetParams {
+    /// Total sample count `K·S`.
+    pub fn total_samples(&self) -> usize {
+        self.k * self.s
+    }
+
+    /// The `K·S = N³·SR` consistency residual (should be ≈ 0).
+    pub fn consistency_error(&self) -> f64 {
+        let lhs = self.total_samples() as f64;
+        let rhs = (self.n as f64).powi(3) * self.sr;
+        (lhs - rhs).abs() / rhs
+    }
+}
+
+/// The five dataset parameter rows of Table I.
+pub const TABLE1: [DatasetParams; 5] = [
+    DatasetParams { n: 128, k: 256, s: 4096, sr: 0.5 },
+    DatasetParams { n: 256, k: 512, s: 24576, sr: 0.75 },
+    DatasetParams { n: 256, k: 512, s: 32768, sr: 1.0 },
+    DatasetParams { n: 256, k: 512, s: 40960, sr: 1.25 },
+    DatasetParams { n: 320, k: 640, s: 12800, sr: 0.25 },
+];
+
+/// Generates a dataset of the given kind and parameters.
+///
+/// `seed` makes generation deterministic; the same `(kind, params, seed)`
+/// always yields the identical trajectory.
+pub fn generate(kind: DatasetKind, params: &DatasetParams, seed: u64) -> Trajectory<3> {
+    match kind {
+        DatasetKind::Radial => radial(params.k, params.s, seed),
+        DatasetKind::Random => random(params.k, params.s, 0.125, seed),
+        DatasetKind::Spiral => {
+            // One plane per transverse grid row, remaining interleaves
+            // rotate within planes; ~N/4 turns resolves the band edge at
+            // workload-realistic density.
+            let planes = params.n.min(params.s);
+            spiral(params.k, params.s, planes, params.n as f64 / 4.0, seed)
+        }
+    }
+}
+
+/// A scaled-down copy of `params` for fast tests and CI: divides the sample
+/// count by `factor` (keeping the S×K structure) and leaves N alone.
+pub fn scaled_down(params: &DatasetParams, factor: usize) -> DatasetParams {
+    DatasetParams {
+        n: params.n,
+        k: params.k,
+        s: (params.s / factor).max(1),
+        sr: params.sr / factor as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_are_self_consistent() {
+        for (i, row) in TABLE1.iter().enumerate() {
+            assert!(
+                row.consistency_error() < 1e-9,
+                "row {i}: K·S = {} but N³·SR = {}",
+                row.total_samples(),
+                (row.n as f64).powi(3) * row.sr
+            );
+        }
+    }
+
+    #[test]
+    fn table1_matches_paper_values() {
+        assert_eq!(TABLE1[0].n, 128);
+        assert_eq!(TABLE1[1], DatasetParams { n: 256, k: 512, s: 24576, sr: 0.75 });
+        assert_eq!(TABLE1[4].sr, 0.25);
+    }
+
+    #[test]
+    fn generate_produces_sk_samples_for_each_kind() {
+        let small = DatasetParams { n: 32, k: 64, s: 16, sr: 64.0 * 16.0 / (32.0f64.powi(3)) };
+        for kind in DatasetKind::ALL {
+            let t = generate(kind, &small, 3);
+            assert_eq!(t.len(), small.total_samples(), "{kind:?}");
+            assert_eq!(t.interleaves, 16);
+        }
+    }
+
+    #[test]
+    fn scaled_down_preserves_structure() {
+        let s = scaled_down(&TABLE1[1], 64);
+        assert_eq!(s.n, 256);
+        assert_eq!(s.k, 512);
+        assert_eq!(s.s, 384);
+        assert!(s.consistency_error() < 1e-9);
+    }
+
+    #[test]
+    fn kinds_have_distinct_density_signatures() {
+        let p = DatasetParams { n: 64, k: 128, s: 64, sr: 0.03125 };
+        let radial = generate(DatasetKind::Radial, &p, 1);
+        let random = generate(DatasetKind::Random, &p, 1);
+        let spiral = generate(DatasetKind::Spiral, &p, 1);
+        // All three are denser at the center than a uniform ball (which has
+        // (0.25/0.5)³ = 12.5% of its volume inside r < 0.25); the spiral's z
+        // axis is uniform so it is the least concentrated of the three.
+        assert!(radial.density_below(0.25) > 0.4, "radial not center-dense");
+        assert!(random.density_below(0.25) > 0.4, "random not center-dense");
+        assert!(spiral.density_below(0.25) > 0.15, "spiral not center-dense");
+        assert!(radial.density_below(0.25) > spiral.density_below(0.25));
+    }
+}

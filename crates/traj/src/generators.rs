@@ -1,0 +1,319 @@
+//! The three dataset generators (§II-C).
+//!
+//! All generators are deterministic given a seed, emit exactly `S·K` points
+//! in the `S×K` interleave layout, and keep every component strictly inside
+//! `[-1/2, 1/2)`.
+
+use crate::Trajectory;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Half-open clamp keeping ν inside the band after FP rounding.
+fn clamp_nu(x: f64) -> f64 {
+    x.clamp(-0.5, 0.5 - 1e-9)
+}
+
+/// 3D radial trajectory: `s` straight projections through the origin with
+/// `k` equispaced samples each (diameter sampling, −ν_max to +ν_max).
+///
+/// Projection directions follow the golden-spiral point set on the sphere,
+/// the standard approximately-equiangular distribution (the paper's
+/// equiangular projections / VIPR-style acquisition).
+pub fn radial(k: usize, s: usize, seed: u64) -> Trajectory<3> {
+    assert!(k >= 2, "need at least two samples per projection");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Random rotation offset so different seeds decorrelate.
+    let phase: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+    let golden = core::f64::consts::PI * (3.0 - 5.0f64.sqrt());
+    let mut points = Vec::with_capacity(k * s);
+    for i in 0..s {
+        // Direction i on the unit sphere (golden spiral).
+        let z = 1.0 - 2.0 * (i as f64 + 0.5) / s as f64;
+        let r = (1.0 - z * z).max(0.0).sqrt();
+        let th = golden * i as f64 + phase;
+        let dir = [r * th.cos(), r * th.sin(), z];
+        for j in 0..k {
+            // Diameter: radius runs from −1/2 to +1/2 across the projection.
+            let t = (j as f64 + 0.5) / k as f64 - 0.5;
+            points.push([
+                clamp_nu(dir[0] * t),
+                clamp_nu(dir[1] * t),
+                clamp_nu(dir[2] * t),
+            ]);
+        }
+    }
+    Trajectory::new(points, s, k)
+}
+
+/// Variable-density Gaussian random sampling concentrated at the origin
+/// (compressive-sensing style): each component is a truncated normal with
+/// standard deviation `sigma` (in ν units).
+pub fn random(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<3> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let gauss = move |rng: &mut SmallRng| -> f64 {
+        // Box–Muller; resample until inside the band (truncation).
+        loop {
+            let u1: f64 = rng.random_range(1e-12..1.0);
+            let u2: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            let g = (-2.0 * u1.ln()).sqrt() * u2.cos() * sigma;
+            if (-0.5..0.5).contains(&g) {
+                return g;
+            }
+        }
+    };
+    let points = (0..k * s)
+        .map(|_| [gauss(&mut rng), gauss(&mut rng), gauss(&mut rng)])
+        .collect();
+    Trajectory::new(points, s, k)
+}
+
+/// Stack-of-spirals: planes uniformly stacked along ν_z, one long
+/// Archimedean spiral (golden-angle-rotated per interleave) of `k` samples
+/// in each transverse plane.
+///
+/// `s` interleaves are distributed round-robin over `planes` z-positions;
+/// within a plane, successive interleaves are rotated copies of the base
+/// spiral — the interleaved acquisition the paper describes for rapid
+/// cardiac MRI.
+pub fn spiral(k: usize, s: usize, planes: usize, turns: f64, seed: u64) -> Trajectory<3> {
+    assert!(planes >= 1, "need at least one plane");
+    assert!(turns > 0.0, "spiral must make at least a fraction of a turn");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let phase: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+    let golden = core::f64::consts::PI * (3.0 - 5.0f64.sqrt());
+    let theta_max = turns * core::f64::consts::TAU;
+    let mut points = Vec::with_capacity(k * s);
+    for i in 0..s {
+        let plane = i % planes;
+        // Planes uniformly cover [-1/2, 1/2).
+        let z = clamp_nu((plane as f64 + 0.5) / planes as f64 - 0.5);
+        let rot = phase + golden * (i / planes) as f64;
+        for j in 0..k {
+            // Uniform angular stepping of an Archimedean spiral r = a·θ:
+            // sample density falls off as 1/r — dense center, like real
+            // spiral readouts.
+            let frac = (j as f64 + 0.5) / k as f64;
+            let theta = theta_max * frac;
+            let r = 0.5 * frac;
+            points.push([
+                clamp_nu(r * (theta + rot).cos()),
+                clamp_nu(r * (theta + rot).sin()),
+                z,
+            ]);
+        }
+    }
+    Trajectory::new(points, s, k)
+}
+
+/// 2D radial trajectory: `s` equiangular spokes of `k` samples each
+/// (parallel-beam tomography / 2D projection MRI — the Figure 1 left
+/// panel).
+pub fn radial_2d(k: usize, s: usize, seed: u64) -> Trajectory<2> {
+    assert!(k >= 2, "need at least two samples per spoke");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let phase: f64 = rng.random_range(0.0..core::f64::consts::PI);
+    let mut points = Vec::with_capacity(k * s);
+    for i in 0..s {
+        let ang = phase + core::f64::consts::PI * i as f64 / s as f64;
+        let (sa, ca) = ang.sin_cos();
+        for j in 0..k {
+            let t = (j as f64 + 0.5) / k as f64 - 0.5;
+            points.push([clamp_nu(ca * t), clamp_nu(sa * t)]);
+        }
+    }
+    Trajectory::new(points, s, k)
+}
+
+/// 2D variable-density Gaussian sampling (the Figure 1 middle panel).
+pub fn random_2d(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<2> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let gauss = move |rng: &mut SmallRng| -> f64 {
+        loop {
+            let u1: f64 = rng.random_range(1e-12..1.0);
+            let u2: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            let g = (-2.0 * u1.ln()).sqrt() * u2.cos() * sigma;
+            if (-0.5..0.5).contains(&g) {
+                return g;
+            }
+        }
+    };
+    let points = (0..k * s).map(|_| [gauss(&mut rng), gauss(&mut rng)]).collect();
+    Trajectory::new(points, s, k)
+}
+
+/// 2D interleaved Archimedean spirals: `s` golden-angle-rotated interleaves
+/// of `k` samples (the Figure 1 right panel, single-plane form).
+pub fn spiral_2d(k: usize, s: usize, turns: f64, seed: u64) -> Trajectory<2> {
+    assert!(turns > 0.0, "spiral must make at least a fraction of a turn");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let phase: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+    let golden = core::f64::consts::PI * (3.0 - 5.0f64.sqrt());
+    let theta_max = turns * core::f64::consts::TAU;
+    let mut points = Vec::with_capacity(k * s);
+    for i in 0..s {
+        let rot = phase + golden * i as f64;
+        for j in 0..k {
+            let frac = (j as f64 + 0.5) / k as f64;
+            let theta = theta_max * frac;
+            let r = 0.5 * frac;
+            points.push([clamp_nu(r * (theta + rot).cos()), clamp_nu(r * (theta + rot).sin())]);
+        }
+    }
+    Trajectory::new(points, s, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_band<const D: usize>(t: &Trajectory<D>) -> bool {
+        t.points.iter().all(|p| p.iter().all(|&x| (-0.5..0.5).contains(&x)))
+    }
+
+    #[test]
+    fn radial_2d_spokes_are_equiangular() {
+        let s = 12;
+        let t = radial_2d(32, s, 4);
+        assert_eq!(t.len(), 384);
+        assert!(in_band(&t));
+        // The outermost sample of each spoke: consecutive angles differ by
+        // π/s.
+        let angles: Vec<f64> = (0..s)
+            .map(|i| {
+                let p = t.points[i * 32 + 31];
+                p[1].atan2(p[0])
+            })
+            .collect();
+        for w in angles.windows(2) {
+            let mut d = (w[1] - w[0]).abs();
+            if d > core::f64::consts::PI {
+                d = core::f64::consts::TAU - d;
+            }
+            assert!(
+                (d - core::f64::consts::PI / s as f64).abs() < 1e-9,
+                "spoke spacing {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_2d_is_center_dense_and_deterministic() {
+        let a = random_2d(64, 16, 0.15, 3);
+        let b = random_2d(64, 16, 0.15, 3);
+        assert_eq!(a.points, b.points);
+        assert!(in_band(&a));
+        assert!(a.density_below(0.25) > 0.6);
+    }
+
+    #[test]
+    fn spiral_2d_interleaves_rotate() {
+        let t = spiral_2d(64, 4, 8.0, 7);
+        assert!(in_band(&t));
+        // The last sample of each interleave sits at radius ~0.5 at
+        // distinct angles.
+        let ends: Vec<[f64; 2]> = (0..4).map(|i| t.points[i * 64 + 63]).collect();
+        for e in &ends {
+            let r = (e[0] * e[0] + e[1] * e[1]).sqrt();
+            assert!(r > 0.45, "interleave doesn't reach the band edge: {r}");
+        }
+        let a0 = ends[0][1].atan2(ends[0][0]);
+        let a1 = ends[1][1].atan2(ends[1][0]);
+        assert!((a0 - a1).abs() > 0.1, "interleaves not rotated");
+    }
+
+    #[test]
+    fn radial_layout_and_band() {
+        let t = radial(64, 100, 7);
+        assert_eq!(t.len(), 6400);
+        assert_eq!(t.interleaves, 100);
+        assert_eq!(t.samples_per_interleave, 64);
+        assert!(in_band(&t));
+    }
+
+    #[test]
+    fn radial_is_center_dense() {
+        let t = radial(128, 200, 1);
+        // Half of each projection's samples lie within half the max radius,
+        // but the *volume* within r<0.25 is 1/8 of the ball: center-heavy.
+        let inner = t.density_below(0.125);
+        assert!(inner > 0.2, "radial center density {inner}");
+        // And strictly denser than a uniform ball would be (1/64 within
+        // radius 1/4 of the half-width... compare against volume fraction).
+        let volume_fraction = (0.125f64 / 0.5).powi(3);
+        assert!(inner > 10.0 * volume_fraction);
+    }
+
+    #[test]
+    fn radial_projections_pass_through_origin_region() {
+        let t = radial(64, 10, 3);
+        // Each projection's minimum radius is ~ half a step from zero.
+        for i in 0..10 {
+            let sl = &t.points[i * 64..(i + 1) * 64];
+            let min_r = sl
+                .iter()
+                .map(|p| p.iter().map(|&x| x * x).sum::<f64>().sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_r < 0.01, "projection {i} misses the origin: {min_r}");
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = random(32, 8, 0.15, 42);
+        let b = random(32, 8, 0.15, 42);
+        let c = random(32, 8, 0.15, 43);
+        assert_eq!(a.points, b.points);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn random_is_center_concentrated() {
+        let t = random(256, 64, 0.12, 5);
+        assert!(in_band(&t));
+        // The 3D radius of an isotropic Gaussian with σ=0.12 is χ₃-distributed
+        // with rms σ√3 ≈ 0.21, so ~3/4 of samples sit inside r < 0.25 — far
+        // denser than a uniform ball (which would put < 13% there).
+        assert!(t.density_below(0.25) > 0.7);
+    }
+
+    #[test]
+    fn spiral_planes_cover_z_uniformly() {
+        let planes = 16;
+        let t = spiral(128, 64, planes, 12.0, 9);
+        assert!(in_band(&t));
+        let mut zs: Vec<f64> = t.points.iter().map(|p| p[2]).collect();
+        zs.sort_by(f64::total_cmp);
+        zs.dedup();
+        assert_eq!(zs.len(), planes, "distinct z planes");
+        // Uniform stacking: consecutive plane spacing is constant.
+        for w in zs.windows(2) {
+            assert!((w[1] - w[0] - 1.0 / planes as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spiral_radius_grows_along_interleave() {
+        let t = spiral(256, 4, 2, 10.0, 11);
+        let pts = &t.points[..256];
+        let r = |p: &[f64; 3]| (p[0] * p[0] + p[1] * p[1]).sqrt();
+        assert!(r(&pts[0]) < 0.01);
+        assert!(r(&pts[255]) > 0.45);
+        // Monotone non-decreasing radius along the readout.
+        for w in pts.windows(2) {
+            assert!(r(&w[1]) >= r(&w[0]) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn generators_respect_sk_totals() {
+        for (t, s, k) in [
+            (radial(512, 24, 0).len(), 24, 512),
+            (random(512, 24, 0.15, 0).len(), 24, 512),
+            (spiral(512, 24, 8, 16.0, 0).len(), 24, 512),
+        ] {
+            assert_eq!(t, s * k);
+        }
+    }
+}

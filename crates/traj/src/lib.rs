@@ -1,0 +1,153 @@
+//! Spectral sampling trajectory generators (§II-C, Table I).
+//!
+//! The paper evaluates on three sampling distributions chosen to stress an
+//! NUFFT implementation in different ways:
+//!
+//! * [`radial`] — equispaced samples along straight projections through the
+//!   spectral origin (tomography, MRI VIPR): extremely dense at the center,
+//!   sparse at the edges — the hardest case for load balance;
+//! * [`random`] — variable-density Gaussian samples concentrated at the
+//!   origin (compressive sensing);
+//! * [`spiral`] — "stack-of-spirals": uniform plane stacking along one axis,
+//!   Archimedean spirals in the transverse plane (rapid cardiac MRI): the
+//!   most regular of the three.
+//!
+//! Coordinates are *normalized spatial frequencies* `ν ∈ [-1/2, 1/2)` per
+//! dimension (cycles per sample); [`Trajectory::grid_coords`] maps them onto
+//! the oversampled Cartesian grid `[0, M)` used by the convolution, with
+//! wrap-around (the DTFT of an integer-indexed signal is 1-periodic in ν).
+//!
+//! Data is kept in the acquisition's `S × K` interleave layout (S
+//! interleaves of K samples each), since sequential samples of one
+//! interleave are spectrally local and downstream preprocessing exploits
+//! that (§II-C).
+
+pub mod dataset;
+pub mod generators;
+
+pub use dataset::{DatasetKind, DatasetParams, TABLE1};
+pub use generators::{radial, radial_2d, random, random_2d, spiral, spiral_2d};
+
+/// A non-Cartesian sampling trajectory in `D` dimensions.
+///
+/// Points are stored interleave-major: sample `j` of interleave `i` is
+/// `points[i * samples_per_interleave + j]`.
+#[derive(Clone, Debug)]
+pub struct Trajectory<const D: usize> {
+    /// Normalized frequencies, each component in `[-1/2, 1/2)`.
+    pub points: Vec<[f64; D]>,
+    /// Number of interleaves (the paper's `S`).
+    pub interleaves: usize,
+    /// Samples per interleave (the paper's `K`).
+    pub samples_per_interleave: usize,
+}
+
+impl<const D: usize> Trajectory<D> {
+    /// Builds a trajectory from raw points and its interleave structure.
+    ///
+    /// # Panics
+    /// Panics if `points.len() != interleaves * samples_per_interleave`.
+    pub fn new(points: Vec<[f64; D]>, interleaves: usize, samples_per_interleave: usize) -> Self {
+        assert_eq!(
+            points.len(),
+            interleaves * samples_per_interleave,
+            "points must fill the S×K layout"
+        );
+        Trajectory { points, interleaves, samples_per_interleave }
+    }
+
+    /// Total number of samples `S·K`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the trajectory has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maps normalized frequencies onto oversampled-grid coordinates in
+    /// `[0, M)` per dimension: `u = (ν + 1/2)·M mod M` — the coordinate
+    /// system the convolution kernels index with (`wx[p]` in the paper's
+    /// Figure 2).
+    ///
+    /// The `+1/2` places ν=0 at grid position M/2 (centered spectrum); the
+    /// corresponding integer shift is undone by the plan's phase handling,
+    /// and is irrelevant to convolution *performance*, which is what the
+    /// datasets exist to exercise.
+    pub fn grid_coords(&self, m: usize) -> Vec<[f32; D]> {
+        let mf = m as f64;
+        self.points
+            .iter()
+            .map(|p| {
+                let mut u = [0.0f32; D];
+                for d in 0..D {
+                    debug_assert!((-0.5..0.5).contains(&p[d]), "ν out of range: {}", p[d]);
+                    let mut x = ((p[d] + 0.5) * mf) as f32;
+                    // Guard the upper edge: the f32 rounding of values just
+                    // below M can land exactly on M.
+                    if x >= m as f32 {
+                        x -= m as f32;
+                    }
+                    u[d] = x;
+                }
+                u
+            })
+            .collect()
+    }
+
+    /// Euclidean distance of each point from the spectral origin, normalized
+    /// so 0.5 is the edge of the band. Used by density diagnostics.
+    pub fn radii(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|p| p.iter().map(|&x| x * x).sum::<f64>().sqrt())
+            .collect()
+    }
+
+    /// Fraction of samples with radius below `r`.
+    pub fn density_below(&self, r: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.radii().into_iter().filter(|&x| x < r).count();
+        n as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_coords_map_and_wrap() {
+        let t = Trajectory::<2>::new(
+            vec![[-0.5, 0.0], [0.0, 0.25], [0.49999999, -0.25]],
+            1,
+            3,
+        );
+        let g = t.grid_coords(64);
+        assert_eq!(g[0], [0.0, 32.0]);
+        assert_eq!(g[1], [32.0, 48.0]);
+        // The near-edge point wraps back to 0 after f32 rounding (63.99…
+        // rounds to 64.0 in f32, which must wrap).
+        assert!(g[2][0] < 64.0, "upper edge not wrapped: {}", g[2][0]);
+        assert_eq!(g[2][1], 16.0);
+    }
+
+    #[test]
+    fn layout_is_validated() {
+        let r = std::panic::catch_unwind(|| {
+            Trajectory::<1>::new(vec![[0.0]; 5], 2, 3)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn density_below_is_a_cdf() {
+        let t = Trajectory::<1>::new(vec![[0.0], [0.1], [0.2], [-0.4]], 4, 1);
+        assert_eq!(t.density_below(0.05), 0.25);
+        assert_eq!(t.density_below(0.15), 0.5);
+        assert_eq!(t.density_below(1.0), 1.0);
+    }
+}

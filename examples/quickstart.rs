@@ -1,0 +1,80 @@
+//! Quickstart: build a 3D NUFFT plan, run forward and adjoint, sanity-check
+//! accuracy and adjointness.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nufft::core::{NufftConfig, NufftPlan};
+use nufft::math::{Complex32, Complex64};
+use nufft::traj::generators::radial;
+
+fn main() {
+    // A 48³ image observed along 64 radial spokes of 96 samples each.
+    let n = 48usize;
+    let traj = radial(96, 64, 7);
+    println!("trajectory: {} samples ({} spokes × {})", traj.len(), 64, 96);
+
+    let cfg = NufftConfig::default(); // α=2, W=4, priority queue, all optimizations on
+    let mut plan = NufftPlan::new([n; 3], &traj.points, cfg);
+    println!(
+        "plan: grid {:?}, {} tasks ({} privatized), preprocessing {:.1} ms",
+        plan.geometry().m,
+        plan.graph().len(),
+        plan.graph().num_privatized(),
+        plan.preprocess_seconds() * 1e3
+    );
+
+    // Forward: image -> non-uniform spectral samples.
+    let image: Vec<Complex32> = (0..n * n * n)
+        .map(|i| Complex32::new(((i % 29) as f32) / 29.0, ((i % 17) as f32) / 17.0 - 0.5))
+        .collect();
+    let mut kspace = vec![Complex32::ZERO; traj.len()];
+    plan.forward(&image, &mut kspace);
+    let ft = plan.forward_timers();
+    println!(
+        "forward : {:6.1} ms  (scale {:.1} ms | fft {:.1} ms | conv {:.1} ms)",
+        ft.total * 1e3,
+        ft.scale * 1e3,
+        ft.fft * 1e3,
+        ft.conv * 1e3
+    );
+
+    // Adjoint: samples -> image (exact conjugate transpose).
+    let mut back = vec![Complex32::ZERO; n * n * n];
+    plan.adjoint(&kspace, &mut back);
+    let at = plan.adjoint_timers();
+    println!(
+        "adjoint : {:6.1} ms  (conv {:.1} ms | fft {:.1} ms | scale {:.1} ms)",
+        at.total * 1e3,
+        at.conv * 1e3,
+        at.fft * 1e3,
+        at.scale * 1e3
+    );
+
+    // Adjointness check: ⟨Ax, y⟩ == ⟨x, A†y⟩.
+    let y: Vec<Complex32> = (0..traj.len())
+        .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+        .collect();
+    let mut aty = vec![Complex32::ZERO; n * n * n];
+    plan.adjoint(&y, &mut aty);
+    let dot = |a: &[Complex32], b: &[Complex32]| -> Complex64 {
+        a.iter().zip(b).map(|(&p, &q)| p.to_f64().conj() * q.to_f64()).sum()
+    };
+    let lhs = dot(&kspace, &y);
+    let rhs = dot(&image, &aty);
+    let rel = (lhs - rhs).abs() / lhs.abs();
+    println!("adjointness ⟨Ax,y⟩ vs ⟨x,A†y⟩: relative difference {rel:.2e}");
+    assert!(rel < 1e-4, "adjointness violated");
+
+    // Accuracy at the DC sample: F(0) must equal the image sum.
+    let mut plan_dc = NufftPlan::new([n; 3], &[[0.0f64; 3]], NufftConfig::default());
+    let mut dc = vec![Complex32::ZERO; 1];
+    plan_dc.forward(&image, &mut dc);
+    let want: Complex64 = image.iter().map(|z| z.to_f64()).sum();
+    let err = (dc[0].to_f64() - want).abs() / want.abs();
+    println!("DC-sample accuracy: relative error {err:.2e}");
+    assert!(err < 1e-3);
+
+    println!("ok");
+}

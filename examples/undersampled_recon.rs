@@ -1,0 +1,70 @@
+//! Undersampled (compressive-sensing-style) reconstruction with the
+//! variable-density random trajectory of §II-C.
+//!
+//! Acquires a 2D phantom at a fraction of Nyquist with center-weighted
+//! Gaussian random sampling and compares gridding vs regularized CG
+//! reconstruction as the undersampling factor grows.
+//!
+//! ```text
+//! cargo run --release --example undersampled_recon
+//! ```
+
+use nufft::core::{NufftConfig, NufftPlan};
+use nufft::math::error::rel_l2_c32;
+use nufft::math::Complex32;
+use nufft::mri::phantom::phantom_2d;
+use nufft::mri::recon::{gridding_recon, IterativeRecon};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// 2D variable-density Gaussian sampling (truncated to the band).
+fn vd_random_2d(count: usize, sigma: f64, seed: u64) -> Vec<[f64; 2]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let gauss = |rng: &mut SmallRng| -> f64 {
+        loop {
+            let u1: f64 = rng.random_range(1e-12..1.0);
+            let u2: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            let g = (-2.0 * u1.ln()).sqrt() * u2.cos() * sigma;
+            if (-0.5..0.5).contains(&g) {
+                return g;
+            }
+        }
+    };
+    (0..count).map(|_| [gauss(&mut rng), gauss(&mut rng)]).collect()
+}
+
+fn main() {
+    let n = 64usize;
+    let truth = phantom_2d(n);
+    let nyquist = n * n;
+    println!("2D phantom N={n}² ({nyquist} Nyquist samples)\n");
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "sampling", "samples", "gridding err", "CG err (30 it)"
+    );
+
+    for frac in [2.0f64, 1.0, 0.5, 0.25] {
+        let count = (nyquist as f64 * frac) as usize;
+        let traj = vd_random_2d(count, 0.22, 9);
+        let cfg = NufftConfig { w: 3.0, ..NufftConfig::default() };
+        let mut plan = NufftPlan::new([n; 2], &traj, cfg);
+
+        let mut y = vec![Complex32::ZERO; count];
+        plan.forward(&truth, &mut y);
+
+        let dcf = vec![1.0f32; count];
+        let grid_img = gridding_recon(&mut plan, &y, &dcf);
+        let e_grid = rel_l2_c32(&grid_img, &truth);
+
+        let mut it = IterativeRecon::new(&mut plan, vec![], dcf, 1e-3);
+        let rep = it.reconstruct(&[y], 30, 1e-8);
+        let e_iter = rel_l2_c32(&rep.image, &truth);
+
+        println!(
+            "{:>11.2}x {:>10} {:>14.4} {:>14.4}",
+            frac, count, e_grid, e_iter
+        );
+    }
+    println!("\n(iterative reconstruction degrades gracefully below Nyquist, the CS");
+    println!(" regime the random trajectory targets; gridding falls apart faster)");
+}

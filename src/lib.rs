@@ -1,0 +1,35 @@
+//! Umbrella crate for the NUFFT suite — a from-scratch Rust reproduction of
+//! *High Performance Non-uniform FFT on Modern x86-based Multi-core Systems*
+//! (Kalamkar et al., IPDPS 2012).
+//!
+//! Re-exports every workspace crate under one roof so examples and downstream
+//! users can depend on a single crate:
+//!
+//! ```
+//! use nufft::math::Complex32;
+//! let z = Complex32::new(1.0, -1.0);
+//! assert_eq!((z * z.conj()).im, 0.0);
+//! ```
+//!
+//! See the individual crates for the substance:
+//!
+//! * [`core`] (`nufft-core`) — the paper's contribution: the parallel NUFFT
+//!   with variable-width partitioning, Gray-code TDG scheduling, priority
+//!   queues and selective privatization;
+//! * [`fft`] — from-scratch mixed-radix/Bluestein FFT substrate;
+//! * [`simd`] — runtime-dispatched SSE/AVX2 convolution kernels;
+//! * [`parallel`] — the task-dependency-graph runtime;
+//! * [`sim`] — discrete-event scheduler simulator for core-scaling studies;
+//! * [`traj`] — radial / random / stack-of-spirals trajectory generators;
+//! * [`baselines`] — every comparator the paper evaluates against;
+//! * [`mri`] — iterative multichannel MRI reconstruction on top of the NUFFT.
+
+pub use nufft_baselines as baselines;
+pub use nufft_core as core;
+pub use nufft_fft as fft;
+pub use nufft_math as math;
+pub use nufft_mri as mri;
+pub use nufft_parallel as parallel;
+pub use nufft_sim as sim;
+pub use nufft_simd as simd;
+pub use nufft_traj as traj;

@@ -1,0 +1,133 @@
+//! The executor and the discrete-event simulator must implement the same
+//! scheduling semantics: same (task, phase) multiset, same dependency and
+//! exclusion guarantees. This is what makes simulated core-scaling results
+//! transferable statements about the real runtime.
+
+use nufft::parallel::exec::{Executor, TaskPhase};
+use nufft::parallel::graph::{QueuePolicy, TaskGraph};
+use nufft::sim::{simulate, LinearCost};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn weighted_graph(dims: &[usize], privatize_center: bool) -> TaskGraph {
+    let mut g = TaskGraph::new_cyclic(dims, &vec![true; dims.len()]);
+    for t in 0..g.len() {
+        let idx = g.unflatten(t);
+        let d: usize = idx
+            .iter()
+            .zip(dims)
+            .map(|(&i, &n)| i.abs_diff(n / 2))
+            .sum();
+        g.set_weight(t, 1000 / (d as u64 + 1));
+        if privatize_center && d == 0 {
+            g.set_privatized(t, true);
+        }
+    }
+    g
+}
+
+#[test]
+fn executor_and_simulator_run_the_same_phase_multiset() {
+    for privatize in [false, true] {
+        let g = weighted_graph(&[4, 4], privatize);
+        // Count (task, phase) units executed by the real executor.
+        let counts: Vec<[AtomicU32; 3]> = (0..g.len()).map(|_| Default::default()).collect();
+        Executor::new(3).run_graph(&g, QueuePolicy::Priority, |t, phase, _w| {
+            let slot = match phase {
+                TaskPhase::Normal => 0,
+                TaskPhase::PrivateConvolve => 1,
+                TaskPhase::Reduce => 2,
+            };
+            counts[t][slot].fetch_add(1, Ordering::SeqCst);
+        });
+        // Simulator timeline for the same graph.
+        let sim = simulate(&g, QueuePolicy::Priority, 3, &LinearCost::per_sample(0.01));
+        let mut sim_counts = vec![[0u32; 3]; g.len()];
+        for r in &sim.timeline {
+            let slot = match r.phase {
+                TaskPhase::Normal => 0,
+                TaskPhase::PrivateConvolve => 1,
+                TaskPhase::Reduce => 2,
+            };
+            sim_counts[r.task][slot] += 1;
+        }
+        for t in 0..g.len() {
+            let exec_c: Vec<u32> =
+                (0..3).map(|s| counts[t][s].load(Ordering::SeqCst)).collect();
+            assert_eq!(
+                exec_c, sim_counts[t],
+                "task {t} phase multiset differs (privatize={privatize})"
+            );
+            if g.privatized(t) {
+                assert_eq!(exec_c, vec![0, 1, 1]);
+            } else {
+                assert_eq!(exec_c, vec![1, 0, 0]);
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_speedup_is_monotone_and_bounded() {
+    let g = weighted_graph(&[8, 8], true);
+    let model = LinearCost { per_task: 0.5, per_sample: 0.01, reduce_per_sample: 0.001, queue_cost: 0.02 };
+    let base = simulate(&g, QueuePolicy::Priority, 1, &model).makespan;
+    let mut prev = 0.0;
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let s = base / simulate(&g, QueuePolicy::Priority, p, &model).makespan;
+        assert!(s <= p as f64 + 1e-9, "superlinear at {p}: {s}");
+        assert!(s + 1e-9 >= prev, "speedup regressed at {p}: {s} < {prev}");
+        prev = s;
+    }
+}
+
+#[test]
+fn priority_queue_never_loses_to_fifo_at_scale() {
+    // On a center-heavy graph (the radial signature), PQ ≥ FIFO at high
+    // worker counts — the Figure 12 B-vs-C property as a hard invariant of
+    // our scheduler pair.
+    let g = weighted_graph(&[10, 10], false);
+    let model = LinearCost { per_task: 0.2, per_sample: 0.01, reduce_per_sample: 0.001, queue_cost: 0.01 };
+    for p in [16usize, 32] {
+        let fifo = simulate(&g, QueuePolicy::Fifo, p, &model).makespan;
+        let prio = simulate(&g, QueuePolicy::Priority, p, &model).makespan;
+        assert!(
+            prio <= fifo * 1.01,
+            "priority queue lost at {p} workers: {prio} vs {fifo}"
+        );
+    }
+}
+
+#[test]
+fn real_executor_respects_privatized_reduce_ordering_under_load() {
+    // Stress the two-phase protocol with many privatized tasks and more
+    // threads than cores.
+    let mut g = TaskGraph::new_cyclic(&[6, 6], &[true, true]);
+    for t in 0..g.len() {
+        g.set_weight(t, (t as u64 % 7) + 1);
+        g.set_privatized(t, t % 3 == 0);
+    }
+    let conv_done: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+    Executor::new(8).run_graph(&g, QueuePolicy::Priority, |t, phase, _w| match phase {
+        TaskPhase::PrivateConvolve => {
+            conv_done[t].store(1, Ordering::SeqCst);
+        }
+        TaskPhase::Reduce => {
+            assert_eq!(conv_done[t].load(Ordering::SeqCst), 1, "reduce before convolve");
+            for p in g.preds(t) {
+                // All predecessors' shared-grid work must be complete; for
+                // privatized preds that means their reduce ran (flag 2).
+                if g.privatized(p) {
+                    assert_eq!(conv_done[p].load(Ordering::SeqCst), 2, "pred {p} not reduced");
+                }
+            }
+            conv_done[t].store(2, Ordering::SeqCst);
+        }
+        TaskPhase::Normal => {
+            for p in g.preds(t) {
+                if g.privatized(p) {
+                    assert_eq!(conv_done[p].load(Ordering::SeqCst), 2, "pred {p} not reduced");
+                }
+            }
+        }
+    });
+}

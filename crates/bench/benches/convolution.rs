@@ -1,15 +1,20 @@
 //! Convolution benchmarks: SIMD row kernels per ISA level and the full
-//! per-sample scatter/gather at the paper's kernel widths.
+//! per-sample scatter/gather at the paper's kernel widths. Runs on the
+//! `nufft-testkit` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use nufft_core::conv::{adjoint_scatter, forward_gather, Window};
 use nufft_core::kernel::KbKernel;
 use nufft_math::Complex32;
 use nufft_simd::{detect_isa, set_isa_override, IsaLevel};
+use nufft_testkit::bench::{black_box, BenchGroup};
+use std::time::Duration;
 
-fn bench_rows(c: &mut Criterion) {
+fn bench_rows() {
     let detected = detect_isa();
-    let mut g = c.benchmark_group("row_kernels");
+    let mut g = BenchGroup::new("row_kernels");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     for len in [4usize, 8, 16] {
         let mut grid = vec![Complex32::new(0.1, 0.2); 4096 + len];
         let w: Vec<f32> = (0..len).map(|i| 0.01 + i as f32 * 0.01).collect();
@@ -19,7 +24,7 @@ fn bench_rows(c: &mut Criterion) {
                 continue;
             }
             set_isa_override(isa).unwrap();
-            g.throughput(Throughput::Elements(len as u64));
+            g.throughput(len as u64);
             g.bench_function(format!("scatter_len{len}_{}", isa.name()), |b| {
                 let mut off = 0usize;
                 b.iter(|| {
@@ -40,10 +45,13 @@ fn bench_rows(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_sample_conv(c: &mut Criterion) {
+fn bench_sample_conv() {
     let m = [64usize, 64, 64];
     let mut grid = vec![Complex32::new(0.1, -0.1); 64 * 64 * 64];
-    let mut g = c.benchmark_group("per_sample_conv3d");
+    let mut g = BenchGroup::new("per_sample_conv3d");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     for wrad in [2.0f64, 4.0, 8.0] {
         let kernel = KbKernel::new(wrad, 2.0);
         let mut u = 13.7f32;
@@ -69,9 +77,7 @@ fn bench_sample_conv(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
-    targets = bench_rows, bench_sample_conv
+fn main() {
+    bench_rows();
+    bench_sample_conv();
 }
-criterion_main!(benches);

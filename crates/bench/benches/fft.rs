@@ -1,44 +1,43 @@
 //! FFT substrate benchmarks: 1D lengths the NUFFT actually uses
 //! (power-of-two, mixed-radix and Bluestein oversampled grids) and a small
-//! 3D volume.
+//! 3D volume. Runs on the `nufft-testkit` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nufft_fft::{Direction, Fft, FftNd};
 use nufft_math::Complex32;
+use nufft_testkit::bench::BenchGroup;
+use std::time::Duration;
 
 fn signal(n: usize) -> Vec<Complex32> {
     (0..n).map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos())).collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft_1d");
+fn main() {
+    let mut g = BenchGroup::new("fft_1d");
+    g.sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     // 256/512: radix-4/2 paths; 300 = 2²·3·5²: mixed radix (the α=1.25
     // Table IV grid); 688 = 16·43: Bluestein (the Table V grid).
     for n in [256usize, 512, 300, 688] {
         let plan = Fft::new(n);
         let mut data = signal(n);
         let mut scratch = vec![Complex32::ZERO; plan.scratch_len()];
-        g.throughput(Throughput::Elements(n as u64));
+        g.throughput(n as u64);
         g.bench_function(format!("c2c_{n}"), |b| {
             b.iter(|| plan.process_with_scratch(&mut data, &mut scratch, Direction::Forward))
         });
     }
     g.finish();
 
-    let mut g = c.benchmark_group("fft_3d");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("fft_3d");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for n in [32usize, 64] {
         let plan = FftNd::new(&[n, n, n]);
         let mut data = signal(n * n * n);
-        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.throughput((n * n * n) as u64);
         g.bench_function(format!("c2c_{n}cubed"), |b| b.iter(|| plan.forward(&mut data)));
     }
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_fft
-}
-criterion_main!(benches);

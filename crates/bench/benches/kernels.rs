@@ -1,17 +1,21 @@
 //! Micro-benchmarks of the interpolation kernel: direct Bessel evaluation
 //! vs the LUT (the Dale/Beatty optimization the paper builds on), and
-//! window (Part 1) computation.
+//! window (Part 1) computation. Runs on the `nufft-testkit` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nufft_core::conv::Window;
 use nufft_core::kernel::{beatty_beta, KbKernel};
 use nufft_math::bessel::bessel_i0;
+use nufft_testkit::bench::{black_box, BenchGroup};
+use std::time::Duration;
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let kernel = KbKernel::new(4.0, 2.0);
     let xs: Vec<f32> = (0..256).map(|i| (i as f32 * 0.015) % 4.0).collect();
 
-    let mut g = c.benchmark_group("kernel");
+    let mut g = BenchGroup::new("kernel");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     g.bench_function("bessel_i0", |b| {
         b.iter(|| {
             let mut acc = 0.0f64;
@@ -42,7 +46,10 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("beatty_beta", |b| b.iter(|| beatty_beta(black_box(4.0), black_box(2.0))));
     g.finish();
 
-    let mut g = c.benchmark_group("part1_window");
+    let mut g = BenchGroup::new("part1_window");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for w in [2.0f64, 4.0, 8.0] {
         let k = KbKernel::new(w, 2.0);
         g.bench_function(format!("window_w{w}"), |b| {
@@ -55,10 +62,3 @@ fn bench_kernels(c: &mut Criterion) {
     }
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels
-}
-criterion_main!(benches);

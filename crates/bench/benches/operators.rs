@@ -1,13 +1,15 @@
 //! End-to-end operator benchmarks: full forward/adjoint NUFFT on a small
 //! radial problem, the preprocessing pipeline, and the gridding baseline.
+//! Runs on the `nufft-testkit` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nufft_baselines::sequential::SequentialNufft;
 use nufft_core::{NufftConfig, NufftPlan};
 use nufft_math::Complex32;
+use nufft_testkit::bench::BenchGroup;
 use nufft_traj::generators::radial;
+use std::time::Duration;
 
-fn bench_operators(c: &mut Criterion) {
+fn main() {
     let n = 32usize;
     let traj = radial(64, 256, 5); // 16k samples on a 64³ grid
     let cfg = NufftConfig { threads: 1, w: 4.0, ..NufftConfig::default() };
@@ -19,9 +21,11 @@ fn bench_operators(c: &mut Criterion) {
     let mut s_out = vec![Complex32::ZERO; traj.len()];
     let mut i_out = vec![Complex32::ZERO; n * n * n];
 
-    let mut g = c.benchmark_group("nufft_32cubed_16k");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(traj.len() as u64));
+    let mut g = BenchGroup::new("nufft_32cubed_16k");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    g.throughput(traj.len() as u64);
     g.bench_function("forward", |b| b.iter(|| plan.forward(&image, &mut s_out)));
     g.bench_function("adjoint", |b| b.iter(|| plan.adjoint(&samples, &mut i_out)));
     g.bench_function("adjoint_conv_only", |b| {
@@ -34,9 +38,11 @@ fn bench_operators(c: &mut Criterion) {
     });
     g.finish();
 
-    let mut g = c.benchmark_group("preprocessing");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(traj.len() as u64));
+    let mut g = BenchGroup::new("preprocessing");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    g.throughput(traj.len() as u64);
     g.bench_function("plan_build_16k_samples", |b| {
         b.iter(|| NufftPlan::new([n; 3], &traj.points, cfg))
     });
@@ -44,8 +50,10 @@ fn bench_operators(c: &mut Criterion) {
 
     // Normal-operator application: explicit forward+adjoint pair vs the
     // Toeplitz circulant embedding (the iterative-recon fast path).
-    let mut g = c.benchmark_group("normal_operator");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("normal_operator");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let weights = vec![1.0f32; traj.len()];
     let mut toep = nufft_mri::ToeplitzNormal::new([n; 3], &traj.points, &weights, cfg);
     let mut tmp_k = vec![Complex32::ZERO; traj.len()];
@@ -59,10 +67,3 @@ fn bench_operators(c: &mut Criterion) {
     g.bench_function("toeplitz_embedded", |b| b.iter(|| toep.apply(&image, &mut out_img)));
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_operators
-}
-criterion_main!(benches);

@@ -1,11 +1,13 @@
 //! Scheduler benchmarks: ready-queue disciplines, task-graph construction,
-//! executor overhead and the discrete-event simulator itself.
+//! executor overhead and the discrete-event simulator itself. Runs on the
+//! `nufft-testkit` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use nufft_parallel::exec::Executor;
 use nufft_parallel::graph::{QueuePolicy, TaskGraph};
 use nufft_parallel::queue::{Entry, ReadyQueue};
 use nufft_sim::{simulate, LinearCost};
+use nufft_testkit::bench::{black_box, BenchGroup};
+use std::time::Duration;
 
 fn skewed_graph(n: usize) -> TaskGraph {
     let mut g = TaskGraph::new(&[n, n]);
@@ -18,10 +20,13 @@ fn skewed_graph(n: usize) -> TaskGraph {
     g
 }
 
-fn bench_scheduling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ready_queue");
+fn main() {
+    let mut g = BenchGroup::new("ready_queue");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     for policy in [QueuePolicy::Fifo, QueuePolicy::Priority] {
-        g.throughput(Throughput::Elements(1024));
+        g.throughput(1024);
         g.bench_function(format!("push_pop_1k_{policy:?}"), |b| {
             b.iter(|| {
                 let mut q = ReadyQueue::new(policy);
@@ -38,27 +43,37 @@ fn bench_scheduling(c: &mut Criterion) {
     }
     g.finish();
 
-    let mut g = c.benchmark_group("task_graph");
+    let mut g = BenchGroup::new("task_graph");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     g.bench_function("build_16x16x16_cyclic", |b| {
         b.iter(|| TaskGraph::new_cyclic(black_box(&[16, 16, 16]), &[true; 3]))
     });
     g.finish();
 
-    let mut g = c.benchmark_group("executor");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("executor");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     let graph = skewed_graph(12);
     let exec = Executor::new(2);
     g.bench_function("run_graph_144_tasks_noop", |b| {
         b.iter(|| exec.run_graph(&graph, QueuePolicy::Priority, |_t, _p, _w| {}))
     });
     g.bench_function("parallel_for_100k_noop", |b| {
-        b.iter(|| exec.parallel_for(100_000, 512, |r, _w| {
-            black_box(r.len());
-        }))
+        b.iter(|| {
+            exec.parallel_for(100_000, 512, |r, _w| {
+                black_box(r.len());
+            })
+        })
     });
     g.finish();
 
-    let mut g = c.benchmark_group("simulator");
+    let mut g = BenchGroup::new("simulator");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
     let graph = skewed_graph(24);
     let model = LinearCost::per_sample(1.0);
     g.bench_function("simulate_576_tasks_40_workers", |b| {
@@ -66,10 +81,3 @@ fn bench_scheduling(c: &mut Criterion) {
     });
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
-    targets = bench_scheduling
-}
-criterion_main!(benches);

@@ -1,56 +1,42 @@
 //! Property tests over random NUFFT configurations: structural invariants
 //! that must hold for any trajectory, kernel width, thread count and
-//! scheduler toggles.
+//! scheduler toggles. Runs on the `nufft-testkit` harness; a failure prints
+//! a `NUFFT_PROP_SEED=...` replay seed.
 
 use nufft_core::partition::Partitions;
 use nufft_core::{KernelChoice, NufftConfig, NufftPlan};
 use nufft_math::{Complex32, Complex64};
 use nufft_parallel::graph::QueuePolicy;
-use proptest::prelude::*;
+use nufft_testkit::prop_check;
+use nufft_testkit::rng::Rng;
 
-fn traj_strategy(max_pts: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
-    proptest::collection::vec(
-        (-0.5f64..0.499, -0.5f64..0.499).prop_map(|(a, b)| [a, b]),
-        1..max_pts,
-    )
+fn random_traj(rng: &mut Rng, max_pts: usize) -> Vec<[f64; 2]> {
+    let count = rng.gen_usize(1..max_pts);
+    rng.gen_points::<2>(count, -0.5..0.499)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// ⟨Ax, y⟩ == ⟨x, A†y⟩ for arbitrary trajectories and configs.
-    #[test]
-    fn adjointness_holds_for_any_configuration(
-        traj in traj_strategy(120),
-        threads in 1usize..5,
-        w2 in 2u32..5,
-        privatization in any::<bool>(),
-        fifo in any::<bool>(),
-        gaussian in any::<bool>(),
-        seed in any::<u32>(),
-    ) {
+/// ⟨Ax, y⟩ == ⟨x, A†y⟩ for arbitrary trajectories and configs.
+#[test]
+fn adjointness_holds_for_any_configuration() {
+    prop_check("adjointness_holds_for_any_configuration", 0xC0FE_0001, 24, |rng| {
+        let traj = random_traj(rng, 120);
+        let threads = rng.gen_usize(1..5);
+        let w = rng.gen_usize(2..5) as f64;
+        let privatization = rng.gen_bool();
+        let fifo = rng.gen_bool();
+        let gaussian = rng.gen_bool();
         let n = [12usize, 12];
         let cfg = NufftConfig {
             threads,
-            w: w2 as f64,
+            w,
             privatization,
             policy: if fifo { QueuePolicy::Fifo } else { QueuePolicy::Priority },
             kernel: if gaussian { KernelChoice::Gaussian } else { KernelChoice::KaiserBessel },
             ..NufftConfig::default()
         };
         let mut plan = NufftPlan::new(n, &traj, cfg);
-        let x: Vec<Complex32> = (0..144)
-            .map(|i| {
-                let v = (i as u32).wrapping_mul(seed | 1);
-                Complex32::new((v % 100) as f32 / 50.0 - 1.0, (v % 77) as f32 / 38.0 - 1.0)
-            })
-            .collect();
-        let y: Vec<Complex32> = (0..traj.len())
-            .map(|i| {
-                let v = (i as u32 + 13).wrapping_mul(seed | 1);
-                Complex32::new((v % 90) as f32 / 45.0 - 1.0, (v % 71) as f32 / 35.0 - 1.0)
-            })
-            .collect();
+        let x = rng.gen_c32_vec(144, 1.0);
+        let y = rng.gen_c32_vec(traj.len(), 1.0);
         let mut ax = vec![Complex32::ZERO; traj.len()];
         plan.forward(&x, &mut ax);
         let mut aty = vec![Complex32::ZERO; 144];
@@ -61,15 +47,19 @@ proptest! {
         let lhs = dot(&ax, &y);
         let rhs = dot(&x, &aty);
         let scale = lhs.abs().max(rhs.abs()).max(1e-6);
-        prop_assert!(
+        assert!(
             (lhs - rhs).abs() / scale < 1e-3,
             "adjoint mismatch: {lhs:?} vs {rhs:?} (cfg {cfg:?})"
         );
-    }
+    });
+}
 
-    /// Linearity of the forward operator.
-    #[test]
-    fn forward_is_linear(traj in traj_strategy(60), a in -2.0f32..2.0) {
+/// Linearity of the forward operator.
+#[test]
+fn forward_is_linear() {
+    prop_check("forward_is_linear", 0xC0FE_0002, 24, |rng| {
+        let traj = random_traj(rng, 60);
+        let a = rng.gen_f32(-2.0..2.0);
         let n = [10usize, 10];
         let cfg = NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() };
         let mut plan = NufftPlan::new(n, &traj, cfg);
@@ -86,36 +76,47 @@ proptest! {
         plan.forward(&z, &mut fz);
         for i in 0..traj.len() {
             let want = fx[i] + fy[i].scale(a);
-            prop_assert!(
+            assert!(
                 (fz[i].re - want.re).abs() < 2e-2 && (fz[i].im - want.im).abs() < 2e-2,
-                "nonlinear at {i}: {:?} vs {want:?}", fz[i]
+                "nonlinear at {i}: {:?} vs {want:?}",
+                fz[i]
             );
         }
-    }
+    });
+}
 
-    /// Partition invariants for arbitrary coordinate clouds.
-    #[test]
-    fn partitions_always_satisfy_invariants(
-        coords in proptest::collection::vec((0.0f32..64.0, 0.0f32..64.0).prop_map(|(a, b)| [a, b]), 1..300),
-        p in 1usize..12,
-        wc in 1usize..5,
-    ) {
+/// Partition invariants for arbitrary coordinate clouds: boundaries ascend
+/// and tile the grid, widths respect the cyclic-safety minimum, and every
+/// coordinate locates into the cell that contains it (each sample assigned
+/// exactly once).
+#[test]
+fn partitions_always_satisfy_invariants() {
+    prop_check("partitions_always_satisfy_invariants", 0xC0FE_0003, 24, |rng| {
+        let count = rng.gen_usize(1..300);
+        let coords: Vec<[f32; 2]> = (0..count)
+            .map(|_| [rng.gen_f32(0.0..64.0), rng.gen_f32(0.0..64.0)])
+            .collect();
+        let p = rng.gen_usize(1..12);
+        let wc = rng.gen_usize(1..5);
         let min_width = 2 * wc + 1;
         let parts = Partitions::variable(&coords, [64, 64], p, min_width);
         for d in 0..2 {
             let b = parts.bounds(d);
             // Boundaries ascend and tile [0, 64].
-            prop_assert_eq!(b[0], 0);
-            prop_assert_eq!(*b.last().unwrap(), 64);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), 64);
             for w in b.windows(2) {
-                prop_assert!(w[1] > w[0]);
+                assert!(w[1] > w[0], "non-ascending bounds {b:?}");
             }
             // Cyclic-safety amendments.
-            let count = b.len() - 1;
-            prop_assert!(count == 1 || count % 2 == 0, "odd count {}", count);
-            if count > 1 {
-                prop_assert!(parts.min_width(d) >= min_width,
-                    "width {} below minimum {}", parts.min_width(d), min_width);
+            let cells = b.len() - 1;
+            assert!(cells == 1 || cells % 2 == 0, "odd count {cells}");
+            if cells > 1 {
+                assert!(
+                    parts.min_width(d) >= min_width,
+                    "width {} below minimum {min_width}",
+                    parts.min_width(d)
+                );
             }
         }
         // Every coordinate locates into a cell that contains it.
@@ -123,15 +124,21 @@ proptest! {
             let idx = parts.locate(c);
             let (start, end) = parts.cell(&idx);
             for d in 0..2 {
-                prop_assert!(start[d] as f32 <= c[d] && c[d] < end[d] as f32);
+                assert!(
+                    start[d] as f32 <= c[d] && c[d] < end[d] as f32,
+                    "coord {c:?} outside its cell [{start:?}, {end:?})"
+                );
             }
         }
-    }
+    });
+}
 
-    /// The forward result must not depend on sample ordering in the input
-    /// trajectory (internal reordering must be invisible).
-    #[test]
-    fn forward_is_permutation_equivariant(traj in traj_strategy(80), seed in any::<u64>()) {
+/// The forward result must not depend on sample ordering in the input
+/// trajectory (internal reordering must be invisible).
+#[test]
+fn forward_is_permutation_equivariant() {
+    prop_check("forward_is_permutation_equivariant", 0xC0FE_0004, 24, |rng| {
+        let traj = random_traj(rng, 80);
         let n = [10usize, 10];
         let image: Vec<Complex32> =
             (0..100).map(|i| Complex32::new(1.0 / (1.0 + i as f32), 0.3)).collect();
@@ -141,14 +148,11 @@ proptest! {
         let mut out_a = vec![Complex32::ZERO; traj.len()];
         plan_a.forward(&image, &mut out_a);
 
-        // Deterministic shuffle of the trajectory.
+        // Deterministic Fisher–Yates shuffle of the trajectory.
         let mut idx: Vec<usize> = (0..traj.len()).collect();
-        let mut s = seed | 1;
         for i in (1..idx.len()).rev() {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            idx.swap(i, (s as usize) % (i + 1));
+            let j = rng.gen_usize(0..i + 1);
+            idx.swap(i, j);
         }
         let shuffled: Vec<[f64; 2]> = idx.iter().map(|&i| traj[i]).collect();
         let mut plan_b = NufftPlan::new(n, &shuffled, cfg);
@@ -157,10 +161,10 @@ proptest! {
 
         for (k, &i) in idx.iter().enumerate() {
             let (a, b) = (out_a[i], out_b[k]);
-            prop_assert!(
+            assert!(
                 (a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3,
                 "sample moved under permutation: {a:?} vs {b:?}"
             );
         }
-    }
+    });
 }

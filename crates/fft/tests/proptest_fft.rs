@@ -1,47 +1,72 @@
-//! Property tests for the FFT engine over random signals and lengths.
+//! Property tests for the FFT engine over random signals and lengths, on
+//! the `nufft-testkit` harness. A failure prints a `NUFFT_PROP_SEED=...`
+//! replay seed.
 
 use nufft_fft::naive::naive_dft32;
 use nufft_fft::{Direction, Fft, FftNd};
 use nufft_math::error::rel_l2_c32;
-use nufft_math::Complex32;
-use proptest::prelude::*;
+use nufft_math::{Complex32, Complex64};
+use nufft_testkit::prop_check;
 
-fn signal(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
-    proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), len..=len)
-        .prop_map(|v| v.into_iter().map(|(r, i)| Complex32::new(r, i)).collect())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn forward_matches_naive(n in 1usize..200, seed in any::<u64>()) {
-        let x: Vec<Complex32> = (0..n).map(|i| {
-            let t = (i as u64).wrapping_mul(seed | 1) as f64 / u64::MAX as f64;
-            Complex32::new((t * 13.0).sin() as f32, (t * 7.0).cos() as f32)
-        }).collect();
+#[test]
+fn forward_matches_naive() {
+    prop_check("forward_matches_naive", 0xFF7_0001, 48, |rng| {
+        let n = rng.gen_usize(1..200);
+        let x = rng.gen_c32_vec(n, 10.0);
         let plan = Fft::new(n);
         let mut got = x.clone();
         plan.forward(&mut got);
         let want = naive_dft32(&x, Direction::Forward);
-        prop_assert!(rel_l2_c32(&got, &want) < 1e-4, "n={}", n);
-    }
+        assert!(rel_l2_c32(&got, &want) < 1e-4, "n={n}");
+    });
+}
 
-    #[test]
-    fn round_trip_is_identity(n in 1usize..300, x_seed in any::<u32>()) {
-        let x: Vec<Complex32> = (0..n).map(|i| {
-            let v = (i as u32).wrapping_mul(x_seed | 1);
-            Complex32::new((v % 1000) as f32 / 500.0 - 1.0, (v % 777) as f32 / 388.0 - 1.0)
-        }).collect();
+#[test]
+fn round_trip_is_identity() {
+    prop_check("round_trip_is_identity", 0xFF7_0002, 48, |rng| {
+        let n = rng.gen_usize(1..300);
+        let x = rng.gen_c32_vec(n, 1.0);
         let plan = Fft::new(n);
         let mut y = x.clone();
         plan.forward(&mut y);
         plan.inverse(&mut y);
-        prop_assert!(rel_l2_c32(&y, &x) < 1e-4, "n={}", n);
-    }
+        assert!(rel_l2_c32(&y, &x) < 1e-4, "n={n}");
+    });
+}
 
-    #[test]
-    fn linearity(x in signal(64), y in signal(64), a in -3.0f32..3.0) {
+/// Round trip pinned to the two non-power-of-two code paths the oversampled
+/// grids exercise: pure mixed-radix lengths (2^a·3^b·5^c) and lengths with
+/// a large prime factor, which take the Bluestein chirp-z route.
+#[test]
+fn round_trip_mixed_radix_and_bluestein() {
+    const MIXED_RADIX: [usize; 8] = [6, 30, 60, 300, 360, 500, 720, 960];
+    const BLUESTEIN: [usize; 8] = [7, 97, 127, 251, 499, 688, 743, 1009];
+    prop_check("round_trip_mixed_radix_and_bluestein", 0xFF7_0003, 32, |rng| {
+        let pool = if rng.gen_bool() { &MIXED_RADIX } else { &BLUESTEIN };
+        let n = pool[rng.gen_usize(0..pool.len())];
+        let x = rng.gen_c32_vec(n, 2.0);
+        let plan = Fft::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        assert!(rel_l2_c32(&y, &x) < 1e-4, "n={n}");
+        // And the forward pass itself must agree with the naive DFT for the
+        // smaller lengths (the naive oracle is quadratic).
+        if n <= 360 {
+            let mut f = x.clone();
+            plan.forward(&mut f);
+            let want = naive_dft32(&x, Direction::Forward);
+            assert!(rel_l2_c32(&f, &want) < 1e-4, "n={n} forward vs naive");
+        }
+    });
+}
+
+#[test]
+fn linearity() {
+    prop_check("linearity", 0xFF7_0004, 32, |rng| {
+        let x = rng.gen_c32_vec(64, 10.0);
+        let y = rng.gen_c32_vec(64, 10.0);
+        let a = rng.gen_f32(-3.0..3.0);
         let plan = Fft::new(64);
         // F(x + a·y) == F(x) + a·F(y)
         let mut lhs: Vec<Complex32> =
@@ -52,21 +77,28 @@ proptest! {
         let mut fy = y.clone();
         plan.forward(&mut fy);
         let rhs: Vec<Complex32> = fx.iter().zip(&fy).map(|(&p, &q)| p + q.scale(a)).collect();
-        prop_assert!(rel_l2_c32(&lhs, &rhs) < 1e-4);
-    }
+        assert!(rel_l2_c32(&lhs, &rhs) < 1e-4);
+    });
+}
 
-    #[test]
-    fn parseval(x in signal(90)) {
+#[test]
+fn parseval() {
+    prop_check("parseval", 0xFF7_0005, 32, |rng| {
+        let x = rng.gen_c32_vec(90, 10.0);
         let plan = Fft::new(90);
         let mut y = x.clone();
         plan.forward(&mut y);
         let ex: f64 = x.iter().map(|z| z.to_f64().norm_sqr()).sum();
         let ey: f64 = y.iter().map(|z| z.to_f64().norm_sqr()).sum();
-        prop_assert!((ey / 90.0 - ex).abs() <= 1e-4 * ex.max(1.0));
-    }
+        assert!((ey / 90.0 - ex).abs() <= 1e-4 * ex.max(1.0));
+    });
+}
 
-    #[test]
-    fn circular_shift_theorem(x in signal(32), shift in 0usize..32) {
+#[test]
+fn circular_shift_theorem() {
+    prop_check("circular_shift_theorem", 0xFF7_0006, 32, |rng| {
+        let x = rng.gen_c32_vec(32, 10.0);
+        let shift = rng.gen_usize(0..32);
         // FFT of circularly shifted signal = phase ramp × FFT.
         let plan = Fft::new(32);
         let mut shifted = x.clone();
@@ -75,25 +107,27 @@ proptest! {
         let mut fx = x.clone();
         plan.forward(&mut fx);
         for (k, (s, f)) in shifted.iter().zip(&fx).enumerate() {
-            let ph = nufft_math::Complex64::cis(
-                -core::f64::consts::TAU * (shift * k % 32) as f64 / 32.0,
-            );
+            let ph = Complex64::cis(-core::f64::consts::TAU * (shift * k % 32) as f64 / 32.0);
             let want = (f.to_f64() * ph).to_f32();
-            prop_assert!((s.re - want.re).abs() < 2e-3 && (s.im - want.im).abs() < 2e-3);
+            assert!(
+                (s.re - want.re).abs() < 2e-3 && (s.im - want.im).abs() < 2e-3,
+                "shift={shift} k={k}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn nd_round_trip(a in 1usize..8, b in 1usize..8, c in 1usize..8, seed in any::<u32>()) {
-        let len = a * b * c;
-        let x: Vec<Complex32> = (0..len).map(|i| {
-            let v = (i as u32).wrapping_mul(seed | 1);
-            Complex32::new((v % 997) as f32 / 500.0 - 1.0, (v % 641) as f32 / 320.0 - 1.0)
-        }).collect();
+#[test]
+fn nd_round_trip() {
+    prop_check("nd_round_trip", 0xFF7_0007, 32, |rng| {
+        let a = rng.gen_usize(1..8);
+        let b = rng.gen_usize(1..8);
+        let c = rng.gen_usize(1..8);
+        let x = rng.gen_c32_vec(a * b * c, 1.0);
         let plan = FftNd::new(&[a, b, c]);
         let mut y = x.clone();
         plan.forward(&mut y);
         plan.inverse(&mut y);
-        prop_assert!(rel_l2_c32(&y, &x) < 1e-4);
-    }
+        assert!(rel_l2_c32(&y, &x) < 1e-4, "dims [{a}, {b}, {c}]");
+    });
 }

@@ -18,9 +18,16 @@
 
 use crate::graph::{QueuePolicy, TaskGraph, TaskId};
 use crate::queue::{Entry, ReadyQueue};
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Locks a mutex, ignoring std's lock poisoning: the executor has its own
+/// explicit poison protocol (`Shared::poison`) that drains workers before a
+/// task panic propagates, so a poisoned guard's data is still consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Which phase of a task the executor is running.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,7 +121,7 @@ struct Shared<'g> {
 
 impl<'g> Shared<'g> {
     fn pop_blocking(&self) -> Option<Entry> {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         loop {
             if inner.poisoned {
                 return None;
@@ -125,14 +132,14 @@ impl<'g> Shared<'g> {
             if inner.completed == inner.total {
                 return None;
             }
-            self.cv.wait(&mut inner);
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Marks the run as failed so every worker drains out; called when a
     /// task panics, before the panic is propagated through the scope.
     fn poison(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         inner.poisoned = true;
         self.cv.notify_all();
     }
@@ -141,7 +148,7 @@ impl<'g> Shared<'g> {
     /// waiting workers.
     fn complete(&self, task: TaskId, phase: TaskPhase) {
         let graph = self.graph;
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         inner.completed += 1;
         match phase {
             TaskPhase::PrivateConvolve => {
@@ -298,8 +305,8 @@ impl Executor {
                             std::panic::resume_unwind(payload);
                         }
                         let end = t0.elapsed().as_secs_f64();
-                        *busy.lock() += end - start;
-                        log.lock().push(TaskRecord { task, phase, worker: w, start, end });
+                        *lock(busy) += end - start;
+                        lock(log).push(TaskRecord { task, phase, worker: w, start, end });
                         shared.complete(task, phase);
                     }
                 });
@@ -307,10 +314,10 @@ impl Executor {
         });
 
         let makespan = t0.elapsed().as_secs_f64();
-        let worker_busy: Vec<f64> = busy.iter().map(|m| *m.lock()).collect();
+        let worker_busy: Vec<f64> = busy.iter().map(|m| *lock(m)).collect();
         let mut log = Vec::new();
         for l in logs {
-            log.extend(l.into_inner());
+            log.extend(l.into_inner().unwrap_or_else(|e| e.into_inner()));
         }
         RunStats { makespan, worker_busy, log }
     }
@@ -488,9 +495,9 @@ mod tests {
         let order = Mutex::new(Vec::new());
         let exec = Executor::new(1);
         exec.run_graph(&graph, QueuePolicy::Priority, |t, _phase, _w| {
-            order.lock().push(t);
+            lock(&order).push(t);
         });
-        let order = order.into_inner();
+        let order = order.into_inner().unwrap();
         // The first popped task must be the heaviest rank-0 task (4: w=90).
         assert_eq!(order[0], 4, "got order {order:?}");
         // All 9 ran.

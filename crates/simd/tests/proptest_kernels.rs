@@ -1,25 +1,17 @@
 //! Property tests: every dispatched kernel agrees with the scalar reference
 //! on random inputs at every ISA level the host supports, within FP
-//! reassociation tolerance.
+//! reassociation tolerance. Runs on the `nufft-testkit` harness; a failure
+//! prints a `NUFFT_PROP_SEED=...` replay seed.
 
 use nufft_math::Complex32;
 use nufft_simd::{
     accumulate, detect_isa, gather_row, scale_by_real, scatter_row, set_isa_override, IsaLevel,
 };
-use proptest::prelude::*;
+use nufft_testkit::prop_check;
 use std::sync::Mutex;
 
-/// Serializes the process-global ISA override across proptest threads.
+/// Serializes the process-global ISA override across test threads.
 static ISA_LOCK: Mutex<()> = Mutex::new(());
-
-fn cvec(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
-    proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), len..=len)
-        .prop_map(|v| v.into_iter().map(|(r, i)| Complex32::new(r, i)).collect())
-}
-
-fn wvec(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-2.0f32..2.0, len..=len)
-}
 
 fn scalar_scatter(dst: &mut [Complex32], w: &[f32], val: Complex32) {
     for (d, &wi) in dst.iter_mut().zip(w) {
@@ -45,25 +37,13 @@ fn supported_levels() -> Vec<IsaLevel> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scatter_matches_reference(
-        len in 0usize..24,
-        seed in any::<u64>(),
-    ) {
-        let mut rng_state = seed;
-        let mut next = move || {
-            // xorshift64 for cheap deterministic floats in (-1, 1).
-            rng_state ^= rng_state << 13;
-            rng_state ^= rng_state >> 7;
-            rng_state ^= rng_state << 17;
-            (rng_state as i64 as f64 / i64::MAX as f64) as f32
-        };
-        let grid0: Vec<Complex32> = (0..len).map(|_| Complex32::new(next(), next())).collect();
-        let w: Vec<f32> = (0..len).map(|_| next()).collect();
-        let val = Complex32::new(next(), next());
+#[test]
+fn scatter_matches_reference() {
+    prop_check("scatter_matches_reference", 0x51D_0001, 64, |rng| {
+        let len = rng.gen_usize(0..24);
+        let grid0 = rng.gen_c32_vec(len, 1.0);
+        let w = rng.gen_f32_vec(len, -1.0..1.0);
+        let val = rng.gen_c32(1.0);
 
         let mut want = grid0.clone();
         scalar_scatter(&mut want, &w, val);
@@ -74,42 +54,58 @@ proptest! {
             let mut got = grid0.clone();
             scatter_row(&mut got, &w, val);
             for (a, b) in got.iter().zip(&want) {
-                prop_assert!((a.re - b.re).abs() <= 1e-5 && (a.im - b.im).abs() <= 1e-5,
-                    "level {level:?}: {a:?} vs {b:?}");
+                assert!(
+                    (a.re - b.re).abs() <= 1e-5 && (a.im - b.im).abs() <= 1e-5,
+                    "level {level:?}: {a:?} vs {b:?}"
+                );
             }
         }
         set_isa_override(detect_isa()).unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn gather_matches_reference(grid in cvec(19), w in wvec(19)) {
+#[test]
+fn gather_matches_reference() {
+    prop_check("gather_matches_reference", 0x51D_0002, 64, |rng| {
+        let grid = rng.gen_c32_vec(19, 100.0);
+        let w = rng.gen_f32_vec(19, -2.0..2.0);
         let want = scalar_gather(&grid, &w);
         let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         for level in supported_levels() {
             set_isa_override(level).unwrap();
             let got = gather_row(&grid, &w);
             // Reassociation across ≤19 terms of magnitude ≤200.
-            prop_assert!((got.re - want.re).abs() <= 2e-3 && (got.im - want.im).abs() <= 2e-3,
-                "level {level:?}: {got:?} vs {want:?}");
+            assert!(
+                (got.re - want.re).abs() <= 2e-3 && (got.im - want.im).abs() <= 2e-3,
+                "level {level:?}: {got:?} vs {want:?}"
+            );
         }
         set_isa_override(detect_isa()).unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn accumulate_matches_reference(a in cvec(33), b in cvec(33)) {
+#[test]
+fn accumulate_matches_reference() {
+    prop_check("accumulate_matches_reference", 0x51D_0003, 64, |rng| {
+        let a = rng.gen_c32_vec(33, 100.0);
+        let b = rng.gen_c32_vec(33, 100.0);
         let want: Vec<Complex32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         for level in supported_levels() {
             set_isa_override(level).unwrap();
             let mut got = a.clone();
             accumulate(&mut got, &b);
-            prop_assert_eq!(&got, &want, "level {:?}", level);
+            assert_eq!(&got, &want, "level {level:?}");
         }
         set_isa_override(detect_isa()).unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn scale_matches_reference(buf in cvec(21), s in wvec(21)) {
+#[test]
+fn scale_matches_reference() {
+    prop_check("scale_matches_reference", 0x51D_0004, 64, |rng| {
+        let buf = rng.gen_c32_vec(21, 100.0);
+        let s = rng.gen_f32_vec(21, -2.0..2.0);
         let want: Vec<Complex32> =
             buf.iter().zip(&s).map(|(&z, &si)| Complex32::new(z.re * si, z.im * si)).collect();
         let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -117,22 +113,25 @@ proptest! {
             set_isa_override(level).unwrap();
             let mut got = buf.clone();
             scale_by_real(&mut got, &s);
-            prop_assert_eq!(&got, &want, "level {:?}", level);
+            assert_eq!(&got, &want, "level {level:?}");
         }
         set_isa_override(detect_isa()).unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn scatter_then_negate_round_trips(grid in cvec(12), w in wvec(12), re in -5.0f32..5.0, im in -5.0f32..5.0) {
-        // scatter(val) then scatter(-val) must restore the grid exactly:
-        // the adds are elementwise and f32 addition of x + p - p == x is NOT
-        // guaranteed, so compare with tolerance.
-        let val = Complex32::new(re, im);
+#[test]
+fn scatter_then_negate_round_trips() {
+    prop_check("scatter_then_negate_round_trips", 0x51D_0005, 64, |rng| {
+        // scatter(val) then scatter(-val) must restore the grid up to f32
+        // round-off: x + p - p == x is NOT guaranteed elementwise.
+        let grid = rng.gen_c32_vec(12, 100.0);
+        let w = rng.gen_f32_vec(12, -2.0..2.0);
+        let val = rng.gen_c32(5.0);
         let mut g = grid.clone();
         scatter_row(&mut g, &w, val);
         scatter_row(&mut g, &w, -val);
         for (a, b) in g.iter().zip(&grid) {
-            prop_assert!((a.re - b.re).abs() <= 1e-4 && (a.im - b.im).abs() <= 1e-4);
+            assert!((a.re - b.re).abs() <= 1e-4 && (a.im - b.im).abs() <= 1e-4);
         }
-    }
+    });
 }

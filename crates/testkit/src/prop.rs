@@ -1,0 +1,171 @@
+//! Minimal property-testing harness with replayable counterexamples.
+//!
+//! [`prop_check`] runs a property closure against `cases` independent
+//! deterministic input streams derived from one base seed. When a case
+//! fails, the harness:
+//!
+//! 1. greedily **shrinks** it by replaying the same case seed at increasing
+//!    shrink levels (each level halves every size-like draw, see
+//!    [`Rng::gen_usize`]), keeping the deepest level that still fails;
+//! 2. panics with a message containing `NUFFT_PROP_SEED=<seed>:<shrink>` —
+//!    exporting that environment variable and re-running the test replays
+//!    exactly the failing (shrunk) inputs, and nothing else.
+//!
+//! There are no macros and no strategy combinators: a property is a plain
+//! closure drawing whatever it needs from the [`Rng`] it is handed. This
+//! keeps the harness ~100 lines, `std`-only, and the replay contract
+//! trivially stable.
+
+use crate::rng::{splitmix64, Rng};
+
+/// Deepest shrink level tried after a failure (2^12 ≫ any size range used
+/// in this workspace, so the deepest level collapses sizes to their minima).
+const MAX_SHRINK: u32 = 12;
+
+/// Environment variable for replaying one failing case: `seed` or
+/// `seed:shrink`.
+pub const REPLAY_ENV: &str = "NUFFT_PROP_SEED";
+
+fn run_case<F: Fn(&mut Rng)>(f: &F, seed: u64, shrink: u32) -> Result<(), String> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut rng = Rng::with_shrink(seed, shrink);
+        f(&mut rng);
+    }));
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())),
+    }
+}
+
+/// Checks `property` against `cases` deterministic random input streams.
+///
+/// `base_seed` fixes the whole run; every case gets an independent seed
+/// derived from it via SplitMix64. On failure the panic message names the
+/// failing case's replay seed and the shrink level reached, e.g.
+///
+/// ```text
+/// property 'fft_round_trip' failed; replay with NUFFT_PROP_SEED=123456:3
+/// ```
+///
+/// # Panics
+/// Panics (test failure) if any case fails, after shrinking.
+pub fn prop_check<F>(name: &str, base_seed: u64, cases: u32, property: F)
+where
+    F: Fn(&mut Rng),
+{
+    // Replay mode: run exactly one case, without catching the panic, so the
+    // failure surfaces with its original assertion message and backtrace.
+    if let Ok(spec) = std::env::var(REPLAY_ENV) {
+        let (seed, shrink) = parse_replay(&spec)
+            .unwrap_or_else(|| panic!("malformed {REPLAY_ENV}={spec}; expected <seed>[:<shrink>]"));
+        eprintln!("[{name}] replaying case {REPLAY_ENV}={seed}:{shrink}");
+        let mut rng = Rng::with_shrink(seed, shrink);
+        property(&mut rng);
+        return;
+    }
+
+    let mut seed_state = base_seed;
+    for case in 0..cases {
+        let case_seed = splitmix64(&mut seed_state);
+        if let Err(first_msg) = run_case(&property, case_seed, 0) {
+            // Greedy shrink: walk shrink levels upward while the property
+            // still fails; stop at the first level that passes.
+            let mut best = (0u32, first_msg);
+            for shrink in 1..=MAX_SHRINK {
+                match run_case(&property, case_seed, shrink) {
+                    Err(msg) => best = (shrink, msg),
+                    Ok(()) => break,
+                }
+            }
+            let (shrink, msg) = best;
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (shrunk to level {shrink}): {msg}\n\
+                 replay with {REPLAY_ENV}={case_seed}:{shrink}"
+            );
+        }
+    }
+}
+
+fn parse_replay(spec: &str) -> Option<(u64, u32)> {
+    match spec.split_once(':') {
+        Some((s, k)) => Some((s.trim().parse().ok()?, k.trim().parse().ok()?)),
+        None => Some((spec.trim().parse().ok()?, 0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let ran = AtomicU32::new(0);
+        prop_check("trivially_true", 1, 40, |rng| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            let n = rng.gen_usize(1..50);
+            assert!(n < 50);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_base_seed() {
+        let collect = |base: u64| {
+            let draws = std::sync::Mutex::new(Vec::new());
+            prop_check("record", base, 5, |rng| {
+                draws.lock().unwrap().push(rng.next_u64());
+            });
+            draws.into_inner().unwrap()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn failing_property_reports_replay_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            prop_check("always_false_for_big", 3, 10, |rng| {
+                let n = rng.gen_usize(1..1000);
+                // Fails for any n >= 1 — fully shrinkable.
+                assert!(n == 0, "forced failure with n={n}");
+            });
+        });
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(msg.contains("replay with NUFFT_PROP_SEED="), "message: {msg}");
+        // The failure shrinks all the way down (still fails at max level).
+        assert!(msg.contains(&format!("shrunk to level {MAX_SHRINK}")), "message: {msg}");
+    }
+
+    #[test]
+    fn shrink_stops_at_first_passing_level() {
+        // Fails only for n > 500: shrink level 1 halves the span to ≤ 500,
+        // which passes, so the reported level must be 0.
+        let result = std::panic::catch_unwind(|| {
+            prop_check("fails_only_when_large", 5, 50, |rng| {
+                let n = rng.gen_usize(1..1001);
+                assert!(n <= 500, "n={n}");
+            });
+        });
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(msg.contains("shrunk to level 0"), "message: {msg}");
+    }
+
+    #[test]
+    fn replay_spec_parses() {
+        assert_eq!(parse_replay("123"), Some((123, 0)));
+        assert_eq!(parse_replay("123:4"), Some((123, 4)));
+        assert_eq!(parse_replay("x"), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic seedable PRNG: SplitMix64 seeding feeding a xoshiro256++
+//! core.
+//!
+//! Every stream is a pure function of its 64-bit seed — no OS entropy, no
+//! global state — so any test, trajectory or benchmark input can be replayed
+//! bit-exactly from the seed printed in a failure message. The generator is
+//! the same algorithm family `rand::rngs::SmallRng` used on 64-bit targets
+//! (xoshiro256++ seeded via SplitMix64), chosen for its quality/speed and so
+//! the statistical character of generated datasets is unchanged by the
+//! hermetic port.
+
+use core::ops::Range;
+use nufft_math::Complex32;
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used both to expand a 64-bit seed into the 256-bit xoshiro state and to
+/// derive independent per-case seeds in the property harness.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+///
+/// `shrink` (set by the property harness) geometrically narrows every
+/// size-like range drawn through [`Rng::gen_usize`], which is how
+/// counterexamples get smaller without changing the replay protocol: the
+/// same seed plus a shrink level fully determines the generated inputs.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    shrink: u32,
+}
+
+impl Rng {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with
+    /// SplitMix64 (never all-zero, per the xoshiro authors' guidance).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s, shrink: 0 }
+    }
+
+    /// Seeds a generator that additionally shrinks size-like draws by
+    /// `shrink` halvings (see [`Rng::gen_usize`]).
+    pub fn with_shrink(seed: u64, shrink: u32) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        rng.shrink = shrink;
+        rng
+    }
+
+    /// The shrink level this generator was created with.
+    pub fn shrink_level(&self) -> u32 {
+        self.shrink
+    }
+
+    /// Next 64 raw bits (xoshiro256++ output function).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Derives an independent child stream (e.g. one per worker or per
+    /// dataset slice) without correlating with further draws from `self`.
+    pub fn fork(&mut self) -> Rng {
+        let mut rng = Rng::seed_from_u64(self.next_u64());
+        rng.shrink = self.shrink;
+        rng
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the half-open `range`.
+    #[inline]
+    pub fn gen_f64(&mut self, range: Range<f64>) -> f64 {
+        debug_assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        let v = range.start + self.gen_unit_f64() * span;
+        // FP rounding can push start + u·span onto end itself; keep the
+        // half-open contract exact.
+        if v >= range.end {
+            range.start + span * (1.0 - f64::EPSILON)
+        } else {
+            v
+        }
+    }
+
+    /// Uniform `f32` in the half-open `range`.
+    #[inline]
+    pub fn gen_f32(&mut self, range: Range<f32>) -> f32 {
+        self.gen_f64(range.start as f64..range.end as f64) as f32
+    }
+
+    /// Uniform `usize` in the half-open `range`, narrowed toward
+    /// `range.start` by the shrink level: each level halves the span (never
+    /// below 1), so a shrunk replay generates the smallest sizes first.
+    #[inline]
+    pub fn gen_usize(&mut self, range: Range<usize>) -> usize {
+        debug_assert!(range.start < range.end, "empty range");
+        let mut span = (range.end - range.start) as u64;
+        span = (span >> self.shrink.min(63)).max(1);
+        range.start + (self.next_u64() % span) as usize
+    }
+
+    /// Fair coin.
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 0
+    }
+
+    /// Standard normal via Box–Muller (mean 0, standard deviation 1).
+    #[inline]
+    pub fn gen_gaussian(&mut self) -> f64 {
+        let u1 = self.gen_f64(1e-12..1.0);
+        let u2 = self.gen_f64(0.0..core::f64::consts::TAU);
+        (-2.0 * u1.ln()).sqrt() * u2.cos()
+    }
+
+    /// One complex value with each component uniform in `[-amp, amp)`.
+    #[inline]
+    pub fn gen_c32(&mut self, amp: f32) -> Complex32 {
+        let re = self.gen_f32(-amp..amp);
+        let im = self.gen_f32(-amp..amp);
+        Complex32::new(re, im)
+    }
+
+    /// Complex vector with components uniform in `[-amp, amp)`.
+    pub fn gen_c32_vec(&mut self, len: usize, amp: f32) -> Vec<Complex32> {
+        (0..len).map(|_| self.gen_c32(amp)).collect()
+    }
+
+    /// Real vector with entries uniform in `range`.
+    pub fn gen_f32_vec(&mut self, len: usize, range: Range<f32>) -> Vec<f32> {
+        (0..len).map(|_| self.gen_f32(range.clone())).collect()
+    }
+
+    /// `len` D-dimensional points with every component uniform in `range` —
+    /// the arbitrary-trajectory generator the NUFFT property tests use.
+    pub fn gen_points<const D: usize>(&mut self, len: usize, range: Range<f64>) -> Vec<[f64; D]> {
+        (0..len)
+            .map(|_| core::array::from_fn(|_| self.gen_f64(range.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the state {1, 2, 3, 4}, per the
+        // reference implementation by Blackman & Vigna.
+        let mut rng = Rng { s: [1, 2, 3, 4], shrink: 0 };
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(got, vec![41943041, 58720359, 3588806011781223, 3591011842654386]);
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // SplitMix64 outputs for seed 0, per the reference implementation.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220A8397B1DCDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E789E6AA1B965F4);
+        assert_eq!(splitmix64(&mut s), 0x06C45D188009454F);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_band() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranged_draws_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&v));
+            let u = rng.gen_usize(3..17);
+            assert!((3..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = Rng::seed_from_u64(13);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn shrink_narrows_size_draws_toward_minimum() {
+        let seed = 99;
+        let wide: Vec<usize> =
+            (0..64).scan(Rng::seed_from_u64(seed), |r, _| Some(r.gen_usize(1..1025))).collect();
+        let narrow: Vec<usize> =
+            (0..64).scan(Rng::with_shrink(seed, 8), |r, _| Some(r.gen_usize(1..1025))).collect();
+        assert!(narrow.iter().max() < wide.iter().max());
+        assert!(narrow.iter().all(|&v| v <= 4)); // 1024 >> 8 = 4
+        // Full shrink collapses to the minimum.
+        let mut floor = Rng::with_shrink(seed, 32);
+        assert_eq!(floor.gen_usize(5..1000), 5);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut parent = Rng::seed_from_u64(3);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -5,8 +5,7 @@
 //! `[-1/2, 1/2)`.
 
 use crate::Trajectory;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nufft_testkit::rng::Rng;
 
 /// Half-open clamp keeping ν inside the band after FP rounding.
 fn clamp_nu(x: f64) -> f64 {
@@ -21,9 +20,9 @@ fn clamp_nu(x: f64) -> f64 {
 /// equiangular projections / VIPR-style acquisition).
 pub fn radial(k: usize, s: usize, seed: u64) -> Trajectory<3> {
     assert!(k >= 2, "need at least two samples per projection");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Random rotation offset so different seeds decorrelate.
-    let phase: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+    let phase: f64 = rng.gen_f64(0.0..core::f64::consts::TAU);
     let golden = core::f64::consts::PI * (3.0 - 5.0f64.sqrt());
     let mut points = Vec::with_capacity(k * s);
     for i in 0..s {
@@ -50,12 +49,12 @@ pub fn radial(k: usize, s: usize, seed: u64) -> Trajectory<3> {
 /// standard deviation `sigma` (in ν units).
 pub fn random(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<3> {
     assert!(sigma > 0.0, "sigma must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let gauss = move |rng: &mut SmallRng| -> f64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let gauss = move |rng: &mut Rng| -> f64 {
         // Box–Muller; resample until inside the band (truncation).
         loop {
-            let u1: f64 = rng.random_range(1e-12..1.0);
-            let u2: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            let u1: f64 = rng.gen_f64(1e-12..1.0);
+            let u2: f64 = rng.gen_f64(0.0..core::f64::consts::TAU);
             let g = (-2.0 * u1.ln()).sqrt() * u2.cos() * sigma;
             if (-0.5..0.5).contains(&g) {
                 return g;
@@ -79,8 +78,8 @@ pub fn random(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<3> {
 pub fn spiral(k: usize, s: usize, planes: usize, turns: f64, seed: u64) -> Trajectory<3> {
     assert!(planes >= 1, "need at least one plane");
     assert!(turns > 0.0, "spiral must make at least a fraction of a turn");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let phase: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+    let mut rng = Rng::seed_from_u64(seed);
+    let phase: f64 = rng.gen_f64(0.0..core::f64::consts::TAU);
     let golden = core::f64::consts::PI * (3.0 - 5.0f64.sqrt());
     let theta_max = turns * core::f64::consts::TAU;
     let mut points = Vec::with_capacity(k * s);
@@ -111,8 +110,8 @@ pub fn spiral(k: usize, s: usize, planes: usize, turns: f64, seed: u64) -> Traje
 /// panel).
 pub fn radial_2d(k: usize, s: usize, seed: u64) -> Trajectory<2> {
     assert!(k >= 2, "need at least two samples per spoke");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let phase: f64 = rng.random_range(0.0..core::f64::consts::PI);
+    let mut rng = Rng::seed_from_u64(seed);
+    let phase: f64 = rng.gen_f64(0.0..core::f64::consts::PI);
     let mut points = Vec::with_capacity(k * s);
     for i in 0..s {
         let ang = phase + core::f64::consts::PI * i as f64 / s as f64;
@@ -128,11 +127,11 @@ pub fn radial_2d(k: usize, s: usize, seed: u64) -> Trajectory<2> {
 /// 2D variable-density Gaussian sampling (the Figure 1 middle panel).
 pub fn random_2d(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<2> {
     assert!(sigma > 0.0, "sigma must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let gauss = move |rng: &mut SmallRng| -> f64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let gauss = move |rng: &mut Rng| -> f64 {
         loop {
-            let u1: f64 = rng.random_range(1e-12..1.0);
-            let u2: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            let u1: f64 = rng.gen_f64(1e-12..1.0);
+            let u2: f64 = rng.gen_f64(0.0..core::f64::consts::TAU);
             let g = (-2.0 * u1.ln()).sqrt() * u2.cos() * sigma;
             if (-0.5..0.5).contains(&g) {
                 return g;
@@ -147,8 +146,8 @@ pub fn random_2d(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<2> {
 /// of `k` samples (the Figure 1 right panel, single-plane form).
 pub fn spiral_2d(k: usize, s: usize, turns: f64, seed: u64) -> Trajectory<2> {
     assert!(turns > 0.0, "spiral must make at least a fraction of a turn");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let phase: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+    let mut rng = Rng::seed_from_u64(seed);
+    let phase: f64 = rng.gen_f64(0.0..core::f64::consts::TAU);
     let golden = core::f64::consts::PI * (3.0 - 5.0f64.sqrt());
     let theta_max = turns * core::f64::consts::TAU;
     let mut points = Vec::with_capacity(k * s);
@@ -314,6 +313,78 @@ mod tests {
             (spiral(512, 24, 8, 16.0, 0).len(), 24, 512),
         ] {
             assert_eq!(t, s * k);
+        }
+    }
+
+    /// Golden snapshot pinning fixed-seed output bit-exactly.
+    ///
+    /// Dataset seeds are part of the experiment definition (EXPERIMENTS.md):
+    /// any change to the PRNG, its seeding path, or the generator code that
+    /// alters these bits silently invalidates every recorded result, so the
+    /// exact values are frozen here. If this test fails, either revert the
+    /// behavioral change or consciously re-baseline both this snapshot and
+    /// EXPERIMENTS.md together.
+    #[test]
+    fn fixed_seed_output_is_frozen() {
+        let close = |a: f64, b: f64| {
+            assert!(a.to_bits() == b.to_bits(), "snapshot drift: {a:?} != {b:?}")
+        };
+        let t = radial_2d(4, 2, 42);
+        let want_2d = [
+            [0.31297758037422213, -0.20656726309630313],
+            [0.10432586012474071, -0.06885575436543438],
+            [-0.10432586012474071, 0.06885575436543438],
+            [-0.31297758037422213, 0.20656726309630313],
+            [0.2065672630963032, 0.31297758037422213],
+            [0.0688557543654344, 0.10432586012474071],
+            [-0.0688557543654344, -0.10432586012474071],
+            [-0.2065672630963032, -0.31297758037422213],
+        ];
+        for (p, w) in t.points.iter().zip(&want_2d) {
+            close(p[0], w[0]);
+            close(p[1], w[1]);
+        }
+
+        let t = random_2d(2, 2, 0.15, 7);
+        let want_rnd = [
+            [0.16962974426542604, -0.1096466069723276],
+            [-0.039869960970796404, -0.057982452636147694],
+            [0.02537954097222794, 0.1471265714570092],
+            [0.08945452487260781, 0.14575845194795542],
+        ];
+        for (p, w) in t.points.iter().zip(&want_rnd) {
+            close(p[0], w[0]);
+            close(p[1], w[1]);
+        }
+
+        let t = spiral(3, 2, 2, 4.0, 11);
+        let want_sp = [
+            [-0.0821852152044983, -0.01378531269992616, -0.25],
+            [0.1590931157984922, -0.19284548349787078, -0.25],
+            [0.14577088302500427, 0.39033570266274853, -0.25],
+            [-0.0821852152044983, -0.01378531269992616, 0.25],
+            [0.1590931157984922, -0.19284548349787078, 0.25],
+            [0.14577088302500427, 0.39033570266274853, 0.25],
+        ];
+        for (p, w) in t.points.iter().zip(&want_sp) {
+            close(p[0], w[0]);
+            close(p[1], w[1]);
+            close(p[2], w[2]);
+        }
+
+        let t = radial(3, 2, 5);
+        let want_3d = [
+            [0.07533850442261757, -0.27867085079838644, -0.16666666666666669],
+            [-0.0, 0.0, 0.0],
+            [-0.07533850442261757, 0.27867085079838644, 0.16666666666666669],
+            [0.13268718652570724, 0.25637364112799416, 0.16666666666666669],
+            [-0.0, -0.0, -0.0],
+            [-0.13268718652570724, -0.25637364112799416, -0.16666666666666669],
+        ];
+        for (p, w) in t.points.iter().zip(&want_3d) {
+            close(p[0], w[0]);
+            close(p[1], w[1]);
+            close(p[2], w[2]);
         }
     }
 }

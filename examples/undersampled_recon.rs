@@ -14,16 +14,15 @@ use nufft::math::error::rel_l2_c32;
 use nufft::math::Complex32;
 use nufft::mri::phantom::phantom_2d;
 use nufft::mri::recon::{gridding_recon, IterativeRecon};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nufft_testkit::rng::Rng;
 
 /// 2D variable-density Gaussian sampling (truncated to the band).
 fn vd_random_2d(count: usize, sigma: f64, seed: u64) -> Vec<[f64; 2]> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let gauss = |rng: &mut SmallRng| -> f64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let gauss = |rng: &mut Rng| -> f64 {
         loop {
-            let u1: f64 = rng.random_range(1e-12..1.0);
-            let u2: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            let u1: f64 = rng.gen_f64(1e-12..1.0);
+            let u2: f64 = rng.gen_f64(0.0..core::f64::consts::TAU);
             let g = (-2.0 * u1.ln()).sqrt() * u2.cos() * sigma;
             if (-0.5..0.5).contains(&g) {
                 return g;

@@ -121,9 +121,8 @@ impl<const D: usize> AtomicAdjoint<D> {
                         }
                         let end = (start + grain).min(coords.len());
                         for p in start..end {
-                            let win: [Window; D] = core::array::from_fn(|d| {
-                                Window::compute(coords[p][d], w, kernel)
-                            });
+                            let win: [Window; D] =
+                                core::array::from_fn(|d| Window::compute(coords[p][d], w, kernel));
                             scatter_atomic(atoms, m, &win, samples[p]);
                         }
                     });
@@ -206,12 +205,7 @@ mod tests {
     fn matches_core_adjoint() {
         let n = [12usize, 12];
         let traj: Vec<[f64; 2]> = (0..150)
-            .map(|i| {
-                [
-                    ((i as f64 * 0.618) % 1.0) - 0.5,
-                    ((i as f64 * 0.414) % 1.0) - 0.5,
-                ]
-            })
+            .map(|i| [((i as f64 * 0.618) % 1.0) - 0.5, ((i as f64 * 0.414) % 1.0) - 0.5])
             .collect();
         let samples: Vec<Complex32> =
             (0..150).map(|i| Complex32::new(0.5, (i as f32 * 0.11).cos())).collect();
@@ -220,11 +214,8 @@ mod tests {
         let mut want = vec![Complex32::ZERO; 144];
         base.adjoint(&samples, &mut want);
 
-        let mut core_plan = NufftPlan::new(
-            n,
-            &traj,
-            NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
-        );
+        let mut core_plan =
+            NufftPlan::new(n, &traj, NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() });
         let mut got = vec![Complex32::ZERO; 144];
         core_plan.adjoint(&samples, &mut got);
 

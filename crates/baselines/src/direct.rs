@@ -98,17 +98,11 @@ mod tests {
         let traj = [[0.1, -0.2], [0.31, 0.05], [-0.45, 0.4]];
         let x: Vec<Complex32> =
             (0..16).map(|i| Complex32::new(i as f32 * 0.1, -(i as f32) * 0.2)).collect();
-        let y = [
-            Complex32::new(1.0, 0.5),
-            Complex32::new(-0.5, 1.0),
-            Complex32::new(0.25, -0.75),
-        ];
+        let y = [Complex32::new(1.0, 0.5), Complex32::new(-0.5, 1.0), Complex32::new(0.25, -0.75)];
         let ax = forward(&x, n, &traj);
         let aty = adjoint(&y, n, &traj);
-        let lhs: Complex64 =
-            ax.iter().zip(&y).map(|(&a, &b)| a.conj() * b.to_f64()).sum();
-        let rhs: Complex64 =
-            x.iter().zip(&aty).map(|(&a, &b)| a.to_f64().conj() * b).sum();
+        let lhs: Complex64 = ax.iter().zip(&y).map(|(&a, &b)| a.conj() * b.to_f64()).sum();
+        let rhs: Complex64 = x.iter().zip(&aty).map(|(&a, &b)| a.to_f64().conj() * b).sum();
         assert!((lhs - rhs).abs() < 1e-10, "{lhs:?} vs {rhs:?}");
     }
 }

@@ -212,11 +212,8 @@ mod tests {
         gather.convolve(&samples, &mut grid_g);
         assert!(gather.last_conv_seconds() > 0.0);
 
-        let mut plan = NufftPlan::new(
-            n,
-            &traj,
-            NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
-        );
+        let mut plan =
+            NufftPlan::new(n, &traj, NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() });
         plan.adjoint_convolution_only(&samples);
         // Access the scattered grid indirectly: run the same iFFT+scale on
         // the gather grid by comparing through a fresh adjoint.
@@ -263,19 +260,13 @@ mod tests {
             let mut grid = vec![Complex32::ZERO; 24 * 24 * 24];
             gather.convolve(&samples, &mut grid);
             let tg = gather.last_conv_seconds();
-            let mut plan = NufftPlan::new(
-                n,
-                &traj,
-                NufftConfig { threads: 1, w, ..NufftConfig::default() },
-            );
+            let mut plan =
+                NufftPlan::new(n, &traj, NufftConfig { threads: 1, w, ..NufftConfig::default() });
             let ts = plan.adjoint_convolution_only(&samples);
             ratios.push(tg / ts);
         }
         // Not asserting exact factors (timing), only that gather is the
         // slower approach at the larger width.
-        assert!(
-            ratios[1] > 1.0,
-            "gather should lose to scatter at W=4: ratios {ratios:?}"
-        );
+        assert!(ratios[1] > 1.0, "gather should lose to scatter at W=4: ratios {ratios:?}");
     }
 }

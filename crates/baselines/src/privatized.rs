@@ -115,9 +115,8 @@ impl<const D: usize> PrivatizedAdjoint<D> {
                         let start = (tid * chunk).min(n_samples);
                         let end = ((tid + 1) * chunk).min(n_samples);
                         for p in start..end {
-                            let win: [Window; D] = core::array::from_fn(|d| {
-                                Window::compute(coords[p][d], w, kernel)
-                            });
+                            let win: [Window; D] =
+                                core::array::from_fn(|d| Window::compute(coords[p][d], w, kernel));
                             adjoint_scatter(grid, m, &win, samples[p]);
                         }
                     });
@@ -175,12 +174,7 @@ mod tests {
     fn matches_core_adjoint() {
         let n = [16usize, 16];
         let traj: Vec<[f64; 2]> = (0..200)
-            .map(|i| {
-                [
-                    ((i as f64 * 0.618) % 1.0) - 0.5,
-                    ((i as f64 * 0.414) % 1.0) - 0.5,
-                ]
-            })
+            .map(|i| [((i as f64 * 0.618) % 1.0) - 0.5, ((i as f64 * 0.414) % 1.0) - 0.5])
             .collect();
         let samples: Vec<Complex32> =
             (0..200).map(|i| Complex32::new((i as f32 * 0.2).sin(), 0.3)).collect();
@@ -189,11 +183,8 @@ mod tests {
         let mut want = vec![Complex32::ZERO; 256];
         base.adjoint(&samples, &mut want);
 
-        let mut core_plan = NufftPlan::new(
-            n,
-            &traj,
-            NufftConfig { threads: 2, w: 3.0, ..NufftConfig::default() },
-        );
+        let mut core_plan =
+            NufftPlan::new(n, &traj, NufftConfig { threads: 2, w: 3.0, ..NufftConfig::default() });
         let mut got = vec![Complex32::ZERO; 256];
         core_plan.adjoint(&samples, &mut got);
 

@@ -234,12 +234,7 @@ mod tests {
 
     fn traj2(count: usize) -> Vec<[f64; 2]> {
         (0..count)
-            .map(|i| {
-                [
-                    ((i as f64 * 0.618) % 1.0) - 0.5,
-                    ((i as f64 * 0.414) % 1.0) - 0.5,
-                ]
-            })
+            .map(|i| [((i as f64 * 0.618) % 1.0) - 0.5, ((i as f64 * 0.414) % 1.0) - 0.5])
             .collect()
     }
 
@@ -253,11 +248,8 @@ mod tests {
             (0..250).map(|i| Complex32::new(1.0, i as f32 * 0.01)).collect();
 
         let mut seq = SequentialNufft::new(n, &traj, 2.0, 3.0);
-        let mut core_plan = NufftPlan::new(
-            n,
-            &traj,
-            NufftConfig { threads: 3, w: 3.0, ..NufftConfig::default() },
-        );
+        let mut core_plan =
+            NufftPlan::new(n, &traj, NufftConfig { threads: 3, w: 3.0, ..NufftConfig::default() });
 
         let mut f_seq = vec![Complex32::ZERO; 250];
         let mut f_core = vec![Complex32::ZERO; 250];

@@ -218,11 +218,8 @@ mod tests {
         let traj = traj3(120);
         let samples: Vec<Complex32> =
             (0..120).map(|i| Complex32::new(1.0, (i as f32 * 0.31).sin())).collect();
-        let mut plan = NufftPlan::new(
-            n,
-            &traj,
-            NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
-        );
+        let mut plan =
+            NufftPlan::new(n, &traj, NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() });
         let mut want = vec![Complex32::ZERO; 512];
         plan.adjoint(&samples, &mut want);
 

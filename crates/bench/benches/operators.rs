@@ -28,9 +28,7 @@ fn main() {
     g.throughput(traj.len() as u64);
     g.bench_function("forward", |b| b.iter(|| plan.forward(&image, &mut s_out)));
     g.bench_function("adjoint", |b| b.iter(|| plan.adjoint(&samples, &mut i_out)));
-    g.bench_function("adjoint_conv_only", |b| {
-        b.iter(|| plan.adjoint_convolution_only(&samples))
-    });
+    g.bench_function("adjoint_conv_only", |b| b.iter(|| plan.adjoint_convolution_only(&samples)));
 
     let mut seq = SequentialNufft::new([n; 3], &traj.points, 2.0, 4.0);
     g.bench_function("adjoint_sequential_baseline", |b| {

@@ -20,7 +20,9 @@ fn main() {
     // Skip values consumed by flags.
     ids.retain(|a| a.parse::<usize>().is_err());
     if ids.is_empty() || ids.contains(&"help") {
-        eprintln!("usage: repro <experiment...|all> [--full] [--scale <div>] [--ncap <N>] [--reps <r>]");
+        eprintln!(
+            "usage: repro <experiment...|all> [--full] [--scale <div>] [--ncap <N>] [--reps <r>]"
+        );
         eprintln!("experiments: {}", experiments::ALL.join(" "));
         return;
     }

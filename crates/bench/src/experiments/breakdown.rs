@@ -66,8 +66,7 @@ pub fn fig7(scale: &RunScale) {
         let cfg = NufftConfig { threads: 1, w, ..NufftConfig::default() };
         let mut prob = build_problem(DatasetKind::Radial, &p, cfg);
         let part1 = time_median(scale.reps, || prob.plan.part1_seconds());
-        let adj =
-            time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
+        let adj = time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
         let mut out = vec![Complex32::ZERO; prob.samples.len()];
         let fwd = time_median(scale.reps, || prob.plan.forward_convolution_only(&mut out));
         t.row(&[
@@ -173,11 +172,25 @@ pub fn tab2(scale: &RunScale) {
     let total40 = conv40 + fft40 + oft.scale + oat.scale;
 
     let mut t = Table::new(
-        &format!("Table II — baseline vs optimized (radial, N={}, W=4, {} samples)", p.n, p.total_samples()),
+        &format!(
+            "Table II — baseline vs optimized (radial, N={}, W=4, {} samples)",
+            p.n,
+            p.total_samples()
+        ),
         &["configuration", "Convolution", "3D FFT", "NUFFT"],
     );
-    t.row(&["baseline (scalar sequential)".into(), secs(base_conv), secs(base_fft), secs(base_total)]);
-    t.row(&[format!("optimized (measured, {} threads)", cfg.threads), secs(opt_conv), secs(opt_fft), secs(opt_total)]);
+    t.row(&[
+        "baseline (scalar sequential)".into(),
+        secs(base_conv),
+        secs(base_fft),
+        secs(base_total),
+    ]);
+    t.row(&[
+        format!("optimized (measured, {} threads)", cfg.threads),
+        secs(opt_conv),
+        secs(opt_fft),
+        secs(opt_total),
+    ]);
     t.row(&["optimized (projected, 40 cores)".into(), secs(conv40), secs(fft40), secs(total40)]);
     t.row(&[
         "speedup (projected @40)".into(),

@@ -54,8 +54,18 @@ pub fn tab4(scale: &RunScale) {
         ),
         &["implementation", "ADJ", "FWD", "total"],
     );
-    t.row(&["ours (W=4, measured)".into(), secs(ours_adj), secs(ours_fwd), secs(ours_adj + ours_fwd)]);
-    t.row(&["Shu-style full-grid privatization (W=2.5, measured)".into(), secs(shu_adj), "-".into(), "-".into()]);
+    t.row(&[
+        "ours (W=4, measured)".into(),
+        secs(ours_adj),
+        secs(ours_fwd),
+        secs(ours_adj + ours_fwd),
+    ]);
+    t.row(&[
+        "Shu-style full-grid privatization (W=2.5, measured)".into(),
+        secs(shu_adj),
+        "-".into(),
+        "-".into(),
+    ]);
     t.row(&["ours ADJ conv projected @12 cores".into(), secs(ours12), "-".into(), "-".into()]);
     t.row(&[
         "ADJ speedup ours vs Shu-style (same host, same threads)".into(),
@@ -104,7 +114,12 @@ pub fn tab5(scale: &RunScale) {
     );
     t.row(&[format!("ours (measured, {threads} threads)"), secs(adj), secs(fwd), secs(adj + fwd)]);
     t.row(&["ours ADJ conv projected @16 cores".into(), secs(adj16), "-".into(), "-".into()]);
-    t.row(&["GTX480 (Nam et al., published, full size)".into(), "0.94s".into(), "0.66s".into(), "1.60s".into()]);
+    t.row(&[
+        "GTX480 (Nam et al., published, full size)".into(),
+        "0.94s".into(),
+        "0.66s".into(),
+        "1.60s".into(),
+    ]);
     t.row(&["SNB16C (paper, full size)".into(), "0.58s".into(), "0.54s".into(), "1.11s".into()]);
     t.emit("tab5");
     println!("  paper: SNB16C beats the GPU 1.44x; published rows above are literature constants");

@@ -12,8 +12,24 @@ use crate::RunScale;
 
 /// All experiment ids in paper order.
 pub const ALL: [&str; 18] = [
-    "tab1", "fig1", "fig3", "fig7", "fig8", "tab2", "tab3", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "tab4", "tab5", "extgather", "exttoeplitz", "extkernel",
+    "tab1",
+    "fig1",
+    "fig3",
+    "fig7",
+    "fig8",
+    "tab2",
+    "tab3",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "tab4",
+    "tab5",
+    "extgather",
+    "exttoeplitz",
+    "extkernel",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.

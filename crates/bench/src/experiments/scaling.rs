@@ -26,26 +26,14 @@ fn n_variants(scale: &RunScale) -> Vec<DatasetParams> {
 /// fine — only its total time is used).
 fn sim_cfg(w: f64, cores: usize) -> NufftConfig {
     let p = (((8 * cores) as f64).powf(1.0 / 3.0).ceil() as usize).max(2);
-    NufftConfig {
-        threads: cores,
-        w,
-        partitions_per_dim: Some(p),
-        ..NufftConfig::default()
-    }
+    NufftConfig { threads: cores, w, partitions_per_dim: Some(p), ..NufftConfig::default() }
 }
 
 /// Simulated adjoint-convolution speedup curve for a built problem.
-fn sim_speedups(
-    prob: &mut crate::Problem,
-    policy: QueuePolicy,
-    cores: &[usize],
-) -> Vec<f64> {
+fn sim_speedups(prob: &mut crate::Problem, policy: QueuePolicy, cores: &[usize]) -> Vec<f64> {
     let model = calibrate_cost(&mut prob.plan, &prob.samples);
     let base = simulate(prob.plan.graph(), policy, 1, &model).makespan;
-    cores
-        .iter()
-        .map(|&c| base / simulate(prob.plan.graph(), policy, c, &model).makespan)
-        .collect()
+    cores.iter().map(|&c| base / simulate(prob.plan.graph(), policy, c, &model).makespan).collect()
 }
 
 /// Figure 9: cumulative speedup from each successive optimization.
@@ -63,24 +51,17 @@ pub fn fig9(scale: &RunScale) {
     for kind in DatasetKind::ALL {
         // Base: true-scalar ISA, no reorder (the paper's baseline).
         nufft_simd::set_isa_override(nufft_simd::IsaLevel::StrictScalar).unwrap();
-        let cfg =
-            NufftConfig { threads: 1, w: 4.0, reorder: false, ..NufftConfig::default() };
+        let cfg = NufftConfig { threads: 1, w: 4.0, reorder: false, ..NufftConfig::default() };
         let mut prob = build_problem(kind, &p, cfg);
-        base_s *= time_median(scale.reps, || {
-            prob.plan.adjoint_convolution_only(&prob.samples)
-        });
+        base_s *= time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
         // + Reorder.
         let cfg = NufftConfig { threads: 1, w: 4.0, reorder: true, ..NufftConfig::default() };
         let mut prob = build_problem(kind, &p, cfg);
-        reorder_s *= time_median(scale.reps, || {
-            prob.plan.adjoint_convolution_only(&prob.samples)
-        });
+        reorder_s *= time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
         // + SIMD.
         nufft_simd::set_isa_override(detected).unwrap();
         let mut prob = build_problem(kind, &p, cfg);
-        simd_s *= time_median(scale.reps, || {
-            prob.plan.adjoint_convolution_only(&prob.samples)
-        });
+        simd_s *= time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
     }
     let g = 1.0 / 3.0;
     let (base_s, reorder_s, simd_s) = (base_s.powf(g), reorder_s.powf(g), simd_s.powf(g));
@@ -91,7 +72,8 @@ pub fn fig9(scale: &RunScale) {
     // Parallel stages: simulate on the SIMD-config radial graph (paper
     // averages over datasets; radial is the binding one), partitioned for
     // the largest simulated machine.
-    let mut prob = build_problem(DatasetKind::Radial, &scale.apply_for_sim(&TABLE1[1]), sim_cfg(4.0, 40));
+    let mut prob =
+        build_problem(DatasetKind::Radial, &scale.apply_for_sim(&TABLE1[1]), sim_cfg(4.0, 40));
     let sims = sim_speedups(&mut prob, QueuePolicy::Priority, &[10, 20, 40]);
     for (c, s) in [10, 20, 40].iter().zip(&sims) {
         t.row(&[
@@ -224,7 +206,15 @@ pub fn fig12(scale: &RunScale) {
 pub fn fig14(scale: &RunScale) {
     let mut t = Table::new(
         "Figure 14 — preprocessing vs one NUFFT iteration (FWD+ADJ)",
-        &["dataset", "N", "samples", "preproc", "iteration (1 thread)", "ratio @1", "ratio @40 (sim)"],
+        &[
+            "dataset",
+            "N",
+            "samples",
+            "preproc",
+            "iteration (1 thread)",
+            "ratio @1",
+            "ratio @40 (sim)",
+        ],
     );
     for (i, row) in TABLE1.iter().enumerate() {
         let params = scale.apply(row);
@@ -240,11 +230,7 @@ pub fn fig14(scale: &RunScale) {
         let adj40 = simulate(prob.plan.graph(), QueuePolicy::Priority, 40, &model).makespan;
         let ft = prob.plan.forward_timers();
         let at = prob.plan.adjoint_timers();
-        let it40 = adj40
-            + ft.conv / 40.0
-            + (ft.fft + at.fft) / 40.0
-            + ft.scale
-            + at.scale;
+        let it40 = adj40 + ft.conv / 40.0 + (ft.fft + at.fft) / 40.0 + ft.scale + at.scale;
         t.row(&[
             (i + 1).to_string(),
             params.n.to_string(),

@@ -18,7 +18,10 @@ pub fn tab3(scale: &RunScale) {
             p.total_samples(),
             host_threads()
         ),
-        &["dataset", "W=2 ADJ", "W=2 FWD", "W=4 ADJ", "W=4 FWD", "W=6 ADJ", "W=6 FWD", "W=8 ADJ", "W=8 FWD"],
+        &[
+            "dataset", "W=2 ADJ", "W=2 FWD", "W=4 ADJ", "W=4 FWD", "W=6 ADJ", "W=6 FWD", "W=8 ADJ",
+            "W=8 FWD",
+        ],
     );
     for kind in DatasetKind::ALL {
         let mut cells = vec![kind.name().to_string()];
@@ -26,8 +29,7 @@ pub fn tab3(scale: &RunScale) {
             let cfg = NufftConfig { threads: host_threads(), w, ..NufftConfig::default() };
             let mut prob = build_problem(kind, &p, cfg);
             let n = prob.samples.len() as f64;
-            let adj =
-                time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
+            let adj = time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
             let mut out = vec![Complex32::ZERO; prob.samples.len()];
             let fwd = time_median(scale.reps, || prob.plan.forward_convolution_only(&mut out));
             cells.push(format!("{:.1}", n / adj / 1e6));
@@ -73,14 +75,12 @@ pub fn fig13(scale: &RunScale) {
                 adj_times.push(time_median(scale.reps, || {
                     prob.plan.adjoint_convolution_only(&prob.samples)
                 }));
-                fwd_times.push(time_median(scale.reps, || {
-                    prob.plan.forward_convolution_only(&mut out)
-                }));
+                fwd_times
+                    .push(time_median(scale.reps, || prob.plan.forward_convolution_only(&mut out)));
             }
             set_isa_override(detected).unwrap();
             for (op, times) in [("ADJ", &adj_times), ("FWD", &fwd_times)] {
-                let mut cells =
-                    vec![kind.name().to_string(), format!("{w:.0}"), op.to_string()];
+                let mut cells = vec![kind.name().to_string(), format!("{w:.0}"), op.to_string()];
                 for &x in times.iter() {
                     cells.push(format!("{:.3}", x));
                 }

@@ -154,7 +154,7 @@ pub fn calibrate_cost(plan: &mut NufftPlan<3>, samples: &[Complex32]) -> LinearC
     let n = plan.num_samples().max(1);
     let per_sample = conv_s / n as f64;
     LinearCost {
-        per_task: 3.0e-6,                     // window setup + first-touch
+        per_task: 3.0e-6, // window setup + first-touch
         per_sample,
         reduce_per_sample: per_sample * 0.12, // reduction row-adds are cheap
         queue_cost: 2.0e-6,                   // serialized lock+pop

@@ -46,9 +46,7 @@ impl Window {
         let len = (x2 - x1 + 1) as usize;
         debug_assert!(len <= MAX_TAPS, "window of {len} taps exceeds MAX_TAPS");
         let mut w = [0.0f32; MAX_TAPS];
-        for (i, wi) in w[..len].iter_mut().enumerate() {
-            *wi = kernel.eval_lut((x1 + i as i32) as f32 - u);
-        }
+        kernel.eval_lut_row(x1, len, u, &mut w);
         Window { start: x1, len, w }
     }
 }
@@ -185,8 +183,7 @@ pub fn forward_gather<const D: usize>(
                 let fx = win[0].w[ix];
                 for iy in 0..win[1].len {
                     let gy = wrap(win[1].start + iy as i32, m[1]);
-                    let row =
-                        gather_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], &win[2]);
+                    let row = gather_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], &win[2]);
                     acc += row.scale(fx * win[1].w[iy]);
                 }
             }
@@ -267,7 +264,8 @@ pub fn reduce_local<const D: usize>(
                 let gx = wrap(origin[0] + lx as i32, m[0]);
                 for ly in 0..size[1] {
                     let gy = wrap(origin[1] + ly as i32, m[1]);
-                    let row = &buf[(lx * size[1] + ly) * size[2]..(lx * size[1] + ly + 1) * size[2]];
+                    let row =
+                        &buf[(lx * size[1] + ly) * size[2]..(lx * size[1] + ly + 1) * size[2]];
                     add_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], origin[2], row);
                 }
             }
@@ -312,7 +310,7 @@ mod tests {
         let w = Window::compute(5.3, 2.0, &k);
         assert_eq!(w.start, 4); // ceil(3.3)
         assert_eq!(w.len, 4); // 4,5,6,7 (floor(7.3))
-        // Integer coordinate: 2W+1 taps.
+                              // Integer coordinate: 2W+1 taps.
         let w = Window::compute(5.0, 2.0, &k);
         assert_eq!(w.start, 3);
         assert_eq!(w.len, 5);
@@ -333,10 +331,7 @@ mod tests {
         let hazardous = 121.0f32 - 2.0f32.powi(-17);
         let w = Window::compute(hazardous, 8.0, &k8);
         let last = (w.start + w.len as i32 - 1) as f64;
-        assert!(
-            last - hazardous as f64 <= 8.0,
-            "tap {last} outside support of u={hazardous}"
-        );
+        assert!(last - hazardous as f64 <= 8.0, "tap {last} outside support of u={hazardous}");
         // And fuzz the invariant across binades and widths.
         let k = kernel();
         for i in 0..20000 {
@@ -407,9 +402,7 @@ mod tests {
         let val = Complex32::new(2.0, -1.0);
         adjoint_scatter(&mut grid, &m, &win, val);
         let mass: Complex32 = grid.iter().copied().sum();
-        let wsum: f32 = (0..3)
-            .map(|d| win[d].w[..win[d].len].iter().sum::<f32>())
-            .product();
+        let wsum: f32 = (0..3).map(|d| win[d].w[..win[d].len].iter().sum::<f32>()).product();
         assert!((mass.re - val.re * wsum).abs() < 1e-4);
         assert!((mass.im - val.im * wsum).abs() < 1e-4);
     }

@@ -163,6 +163,35 @@ impl InterpKernel {
         a + (b - a) * frac
     }
 
+    /// Part 1 row evaluation: fills `out[i] = eval_lut((x1 + i) − u)` for
+    /// every tap `i < len` in one pass, hoisting the LUT scale conversion
+    /// and the per-tap support branch out of the loop. Every tap must be in
+    /// support (`|x1 + i − u| ≤ W`), which `Window::compute`'s exact-`f64`
+    /// bounds guarantee; results are identical to per-tap [`eval_lut`]
+    /// calls.
+    ///
+    /// [`eval_lut`]: InterpKernel::eval_lut
+    ///
+    /// # Panics
+    /// Panics if `out.len() < len`.
+    #[inline]
+    pub fn eval_lut_row(&self, x1: i32, len: usize, u: f32, out: &mut [f32]) {
+        let dens = self.density as f32;
+        let lut = &self.lut[..];
+        for (i, o) in out[..len].iter_mut().enumerate() {
+            let ax = ((x1 + i as i32) as f32 - u).abs();
+            debug_assert!(ax as f64 <= self.w, "tap outside kernel support");
+            let pos = ax * dens;
+            let idx = pos as usize;
+            let frac = pos - idx as f32;
+            // The table has 2 slack entries past W·density, so idx+1 is in
+            // range for every in-support tap.
+            let a = lut[idx];
+            let b = lut[idx + 1];
+            *o = a + (b - a) * frac;
+        }
+    }
+
     /// The kernel's continuous Fourier transform `Â(ξ)`, with `ξ` in cycles
     /// per grid unit — what the roll-off correction divides by.
     pub fn fourier(&self, xi: f64) -> f64 {
@@ -221,10 +250,9 @@ mod tests {
 
     #[test]
     fn kernel_is_even_and_monotone_on_positive_axis() {
-        for k in [
-            InterpKernel::new(3.0, 2.0),
-            InterpKernel::of(KernelChoice::Gaussian, 3.0, 2.0, 512),
-        ] {
+        for k in
+            [InterpKernel::new(3.0, 2.0), InterpKernel::of(KernelChoice::Gaussian, 3.0, 2.0, 512)]
+        {
             let mut prev = k.eval_exact(0.0);
             for i in 1..=30 {
                 let x = i as f64 * 0.1;
@@ -246,10 +274,35 @@ mod tests {
                 let x = i as f64 * 1e-3;
                 let exact = k.eval_exact(x) as f32;
                 let lut = k.eval_lut(x as f32);
-                assert!(
-                    (lut - exact).abs() < 5e-5,
-                    "LUT error at x={x}: {lut} vs {exact}"
-                );
+                assert!((lut - exact).abs() < 5e-5, "LUT error at x={x}: {lut} vs {exact}");
+            }
+        }
+    }
+
+    /// The row evaluator is bit-identical to per-tap `eval_lut` calls over
+    /// the windows `Window::compute` produces.
+    #[test]
+    fn lut_row_matches_per_tap_lookups() {
+        for k in
+            [InterpKernel::new(4.0, 2.0), InterpKernel::of(KernelChoice::Gaussian, 3.0, 2.0, 256)]
+        {
+            let w = k.w();
+            for step in 0..200 {
+                let u = step as f32 * 0.173 + 0.01;
+                let x1 = (u as f64 - w).ceil() as i32;
+                let x2 = (u as f64 + w).floor() as i32;
+                let len = (x2 - x1 + 1) as usize;
+                let mut row = [0.0f32; 32];
+                k.eval_lut_row(x1, len, u, &mut row);
+                for i in 0..len {
+                    let want = k.eval_lut((x1 + i as i32) as f32 - u);
+                    assert_eq!(
+                        row[i].to_bits(),
+                        want.to_bits(),
+                        "u={u} tap {i}: {} vs {want}",
+                        row[i]
+                    );
+                }
             }
         }
     }
@@ -278,10 +331,9 @@ mod tests {
 
     #[test]
     fn fourier_transform_matches_numeric_quadrature() {
-        for k in [
-            InterpKernel::new(4.0, 2.0),
-            InterpKernel::of(KernelChoice::Gaussian, 4.0, 2.0, 512),
-        ] {
+        for k in
+            [InterpKernel::new(4.0, 2.0), InterpKernel::of(KernelChoice::Gaussian, 4.0, 2.0, 512)]
+        {
             for &xi in &[0.0, 0.05, 0.1, 0.2, 0.35, 0.5] {
                 // Simpson quadrature of ∫ I(x)·cos(2πξx) dx over [-W, W].
                 let n = 4000;

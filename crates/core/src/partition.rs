@@ -134,9 +134,7 @@ fn fix_bounds(b: &mut Vec<usize>, m: usize, min_width: usize) {
     // is wide enough to split.
     let count = b.len() - 1;
     if count > 1 && count % 2 == 1 {
-        let widest = (0..count)
-            .max_by_key(|&i| b[i + 1] - b[i])
-            .expect("non-empty partition list");
+        let widest = (0..count).max_by_key(|&i| b[i + 1] - b[i]).expect("non-empty partition list");
         if b[widest + 1] - b[widest] >= 2 * min_width {
             let mid = (b[widest] + b[widest + 1]) / 2;
             b.insert(widest + 1, mid);
@@ -196,8 +194,8 @@ mod tests {
         for seedish in 0..5u32 {
             let coords: Vec<[f32; 1]> = (0..500)
                 .map(|i: u32| {
-                    let x = (i.wrapping_mul(2654435761).wrapping_add(seedish) % 12800) as f32
-                        / 100.0;
+                    let x =
+                        (i.wrapping_mul(2654435761).wrapping_add(seedish) % 12800) as f32 / 100.0;
                     [x]
                 })
                 .collect();
@@ -209,8 +207,7 @@ mod tests {
     #[test]
     fn partition_count_is_even_or_one() {
         for m in [32usize, 64, 100, 128, 17, 9, 8] {
-            let coords: Vec<[f32; 1]> =
-                (0..300).map(|i| [(i % m) as f32]).collect();
+            let coords: Vec<[f32; 1]> = (0..300).map(|i| [(i % m) as f32]).collect();
             let p = Partitions::variable(&coords, [m], 7, 9);
             let c = p.counts()[0];
             assert!(c == 1 || c % 2 == 0, "m={m}: count {c}");
@@ -219,9 +216,8 @@ mod tests {
 
     #[test]
     fn locate_agrees_with_cell_ranges() {
-        let coords: Vec<[f32; 2]> = (0..400)
-            .map(|i| [(i % 64) as f32 + 0.3, ((i * 7) % 64) as f32 + 0.7])
-            .collect();
+        let coords: Vec<[f32; 2]> =
+            (0..400).map(|i| [(i % 64) as f32 + 0.3, ((i * 7) % 64) as f32 + 0.7]).collect();
         let p = Partitions::variable(&coords, [64, 64], 4, 5);
         for c in &coords {
             let idx = p.locate(c);

@@ -16,9 +16,7 @@
 //! per-worker/per-task execution logs ([`NufftPlan::last_run_stats`]) for
 //! the load-balance experiments.
 
-use crate::conv::{
-    adjoint_scatter, adjoint_scatter_local, forward_gather, reduce_local, Window,
-};
+use crate::conv::{adjoint_scatter, adjoint_scatter_local, forward_gather, reduce_local, Window};
 use crate::grid::{embed_scaled, extract_scaled, Geometry};
 use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
 use crate::scale::build_scale;
@@ -422,10 +420,8 @@ impl<const D: usize> NufftPlan<D> {
         }
         {
             let grid_len = self.grid.len();
-            let grid_ptrs: Vec<SendPtr<Complex32>> = self.batch_grids[..channels]
-                .iter_mut()
-                .map(|g| SendPtr(g.as_mut_ptr()))
-                .collect();
+            let grid_ptrs: Vec<SendPtr<Complex32>> =
+                self.batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())).collect();
             let m = &self.geo.m;
             let kernel = &self.kernel;
             let wrad = self.cfg.w as f32;
@@ -448,8 +444,7 @@ impl<const D: usize> NufftPlan<D> {
                     for (c, gp) in grid_ptrs.iter().enumerate() {
                         // SAFETY: the task graph serializes adjacent tasks;
                         // each task touches only its halo box of each grid.
-                        let grid =
-                            unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
+                        let grid = unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
                         adjoint_scatter(grid, m, &win, samples[c][order[i] as usize]);
                     }
                 }
@@ -541,11 +536,8 @@ impl<const D: usize> NufftPlan<D> {
         let wrad = self.cfg.w as f32;
         let pre = &self.pre;
         let buf_of_task = &self.buf_of_task;
-        let buf_ptrs: Vec<(SendPtr<Complex32>, usize)> = self
-            .priv_bufs
-            .iter_mut()
-            .map(|b| (SendPtr(b.as_mut_ptr()), b.len()))
-            .collect();
+        let buf_ptrs: Vec<(SendPtr<Complex32>, usize)> =
+            self.priv_bufs.iter_mut().map(|b| (SendPtr(b.as_mut_ptr()), b.len())).collect();
         let order = &pre.order;
         let coords = &pre.coords;
 
@@ -554,12 +546,10 @@ impl<const D: usize> NufftPlan<D> {
                 TaskPhase::Normal => {
                     // SAFETY: the task graph serializes adjacent tasks;
                     // this task only touches its own halo box.
-                    let grid =
-                        unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
+                    let grid = unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
                     for i in pre.ranges[t].clone() {
-                        let win: [Window; D] = core::array::from_fn(|d| {
-                            Window::compute(coords[i][d], wrad, kernel)
-                        });
+                        let win: [Window; D] =
+                            core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
                         adjoint_scatter(grid, m, &win, samples[order[i] as usize]);
                     }
                 }
@@ -571,9 +561,8 @@ impl<const D: usize> NufftPlan<D> {
                     let buf = unsafe { core::slice::from_raw_parts_mut(ptr.get(), len) };
                     buf.fill(Complex32::ZERO);
                     for i in pre.ranges[t].clone() {
-                        let win: [Window; D] = core::array::from_fn(|d| {
-                            Window::compute(coords[i][d], wrad, kernel)
-                        });
+                        let win: [Window; D] =
+                            core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
                         adjoint_scatter_local(
                             buf,
                             &region.origin,
@@ -589,8 +578,7 @@ impl<const D: usize> NufftPlan<D> {
                     // SAFETY: reductions run under the same exclusion
                     // edges as normal tasks; the buffer was filled by
                     // this task's convolve phase which has completed.
-                    let grid =
-                        unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
+                    let grid = unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
                     let buf = unsafe { core::slice::from_raw_parts(ptr.get(), len) };
                     reduce_local(grid, m, buf, &region.origin, &region.size);
                 }
@@ -598,20 +586,21 @@ impl<const D: usize> NufftPlan<D> {
         })
     }
 
-    /// Parallel n-dimensional FFT: lines of each axis sharded over the
-    /// executor.
+    /// Parallel n-dimensional FFT: SIMD-width tiles of adjacent lines per
+    /// axis, sharded over the executor.
     fn fft_parallel(fft: &FftNd, data: &mut [Complex32], exec: &Executor, dir: Direction) {
         let base = SendPtr(data.as_mut_ptr());
+        let b = FftNd::batch_width();
         for axis in 0..fft.shape().len() {
-            let lines = fft.num_lines(axis);
-            let grain = (lines / (4 * exec.threads())).clamp(1, 64);
-            exec.parallel_for(lines, grain, |range, _w| {
-                let mut scratch = vec![Complex32::ZERO; fft.scratch_len()];
-                for line in range {
-                    // SAFETY: lines of one axis are pairwise disjoint; the
+            let tiles = fft.num_tiles(axis, b);
+            let grain = (tiles / (4 * exec.threads())).clamp(1, 64);
+            exec.parallel_for(tiles, grain, |range, _w| {
+                let mut scratch = vec![Complex32::ZERO; fft.batch_scratch_len(b)];
+                for tile in range {
+                    // SAFETY: tiles of one axis are pairwise disjoint; the
                     // axes are processed with a barrier between them
                     // (parallel_for joins before returning).
-                    unsafe { fft.transform_line_raw(base.get(), axis, line, &mut scratch, dir) };
+                    unsafe { fft.transform_tile_raw(base.get(), axis, tile, b, &mut scratch, dir) };
                 }
             });
         }

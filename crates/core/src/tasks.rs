@@ -334,12 +334,8 @@ mod tests {
         use crate::conv::Window;
         use crate::kernel::KbKernel;
         let coords = demo_coords(1500, 64);
-        let cfg = PreprocessConfig {
-            partitions_per_dim: 4,
-            w: 2.0,
-            threads: 16,
-            ..Default::default()
-        };
+        let cfg =
+            PreprocessConfig { partitions_per_dim: 4, w: 2.0, threads: 16, ..Default::default() };
         let pre = preprocess(&coords, [64, 64], &cfg);
         let kernel = KbKernel::new(2.0, 2.0);
         let mut checked = 0;
@@ -379,8 +375,7 @@ mod tests {
         };
         let pre = preprocess(&coords, [64, 64], &cfg);
         assert_eq!(pre.parts.counts(), [4, 4]);
-        let widths: Vec<usize> =
-            pre.parts.bounds(0).windows(2).map(|w| w[1] - w[0]).collect();
+        let widths: Vec<usize> = pre.parts.bounds(0).windows(2).map(|w| w[1] - w[0]).collect();
         assert!(widths.iter().all(|&w| w == 16));
     }
 }

@@ -13,7 +13,8 @@ use nufft_parallel::graph::QueuePolicy;
 
 /// Quasi-random trajectory in [-1/2, 1/2)^D via an additive recurrence.
 fn qr_traj<const D: usize>(count: usize, seed: u64) -> Vec<[f64; D]> {
-    const ALPHAS: [f64; 3] = [0.618_033_988_749_894_9, 0.414_213_562_373_095, 0.259_921_049_894_873_2];
+    const ALPHAS: [f64; 3] =
+        [0.618_033_988_749_894_9, 0.414_213_562_373_095, 0.259_921_049_894_873_2];
     (0..count)
         .map(|i| {
             core::array::from_fn(|d| {
@@ -137,10 +138,7 @@ fn kaiser_bessel_beats_gaussian_at_equal_width() {
     let image = demo_image(32 * 32);
     let want = direct_forward(&image, n, &traj);
     let mut errs = Vec::new();
-    for kernel in [
-        nufft_core::KernelChoice::KaiserBessel,
-        nufft_core::KernelChoice::Gaussian,
-    ] {
+    for kernel in [nufft_core::KernelChoice::KaiserBessel, nufft_core::KernelChoice::Gaussian] {
         let c = NufftConfig { kernel, ..cfg(1, 4.0) };
         let mut plan = NufftPlan::new(n, &traj, c);
         let mut got = vec![Complex32::ZERO; traj.len()];
@@ -159,8 +157,7 @@ fn gaussian_kernel_adjoint_is_still_exact() {
     let n = [16usize, 16];
     let traj = qr_traj::<2>(120, 17);
     let x = demo_image(256);
-    let y: Vec<Complex32> =
-        (0..120).map(|i| Complex32::new((i as f32 * 0.9).sin(), 0.4)).collect();
+    let y: Vec<Complex32> = (0..120).map(|i| Complex32::new((i as f32 * 0.9).sin(), 0.4)).collect();
     let c = NufftConfig { kernel: nufft_core::KernelChoice::Gaussian, ..cfg(2, 3.0) };
     let mut plan = NufftPlan::new(n, &traj, c);
     let mut ax = vec![Complex32::ZERO; 120];
@@ -181,9 +178,8 @@ fn adjoint_is_exact_conjugate_transpose() {
     let n = [16usize, 16];
     let traj = qr_traj::<2>(150, 11);
     let x = demo_image(256);
-    let y: Vec<Complex32> = (0..150)
-        .map(|i| Complex32::new((i as f32 * 0.7).sin(), (i as f32 * 0.3).cos()))
-        .collect();
+    let y: Vec<Complex32> =
+        (0..150).map(|i| Complex32::new((i as f32 * 0.7).sin(), (i as f32 * 0.3).cos())).collect();
     let mut plan = NufftPlan::new(n, &traj, cfg(2, 3.0));
 
     let mut ax = vec![Complex32::ZERO; 150];
@@ -208,9 +204,8 @@ fn every_configuration_computes_the_same_operator() {
     let n = [20usize, 20];
     let traj = qr_traj::<2>(500, 2);
     let image = demo_image(400);
-    let samples: Vec<Complex32> = (0..500)
-        .map(|i| Complex32::new(1.0 / (1.0 + i as f32), (i as f32 * 0.13).sin()))
-        .collect();
+    let samples: Vec<Complex32> =
+        (0..500).map(|i| Complex32::new(1.0 / (1.0 + i as f32), (i as f32 * 0.13).sin())).collect();
 
     // Reference: single-thread, default everything.
     let mut reference_fwd = vec![Complex32::ZERO; 500];
@@ -227,10 +222,7 @@ fn every_configuration_computes_the_same_operator() {
         ("fixed partitions", NufftConfig { fixed_partitions: true, ..cfg(3, 3.0) }),
         ("no privatization", NufftConfig { privatization: false, ..cfg(3, 3.0) }),
         ("no reorder", NufftConfig { reorder: false, ..cfg(3, 3.0) }),
-        (
-            "explicit partitions",
-            NufftConfig { partitions_per_dim: Some(6), ..cfg(4, 3.0) },
-        ),
+        ("explicit partitions", NufftConfig { partitions_per_dim: Some(6), ..cfg(4, 3.0) }),
     ];
     for (name, c) in variants {
         let mut plan = NufftPlan::new(n, &traj, c);
@@ -249,15 +241,12 @@ fn every_configuration_computes_the_same_operator() {
 fn scalar_and_simd_agree() {
     let n = [16usize, 16, 16];
     let traj = qr_traj::<3>(600, 9);
-    let samples: Vec<Complex32> =
-        (0..600).map(|i| Complex32::new((i as f32).cos(), 0.5)).collect();
+    let samples: Vec<Complex32> = (0..600).map(|i| Complex32::new((i as f32).cos(), 0.5)).collect();
     let mut adj_by_isa = Vec::new();
     let detected = nufft_simd::detect_isa();
-    for isa in [
-        nufft_simd::IsaLevel::Scalar,
-        nufft_simd::IsaLevel::Sse2,
-        nufft_simd::IsaLevel::Avx2Fma,
-    ] {
+    for isa in
+        [nufft_simd::IsaLevel::Scalar, nufft_simd::IsaLevel::Sse2, nufft_simd::IsaLevel::Avx2Fma]
+    {
         if isa > detected {
             continue;
         }

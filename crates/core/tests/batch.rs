@@ -7,12 +7,7 @@ use nufft_math::Complex32;
 
 fn traj2(count: usize) -> Vec<[f64; 2]> {
     (0..count)
-        .map(|i| {
-            [
-                ((i as f64 * 0.618) % 1.0) - 0.5,
-                ((i as f64 * 0.414) % 1.0) - 0.5,
-            ]
-        })
+        .map(|i| [((i as f64 * 0.618) % 1.0) - 0.5, ((i as f64 * 0.414) % 1.0) - 0.5])
         .collect()
 }
 
@@ -42,8 +37,7 @@ fn forward_batch_matches_per_channel() {
     // Batched.
     let image_refs: Vec<&[Complex32]> = images.iter().map(|v| v.as_slice()).collect();
     let mut outs: Vec<Vec<Complex32>> = vec![vec![Complex32::ZERO; 200]; channels];
-    let mut out_refs: Vec<&mut [Complex32]> =
-        outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+    let mut out_refs: Vec<&mut [Complex32]> = outs.iter_mut().map(|v| v.as_mut_slice()).collect();
     plan.forward_batch(&image_refs, &mut out_refs);
 
     for c in 0..channels {
@@ -76,8 +70,7 @@ fn adjoint_batch_matches_per_channel() {
 
     let data_refs: Vec<&[Complex32]> = data.iter().map(|v| v.as_slice()).collect();
     let mut outs: Vec<Vec<Complex32>> = vec![vec![Complex32::ZERO; 256]; channels];
-    let mut out_refs: Vec<&mut [Complex32]> =
-        outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+    let mut out_refs: Vec<&mut [Complex32]> = outs.iter_mut().map(|v| v.as_mut_slice()).collect();
     plan.adjoint_batch(&data_refs, &mut out_refs);
 
     for c in 0..channels {
@@ -102,14 +95,10 @@ fn batch_reuses_across_calls() {
     // Growing then shrinking the channel count must work (grids cached).
     let n = [12usize, 12];
     let traj = traj2(80);
-    let mut plan = NufftPlan::new(
-        n,
-        &traj,
-        NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() },
-    );
+    let mut plan =
+        NufftPlan::new(n, &traj, NufftConfig { threads: 2, w: 2.0, ..NufftConfig::default() });
     for &channels in &[1usize, 4, 2] {
-        let images: Vec<Vec<Complex32>> =
-            (0..channels).map(|c| channel_image(144, c)).collect();
+        let images: Vec<Vec<Complex32>> = (0..channels).map(|c| channel_image(144, c)).collect();
         let image_refs: Vec<&[Complex32]> = images.iter().map(|v| v.as_slice()).collect();
         let mut outs: Vec<Vec<Complex32>> = vec![vec![Complex32::ZERO; 80]; channels];
         let mut out_refs: Vec<&mut [Complex32]> =

@@ -93,9 +93,8 @@ fn forward_is_linear() {
 fn partitions_always_satisfy_invariants() {
     prop_check("partitions_always_satisfy_invariants", 0xC0FE_0003, 24, |rng| {
         let count = rng.gen_usize(1..300);
-        let coords: Vec<[f32; 2]> = (0..count)
-            .map(|_| [rng.gen_f32(0.0..64.0), rng.gen_f32(0.0..64.0)])
-            .collect();
+        let coords: Vec<[f32; 2]> =
+            (0..count).map(|_| [rng.gen_f32(0.0..64.0), rng.gen_f32(0.0..64.0)]).collect();
         let p = rng.gen_usize(1..12);
         let wc = rng.gen_usize(1..5);
         let min_width = 2 * wc + 1;

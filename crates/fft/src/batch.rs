@@ -1,0 +1,189 @@
+//! Batched (tiled) execution of Cooley–Tukey transforms over several lines
+//! at once.
+//!
+//! The n-D transform applies a 1D FFT to every line of every axis. For a
+//! strided axis the per-line path gathers one line at a time into a bounce
+//! buffer — each gathered element touches a fresh cache line of which it
+//! uses 8 bytes, and every twiddle is reloaded per line. The batched path
+//! instead packs a tile of `b` *memory-adjacent* lines element-interleaved
+//! (`tile[j·b + lane]` = element `j` of line `lane`; adjacent lines differ
+//! by one in the innermost index, so each gather step is one contiguous
+//! `b`-complex copy) and runs the whole Cooley–Tukey recursion across the
+//! tile: every twiddle load is amortized over `b` lines and the column
+//! butterflies in `nufft_simd::fft_rows` consume full SIMD vectors of
+//! always-contiguous data.
+//!
+//! Bit-identity: at a fixed ISA level the column kernels perform the same
+//! per-element arithmetic as the row kernels used by the per-line path, and
+//! the scalar combine below mirrors `Fft::recurse`'s scalar combine exactly
+//! (same `MIN_SIMD_M` branch), so a batched transform is bit-identical to
+//! transforming the same lines one at a time. `crates/fft/tests/
+//! proptest_fft.rs` pins this under every ISA override.
+
+use crate::butterflies::{bfly2, bfly3, bfly4, bfly5, bfly_generic, MAX_RADIX};
+use crate::plan::{BwdTables, Direction, Fft, Stage, MIN_SIMD_M};
+use nufft_math::Complex32;
+use nufft_simd::fft_rows;
+
+/// Transforms `b` interleaved lines held in `tile` (layout `[j·b + lane]`,
+/// `tile.len() == plan.len()·b`) in place. `work` is scratch of the same
+/// length.
+///
+/// # Panics
+/// Panics (debug) if `plan` is not Cooley–Tukey or lengths mismatch; the
+/// caller ([`crate::FftNd`]) guarantees both.
+pub(crate) fn transform_tile(
+    plan: &Fft,
+    tile: &mut [Complex32],
+    work: &mut [Complex32],
+    b: usize,
+    dir: Direction,
+) {
+    debug_assert!(plan.is_ct(), "batched tiles require a Cooley-Tukey plan");
+    let n = plan.len();
+    debug_assert_eq!(tile.len(), n * b);
+    let work = &mut work[..n * b];
+    work.copy_from_slice(tile);
+    let bwd = match dir {
+        Direction::Forward => None,
+        Direction::Backward => Some(plan.bwd_tables()),
+    };
+    recurse(plan.stages(), 0, work, 0, 1, tile, b, bwd);
+}
+
+/// Decimation-in-time recursion over a `b`-line tile: the exact structure of
+/// `Fft::recurse` with every element index scaled by `b` (line-interleaved
+/// layout) and the combine loop running across lanes.
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    stages: &[Stage],
+    level: usize,
+    src: &[Complex32],
+    off: usize,
+    stride: usize,
+    dst: &mut [Complex32],
+    b: usize,
+    bwd: Option<&BwdTables>,
+) {
+    if level == stages.len() {
+        debug_assert_eq!(dst.len(), b);
+        dst.copy_from_slice(&src[off * b..(off + 1) * b]);
+        return;
+    }
+    let stage = &stages[level];
+    let r = stage.radix;
+    let m = stage.m;
+    debug_assert_eq!(dst.len(), r * m * b);
+
+    for q in 0..r {
+        recurse(
+            stages,
+            level + 1,
+            src,
+            off + q * stride,
+            stride * r,
+            &mut dst[q * m * b..(q + 1) * m * b],
+            b,
+            bwd,
+        );
+    }
+
+    let forward = bwd.is_none();
+    let tw = match bwd {
+        None => &stage.twiddles[..],
+        Some(t) => &t.twiddles[level][..],
+    };
+    match r {
+        2 if m >= MIN_SIMD_M => {
+            let (d0, d1) = dst.split_at_mut(m * b);
+            fft_rows::bfly2_cols(d0, d1, tw, b);
+        }
+        4 if m >= MIN_SIMD_M => {
+            let (d01, d23) = dst.split_at_mut(2 * m * b);
+            let (d0, d1) = d01.split_at_mut(m * b);
+            let (d2, d3) = d23.split_at_mut(m * b);
+            let (tw1, rest) = tw.split_at(m);
+            let (tw2, tw3) = rest.split_at(m);
+            fft_rows::bfly4_cols(d0, d1, d2, d3, tw1, tw2, tw3, b, forward);
+        }
+        _ => {
+            let roots = match bwd {
+                None => &stage.roots[..],
+                Some(t) => &t.roots[level][..],
+            };
+            let sign = if forward { -1.0f32 } else { 1.0 };
+            let mut t = [Complex32::ZERO; MAX_RADIX];
+            let mut s = [Complex32::ZERO; MAX_RADIX];
+            for k in 0..m {
+                for lane in 0..b {
+                    t[0] = dst[k * b + lane];
+                    for q in 1..r {
+                        t[q] = dst[(q * m + k) * b + lane] * tw[(q - 1) * m + k];
+                    }
+                    match r {
+                        2 => bfly2(&mut t[..2]),
+                        3 => bfly3(&mut t[..3], sign),
+                        4 => bfly4(&mut t[..4], sign),
+                        5 => bfly5(&mut t[..5], sign),
+                        _ => bfly_generic(&mut t[..r], &mut s[..r], roots),
+                    }
+                    for (k2, &v) in t[..r].iter().enumerate() {
+                        dst[(k2 * m + k) * b + lane] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(len: usize, salt: u32) -> Vec<Complex32> {
+        (0..len)
+            .map(|i| {
+                let x = i as f32 * 0.17 + salt as f32;
+                Complex32::new((0.9 * x).sin(), (0.4 * x).cos())
+            })
+            .collect()
+    }
+
+    /// A batched tile equals transforming each lane with the 1D plan — for
+    /// every radix mix the factorizer produces, both directions.
+    #[test]
+    fn tile_matches_per_lane_bitwise() {
+        for n in [1usize, 4, 8, 12, 16, 30, 60, 96, 120, 126] {
+            let plan = Fft::new(n);
+            for b in [2usize, 3, 4] {
+                for dir in [Direction::Forward, Direction::Backward] {
+                    let lanes: Vec<Vec<Complex32>> = (0..b as u32).map(|s| demo(n, s)).collect();
+                    // Interleave into a tile and transform batched.
+                    let mut tile = vec![Complex32::ZERO; n * b];
+                    for (lane, l) in lanes.iter().enumerate() {
+                        for j in 0..n {
+                            tile[j * b + lane] = l[j];
+                        }
+                    }
+                    let mut work = vec![Complex32::ZERO; n * b];
+                    transform_tile(&plan, &mut tile, &mut work, b, dir);
+                    // Transform each lane with the ordinary per-line plan.
+                    let mut scratch = vec![Complex32::ZERO; plan.scratch_len()];
+                    for (lane, l) in lanes.iter().enumerate() {
+                        let mut want = l.clone();
+                        plan.process_with_scratch(&mut want, &mut scratch, dir);
+                        for j in 0..n {
+                            let got = tile[j * b + lane];
+                            assert!(
+                                got.re.to_bits() == want[j].re.to_bits()
+                                    && got.im.to_bits() == want[j].im.to_bits(),
+                                "n={n} b={b} {dir:?} lane={lane} j={j}: {got:?} vs {:?}",
+                                want[j]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -58,7 +58,12 @@ impl Bluestein {
         self.l + self.inner.scratch_len()
     }
 
-    pub(crate) fn process(&self, data: &mut [Complex32], scratch: &mut [Complex32], dir: Direction) {
+    pub(crate) fn process(
+        &self,
+        data: &mut [Complex32],
+        scratch: &mut [Complex32],
+        dir: Direction,
+    ) {
         debug_assert_eq!(data.len(), self.n);
         // Backward = conj ∘ forward ∘ conj (saves storing a second chirp).
         if dir == Direction::Backward {

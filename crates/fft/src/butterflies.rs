@@ -67,35 +67,27 @@ pub fn bfly5(t: &mut [Complex32], sign: f32) {
     let r1 = a + p1.scale(C1) + p2.scale(C2);
     let r2 = a + p1.scale(C2) + p2.scale(C1);
     // Imag rotations i·(S1·m1 + S2·m2) and i·(S2·m1 − S1·m2), scaled by sign.
-    let i1 = Complex32::new(
-        -sign * (S1 * m1.im + S2 * m2.im),
-        sign * (S1 * m1.re + S2 * m2.re),
-    );
-    let i2 = Complex32::new(
-        -sign * (S2 * m1.im - S1 * m2.im),
-        sign * (S2 * m1.re - S1 * m2.re),
-    );
+    let i1 = Complex32::new(-sign * (S1 * m1.im + S2 * m2.im), sign * (S1 * m1.re + S2 * m2.re));
+    let i2 = Complex32::new(-sign * (S2 * m1.im - S1 * m2.im), sign * (S2 * m1.re - S1 * m2.re));
     t[1] = r1 + i1;
     t[4] = r1 - i1;
     t[2] = r2 + i2;
     t[3] = r2 - i2;
 }
 
-/// Generic r-point DFT using a precomputed forward root table
-/// `roots[q*r + k] = e^{-2πi·qk/r}`; conjugated on the fly for backward.
+/// Generic r-point DFT using a precomputed root table
+/// `roots[q*r + k] = e^{∓2πi·qk/r}`. The caller passes the table for the
+/// direction it wants (the plan precomputes conjugated backward tables
+/// instead of conjugating in this hot loop).
 #[inline]
-pub fn bfly_generic(t: &mut [Complex32], scratch: &mut [Complex32], roots: &[Complex32], forward: bool) {
+pub fn bfly_generic(t: &mut [Complex32], scratch: &mut [Complex32], roots: &[Complex32]) {
     let r = t.len();
     debug_assert_eq!(scratch.len(), r);
     debug_assert_eq!(roots.len(), r * r);
     for k in 0..r {
         let mut acc = t[0];
         for q in 1..r {
-            let mut w = roots[q * r + k];
-            if !forward {
-                w = w.conj();
-            }
-            acc = acc.mul_add(t[q], w);
+            acc = acc.mul_add(t[q], roots[q * r + k]);
         }
         scratch[k] = acc;
     }
@@ -125,7 +117,8 @@ mod tests {
             .map(|k| {
                 let mut acc = Complex64::ZERO;
                 for (q, &v) in t.iter().enumerate() {
-                    let w = Complex64::cis(sign * core::f64::consts::TAU * (q * k) as f64 / r as f64);
+                    let w =
+                        Complex64::cis(sign * core::f64::consts::TAU * (q * k) as f64 / r as f64);
                     acc += v.to_f64() * w;
                 }
                 acc.to_f32()
@@ -167,13 +160,15 @@ mod tests {
     #[test]
     fn generic_butterfly_matches_naive() {
         for r in [7usize, 11, 13] {
-            let roots = generic_roots(r);
+            let fwd_roots = generic_roots(r);
+            let bwd_roots: Vec<Complex32> = fwd_roots.iter().map(|w| w.conj()).collect();
             for forward in [true, false] {
                 let mut t = demo(r);
                 let sign = if forward { -1.0 } else { 1.0 };
                 let want = naive_small(&t, sign);
                 let mut scratch = vec![Complex32::ZERO; r];
-                bfly_generic(&mut t, &mut scratch, &roots, forward);
+                let roots = if forward { &fwd_roots } else { &bwd_roots };
+                bfly_generic(&mut t, &mut scratch, roots);
                 check(&t, &want, &format!("generic radix {r} fwd {forward}"));
             }
         }

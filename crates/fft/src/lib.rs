@@ -9,8 +9,9 @@
 //!   algorithm for lengths with larger prime factors (e.g. the 688 = 16·43
 //!   oversampled grid of the Table V dataset);
 //! * [`FftNd`] — row-major n-dimensional transforms built from 1D line
-//!   transforms, with a raw per-line entry point that `nufft-core` uses to
-//!   parallelize lines across the task pool;
+//!   transforms, executed in SIMD-friendly tiles of adjacent lines for
+//!   strided axes, with raw per-tile/per-line entry points that
+//!   `nufft-core` uses to parallelize work across the task pool;
 //! * [`shift`] — `fftshift` / index "chopping" utilities (§II-B of the
 //!   paper);
 //! * [`naive`] — `O(n²)` reference DFTs in `f64`, the oracle for every FFT
@@ -30,6 +31,7 @@ pub mod ndim;
 pub mod plan;
 pub mod shift;
 
+mod batch;
 mod bluestein;
 mod butterflies;
 

@@ -2,10 +2,15 @@
 //!
 //! The transform is separable: each axis is handled by a 1D [`Fft`] applied
 //! to every line along that axis. The innermost axis is contiguous and is
-//! transformed in place; other axes go through a line buffer. The per-line
-//! entry points ([`FftNd::num_lines`], [`FftNd::transform_line_raw`]) exist
-//! so `nufft-core` can shard lines across its worker pool — the plan itself
-//! is `Sync` and the lines of one axis are pairwise disjoint.
+//! transformed in place; other axes are grouped into *tiles* of
+//! [`FftNd::batch_width`] memory-adjacent lines and run through the batched
+//! Cooley–Tukey path (`crate::batch`), which amortizes twiddle loads over
+//! the tile and keeps every access contiguous — or fall back to a per-line
+//! bounce buffer for remainder tiles and Bluestein axes. The per-tile and
+//! per-line entry points ([`FftNd::num_tiles`], [`FftNd::transform_tile_raw`],
+//! [`FftNd::transform_line_raw`]) exist so `nufft-core` can shard work
+//! across its worker pool — the plan itself is `Sync`, and the tiles (and
+//! lines) of one axis are pairwise disjoint.
 
 use crate::plan::{Direction, Fft};
 use nufft_math::Complex32;
@@ -79,6 +84,103 @@ impl FftNd {
         fft_scratch + line_buf
     }
 
+    /// Lines per tile for the batched strided-axis path at the active ISA
+    /// level: the SIMD complex-lane count (2 for SSE2, 4 for AVX2), floored
+    /// at 2 so the scalar levels still amortize twiddle loads.
+    pub fn batch_width() -> usize {
+        nufft_simd::active_isa().c32_lanes().max(2)
+    }
+
+    /// Scratch length required per worker by [`FftNd::transform_tile_raw`]
+    /// with tiles of `b` lines (covers the per-line fallback too).
+    pub fn batch_scratch_len(&self, b: usize) -> usize {
+        let ct_max = self
+            .shape
+            .iter()
+            .zip(&self.plans)
+            .filter(|(_, p)| p.is_ct())
+            .map(|(&n, _)| n)
+            .max()
+            .unwrap_or(0);
+        self.scratch_len().max(2 * b * ct_max)
+    }
+
+    /// Number of tiles of width `b` along `axis`. Tiles group memory-adjacent
+    /// lines within one `outer` block (they never straddle an outer
+    /// boundary); the contiguous innermost axis has one line per tile.
+    pub fn num_tiles(&self, axis: usize, b: usize) -> usize {
+        assert!(b > 0, "tile width must be positive");
+        let stride = self.axis_stride(axis);
+        if stride == 1 {
+            self.num_lines(axis)
+        } else {
+            let outers = self.len / (self.shape[axis] * stride);
+            outers * stride.div_ceil(b)
+        }
+    }
+
+    /// Transforms tile `tile` of `axis` (width `b`, indexed as in
+    /// [`FftNd::num_tiles`]) through a raw base pointer. Full tiles of a
+    /// Cooley–Tukey axis take the batched path; remainder tiles (fewer than
+    /// `b` lines at the end of an outer block) and Bluestein axes fall back
+    /// to the per-line path, which is bit-identical (see `crate::batch`).
+    ///
+    /// `scratch` must be at least [`FftNd::batch_scratch_len`]`(b)` long.
+    ///
+    /// # Safety
+    /// `base` must point to the start of a buffer of [`FftNd::len`] elements
+    /// valid for reads and writes, and no other thread may concurrently
+    /// access the elements of this tile (tiles of the same axis are pairwise
+    /// disjoint, so sharding whole tiles across threads is sound).
+    pub unsafe fn transform_tile_raw(
+        &self,
+        base: *mut Complex32,
+        axis: usize,
+        tile: usize,
+        b: usize,
+        scratch: &mut [Complex32],
+        dir: Direction,
+    ) {
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        if stride == 1 {
+            self.transform_line_raw(base, axis, tile, scratch, dir);
+            return;
+        }
+        let tiles_per_outer = stride.div_ceil(b);
+        let outer = tile / tiles_per_outer;
+        let inner0 = (tile % tiles_per_outer) * b;
+        let lines_here = b.min(stride - inner0);
+        let plan = &self.plans[axis];
+        if lines_here == b && plan.is_ct() {
+            let start = outer * n * stride + inner0;
+            let (tile_buf, rest) = scratch.split_at_mut(n * b);
+            let work = &mut rest[..n * b];
+            // Gather: lines inner0..inner0+b are adjacent in memory, so
+            // element j of all b lines is one contiguous b-complex run.
+            for j in 0..n {
+                core::ptr::copy_nonoverlapping(
+                    base.add(start + j * stride),
+                    tile_buf.as_mut_ptr().add(j * b),
+                    b,
+                );
+            }
+            crate::batch::transform_tile(plan, tile_buf, work, b, dir);
+            for j in 0..n {
+                core::ptr::copy_nonoverlapping(
+                    tile_buf.as_ptr().add(j * b),
+                    base.add(start + j * stride),
+                    b,
+                );
+            }
+        } else {
+            for l in 0..lines_here {
+                let line = outer * stride + inner0 + l;
+                self.transform_line_raw(base, axis, line, scratch, dir);
+            }
+        }
+    }
+
     /// Transforms a single line along `axis` through a raw base pointer.
     ///
     /// `scratch` must be at least [`FftNd::scratch_len`] long.
@@ -117,11 +219,29 @@ impl FftNd {
         }
     }
 
-    /// Transforms every line of `axis` sequentially.
+    /// Transforms every line of `axis` sequentially via the batched tile
+    /// path.
     ///
     /// # Panics
     /// Panics if `data.len()` doesn't match the plan.
     pub fn transform_axis(&self, data: &mut [Complex32], axis: usize, dir: Direction) {
+        assert_eq!(data.len(), self.len, "data length mismatch");
+        let b = Self::batch_width();
+        let mut scratch = vec![Complex32::ZERO; self.batch_scratch_len(b)];
+        let base = data.as_mut_ptr();
+        for tile in 0..self.num_tiles(axis, b) {
+            // SAFETY: we hold &mut data and process tiles one at a time.
+            unsafe { self.transform_tile_raw(base, axis, tile, b, &mut scratch, dir) };
+        }
+    }
+
+    /// Transforms every line of `axis` sequentially, one line at a time —
+    /// the reference arm for the batched path (bit-identical at a fixed ISA
+    /// level; kept for tests and benchmarks).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` doesn't match the plan.
+    pub fn transform_axis_per_line(&self, data: &mut [Complex32], axis: usize, dir: Direction) {
         assert_eq!(data.len(), self.len, "data length mismatch");
         let mut scratch = vec![Complex32::ZERO; self.scratch_len()];
         let base = data.as_mut_ptr();
@@ -131,10 +251,17 @@ impl FftNd {
         }
     }
 
-    /// Full n-dimensional transform (sequential over axes and lines).
+    /// Full n-dimensional transform (sequential over axes and tiles).
     pub fn process(&self, data: &mut [Complex32], dir: Direction) {
         for axis in 0..self.shape.len() {
             self.transform_axis(data, axis, dir);
+        }
+    }
+
+    /// Full n-dimensional transform through the per-line reference path.
+    pub fn process_per_line(&self, data: &mut [Complex32], dir: Direction) {
+        for axis in 0..self.shape.len() {
+            self.transform_axis_per_line(data, axis, dir);
         }
     }
 
@@ -165,9 +292,7 @@ mod tests {
     use nufft_math::Complex64;
 
     fn demo(len: usize) -> Vec<Complex32> {
-        (0..len)
-            .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.29).cos()))
-            .collect()
+        (0..len).map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.29).cos())).collect()
     }
 
     /// Naive n-D DFT oracle in f64.
@@ -295,5 +420,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_extent_rejected() {
         let _ = FftNd::new(&[4, 0]);
+    }
+
+    /// Every line of an axis is covered by exactly one tile, for widths that
+    /// divide the stride evenly and ones that leave remainders.
+    #[test]
+    fn tile_geometry_covers_each_line_once() {
+        let plan = FftNd::new(&[3, 5, 4]);
+        for axis in 0..3 {
+            for b in [1usize, 2, 3, 4, 7] {
+                let stride = plan.axis_stride(axis);
+                let tiles_per_outer = if stride == 1 { 1 } else { stride.div_ceil(b) };
+                let mut seen = vec![0usize; plan.num_lines(axis)];
+                for tile in 0..plan.num_tiles(axis, b) {
+                    if stride == 1 {
+                        seen[tile] += 1;
+                        continue;
+                    }
+                    let outer = tile / tiles_per_outer;
+                    let inner0 = (tile % tiles_per_outer) * b;
+                    for l in 0..b.min(stride - inner0) {
+                        seen[outer * stride + inner0 + l] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "axis {axis} b={b}: line coverage {seen:?}");
+            }
+        }
+    }
+
+    /// The batched axis transform is bit-identical to the per-line one on
+    /// shapes exercising full tiles, remainder tiles, and a Bluestein axis.
+    #[test]
+    fn batched_axis_matches_per_line_bitwise() {
+        for shape in [&[6usize, 8][..], &[5, 7, 6], &[17, 4], &[4, 17], &[3, 3, 3]] {
+            let len: usize = shape.iter().product();
+            let x = demo(len);
+            let plan = FftNd::new(shape);
+            for dir in [Direction::Forward, Direction::Backward] {
+                let mut batched = x.clone();
+                plan.process(&mut batched, dir);
+                let mut per_line = x.clone();
+                plan.process_per_line(&mut per_line, dir);
+                for (i, (g, w)) in batched.iter().zip(&per_line).enumerate() {
+                    assert!(
+                        g.re.to_bits() == w.re.to_bits() && g.im.to_bits() == w.im.to_bits(),
+                        "shape {shape:?} {dir:?} i={i}: {g:?} vs {w:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -10,6 +10,17 @@
 use crate::bluestein::Bluestein;
 use crate::butterflies::{bfly2, bfly3, bfly4, bfly5, bfly_generic, generic_roots, MAX_RADIX};
 use nufft_math::{Complex32, Complex64};
+use nufft_simd::fft_rows;
+use std::sync::OnceLock;
+
+/// Stages whose sub-transform length `m` is at least this use the dispatched
+/// SIMD row/column butterflies (`nufft_simd::fft_rows`); smaller stages stay
+/// on the inline scalar loop — at the bottom of the recursion there are many
+/// tiny combines (e.g. 256 radix-2 nodes with `m = 1` for n = 512) where
+/// dispatch overhead would dominate. The batched tile path in
+/// [`crate::batch`] branches on the *same* `m` threshold so both paths run
+/// the identical arithmetic per element (the bit-identity contract).
+pub(crate) const MIN_SIMD_M: usize = 4;
 
 /// Transform direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,15 +42,25 @@ impl Direction {
 }
 
 /// One Cooley–Tukey stage: radix `r` splitting a length-`r·m` transform.
-struct Stage {
-    radix: usize,
-    m: usize,
+pub(crate) struct Stage {
+    pub(crate) radix: usize,
+    pub(crate) m: usize,
     /// Forward twiddles `W_{r·m}^{q·k}` for `q ∈ [1, r)`, `k ∈ [0, m)`,
-    /// laid out `[(q-1)·m + k]`. Conjugated on the fly for backward.
-    twiddles: Vec<Complex32>,
+    /// laid out `[(q-1)·m + k]`.
+    pub(crate) twiddles: Vec<Complex32>,
     /// `r×r` forward root table for the generic butterfly (empty for
     /// specialized radices 2–5).
-    roots: Vec<Complex32>,
+    pub(crate) roots: Vec<Complex32>,
+}
+
+/// Backward-direction twiddle/root tables, one `Vec` per stage, each the
+/// elementwise conjugate of the forward table. Built lazily on the first
+/// backward transform so a plan that only ever runs forward (e.g. the
+/// forward-only NUFFT, or Bluestein's inner convolution FFT) never pays the
+/// memory.
+pub(crate) struct BwdTables {
+    pub(crate) twiddles: Vec<Vec<Complex32>>,
+    pub(crate) roots: Vec<Vec<Complex32>>,
 }
 
 enum Kind {
@@ -65,6 +86,8 @@ pub struct Fft {
     n: usize,
     stages: Vec<Stage>,
     kind: Kind,
+    /// Lazily materialized backward tables (see [`BwdTables`]).
+    bwd: OnceLock<BwdTables>,
 }
 
 /// Splits `n` into butterfly radices, largest-radix-first preference for 4.
@@ -117,10 +140,40 @@ impl Fft {
                     stages.push(Stage { radix: r, m, twiddles, roots });
                     size = m;
                 }
-                Fft { n, stages, kind: Kind::CooleyTukey }
+                Fft { n, stages, kind: Kind::CooleyTukey, bwd: OnceLock::new() }
             }
-            None => Fft { n, stages: Vec::new(), kind: Kind::Bluestein(Box::new(Bluestein::new(n))) },
+            None => Fft {
+                n,
+                stages: Vec::new(),
+                kind: Kind::Bluestein(Box::new(Bluestein::new(n))),
+                bwd: OnceLock::new(),
+            },
         }
+    }
+
+    /// Whether this plan runs the mixed-radix Cooley–Tukey path (as opposed
+    /// to Bluestein); only Cooley–Tukey plans support batched tiles.
+    pub(crate) fn is_ct(&self) -> bool {
+        matches!(self.kind, Kind::CooleyTukey)
+    }
+
+    /// The Cooley–Tukey stage list (empty for Bluestein plans).
+    pub(crate) fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The backward tables, conjugating the forward ones on first use.
+    /// Bitwise, `conj` only flips the sign of `im`, so precomputing changes
+    /// no result bit relative to conjugating inside the stage loop.
+    pub(crate) fn bwd_tables(&self) -> &BwdTables {
+        self.bwd.get_or_init(|| BwdTables {
+            twiddles: self
+                .stages
+                .iter()
+                .map(|s| s.twiddles.iter().map(|w| w.conj()).collect())
+                .collect(),
+            roots: self.stages.iter().map(|s| s.roots.iter().map(|w| w.conj()).collect()).collect(),
+        })
     }
 
     /// Transform length.
@@ -156,9 +209,13 @@ impl Fft {
         assert!(scratch.len() >= self.scratch_len(), "scratch too short");
         match &self.kind {
             Kind::CooleyTukey => {
+                let bwd = match dir {
+                    Direction::Forward => None,
+                    Direction::Backward => Some(self.bwd_tables()),
+                };
                 let scratch = &mut scratch[..self.n];
                 scratch.copy_from_slice(data);
-                self.recurse(0, scratch, 0, 1, data, dir == Direction::Forward);
+                self.recurse(0, scratch, 0, 1, data, bwd);
             }
             Kind::Bluestein(b) => b.process(data, scratch, dir),
         }
@@ -191,7 +248,8 @@ impl Fft {
     ///
     /// Reads `src[off + j·stride]` for `j ∈ [0, size_at(level))`, writes the
     /// transform into `dst[..size]`. All invocations at a given `level` share
-    /// the stage's twiddle table.
+    /// the stage's twiddle table. `bwd` is `Some` for backward transforms
+    /// (tables pre-conjugated; see [`Fft::bwd_tables`]).
     fn recurse(
         &self,
         level: usize,
@@ -199,7 +257,7 @@ impl Fft {
         off: usize,
         stride: usize,
         dst: &mut [Complex32],
-        forward: bool,
+        bwd: Option<&BwdTables>,
     ) {
         if level == self.stages.len() {
             debug_assert_eq!(dst.len(), 1);
@@ -219,32 +277,53 @@ impl Fft {
                 off + q * stride,
                 stride * r,
                 &mut dst[q * m..(q + 1) * m],
-                forward,
+                bwd,
             );
         }
 
         // Combine: X[k + m·k2] = Σ_q W^{qk}·Y_q[k] · W_r^{q·k2}.
-        let mut t = [Complex32::ZERO; MAX_RADIX];
-        let mut s = [Complex32::ZERO; MAX_RADIX];
-        let sign = if forward { -1.0f32 } else { 1.0 };
-        for k in 0..m {
-            t[0] = dst[k];
-            for q in 1..r {
-                let mut w = stage.twiddles[(q - 1) * m + k];
-                if !forward {
-                    w = w.conj();
+        let forward = bwd.is_none();
+        let tw = match bwd {
+            None => &stage.twiddles[..],
+            Some(t) => &t.twiddles[level][..],
+        };
+        match r {
+            2 if m >= MIN_SIMD_M => {
+                let (d0, d1) = dst.split_at_mut(m);
+                fft_rows::bfly2_rows(d0, d1, tw);
+            }
+            4 if m >= MIN_SIMD_M => {
+                let (d01, d23) = dst.split_at_mut(2 * m);
+                let (d0, d1) = d01.split_at_mut(m);
+                let (d2, d3) = d23.split_at_mut(m);
+                let (tw1, rest) = tw.split_at(m);
+                let (tw2, tw3) = rest.split_at(m);
+                fft_rows::bfly4_rows(d0, d1, d2, d3, tw1, tw2, tw3, forward);
+            }
+            _ => {
+                let roots = match bwd {
+                    None => &stage.roots[..],
+                    Some(t) => &t.roots[level][..],
+                };
+                let sign = if forward { -1.0f32 } else { 1.0 };
+                let mut t = [Complex32::ZERO; MAX_RADIX];
+                let mut s = [Complex32::ZERO; MAX_RADIX];
+                for k in 0..m {
+                    t[0] = dst[k];
+                    for q in 1..r {
+                        t[q] = dst[q * m + k] * tw[(q - 1) * m + k];
+                    }
+                    match r {
+                        2 => bfly2(&mut t[..2]),
+                        3 => bfly3(&mut t[..3], sign),
+                        4 => bfly4(&mut t[..4], sign),
+                        5 => bfly5(&mut t[..5], sign),
+                        _ => bfly_generic(&mut t[..r], &mut s[..r], roots),
+                    }
+                    for (k2, &v) in t[..r].iter().enumerate() {
+                        dst[k2 * m + k] = v;
+                    }
                 }
-                t[q] = dst[q * m + k] * w;
-            }
-            match r {
-                2 => bfly2(&mut t[..2]),
-                3 => bfly3(&mut t[..3], sign),
-                4 => bfly4(&mut t[..4], sign),
-                5 => bfly5(&mut t[..5], sign),
-                _ => bfly_generic(&mut t[..r], &mut s[..r], &stage.roots, forward),
-            }
-            for (k2, &v) in t[..r].iter().enumerate() {
-                dst[k2 * m + k] = v;
             }
         }
     }
@@ -278,7 +357,10 @@ mod tests {
 
     #[test]
     fn matches_naive_dft_many_sizes() {
-        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 16, 20, 24, 36, 60, 64, 100, 128, 243, 256] {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 16, 20, 24, 36, 60, 64, 100, 128, 243,
+            256,
+        ] {
             let x = demo_signal(n);
             let plan = Fft::new(n);
             for dir in [Direction::Forward, Direction::Backward] {
@@ -335,17 +417,17 @@ mod tests {
         // ⟨F x, y⟩ == ⟨x, F† y⟩ where F† is `backward`.
         let n = 48;
         let x = demo_signal(n);
-        let y: Vec<Complex32> =
-            (0..n).map(|i| Complex32::new((i as f32 * 0.11).cos(), (i as f32 * 0.23).sin())).collect();
+        let y: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.11).cos(), (i as f32 * 0.23).sin()))
+            .collect();
         let plan = Fft::new(n);
         let mut fx = x.clone();
         plan.forward(&mut fx);
         let mut fy = y.clone();
         plan.backward(&mut fy);
-        let dot =
-            |a: &[Complex32], b: &[Complex32]| -> Complex64 {
-                a.iter().zip(b).map(|(&p, &q)| p.to_f64().conj() * q.to_f64()).sum()
-            };
+        let dot = |a: &[Complex32], b: &[Complex32]| -> Complex64 {
+            a.iter().zip(b).map(|(&p, &q)| p.to_f64().conj() * q.to_f64()).sum()
+        };
         let lhs = dot(&fx, &y);
         let rhs = dot(&x, &fy);
         assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs:?} vs {rhs:?}");

@@ -180,10 +180,7 @@ mod tests {
         fftshift(&mut via_shift, &shape);
 
         for (a, b) in via_chop.iter().zip(&via_shift) {
-            assert!(
-                (a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3,
-                "{a:?} vs {b:?}"
-            );
+            assert!((a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3, "{a:?} vs {b:?}");
         }
     }
 }

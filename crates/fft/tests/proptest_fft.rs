@@ -69,8 +69,7 @@ fn linearity() {
         let a = rng.gen_f32(-3.0..3.0);
         let plan = Fft::new(64);
         // F(x + a·y) == F(x) + a·F(y)
-        let mut lhs: Vec<Complex32> =
-            x.iter().zip(&y).map(|(&p, &q)| p + q.scale(a)).collect();
+        let mut lhs: Vec<Complex32> = x.iter().zip(&y).map(|(&p, &q)| p + q.scale(a)).collect();
         plan.forward(&mut lhs);
         let mut fx = x.clone();
         plan.forward(&mut fx);
@@ -114,6 +113,43 @@ fn circular_shift_theorem() {
                 "shift={shift} k={k}"
             );
         }
+    });
+}
+
+/// The batched (tiled) strided-axis path must be *bit-identical* to the
+/// per-line path for every shape, direction, and ISA level — the contract
+/// that lets the scheduler pick either path freely. Shapes cover batched
+/// mixed-radix strided axes (96 = 2⁵·3, 120, 126 = 2·3²·7), a Bluestein
+/// extent (31) that exercises the per-line fallback, and 3D remainder tiles.
+#[test]
+fn batched_bit_identical_to_per_line_under_isa_overrides() {
+    use nufft_simd::{detect_isa, set_isa_override, IsaLevel};
+    const SHAPES: [&[usize]; 6] =
+        [&[96, 8], &[120, 5], &[31, 12], &[8, 126], &[16, 3, 10], &[12, 18]];
+    let detected = detect_isa();
+    let levels = [IsaLevel::StrictScalar, IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2Fma];
+    prop_check("batched_bit_identical_to_per_line", 0xFF7_0008, 16, |rng| {
+        let shape = SHAPES[rng.gen_usize(0..SHAPES.len())];
+        let len: usize = shape.iter().product();
+        let x = rng.gen_c32_vec(len, 2.0);
+        let plan = FftNd::new(shape);
+        for &level in levels.iter().filter(|&&l| l <= detected) {
+            set_isa_override(level).unwrap();
+            for dir in [Direction::Forward, Direction::Backward] {
+                let mut batched = x.clone();
+                plan.process(&mut batched, dir);
+                let mut per_line = x.clone();
+                plan.process_per_line(&mut per_line, dir);
+                for (i, (g, w)) in batched.iter().zip(&per_line).enumerate() {
+                    assert!(
+                        g.re.to_bits() == w.re.to_bits() && g.im.to_bits() == w.im.to_bits(),
+                        "shape {shape:?} {dir:?} {} i={i}: {g:?} vs {w:?}",
+                        level.name()
+                    );
+                }
+            }
+        }
+        set_isa_override(detected).unwrap();
     });
 }
 

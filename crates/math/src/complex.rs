@@ -143,9 +143,7 @@ macro_rules! impl_complex {
             pub fn as_interleaved(slice: &[Self]) -> &[$t] {
                 // SAFETY: Complex<T> is #[repr(C)] { re: T, im: T }, so the
                 // layouts of [Complex<T>; n] and [T; 2n] coincide exactly.
-                unsafe {
-                    core::slice::from_raw_parts(slice.as_ptr().cast(), slice.len() * 2)
-                }
+                unsafe { core::slice::from_raw_parts(slice.as_ptr().cast(), slice.len() * 2) }
             }
 
             /// Reinterprets a mutable complex slice as interleaved scalars.

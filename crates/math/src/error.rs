@@ -68,10 +68,7 @@ pub fn linf_c64(a: &[Complex64], b: &[Complex64]) -> f64 {
 /// Maximum pointwise magnitude error for single-precision signals.
 pub fn linf_c32(a: &[Complex32], b: &[Complex32]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs()).fold(0.0, f64::max)
 }
 
 /// Relative L2 error between real slices (used for grids of weights).
@@ -119,17 +116,14 @@ mod tests {
     #[test]
     fn linf_picks_worst_point() {
         let b = vec![Complex64::ZERO; 3];
-        let a = vec![
-            Complex64::new(0.1, 0.0),
-            Complex64::new(0.0, -0.5),
-            Complex64::new(0.2, 0.0),
-        ];
+        let a = vec![Complex64::new(0.1, 0.0), Complex64::new(0.0, -0.5), Complex64::new(0.2, 0.0)];
         assert_eq!(linf_c64(&a, &b), 0.5);
     }
 
     #[test]
     fn mixed_precision_consistency() {
-        let b64: Vec<Complex64> = (1..9).map(|i| Complex64::new(i as f64, 0.5 * i as f64)).collect();
+        let b64: Vec<Complex64> =
+            (1..9).map(|i| Complex64::new(i as f64, 0.5 * i as f64)).collect();
         let a32: Vec<Complex32> = b64.iter().map(|z| z.to_f32()).collect();
         // Round-tripping through f32 should give ~1e-8 relative error, not more.
         let e = rel_l2_mixed(&a32, &b64);

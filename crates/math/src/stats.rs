@@ -36,12 +36,20 @@ impl Welford {
 
     /// Sample mean; 0 if empty.
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Unbiased sample variance; 0 for fewer than two observations.
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
     }
 
     /// Sample standard deviation.

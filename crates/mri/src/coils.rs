@@ -64,13 +64,7 @@ pub fn sos_combine(images: &[Vec<Complex32>]) -> Vec<f32> {
     assert!(!images.is_empty(), "need at least one coil image");
     let len = images[0].len();
     (0..len)
-        .map(|i| {
-            images
-                .iter()
-                .map(|img| img[i].to_f64().norm_sqr())
-                .sum::<f64>()
-                .sqrt() as f32
-        })
+        .map(|i| images.iter().map(|img| img[i].to_f64().norm_sqr()).sum::<f64>().sqrt() as f32)
         .collect()
 }
 

@@ -77,8 +77,7 @@ mod tests {
 
     #[test]
     fn radial_dcf_is_a_ramp() {
-        let traj: Vec<[f64; 2]> =
-            (0..10).map(|i| [i as f64 * 0.05, 0.0]).collect();
+        let traj: Vec<[f64; 2]> = (0..10).map(|i| [i as f64 * 0.05, 0.0]).collect();
         let w = radial_dcf(&traj);
         // Monotone in radius (after the floored center).
         for i in 2..10 {
@@ -113,8 +112,7 @@ mod tests {
         let mut plan = NufftPlan::new([24, 24], &traj, cfg);
 
         let flatness = |w: &[f32], plan: &mut NufftPlan<2>| -> f64 {
-            let samples: Vec<Complex32> =
-                w.iter().map(|&x| Complex32::new(x, 0.0)).collect();
+            let samples: Vec<Complex32> = w.iter().map(|&x| Complex32::new(x, 0.0)).collect();
             let mut img = vec![Complex32::ZERO; 24 * 24];
             plan.adjoint(&samples, &mut img);
             let mut back = vec![Complex32::ZERO; w.len()];

@@ -42,16 +42,36 @@ pub fn shepp_logan_ellipsoids() -> Vec<Ellipsoid> {
             phi: 0.3141592653589793,
             intensity: -0.2,
         },
-        Ellipsoid { center: [0.0, 0.35, -0.15], axes: [0.21, 0.25, 0.41], phi: 0.0, intensity: 0.1 },
-        Ellipsoid { center: [0.0, 0.1, 0.25], axes: [0.046, 0.046, 0.05], phi: 0.0, intensity: 0.1 },
-        Ellipsoid { center: [0.0, -0.1, 0.25], axes: [0.046, 0.046, 0.05], phi: 0.0, intensity: 0.1 },
+        Ellipsoid {
+            center: [0.0, 0.35, -0.15],
+            axes: [0.21, 0.25, 0.41],
+            phi: 0.0,
+            intensity: 0.1,
+        },
+        Ellipsoid {
+            center: [0.0, 0.1, 0.25],
+            axes: [0.046, 0.046, 0.05],
+            phi: 0.0,
+            intensity: 0.1,
+        },
+        Ellipsoid {
+            center: [0.0, -0.1, 0.25],
+            axes: [0.046, 0.046, 0.05],
+            phi: 0.0,
+            intensity: 0.1,
+        },
         Ellipsoid {
             center: [-0.08, -0.605, 0.0],
             axes: [0.046, 0.023, 0.05],
             phi: 0.0,
             intensity: 0.1,
         },
-        Ellipsoid { center: [0.0, -0.606, 0.0], axes: [0.023, 0.023, 0.02], phi: 0.0, intensity: 0.1 },
+        Ellipsoid {
+            center: [0.0, -0.606, 0.0],
+            axes: [0.023, 0.023, 0.02],
+            phi: 0.0,
+            intensity: 0.1,
+        },
         Ellipsoid {
             center: [0.06, -0.605, 0.0],
             axes: [0.023, 0.046, 0.02],

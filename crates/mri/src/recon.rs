@@ -24,8 +24,7 @@ pub fn gridding_recon<const D: usize>(
     dcf: &[f32],
 ) -> Vec<Complex32> {
     assert_eq!(kspace.len(), dcf.len(), "kspace/dcf length mismatch");
-    let weighted: Vec<Complex32> =
-        kspace.iter().zip(dcf).map(|(&y, &w)| y.scale(w)).collect();
+    let weighted: Vec<Complex32> = kspace.iter().zip(dcf).map(|(&y, &w)| y.scale(w)).collect();
     let mut image = vec![Complex32::ZERO; plan.image_len()];
     plan.adjoint(&weighted, &mut image);
     let gain = 1.0 / plan.geometry().grid_len() as f32;
@@ -81,7 +80,12 @@ impl<'a, const D: usize> IterativeRecon<'a, D> {
 
     /// Reconstructs from per-coil k-space data (`data.len()` must equal
     /// [`IterativeRecon::num_coils`]).
-    pub fn reconstruct(&mut self, data: &[Vec<Complex32>], max_iters: usize, tol: f64) -> ReconReport {
+    pub fn reconstruct(
+        &mut self,
+        data: &[Vec<Complex32>],
+        max_iters: usize,
+        tol: f64,
+    ) -> ReconReport {
         let nc = self.num_coils();
         assert_eq!(data.len(), nc, "expected {nc} coils of data");
         let k = self.plan.num_samples();
@@ -149,8 +153,7 @@ impl<'a, const D: usize> IterativeRecon<'a, D> {
                     }
                 }
                 {
-                    let ksp_refs: Vec<&[Complex32]> =
-                        ksps.iter().map(|v| v.as_slice()).collect();
+                    let ksp_refs: Vec<&[Complex32]> = ksps.iter().map(|v| v.as_slice()).collect();
                     let mut img_refs: Vec<&mut [Complex32]> =
                         tmp_imgs.iter_mut().map(|v| v.as_mut_slice()).collect();
                     plan.adjoint_batch(&ksp_refs, &mut img_refs);
@@ -159,11 +162,7 @@ impl<'a, const D: usize> IterativeRecon<'a, D> {
                 out.fill(Complex32::ZERO);
                 for (c, ti) in tmp_imgs.iter().enumerate() {
                     for i in 0..img_len {
-                        let s = if coils.is_empty() {
-                            Complex32::ONE
-                        } else {
-                            coils[c][i].conj()
-                        };
+                        let s = if coils.is_empty() { Complex32::ONE } else { coils[c][i].conj() };
                         out[i] += (s * ti[i]).scale(gain);
                     }
                 }
@@ -238,10 +237,7 @@ mod tests {
 
         let e_grid = rel_l2_c32(&grid_img, &truth);
         let e_iter = rel_l2_c32(&rep.image, &truth);
-        assert!(
-            e_iter < 0.5 * e_grid,
-            "iterative ({e_iter}) should beat gridding ({e_grid})"
-        );
+        assert!(e_iter < 0.5 * e_grid, "iterative ({e_iter}) should beat gridding ({e_grid})");
         assert!(e_iter < 0.05, "iterative recon too inaccurate: {e_iter}");
         assert!(rep.nufft_calls > 2);
     }
@@ -257,11 +253,8 @@ mod tests {
         // Simulate per-coil data.
         let mut data = Vec::new();
         for c in 0..4 {
-            let weighted: Vec<Complex32> = truth
-                .iter()
-                .zip(&coils[c])
-                .map(|(&x, &s)| x * s)
-                .collect();
+            let weighted: Vec<Complex32> =
+                truth.iter().zip(&coils[c]).map(|(&x, &s)| x * s).collect();
             let mut y = vec![Complex32::ZERO; traj.len()];
             plan.forward(&weighted, &mut y);
             data.push(y);

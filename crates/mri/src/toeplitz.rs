@@ -48,8 +48,7 @@ impl<const D: usize> ToeplitzNormal<D> {
         // PSF T[k] for k ∈ (−N, N)^D via one adjoint NUFFT on a 2N image.
         let n2: [usize; D] = core::array::from_fn(|d| 2 * n[d]);
         let mut psf_plan = NufftPlan::new(n2, traj, cfg);
-        let w_samples: Vec<Complex32> =
-            weights.iter().map(|&w| Complex32::new(w, 0.0)).collect();
+        let w_samples: Vec<Complex32> = weights.iter().map(|&w| Complex32::new(w, 0.0)).collect();
         let mut t = vec![Complex32::ZERO; n2.iter().product()];
         psf_plan.adjoint(&w_samples, &mut t);
 
@@ -105,12 +104,7 @@ mod tests {
 
     fn traj2(count: usize) -> Vec<[f64; 2]> {
         (0..count)
-            .map(|i| {
-                [
-                    ((i as f64 * 0.618) % 1.0) - 0.5,
-                    ((i as f64 * 0.414) % 1.0) - 0.5,
-                ]
-            })
+            .map(|i| [((i as f64 * 0.618) % 1.0) - 0.5, ((i as f64 * 0.414) % 1.0) - 0.5])
             .collect()
     }
 
@@ -119,12 +113,7 @@ mod tests {
     }
 
     /// Explicit normal operator through the plan: A†(w ⊙ A x).
-    fn explicit_normal(
-        plan: &mut NufftPlan<2>,
-        w: &[f32],
-        x: &[Complex32],
-        out: &mut [Complex32],
-    ) {
+    fn explicit_normal(plan: &mut NufftPlan<2>, w: &[f32], x: &[Complex32], out: &mut [Complex32]) {
         let mut ksp = vec![Complex32::ZERO; plan.num_samples()];
         plan.forward(x, &mut ksp);
         for (z, &wi) in ksp.iter_mut().zip(w) {
@@ -138,8 +127,9 @@ mod tests {
         let n = [16usize, 16];
         let traj = traj2(300);
         let weights: Vec<f32> = (0..300).map(|i| 0.5 + (i % 7) as f32 * 0.2).collect();
-        let x: Vec<Complex32> =
-            (0..256).map(|i| Complex32::new((i as f32 * 0.2).sin(), (i as f32 * 0.1).cos())).collect();
+        let x: Vec<Complex32> = (0..256)
+            .map(|i| Complex32::new((i as f32 * 0.2).sin(), (i as f32 * 0.1).cos()))
+            .collect();
 
         let mut plan = NufftPlan::new(n, &traj, cfg());
         let mut want = vec![Complex32::ZERO; 256];
@@ -159,8 +149,7 @@ mod tests {
         let traj = traj2(200);
         let weights = vec![1.0f32; 200];
         let mut toep = ToeplitzNormal::new(n, &traj, &weights, cfg());
-        let a: Vec<Complex32> =
-            (0..144).map(|i| Complex32::new((i as f32).sin(), 0.3)).collect();
+        let a: Vec<Complex32> = (0..144).map(|i| Complex32::new((i as f32).sin(), 0.3)).collect();
         let b: Vec<Complex32> =
             (0..144).map(|i| Complex32::new(0.2, (i as f32 * 0.7).cos())).collect();
         let mut ta = vec![Complex32::ZERO; 144];

@@ -297,9 +297,9 @@ impl Executor {
                         // A panicking task must not leave the other workers
                         // blocked on the condvar: poison first, then let the
                         // scope propagate the panic.
-                        let result = std::panic::catch_unwind(
-                            std::panic::AssertUnwindSafe(|| task_fn(task, phase, w)),
-                        );
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            task_fn(task, phase, w)
+                        }));
                         if let Err(payload) = result {
                             shared.poison();
                             std::panic::resume_unwind(payload);
@@ -383,8 +383,7 @@ mod tests {
         for t in 0..graph.len() {
             graph.set_privatized(t, t % 2 == 0);
         }
-        let conv_seen: Vec<AtomicBool> =
-            (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        let conv_seen: Vec<AtomicBool> = (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
         let reduce_seen: Vec<AtomicBool> =
             (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
         let exec = Executor::new(3);
@@ -429,8 +428,7 @@ mod tests {
     #[test]
     fn adjacent_tasks_never_run_concurrently() {
         let graph = TaskGraph::new(&[6, 6]);
-        let running: Vec<AtomicBool> =
-            (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        let running: Vec<AtomicBool> = (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
         let exec = Executor::new(8);
         for policy in [QueuePolicy::Fifo, QueuePolicy::Priority] {
             exec.run_graph(&graph, policy, |t, _phase, _w| {

@@ -191,11 +191,15 @@ pub fn simulate(
     for t in 0..n {
         if graph.privatized(t) {
             remaining += 2;
-            ready.push(Entry { weight: graph.weight(t), payload: encode(t, TaskPhase::PrivateConvolve) });
+            ready.push(Entry {
+                weight: graph.weight(t),
+                payload: encode(t, TaskPhase::PrivateConvolve),
+            });
         } else {
             remaining += 1;
             if pending[t] == 0 {
-                ready.push(Entry { weight: graph.weight(t), payload: encode(t, TaskPhase::Normal) });
+                ready
+                    .push(Entry { weight: graph.weight(t), payload: encode(t, TaskPhase::Normal) });
             }
         }
     }
@@ -335,10 +339,7 @@ pub fn speedup_curve(
 ) -> Vec<(usize, f64)> {
     assert!(!worker_counts.is_empty());
     let base = simulate(graph, policy, worker_counts[0], model).makespan;
-    worker_counts
-        .iter()
-        .map(|&w| (w, base / simulate(graph, policy, w, model).makespan))
-        .collect()
+    worker_counts.iter().map(|&w| (w, base / simulate(graph, policy, w, model).makespan)).collect()
 }
 
 #[cfg(test)]
@@ -368,7 +369,8 @@ mod tests {
     #[test]
     fn single_worker_time_is_total_work() {
         let g = uniform_graph(&[4, 4], 10);
-        let model = LinearCost { per_task: 1.0, per_sample: 0.5, reduce_per_sample: 0.0, queue_cost: 0.0 };
+        let model =
+            LinearCost { per_task: 1.0, per_sample: 0.5, reduce_per_sample: 0.0, queue_cost: 0.0 };
         let r = simulate(&g, QueuePolicy::Fifo, 1, &model);
         let want = 16.0 * (1.0 + 0.5 * 10.0);
         assert!((r.makespan - want).abs() < 1e-9, "{} vs {want}", r.makespan);
@@ -379,7 +381,8 @@ mod tests {
     #[test]
     fn more_workers_never_slower_without_queue_contention() {
         let g = uniform_graph(&[8, 8], 25);
-        let model = LinearCost { per_task: 0.5, per_sample: 0.2, reduce_per_sample: 0.0, queue_cost: 0.0 };
+        let model =
+            LinearCost { per_task: 0.5, per_sample: 0.2, reduce_per_sample: 0.0, queue_cost: 0.0 };
         let mut prev = f64::INFINITY;
         for workers in [1, 2, 4, 8, 16] {
             let r = simulate(&g, QueuePolicy::Priority, workers, &model);
@@ -442,7 +445,8 @@ mod tests {
         // The Figure 12 (B vs C) mechanism: with many workers, starting the
         // heavy chain early reduces makespan.
         let g = skewed_graph(9);
-        let model = LinearCost { per_task: 2.0, per_sample: 1.0, reduce_per_sample: 0.1, queue_cost: 0.05 };
+        let model =
+            LinearCost { per_task: 2.0, per_sample: 1.0, reduce_per_sample: 0.1, queue_cost: 0.05 };
         let fifo = simulate(&g, QueuePolicy::Fifo, 16, &model).makespan;
         let prio = simulate(&g, QueuePolicy::Priority, 16, &model).makespan;
         assert!(
@@ -467,8 +471,12 @@ mod tests {
                 dense.push(t);
             }
         }
-        let model =
-            LinearCost { per_task: 1.0, per_sample: 1.0, reduce_per_sample: 0.05, queue_cost: 0.01 };
+        let model = LinearCost {
+            per_task: 1.0,
+            per_sample: 1.0,
+            reduce_per_sample: 0.05,
+            queue_cost: 0.01,
+        };
         let before = simulate(&g, QueuePolicy::Priority, 16, &model).makespan;
         for &t in &dense {
             g.set_privatized(t, true);
@@ -487,7 +495,8 @@ mod tests {
         // shared queue; fewer, larger tasks keep scaling.
         let tiny = uniform_graph(&[20, 20], 1);
         let chunky = uniform_graph(&[4, 4], 25);
-        let model = LinearCost { per_task: 0.1, per_sample: 1.0, reduce_per_sample: 0.0, queue_cost: 0.4 };
+        let model =
+            LinearCost { per_task: 0.1, per_sample: 1.0, reduce_per_sample: 0.0, queue_cost: 0.4 };
         let s = |g: &TaskGraph, w: usize| {
             simulate(g, QueuePolicy::Priority, 1, &model).makespan
                 / simulate(g, QueuePolicy::Priority, w, &model).makespan
@@ -517,8 +526,12 @@ mod tests {
         // leaves workers idle while a color's stragglers finish. Assert the
         // claim where it is made.
         for graph in [uniform_graph(&[8, 8], 20), skewed_graph(9)] {
-            let model =
-                LinearCost { per_task: 1.0, per_sample: 0.5, reduce_per_sample: 0.0, queue_cost: 0.05 };
+            let model = LinearCost {
+                per_task: 1.0,
+                per_sample: 0.5,
+                reduce_per_sample: 0.0,
+                queue_cost: 0.05,
+            };
             for workers in [16usize, 40] {
                 let tdg = simulate(&graph, QueuePolicy::Priority, workers, &model).makespan;
                 let colored = simulate_colored(&graph, workers, &model);

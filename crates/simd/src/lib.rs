@@ -22,6 +22,7 @@
 //! and FMA contraction, bounded in the property tests.
 
 pub mod dispatch;
+pub mod fft_rows;
 pub mod rows;
 pub mod vecops;
 

@@ -119,6 +119,77 @@ fn scale_matches_reference() {
     });
 }
 
+/// FFT stage butterflies: at every ISA level the radix-2 row kernel matches
+/// an f64 oracle, and the broadcast-twiddle column kernel is bit-identical
+/// to the row kernel applied lane by lane (the batched-FFT contract).
+#[test]
+fn fft_butterflies_match_reference_and_cols_match_rows() {
+    use nufft_simd::fft_rows::{bfly2_cols, bfly2_rows, bfly4_cols, bfly4_rows};
+    prop_check("fft_butterflies_match_reference", 0x51D_0006, 48, |rng| {
+        let m = rng.gen_usize(1..12);
+        let b = rng.gen_usize(1..6);
+        let tw: Vec<Complex32> = (0..m).map(|_| rng.gen_c32(1.0)).collect();
+        let d0 = rng.gen_c32_vec(m, 10.0);
+        let d1 = rng.gen_c32_vec(m, 10.0);
+        let cols: Vec<Vec<Complex32>> = (0..4).map(|_| rng.gen_c32_vec(m * b, 10.0)).collect();
+        let forward = rng.gen_bool();
+        let _guard = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut levels = supported_levels();
+        levels.insert(0, IsaLevel::StrictScalar);
+        for level in levels {
+            set_isa_override(level).unwrap();
+            // Radix-2 rows vs f64 oracle.
+            let (mut g0, mut g1) = (d0.clone(), d1.clone());
+            bfly2_rows(&mut g0, &mut g1, &tw);
+            for k in 0..m {
+                let t = d1[k].to_f64() * tw[k].to_f64();
+                let x = (d0[k].to_f64() + t).to_f32();
+                let y = (d0[k].to_f64() - t).to_f32();
+                assert!(
+                    (g0[k].re - x.re).abs() <= 1e-4
+                        && (g0[k].im - x.im).abs() <= 1e-4
+                        && (g1[k].re - y.re).abs() <= 1e-4
+                        && (g1[k].im - y.im).abs() <= 1e-4,
+                    "level {level:?} k={k}"
+                );
+            }
+            // Radix-2 and radix-4 cols vs lane-by-lane rows, bitwise.
+            let tw2: Vec<Complex32> = tw.iter().map(|w| *w * *w).collect();
+            let tw3: Vec<Complex32> = tw.iter().zip(&tw2).map(|(a, b)| *a * *b).collect();
+            let mut c = cols.clone();
+            {
+                let [c0, c1, c2, c3] = &mut c[..] else { unreachable!() };
+                bfly2_cols(c0, c1, &tw, b);
+                bfly4_cols(c0, c1, c2, c3, &tw, &tw2, &tw3, b, forward);
+            }
+            let mut r = cols.clone();
+            for lane in 0..b {
+                let mut lanes: Vec<Vec<Complex32>> =
+                    r.iter().map(|blk| (0..m).map(|k| blk[k * b + lane]).collect()).collect();
+                {
+                    let [l0, l1, l2, l3] = &mut lanes[..] else { unreachable!() };
+                    bfly2_rows(l0, l1, &tw);
+                    bfly4_rows(l0, l1, l2, l3, &tw, &tw2, &tw3, forward);
+                }
+                for (blk, lv) in r.iter_mut().zip(&lanes) {
+                    for k in 0..m {
+                        blk[k * b + lane] = lv[k];
+                    }
+                }
+            }
+            for (q, (cq, rq)) in c.iter().zip(&r).enumerate() {
+                for (i, (x, y)) in cq.iter().zip(rq).enumerate() {
+                    assert!(
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                        "level {level:?} cols/rows mismatch q={q} i={i}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+        set_isa_override(detect_isa()).unwrap();
+    });
+}
+
 #[test]
 fn scatter_then_negate_round_trips() {
     prop_check("scatter_then_negate_round_trips", 0x51D_0005, 64, |rng| {

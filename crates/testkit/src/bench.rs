@@ -199,9 +199,9 @@ impl BenchGroup {
             stats: None,
         };
         f(&mut b);
-        let stats = b.stats.unwrap_or_else(|| {
-            panic!("bench '{}/{id}' never called Bencher::iter", self.name)
-        });
+        let stats = b
+            .stats
+            .unwrap_or_else(|| panic!("bench '{}/{id}' never called Bencher::iter", self.name));
         self.report(&id.to_string(), stats);
         stats
     }
@@ -243,9 +243,7 @@ impl BenchGroup {
                 unix_s,
             );
             // Benchmarks must not fail because the results dir is read-only.
-            if let Ok(mut file) =
-                std::fs::OpenOptions::new().create(true).append(true).open(path)
-            {
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
                 let _ = writeln!(file, "{line}");
             }
         }

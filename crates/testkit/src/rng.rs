@@ -41,12 +41,8 @@ impl Rng {
     /// SplitMix64 (never all-zero, per the xoshiro authors' guidance).
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { s, shrink: 0 }
     }
 
@@ -66,10 +62,7 @@ impl Rng {
     /// Next 64 raw bits (xoshiro256++ output function).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -161,9 +154,7 @@ impl Rng {
     /// `len` D-dimensional points with every component uniform in `range` —
     /// the arbitrary-trajectory generator the NUFFT property tests use.
     pub fn gen_points<const D: usize>(&mut self, len: usize, range: Range<f64>) -> Vec<[f64; D]> {
-        (0..len)
-            .map(|_| core::array::from_fn(|_| self.gen_f64(range.clone())))
-            .collect()
+        (0..len).map(|_| core::array::from_fn(|_| self.gen_f64(range.clone()))).collect()
     }
 }
 
@@ -247,7 +238,7 @@ mod tests {
             (0..64).scan(Rng::with_shrink(seed, 8), |r, _| Some(r.gen_usize(1..1025))).collect();
         assert!(narrow.iter().max() < wide.iter().max());
         assert!(narrow.iter().all(|&v| v <= 4)); // 1024 >> 8 = 4
-        // Full shrink collapses to the minimum.
+                                                 // Full shrink collapses to the minimum.
         let mut floor = Rng::with_shrink(seed, 32);
         assert_eq!(floor.gen_usize(5..1000), 5);
     }

@@ -22,7 +22,8 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All three kinds, in the paper's reporting order.
-    pub const ALL: [DatasetKind; 3] = [DatasetKind::Radial, DatasetKind::Random, DatasetKind::Spiral];
+    pub const ALL: [DatasetKind; 3] =
+        [DatasetKind::Radial, DatasetKind::Random, DatasetKind::Spiral];
 
     /// Display name used in tables.
     pub fn name(self) -> &'static str {

@@ -34,11 +34,7 @@ pub fn radial(k: usize, s: usize, seed: u64) -> Trajectory<3> {
         for j in 0..k {
             // Diameter: radius runs from −1/2 to +1/2 across the projection.
             let t = (j as f64 + 0.5) / k as f64 - 0.5;
-            points.push([
-                clamp_nu(dir[0] * t),
-                clamp_nu(dir[1] * t),
-                clamp_nu(dir[2] * t),
-            ]);
+            points.push([clamp_nu(dir[0] * t), clamp_nu(dir[1] * t), clamp_nu(dir[2] * t)]);
         }
     }
     Trajectory::new(points, s, k)
@@ -61,9 +57,7 @@ pub fn random(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<3> {
             }
         }
     };
-    let points = (0..k * s)
-        .map(|_| [gauss(&mut rng), gauss(&mut rng), gauss(&mut rng)])
-        .collect();
+    let points = (0..k * s).map(|_| [gauss(&mut rng), gauss(&mut rng), gauss(&mut rng)]).collect();
     Trajectory::new(points, s, k)
 }
 
@@ -95,11 +89,7 @@ pub fn spiral(k: usize, s: usize, planes: usize, turns: f64, seed: u64) -> Traje
             let frac = (j as f64 + 0.5) / k as f64;
             let theta = theta_max * frac;
             let r = 0.5 * frac;
-            points.push([
-                clamp_nu(r * (theta + rot).cos()),
-                clamp_nu(r * (theta + rot).sin()),
-                z,
-            ]);
+            points.push([clamp_nu(r * (theta + rot).cos()), clamp_nu(r * (theta + rot).sin()), z]);
         }
     }
     Trajectory::new(points, s, k)
@@ -190,10 +180,7 @@ mod tests {
             if d > core::f64::consts::PI {
                 d = core::f64::consts::TAU - d;
             }
-            assert!(
-                (d - core::f64::consts::PI / s as f64).abs() < 1e-9,
-                "spoke spacing {d}"
-            );
+            assert!((d - core::f64::consts::PI / s as f64).abs() < 1e-9, "spoke spacing {d}");
         }
     }
 
@@ -326,9 +313,8 @@ mod tests {
     /// EXPERIMENTS.md together.
     #[test]
     fn fixed_seed_output_is_frozen() {
-        let close = |a: f64, b: f64| {
-            assert!(a.to_bits() == b.to_bits(), "snapshot drift: {a:?} != {b:?}")
-        };
+        let close =
+            |a: f64, b: f64| assert!(a.to_bits() == b.to_bits(), "snapshot drift: {a:?} != {b:?}");
         let t = radial_2d(4, 2, 42);
         let want_2d = [
             [0.31297758037422213, -0.20656726309630313],

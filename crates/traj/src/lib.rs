@@ -99,10 +99,7 @@ impl<const D: usize> Trajectory<D> {
     /// Euclidean distance of each point from the spectral origin, normalized
     /// so 0.5 is the edge of the band. Used by density diagnostics.
     pub fn radii(&self) -> Vec<f64> {
-        self.points
-            .iter()
-            .map(|p| p.iter().map(|&x| x * x).sum::<f64>().sqrt())
-            .collect()
+        self.points.iter().map(|p| p.iter().map(|&x| x * x).sum::<f64>().sqrt()).collect()
     }
 
     /// Fraction of samples with radius below `r`.
@@ -121,11 +118,7 @@ mod tests {
 
     #[test]
     fn grid_coords_map_and_wrap() {
-        let t = Trajectory::<2>::new(
-            vec![[-0.5, 0.0], [0.0, 0.25], [0.49999999, -0.25]],
-            1,
-            3,
-        );
+        let t = Trajectory::<2>::new(vec![[-0.5, 0.0], [0.0, 0.25], [0.49999999, -0.25]], 1, 3);
         let g = t.grid_coords(64);
         assert_eq!(g[0], [0.0, 32.0]);
         assert_eq!(g[1], [32.0, 48.0]);
@@ -137,9 +130,7 @@ mod tests {
 
     #[test]
     fn layout_is_validated() {
-        let r = std::panic::catch_unwind(|| {
-            Trajectory::<1>::new(vec![[0.0]; 5], 2, 3)
-        });
+        let r = std::panic::catch_unwind(|| Trajectory::<1>::new(vec![[0.0]; 5], 2, 3));
         assert!(r.is_err());
     }
 

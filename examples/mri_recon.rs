@@ -51,9 +51,8 @@ fn main() {
     let t0 = Instant::now();
     let coils = synthetic_coils::<3>(n, num_coils);
     let mut data = Vec::with_capacity(num_coils);
-    for c in 0..num_coils {
-        let weighted: Vec<Complex32> =
-            truth.iter().zip(&coils[c]).map(|(&x, &s)| x * s).collect();
+    for coil in &coils {
+        let weighted: Vec<Complex32> = truth.iter().zip(coil).map(|(&x, &s)| x * s).collect();
         let mut y = vec![Complex32::ZERO; traj.len()];
         plan.forward(&weighted, &mut y);
         data.push(y);
@@ -66,8 +65,7 @@ fn main() {
     let grid_img = gridding_recon(&mut plan, &data[0], &dcf);
     let grid_time = t0.elapsed().as_secs_f64();
     // Compare against the coil-weighted truth it actually observes.
-    let coil_truth: Vec<Complex32> =
-        truth.iter().zip(&coils[0]).map(|(&x, &s)| x * s).collect();
+    let coil_truth: Vec<Complex32> = truth.iter().zip(&coils[0]).map(|(&x, &s)| x * s).collect();
     let e_grid = rel_l2_c32(&grid_img, &coil_truth);
 
     // Iterative CG-SENSE.
@@ -85,8 +83,5 @@ fn main() {
         report.cg.iterations,
         report.cg.converged
     );
-    println!(
-        "per-NUFFT amortized    : {:.2}s",
-        iter_time / report.nufft_calls.max(1) as f64
-    );
+    println!("per-NUFFT amortized    : {:.2}s", iter_time / report.nufft_calls.max(1) as f64);
 }

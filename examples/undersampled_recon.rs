@@ -59,10 +59,7 @@ fn main() {
         let rep = it.reconstruct(&[y], 30, 1e-8);
         let e_iter = rel_l2_c32(&rep.image, &truth);
 
-        println!(
-            "{:>11.2}x {:>10} {:>14.4} {:>14.4}",
-            frac, count, e_grid, e_iter
-        );
+        println!("{:>11.2}x {:>10} {:>14.4} {:>14.4}", frac, count, e_grid, e_iter);
     }
     println!("\n(iterative reconstruction degrades gracefully below Nyquist, the CS");
     println!(" regime the random trajectory targets; gridding falls apart faster)");

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the FFT and operator benchmarks and summarizes the FFT execution-path
+# sweep into BENCH_fft.json at the repo root (medians per {case}/{isa}/{path}
+# arm plus the batched-AVX2 vs per-line-scalar speedups; written by the fft
+# bench itself — see crates/bench/benches/fft.rs).
+#
+# Usage: scripts/bench.sh [--quick]
+#   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
+#             for CI; the numbers are not meaningful, only that every arm
+#             runs and the summary is produced.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+    export NUFFT_BENCH_FAST=1
+    echo "== quick (smoke) mode: NUFFT_BENCH_FAST=1 =="
+fi
+
+echo "== bench: fft (1D lengths + strided-axis per-line vs batched sweep) =="
+cargo bench --offline --bench fft
+
+echo "== bench: operators =="
+cargo bench --offline --bench operators
+
+echo "== BENCH_fft.json =="
+cat BENCH_fft.json

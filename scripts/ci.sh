@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: hermetic build + full test suite, no network, no crates.io.
+# Tier-1 gate: hermetic build + full test suite, no network, no crates.io,
+# plus formatting, lint, and a benchmark smoke run.
 #
 # The workspace has zero external dependencies (see crates/testkit), so
 # `--offline` must always succeed from a clean checkout. Treat any attempt
@@ -9,19 +10,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== fmt check =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
 echo "== build (release, offline, all targets) =="
 cargo build --release --offline --all-targets
 
 echo "== test (offline) =="
 cargo test -q --offline
 
-# Lint is advisory: run it when the toolchain ships clippy, but don't let
-# a missing component or a new lint break the gate.
+echo "== clippy (deny warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "== clippy (advisory) =="
-    cargo clippy --offline --all-targets 2>&1 | tail -n 20 || true
+    cargo clippy --workspace --all-targets --offline -- -D warnings
 else
-    echo "== clippy not installed; skipping =="
+    echo "clippy not installed; skipping"
 fi
+
+echo "== bench smoke (fft + operators, fast mode) =="
+scripts/bench.sh --quick
 
 echo "CI OK"

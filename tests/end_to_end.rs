@@ -87,14 +87,13 @@ fn spectral_wraparound_samples_are_handled() {
         .map(|i| {
             let t = i as f64 / 100.0;
             [
-                -0.5 + 0.004 * t,          // left edge
-                0.499 - 0.004 * t,         // right edge
-                (t - 0.5) * 0.99,          // sweep
+                -0.5 + 0.004 * t,  // left edge
+                0.499 - 0.004 * t, // right edge
+                (t - 0.5) * 0.99,  // sweep
             ]
         })
         .collect();
-    let samples: Vec<Complex32> =
-        (0..100).map(|i| Complex32::new(1.0, i as f32 * 0.01)).collect();
+    let samples: Vec<Complex32> = (0..100).map(|i| Complex32::new(1.0, i as f32 * 0.01)).collect();
     let mut seq = SequentialNufft::new([n; 3], &edge_traj, 2.0, 4.0);
     let mut plan = NufftPlan::new(
         [n; 3],

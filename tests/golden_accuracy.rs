@@ -38,9 +38,7 @@ fn seeded_traj<const D: usize>(count: usize, seed: u64) -> Vec<[f64; D]> {
     let mut rng = Rng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            core::array::from_fn(|_| {
-                (rng.gen_f64(0.0..1.0) + rng.gen_f64(0.0..1.0)) / 2.0 - 0.5
-            })
+            core::array::from_fn(|_| (rng.gen_f64(0.0..1.0) + rng.gen_f64(0.0..1.0)) / 2.0 - 0.5)
         })
         .collect()
 }
@@ -90,6 +88,17 @@ fn golden_forward_2d_w3_beats_its_own_bound() {
     assert!(beatty_beta(3.0, 2.0) < beatty_beta(4.0, 2.0));
 }
 
+/// Oversampled-grid lengths exercising the mixed-radix FFT paths (M = 192,
+/// 240, 252 — radices 2/3/5/7) and the Bluestein path (M = 62 = 2·31)
+/// end-to-end through the forward operator, against the same KB budget.
+#[test]
+fn golden_forward_mixed_radix_and_bluestein_beats_kernel_bound() {
+    for (n, seed) in [(96usize, 1101), (120, 1102), (126, 1103), (31, 1104)] {
+        let (err, budget) = forward_case::<1>([n], 150, 4.0, seed);
+        assert!(err < budget, "1D n={n} forward err {err} exceeds KB budget {budget}");
+    }
+}
+
 fn adjoint_case<const D: usize>(n: [usize; D], count: usize, w: f64, seed: u64) -> (f64, f64) {
     let len: usize = n.iter().product();
     let traj = seeded_traj::<D>(count, seed);
@@ -119,6 +128,15 @@ fn golden_adjoint_3d_beats_kernel_bound() {
     assert!(err < budget, "3D adjoint err {err} exceeds KB budget {budget}");
 }
 
+/// Adjoint counterpart of the mixed-radix/Bluestein length sweep.
+#[test]
+fn golden_adjoint_mixed_radix_and_bluestein_beats_kernel_bound() {
+    for (n, seed) in [(96usize, 1201), (120, 1202), (126, 1203), (31, 1204)] {
+        let (err, budget) = adjoint_case::<1>([n], 150, 4.0, seed);
+        assert!(err < budget, "1D n={n} adjoint err {err} exceeds KB budget {budget}");
+    }
+}
+
 /// Forward and adjoint against the oracle on the *same* seeded problem must
 /// also satisfy the dot-test through the oracle's numbers: ⟨Ax, y⟩ computed
 /// with the fast forward equals ⟨x, A†y⟩ computed with the oracle adjoint,
@@ -137,10 +155,8 @@ fn golden_cross_dot_test_2d() {
     plan.forward(&x, &mut ax);
     let aty_oracle = direct::adjoint(&y, n, &traj);
 
-    let lhs: Complex64 =
-        ax.iter().zip(&y).map(|(&a, &b)| a.to_f64().conj() * b.to_f64()).sum();
-    let rhs: Complex64 =
-        x.iter().zip(&aty_oracle).map(|(&a, &b)| a.to_f64().conj() * b).sum();
+    let lhs: Complex64 = ax.iter().zip(&y).map(|(&a, &b)| a.to_f64().conj() * b.to_f64()).sum();
+    let rhs: Complex64 = x.iter().zip(&aty_oracle).map(|(&a, &b)| a.to_f64().conj() * b).sum();
     let scale = lhs.abs().max(rhs.abs()).max(1e-9);
     let budget = kb_error_budget(4.0, 2.0);
     assert!(
@@ -164,8 +180,9 @@ fn golden_problem_is_reproducible() {
     let a = run();
     let b = run();
     assert!(
-        a.iter().zip(&b).all(|(p, q)| p.re.to_bits() == q.re.to_bits()
-            && p.im.to_bits() == q.im.to_bits()),
+        a.iter()
+            .zip(&b)
+            .all(|(p, q)| p.re.to_bits() == q.re.to_bits() && p.im.to_bits() == q.im.to_bits()),
         "same-seed forward runs differ"
     );
 }

@@ -23,10 +23,9 @@ fn ball_limit(img: &[Complex32], n: usize) -> Vec<Complex32> {
     for ix in 0..n {
         for iy in 0..n {
             for iz in 0..n {
-                let r = ((ix as f64 - c).powi(2)
-                    + (iy as f64 - c).powi(2)
-                    + (iz as f64 - c).powi(2))
-                .sqrt();
+                let r =
+                    ((ix as f64 - c).powi(2) + (iy as f64 - c).powi(2) + (iz as f64 - c).powi(2))
+                        .sqrt();
                 if r > c {
                     f[(ix * n + iy) * n + iz] = Complex32::ZERO;
                 }
@@ -69,10 +68,7 @@ fn three_d_radial_cg_recon_reaches_the_ball_limited_optimum() {
     // null-space floor.
     let floor = rel_l2_c32(&target, &truth);
     let e_raw = rel_l2_c32(&rep.image, &truth);
-    assert!(
-        e_raw < floor * 1.15,
-        "recon error {e_raw} should approach the sampling floor {floor}"
-    );
+    assert!(e_raw < floor * 1.15, "recon error {e_raw} should approach the sampling floor {floor}");
     assert!(rep.cg.iterations > 1);
 }
 
@@ -87,9 +83,8 @@ fn multicoil_3d_recon_and_sos() {
 
     let mut data = Vec::new();
     let mut coil_imgs = Vec::new();
-    for c in 0..4 {
-        let weighted: Vec<Complex32> =
-            truth.iter().zip(&coils[c]).map(|(&x, &s)| x * s).collect();
+    for coil in &coils {
+        let weighted: Vec<Complex32> = truth.iter().zip(coil).map(|(&x, &s)| x * s).collect();
         coil_imgs.push(weighted.clone());
         let mut y = vec![Complex32::ZERO; traj.len()];
         plan.forward(&weighted, &mut y);
@@ -131,11 +126,7 @@ fn pipe_menon_weights_improve_gridding() {
     // Normalize the gridding gain to compare fairly: scale output to best
     // match the truth (gridding has an arbitrary global factor per DCF).
     let img = gridding_recon(&mut plan, &y, &w);
-    let num: f64 = img
-        .iter()
-        .zip(&truth)
-        .map(|(&a, &b)| (a.to_f64().conj() * b.to_f64()).re)
-        .sum();
+    let num: f64 = img.iter().zip(&truth).map(|(&a, &b)| (a.to_f64().conj() * b.to_f64()).re).sum();
     let den: f64 = img.iter().map(|z| z.to_f64().norm_sqr()).sum();
     let alpha = (num / den.max(1e-30)) as f32;
     let scaled: Vec<Complex32> = img.iter().map(|&z| z.scale(alpha)).collect();

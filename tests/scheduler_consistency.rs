@@ -12,11 +12,7 @@ fn weighted_graph(dims: &[usize], privatize_center: bool) -> TaskGraph {
     let mut g = TaskGraph::new_cyclic(dims, &vec![true; dims.len()]);
     for t in 0..g.len() {
         let idx = g.unflatten(t);
-        let d: usize = idx
-            .iter()
-            .zip(dims)
-            .map(|(&i, &n)| i.abs_diff(n / 2))
-            .sum();
+        let d: usize = idx.iter().zip(dims).map(|(&i, &n)| i.abs_diff(n / 2)).sum();
         g.set_weight(t, 1000 / (d as u64 + 1));
         if privatize_center && d == 0 {
             g.set_privatized(t, true);
@@ -51,8 +47,7 @@ fn executor_and_simulator_run_the_same_phase_multiset() {
             sim_counts[r.task][slot] += 1;
         }
         for t in 0..g.len() {
-            let exec_c: Vec<u32> =
-                (0..3).map(|s| counts[t][s].load(Ordering::SeqCst)).collect();
+            let exec_c: Vec<u32> = (0..3).map(|s| counts[t][s].load(Ordering::SeqCst)).collect();
             assert_eq!(
                 exec_c, sim_counts[t],
                 "task {t} phase multiset differs (privatize={privatize})"
@@ -69,7 +64,8 @@ fn executor_and_simulator_run_the_same_phase_multiset() {
 #[test]
 fn simulated_speedup_is_monotone_and_bounded() {
     let g = weighted_graph(&[8, 8], true);
-    let model = LinearCost { per_task: 0.5, per_sample: 0.01, reduce_per_sample: 0.001, queue_cost: 0.02 };
+    let model =
+        LinearCost { per_task: 0.5, per_sample: 0.01, reduce_per_sample: 0.001, queue_cost: 0.02 };
     let base = simulate(&g, QueuePolicy::Priority, 1, &model).makespan;
     let mut prev = 0.0;
     for p in [1usize, 2, 4, 8, 16, 32] {
@@ -86,14 +82,12 @@ fn priority_queue_never_loses_to_fifo_at_scale() {
     // worker counts — the Figure 12 B-vs-C property as a hard invariant of
     // our scheduler pair.
     let g = weighted_graph(&[10, 10], false);
-    let model = LinearCost { per_task: 0.2, per_sample: 0.01, reduce_per_sample: 0.001, queue_cost: 0.01 };
+    let model =
+        LinearCost { per_task: 0.2, per_sample: 0.01, reduce_per_sample: 0.001, queue_cost: 0.01 };
     for p in [16usize, 32] {
         let fifo = simulate(&g, QueuePolicy::Fifo, p, &model).makespan;
         let prio = simulate(&g, QueuePolicy::Priority, p, &model).makespan;
-        assert!(
-            prio <= fifo * 1.01,
-            "priority queue lost at {p} workers: {prio} vs {fifo}"
-        );
+        assert!(prio <= fifo * 1.01, "priority queue lost at {p} workers: {prio} vs {fifo}");
     }
 }
 

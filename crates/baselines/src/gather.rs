@@ -116,7 +116,10 @@ impl GatherAdjoint {
         let cell_samples = &self.cell_samples;
         let grid_ptr = grid.as_mut_ptr() as usize;
         let grain = (grid.len() / (8 * self.exec.threads())).max(512);
-        self.exec.parallel_for(grid.len(), grain, |range, _w| {
+        // 8 = complex elements per cache line: each worker writes a
+        // contiguous `out` block, so aligned boundaries prevent two workers
+        // sharing the line at a chunk edge.
+        self.exec.parallel_for_aligned(grid.len(), grain, 8, |range, _w| {
             // SAFETY: parallel_for ranges are disjoint.
             let out = unsafe {
                 core::slice::from_raw_parts_mut(

@@ -131,7 +131,9 @@ impl<const D: usize> PrivatizedAdjoint<D> {
             let grain = (dst.len() / (4 * self.threads)).max(1024);
             let rest_refs: Vec<&[Complex32]> = rest.iter().map(|g| g.as_slice()).collect();
             let dst_ptr = dst.as_mut_ptr() as usize;
-            self.exec.parallel_for(dst.len(), grain, |range, _w| {
+            // 8 = complex elements per cache line: chunk boundaries of this
+            // contiguous accumulate never split a line between workers.
+            self.exec.parallel_for_aligned(dst.len(), grain, 8, |range, _w| {
                 // SAFETY: ranges from parallel_for are disjoint; dst outlives
                 // the scope.
                 let dst = unsafe {

@@ -1,0 +1,177 @@
+//! Persistent-pool vs spawn-per-call operator-apply latency.
+//!
+//! The tentpole claim of the persistent runtime is that an *operator
+//! apply* — the unit an iterative solver repeats hundreds of times — no
+//! longer pays thread creation (one `std::thread::scope` per parallel
+//! region, ~6 regions per apply) or a global ready-queue lock. Both
+//! backends produce bit-identical results (see `tests/determinism.rs`), so
+//! this benchmark isolates pure scheduler cost.
+//!
+//! Arms: {forward, adjoint} × {small, large grid} × {1, 2, 4 threads} ×
+//! {persistent, spawn}. On the small grid the work per region is tiny and
+//! spawn overhead dominates — that is where the pool must win outright; on
+//! the large grid the convolution dominates and the pool must simply not
+//! regress.
+//!
+//! Medians are summarized into `BENCH_pool.json` at the repository root
+//! (see `scripts/bench.sh`), including the headline pool-vs-spawn speedup
+//! per arm.
+
+use nufft_core::{NufftConfig, NufftPlan};
+use nufft_math::Complex32;
+use nufft_parallel::exec::ExecBackend;
+use nufft_testkit::bench::BenchGroup;
+use nufft_testkit::Rng;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Repository root: nearest ancestor holding `ROADMAP.md` (mirrors the
+/// testkit's results-dir lookup), else the current directory.
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("ROADMAP.md").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+struct GridCase {
+    id: &'static str,
+    n: [usize; 2],
+    samples: usize,
+}
+
+const CASES: [GridCase; 2] = [
+    // Small: per-region work is a few microseconds, so fixed scheduler
+    // overhead (thread spawn, lock handoffs) is the whole story.
+    GridCase { id: "small_32", n: [32, 32], samples: 1_500 },
+    // Large: convolution + FFT dominate; the pool must not regress.
+    GridCase { id: "large_192", n: [192, 192], samples: 60_000 },
+];
+
+fn backend_name(b: ExecBackend) -> &'static str {
+    match b {
+        ExecBackend::Persistent => "pool",
+        ExecBackend::SpawnPerCall => "spawn",
+    }
+}
+
+/// Records `arm`'s median as the **minimum of `reps` repetitions**. Arms
+/// run sequentially, so a host-wide slowdown lasting tens of seconds can
+/// skew one backend of a pair by ±10%; interleaving the repetitions
+/// (spawn, pool, spawn, pool, …) and keeping each arm's best median makes
+/// the spawn-vs-pool ratio robust to that drift — noise only ever adds
+/// time.
+fn record_min(medians: &mut BTreeMap<String, f64>, arm: String, median_ns: f64) {
+    let slot = medians.entry(arm).or_insert(f64::INFINITY);
+    *slot = slot.min(median_ns);
+}
+
+fn bench_case(case: &GridCase, medians: &mut BTreeMap<String, f64>) {
+    let mut rng = Rng::seed_from_u64(0x9001_0000 + case.samples as u64);
+    let traj = rng.gen_points::<2>(case.samples, -0.5..0.4999);
+    let samples = rng.gen_c32_vec(case.samples, 1.0);
+    let image_len = case.n[0] * case.n[1];
+    let image = rng.gen_c32_vec(image_len, 1.0);
+
+    let reps = if std::env::var("NUFFT_BENCH_FAST").is_ok() { 1 } else { 3 };
+    let mut g = BenchGroup::new(format!("pool_{}", case.id));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    for threads in [1usize, 2, 4] {
+        let mut plans: Vec<(ExecBackend, NufftPlan<2>)> =
+            [ExecBackend::SpawnPerCall, ExecBackend::Persistent]
+                .into_iter()
+                .map(|backend| {
+                    let cfg = NufftConfig {
+                        threads,
+                        backend,
+                        // Pin the decomposition so both backends schedule
+                        // the same task graph.
+                        partitions_per_dim: Some(4),
+                        ..NufftConfig::default()
+                    };
+                    (backend, NufftPlan::new(case.n, &traj, cfg))
+                })
+                .collect();
+        let mut out_samples = vec![Complex32::ZERO; case.samples];
+        let mut out_image = vec![Complex32::ZERO; image_len];
+
+        for _rep in 0..reps {
+            for (backend, plan) in plans.iter_mut() {
+                let arm = format!("forward/{}/t{threads}/{}", case.id, backend_name(*backend));
+                let stats =
+                    g.bench_function(&arm, |b| b.iter(|| plan.forward(&image, &mut out_samples)));
+                record_min(medians, arm, stats.median_ns);
+
+                let arm = format!("adjoint/{}/t{threads}/{}", case.id, backend_name(*backend));
+                let stats =
+                    g.bench_function(&arm, |b| b.iter(|| plan.adjoint(&samples, &mut out_image)));
+                record_min(medians, arm, stats.median_ns);
+            }
+        }
+    }
+    g.finish();
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes `BENCH_pool.json` at the repo root: per-arm medians plus the
+/// pool-vs-spawn speedup (spawn_ns / pool_ns; > 1 means the pool is
+/// faster) for every {op}/{grid}/{threads} combination.
+fn write_summary(medians: &BTreeMap<String, f64>) {
+    let mut out = String::from("{\n  \"bench\": \"pool\",\n");
+    out.push_str("  \"unit\": \"median_ns_per_apply\",\n");
+    out.push_str("  \"median_ns\": {\n");
+    let last = medians.len().saturating_sub(1);
+    for (i, (arm, ns)) in medians.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        out.push_str(&format!("    \"{}\": {ns:.1}{comma}\n", json_escape(arm)));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"speedup_pool_vs_spawn\": {\n");
+    let mut lines = Vec::new();
+    for op in ["forward", "adjoint"] {
+        for case in &CASES {
+            for threads in [1usize, 2, 4] {
+                let pool = medians.get(&format!("{op}/{}/t{threads}/pool", case.id));
+                let spawn = medians.get(&format!("{op}/{}/t{threads}/spawn", case.id));
+                if let (Some(pool), Some(spawn)) = (pool, spawn) {
+                    lines.push(format!(
+                        "    \"{op}/{}/t{threads}\": {:.3}",
+                        json_escape(case.id),
+                        spawn / pool
+                    ));
+                }
+            }
+        }
+    }
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        out.push_str(&format!("{line}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+
+    let path = repo_root().join("BENCH_pool.json");
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let mut medians = BTreeMap::new();
+    for case in &CASES {
+        bench_case(case, &mut medians);
+    }
+    write_summary(&medians);
+}

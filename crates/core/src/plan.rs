@@ -23,7 +23,7 @@ use crate::scale::build_scale;
 use crate::tasks::{preprocess, Preprocess, PreprocessConfig};
 use nufft_fft::{Direction, FftNd};
 use nufft_math::Complex32;
-use nufft_parallel::exec::{Executor, RunStats, TaskPhase};
+use nufft_parallel::exec::{ExecBackend, Executor, RunStats, TaskPhase};
 use nufft_parallel::graph::{QueuePolicy, TaskGraph};
 use std::time::Instant;
 
@@ -56,6 +56,10 @@ pub struct NufftConfig {
     pub lut_density: usize,
     /// Samples per chunk in the forward gather's dynamic loop.
     pub grain: usize,
+    /// Scheduler backend. The default persistent pool keeps workers
+    /// resident across operator applies; `SpawnPerCall` is the historical
+    /// baseline retained for A/B measurement (`benches/pool.rs`).
+    pub backend: ExecBackend,
 }
 
 impl Default for NufftConfig {
@@ -63,7 +67,7 @@ impl Default for NufftConfig {
         NufftConfig {
             alpha: 2.0,
             w: 4.0,
-            threads: Executor::host().threads(),
+            threads: Executor::host_threads(),
             policy: QueuePolicy::Priority,
             partitions_per_dim: None,
             fixed_partitions: false,
@@ -72,9 +76,14 @@ impl Default for NufftConfig {
             kernel: KernelChoice::KaiserBessel,
             lut_density: DEFAULT_LUT_DENSITY,
             grain: 256,
+            backend: ExecBackend::Persistent,
         }
     }
 }
+
+/// Complex elements per 64-byte cache line: chunk boundaries of contiguous
+/// output loops are rounded to this so two workers never split a line.
+const LANE_ALIGN: usize = 64 / core::mem::size_of::<Complex32>();
 
 /// Wall-clock breakdown of one operator application, in seconds — the
 /// quantities behind Figures 3 and 8.
@@ -185,7 +194,7 @@ impl<const D: usize> NufftPlan<D> {
         let kernel = InterpKernel::of(cfg.kernel, cfg.w, cfg.alpha, cfg.lut_density);
         let scale = build_scale(&geo, &kernel);
         let fft = FftNd::new(&geo.m);
-        let exec = Executor::new(cfg.threads.max(1));
+        let exec = Executor::with_backend(cfg.threads.max(1), cfg.backend);
 
         let partitions = cfg.partitions_per_dim.unwrap_or_else(|| {
             // Aim for ~8 tasks per thread overall.
@@ -384,7 +393,9 @@ impl<const D: usize> NufftPlan<D> {
         let order = &self.pre.order;
         let out_ptrs: Vec<SendPtr<Complex32>> =
             outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())).collect();
-        self.exec.parallel_for(coords.len(), self.cfg.grain, |range, _w| {
+        // Aligned boundaries: with reordering on, `order` is near-identity
+        // within a task, so chunk edges land on distinct output cache lines.
+        self.exec.parallel_for_aligned(coords.len(), self.cfg.grain, LANE_ALIGN, |range, _w| {
             for i in range {
                 let win: [Window; D] =
                     core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
@@ -514,7 +525,9 @@ impl<const D: usize> NufftPlan<D> {
         let coords = &self.pre.coords;
         let order = &self.pre.order;
         let out_ptr = SendPtr(out.as_mut_ptr());
-        self.exec.parallel_for(coords.len(), self.cfg.grain, |range, _w| {
+        // Aligned boundaries: with reordering on, `order` is near-identity
+        // within a task, so chunk edges land on distinct output cache lines.
+        self.exec.parallel_for_aligned(coords.len(), self.cfg.grain, LANE_ALIGN, |range, _w| {
             for i in range {
                 let win: [Window; D] =
                     core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
@@ -591,10 +604,14 @@ impl<const D: usize> NufftPlan<D> {
     fn fft_parallel(fft: &FftNd, data: &mut [Complex32], exec: &Executor, dir: Direction) {
         let base = SendPtr(data.as_mut_ptr());
         let b = FftNd::batch_width();
+        // A tile is `b` adjacent lines; rounding tile-chunk boundaries to
+        // a full cache line of complex elements keeps two workers off the
+        // same line of line-starts.
+        let align = (LANE_ALIGN / b).max(1);
         for axis in 0..fft.shape().len() {
             let tiles = fft.num_tiles(axis, b);
             let grain = (tiles / (4 * exec.threads())).clamp(1, 64);
-            exec.parallel_for(tiles, grain, |range, _w| {
+            exec.parallel_for_aligned(tiles, grain, align, |range, _w| {
                 let mut scratch = vec![Complex32::ZERO; fft.batch_scratch_len(b)];
                 for tile in range {
                     // SAFETY: tiles of one axis are pairwise disjoint; the

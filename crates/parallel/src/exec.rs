@@ -1,30 +1,58 @@
-//! The task executor (§III-B2–§III-B4).
+//! The task executor (§III-B2–§III-B4) on a **persistent worker pool**.
 //!
-//! [`Executor::run_graph`] runs a [`TaskGraph`] on `T` worker threads with a
-//! shared blocking ready queue — no global barrier anywhere:
+//! [`Executor::run_graph`] runs a [`TaskGraph`] on `T` workers with no
+//! global barrier anywhere:
 //!
 //! * tasks become ready the moment their (≤ 2) predecessor edges are
-//!   satisfied;
+//!   satisfied — tracked by per-task atomic pending counters, so no lock
+//!   is taken to retire an edge;
 //! * *selectively privatized* tasks are split in two: the convolution phase
 //!   is ready immediately (it writes a private buffer), and the reduction
 //!   phase inherits the task's dependency edges, decoupling expensive
 //!   convolution from the critical path (§III-B4);
-//! * the ready queue is FIFO or largest-first priority per
-//!   [`QueuePolicy`] (§III-B3).
+//! * the ready pool is **sharded per worker** with work stealing. Each
+//!   shard individually honors the run's [`QueuePolicy`] (§III-B3): under
+//!   [`QueuePolicy::Priority`] both the owner and a thief pop the
+//!   *largest* entry of the shard they touch, so largest-first is
+//!   preserved **per steal victim** (not globally — see DESIGN.md §10 for
+//!   why that is the right trade and how `nufft-sim` replays it).
 //!
-//! [`Executor::parallel_for`] is the dynamic loop-partitioning used for the
-//! forward (gather) convolution and the FFT line sweeps, where iterations
-//! are independent.
+//! [`Executor::parallel_for`] is the dynamic loop partitioner used for the
+//! forward (gather) convolution and the FFT line sweeps: every worker is
+//! seeded with one contiguous chunk of the index range and pops
+//! `grain`-sized pieces off its front; an idle worker steals the **upper
+//! half** of a victim's remaining range. The fast path is a single CAS on
+//! the owner's own (cache-line-padded) range word — no locks, no shared
+//! counter.
+//!
+//! ## Pool lifecycle
+//!
+//! Workers are created **once** per [`Executor`] (lazily, on the first
+//! dispatch that can use them) and then parked on a condvar between
+//! operator applications; an iterative solver such as
+//! `nufft-mri`'s CG therefore pays thread creation once instead of on
+//! every one of the ~6 parallel regions per operator apply. The
+//! dispatching thread itself acts as worker 0, so a 1-thread executor
+//! never synchronizes at all. Dropping the last [`Executor`] clone shuts
+//! the pool down and joins its threads.
+//!
+//! The spawn-per-call scheduler this pool replaced is retained as
+//! [`ExecBackend::SpawnPerCall`] so the `pool` benchmark can measure the
+//! improvement honestly (see `crates/bench/benches/pool.rs`).
 
 use crate::graph::{QueuePolicy, TaskGraph, TaskId};
 use crate::queue::{Entry, ReadyQueue};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// Locks a mutex, ignoring std's lock poisoning: the executor has its own
-/// explicit poison protocol (`Shared::poison`) that drains workers before a
-/// task panic propagates, so a poisoned guard's data is still consistent.
+/// explicit poison protocol (each job's `poisoned` flag) that drains
+/// workers before a task panic propagates, so a poisoned guard's data is
+/// still consistent.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
@@ -99,144 +127,737 @@ impl RunStats {
     }
 }
 
-struct Inner {
-    ready: ReadyQueue,
-    /// Unsatisfied predecessor count per task.
-    pending: Vec<u32>,
-    /// Whether a privatized task's convolve phase has finished.
-    conv_done: Vec<bool>,
-    /// Logical units completed (privatized tasks count twice).
-    completed: usize,
-    /// Logical units total.
-    total: usize,
-    /// Set when a task panicked: workers drain out instead of waiting.
-    poisoned: bool,
+/// Scheduler implementation behind an [`Executor`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Resident worker pool with per-worker sharded queues and work
+    /// stealing — the production backend.
+    #[default]
+    Persistent,
+    /// The historical scheduler: a fresh `std::thread::scope` per call and
+    /// one global `Mutex`-protected ready queue. Kept as the measurement
+    /// baseline for `benches/pool.rs`; produces bit-identical operator
+    /// results (the TDG exclusion fixes the summation order, not the
+    /// schedule).
+    SpawnPerCall,
 }
 
-struct Shared<'g> {
-    graph: &'g TaskGraph,
-    inner: Mutex<Inner>,
-    cv: Condvar,
+/// Pads a value out to its own cache line so per-worker hot words (deque
+/// ranges, shard locks, stat slots) never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+// ---------------------------------------------------------------------------
+// Persistent pool plumbing
+// ---------------------------------------------------------------------------
+
+/// A type-erased parallel job. `run(w)` is executed concurrently by every
+/// pool member; worker 0 is the dispatching thread itself. Implementations
+/// must never unwind out of `run` — panics from user closures are caught,
+/// stashed, and re-thrown by the dispatcher after quiescence.
+trait Job: Sync {
+    fn run(&self, worker: usize);
 }
 
-impl<'g> Shared<'g> {
-    fn pop_blocking(&self) -> Option<Entry> {
-        let mut inner = lock(&self.inner);
-        loop {
-            if inner.poisoned {
-                return None;
+/// Raw pointer to a job living on the dispatcher's stack. Sound because the
+/// dispatch protocol blocks the dispatcher until every worker has finished
+/// the epoch, so the pointee strictly outlives all uses.
+struct JobPtr(*const (dyn Job + 'static));
+// SAFETY: see type docs — lifetime is enforced by the dispatch protocol.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Monotonically increasing job epoch; each bump publishes one job.
+    epoch: u64,
+    /// Highest epoch whose workers have all finished.
+    done_epoch: u64,
+    /// Background workers still inside the current epoch's job.
+    running: usize,
+    /// The published job for the current epoch.
+    job: Option<JobPtr>,
+    /// Set by the pool's destructor; workers exit instead of waiting.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The dispatcher parks here while workers drain an epoch.
+    done_cv: Condvar,
+}
+
+/// The resident worker pool. One per [`Executor`] lineage (clones share
+/// it); background threads are spawned lazily on the first dispatch so
+/// short-lived executors (e.g. `Executor::host()` probed for its thread
+/// count) cost nothing.
+struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: usize,
+    /// Serializes dispatches from multiple handles sharing this pool: a
+    /// second concurrent `run_graph`/`parallel_for` blocks here until the
+    /// first finishes (the workers are a single resource).
+    dispatch: Mutex<()>,
+}
+
+thread_local! {
+    /// True while this thread is executing inside a pool job. A nested
+    /// executor call from such a thread runs inline (serially) instead of
+    /// dead-locking on the dispatch protocol.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_main(shared: Arc<PoolShared>, worker: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job: *const (dyn Job + 'static) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen {
+                    seen = st.epoch;
+                    break st.job.as_ref().expect("epoch published without a job").0;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
-            if let Some(e) = inner.ready.pop() {
-                return Some(e);
-            }
-            if inner.completed == inner.total {
-                return None;
-            }
-            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        };
+        IN_POOL_JOB.with(|f| f.set(true));
+        // SAFETY: the dispatcher keeps the job alive until `running`
+        // returns to zero below.
+        unsafe { (*job).run(worker) };
+        IN_POOL_JOB.with(|f| f.set(false));
+        let mut st = lock(&shared.state);
+        st.running -= 1;
+        if st.running == 0 {
+            st.done_epoch = seen;
+            st.job = None;
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl Pool {
+    fn new(threads: usize) -> Pool {
+        Pool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    done_epoch: 0,
+                    running: 0,
+                    job: None,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+            threads,
+            dispatch: Mutex::new(()),
         }
     }
 
-    /// Marks the run as failed so every worker drains out; called when a
-    /// task panics, before the panic is propagated through the scope.
-    fn poison(&self) {
-        let mut inner = lock(&self.inner);
-        inner.poisoned = true;
-        self.cv.notify_all();
+    /// Spawns the background workers if they are not yet resident.
+    fn ensure_spawned(&self) {
+        let mut ws = lock(&self.workers);
+        if !ws.is_empty() || self.threads <= 1 {
+            return;
+        }
+        for w in 1..self.threads {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("nufft-worker-{w}"))
+                .spawn(move || worker_main(shared, w))
+                .expect("failed to spawn pool worker thread");
+            ws.push(handle);
+        }
     }
 
-    /// Post-completion bookkeeping; pushes newly ready entries and wakes
-    /// waiting workers.
-    fn complete(&self, task: TaskId, phase: TaskPhase) {
-        let graph = self.graph;
-        let mut inner = lock(&self.inner);
-        inner.completed += 1;
+    /// Runs `job` on every pool member (this thread is worker 0) and
+    /// returns after all of them have finished it.
+    fn dispatch(&self, job: &dyn Job) {
+        let _serial = lock(&self.dispatch);
+        self.ensure_spawned();
+        // SAFETY: lifetime erasure only; `job` outlives the dispatch (we
+        // block until every worker is done with it below).
+        let ptr = JobPtr(unsafe {
+            core::mem::transmute::<*const (dyn Job + '_), *const (dyn Job + 'static)>(job)
+        });
+        let epoch = {
+            let mut st = lock(&self.shared.state);
+            st.epoch += 1;
+            st.running = self.threads - 1;
+            st.job = Some(ptr);
+            st.epoch
+        };
+        self.shared.work_cv.notify_all();
+        IN_POOL_JOB.with(|f| f.set(true));
+        job.run(0);
+        IN_POOL_JOB.with(|f| f.set(false));
+        let mut st = lock(&self.shared.state);
+        while st.done_epoch < epoch {
+            st = self.shared.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        let workers = self.workers.get_mut().unwrap_or_else(|e| e.into_inner());
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run_graph on the pool: sharded ready queues + atomic dependency counters
+// ---------------------------------------------------------------------------
+
+/// Mutable per-worker stats, written only by the owning worker during a
+/// run and harvested after quiescence — no locks on the fast path.
+struct StatSlot(UnsafeCell<WorkerStats>);
+// SAFETY: slot `w` is touched only by worker `w` while the job runs, and
+// only by the dispatcher after all workers have quiesced.
+unsafe impl Sync for StatSlot {}
+
+#[derive(Default)]
+struct WorkerStats {
+    busy: f64,
+    log: Vec<TaskRecord>,
+}
+
+struct GraphJob<'g, F> {
+    graph: &'g TaskGraph,
+    task_fn: &'g F,
+    threads: usize,
+    /// Per-worker ready-queue shards, each honoring the run's policy.
+    shards: Vec<CachePadded<Mutex<ReadyQueue>>>,
+    /// Unsatisfied prerequisite count per task: predecessor edges, plus one
+    /// extra for a privatized task's own convolve phase. The worker whose
+    /// decrement reaches zero publishes the task — no lock involved.
+    pending: Vec<AtomicU32>,
+    /// Logical units retired (privatized tasks count twice).
+    completed: AtomicUsize,
+    /// Logical units total.
+    total: usize,
+    /// Set when a task panicked: workers drain out instead of waiting.
+    poisoned: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Eventcount for idle workers: `sleepers` gates the (cold) wake path;
+    /// the generation counter under `idle` closes the lost-wakeup race.
+    sleepers: AtomicUsize,
+    idle: Mutex<u64>,
+    idle_cv: Condvar,
+    t0: Instant,
+    slots: Vec<CachePadded<StatSlot>>,
+}
+
+impl<'g, F> GraphJob<'g, F>
+where
+    F: Fn(TaskId, TaskPhase, usize) + Sync,
+{
+    fn new(graph: &'g TaskGraph, policy: QueuePolicy, threads: usize, task_fn: &'g F) -> Self {
+        let n = graph.len();
+        let mut pending = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for t in 0..n {
+            let extra: u32 = if graph.privatized(t) { 1 } else { 0 };
+            total += 1 + extra as usize;
+            pending.push(AtomicU32::new(graph.pred_count(t) as u32 + extra));
+        }
+        let job = GraphJob {
+            graph,
+            task_fn,
+            threads,
+            shards: (0..threads)
+                .map(|_| CachePadded(Mutex::new(ReadyQueue::new(policy))))
+                .collect(),
+            pending,
+            completed: AtomicUsize::new(0),
+            total,
+            poisoned: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            sleepers: AtomicUsize::new(0),
+            idle: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            t0: Instant::now(),
+            slots: (0..threads)
+                .map(|_| CachePadded(StatSlot(UnsafeCell::new(WorkerStats::default()))))
+                .collect(),
+        };
+        // Seed the initially ready units round-robin across the shards, in
+        // task order (the same deterministic placement `nufft-sim`
+        // replays): privatized convolve phases are ready unconditionally;
+        // non-privatized tasks are ready when they start with no edges.
+        let mut seed = 0usize;
+        for t in 0..n {
+            if graph.privatized(t) {
+                job.push_to(seed % threads, entry(graph, t, TaskPhase::PrivateConvolve));
+                seed += 1;
+            } else if graph.pred_count(t) == 0 {
+                job.push_to(seed % threads, entry(graph, t, TaskPhase::Normal));
+                seed += 1;
+            }
+        }
+        job
+    }
+
+    fn push_to(&self, shard: usize, e: Entry) {
+        lock(&self.shards[shard].0).push(e);
+    }
+
+    fn finished(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst) || self.completed.load(Ordering::SeqCst) >= self.total
+    }
+
+    /// Pops from the worker's own shard, else steals the policy-best entry
+    /// of the first non-empty victim shard, scanning `(w+1) % T` upward —
+    /// the exact order `nufft-sim` replays.
+    fn find_work(&self, w: usize) -> Option<Entry> {
+        if let Some(e) = lock(&self.shards[w].0).pop() {
+            return Some(e);
+        }
+        for d in 1..self.threads {
+            let v = (w + d) % self.threads;
+            if let Some(e) = lock(&self.shards[v].0).pop() {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    fn any_ready(&self) -> bool {
+        self.shards.iter().any(|s| !lock(&s.0).is_empty())
+    }
+
+    /// Wakes parked workers; cheap no-op while everyone is busy.
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut g = lock(&self.idle);
+            *g += 1;
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Parks until new work may exist. Returns `false` when the run is
+    /// over (all units retired, or poisoned).
+    fn park(&self) -> bool {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Snapshot the generation BEFORE re-scanning: any push that our
+        // scan misses must then bump the generation (it sees `sleepers >
+        // 0`), so the wait below cannot sleep through it.
+        let seen = *lock(&self.idle);
+        let keep_going = if self.finished() {
+            false
+        } else if self.any_ready() {
+            true
+        } else {
+            let g = lock(&self.idle);
+            if *g == seen {
+                // One wait is enough: the caller loops back through the
+                // find-work scan, so a spurious wakeup costs one re-scan.
+                drop(self.idle_cv.wait(g).unwrap_or_else(|e| e.into_inner()));
+            }
+            !self.finished()
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        keep_going
+    }
+
+    /// Retires one prerequisite of `t`; publishes the task to the calling
+    /// worker's own shard when the last prerequisite falls.
+    fn retire_edge(&self, w: usize, t: TaskId) {
+        if self.pending[t].fetch_sub(1, Ordering::SeqCst) == 1 {
+            let phase =
+                if self.graph.privatized(t) { TaskPhase::Reduce } else { TaskPhase::Normal };
+            self.push_to(w, entry(self.graph, t, phase));
+            self.wake();
+        }
+    }
+
+    /// Post-completion bookkeeping, entirely lock-free on the edge path.
+    fn complete(&self, w: usize, task: TaskId, phase: TaskPhase) {
         match phase {
-            TaskPhase::PrivateConvolve => {
-                inner.conv_done[task] = true;
-                if inner.pending[task] == 0 {
-                    inner.ready.push(Entry {
-                        weight: graph.weight(task),
-                        payload: (task as u64) * 4 + TaskPhase::Reduce.encode(),
-                    });
+            // A privatized convolve retires the task's own extra
+            // prerequisite; its reduction becomes ready once the TDG edges
+            // are also satisfied.
+            TaskPhase::PrivateConvolve => self.retire_edge(w, task),
+            TaskPhase::Normal | TaskPhase::Reduce => {
+                for s in self.graph.succs(task) {
+                    self.retire_edge(w, s);
                 }
             }
+        }
+        if self.completed.fetch_add(1, Ordering::SeqCst) + 1 >= self.total {
+            // Everything retired: wake any parked workers so they exit.
+            self.wake();
+        }
+    }
+
+    fn poison(&self, payload: Box<dyn Any + Send + 'static>) {
+        {
+            let mut slot = lock(&self.panic_payload);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        // Unconditional wake: parked workers must observe the poison.
+        let mut g = lock(&self.idle);
+        *g += 1;
+        self.idle_cv.notify_all();
+    }
+
+    /// Harvests the per-worker slots after quiescence.
+    fn into_stats(self) -> RunStats {
+        let makespan = self.t0.elapsed().as_secs_f64();
+        let mut worker_busy = Vec::with_capacity(self.threads);
+        let mut log = Vec::new();
+        for slot in self.slots {
+            let stats = slot.0 .0.into_inner();
+            worker_busy.push(stats.busy);
+            log.extend(stats.log);
+        }
+        RunStats { makespan, worker_busy, log }
+    }
+}
+
+fn entry(graph: &TaskGraph, t: TaskId, phase: TaskPhase) -> Entry {
+    Entry { weight: graph.weight(t), payload: (t as u64) * 4 + phase.encode() }
+}
+
+impl<F> Job for GraphJob<'_, F>
+where
+    F: Fn(TaskId, TaskPhase, usize) + Sync,
+{
+    fn run(&self, w: usize) {
+        // SAFETY: worker `w` is the only thread touching slot `w` until
+        // the dispatcher harvests after quiescence.
+        let slot = unsafe { &mut *self.slots[w].0 .0.get() };
+        loop {
+            if self.finished() {
+                return;
+            }
+            let Some(e) = self.find_work(w) else {
+                if self.park() {
+                    continue;
+                }
+                return;
+            };
+            let task = (e.payload / 4) as TaskId;
+            let phase = TaskPhase::decode(e.payload % 4);
+            let start = self.t0.elapsed().as_secs_f64();
+            // A panicking task must not leave other workers parked
+            // forever: poison first; the dispatcher re-throws after all
+            // workers have drained.
+            let result = catch_unwind(AssertUnwindSafe(|| (self.task_fn)(task, phase, w)));
+            if let Err(payload) = result {
+                self.poison(payload);
+                return;
+            }
+            let end = self.t0.elapsed().as_secs_f64();
+            slot.busy += end - start;
+            slot.log.push(TaskRecord { task, phase, worker: w, start, end });
+            self.complete(w, task, phase);
+        }
+    }
+}
+
+/// Single-threaded `run_graph` with identical policy semantics; used for
+/// 1-thread executors and for (unsupported but safe) reentrant calls from
+/// inside a pool job.
+fn run_graph_serial<F>(graph: &TaskGraph, policy: QueuePolicy, task_fn: &F) -> RunStats
+where
+    F: Fn(TaskId, TaskPhase, usize) + Sync,
+{
+    let n = graph.len();
+    let mut ready = ReadyQueue::new(policy);
+    let mut pending = vec![0u32; n];
+    for t in 0..n {
+        let extra = if graph.privatized(t) { 1 } else { 0 };
+        pending[t] = graph.pred_count(t) as u32 + extra;
+        if graph.privatized(t) {
+            ready.push(entry(graph, t, TaskPhase::PrivateConvolve));
+        } else if pending[t] == 0 {
+            ready.push(entry(graph, t, TaskPhase::Normal));
+        }
+    }
+    let t0 = Instant::now();
+    let mut busy = 0.0f64;
+    let mut log = Vec::new();
+    while let Some(e) = ready.pop() {
+        let task = (e.payload / 4) as TaskId;
+        let phase = TaskPhase::decode(e.payload % 4);
+        let start = t0.elapsed().as_secs_f64();
+        task_fn(task, phase, 0);
+        let end = t0.elapsed().as_secs_f64();
+        busy += end - start;
+        log.push(TaskRecord { task, phase, worker: 0, start, end });
+        let mut retire = |t: TaskId| {
+            pending[t] -= 1;
+            if pending[t] == 0 {
+                let ph = if graph.privatized(t) { TaskPhase::Reduce } else { TaskPhase::Normal };
+                ready.push(entry(graph, t, ph));
+            }
+        };
+        match phase {
+            TaskPhase::PrivateConvolve => retire(task),
             TaskPhase::Normal | TaskPhase::Reduce => {
                 for s in graph.succs(task) {
-                    inner.pending[s] -= 1;
-                    if inner.pending[s] == 0 {
-                        if graph.privatized(s) {
-                            if inner.conv_done[s] {
-                                inner.ready.push(Entry {
-                                    weight: graph.weight(s),
-                                    payload: (s as u64) * 4 + TaskPhase::Reduce.encode(),
-                                });
+                    retire(s);
+                }
+            }
+        }
+    }
+    RunStats { makespan: t0.elapsed().as_secs_f64(), worker_busy: vec![busy], log }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for on the pool: per-worker range deques with steal-half
+// ---------------------------------------------------------------------------
+
+/// Packs a half-open index range into one atomic word: `lo` in the high 32
+/// bits, `hi` in the low 32. The owner advances `lo` (popping from the
+/// front), thieves lower `hi` (stealing from the back); both go through a
+/// full-word CAS, and since `lo` only grows and `hi` only shrinks there is
+/// no ABA hazard.
+fn pack(lo: usize, hi: usize) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize)
+}
+
+struct ForJob<'a, F> {
+    /// Per-worker remaining range, one padded word each.
+    slots: Vec<CachePadded<AtomicU64>>,
+    threads: usize,
+    /// Owner pop size — already rounded up to the alignment.
+    grain: usize,
+    /// Chunk boundaries (seeds, steals, pops) are multiples of this, so
+    /// two workers never split a cache line of contiguous output.
+    align: usize,
+    body: &'a F,
+    poisoned: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl<'a, F> ForJob<'a, F>
+where
+    F: Fn(core::ops::Range<usize>, usize) + Sync,
+{
+    fn new(n: usize, grain: usize, align: usize, threads: usize, body: &'a F) -> Self {
+        assert!(n <= u32::MAX as usize, "parallel_for range too large for the packed deque");
+        // Seed every worker with one contiguous chunk; boundaries are
+        // rounded up to `align` so no two seeds split an aligned block.
+        let chunk = n.div_ceil(threads).next_multiple_of(align);
+        let slots = (0..threads)
+            .map(|w| {
+                let lo = (w * chunk).min(n);
+                let hi = ((w + 1) * chunk).min(n);
+                CachePadded(AtomicU64::new(pack(lo, hi)))
+            })
+            .collect();
+        ForJob {
+            slots,
+            threads,
+            grain: grain.next_multiple_of(align),
+            align,
+            body,
+            poisoned: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        }
+    }
+
+    /// Pops a grain-sized piece off the front of the worker's own range.
+    fn pop_own(&self, w: usize) -> Option<core::ops::Range<usize>> {
+        let slot = &self.slots[w].0;
+        let mut cur = slot.load(Ordering::SeqCst);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let end = (lo + self.grain).min(hi);
+            match slot.compare_exchange_weak(cur, pack(end, hi), Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return Some(lo..end),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Steals the upper half of the first non-empty victim's range into
+    /// the worker's own slot. Returns false when every slot is empty (the
+    /// loop is then complete as far as this worker is concerned).
+    fn steal_into(&self, w: usize) -> bool {
+        for d in 1..self.threads {
+            let v = (w + d) % self.threads;
+            let slot = &self.slots[v].0;
+            let mut cur = slot.load(Ordering::SeqCst);
+            loop {
+                let (lo, hi) = unpack(cur);
+                if lo >= hi {
+                    break;
+                }
+                // Keep the split aligned; if the remainder is too small to
+                // split, take all of it.
+                let len = hi - lo;
+                let mut mid = lo + (len / 2) / self.align * self.align;
+                if mid <= lo {
+                    mid = lo;
+                }
+                match slot.compare_exchange_weak(
+                    cur,
+                    pack(lo, mid),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => {
+                        // Our own slot is empty (we only steal then), so a
+                        // plain store publishes the loot; concurrent
+                        // thieves CAS against whatever they load.
+                        self.slots[w].0.store(pack(mid, hi), Ordering::SeqCst);
+                        return true;
+                    }
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        false
+    }
+}
+
+impl<F> Job for ForJob<'_, F>
+where
+    F: Fn(core::ops::Range<usize>, usize) + Sync,
+{
+    fn run(&self, w: usize) {
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(range) = self.pop_own(w) {
+                let result = catch_unwind(AssertUnwindSafe(|| (self.body)(range, w)));
+                if let Err(payload) = result {
+                    {
+                        let mut slot = lock(&self.panic_payload);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                    self.poisoned.store(true, Ordering::SeqCst);
+                    return;
+                }
+                continue;
+            }
+            if !self.steal_into(w) {
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spawn-per-call baseline (the scheduler this PR replaced)
+// ---------------------------------------------------------------------------
+
+mod spawn {
+    //! The pre-pool scheduler, verbatim semantics: scoped threads per call,
+    //! one global `Mutex<Inner>` + `Condvar` ready queue, a shared atomic
+    //! counter for `parallel_for`. Retained as [`super::ExecBackend::SpawnPerCall`]
+    //! so `benches/pool.rs` can measure what the persistent pool buys.
+
+    use super::{entry, lock, RunStats, TaskPhase, TaskRecord};
+    use crate::graph::{QueuePolicy, TaskGraph, TaskId};
+    use crate::queue::{Entry, ReadyQueue};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex};
+    use std::time::Instant;
+
+    struct Inner {
+        ready: ReadyQueue,
+        pending: Vec<u32>,
+        conv_done: Vec<bool>,
+        completed: usize,
+        total: usize,
+        poisoned: bool,
+    }
+
+    struct Shared<'g> {
+        graph: &'g TaskGraph,
+        inner: Mutex<Inner>,
+        cv: Condvar,
+    }
+
+    impl Shared<'_> {
+        fn pop_blocking(&self) -> Option<Entry> {
+            let mut inner = lock(&self.inner);
+            loop {
+                if inner.poisoned {
+                    return None;
+                }
+                if let Some(e) = inner.ready.pop() {
+                    return Some(e);
+                }
+                if inner.completed == inner.total {
+                    return None;
+                }
+                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        fn poison(&self) {
+            let mut inner = lock(&self.inner);
+            inner.poisoned = true;
+            self.cv.notify_all();
+        }
+
+        fn complete(&self, task: TaskId, phase: TaskPhase) {
+            let graph = self.graph;
+            let mut inner = lock(&self.inner);
+            inner.completed += 1;
+            match phase {
+                TaskPhase::PrivateConvolve => {
+                    inner.conv_done[task] = true;
+                    if inner.pending[task] == 0 {
+                        inner.ready.push(entry(graph, task, TaskPhase::Reduce));
+                    }
+                }
+                TaskPhase::Normal | TaskPhase::Reduce => {
+                    for s in graph.succs(task) {
+                        inner.pending[s] -= 1;
+                        if inner.pending[s] == 0 {
+                            if graph.privatized(s) {
+                                if inner.conv_done[s] {
+                                    inner.ready.push(entry(graph, s, TaskPhase::Reduce));
+                                }
+                            } else {
+                                inner.ready.push(entry(graph, s, TaskPhase::Normal));
                             }
-                            // Otherwise the reduce is pushed when the
-                            // convolve phase completes.
-                        } else {
-                            inner.ready.push(Entry {
-                                weight: graph.weight(s),
-                                payload: (s as u64) * 4 + TaskPhase::Normal.encode(),
-                            });
                         }
                     }
                 }
             }
+            self.cv.notify_all();
         }
-        // Wake everyone: multiple entries may have become ready, and the
-        // termination condition must also be re-checked by all sleepers.
-        self.cv.notify_all();
-    }
-}
-
-/// A fixed-width thread team. Threads are spawned per call via scoped
-/// threads, so closures may borrow freely from the caller's stack.
-///
-/// ```
-/// use nufft_parallel::exec::Executor;
-/// use nufft_parallel::graph::{QueuePolicy, TaskGraph};
-/// use std::sync::atomic::{AtomicUsize, Ordering};
-///
-/// let graph = TaskGraph::new(&[3, 3]);
-/// let ran = AtomicUsize::new(0);
-/// Executor::new(2).run_graph(&graph, QueuePolicy::Priority, |_task, _phase, _worker| {
-///     ran.fetch_add(1, Ordering::Relaxed);
-/// });
-/// assert_eq!(ran.load(Ordering::Relaxed), 9); // every task ran exactly once
-/// ```
-#[derive(Clone, Copy, Debug)]
-pub struct Executor {
-    threads: usize,
-}
-
-impl Executor {
-    /// Creates an executor with `threads` workers.
-    ///
-    /// # Panics
-    /// Panics if `threads == 0`.
-    pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "need at least one worker");
-        Executor { threads }
     }
 
-    /// An executor sized to the host's available parallelism.
-    pub fn host() -> Self {
-        let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Executor::new(t)
-    }
-
-    /// Worker count.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Runs every task of `graph` exactly once, respecting dependency edges
-    /// and the privatization protocol. `task_fn(task, phase, worker)` is
-    /// called for each (task, phase) unit; the caller guarantees that the
-    /// work done under [`TaskPhase::Normal`]/[`TaskPhase::Reduce`] for
-    /// adjacent tasks touches the shared grid only within the task's own
-    /// partition halo (which the TDG then serializes correctly).
-    pub fn run_graph<F>(&self, graph: &TaskGraph, policy: QueuePolicy, task_fn: F) -> RunStats
+    pub(super) fn run_graph<F>(
+        threads: usize,
+        graph: &TaskGraph,
+        policy: QueuePolicy,
+        task_fn: &F,
+    ) -> RunStats
     where
         F: Fn(TaskId, TaskPhase, usize) + Sync,
     {
@@ -248,20 +869,11 @@ impl Executor {
             pending[t] = graph.pred_count(t) as u32;
             if graph.privatized(t) {
                 total += 2;
-                // Convolve phase is ready immediately regardless of edges.
-                ready.push(Entry {
-                    weight: graph.weight(t),
-                    payload: (t as u64) * 4 + TaskPhase::PrivateConvolve.encode(),
-                });
-                // A privatized task with no predecessors still must wait for
-                // its own convolve phase, handled via conv_done below.
+                ready.push(entry(graph, t, TaskPhase::PrivateConvolve));
             } else {
                 total += 1;
                 if pending[t] == 0 {
-                    ready.push(Entry {
-                        weight: graph.weight(t),
-                        payload: (t as u64) * 4 + TaskPhase::Normal.encode(),
-                    });
+                    ready.push(entry(graph, t, TaskPhase::Normal));
                 }
             }
         }
@@ -279,14 +891,13 @@ impl Executor {
         };
 
         let t0 = Instant::now();
-        let busy: Vec<Mutex<f64>> = (0..self.threads).map(|_| Mutex::new(0.0)).collect();
+        let busy: Vec<Mutex<f64>> = (0..threads).map(|_| Mutex::new(0.0)).collect();
         let logs: Vec<Mutex<Vec<TaskRecord>>> =
-            (0..self.threads).map(|_| Mutex::new(Vec::new())).collect();
+            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
         std::thread::scope(|scope| {
-            for w in 0..self.threads {
+            for w in 0..threads {
                 let shared = &shared;
-                let task_fn = &task_fn;
                 let busy = &busy[w];
                 let log = &logs[w];
                 scope.spawn(move || {
@@ -294,9 +905,6 @@ impl Executor {
                         let task = (e.payload / 4) as TaskId;
                         let phase = TaskPhase::decode(e.payload % 4);
                         let start = t0.elapsed().as_secs_f64();
-                        // A panicking task must not leave the other workers
-                        // blocked on the condvar: poison first, then let the
-                        // scope propagate the panic.
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             task_fn(task, phase, w)
                         }));
@@ -322,28 +930,14 @@ impl Executor {
         RunStats { makespan, worker_busy, log }
     }
 
-    /// Dynamic parallel loop over `0..n`: workers grab `grain`-sized chunks
-    /// from an atomic counter until the range is exhausted.
-    ///
-    /// # Panics
-    /// Panics if `grain == 0`.
-    pub fn parallel_for<F>(&self, n: usize, grain: usize, body: F)
+    pub(super) fn parallel_for<F>(threads: usize, n: usize, grain: usize, body: &F)
     where
         F: Fn(core::ops::Range<usize>, usize) + Sync,
     {
-        assert!(grain > 0, "grain must be positive");
-        if n == 0 {
-            return;
-        }
-        if self.threads == 1 {
-            body(0..n, 0);
-            return;
-        }
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for w in 0..self.threads {
+            for w in 0..threads {
                 let next = &next;
-                let body = &body;
                 scope.spawn(move || loop {
                     let start = next.fetch_add(grain, Ordering::Relaxed);
                     if start >= n {
@@ -354,6 +948,182 @@ impl Executor {
                 });
             }
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// A fixed-width worker team backed by a persistent pool. Clones share the
+/// pool; the last clone dropped joins the worker threads. Closures may
+/// borrow freely from the caller's stack — the dispatching thread blocks
+/// (and participates as worker 0) until the call completes.
+///
+/// ```
+/// use nufft_parallel::exec::Executor;
+/// use nufft_parallel::graph::{QueuePolicy, TaskGraph};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let graph = TaskGraph::new(&[3, 3]);
+/// let ran = AtomicUsize::new(0);
+/// Executor::new(2).run_graph(&graph, QueuePolicy::Priority, |_task, _phase, _worker| {
+///     ran.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(ran.load(Ordering::Relaxed), 9); // every task ran exactly once
+/// ```
+pub struct Executor {
+    threads: usize,
+    backend: ExecBackend,
+    /// Lazily populated worker pool; `None` under [`ExecBackend::SpawnPerCall`].
+    pool: Option<Arc<Pool>>,
+}
+
+impl Clone for Executor {
+    fn clone(&self) -> Self {
+        Executor { threads: self.threads, backend: self.backend, pool: self.pool.clone() }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `threads` resident workers (persistent
+    /// backend). The workers themselves are spawned lazily on the first
+    /// dispatch that can use them.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        Executor::with_backend(threads, ExecBackend::Persistent)
+    }
+
+    /// Creates an executor with an explicit scheduler backend — used by the
+    /// `pool` benchmark to A/B the persistent pool against the historical
+    /// spawn-per-call scheduler.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_backend(threads: usize, backend: ExecBackend) -> Self {
+        assert!(
+            threads > 0,
+            "executor needs at least one worker thread (got threads = 0); \
+             use Executor::host() to size from the machine"
+        );
+        let pool = match backend {
+            ExecBackend::Persistent => Some(Arc::new(Pool::new(threads))),
+            ExecBackend::SpawnPerCall => None,
+        };
+        Executor { threads, backend, pool }
+    }
+
+    /// An executor sized to the host's available parallelism (probed once
+    /// per process and cached — see [`Executor::host_threads`]).
+    pub fn host() -> Self {
+        Executor::new(Self::host_threads())
+    }
+
+    /// The host's available parallelism, probed once and cached for the
+    /// lifetime of the process.
+    pub fn host_threads() -> usize {
+        static HOST: OnceLock<usize> = OnceLock::new();
+        *HOST.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The scheduler backend in use.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Runs every task of `graph` exactly once, respecting dependency edges
+    /// and the privatization protocol. `task_fn(task, phase, worker)` is
+    /// called for each (task, phase) unit; the caller guarantees that the
+    /// work done under [`TaskPhase::Normal`]/[`TaskPhase::Reduce`] for
+    /// adjacent tasks touches the shared grid only within the task's own
+    /// partition halo (which the TDG then serializes correctly).
+    pub fn run_graph<F>(&self, graph: &TaskGraph, policy: QueuePolicy, task_fn: F) -> RunStats
+    where
+        F: Fn(TaskId, TaskPhase, usize) + Sync,
+    {
+        match self.backend {
+            ExecBackend::SpawnPerCall => spawn::run_graph(self.threads, graph, policy, &task_fn),
+            ExecBackend::Persistent => {
+                if self.threads == 1 || IN_POOL_JOB.with(|f| f.get()) {
+                    return run_graph_serial(graph, policy, &task_fn);
+                }
+                let pool = self.pool.as_ref().expect("persistent backend owns a pool");
+                let job = GraphJob::new(graph, policy, self.threads, &task_fn);
+                pool.dispatch(&job);
+                if let Some(payload) = lock(&job.panic_payload).take() {
+                    resume_unwind(payload);
+                }
+                job.into_stats()
+            }
+        }
+    }
+
+    /// Dynamic parallel loop over `0..n`: every worker starts with one
+    /// contiguous chunk and pops `grain`-sized pieces off its front; idle
+    /// workers steal the upper half of a victim's remainder.
+    ///
+    /// # Panics
+    /// Panics if `grain == 0`.
+    pub fn parallel_for<F>(&self, n: usize, grain: usize, body: F)
+    where
+        F: Fn(core::ops::Range<usize>, usize) + Sync,
+    {
+        self.parallel_for_aligned(n, grain, 1, body);
+    }
+
+    /// [`Executor::parallel_for`] with every chunk boundary (seed, pop and
+    /// steal split points) rounded to a multiple of `align`. Callers whose
+    /// bodies write `out[range]` contiguously pass the number of elements
+    /// per cache line so two workers never straddle — and hence
+    /// false-share — a line at a chunk boundary.
+    ///
+    /// # Panics
+    /// Panics if `grain == 0` or `align == 0`.
+    pub fn parallel_for_aligned<F>(&self, n: usize, grain: usize, align: usize, body: F)
+    where
+        F: Fn(core::ops::Range<usize>, usize) + Sync,
+    {
+        assert!(grain > 0, "grain must be positive");
+        assert!(align > 0, "align must be positive");
+        if n == 0 {
+            return;
+        }
+        if self.threads == 1 || n <= grain.max(align) || IN_POOL_JOB.with(|f| f.get()) {
+            body(0..n, 0);
+            return;
+        }
+        match self.backend {
+            ExecBackend::SpawnPerCall => {
+                // The shared-counter baseline: boundaries are multiples of
+                // the (align-rounded) grain, so alignment still holds.
+                spawn::parallel_for(self.threads, n, grain.next_multiple_of(align), &body);
+            }
+            ExecBackend::Persistent => {
+                let pool = self.pool.as_ref().expect("persistent backend owns a pool");
+                let job = ForJob::new(n, grain, align, self.threads, &body);
+                pool.dispatch(&job);
+                let payload = lock(&job.panic_payload).take();
+                if let Some(payload) = payload {
+                    resume_unwind(payload);
+                }
+            }
+        }
     }
 }
 
@@ -375,6 +1145,58 @@ mod tests {
             assert_eq!(c.load(Ordering::SeqCst), 1, "task {t}");
         }
         assert_eq!(stats.log.len(), graph.len());
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Several graph runs and loops on one executor must all work —
+        // the workers stay resident between calls.
+        let exec = Executor::new(3);
+        for _ in 0..5 {
+            let graph = TaskGraph::new(&[3, 3]);
+            let count = AtomicU32::new(0);
+            exec.run_graph(&graph, QueuePolicy::Priority, |_t, _p, _w| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 9);
+            let hits = AtomicU32::new(0);
+            exec.parallel_for(100, 7, |r, _w| {
+                hits.fetch_add(r.len() as u32, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = Executor::new(2);
+        let b = a.clone();
+        let graph = TaskGraph::new(&[4, 4]);
+        let count = AtomicU32::new(0);
+        a.run_graph(&graph, QueuePolicy::Fifo, |_t, _p, _w| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        b.run_graph(&graph, QueuePolicy::Fifo, |_t, _p, _w| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn spawn_backend_still_works() {
+        let graph = TaskGraph::new(&[4, 4]);
+        let exec = Executor::with_backend(3, ExecBackend::SpawnPerCall);
+        let count = AtomicU32::new(0);
+        let stats = exec.run_graph(&graph, QueuePolicy::Priority, |_t, _p, _w| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+        assert_eq!(stats.log.len(), 16);
+        let hits = AtomicU32::new(0);
+        exec.parallel_for(1000, 64, |r, _w| {
+            hits.fetch_add(r.len() as u32, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
     }
 
     #[test]
@@ -480,11 +1302,9 @@ mod tests {
     #[test]
     fn single_worker_priority_order_respects_weights() {
         // With one worker and all tasks independent (1×n grid has a chain,
-        // so use rank-0 tasks of a 1D row): build 1×7 grid — ranks alternate.
-        // Instead use a 7×1 grid: dims [7,1] -> 1D chain. For a pure
-        // independence test use dims [9] with every task rank 0? A 1D grid
-        // alternates ranks 0/1, so rank-0 tasks {0,2,4,...} are independent
-        // and should pop in weight order.
+        // so use rank-0 tasks of a 1D row): a 1D grid alternates ranks 0/1,
+        // so rank-0 tasks {0,2,4,...} are independent and should pop in
+        // weight order.
         let mut graph = TaskGraph::new(&[9]);
         let weights = [50u64, 0, 10, 0, 90, 0, 20, 0, 70];
         for (t, &w) in weights.iter().enumerate() {
@@ -533,6 +1353,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_for_aligned_boundaries_are_aligned() {
+        // Every range a worker receives must start on an align boundary
+        // (and end on one, except the final tail).
+        let n = 1037;
+        let align = 8;
+        let exec = Executor::new(4);
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let bad = AtomicU32::new(0);
+        exec.parallel_for_aligned(n, 5, align, |range, _w| {
+            if range.start % align != 0 || (range.end % align != 0 && range.end != n) {
+                bad.fetch_add(1, Ordering::SeqCst);
+            }
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(bad.load(Ordering::SeqCst), 0, "misaligned chunk boundary");
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
     fn parallel_for_empty_range_is_noop() {
         let exec = Executor::new(3);
         exec.parallel_for(0, 8, |_r, _w| panic!("must not be called"));
@@ -546,8 +1389,8 @@ mod tests {
 
     #[test]
     fn panicking_task_propagates_rather_than_deadlocking() {
-        // A panic inside one task must unwind out of run_graph (scoped
-        // threads propagate), never hang the other workers forever.
+        // A panic inside one task must unwind out of run_graph, never hang
+        // the other workers forever — and the pool must stay usable.
         let graph = TaskGraph::new(&[3, 3]);
         let exec = Executor::new(2);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -558,6 +1401,30 @@ mod tests {
             });
         }));
         assert!(result.is_err(), "panic was swallowed");
+        // The pool survives a poisoned run.
+        let count = AtomicU32::new(0);
+        exec.run_graph(&graph, QueuePolicy::Fifo, |_t, _p, _w| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn panicking_parallel_for_propagates_and_pool_survives() {
+        let exec = Executor::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.parallel_for(100, 3, |r, _w| {
+                if r.contains(&50) {
+                    panic!("injected loop failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+        let hits = AtomicU32::new(0);
+        exec.parallel_for(100, 3, |r, _w| {
+            hits.fetch_add(r.len() as u32, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
     }
 
     #[test]
@@ -578,5 +1445,49 @@ mod tests {
             hits.fetch_add(r.len() as u32, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn reentrant_calls_run_inline() {
+        // An executor call from inside a pool job must not deadlock; it
+        // degrades to a serial inline run.
+        let exec = Executor::new(2);
+        let inner_hits = AtomicU32::new(0);
+        exec.parallel_for(4, 1, |_r, _w| {
+            exec.parallel_for(10, 3, |r, _w2| {
+                inner_hits.fetch_add(r.len() as u32, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn host_threads_is_cached_and_positive() {
+        let a = Executor::host_threads();
+        let b = Executor::host_threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+        assert_eq!(Executor::host().threads(), a);
+    }
+
+    #[test]
+    fn backend_runs_produce_identical_task_sets() {
+        // Same graph through both backends: same (task, phase) multiset.
+        let mut graph = TaskGraph::new(&[4, 4]);
+        for t in 0..graph.len() {
+            graph.set_weight(t, (t as u64 * 37) % 100);
+            graph.set_privatized(t, t % 3 == 0);
+        }
+        let collect = |backend| {
+            let exec = Executor::with_backend(3, backend);
+            let log = Mutex::new(Vec::new());
+            exec.run_graph(&graph, QueuePolicy::Priority, |t, p, _w| {
+                lock(&log).push((t, p.encode()));
+            });
+            let mut v = log.into_inner().unwrap();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(ExecBackend::Persistent), collect(ExecBackend::SpawnPerCall));
     }
 }

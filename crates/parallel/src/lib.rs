@@ -12,12 +12,16 @@
 //!   backward edges per task, no global barrier (§III-B2);
 //! * [`queue`] — FIFO and priority (largest-task-first) ready queues
 //!   (§III-B3);
-//! * [`exec`] — a blocking-queue executor that runs a
-//!   [`TaskGraph`] on `T` threads, including the two-phase
+//! * [`exec`] — a **persistent worker-pool** executor that runs a
+//!   [`TaskGraph`] on `T` resident workers with per-worker ready-queue
+//!   shards and work stealing (dependency edges retire through per-task
+//!   atomic counters — no global lock), including the two-phase
 //!   *selective privatization* protocol (§III-B4): privatized tasks run their
 //!   convolution immediately into a private buffer and enqueue a reduction
-//!   that respects the TDG edges; plus a dynamic `parallel_for` used for the
-//!   forward (gather) convolution and FFT lines.
+//!   that respects the TDG edges; plus a work-stealing `parallel_for` used
+//!   for the forward (gather) convolution and FFT lines. The historical
+//!   spawn-per-call scheduler survives as [`ExecBackend::SpawnPerCall`]
+//!   for A/B measurement.
 //!
 //! Everything is instrumented: the executor returns per-worker busy times and
 //! a per-task execution log, which both the load-balance experiments and the
@@ -32,6 +36,6 @@ pub mod graph;
 pub mod gray;
 pub mod queue;
 
-pub use exec::{Executor, RunStats, TaskPhase};
+pub use exec::{ExecBackend, Executor, RunStats, TaskPhase};
 pub use graph::{QueuePolicy, TaskGraph, TaskId};
 pub use gray::{gray_code, gray_rank};

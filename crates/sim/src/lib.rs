@@ -8,12 +8,24 @@
 //! experiments can be run for 10/20/40 workers on any host — the development
 //! container for this reproduction has a single core.
 //!
-//! The simulator adds one effect the real executor exhibits but the
-//! dependency graph alone doesn't capture: the shared ready queue is a
-//! serial resource, so each dequeue charges a configurable
-//! [`CostModel::queue_overhead`] during which no other worker can dequeue.
-//! That contention term is what makes fixed-width partitioning (thousands of
-//! tiny tasks) stop scaling in Figure 11, so it must be modeled.
+//! Two scheduler models are provided, matching the two
+//! [`nufft_parallel::ExecBackend`]s:
+//!
+//! * [`simulate`] replays the **persistent sharded runtime**
+//!   (`ExecBackend::Persistent`): one ready-queue shard per worker, initial
+//!   seeds dealt round-robin in task order, a worker pops the policy-best
+//!   entry of its *own* shard and otherwise steals the policy-best entry of
+//!   the first non-empty victim scanning `(w+1) % T` upward; a completed
+//!   task's newly-ready successors land on the completing worker's own
+//!   shard. Each shard is its own serial resource: dequeues of the *same*
+//!   shard (owner pops and steals alike) serialize on
+//!   [`CostModel::queue_overhead`], dequeues of different shards proceed in
+//!   parallel — exactly the contention profile of per-shard mutexes.
+//! * [`simulate_shared_queue`] replays the historical spawn-per-call
+//!   scheduler (`ExecBackend::SpawnPerCall`): one global ready queue whose
+//!   dequeues serialize on a single resource. That global contention term
+//!   is what makes fixed-width partitioning (thousands of tiny tasks) stop
+//!   scaling in Figure 11, and is the cost the sharded runtime removes.
 //!
 //! Costs are supplied per (task, phase) by a [`CostModel`]; the repro
 //! harness calibrates [`LinearCost`] from real single-core measurements.
@@ -159,10 +171,18 @@ fn decode(payload: u64) -> (TaskId, TaskPhase) {
     ((payload / 4) as TaskId, phase)
 }
 
-/// Simulates `graph` on `workers` virtual workers under `policy`, with costs
-/// from `model`. Semantics match
-/// [`nufft_parallel::Executor::run_graph`] exactly (same readiness rules,
-/// same privatization protocol); ties in virtual time are broken
+/// Simulates `graph` on `workers` virtual workers under `policy`, replaying
+/// the **persistent sharded runtime**
+/// ([`nufft_parallel::Executor::run_graph`] with the default
+/// `ExecBackend::Persistent`): per-worker ready-queue shards with
+/// round-robin seeding (the k-th initially-ready unit, in task order, lands
+/// on shard `k % workers`), own-shard-first popping, and steals that take
+/// the policy-best entry of the first non-empty victim scanning `(w+1) % T`
+/// upward — so largest-first priority is preserved *per steal victim*, not
+/// globally. Newly-ready successors are pushed to the completing worker's
+/// own shard. Dequeues of the same shard serialize on
+/// [`CostModel::queue_overhead`] (the shard mutex); dequeues of different
+/// shards run in parallel. Ties in virtual time are broken
 /// deterministically, so results are reproducible.
 ///
 /// ```
@@ -177,6 +197,113 @@ fn decode(payload: u64) -> (TaskId, TaskPhase) {
 /// assert!(t4 < t1); // more virtual workers, shorter virtual makespan
 /// ```
 pub fn simulate(
+    graph: &TaskGraph,
+    policy: QueuePolicy,
+    workers: usize,
+    model: &dyn CostModel,
+) -> SimResult {
+    assert!(workers > 0, "need at least one virtual worker");
+    let n = graph.len();
+    // Merged readiness counters, as in the real executor: predecessor edges
+    // plus one extra for a privatized task's own convolve phase.
+    let mut pending: Vec<u32> = Vec::with_capacity(n);
+    let mut shards: Vec<ReadyQueue> = (0..workers).map(|_| ReadyQueue::new(policy)).collect();
+    let mut remaining = 0usize;
+    let mut seed = 0usize;
+    for t in 0..n {
+        let extra: u32 = if graph.privatized(t) { 1 } else { 0 };
+        pending.push(graph.pred_count(t) as u32 + extra);
+        remaining += 1 + extra as usize;
+        if graph.privatized(t) {
+            shards[seed % workers].push(Entry {
+                weight: graph.weight(t),
+                payload: encode(t, TaskPhase::PrivateConvolve),
+            });
+            seed += 1;
+        } else if graph.pred_count(t) == 0 {
+            shards[seed % workers]
+                .push(Entry { weight: graph.weight(t), payload: encode(t, TaskPhase::Normal) });
+            seed += 1;
+        }
+    }
+
+    let mut events: BinaryHeap<Reverse<FinishEvent>> = BinaryHeap::new();
+    let key = |t: f64| -> u64 { (t * 1e12) as u64 };
+    // Idle workers, deterministic pick order (earliest-free, then index).
+    let mut idle: Vec<(u64, usize)> = (0..workers).map(|w| (0u64, w)).collect();
+    // Per-shard serial dequeue resource (the shard's mutex).
+    let mut shard_free_at = vec![0.0f64; workers];
+    let mut busy = vec![0.0f64; workers];
+    let mut timeline = Vec::with_capacity(remaining);
+    let mut makespan = 0.0f64;
+    let mut now = 0.0f64;
+
+    loop {
+        // Assign work to idle workers: each picks its own shard first, then
+        // steals scanning (w+1) % T — the executor's exact victim order.
+        idle.sort_unstable();
+        let mut still_idle = Vec::new();
+        for &(tfree_k, w) in &idle {
+            let tfree = tfree_k as f64 / 1e12;
+            let victim = (0..workers).map(|d| (w + d) % workers).find(|&v| !shards[v].is_empty());
+            let Some(v) = victim else {
+                still_idle.push((tfree_k, w));
+                continue;
+            };
+            let e = shards[v].pop().expect("checked non-empty");
+            let (task, phase) = decode(e.payload);
+            // The dequeue serializes on the victim shard's mutex; it cannot
+            // begin before the work became ready (`now`).
+            let pop_start = tfree.max(now).max(shard_free_at[v]);
+            let start = pop_start + model.queue_overhead();
+            shard_free_at[v] = start;
+            let dur = model.cost(graph, task, phase);
+            let end = start + dur;
+            busy[w] += dur;
+            timeline.push(SimRecord { task, phase, worker: w, start, end });
+            events.push(Reverse(FinishEvent { time: end, worker: w, task, phase }));
+        }
+        idle = still_idle;
+
+        let Some(Reverse(ev)) = events.pop() else { break };
+        makespan = makespan.max(ev.time);
+        now = ev.time;
+        idle.push((key(ev.time), ev.worker));
+        remaining -= 1;
+
+        // Completion bookkeeping (mirrors GraphJob::complete): retire one
+        // prerequisite per edge; the last retirement publishes the task to
+        // the completing worker's own shard.
+        let mut retire = |t: TaskId, shards: &mut Vec<ReadyQueue>| {
+            pending[t] -= 1;
+            if pending[t] == 0 {
+                let phase = if graph.privatized(t) { TaskPhase::Reduce } else { TaskPhase::Normal };
+                shards[ev.worker]
+                    .push(Entry { weight: graph.weight(t), payload: encode(t, phase) });
+            }
+        };
+        match ev.phase {
+            TaskPhase::PrivateConvolve => retire(ev.task, &mut shards),
+            TaskPhase::Normal | TaskPhase::Reduce => {
+                for s in graph.succs(ev.task) {
+                    retire(s, &mut shards);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(remaining, 0, "simulation finished with unscheduled work");
+
+    timeline.sort_by(|a, b| a.start.total_cmp(&b.start));
+    SimResult { makespan, worker_busy: busy, timeline }
+}
+
+/// Simulates `graph` under the historical **spawn-per-call** scheduler
+/// (`ExecBackend::SpawnPerCall`): one global ready queue, every dequeue
+/// serialized on a single [`CostModel::queue_overhead`] resource. This is
+/// the baseline the sharded runtime of [`simulate`] is measured against —
+/// its global contention term caps the scaling of many-tiny-task
+/// partitionings (Figure 11).
+pub fn simulate_shared_queue(
     graph: &TaskGraph,
     policy: QueuePolicy,
     workers: usize,
@@ -443,15 +570,34 @@ mod tests {
     #[test]
     fn priority_queue_beats_fifo_on_skewed_weights() {
         // The Figure 12 (B vs C) mechanism: with many workers, starting the
-        // heavy chain early reduces makespan.
+        // heavy chain early reduces makespan. Asserted on the shared-queue
+        // replay, where the policy acts globally (the paper's setting); the
+        // sharded runtime only preserves the policy per shard, so the
+        // contrast there is weaker and schedule-dependent.
+        let g = skewed_graph(9);
+        let model =
+            LinearCost { per_task: 2.0, per_sample: 1.0, reduce_per_sample: 0.1, queue_cost: 0.05 };
+        let fifo = simulate_shared_queue(&g, QueuePolicy::Fifo, 16, &model).makespan;
+        let prio = simulate_shared_queue(&g, QueuePolicy::Priority, 16, &model).makespan;
+        assert!(
+            prio <= fifo * 1.001,
+            "priority ({prio}) should not lose to FIFO ({fifo}) on skewed weights"
+        );
+    }
+
+    #[test]
+    fn sharded_priority_still_prefers_heavy_tasks_locally() {
+        // Largest-first survives sharding in the weaker, per-victim form:
+        // under the sharded replay a skewed graph must not schedule
+        // substantially worse with Priority than with Fifo.
         let g = skewed_graph(9);
         let model =
             LinearCost { per_task: 2.0, per_sample: 1.0, reduce_per_sample: 0.1, queue_cost: 0.05 };
         let fifo = simulate(&g, QueuePolicy::Fifo, 16, &model).makespan;
         let prio = simulate(&g, QueuePolicy::Priority, 16, &model).makespan;
         assert!(
-            prio <= fifo * 1.001,
-            "priority ({prio}) should not lose to FIFO ({fifo}) on skewed weights"
+            prio <= fifo * 1.10,
+            "per-shard priority ({prio}) should stay within 10% of FIFO ({fifo})"
         );
     }
 
@@ -491,21 +637,38 @@ mod tests {
 
     #[test]
     fn queue_contention_caps_scaling_of_tiny_tasks() {
-        // The Figure 11 mechanism: thousands of tiny tasks serialize on the
-        // shared queue; fewer, larger tasks keep scaling.
+        // The Figure 11 mechanism, on the shared-queue baseline where it
+        // lives: thousands of tiny tasks serialize on the one global queue;
+        // fewer, larger tasks keep scaling.
         let tiny = uniform_graph(&[20, 20], 1);
         let chunky = uniform_graph(&[4, 4], 25);
         let model =
             LinearCost { per_task: 0.1, per_sample: 1.0, reduce_per_sample: 0.0, queue_cost: 0.4 };
         let s = |g: &TaskGraph, w: usize| {
-            simulate(g, QueuePolicy::Priority, 1, &model).makespan
-                / simulate(g, QueuePolicy::Priority, w, &model).makespan
+            simulate_shared_queue(g, QueuePolicy::Priority, 1, &model).makespan
+                / simulate_shared_queue(g, QueuePolicy::Priority, w, &model).makespan
         };
         let tiny_speedup = s(&tiny, 16);
         let chunky_speedup = s(&chunky, 16);
         assert!(
             chunky_speedup > tiny_speedup,
             "chunky {chunky_speedup} should out-scale tiny {tiny_speedup}"
+        );
+    }
+
+    #[test]
+    fn sharded_queues_remove_the_global_contention_cap() {
+        // The point of the persistent runtime: on the many-tiny-task graph
+        // whose scaling the global queue caps, per-worker shards dequeue in
+        // parallel and the makespan drops.
+        let tiny = uniform_graph(&[20, 20], 1);
+        let model =
+            LinearCost { per_task: 0.1, per_sample: 1.0, reduce_per_sample: 0.0, queue_cost: 0.4 };
+        let shared = simulate_shared_queue(&tiny, QueuePolicy::Priority, 16, &model).makespan;
+        let sharded = simulate(&tiny, QueuePolicy::Priority, 16, &model).makespan;
+        assert!(
+            sharded < 0.75 * shared,
+            "sharded dequeues ({sharded}) should beat the global queue ({shared}) well past noise"
         );
     }
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Runs the FFT and operator benchmarks and summarizes the FFT execution-path
-# sweep into BENCH_fft.json at the repo root (medians per {case}/{isa}/{path}
-# arm plus the batched-AVX2 vs per-line-scalar speedups; written by the fft
-# bench itself — see crates/bench/benches/fft.rs).
+# Runs the FFT, operator, and runtime benchmarks. Two JSON summaries land at
+# the repo root, each written by its bench binary:
+#   BENCH_fft.json   — FFT execution-path sweep (crates/bench/benches/fft.rs)
+#   BENCH_pool.json  — persistent-pool vs spawn-per-call operator applies
+#                      (crates/bench/benches/pool.rs)
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
@@ -22,5 +23,11 @@ cargo bench --offline --bench fft
 echo "== bench: operators =="
 cargo bench --offline --bench operators
 
+echo "== bench: pool (persistent runtime vs spawn-per-call baseline) =="
+cargo bench --offline --bench pool
+
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
+
+echo "== BENCH_pool.json =="
+cat BENCH_pool.json

@@ -23,6 +23,12 @@ cargo build --release --offline --all-targets
 echo "== test (offline) =="
 cargo test -q --offline
 
+echo "== parallel stress (oversubscribed, 16 workers) =="
+# The steal_stress suite widens the schedule space with randomized per-task
+# delays; 16 workers oversubscribe the runner so parking/stealing paths get
+# exercised under real preemption.
+NUFFT_THREADS=16 cargo test -q --offline -p nufft-parallel
+
 echo "== clippy (deny warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -30,7 +36,7 @@ else
     echo "clippy not installed; skipping"
 fi
 
-echo "== bench smoke (fft + operators, fast mode) =="
+echo "== bench smoke (fft + operators + pool, fast mode) =="
 scripts/bench.sh --quick
 
 echo "CI OK"

@@ -86,6 +86,67 @@ fn adjoint_grid_is_stable_across_repeated_racy_runs() {
     }
 }
 
+/// Repeated applies on a *reused* plan — and hence a reused persistent
+/// worker pool — must match a fresh plan bit-for-bit: the pool carries no
+/// state across applies (grids are re-zeroed, private buffers refilled,
+/// shards drained to empty at quiescence).
+#[test]
+fn repeated_applies_on_a_reused_pool_match_a_fresh_plan() {
+    let (traj, samples) = seeded_problem(1000, 0xDE7E_0004);
+    let n = [12usize, 12, 12];
+    for threads in [1usize, 2, 4] {
+        let cfg = NufftConfig {
+            threads,
+            w: 3.0,
+            policy: QueuePolicy::Priority,
+            privatization: true,
+            partitions_per_dim: Some(4),
+            ..NufftConfig::default()
+        };
+        let fresh = adjoint_grid(&traj, &samples, threads, QueuePolicy::Priority, true);
+        let mut reused = NufftPlan::new(n, &traj, cfg);
+        for apply in 0..3 {
+            let mut grid = vec![Complex32::ZERO; 12 * 12 * 12];
+            reused.adjoint(&samples, &mut grid);
+            assert_bit_identical(
+                &fresh,
+                &grid,
+                &format!("threads={threads}, reused-pool apply {apply}"),
+            );
+        }
+    }
+}
+
+/// The persistent pool and the retained spawn-per-call baseline must agree
+/// to the bit: the TDG fixes the summation order, not the scheduler. This
+/// is what makes the `pool` benchmark an apples-to-apples comparison.
+#[test]
+fn persistent_and_spawn_backends_agree_bitwise() {
+    use nufft::parallel::ExecBackend;
+    let (traj, samples) = seeded_problem(900, 0xDE7E_0005);
+    let n = [12usize, 12, 12];
+    let grid_for = |backend: ExecBackend| {
+        let cfg = NufftConfig {
+            threads: 4,
+            w: 3.0,
+            policy: QueuePolicy::Priority,
+            privatization: true,
+            partitions_per_dim: Some(4),
+            backend,
+            ..NufftConfig::default()
+        };
+        let mut plan = NufftPlan::new(n, &traj, cfg);
+        let mut grid = vec![Complex32::ZERO; 12 * 12 * 12];
+        plan.adjoint(&samples, &mut grid);
+        grid
+    };
+    assert_bit_identical(
+        &grid_for(ExecBackend::Persistent),
+        &grid_for(ExecBackend::SpawnPerCall),
+        "persistent vs spawn-per-call backend",
+    );
+}
+
 /// The privatized-convolution partial results (per-task private buffers)
 /// must reduce into the same grid the non-privatized path writes — the
 /// privatization protocol only changes *when* work happens, never *what*

@@ -14,7 +14,7 @@
 //! Table IV comparison isolates the *parallelization strategy*, not scalar
 //! vs vector code.
 
-use nufft_core::conv::{adjoint_scatter, Window};
+use nufft_core::conv::{adjoint_scatter, win_refs, Window};
 use nufft_core::grid::{extract_scaled, Geometry};
 use nufft_core::kernel::{beatty_beta, KbKernel};
 use nufft_core::scale::build_scale;
@@ -117,7 +117,7 @@ impl<const D: usize> PrivatizedAdjoint<D> {
                         for p in start..end {
                             let win: [Window; D] =
                                 core::array::from_fn(|d| Window::compute(coords[p][d], w, kernel));
-                            adjoint_scatter(grid, m, &win, samples[p]);
+                            adjoint_scatter(grid, m, &win_refs(&win), samples[p]);
                         }
                     });
                 }

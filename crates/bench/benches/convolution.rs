@@ -2,7 +2,7 @@
 //! per-sample scatter/gather at the paper's kernel widths. Runs on the
 //! `nufft-testkit` harness.
 
-use nufft_core::conv::{adjoint_scatter, forward_gather, Window};
+use nufft_core::conv::{adjoint_scatter, forward_gather, win_refs, Window};
 use nufft_core::kernel::KbKernel;
 use nufft_math::Complex32;
 use nufft_simd::{detect_isa, set_isa_override, IsaLevel};
@@ -61,7 +61,7 @@ fn bench_sample_conv() {
                 let win: [Window; 3] = core::array::from_fn(|d| {
                     Window::compute(u + d as f32 * 7.3, wrad as f32, &kernel)
                 });
-                adjoint_scatter(&mut grid, &m, &win, Complex32::new(1.0, 0.5));
+                adjoint_scatter(&mut grid, &m, &win_refs(&win), Complex32::new(1.0, 0.5));
             })
         });
         g.bench_function(format!("forward_gather_w{wrad}"), |b| {
@@ -70,7 +70,7 @@ fn bench_sample_conv() {
                 let win: [Window; 3] = core::array::from_fn(|d| {
                     Window::compute(u + d as f32 * 7.3, wrad as f32, &kernel)
                 });
-                black_box(forward_gather(&grid, &m, &win))
+                black_box(forward_gather(&grid, &m, &win_refs(&win)))
             })
         });
     }

@@ -15,7 +15,7 @@
 
 use crate::kernel::KbKernel;
 use nufft_math::Complex32;
-use nufft_simd::{gather_row, scatter_row, scatter_row2};
+use nufft_simd::{gather_row, gather_row2, scatter_row, scatter_row2};
 
 /// Maximum taps per dimension: `2W+1` with the paper's largest `W = 8`.
 pub const MAX_TAPS: usize = 17;
@@ -33,6 +33,10 @@ pub struct Window {
 }
 
 impl Window {
+    /// An empty window — staging storage for drivers that overwrite it
+    /// per sample before use.
+    pub const EMPTY: Window = Window { start: 0, len: 0, w: [0.0; MAX_TAPS] };
+
     /// Part 1 for one coordinate: neighbor range and LUT weights.
     ///
     /// `wrad` is the kernel radius `W`; `u` must lie in `[0, M)`. The
@@ -49,6 +53,45 @@ impl Window {
         kernel.eval_lut_row(x1, len, u, &mut w);
         Window { start: x1, len, w }
     }
+
+    /// Borrowed view of this window — the form the Part 2 kernels consume.
+    #[inline]
+    pub fn as_ref(&self) -> WinRef<'_> {
+        WinRef { start: self.start, w: &self.w[..self.len] }
+    }
+}
+
+/// A borrowed one-dimensional window: first neighbor index plus the live
+/// weight row. This is the common currency of the Part 2 convolution
+/// kernels — it views either a freshly computed [`Window`] (on-the-fly
+/// Part 1) or a row of a plan-owned precomputed window table, so both
+/// sources share one execution path.
+#[derive(Clone, Copy, Debug)]
+pub struct WinRef<'a> {
+    /// First (unwrapped) neighbor index; wrapping is Part 2's job.
+    pub start: i32,
+    /// Kernel weights, one per tap (`w.len()` taps).
+    pub w: &'a [f32],
+}
+
+impl WinRef<'_> {
+    /// Number of taps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True for a zero-tap window.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+}
+
+/// Borrows a full D-dimensional window stack.
+#[inline]
+pub fn win_refs<const D: usize>(win: &[Window; D]) -> [WinRef<'_>; D] {
+    core::array::from_fn(|d| win[d].as_ref())
 }
 
 #[inline(always)]
@@ -63,16 +106,17 @@ fn scatter_wrapped_row(
     grid: &mut [Complex32],
     row_base: usize,
     m_last: usize,
-    wz: &Window,
+    wz: WinRef<'_>,
     val: Complex32,
 ) {
+    let n = wz.len();
     let z0 = wrap(wz.start, m_last);
-    if z0 + wz.len <= m_last {
-        scatter_row(&mut grid[row_base + z0..row_base + z0 + wz.len], &wz.w[..wz.len], val);
+    if z0 + n <= m_last {
+        scatter_row(&mut grid[row_base + z0..row_base + z0 + n], wz.w, val);
     } else {
         let first = m_last - z0;
         scatter_row(&mut grid[row_base + z0..row_base + m_last], &wz.w[..first], val);
-        scatter_row(&mut grid[row_base..row_base + wz.len - first], &wz.w[first..wz.len], val);
+        scatter_row(&mut grid[row_base..row_base + n - first], &wz.w[first..], val);
     }
 }
 
@@ -82,16 +126,53 @@ fn gather_wrapped_row(
     grid: &[Complex32],
     row_base: usize,
     m_last: usize,
-    wz: &Window,
+    wz: WinRef<'_>,
 ) -> Complex32 {
+    let n = wz.len();
     let z0 = wrap(wz.start, m_last);
-    if z0 + wz.len <= m_last {
-        gather_row(&grid[row_base + z0..row_base + z0 + wz.len], &wz.w[..wz.len])
+    if z0 + n <= m_last {
+        gather_row(&grid[row_base + z0..row_base + z0 + n], wz.w)
     } else {
         let first = m_last - z0;
         let a = gather_row(&grid[row_base + z0..row_base + m_last], &wz.w[..first]);
-        let b = gather_row(&grid[row_base..row_base + wz.len - first], &wz.w[first..wz.len]);
+        let b = gather_row(&grid[row_base..row_base + n - first], &wz.w[first..]);
         a + b
+    }
+}
+
+/// [`gather_wrapped_row`] over two channel grids sharing one weight row —
+/// bitwise-equal per channel to two independent one-grid gathers (the
+/// `gather_row2` kernels guarantee it per row, and the wrap split adds the
+/// two segments in the same order).
+#[inline(always)]
+fn gather_wrapped_row2(
+    ga: &[Complex32],
+    gb: &[Complex32],
+    row_base: usize,
+    m_last: usize,
+    wz: WinRef<'_>,
+) -> (Complex32, Complex32) {
+    let n = wz.len();
+    let z0 = wrap(wz.start, m_last);
+    if z0 + n <= m_last {
+        gather_row2(
+            &ga[row_base + z0..row_base + z0 + n],
+            &gb[row_base + z0..row_base + z0 + n],
+            wz.w,
+        )
+    } else {
+        let first = m_last - z0;
+        let (a0, b0) = gather_row2(
+            &ga[row_base + z0..row_base + m_last],
+            &gb[row_base + z0..row_base + m_last],
+            &wz.w[..first],
+        );
+        let (a1, b1) = gather_row2(
+            &ga[row_base..row_base + n - first],
+            &gb[row_base..row_base + n - first],
+            &wz.w[first..],
+        );
+        (a0 + a1, b0 + b1)
     }
 }
 
@@ -101,30 +182,31 @@ fn gather_wrapped_row(
 pub fn adjoint_scatter<const D: usize>(
     grid: &mut [Complex32],
     m: &[usize; D],
-    win: &[Window; D],
+    win: &[WinRef<'_>; D],
     val: Complex32,
 ) {
     match D {
-        1 => scatter_wrapped_row(grid, 0, m[0], &win[0], val),
+        1 => scatter_wrapped_row(grid, 0, m[0], win[0], val),
         2 => {
-            for ix in 0..win[0].len {
+            for ix in 0..win[0].len() {
                 let gx = wrap(win[0].start + ix as i32, m[0]);
                 let f = val.scale(win[0].w[ix]);
-                scatter_wrapped_row(grid, gx * m[1], m[1], &win[1], f);
+                scatter_wrapped_row(grid, gx * m[1], m[1], win[1], f);
             }
         }
         3 => {
             // Small-W fast path (§III-C "SIMD across several y iterations"):
             // when the z-row does not wrap, fuse pairs of y-rows through
             // scatter_row2 so one weight-expansion feeds two FMA rows.
+            let lz = win[2].len();
             let z0 = wrap(win[2].start, m[2]);
-            let z_contiguous = z0 + win[2].len <= m[2];
-            for ix in 0..win[0].len {
+            let z_contiguous = z0 + lz <= m[2];
+            for ix in 0..win[0].len() {
                 let gx = wrap(win[0].start + ix as i32, m[0]);
                 let fx = win[0].w[ix];
                 let mut iy = 0;
                 if z_contiguous {
-                    while iy + 2 <= win[1].len {
+                    while iy + 2 <= win[1].len() {
                         let gy0 = wrap(win[1].start + iy as i32, m[1]);
                         let gy1 = wrap(win[1].start + (iy + 1) as i32, m[1]);
                         let f0 = val.scale(fx * win[1].w[iy]);
@@ -137,18 +219,18 @@ pub fn adjoint_scatter<const D: usize>(
                         let (r0, r1) = unsafe {
                             let base = grid.as_mut_ptr();
                             (
-                                core::slice::from_raw_parts_mut(base.add(b0), win[2].len),
-                                core::slice::from_raw_parts_mut(base.add(b1), win[2].len),
+                                core::slice::from_raw_parts_mut(base.add(b0), lz),
+                                core::slice::from_raw_parts_mut(base.add(b1), lz),
                             )
                         };
-                        scatter_row2(r0, f0, r1, f1, &win[2].w[..win[2].len]);
+                        scatter_row2(r0, f0, r1, f1, win[2].w);
                         iy += 2;
                     }
                 }
-                while iy < win[1].len {
+                while iy < win[1].len() {
                     let gy = wrap(win[1].start + iy as i32, m[1]);
                     let f = val.scale(fx * win[1].w[iy]);
-                    scatter_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], &win[2], f);
+                    scatter_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], win[2], f);
                     iy += 1;
                 }
             }
@@ -163,31 +245,78 @@ pub fn adjoint_scatter<const D: usize>(
 pub fn forward_gather<const D: usize>(
     grid: &[Complex32],
     m: &[usize; D],
-    win: &[Window; D],
+    win: &[WinRef<'_>; D],
 ) -> Complex32 {
     match D {
-        1 => gather_wrapped_row(grid, 0, m[0], &win[0]),
+        1 => gather_wrapped_row(grid, 0, m[0], win[0]),
         2 => {
             let mut acc = Complex32::ZERO;
-            for ix in 0..win[0].len {
+            for ix in 0..win[0].len() {
                 let gx = wrap(win[0].start + ix as i32, m[0]);
-                let row = gather_wrapped_row(grid, gx * m[1], m[1], &win[1]);
+                let row = gather_wrapped_row(grid, gx * m[1], m[1], win[1]);
                 acc += row.scale(win[0].w[ix]);
             }
             acc
         }
         3 => {
             let mut acc = Complex32::ZERO;
-            for ix in 0..win[0].len {
+            for ix in 0..win[0].len() {
                 let gx = wrap(win[0].start + ix as i32, m[0]);
                 let fx = win[0].w[ix];
-                for iy in 0..win[1].len {
+                for iy in 0..win[1].len() {
                     let gy = wrap(win[1].start + iy as i32, m[1]);
-                    let row = gather_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], &win[2]);
+                    let row = gather_wrapped_row(grid, (gx * m[1] + gy) * m[2], m[2], win[2]);
                     acc += row.scale(fx * win[1].w[iy]);
                 }
             }
             acc
+        }
+        _ => unimplemented!("dimensions above 3 are not supported"),
+    }
+}
+
+/// Channel-paired forward gather: one sample's window applied to two grids
+/// at once, amortizing the Part 1 lookup and the weight expansion across
+/// channels (the multi-channel forward driver's inner step).
+///
+/// Bitwise-equal per channel to two independent [`forward_gather`] calls:
+/// each channel's accumulator sees the identical operation sequence, and
+/// the paired row kernels guarantee per-row equality at every ISA level.
+#[inline]
+pub fn forward_gather2<const D: usize>(
+    ga: &[Complex32],
+    gb: &[Complex32],
+    m: &[usize; D],
+    win: &[WinRef<'_>; D],
+) -> (Complex32, Complex32) {
+    match D {
+        1 => gather_wrapped_row2(ga, gb, 0, m[0], win[0]),
+        2 => {
+            let mut acc_a = Complex32::ZERO;
+            let mut acc_b = Complex32::ZERO;
+            for ix in 0..win[0].len() {
+                let gx = wrap(win[0].start + ix as i32, m[0]);
+                let (ra, rb) = gather_wrapped_row2(ga, gb, gx * m[1], m[1], win[1]);
+                acc_a += ra.scale(win[0].w[ix]);
+                acc_b += rb.scale(win[0].w[ix]);
+            }
+            (acc_a, acc_b)
+        }
+        3 => {
+            let mut acc_a = Complex32::ZERO;
+            let mut acc_b = Complex32::ZERO;
+            for ix in 0..win[0].len() {
+                let gx = wrap(win[0].start + ix as i32, m[0]);
+                let fx = win[0].w[ix];
+                for iy in 0..win[1].len() {
+                    let gy = wrap(win[1].start + iy as i32, m[1]);
+                    let base = (gx * m[1] + gy) * m[2];
+                    let (ra, rb) = gather_wrapped_row2(ga, gb, base, m[2], win[2]);
+                    acc_a += ra.scale(fx * win[1].w[iy]);
+                    acc_b += rb.scale(fx * win[1].w[iy]);
+                }
+            }
+            (acc_a, acc_b)
         }
         _ => unimplemented!("dimensions above 3 are not supported"),
     }
@@ -204,33 +333,33 @@ pub fn adjoint_scatter_local<const D: usize>(
     buf: &mut [Complex32],
     origin: &[i32; D],
     size: &[usize; D],
-    win: &[Window; D],
+    win: &[WinRef<'_>; D],
     val: Complex32,
 ) {
     match D {
         1 => {
             let l0 = (win[0].start - origin[0]) as usize;
-            scatter_row(&mut buf[l0..l0 + win[0].len], &win[0].w[..win[0].len], val);
+            scatter_row(&mut buf[l0..l0 + win[0].len()], win[0].w, val);
         }
         2 => {
             let ly = (win[1].start - origin[1]) as usize;
-            for ix in 0..win[0].len {
+            for ix in 0..win[0].len() {
                 let lx = (win[0].start - origin[0]) as usize + ix;
                 let f = val.scale(win[0].w[ix]);
                 let base = lx * size[1] + ly;
-                scatter_row(&mut buf[base..base + win[1].len], &win[1].w[..win[1].len], f);
+                scatter_row(&mut buf[base..base + win[1].len()], win[1].w, f);
             }
         }
         3 => {
             let lz = (win[2].start - origin[2]) as usize;
-            for ix in 0..win[0].len {
+            for ix in 0..win[0].len() {
                 let lx = (win[0].start - origin[0]) as usize + ix;
                 let fx = win[0].w[ix];
-                for iy in 0..win[1].len {
+                for iy in 0..win[1].len() {
                     let ly = (win[1].start - origin[1]) as usize + iy;
                     let f = val.scale(fx * win[1].w[iy]);
                     let base = (lx * size[1] + ly) * size[2] + lz;
-                    scatter_row(&mut buf[base..base + win[2].len], &win[2].w[..win[2].len], f);
+                    scatter_row(&mut buf[base..base + win[2].len()], win[2].w, f);
                 }
             }
         }
@@ -363,9 +492,9 @@ mod tests {
         let m = [16usize];
         let mut grid = vec![Complex32::ZERO; 16];
         let win = [Window::compute(7.4, 2.0, &k)];
-        adjoint_scatter(&mut grid, &m, &win, Complex32::ONE);
+        adjoint_scatter(&mut grid, &m, &win_refs(&win), Complex32::ONE);
         // gather at the same point returns Σ w².
-        let got = forward_gather(&grid, &m, &win);
+        let got = forward_gather(&grid, &m, &win_refs(&win));
         let want: f32 = win[0].w[..win[0].len].iter().map(|x| x * x).sum();
         assert!((got.re - want).abs() < 1e-6 && got.im.abs() < 1e-9);
     }
@@ -376,7 +505,7 @@ mod tests {
         let m = [16usize];
         let mut grid = vec![Complex32::ZERO; 16];
         let win = [Window::compute(0.5, 2.0, &k)];
-        adjoint_scatter(&mut grid, &m, &win, Complex32::ONE);
+        adjoint_scatter(&mut grid, &m, &win_refs(&win), Complex32::ONE);
         // Taps at −1,0,1,2 → grid 15,0,1,2.
         assert!(grid[15].re > 0.0);
         assert!(grid[0].re > 0.0);
@@ -400,7 +529,7 @@ mod tests {
             Window::compute(0.1, 2.0, &k),
         ];
         let val = Complex32::new(2.0, -1.0);
-        adjoint_scatter(&mut grid, &m, &win, val);
+        adjoint_scatter(&mut grid, &m, &win_refs(&win), val);
         let mass: Complex32 = grid.iter().copied().sum();
         let wsum: f32 = (0..3).map(|d| win[d].w[..win[d].len].iter().sum::<f32>()).product();
         assert!((mass.re - val.re * wsum).abs() < 1e-4);
@@ -425,12 +554,12 @@ mod tests {
             Window::compute(3.4, 2.0, &k),
         ];
         let mut ga = vec![Complex32::ZERO; 512];
-        adjoint_scatter(&mut ga, &m, &win_a, Complex32::ONE);
+        adjoint_scatter(&mut ga, &m, &win_refs(&win_a), Complex32::ONE);
         let mut gb = vec![Complex32::ZERO; 512];
-        adjoint_scatter(&mut gb, &m, &win_b, Complex32::ONE);
+        adjoint_scatter(&mut gb, &m, &win_refs(&win_b), Complex32::ONE);
         // ⟨A e, B e⟩ both ways.
-        let ab = forward_gather(&ga, &m, &win_b).re;
-        let ba = forward_gather(&gb, &m, &win_a).re;
+        let ab = forward_gather(&ga, &m, &win_refs(&win_b)).re;
+        let ba = forward_gather(&gb, &m, &win_refs(&win_a)).re;
         assert!((ab - ba).abs() < 1e-5, "{ab} vs {ba}");
     }
 
@@ -449,13 +578,13 @@ mod tests {
             Window::compute(0.2, 2.0, &k),
         ];
         let val = Complex32::new(1.0, 2.0);
-        adjoint_scatter_local(&mut buf, &origin, &size, &win, val);
+        adjoint_scatter_local(&mut buf, &origin, &size, &win_refs(&win), val);
 
         let mut via_private = vec![Complex32::ZERO; 512];
         reduce_local(&mut via_private, &m, &buf, &origin, &size);
 
         let mut direct = vec![Complex32::ZERO; 512];
-        adjoint_scatter(&mut direct, &m, &win, val);
+        adjoint_scatter(&mut direct, &m, &win_refs(&win), val);
 
         for (i, (a, b)) in via_private.iter().zip(&direct).enumerate() {
             assert!(
@@ -471,7 +600,7 @@ mod tests {
         let m = [8usize, 8];
         let grid = vec![Complex32::new(3.0, 0.0); 64];
         let win = [Window::compute(3.3, 2.0, &k), Window::compute(6.8, 2.0, &k)];
-        let got = forward_gather(&grid, &m, &win);
+        let got = forward_gather(&grid, &m, &win_refs(&win));
         let want: f32 = 3.0
             * win[0].w[..win[0].len].iter().sum::<f32>()
             * win[1].w[..win[1].len].iter().sum::<f32>();

@@ -55,6 +55,8 @@ pub mod partition;
 pub mod plan;
 pub mod scale;
 pub mod tasks;
+pub mod windows;
 
 pub use kernel::{InterpKernel, KbKernel, KernelChoice};
 pub use plan::{NufftConfig, NufftPlan, OpTimers};
+pub use windows::{WindowMode, WindowTable};

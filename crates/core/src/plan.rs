@@ -3,7 +3,8 @@
 //! [`NufftPlan`] owns everything an iterative solver reuses across calls:
 //! the Kaiser–Bessel kernel and LUT, the roll-off/chop scale array, FFT
 //! plans, the oversampled grid workspace, the partitioning + task graph +
-//! sample reordering, and the privatized tasks' halo buffers. The two
+//! sample reordering, the privatized tasks' halo buffers, the (optional)
+//! precomputed window table, and per-worker scratch arenas. The two
 //! operators are exact adjoints of each other:
 //!
 //! * [`NufftPlan::forward`] (the paper's FWD, MRI "type 2"):
@@ -12,19 +13,37 @@
 //!   scatter interpolation → oversampled inverse FFT (unnormalized) →
 //!   scale.
 //!
+//! All four operators (single and batched, forward and adjoint) run through
+//! *one* convolution engine: a gather driver (dynamic chunked loop) and a
+//! scatter driver (task-graph traversal with selective privatization), each
+//! parameterized over a channel set and a [`WindowSource`]. The batched
+//! variants are therefore bitwise-identical to a loop of single applies at
+//! `C = 1` by construction, and the privatization protocol applies to the
+//! batched adjoint as well.
+//!
+//! Steady-state applies perform **zero heap allocations**: the task-graph
+//! run state lives in a plan-owned [`GraphScratch`], FFT tile scratch in a
+//! [`WorkerLocal`] arena, and pointer staging in reusable plan vectors
+//! (verified by the umbrella crate's counting-allocator test).
+//!
 //! Every phase is timed ([`OpTimers`]) and the adjoint convolution records
 //! per-worker/per-task execution logs ([`NufftPlan::last_run_stats`]) for
 //! the load-balance experiments.
 
-use crate::conv::{adjoint_scatter, adjoint_scatter_local, forward_gather, reduce_local, Window};
+use crate::conv::{
+    adjoint_scatter, adjoint_scatter_local, forward_gather, forward_gather2, reduce_local, Window,
+    MAX_TAPS,
+};
 use crate::grid::{embed_scaled, extract_scaled, Geometry};
 use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
 use crate::scale::build_scale;
 use crate::tasks::{preprocess, Preprocess, PreprocessConfig};
+use crate::windows::{WindowMode, WindowSource, WindowTable};
 use nufft_fft::{Direction, FftNd};
 use nufft_math::Complex32;
-use nufft_parallel::exec::{ExecBackend, Executor, RunStats, TaskPhase};
+use nufft_parallel::exec::{ExecBackend, Executor, GraphScratch, RunStats, TaskPhase};
 use nufft_parallel::graph::{QueuePolicy, TaskGraph};
+use nufft_parallel::scratch::WorkerLocal;
 use std::time::Instant;
 
 /// Plan construction knobs. `Default` reproduces the paper's main
@@ -60,6 +79,11 @@ pub struct NufftConfig {
     /// resident across operator applies; `SpawnPerCall` is the historical
     /// baseline retained for A/B measurement (`benches/pool.rs`).
     pub backend: ExecBackend,
+    /// How Part 1 windows are obtained at apply time: recomputed on the
+    /// fly (historical default), precomputed into a plan-owned table, or
+    /// chosen automatically under a memory budget. See
+    /// [`crate::windows::WindowMode`] and `benches/windows.rs`.
+    pub window_mode: WindowMode,
 }
 
 impl Default for NufftConfig {
@@ -77,6 +101,7 @@ impl Default for NufftConfig {
             lut_density: DEFAULT_LUT_DENSITY,
             grain: 256,
             backend: ExecBackend::Persistent,
+            window_mode: WindowMode::OnTheFly,
         }
     }
 }
@@ -133,13 +158,31 @@ pub struct NufftPlan<const D: usize> {
     grid: Vec<Complex32>,
     /// Extra grids for the batched (multi-coil) operators, grown on demand.
     batch_grids: Vec<Vec<Complex32>>,
-    /// Privatized tasks' halo buffers, indexed by `buf_of_task`.
+    /// Privatized tasks' halo buffers, indexed by `buf_of_task`. Each
+    /// buffer holds `priv_channels` back-to-back copies of its region so
+    /// the batched adjoint privatizes per channel.
     priv_bufs: Vec<Vec<Complex32>>,
+    /// Per-channel region length of each privatized buffer.
+    priv_lens: Vec<usize>,
+    /// Channel capacity the privatized buffers are currently sized for.
+    priv_channels: usize,
+    /// Staged `(base, per_channel_len)` pointers into `priv_bufs`,
+    /// refreshed (without allocating) at the top of every adjoint apply.
+    priv_ptrs: Vec<(SendPtr<Complex32>, usize)>,
     buf_of_task: Vec<u32>,
+    /// Precomputed Part 1 table (`WindowMode::Precomputed`/`Auto`).
+    windows: Option<WindowTable<D>>,
+    /// Reusable task-graph run state (shards, pending counters, stat logs).
+    graph_scratch: GraphScratch,
+    /// Per-worker FFT tile scratch, sized once at plan build.
+    fft_scratch: WorkerLocal<Vec<Complex32>>,
+    /// Reusable pointer staging for the batched operators.
+    ptr_scratch: Vec<SendPtr<Complex32>>,
     preprocess_seconds: f64,
     last_forward: OpTimers,
     last_adjoint: OpTimers,
-    last_stats: Option<RunStats>,
+    /// Whether `graph_scratch` holds stats from a completed adjoint run.
+    stats_valid: bool,
 }
 
 impl<const D: usize> NufftPlan<D> {
@@ -148,7 +191,8 @@ impl<const D: usize> NufftPlan<D> {
     ///
     /// # Panics
     /// Panics if `D ∉ {1,2,3}`, extents are zero, the kernel does not fit
-    /// the grid (`M < 2W+1`), or a trajectory point is out of range.
+    /// the grid (`M < 2W+1`), the kernel is wider than [`MAX_TAPS`], or a
+    /// trajectory point is out of range.
     pub fn new(n: [usize; D], traj: &[[f64; D]], cfg: NufftConfig) -> Self {
         assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
         let geo = Geometry::new(n, cfg.alpha);
@@ -181,6 +225,12 @@ impl<const D: usize> NufftPlan<D> {
     pub fn from_grid_coords(n: [usize; D], coords: Vec<[f32; D]>, cfg: NufftConfig) -> Self {
         assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
         assert!(cfg.w > 0.0, "kernel radius must be positive");
+        let taps = 2 * cfg.w.ceil() as usize + 1;
+        assert!(
+            taps <= MAX_TAPS,
+            "kernel radius W={} needs {taps} taps per window, exceeding MAX_TAPS={MAX_TAPS}",
+            cfg.w
+        );
         let geo = Geometry::new(n, cfg.alpha);
         let min_width = 2 * cfg.w.ceil() as usize + 1;
         for d in 0..D {
@@ -194,11 +244,12 @@ impl<const D: usize> NufftPlan<D> {
         let kernel = InterpKernel::of(cfg.kernel, cfg.w, cfg.alpha, cfg.lut_density);
         let scale = build_scale(&geo, &kernel);
         let fft = FftNd::new(&geo.m);
-        let exec = Executor::with_backend(cfg.threads.max(1), cfg.backend);
+        let threads = cfg.threads.max(1);
+        let exec = Executor::with_backend(threads, cfg.backend);
 
         let partitions = cfg.partitions_per_dim.unwrap_or_else(|| {
             // Aim for ~8 tasks per thread overall.
-            let target = (8 * cfg.threads.max(1)) as f64;
+            let target = (8 * threads) as f64;
             (target.powf(1.0 / D as f64).ceil() as usize).max(2)
         });
         let pcfg = PreprocessConfig {
@@ -215,13 +266,29 @@ impl<const D: usize> NufftPlan<D> {
         let preprocess_seconds = t0.elapsed().as_secs_f64();
 
         let mut priv_bufs = Vec::new();
+        let mut priv_lens = Vec::new();
         let mut buf_of_task = vec![u32::MAX; pre.graph.len()];
         for (t, region) in pre.regions.iter().enumerate() {
             if let Some(r) = region {
                 buf_of_task[t] = priv_bufs.len() as u32;
                 priv_bufs.push(vec![Complex32::ZERO; r.len()]);
+                priv_lens.push(r.len());
             }
         }
+
+        let windows = match cfg
+            .window_mode
+            .resolve(WindowTable::<D>::estimate_bytes(pre.coords.len(), cfg.w))
+        {
+            WindowMode::Precomputed => {
+                Some(WindowTable::build(&pre.coords, cfg.w as f32, &kernel, &exec, cfg.grain))
+            }
+            _ => None,
+        };
+
+        let fft_scratch = WorkerLocal::new(threads, |_| {
+            vec![Complex32::ZERO; fft.batch_scratch_len(FftNd::batch_width())]
+        });
 
         let grid = vec![Complex32::ZERO; geo.grid_len()];
         NufftPlan {
@@ -235,11 +302,18 @@ impl<const D: usize> NufftPlan<D> {
             grid,
             batch_grids: Vec::new(),
             priv_bufs,
+            priv_lens,
+            priv_channels: 1,
+            priv_ptrs: Vec::new(),
             buf_of_task,
+            windows,
+            graph_scratch: GraphScratch::new(),
+            fft_scratch,
+            ptr_scratch: Vec::new(),
             preprocess_seconds,
             last_forward: OpTimers::default(),
             last_adjoint: OpTimers::default(),
-            last_stats: None,
+            stats_valid: false,
         }
     }
 
@@ -287,7 +361,63 @@ impl<const D: usize> NufftPlan<D> {
     /// Per-worker/per-task execution log of the most recent adjoint
     /// convolution.
     pub fn last_run_stats(&self) -> Option<&RunStats> {
-        self.last_stats.as_ref()
+        if self.stats_valid {
+            Some(self.graph_scratch.stats())
+        } else {
+            None
+        }
+    }
+
+    /// The *effective* window mode after `Auto` resolution: `Precomputed`
+    /// when the plan holds a table, `OnTheFly` otherwise.
+    pub fn window_mode(&self) -> WindowMode {
+        if self.windows.is_some() {
+            WindowMode::Precomputed
+        } else {
+            WindowMode::OnTheFly
+        }
+    }
+
+    /// Heap footprint of the precomputed window table, if one is held.
+    pub fn window_table_bytes(&self) -> Option<usize> {
+        self.windows.as_ref().map(|t| t.bytes())
+    }
+
+    /// Switches the Part 1 window source after construction: building the
+    /// table on a transition to `Precomputed` (or an `Auto` that resolves
+    /// so — see [`WindowMode::resolve`]) and dropping it on a transition
+    /// back to `OnTheFly`. Either source yields bitwise-identical operator
+    /// output; only apply time and memory footprint change.
+    pub fn set_window_mode(&mut self, mode: WindowMode) {
+        self.cfg.window_mode = mode;
+        let resolved =
+            mode.resolve(WindowTable::<D>::estimate_bytes(self.pre.coords.len(), self.cfg.w));
+        match resolved {
+            WindowMode::Precomputed => {
+                if self.windows.is_none() {
+                    self.windows = Some(WindowTable::build(
+                        &self.pre.coords,
+                        self.cfg.w as f32,
+                        &self.kernel,
+                        &self.exec,
+                        self.cfg.grain,
+                    ));
+                }
+            }
+            _ => self.windows = None,
+        }
+    }
+
+    /// The plan's current window source (table if held, else on the fly).
+    fn window_source(&self) -> WindowSource<'_, D> {
+        match &self.windows {
+            Some(table) => WindowSource::Table(table),
+            None => WindowSource::Fly {
+                coords: &self.pre.coords,
+                wrad: self.cfg.w as f32,
+                kernel: &self.kernel,
+            },
+        }
     }
 
     /// Forward NUFFT: image → samples. `out[p]` receives the DTFT
@@ -308,12 +438,27 @@ impl<const D: usize> NufftPlan<D> {
 
         // Phase 2: oversampled FFT (lines parallelized per axis).
         let t0 = Instant::now();
-        Self::fft_parallel(&self.fft, &mut self.grid, &self.exec, Direction::Forward);
+        Self::fft_parallel(
+            &self.fft,
+            &mut self.grid,
+            &self.exec,
+            &self.fft_scratch,
+            Direction::Forward,
+        );
         let fft_t = t0.elapsed().as_secs_f64();
 
         // Phase 3: gather convolution, dynamic loop partitioning.
         let t0 = Instant::now();
-        self.run_forward_convolution(out);
+        let out_ptrs = [SendPtr(out.as_mut_ptr())];
+        Self::gather_driver(
+            &self.exec,
+            self.cfg.grain,
+            &self.pre,
+            &self.window_source(),
+            &self.geo.m,
+            core::slice::from_ref(&self.grid),
+            &out_ptrs,
+        );
         let conv_t = t0.elapsed().as_secs_f64();
 
         self.last_forward = OpTimers {
@@ -338,11 +483,18 @@ impl<const D: usize> NufftPlan<D> {
         // Phase 1: scatter convolution under the task graph.
         let t0 = Instant::now();
         self.grid.fill(Complex32::ZERO);
-        let stats = self.run_adjoint_convolution(samples);
+        self.run_adjoint_convolution(samples);
         let conv_t = t0.elapsed().as_secs_f64();
+
         // Phase 2: unnormalized backward FFT (the exact FFT adjoint).
         let t0 = Instant::now();
-        Self::fft_parallel(&self.fft, &mut self.grid, &self.exec, Direction::Backward);
+        Self::fft_parallel(
+            &self.fft,
+            &mut self.grid,
+            &self.exec,
+            &self.fft_scratch,
+            Direction::Backward,
+        );
         let fft_t = t0.elapsed().as_secs_f64();
 
         // Phase 3: extract + scale.
@@ -356,12 +508,12 @@ impl<const D: usize> NufftPlan<D> {
             conv: conv_t,
             total: t_start.elapsed().as_secs_f64(),
         };
-        self.last_stats = Some(stats);
     }
 
     /// Batched forward NUFFT over `C` images sharing this trajectory (the
     /// multichannel/SENSE case): the per-sample interpolation windows
-    /// (Part 1) are computed once and reused across all channels.
+    /// (Part 1) are obtained once and reused across all channels, and
+    /// channel pairs share one weight expansion in the SIMD row kernels.
     ///
     /// `images[c]` and `outs[c]` follow the same conventions as
     /// [`NufftPlan::forward`]. Holds `C` oversampled grids concurrently.
@@ -382,36 +534,25 @@ impl<const D: usize> NufftPlan<D> {
             let grid = &mut self.batch_grids[c];
             grid.fill(Complex32::ZERO);
             embed_scaled(&self.geo, images[c], &self.scale, grid);
-            Self::fft_parallel(&self.fft, grid, &self.exec, Direction::Forward);
+            Self::fft_parallel(&self.fft, grid, &self.exec, &self.fft_scratch, Direction::Forward);
         }
-        // Gather: one Part 1 per sample, C Part 2 gathers.
-        let grids = &self.batch_grids[..channels];
-        let m = &self.geo.m;
-        let kernel = &self.kernel;
-        let wrad = self.cfg.w as f32;
-        let coords = &self.pre.coords;
-        let order = &self.pre.order;
-        let out_ptrs: Vec<SendPtr<Complex32>> =
-            outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())).collect();
-        // Aligned boundaries: with reordering on, `order` is near-identity
-        // within a task, so chunk edges land on distinct output cache lines.
-        self.exec.parallel_for_aligned(coords.len(), self.cfg.grain, LANE_ALIGN, |range, _w| {
-            for i in range {
-                let win: [Window; D] =
-                    core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
-                for (c, out_ptr) in out_ptrs.iter().enumerate() {
-                    let v = forward_gather(&grids[c], m, &win);
-                    // SAFETY: `order` is a permutation; each (c, i) writes a
-                    // distinct slot of channel c's output.
-                    unsafe { *out_ptr.get().add(order[i] as usize) = v };
-                }
-            }
-        });
+        self.ptr_scratch.clear();
+        self.ptr_scratch.extend(outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())));
+        Self::gather_driver(
+            &self.exec,
+            self.cfg.grain,
+            &self.pre,
+            &self.window_source(),
+            &self.geo.m,
+            &self.batch_grids[..channels],
+            &self.ptr_scratch,
+        );
     }
 
     /// Batched adjoint NUFFT over `C` sample vectors sharing this
-    /// trajectory; windows are computed once per sample and scattered into
-    /// all `C` grids under a single task-graph traversal.
+    /// trajectory; windows are obtained once per sample and scattered into
+    /// all `C` grids under a single task-graph traversal, with the full
+    /// selective-privatization protocol (per-channel halo buffers).
     ///
     /// # Panics
     /// Panics on any length mismatch.
@@ -426,44 +567,53 @@ impl<const D: usize> NufftPlan<D> {
             assert_eq!(outs[c].len(), self.geo.image_len(), "output {c} length mismatch");
         }
         self.ensure_batch_grids(channels);
+        self.ensure_priv_channels(channels);
+        self.refresh_priv_ptrs();
         for g in &mut self.batch_grids[..channels] {
             g.fill(Complex32::ZERO);
         }
         {
-            let grid_len = self.grid.len();
-            let grid_ptrs: Vec<SendPtr<Complex32>> =
-                self.batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())).collect();
-            let m = &self.geo.m;
-            let kernel = &self.kernel;
-            let wrad = self.cfg.w as f32;
-            let pre = &self.pre;
-            let order = &pre.order;
-            let coords = &pre.coords;
-            // The batched path runs privatized tasks like normal tasks:
-            // their buffers are single-channel, and the TDG exclusion alone
-            // is sufficient for correctness. (Privatization's critical-path
-            // benefit matters for the scaling studies, not the batched
-            // solver whose per-task work is already C× larger.)
-            let mut graph = pre.graph.clone();
-            for t in 0..graph.len() {
-                graph.set_privatized(t, false);
-            }
-            self.exec.run_graph(&graph, self.cfg.policy, |t, _phase, _w| {
-                for i in pre.ranges[t].clone() {
-                    let win: [Window; D] =
-                        core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
-                    for (c, gp) in grid_ptrs.iter().enumerate() {
-                        // SAFETY: the task graph serializes adjacent tasks;
-                        // each task touches only its halo box of each grid.
-                        let grid = unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
-                        adjoint_scatter(grid, m, &win, samples[c][order[i] as usize]);
-                    }
-                }
-            });
+            let Self {
+                cfg,
+                geo,
+                exec,
+                pre,
+                batch_grids,
+                priv_ptrs,
+                buf_of_task,
+                graph_scratch,
+                ..
+            } = self;
+            let source = match &self.windows {
+                Some(table) => WindowSource::Table(table),
+                None => WindowSource::Fly {
+                    coords: &pre.coords,
+                    wrad: cfg.w as f32,
+                    kernel: &self.kernel,
+                },
+            };
+            let grid_len = geo.grid_len();
+            self.ptr_scratch.clear();
+            self.ptr_scratch
+                .extend(batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())));
+            Self::scatter_driver(
+                exec,
+                cfg.policy,
+                graph_scratch,
+                pre,
+                &source,
+                &geo.m,
+                &self.ptr_scratch,
+                grid_len,
+                priv_ptrs,
+                buf_of_task,
+                samples,
+            );
         }
+        self.stats_valid = true;
         for c in 0..channels {
             let grid = &mut self.batch_grids[c];
-            Self::fft_parallel(&self.fft, grid, &self.exec, Direction::Backward);
+            Self::fft_parallel(&self.fft, grid, &self.exec, &self.fft_scratch, Direction::Backward);
             extract_scaled(&self.geo, grid, &self.scale, outs[c]);
         }
     }
@@ -475,6 +625,28 @@ impl<const D: usize> NufftPlan<D> {
         }
     }
 
+    /// Grows the privatized halo buffers to hold `channels` back-to-back
+    /// region copies each (no-op when already large enough).
+    fn ensure_priv_channels(&mut self, channels: usize) {
+        if channels > self.priv_channels {
+            for (buf, &len) in self.priv_bufs.iter_mut().zip(&self.priv_lens) {
+                buf.resize(channels * len, Complex32::ZERO);
+            }
+            self.priv_channels = channels;
+        }
+    }
+
+    /// Restages the `(base, per_channel_len)` pointer cache into the
+    /// privatized buffers. Reuses the vector's capacity — allocation-free
+    /// after the first adjoint apply.
+    fn refresh_priv_ptrs(&mut self) {
+        self.priv_ptrs.clear();
+        let lens = &self.priv_lens;
+        self.priv_ptrs.extend(
+            self.priv_bufs.iter_mut().zip(lens).map(|(b, &l)| (SendPtr(b.as_mut_ptr()), l)),
+        );
+    }
+
     /// Runs only the adjoint *convolution* (grid zeroing + scatter under
     /// the task graph) and returns its wall time in seconds. The grid
     /// workspace afterwards holds the scattered data. Used by throughput
@@ -484,10 +656,8 @@ impl<const D: usize> NufftPlan<D> {
         assert_eq!(samples.len(), self.num_samples(), "sample buffer length mismatch");
         let t0 = Instant::now();
         self.grid.fill(Complex32::ZERO);
-        let stats = self.run_adjoint_convolution(samples);
-        let dt = t0.elapsed().as_secs_f64();
-        self.last_stats = Some(stats);
-        dt
+        self.run_adjoint_convolution(samples);
+        t0.elapsed().as_secs_f64()
     }
 
     /// Runs only the forward *convolution* (gather from the current grid
@@ -495,13 +665,23 @@ impl<const D: usize> NufftPlan<D> {
     pub fn forward_convolution_only(&mut self, out: &mut [Complex32]) -> f64 {
         assert_eq!(out.len(), self.num_samples(), "sample buffer length mismatch");
         let t0 = Instant::now();
-        self.run_forward_convolution(out);
+        let out_ptrs = [SendPtr(out.as_mut_ptr())];
+        Self::gather_driver(
+            &self.exec,
+            self.cfg.grain,
+            &self.pre,
+            &self.window_source(),
+            &self.geo.m,
+            core::slice::from_ref(&self.grid),
+            &out_ptrs,
+        );
         t0.elapsed().as_secs_f64()
     }
 
     /// Runs only Part 1 of the convolution (window/LUT computation) over
     /// every sample and returns the elapsed seconds — the Figure 7
-    /// diagnostic.
+    /// diagnostic. Always computes on the fly, regardless of the plan's
+    /// window mode (this *is* the cost a table amortizes away).
     pub fn part1_seconds(&self) -> f64 {
         let wrad = self.cfg.w as f32;
         let t0 = Instant::now();
@@ -516,92 +696,179 @@ impl<const D: usize> NufftPlan<D> {
         t0.elapsed().as_secs_f64()
     }
 
-    /// Gather convolution over all samples (no timing, no FFT).
-    fn run_forward_convolution(&self, out: &mut [Complex32]) {
-        let grid = &self.grid;
-        let m = &self.geo.m;
-        let kernel = &self.kernel;
-        let wrad = self.cfg.w as f32;
-        let coords = &self.pre.coords;
-        let order = &self.pre.order;
-        let out_ptr = SendPtr(out.as_mut_ptr());
+    /// Scatter convolution of all samples into the (pre-zeroed) grid under
+    /// the task graph, including the privatization protocol. Single-channel
+    /// entry point over the unified driver.
+    fn run_adjoint_convolution(&mut self, samples: &[Complex32]) {
+        self.refresh_priv_ptrs();
+        let Self { cfg, geo, exec, pre, grid, priv_ptrs, buf_of_task, graph_scratch, .. } = self;
+        let source = match &self.windows {
+            Some(table) => WindowSource::Table(table),
+            None => {
+                WindowSource::Fly { coords: &pre.coords, wrad: cfg.w as f32, kernel: &self.kernel }
+            }
+        };
+        let grid_len = grid.len();
+        let grid_ptrs = [SendPtr(grid.as_mut_ptr())];
+        Self::scatter_driver(
+            exec,
+            cfg.policy,
+            graph_scratch,
+            pre,
+            &source,
+            &geo.m,
+            &grid_ptrs,
+            grid_len,
+            priv_ptrs,
+            buf_of_task,
+            &[samples],
+        );
+        self.stats_valid = true;
+    }
+
+    /// The unified gather (forward-convolution) driver: one Part 1 window
+    /// fetch per sample, then a Part 2 gather per channel — channel pairs
+    /// go through [`forward_gather2`], which shares one weight expansion
+    /// across both grids while staying bitwise-equal to two single gathers.
+    ///
+    /// `grids[c]` is channel `c`'s oversampled spectrum; `out_ptrs[c]` its
+    /// output base pointer (written at permuted positions `order[i]`).
+    #[allow(clippy::too_many_arguments)]
+    fn gather_driver(
+        exec: &Executor,
+        grain: usize,
+        pre: &Preprocess<D>,
+        source: &WindowSource<'_, D>,
+        m: &[usize; D],
+        grids: &[Vec<Complex32>],
+        out_ptrs: &[SendPtr<Complex32>],
+    ) {
+        assert_eq!(grids.len(), out_ptrs.len(), "channel count mismatch");
+        let channels = grids.len();
+        let order = &pre.order;
         // Aligned boundaries: with reordering on, `order` is near-identity
         // within a task, so chunk edges land on distinct output cache lines.
-        self.exec.parallel_for_aligned(coords.len(), self.cfg.grain, LANE_ALIGN, |range, _w| {
+        exec.parallel_for_aligned(pre.coords.len(), grain, LANE_ALIGN, |range, _w| {
+            let mut stage = [Window::EMPTY; D];
             for i in range {
-                let win: [Window; D] =
-                    core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
-                let v = forward_gather(grid, m, &win);
-                // SAFETY: `order` is a permutation, so every i writes a
-                // distinct slot of `out`.
-                unsafe { *out_ptr.get().add(order[i] as usize) = v };
+                let win = source.at(i, &mut stage);
+                let slot = order[i] as usize;
+                let mut c = 0;
+                while c + 2 <= channels {
+                    let (va, vb) = forward_gather2(&grids[c], &grids[c + 1], m, &win);
+                    // SAFETY: `order` is a permutation; each (c, i) writes a
+                    // distinct slot of channel c's output.
+                    unsafe {
+                        *out_ptrs[c].get().add(slot) = va;
+                        *out_ptrs[c + 1].get().add(slot) = vb;
+                    }
+                    c += 2;
+                }
+                if c < channels {
+                    let v = forward_gather(&grids[c], m, &win);
+                    // SAFETY: as above.
+                    unsafe { *out_ptrs[c].get().add(slot) = v };
+                }
             }
         });
     }
 
-    /// Scatter convolution of all samples into the (pre-zeroed) grid under
-    /// the task graph, including the privatization protocol.
-    fn run_adjoint_convolution(&mut self, samples: &[Complex32]) -> RunStats {
-        let grid_ptr = SendPtr(self.grid.as_mut_ptr());
-        let grid_len = self.grid.len();
-        let m = &self.geo.m;
-        let kernel = &self.kernel;
-        let wrad = self.cfg.w as f32;
-        let pre = &self.pre;
-        let buf_of_task = &self.buf_of_task;
-        let buf_ptrs: Vec<(SendPtr<Complex32>, usize)> =
-            self.priv_bufs.iter_mut().map(|b| (SendPtr(b.as_mut_ptr()), b.len())).collect();
+    /// The unified scatter (adjoint-convolution) driver: a single
+    /// task-graph traversal scatters every channel, with the selective
+    /// privatization protocol applied per channel — a privatized task
+    /// convolves into `channels` back-to-back copies of its halo region and
+    /// its decoupled reduction folds each copy into the matching grid.
+    ///
+    /// At `channels == 1` this is exactly the historical single-operator
+    /// path; the batched operators are the same code with a longer channel
+    /// loop, so batch output is bitwise-identical to repeated single
+    /// applies.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_driver(
+        exec: &Executor,
+        policy: QueuePolicy,
+        scratch: &mut GraphScratch,
+        pre: &Preprocess<D>,
+        source: &WindowSource<'_, D>,
+        m: &[usize; D],
+        grid_ptrs: &[SendPtr<Complex32>],
+        grid_len: usize,
+        priv_ptrs: &[(SendPtr<Complex32>, usize)],
+        buf_of_task: &[u32],
+        samples: &[&[Complex32]],
+    ) {
+        assert_eq!(grid_ptrs.len(), samples.len(), "channel count mismatch");
+        let channels = grid_ptrs.len();
         let order = &pre.order;
-        let coords = &pre.coords;
-
-        self.exec.run_graph(&pre.graph, self.cfg.policy, |t, phase, _w| {
+        exec.run_graph_reuse(&pre.graph, policy, scratch, |t, phase, _w| {
             match phase {
                 TaskPhase::Normal => {
-                    // SAFETY: the task graph serializes adjacent tasks;
-                    // this task only touches its own halo box.
-                    let grid = unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
+                    let mut stage = [Window::EMPTY; D];
                     for i in pre.ranges[t].clone() {
-                        let win: [Window; D] =
-                            core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
-                        adjoint_scatter(grid, m, &win, samples[order[i] as usize]);
+                        let win = source.at(i, &mut stage);
+                        let slot = order[i] as usize;
+                        for (c, gp) in grid_ptrs.iter().enumerate() {
+                            // SAFETY: the task graph serializes adjacent
+                            // tasks; this task only touches its own halo box
+                            // of each channel's grid.
+                            let grid =
+                                unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
+                            adjoint_scatter(grid, m, &win, samples[c][slot]);
+                        }
                     }
                 }
                 TaskPhase::PrivateConvolve => {
                     let region = pre.regions[t].expect("privatized task has region");
-                    let (ptr, len) = buf_ptrs[buf_of_task[t] as usize];
+                    let (base, clen) = priv_ptrs[buf_of_task[t] as usize];
                     // SAFETY: each privatized task owns its buffer
-                    // exclusively; phases of one task never overlap.
-                    let buf = unsafe { core::slice::from_raw_parts_mut(ptr.get(), len) };
-                    buf.fill(Complex32::ZERO);
+                    // exclusively; phases of one task never overlap. The
+                    // buffer holds ≥ `channels` region copies
+                    // (`ensure_priv_channels`).
+                    let buf_all =
+                        unsafe { core::slice::from_raw_parts_mut(base.get(), channels * clen) };
+                    buf_all.fill(Complex32::ZERO);
+                    let mut stage = [Window::EMPTY; D];
                     for i in pre.ranges[t].clone() {
-                        let win: [Window; D] =
-                            core::array::from_fn(|d| Window::compute(coords[i][d], wrad, kernel));
-                        adjoint_scatter_local(
-                            buf,
-                            &region.origin,
-                            &region.size,
-                            &win,
-                            samples[order[i] as usize],
-                        );
+                        let win = source.at(i, &mut stage);
+                        let slot = order[i] as usize;
+                        for c in 0..channels {
+                            adjoint_scatter_local(
+                                &mut buf_all[c * clen..(c + 1) * clen],
+                                &region.origin,
+                                &region.size,
+                                &win,
+                                samples[c][slot],
+                            );
+                        }
                     }
                 }
                 TaskPhase::Reduce => {
                     let region = pre.regions[t].expect("privatized task has region");
-                    let (ptr, len) = buf_ptrs[buf_of_task[t] as usize];
-                    // SAFETY: reductions run under the same exclusion
-                    // edges as normal tasks; the buffer was filled by
-                    // this task's convolve phase which has completed.
-                    let grid = unsafe { core::slice::from_raw_parts_mut(grid_ptr.get(), grid_len) };
-                    let buf = unsafe { core::slice::from_raw_parts(ptr.get(), len) };
-                    reduce_local(grid, m, buf, &region.origin, &region.size);
+                    let (base, clen) = priv_ptrs[buf_of_task[t] as usize];
+                    for (c, gp) in grid_ptrs.iter().enumerate() {
+                        // SAFETY: reductions run under the same exclusion
+                        // edges as normal tasks; the buffer was filled by
+                        // this task's convolve phase which has completed.
+                        let grid = unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
+                        let buf =
+                            unsafe { core::slice::from_raw_parts(base.get().add(c * clen), clen) };
+                        reduce_local(grid, m, buf, &region.origin, &region.size);
+                    }
                 }
             }
-        })
+        });
     }
 
     /// Parallel n-dimensional FFT: SIMD-width tiles of adjacent lines per
-    /// axis, sharded over the executor.
-    fn fft_parallel(fft: &FftNd, data: &mut [Complex32], exec: &Executor, dir: Direction) {
+    /// axis, sharded over the executor. Tile scratch comes from the plan's
+    /// per-worker arena — no allocation at apply time.
+    fn fft_parallel(
+        fft: &FftNd,
+        data: &mut [Complex32],
+        exec: &Executor,
+        scratch: &WorkerLocal<Vec<Complex32>>,
+        dir: Direction,
+    ) {
         let base = SendPtr(data.as_mut_ptr());
         let b = FftNd::batch_width();
         // A tile is `b` adjacent lines; rounding tile-chunk boundaries to
@@ -611,13 +878,15 @@ impl<const D: usize> NufftPlan<D> {
         for axis in 0..fft.shape().len() {
             let tiles = fft.num_tiles(axis, b);
             let grain = (tiles / (4 * exec.threads())).clamp(1, 64);
-            exec.parallel_for_aligned(tiles, grain, align, |range, _w| {
-                let mut scratch = vec![Complex32::ZERO; fft.batch_scratch_len(b)];
+            exec.parallel_for_aligned(tiles, grain, align, |range, w| {
+                // SAFETY: the executor guarantees worker `w` is the only
+                // thread using slot `w` during this dispatch.
+                let scratch = unsafe { scratch.get(w) };
                 for tile in range {
                     // SAFETY: tiles of one axis are pairwise disjoint; the
                     // axes are processed with a barrier between them
                     // (parallel_for joins before returning).
-                    unsafe { fft.transform_tile_raw(base.get(), axis, tile, b, &mut scratch, dir) };
+                    unsafe { fft.transform_tile_raw(base.get(), axis, tile, b, scratch, dir) };
                 }
             });
         }

@@ -1,0 +1,269 @@
+//! Window-mode equality: a plan holding a precomputed Part 1 table must
+//! produce **bitwise-identical** operator output to an on-the-fly plan —
+//! at every ISA level, at every thread count, for all four operators.
+//!
+//! The table stores the exact `Window::compute` output and both sources
+//! feed the identical Part 2 path, so equality here is by construction;
+//! these tests are the tripwire that keeps it that way. The batched
+//! operators additionally must match repeated single applies bit-for-bit
+//! (they are the same driver with a longer channel loop, and the batched
+//! adjoint runs the same selective-privatization protocol).
+
+use nufft_core::{NufftConfig, NufftPlan, WindowMode};
+use nufft_math::Complex32;
+use nufft_simd::{detect_isa, set_isa_override, IsaLevel};
+use std::sync::Mutex;
+
+/// Serializes every test that applies operators: the ISA override is
+/// process-global, so a concurrent test could flip the dispatch level
+/// between two applies that are being compared bitwise.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+fn isa_guard() -> std::sync::MutexGuard<'static, ()> {
+    ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn traj2(count: usize) -> Vec<[f64; 2]> {
+    (0..count)
+        .map(|i| [((i as f64 * 0.618) % 1.0) - 0.5, ((i as f64 * 0.414) % 1.0) - 0.5])
+        .collect()
+}
+
+fn traj3(count: usize) -> Vec<[f64; 3]> {
+    (0..count)
+        .map(|i| {
+            [
+                ((i as f64 * 0.618) % 1.0) - 0.5,
+                ((i as f64 * 0.414) % 1.0) - 0.5,
+                ((i as f64 * 0.732) % 1.0) - 0.5,
+            ]
+        })
+        .collect()
+}
+
+fn signal(n: usize, phase: f32) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| Complex32::new((i as f32 * 0.13 + phase).sin(), (i as f32 * 0.07).cos()))
+        .collect()
+}
+
+fn assert_bits_eq(a: &[Complex32], b: &[Complex32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (p, q)) in a.iter().zip(b).enumerate() {
+        assert!(
+            p.re.to_bits() == q.re.to_bits() && p.im.to_bits() == q.im.to_bits(),
+            "{what}: element {i} differs: {p:?} vs {q:?}"
+        );
+    }
+}
+
+fn cfg(threads: usize, mode: WindowMode) -> NufftConfig {
+    NufftConfig {
+        threads,
+        w: 3.0,
+        // Pin the task decomposition so the comparison varies only the
+        // window source (and ISA / thread count), never the partitioning.
+        partitions_per_dim: Some(4),
+        window_mode: mode,
+        ..NufftConfig::default()
+    }
+}
+
+/// Applies all four operators with both window modes and asserts every
+/// output pair is bit-identical. `channels = 3` exercises both the paired
+/// and the remainder lane of the channel loop.
+fn check_all_ops_match(threads: usize, label: &str) {
+    let n = [16usize, 16];
+    let traj = traj2(350);
+    let img_len = 256;
+    let k = traj.len();
+    let channels = 3usize;
+
+    let mut fly = NufftPlan::new(n, &traj, cfg(threads, WindowMode::OnTheFly));
+    let mut pre = NufftPlan::new(n, &traj, cfg(threads, WindowMode::Precomputed));
+    assert_eq!(fly.window_mode(), WindowMode::OnTheFly, "{label}");
+    assert_eq!(pre.window_mode(), WindowMode::Precomputed, "{label}");
+
+    let image = signal(img_len, 0.0);
+    let samples = signal(k, 1.3);
+
+    // forward
+    let mut out_fly = vec![Complex32::ZERO; k];
+    let mut out_pre = vec![Complex32::ZERO; k];
+    fly.forward(&image, &mut out_fly);
+    pre.forward(&image, &mut out_pre);
+    assert_bits_eq(&out_fly, &out_pre, &format!("{label}: forward"));
+
+    // adjoint
+    let mut img_fly = vec![Complex32::ZERO; img_len];
+    let mut img_pre = vec![Complex32::ZERO; img_len];
+    fly.adjoint(&samples, &mut img_fly);
+    pre.adjoint(&samples, &mut img_pre);
+    assert_bits_eq(&img_fly, &img_pre, &format!("{label}: adjoint"));
+
+    // forward_batch
+    let images: Vec<Vec<Complex32>> = (0..channels).map(|c| signal(img_len, c as f32)).collect();
+    let image_refs: Vec<&[Complex32]> = images.iter().map(|v| v.as_slice()).collect();
+    let mut bout_fly = vec![vec![Complex32::ZERO; k]; channels];
+    let mut bout_pre = vec![vec![Complex32::ZERO; k]; channels];
+    {
+        let mut refs: Vec<&mut [Complex32]> =
+            bout_fly.iter_mut().map(|v| v.as_mut_slice()).collect();
+        fly.forward_batch(&image_refs, &mut refs);
+    }
+    {
+        let mut refs: Vec<&mut [Complex32]> =
+            bout_pre.iter_mut().map(|v| v.as_mut_slice()).collect();
+        pre.forward_batch(&image_refs, &mut refs);
+    }
+    for c in 0..channels {
+        assert_bits_eq(&bout_fly[c], &bout_pre[c], &format!("{label}: forward_batch ch{c}"));
+    }
+
+    // adjoint_batch
+    let datas: Vec<Vec<Complex32>> = (0..channels).map(|c| signal(k, 2.0 + c as f32)).collect();
+    let data_refs: Vec<&[Complex32]> = datas.iter().map(|v| v.as_slice()).collect();
+    let mut bimg_fly = vec![vec![Complex32::ZERO; img_len]; channels];
+    let mut bimg_pre = vec![vec![Complex32::ZERO; img_len]; channels];
+    {
+        let mut refs: Vec<&mut [Complex32]> =
+            bimg_fly.iter_mut().map(|v| v.as_mut_slice()).collect();
+        fly.adjoint_batch(&data_refs, &mut refs);
+    }
+    {
+        let mut refs: Vec<&mut [Complex32]> =
+            bimg_pre.iter_mut().map(|v| v.as_mut_slice()).collect();
+        pre.adjoint_batch(&data_refs, &mut refs);
+    }
+    for c in 0..channels {
+        assert_bits_eq(&bimg_fly[c], &bimg_pre[c], &format!("{label}: adjoint_batch ch{c}"));
+    }
+}
+
+#[test]
+fn precomputed_matches_onthefly_bitwise_across_isa_and_threads() {
+    let _guard = isa_guard();
+    let detected = detect_isa();
+    for isa in [IsaLevel::StrictScalar, IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2Fma] {
+        if isa > detected {
+            continue;
+        }
+        set_isa_override(isa).unwrap();
+        for threads in [1usize, 2, 4] {
+            check_all_ops_match(threads, &format!("isa={isa:?} threads={threads}"));
+        }
+    }
+    set_isa_override(detected).unwrap();
+}
+
+#[test]
+fn auto_mode_resolves_by_budget_and_stays_bitwise() {
+    let _guard = isa_guard();
+    let n = [16usize, 16];
+    let traj = traj2(300);
+
+    // A generous budget precomputes; a zero budget stays on the fly.
+    let auto = NufftPlan::new(n, &traj, cfg(2, WindowMode::Auto(usize::MAX)));
+    assert_eq!(auto.window_mode(), WindowMode::Precomputed);
+    assert!(auto.window_table_bytes().unwrap() > 0);
+    let tight = NufftPlan::new(n, &traj, cfg(2, WindowMode::Auto(0)));
+    assert_eq!(tight.window_mode(), WindowMode::OnTheFly);
+    assert!(tight.window_table_bytes().is_none());
+
+    // And the auto-precomputed plan is bitwise-equal to on the fly.
+    let mut auto = auto;
+    let mut fly = NufftPlan::new(n, &traj, cfg(2, WindowMode::OnTheFly));
+    let image = signal(256, 0.4);
+    let mut out_a = vec![Complex32::ZERO; traj.len()];
+    let mut out_f = vec![Complex32::ZERO; traj.len()];
+    auto.forward(&image, &mut out_a);
+    fly.forward(&image, &mut out_f);
+    assert_bits_eq(&out_a, &out_f, "auto forward");
+}
+
+#[test]
+fn set_window_mode_switches_source_bitwise() {
+    let _guard = isa_guard();
+    let n = [12usize, 12, 12];
+    let traj = traj3(400);
+    let mut plan = NufftPlan::new(n, &traj, cfg(2, WindowMode::OnTheFly));
+    let samples = signal(traj.len(), 0.9);
+
+    let mut img_fly = vec![Complex32::ZERO; 12 * 12 * 12];
+    plan.adjoint(&samples, &mut img_fly);
+
+    plan.set_window_mode(WindowMode::Precomputed);
+    assert_eq!(plan.window_mode(), WindowMode::Precomputed);
+    let mut img_pre = vec![Complex32::ZERO; 12 * 12 * 12];
+    plan.adjoint(&samples, &mut img_pre);
+    assert_bits_eq(&img_fly, &img_pre, "3D adjoint after mode switch");
+
+    plan.set_window_mode(WindowMode::OnTheFly);
+    assert_eq!(plan.window_mode(), WindowMode::OnTheFly);
+    let mut img_back = vec![Complex32::ZERO; 12 * 12 * 12];
+    plan.adjoint(&samples, &mut img_back);
+    assert_bits_eq(&img_fly, &img_back, "3D adjoint after switching back");
+}
+
+#[test]
+fn batch_matches_repeated_single_applies_bitwise() {
+    let _guard = isa_guard();
+    let n = [16usize, 16];
+    let traj = traj2(320);
+    let k = traj.len();
+    let channels = 3usize;
+    for mode in [WindowMode::OnTheFly, WindowMode::Precomputed] {
+        let mut plan = NufftPlan::new(n, &traj, cfg(2, mode));
+
+        // forward: batch vs loop of singles.
+        let images: Vec<Vec<Complex32>> = (0..channels).map(|c| signal(256, c as f32)).collect();
+        let mut want = Vec::new();
+        for img in &images {
+            let mut out = vec![Complex32::ZERO; k];
+            plan.forward(img, &mut out);
+            want.push(out);
+        }
+        let image_refs: Vec<&[Complex32]> = images.iter().map(|v| v.as_slice()).collect();
+        let mut outs = vec![vec![Complex32::ZERO; k]; channels];
+        {
+            let mut refs: Vec<&mut [Complex32]> =
+                outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            plan.forward_batch(&image_refs, &mut refs);
+        }
+        for c in 0..channels {
+            assert_bits_eq(&outs[c], &want[c], &format!("{mode:?}: forward batch-vs-single ch{c}"));
+        }
+
+        // adjoint: batch (privatized, like the single path) vs singles.
+        let datas: Vec<Vec<Complex32>> = (0..channels).map(|c| signal(k, 4.0 + c as f32)).collect();
+        let mut want = Vec::new();
+        for y in &datas {
+            let mut out = vec![Complex32::ZERO; 256];
+            plan.adjoint(y, &mut out);
+            want.push(out);
+        }
+        let data_refs: Vec<&[Complex32]> = datas.iter().map(|v| v.as_slice()).collect();
+        let mut outs = vec![vec![Complex32::ZERO; 256]; channels];
+        {
+            let mut refs: Vec<&mut [Complex32]> =
+                outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            plan.adjoint_batch(&data_refs, &mut refs);
+        }
+        for c in 0..channels {
+            assert_bits_eq(&outs[c], &want[c], &format!("{mode:?}: adjoint batch-vs-single ch{c}"));
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "MAX_TAPS")]
+fn oversized_kernel_radius_is_rejected_at_construction() {
+    // W = 9 needs 2⌈9⌉+1 = 19 taps > MAX_TAPS = 17: must fail loudly at
+    // plan build, not via debug_assert deep in a worker.
+    let traj = traj2(10);
+    let _ = NufftPlan::new(
+        [64usize, 64],
+        &traj,
+        NufftConfig { w: 9.0, ..cfg(1, WindowMode::OnTheFly) },
+    );
+}

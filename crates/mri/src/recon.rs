@@ -11,8 +11,14 @@
 //!   in just over 3 minutes").
 
 use crate::cg::{conjugate_gradient, CgReport};
-use nufft_core::NufftPlan;
+use nufft_core::{NufftPlan, WindowMode};
 use nufft_math::Complex32;
+
+/// Window-table budget for iterative reconstruction: CG applies the same
+/// operators dozens of times, so precomputing Part 1 pays for itself almost
+/// immediately — but stay on the fly past this table size (256 MiB) rather
+/// than blow the cache/memory budget on huge 3D trajectories.
+const RECON_WINDOW_BUDGET: usize = 256 << 20;
 
 /// Density-compensated gridding (adjoint) reconstruction.
 ///
@@ -69,6 +75,13 @@ impl<'a, const D: usize> IterativeRecon<'a, D> {
         assert_eq!(dcf.len(), k, "dcf length mismatch");
         for (c, m) in coils.iter().enumerate() {
             assert_eq!(m.len(), plan.image_len(), "coil {c} map length mismatch");
+        }
+        // Iterative use re-applies the operators every CG step: amortize
+        // Part 1 with a precomputed window table when it fits the budget.
+        // Bitwise-neutral — only apply time changes (see `nufft-core`'s
+        // window-mode equality tests).
+        if plan.window_mode() == WindowMode::OnTheFly {
+            plan.set_window_mode(WindowMode::Auto(RECON_WINDOW_BUDGET));
         }
         IterativeRecon { plan, coils, dcf, lambda }
     }

@@ -42,6 +42,7 @@
 
 use crate::graph::{QueuePolicy, TaskGraph, TaskId};
 use crate::queue::{Entry, ReadyQueue};
+use crate::scratch::CachePadded;
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -142,11 +143,6 @@ pub enum ExecBackend {
     SpawnPerCall,
 }
 
-/// Pads a value out to its own cache line so per-worker hot words (deque
-/// ranges, shard locks, stat slots) never false-share.
-#[repr(align(64))]
-struct CachePadded<T>(T);
-
 // ---------------------------------------------------------------------------
 // Persistent pool plumbing
 // ---------------------------------------------------------------------------
@@ -199,6 +195,10 @@ struct Pool {
     /// second concurrent `run_graph`/`parallel_for` blocks here until the
     /// first finishes (the workers are a single resource).
     dispatch: Mutex<()>,
+    /// Per-worker `parallel_for` deque words, owned by the pool so a
+    /// steady-state loop dispatch allocates nothing. Seeded by
+    /// [`ForJob::new`] under the dispatch lock.
+    for_slots: Vec<CachePadded<AtomicU64>>,
 }
 
 thread_local! {
@@ -256,6 +256,7 @@ impl Pool {
             workers: Mutex::new(Vec::new()),
             threads,
             dispatch: Mutex::new(()),
+            for_slots: (0..threads).map(|_| CachePadded(AtomicU64::new(0))).collect(),
         }
     }
 
@@ -279,6 +280,12 @@ impl Pool {
     /// returns after all of them have finished it.
     fn dispatch(&self, job: &dyn Job) {
         let _serial = lock(&self.dispatch);
+        self.dispatch_locked(job);
+    }
+
+    /// [`Pool::dispatch`] body for callers that already hold the dispatch
+    /// lock (e.g. to seed pool-owned job state race-free first).
+    fn dispatch_locked(&self, job: &dyn Job) {
         self.ensure_spawned();
         // SAFETY: lifetime erasure only; `job` outlives the dispatch (we
         // block until every worker is done with it below).
@@ -334,16 +341,105 @@ struct WorkerStats {
     log: Vec<TaskRecord>,
 }
 
-struct GraphJob<'g, F> {
-    graph: &'g TaskGraph,
-    task_fn: &'g F,
-    threads: usize,
+/// Reusable arenas for [`Executor::run_graph_reuse`]: ready-queue shards,
+/// dependency counters and per-worker stat slots, sized on first use and
+/// recycled on every subsequent run so a steady-state graph dispatch
+/// performs **zero heap allocations**.
+///
+/// One scratch belongs to one logical stream of runs (e.g. one NUFFT plan);
+/// it must not be shared by concurrent dispatches. After a run,
+/// [`GraphScratch::stats`] exposes the harvested [`RunStats`] in place.
+#[derive(Default)]
+pub struct GraphScratch {
     /// Per-worker ready-queue shards, each honoring the run's policy.
     shards: Vec<CachePadded<Mutex<ReadyQueue>>>,
     /// Unsatisfied prerequisite count per task: predecessor edges, plus one
     /// extra for a privatized task's own convolve phase. The worker whose
     /// decrement reaches zero publishes the task — no lock involved.
     pending: Vec<AtomicU32>,
+    /// Per-worker stat slots, harvested into `stats` after quiescence.
+    slots: Vec<CachePadded<StatSlot>>,
+    stats: RunStats,
+}
+
+impl GraphScratch {
+    /// An empty scratch; arenas grow on the first run that uses it.
+    pub fn new() -> Self {
+        GraphScratch::default()
+    }
+
+    /// The stats of the most recent completed run through this scratch.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Consumes the scratch, returning the last run's stats.
+    pub fn into_stats(self) -> RunStats {
+        self.stats
+    }
+
+    /// Sizes every arena for a `(graph, policy, threads)` run and resets the
+    /// cursors. Allocates only on first use or growth; returns the run's
+    /// logical unit count (privatized tasks count twice).
+    fn prepare(&mut self, graph: &TaskGraph, policy: QueuePolicy, threads: usize) -> usize {
+        let n = graph.len();
+        while self.shards.len() < threads {
+            self.shards.push(CachePadded(Mutex::new(ReadyQueue::new(policy))));
+        }
+        self.shards.truncate(threads);
+        for s in &mut self.shards {
+            s.0.get_mut().unwrap_or_else(|e| e.into_inner()).reset(policy);
+        }
+        while self.pending.len() < n {
+            self.pending.push(AtomicU32::new(0));
+        }
+        self.pending.truncate(n);
+        let mut total = 0usize;
+        for t in 0..n {
+            let extra: u32 = if graph.privatized(t) { 1 } else { 0 };
+            total += 1 + extra as usize;
+            // Relaxed: the dispatch protocol's locks order this store
+            // before any worker's first load.
+            self.pending[t].store(graph.pred_count(t) as u32 + extra, Ordering::Relaxed);
+        }
+        while self.slots.len() < threads {
+            self.slots.push(CachePadded(StatSlot(UnsafeCell::new(WorkerStats::default()))));
+        }
+        self.slots.truncate(threads);
+        for slot in &mut self.slots {
+            let ws = slot.0 .0.get_mut();
+            ws.busy = 0.0;
+            ws.log.clear();
+            // Worker↔task assignment varies run to run, so each slot must
+            // be ready to hold every record; capacity sticks after run one.
+            ws.log.reserve(total);
+        }
+        self.stats.worker_busy.reserve(threads);
+        self.stats.log.reserve(total);
+        total
+    }
+
+    /// Harvests the per-worker slots into `stats` after quiescence.
+    fn harvest(&mut self, makespan: f64) {
+        self.stats.makespan = makespan;
+        self.stats.worker_busy.clear();
+        self.stats.log.clear();
+        for slot in &mut self.slots {
+            let ws = slot.0 .0.get_mut();
+            self.stats.worker_busy.push(ws.busy);
+            self.stats.log.extend_from_slice(&ws.log);
+        }
+    }
+}
+
+struct GraphJob<'g, F> {
+    graph: &'g TaskGraph,
+    task_fn: &'g F,
+    threads: usize,
+    /// Ready-queue shards, borrowed from the run's [`GraphScratch`].
+    shards: &'g [CachePadded<Mutex<ReadyQueue>>],
+    /// Pending-prerequisite counters, borrowed from the scratch.
+    pending: &'g [AtomicU32],
     /// Logical units retired (privatized tasks count twice).
     completed: AtomicUsize,
     /// Logical units total.
@@ -357,30 +453,29 @@ struct GraphJob<'g, F> {
     idle: Mutex<u64>,
     idle_cv: Condvar,
     t0: Instant,
-    slots: Vec<CachePadded<StatSlot>>,
+    slots: &'g [CachePadded<StatSlot>],
 }
 
 impl<'g, F> GraphJob<'g, F>
 where
     F: Fn(TaskId, TaskPhase, usize) + Sync,
 {
-    fn new(graph: &'g TaskGraph, policy: QueuePolicy, threads: usize, task_fn: &'g F) -> Self {
+    /// Builds the job over a scratch already sized by
+    /// [`GraphScratch::prepare`] for this `(graph, threads)` pair.
+    fn new(
+        graph: &'g TaskGraph,
+        threads: usize,
+        task_fn: &'g F,
+        scratch: &'g GraphScratch,
+        total: usize,
+    ) -> Self {
         let n = graph.len();
-        let mut pending = Vec::with_capacity(n);
-        let mut total = 0usize;
-        for t in 0..n {
-            let extra: u32 = if graph.privatized(t) { 1 } else { 0 };
-            total += 1 + extra as usize;
-            pending.push(AtomicU32::new(graph.pred_count(t) as u32 + extra));
-        }
         let job = GraphJob {
             graph,
             task_fn,
             threads,
-            shards: (0..threads)
-                .map(|_| CachePadded(Mutex::new(ReadyQueue::new(policy))))
-                .collect(),
-            pending,
+            shards: &scratch.shards,
+            pending: &scratch.pending,
             completed: AtomicUsize::new(0),
             total,
             poisoned: AtomicBool::new(false),
@@ -389,9 +484,7 @@ where
             idle: Mutex::new(0),
             idle_cv: Condvar::new(),
             t0: Instant::now(),
-            slots: (0..threads)
-                .map(|_| CachePadded(StatSlot(UnsafeCell::new(WorkerStats::default()))))
-                .collect(),
+            slots: &scratch.slots,
         };
         // Seed the initially ready units round-robin across the shards, in
         // task order (the same deterministic placement `nufft-sim`
@@ -515,19 +608,6 @@ where
         *g += 1;
         self.idle_cv.notify_all();
     }
-
-    /// Harvests the per-worker slots after quiescence.
-    fn into_stats(self) -> RunStats {
-        let makespan = self.t0.elapsed().as_secs_f64();
-        let mut worker_busy = Vec::with_capacity(self.threads);
-        let mut log = Vec::new();
-        for slot in self.slots {
-            let stats = slot.0 .0.into_inner();
-            worker_busy.push(stats.busy);
-            log.extend(stats.log);
-        }
-        RunStats { makespan, worker_busy, log }
-    }
 }
 
 fn entry(graph: &TaskGraph, t: TaskId, phase: TaskPhase) -> Entry {
@@ -573,51 +653,55 @@ where
 
 /// Single-threaded `run_graph` with identical policy semantics; used for
 /// 1-thread executors and for (unsupported but safe) reentrant calls from
-/// inside a pool job.
-fn run_graph_serial<F>(graph: &TaskGraph, policy: QueuePolicy, task_fn: &F) -> RunStats
-where
+/// inside a pool job. Runs entirely out of `scratch` — allocation-free once
+/// the arenas are warm.
+fn run_graph_serial_reuse<F>(
+    graph: &TaskGraph,
+    policy: QueuePolicy,
+    scratch: &mut GraphScratch,
+    task_fn: &F,
+) where
     F: Fn(TaskId, TaskPhase, usize) + Sync,
 {
-    let n = graph.len();
-    let mut ready = ReadyQueue::new(policy);
-    let mut pending = vec![0u32; n];
-    for t in 0..n {
-        let extra = if graph.privatized(t) { 1 } else { 0 };
-        pending[t] = graph.pred_count(t) as u32 + extra;
-        if graph.privatized(t) {
-            ready.push(entry(graph, t, TaskPhase::PrivateConvolve));
-        } else if pending[t] == 0 {
-            ready.push(entry(graph, t, TaskPhase::Normal));
-        }
-    }
+    scratch.prepare(graph, policy, 1);
     let t0 = Instant::now();
-    let mut busy = 0.0f64;
-    let mut log = Vec::new();
-    while let Some(e) = ready.pop() {
-        let task = (e.payload / 4) as TaskId;
-        let phase = TaskPhase::decode(e.payload % 4);
-        let start = t0.elapsed().as_secs_f64();
-        task_fn(task, phase, 0);
-        let end = t0.elapsed().as_secs_f64();
-        busy += end - start;
-        log.push(TaskRecord { task, phase, worker: 0, start, end });
-        let mut retire = |t: TaskId| {
-            pending[t] -= 1;
-            if pending[t] == 0 {
-                let ph = if graph.privatized(t) { TaskPhase::Reduce } else { TaskPhase::Normal };
-                ready.push(entry(graph, t, ph));
+    {
+        let GraphScratch { shards, pending, slots, .. } = scratch;
+        let ready = shards[0].0.get_mut().unwrap_or_else(|e| e.into_inner());
+        for t in 0..graph.len() {
+            if graph.privatized(t) {
+                ready.push(entry(graph, t, TaskPhase::PrivateConvolve));
+            } else if pending[t].load(Ordering::Relaxed) == 0 {
+                ready.push(entry(graph, t, TaskPhase::Normal));
             }
-        };
-        match phase {
-            TaskPhase::PrivateConvolve => retire(task),
-            TaskPhase::Normal | TaskPhase::Reduce => {
-                for s in graph.succs(task) {
-                    retire(s);
+        }
+        let ws = slots[0].0 .0.get_mut();
+        while let Some(e) = ready.pop() {
+            let task = (e.payload / 4) as TaskId;
+            let phase = TaskPhase::decode(e.payload % 4);
+            let start = t0.elapsed().as_secs_f64();
+            task_fn(task, phase, 0);
+            let end = t0.elapsed().as_secs_f64();
+            ws.busy += end - start;
+            ws.log.push(TaskRecord { task, phase, worker: 0, start, end });
+            let mut retire = |t: TaskId| {
+                if pending[t].fetch_sub(1, Ordering::Relaxed) == 1 {
+                    let ph =
+                        if graph.privatized(t) { TaskPhase::Reduce } else { TaskPhase::Normal };
+                    ready.push(entry(graph, t, ph));
+                }
+            };
+            match phase {
+                TaskPhase::PrivateConvolve => retire(task),
+                TaskPhase::Normal | TaskPhase::Reduce => {
+                    for s in graph.succs(task) {
+                        retire(s);
+                    }
                 }
             }
         }
     }
-    RunStats { makespan: t0.elapsed().as_secs_f64(), worker_busy: vec![busy], log }
+    scratch.harvest(t0.elapsed().as_secs_f64());
 }
 
 // ---------------------------------------------------------------------------
@@ -638,8 +722,9 @@ fn unpack(v: u64) -> (usize, usize) {
 }
 
 struct ForJob<'a, F> {
-    /// Per-worker remaining range, one padded word each.
-    slots: Vec<CachePadded<AtomicU64>>,
+    /// Per-worker remaining range, one padded word each — pool-owned
+    /// ([`Pool::for_slots`]) so a steady-state dispatch allocates nothing.
+    slots: &'a [CachePadded<AtomicU64>],
     threads: usize,
     /// Owner pop size — already rounded up to the alignment.
     grain: usize,
@@ -655,18 +740,27 @@ impl<'a, F> ForJob<'a, F>
 where
     F: Fn(core::ops::Range<usize>, usize) + Sync,
 {
-    fn new(n: usize, grain: usize, align: usize, threads: usize, body: &'a F) -> Self {
+    /// Seeds `slots` (which must be dedicated to this job until it
+    /// completes — the caller holds the pool's dispatch lock) and builds
+    /// the job.
+    fn new(
+        slots: &'a [CachePadded<AtomicU64>],
+        n: usize,
+        grain: usize,
+        align: usize,
+        threads: usize,
+        body: &'a F,
+    ) -> Self {
         assert!(n <= u32::MAX as usize, "parallel_for range too large for the packed deque");
+        assert!(threads <= slots.len(), "fewer deque words than workers");
         // Seed every worker with one contiguous chunk; boundaries are
         // rounded up to `align` so no two seeds split an aligned block.
         let chunk = n.div_ceil(threads).next_multiple_of(align);
-        let slots = (0..threads)
-            .map(|w| {
-                let lo = (w * chunk).min(n);
-                let hi = ((w + 1) * chunk).min(n);
-                CachePadded(AtomicU64::new(pack(lo, hi)))
-            })
-            .collect();
+        for (w, slot) in slots.iter().take(threads).enumerate() {
+            let lo = (w * chunk).min(n);
+            let hi = ((w + 1) * chunk).min(n);
+            slot.0.store(pack(lo, hi), Ordering::SeqCst);
+        }
         ForJob {
             slots,
             threads,
@@ -1057,19 +1151,47 @@ impl Executor {
     where
         F: Fn(TaskId, TaskPhase, usize) + Sync,
     {
+        let mut scratch = GraphScratch::new();
+        self.run_graph_reuse(graph, policy, &mut scratch, task_fn);
+        scratch.into_stats()
+    }
+
+    /// [`Executor::run_graph`] against caller-owned [`GraphScratch`]: all
+    /// run bookkeeping (ready-queue shards, dependency counters, stat
+    /// logs) lives in `scratch` and is recycled, so repeated dispatches of
+    /// same-shaped graphs allocate nothing after the first. The run's
+    /// [`RunStats`] are left in [`GraphScratch::stats`].
+    pub fn run_graph_reuse<F>(
+        &self,
+        graph: &TaskGraph,
+        policy: QueuePolicy,
+        scratch: &mut GraphScratch,
+        task_fn: F,
+    ) where
+        F: Fn(TaskId, TaskPhase, usize) + Sync,
+    {
         match self.backend {
-            ExecBackend::SpawnPerCall => spawn::run_graph(self.threads, graph, policy, &task_fn),
+            ExecBackend::SpawnPerCall => {
+                scratch.stats = spawn::run_graph(self.threads, graph, policy, &task_fn);
+            }
             ExecBackend::Persistent => {
                 if self.threads == 1 || IN_POOL_JOB.with(|f| f.get()) {
-                    return run_graph_serial(graph, policy, &task_fn);
+                    return run_graph_serial_reuse(graph, policy, scratch, &task_fn);
                 }
                 let pool = self.pool.as_ref().expect("persistent backend owns a pool");
-                let job = GraphJob::new(graph, policy, self.threads, &task_fn);
-                pool.dispatch(&job);
-                if let Some(payload) = lock(&job.panic_payload).take() {
+                let total = scratch.prepare(graph, policy, self.threads);
+                let makespan;
+                let payload;
+                {
+                    let job = GraphJob::new(graph, self.threads, &task_fn, scratch, total);
+                    pool.dispatch(&job);
+                    makespan = job.t0.elapsed().as_secs_f64();
+                    payload = lock(&job.panic_payload).take();
+                }
+                if let Some(payload) = payload {
                     resume_unwind(payload);
                 }
-                job.into_stats()
+                scratch.harvest(makespan);
             }
         }
     }
@@ -1116,8 +1238,13 @@ impl Executor {
             }
             ExecBackend::Persistent => {
                 let pool = self.pool.as_ref().expect("persistent backend owns a pool");
-                let job = ForJob::new(n, grain, align, self.threads, &body);
-                pool.dispatch(&job);
+                // Seed the pool-owned deque words and dispatch under a
+                // single hold of the dispatch lock, so a concurrent
+                // dispatch from another handle cannot clobber the seeds.
+                let serial = lock(&pool.dispatch);
+                let job = ForJob::new(&pool.for_slots, n, grain, align, self.threads, &body);
+                pool.dispatch_locked(&job);
+                drop(serial);
                 let payload = lock(&job.panic_payload).take();
                 if let Some(payload) = payload {
                     resume_unwind(payload);
@@ -1468,6 +1595,38 @@ mod tests {
         assert_eq!(a, b);
         assert!(a >= 1);
         assert_eq!(Executor::host().threads(), a);
+    }
+
+    #[test]
+    fn run_graph_reuse_recycles_scratch_across_runs() {
+        // Same scratch, several runs (including a policy switch and a
+        // different graph shape): every run must still execute each task
+        // exactly once and leave fresh stats behind.
+        let exec = Executor::new(3);
+        let mut scratch = GraphScratch::new();
+        for (dims, policy) in [
+            (&[4usize, 4][..], QueuePolicy::Priority),
+            (&[4, 4][..], QueuePolicy::Priority),
+            (&[3, 2][..], QueuePolicy::Fifo),
+            (&[4, 4][..], QueuePolicy::Priority),
+        ] {
+            let mut graph = TaskGraph::new(dims);
+            for t in 0..graph.len() {
+                graph.set_privatized(t, t % 3 == 0);
+            }
+            let counts: Vec<AtomicU32> = (0..graph.len()).map(|_| AtomicU32::new(0)).collect();
+            exec.run_graph_reuse(&graph, policy, &mut scratch, |t, phase, _w| {
+                if phase != TaskPhase::PrivateConvolve {
+                    counts[t].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for (t, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "task {t}");
+            }
+            let expect = graph.len() + (0..graph.len()).filter(|t| graph.privatized(*t)).count();
+            assert_eq!(scratch.stats().log.len(), expect);
+            assert_eq!(scratch.stats().worker_busy.len(), 3);
+        }
     }
 
     #[test]

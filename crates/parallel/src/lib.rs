@@ -35,7 +35,9 @@ pub mod exec;
 pub mod graph;
 pub mod gray;
 pub mod queue;
+pub mod scratch;
 
-pub use exec::{ExecBackend, Executor, RunStats, TaskPhase};
+pub use exec::{ExecBackend, Executor, GraphScratch, RunStats, TaskPhase};
 pub use graph::{QueuePolicy, TaskGraph, TaskId};
 pub use gray::{gray_code, gray_rank};
+pub use scratch::WorkerLocal;

@@ -50,6 +50,17 @@ impl ReadyQueue {
         }
     }
 
+    /// Empties the queue and switches it to `policy`, keeping the backing
+    /// allocation whenever the discipline is unchanged — the executor's
+    /// reused scratch path calls this once per shard per run.
+    pub fn reset(&mut self, policy: QueuePolicy) {
+        match (&mut *self, policy) {
+            (ReadyQueue::Fifo(q), QueuePolicy::Fifo) => q.clear(),
+            (ReadyQueue::Priority(h), QueuePolicy::Priority) => h.clear(),
+            _ => *self = ReadyQueue::new(policy),
+        }
+    }
+
     /// Enqueues a ready entry.
     pub fn push(&mut self, e: Entry) {
         match self {
@@ -121,6 +132,24 @@ mod tests {
         assert_eq!(q.pop().unwrap().payload, 1);
         assert_eq!(q.pop().unwrap().payload, 2);
         assert_eq!(q.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn reset_keeps_discipline_and_empties() {
+        let mut q = ReadyQueue::new(QueuePolicy::Priority);
+        q.push(e(5, 1));
+        q.push(e(9, 2));
+        q.reset(QueuePolicy::Priority);
+        assert!(q.is_empty());
+        q.push(e(1, 7));
+        assert_eq!(q.pop().unwrap().payload, 7);
+        // Switching discipline rebuilds the queue.
+        q.push(e(3, 1));
+        q.reset(QueuePolicy::Fifo);
+        assert!(q.is_empty());
+        q.push(e(9, 5));
+        q.push(e(1, 6));
+        assert_eq!(q.pop().unwrap().payload, 5);
     }
 
     #[test]

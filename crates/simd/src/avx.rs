@@ -127,6 +127,67 @@ pub unsafe fn gather_row(src: &[Complex32], w: &[f32]) -> Complex32 {
     out
 }
 
+/// Two-row gather with a shared weight row: one weight expansion feeds two
+/// independent accumulators (one per channel grid), amortizing the
+/// `dup_weights4` shuffle and filling both FMA ports on short rows.
+///
+/// Each accumulator sees exactly the sequence of operations [`gather_row`]
+/// would perform on its row alone — same vector adds, same fold, same
+/// scalar tail — so the result is bitwise-equal per row to two independent
+/// [`gather_row`] calls.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gather_row2(
+    src0: &[Complex32],
+    src1: &[Complex32],
+    w: &[f32],
+) -> (Complex32, Complex32) {
+    debug_assert_eq!(src0.len(), w.len());
+    debug_assert_eq!(src1.len(), w.len());
+    let n = w.len();
+    let p0 = src0.as_ptr() as *const f32;
+    let p1 = src1.as_ptr() as *const f32;
+    let wp = w.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 4 <= n {
+        let ww = dup_weights4(wp.add(i));
+        let s0 = _mm256_loadu_ps(p0.add(2 * i));
+        let s1 = _mm256_loadu_ps(p1.add(2 * i));
+        acc0 = _mm256_fmadd_ps(ww, s0, acc0);
+        acc1 = _mm256_fmadd_ps(ww, s1, acc1);
+        i += 4;
+    }
+    // Fold each accumulator exactly as gather_row does.
+    #[inline(always)]
+    unsafe fn fold(acc: __m256) -> Complex32 {
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps(acc, 1);
+        let s4 = _mm_add_ps(lo, hi);
+        let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+        Complex32::new(_mm_cvtss_f32(s2), {
+            let im = _mm_shuffle_ps(s2, s2, 0b01);
+            _mm_cvtss_f32(im)
+        })
+    }
+    let mut out0 = fold(acc0);
+    let mut out1 = fold(acc1);
+    while i < n {
+        let wi = *wp.add(i);
+        let a = *src0.get_unchecked(i);
+        let b = *src1.get_unchecked(i);
+        out0.re += a.re * wi;
+        out0.im += a.im * wi;
+        out1.re += b.re * wi;
+        out1.im += b.im * wi;
+        i += 1;
+    }
+    (out0, out1)
+}
+
 /// `dst[i] += src[i]` over complex buffers, 8 floats per iteration.
 ///
 /// # Safety

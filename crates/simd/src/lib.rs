@@ -31,5 +31,5 @@ mod scalar;
 mod sse;
 
 pub use dispatch::{active_isa, detect_isa, set_isa_override, IsaLevel};
-pub use rows::{gather_row, scatter_row, scatter_row2};
+pub use rows::{gather_row, gather_row2, scatter_row, scatter_row2};
 pub use vecops::{accumulate, dotc, scale_by_real, sum_norm_sqr};

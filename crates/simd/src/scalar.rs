@@ -45,6 +45,16 @@ pub fn gather_row(src: &[Complex32], w: &[f32]) -> Complex32 {
     acc
 }
 
+/// Two-row gather sharing one weight row: gathers the same window from two
+/// channel grids at once (the multi-channel analogue of [`scatter_row2`]).
+/// The scalar form simply performs both rows, so every vector path that
+/// interleaves the two accumulators must stay bitwise-equal per row to two
+/// independent [`gather_row`] calls.
+#[inline]
+pub fn gather_row2(src0: &[Complex32], src1: &[Complex32], w: &[f32]) -> (Complex32, Complex32) {
+    (gather_row(src0, w), gather_row(src1, w))
+}
+
 /// `dst[i] += src[i]` — privatized-buffer reduction (§III-B4).
 #[inline]
 pub fn accumulate(dst: &mut [Complex32], src: &[Complex32]) {

@@ -88,6 +88,22 @@ pub unsafe fn gather_row(src: &[Complex32], w: &[f32]) -> Complex32 {
     out
 }
 
+/// Two-row gather with a shared weight row. Two sequential [`gather_row`]
+/// calls: on SSE the weight splat is cheap to redo and keeping the rows
+/// sequential preserves bitwise equality with the one-row path by
+/// construction.
+///
+/// # Safety
+/// See [`scatter_row`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn gather_row2(
+    src0: &[Complex32],
+    src1: &[Complex32],
+    w: &[f32],
+) -> (Complex32, Complex32) {
+    (gather_row(src0, w), gather_row(src1, w))
+}
+
 /// `dst[i] += src[i]` over complex buffers.
 ///
 /// # Safety

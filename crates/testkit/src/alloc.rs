@@ -1,0 +1,140 @@
+//! A counting global allocator for zero-allocation steady-state tests.
+//!
+//! The plan layer's contract is that repeated operator applies perform no
+//! heap allocation (scratch arenas are hoisted to plan build — see
+//! `nufft-core::plan` and `nufft-parallel::scratch`). Asserting "no
+//! allocation" needs instrumentation below the code under test:
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and counts every
+//! allocation, deallocation and byte from *any* thread.
+//!
+//! Usage (one per test binary — global allocators are process-wide):
+//!
+//! ```ignore
+//! use nufft_testkit::alloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! #[test]
+//! fn steady_state_is_allocation_free() {
+//!     warm_up();                      // first applies may allocate
+//!     let before = ALLOC.snapshot();
+//!     apply_operators();              // steady state under test
+//!     let after = ALLOC.snapshot();
+//!     assert_eq!(after.allocs, before.allocs);
+//! }
+//! ```
+//!
+//! Counters are relaxed atomics: the harness only compares totals from the
+//! coordinating test thread after worker threads have joined, so no
+//! ordering stronger than the join itself is needed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Point-in-time allocator counters (monotonic since process start).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of allocation calls (`alloc` + `realloc`).
+    pub allocs: u64,
+    /// Number of deallocation calls.
+    pub deallocs: u64,
+    /// Total bytes requested by allocation calls.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas `self - earlier` (saturating, for safety against
+    /// misuse — counters are monotonic so deltas are exact in practice).
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            deallocs: self.deallocs.saturating_sub(earlier.deallocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts traffic.
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    deallocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh zero-count allocator (const: usable in `static` position).
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            deallocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            deallocs: self.deallocs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: forwards verbatim to `System`, which upholds the `GlobalAlloc`
+// contract; the added relaxed counter updates have no allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: same layout contract as ours.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as ours.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: same layout contract as ours.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not registered as the global allocator here (the test binary keeps
+    // the default); exercise the trait methods directly.
+    #[test]
+    fn counts_alloc_and_dealloc() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        // SAFETY: valid layout; freed below with the same layout.
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        let s1 = a.snapshot();
+        assert_eq!(s1.allocs, 1);
+        assert_eq!(s1.bytes, 64);
+        assert_eq!(s1.deallocs, 0);
+        // SAFETY: allocated above with this layout.
+        unsafe { a.dealloc(p, layout) };
+        let s2 = a.snapshot();
+        assert_eq!(s2.deallocs, 1);
+        let d = s2.since(&s1);
+        assert_eq!(d.allocs, 0);
+        assert_eq!(d.deallocs, 1);
+    }
+}

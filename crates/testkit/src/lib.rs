@@ -22,6 +22,7 @@
 //! test prints the seed that reproduces it (see DESIGN.md, "Hermetic
 //! testing").
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Runs the FFT, operator, and runtime benchmarks. Two JSON summaries land at
+# Runs the FFT, operator, and runtime benchmarks. JSON summaries land at
 # the repo root, each written by its bench binary:
-#   BENCH_fft.json   — FFT execution-path sweep (crates/bench/benches/fft.rs)
-#   BENCH_pool.json  — persistent-pool vs spawn-per-call operator applies
-#                      (crates/bench/benches/pool.rs)
+#   BENCH_fft.json     — FFT execution-path sweep (crates/bench/benches/fft.rs)
+#   BENCH_pool.json    — persistent-pool vs spawn-per-call operator applies
+#                        (crates/bench/benches/pool.rs)
+#   BENCH_windows.json — precomputed window table vs on-the-fly Part 1
+#                        (crates/bench/benches/windows.rs)
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
@@ -26,8 +28,14 @@ cargo bench --offline --bench operators
 echo "== bench: pool (persistent runtime vs spawn-per-call baseline) =="
 cargo bench --offline --bench pool
 
+echo "== bench: windows (precomputed table vs on-the-fly Part 1) =="
+cargo bench --offline --bench windows
+
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
 
 echo "== BENCH_pool.json =="
 cat BENCH_pool.json
+
+echo "== BENCH_windows.json =="
+cat BENCH_windows.json

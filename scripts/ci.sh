@@ -29,6 +29,15 @@ echo "== parallel stress (oversubscribed, 16 workers) =="
 # exercised under real preemption.
 NUFFT_THREADS=16 cargo test -q --offline -p nufft-parallel
 
+echo "== convolution-engine contracts (allocation-free applies, window modes) =="
+# Named runs so a regression names the broken contract, not just "a test".
+# window_modes covers bitwise table-vs-fly equality across ISA levels and
+# thread counts plus the oversized-W construction-time validation;
+# alloc_steady_state pins the zero-allocation apply path with a counting
+# global allocator.
+cargo test -q --offline -p nufft-core --test window_modes
+cargo test -q --offline -p nufft --test alloc_steady_state
+
 echo "== clippy (deny warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -36,7 +45,7 @@ else
     echo "clippy not installed; skipping"
 fi
 
-echo "== bench smoke (fft + operators + pool, fast mode) =="
+echo "== bench smoke (fft + operators + pool + windows, fast mode) =="
 scripts/bench.sh --quick
 
 echo "CI OK"

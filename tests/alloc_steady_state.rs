@@ -1,0 +1,139 @@
+//! Steady-state operator applies must perform **zero heap allocations**.
+//!
+//! An iterative solver applies the same forward/adjoint operators hundreds
+//! of times; the plan hoists every per-apply allocation into construction
+//! or first-use warmup (task-graph run state in `GraphScratch`, FFT tile
+//! scratch in a `WorkerLocal` arena, pointer staging in reusable plan
+//! vectors, lazily-built FFT twiddle tables). This test pins that contract
+//! with a counting global allocator: after a warmup apply of each
+//! operator, further applies must not touch the allocator at all — in both
+//! window modes, with the parallel persistent-pool executor running.
+//!
+//! One test function only: the global allocator counts process-wide, so
+//! concurrent tests would bleed counts into each other.
+
+use nufft::core::{NufftConfig, NufftPlan, WindowMode};
+use nufft::math::Complex32;
+use nufft_testkit::alloc::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn traj3(count: usize) -> Vec<[f64; 3]> {
+    (0..count)
+        .map(|i| {
+            [
+                ((i as f64 * 0.618) % 1.0) - 0.5,
+                ((i as f64 * 0.414) % 1.0) - 0.5,
+                ((i as f64 * 0.732) % 1.0) - 0.5,
+            ]
+        })
+        .collect()
+}
+
+fn signal(n: usize, phase: f32) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| Complex32::new((i as f32 * 0.11 + phase).sin(), (i as f32 * 0.05).cos()))
+        .collect()
+}
+
+/// Applies every operator once (the warmup fills lazily-built FFT tables,
+/// grows scratch vectors to capacity, and spins up pool workers).
+#[allow(clippy::too_many_arguments)]
+fn apply_all(
+    plan: &mut NufftPlan<3>,
+    image: &[Complex32],
+    samples: &[Complex32],
+    images: &[Vec<Complex32>],
+    datas: &[Vec<Complex32>],
+    out_samples: &mut [Complex32],
+    out_image: &mut [Complex32],
+    bout_samples: &mut [Vec<Complex32>],
+    bout_images: &mut [Vec<Complex32>],
+) {
+    plan.forward(image, out_samples);
+    plan.adjoint(samples, out_image);
+    // Stack-array channel refs: the harness itself must not allocate in
+    // the measured region.
+    {
+        let image_refs: [&[Complex32]; 2] = [&images[0], &images[1]];
+        let (s0, rest) = bout_samples.split_first_mut().unwrap();
+        let mut refs: [&mut [Complex32]; 2] = [s0.as_mut_slice(), rest[0].as_mut_slice()];
+        plan.forward_batch(&image_refs, &mut refs);
+    }
+    {
+        let data_refs: [&[Complex32]; 2] = [&datas[0], &datas[1]];
+        let (i0, rest) = bout_images.split_first_mut().unwrap();
+        let mut refs: [&mut [Complex32]; 2] = [i0.as_mut_slice(), rest[0].as_mut_slice()];
+        plan.adjoint_batch(&data_refs, &mut refs);
+    }
+}
+
+#[test]
+fn steady_state_applies_are_allocation_free() {
+    let n = [12usize, 12, 12];
+    let img_len = 12 * 12 * 12;
+    let traj = traj3(600);
+    let k = traj.len();
+    let channels = 2usize;
+
+    let image = signal(img_len, 0.0);
+    let samples = signal(k, 1.0);
+    let images: Vec<Vec<Complex32>> = (0..channels).map(|c| signal(img_len, c as f32)).collect();
+    let datas: Vec<Vec<Complex32>> = (0..channels).map(|c| signal(k, 2.0 + c as f32)).collect();
+    let mut out_samples = vec![Complex32::ZERO; k];
+    let mut out_image = vec![Complex32::ZERO; img_len];
+    let mut bout_samples = vec![vec![Complex32::ZERO; k]; channels];
+    let mut bout_images = vec![vec![Complex32::ZERO; img_len]; channels];
+
+    for mode in [WindowMode::OnTheFly, WindowMode::Precomputed] {
+        let cfg = NufftConfig {
+            threads: 2,
+            w: 3.0,
+            partitions_per_dim: Some(4),
+            window_mode: mode,
+            ..NufftConfig::default()
+        };
+        let mut plan = NufftPlan::new(n, &traj, cfg);
+
+        // Warmup: note-taking allocations (FFT tables via OnceLock, scratch
+        // capacity growth, pool worker spawn, batch grids) happen here.
+        // The batch calls run twice so every reusable vector reaches its
+        // steady-state capacity before measurement.
+        for _ in 0..2 {
+            apply_all(
+                &mut plan,
+                &image,
+                &samples,
+                &images,
+                &datas,
+                &mut out_samples,
+                &mut out_image,
+                &mut bout_samples,
+                &mut bout_images,
+            );
+        }
+
+        let before = ALLOC.snapshot();
+        for _ in 0..3 {
+            apply_all(
+                &mut plan,
+                &image,
+                &samples,
+                &images,
+                &datas,
+                &mut out_samples,
+                &mut out_image,
+                &mut bout_samples,
+                &mut bout_images,
+            );
+        }
+        let delta = ALLOC.snapshot().since(&before);
+        assert_eq!(
+            delta.allocs, 0,
+            "{mode:?}: steady-state applies allocated {} times ({} bytes, {} frees)",
+            delta.allocs, delta.bytes, delta.deallocs
+        );
+        assert_eq!(delta.deallocs, 0, "{mode:?}: steady-state applies freed memory");
+    }
+}

@@ -4,7 +4,7 @@
 use crate::report::{secs, speedup, Table};
 use crate::{build_problem, calibrate_cost, host_threads, time_median, RunScale};
 use nufft_baselines::sequential::SequentialNufft;
-use nufft_core::NufftConfig;
+use nufft_core::{ExecMode, NufftConfig};
 use nufft_math::Complex32;
 use nufft_parallel::graph::QueuePolicy;
 use nufft_sim::simulate;
@@ -63,7 +63,10 @@ pub fn fig7(scale: &RunScale) {
         &["W", "part1", "ADJ part2", "FWD part2", "part1 % of ADJ", "part1 % of FWD"],
     );
     for w in [2.0f64, 4.0, 6.0, 8.0] {
-        let cfg = NufftConfig { threads: 1, w, ..NufftConfig::default() };
+        // Phase attribution needs join-separated phases; the fused DAG
+        // overlaps them, so the breakdown figures pin the phased pipeline.
+        let cfg =
+            NufftConfig { threads: 1, w, exec_mode: ExecMode::Phased, ..NufftConfig::default() };
         let mut prob = build_problem(DatasetKind::Radial, &p, cfg);
         let part1 = time_median(scale.reps, || prob.plan.part1_seconds());
         let adj = time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
@@ -93,7 +96,13 @@ fn fft_projection(fft_1core: f64, lines: usize, p: usize) -> f64 {
 /// simulated 40-core projection).
 pub fn fig8(scale: &RunScale) {
     let p = workload(scale);
-    let cfg = NufftConfig { threads: host_threads(), w: 4.0, ..NufftConfig::default() };
+    let cfg = NufftConfig {
+        threads: host_threads(),
+        w: 4.0,
+        // Per-phase attribution: run the join-separated pipeline.
+        exec_mode: ExecMode::Phased,
+        ..NufftConfig::default()
+    };
     let mut prob = build_problem(DatasetKind::Radial, &p, cfg);
     let mut samples_out = vec![Complex32::ZERO; prob.samples.len()];
     let mut image_out = vec![Complex32::ZERO; prob.image.len()];
@@ -149,7 +158,13 @@ pub fn tab2(scale: &RunScale) {
     let base_total = bft.total + bat.total;
 
     // Optimized: measured at host threads.
-    let cfg = NufftConfig { threads: host_threads(), w: 4.0, ..NufftConfig::default() };
+    let cfg = NufftConfig {
+        threads: host_threads(),
+        w: 4.0,
+        // Per-phase attribution: run the join-separated pipeline.
+        exec_mode: ExecMode::Phased,
+        ..NufftConfig::default()
+    };
     let mut prob = build_problem(DatasetKind::Radial, &p, cfg);
     let mut s_out = vec![Complex32::ZERO; prob.samples.len()];
     let mut i_out = vec![Complex32::ZERO; prob.image.len()];

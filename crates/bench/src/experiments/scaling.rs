@@ -7,7 +7,7 @@
 
 use crate::report::{secs, speedup, Table};
 use crate::{build_problem, calibrate_cost, time_median, RunScale, SIM_CORES};
-use nufft_core::NufftConfig;
+use nufft_core::{ExecMode, NufftConfig};
 use nufft_math::Complex32;
 use nufft_parallel::graph::QueuePolicy;
 use nufft_sim::simulate;
@@ -26,7 +26,16 @@ fn n_variants(scale: &RunScale) -> Vec<DatasetParams> {
 /// fine — only its total time is used).
 fn sim_cfg(w: f64, cores: usize) -> NufftConfig {
     let p = (((8 * cores) as f64).powf(1.0 / 3.0).ceil() as usize).max(2);
-    NufftConfig { threads: cores, w, partitions_per_dim: Some(p), ..NufftConfig::default() }
+    NufftConfig {
+        threads: cores,
+        w,
+        partitions_per_dim: Some(p),
+        // Fig. 14 decomposes per-phase timers additively (fft/40, scale
+        // serial, …); the fused DAG overlaps phases, so these experiments
+        // measure the join-separated pipeline.
+        exec_mode: ExecMode::Phased,
+        ..NufftConfig::default()
+    }
 }
 
 /// Simulated adjoint-convolution speedup curve for a built problem.

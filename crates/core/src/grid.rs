@@ -123,9 +123,27 @@ pub fn extract_scaled<const D: usize>(
 
 /// Calls `f(flat, idx)` for every row-major index of `ext`.
 pub fn for_each_index<const D: usize>(ext: &[usize; D], mut f: impl FnMut(usize, [usize; D])) {
-    let len: usize = ext.iter().product();
+    for_each_index_range(ext, 0, ext.iter().product(), &mut f);
+}
+
+/// Calls `f(flat, idx)` for `count` consecutive row-major indices of `ext`
+/// starting at flat index `lo` — the slab/chunk variant of
+/// [`for_each_index`] used by fused-graph nodes that each own a contiguous
+/// sub-range of the full domain.
+pub fn for_each_index_range<const D: usize>(
+    ext: &[usize; D],
+    lo: usize,
+    count: usize,
+    mut f: impl FnMut(usize, [usize; D]),
+) {
+    let s = strides(ext);
     let mut idx = [0usize; D];
-    for flat in 0..len {
+    let mut rem = lo;
+    for d in 0..D {
+        idx[d] = rem / s[d];
+        rem %= s[d];
+    }
+    for flat in lo..lo + count {
         f(flat, idx);
         for d in (0..D).rev() {
             idx[d] += 1;
@@ -135,6 +153,96 @@ pub fn for_each_index<const D: usize>(ext: &[usize; D], mut f: impl FnMut(usize,
             idx[d] = 0;
         }
     }
+}
+
+/// The slab form of [`embed_scaled`]: fills grid elements `[lo, lo +
+/// slab.len())` — *every* element, so no pre-zeroing pass is needed. Grid
+/// positions outside the embedded image get zero; embedded positions get
+/// the identical `image[flat] * scale[flat]` expression as [`embed_scaled`]
+/// (so a slab-assembled grid is bitwise equal to a zero + embed pipeline).
+///
+/// Uses the inverse of the embed map: grid coordinate `g_d` holds image
+/// index `r_d = (g_d + N_d/2) mod M_d` iff `r_d < N_d` (the wrap
+/// `g = (r − N/2) mod M` is a bijection of `[0, M)`, and image positions
+/// are exactly those whose preimage lands below `N`). Along the last axis
+/// that inverse picks out two contiguous column segments per grid row —
+/// `g ∈ [0, N−N/2)` holding image columns `[N/2, N)` and `g ∈ [M−N/2, M)`
+/// holding `[0, N/2)` — so the slab is zero-filled at memset speed and only
+/// the embedded segments (an `α^{-D}` fraction of the grid) are written
+/// with stride-1 multiply loops.
+pub fn embed_scaled_slab<const D: usize>(
+    geo: &Geometry<D>,
+    image: &[Complex32],
+    scale: &[f32],
+    slab: &mut [Complex32],
+    lo: usize,
+) {
+    debug_assert!(lo + slab.len() <= geo.grid_len());
+    slab.fill(Complex32::ZERO);
+    if slab.is_empty() {
+        return;
+    }
+    let is = geo.image_strides();
+    let (n_last, m_last) = (geo.n[D - 1], geo.m[D - 1]);
+    let hi = lo + slab.len();
+    // (grid column start, segment length, image column start)
+    let segs =
+        [(0usize, n_last - n_last / 2, n_last / 2), (m_last - n_last / 2, n_last / 2, 0usize)];
+    for row in lo / m_last..=(hi - 1) / m_last {
+        // Decode the row's outer grid indices; a row whose outer preimage
+        // falls outside the image stays zero.
+        let mut rem = row;
+        let mut base = 0usize;
+        let mut inside = true;
+        for d in (0..D.saturating_sub(1)).rev() {
+            let r = (rem % geo.m[d] + geo.n[d] / 2) % geo.m[d];
+            rem /= geo.m[d];
+            if r < geo.n[d] {
+                base += r * is[d];
+            } else {
+                inside = false;
+                break;
+            }
+        }
+        if !inside {
+            continue;
+        }
+        let row_lo = row * m_last;
+        for (g0, len, img0) in segs {
+            let a = (row_lo + g0).max(lo);
+            let b = (row_lo + g0 + len).min(hi);
+            if a >= b {
+                continue;
+            }
+            let img_base = base + img0 + (a - row_lo - g0);
+            for (k, out) in slab[a - lo..b - lo].iter_mut().enumerate() {
+                let f = img_base + k;
+                *out = image[f] * scale[f];
+            }
+        }
+    }
+}
+
+/// The chunk form of [`extract_scaled`]: writes image elements `[lo, lo +
+/// out.len())` with the identical per-element expression, so chunked
+/// extraction is bitwise equal to the full pass.
+pub fn extract_scaled_range<const D: usize>(
+    geo: &Geometry<D>,
+    grid: &[Complex32],
+    scale: &[f32],
+    out: &mut [Complex32],
+    lo: usize,
+) {
+    debug_assert!(lo + out.len() <= geo.image_len());
+    let gs = geo.grid_strides();
+    for_each_index_range(&geo.n, lo, out.len(), |flat, idx| {
+        let mut g = 0usize;
+        for d in 0..D {
+            let wrapped = (idx[d] + geo.m[d] - geo.n[d] / 2) % geo.m[d];
+            g += wrapped * gs[d];
+        }
+        out[flat - lo] = grid[g] * scale[flat];
+    });
 }
 
 #[cfg(test)]
@@ -213,6 +321,63 @@ mod tests {
         extract_scaled(&geo, &grid, &scale, &mut back);
         assert_eq!(back[0].re, 4.0);
         assert_eq!(back[1].re, 9.0);
+    }
+
+    #[test]
+    fn slab_embed_matches_full_embed_bitwise() {
+        let geo = Geometry::new([5, 6], 1.6);
+        let image: Vec<Complex32> =
+            (0..30).map(|i| Complex32::new((i as f32).sin(), (i as f32).cos())).collect();
+        let scale: Vec<f32> = (0..30).map(|i| 1.0 + 0.1 * i as f32).collect();
+        let mut full = vec![Complex32::new(9.0, 9.0); geo.grid_len()];
+        full.fill(Complex32::ZERO);
+        embed_scaled(&geo, &image, &scale, &mut full);
+        // Assemble the same grid from uneven slabs over poisoned memory:
+        // slab embed must overwrite every element.
+        let mut slabbed = vec![Complex32::new(9.0, 9.0); geo.grid_len()];
+        let mut lo = 0usize;
+        for slab in [7usize, 13, 1, 40, geo.grid_len()] {
+            let hi = (lo + slab).min(geo.grid_len());
+            embed_scaled_slab(&geo, &image, &scale, &mut slabbed[lo..hi], lo);
+            lo = hi;
+        }
+        for (i, (a, b)) in full.iter().zip(&slabbed).enumerate() {
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "grid elem {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_extract_matches_full_extract_bitwise() {
+        let geo = Geometry::new([4, 5], 2.0);
+        let grid: Vec<Complex32> = (0..geo.grid_len())
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.7).cos()))
+            .collect();
+        let scale: Vec<f32> = (0..20).map(|i| 0.5 + 0.05 * i as f32).collect();
+        let mut full = vec![Complex32::ZERO; 20];
+        extract_scaled(&geo, &grid, &scale, &mut full);
+        let mut chunked = vec![Complex32::new(9.0, 9.0); 20];
+        let mut lo = 0usize;
+        for chunk in [3usize, 8, 9] {
+            let hi = (lo + chunk).min(20);
+            extract_scaled_range(&geo, &grid, &scale, &mut chunked[lo..hi], lo);
+            lo = hi;
+        }
+        assert_eq!(full, chunked);
+    }
+
+    #[test]
+    fn index_range_walker_matches_full_walker() {
+        let ext = [3usize, 4, 2];
+        let mut full = Vec::new();
+        for_each_index(&ext, |flat, idx| full.push((flat, idx)));
+        let mut ranged = Vec::new();
+        for (lo, count) in [(0usize, 5usize), (5, 1), (6, 10), (16, 8)] {
+            for_each_index_range(&ext, lo, count, |flat, idx| ranged.push((flat, idx)));
+        }
+        assert_eq!(full, ranged);
     }
 
     #[test]

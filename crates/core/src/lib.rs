@@ -49,6 +49,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod conv;
+pub mod fused;
 pub mod grid;
 pub mod kernel;
 pub mod partition;
@@ -58,5 +59,5 @@ pub mod tasks;
 pub mod windows;
 
 pub use kernel::{InterpKernel, KbKernel, KernelChoice};
-pub use plan::{NufftConfig, NufftPlan, OpTimers};
+pub use plan::{ExecMode, NufftConfig, NufftPlan, OpTimers};
 pub use windows::{WindowMode, WindowTable};

@@ -34,17 +34,42 @@ use crate::conv::{
     adjoint_scatter, adjoint_scatter_local, forward_gather, forward_gather2, reduce_local, Window,
     MAX_TAPS,
 };
-use crate::grid::{embed_scaled, extract_scaled, Geometry};
+use crate::fused::{self, FusedApply, TilePlan};
+use crate::grid::{
+    embed_scaled, embed_scaled_slab, extract_scaled, extract_scaled_range, Geometry,
+};
 use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
 use crate::scale::build_scale;
 use crate::tasks::{preprocess, Preprocess, PreprocessConfig};
 use crate::windows::{WindowMode, WindowSource, WindowTable};
 use nufft_fft::{Direction, FftNd};
 use nufft_math::Complex32;
-use nufft_parallel::exec::{ExecBackend, Executor, GraphScratch, RunStats, TaskPhase};
-use nufft_parallel::graph::{QueuePolicy, TaskGraph};
+use nufft_parallel::exec::{
+    DagScratch, ExecBackend, Executor, GraphScratch, RunStats, TaskPhase, TaskRecord,
+};
+use nufft_parallel::graph::{Dag, QueuePolicy, TaskGraph};
 use nufft_parallel::scratch::WorkerLocal;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// How an operator application is scheduled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One heterogeneous task graph — built at plan time — covers the whole
+    /// operator (scale/zero slabs, per-axis FFT tile chunks, the scatter
+    /// task graph, gather/extract chunks) and runs in a single executor
+    /// dispatch with **no joins between phases**: a worker finishing its
+    /// last axis-0 FFT chunk starts an axis-1 chunk whose inputs are ready
+    /// while stragglers still work on axis 0. Output is bitwise-identical
+    /// to [`ExecMode::Phased`]. See `crate::fused` and DESIGN.md §12.
+    #[default]
+    Fused,
+    /// The historical pipeline: each phase is a separate executor dispatch
+    /// with an implicit join after it (`D + 2` joins per apply). Retained
+    /// for A/B measurement (`benches/fused.rs`) and for experiments that
+    /// want clean per-phase attribution.
+    Phased,
+}
 
 /// Plan construction knobs. `Default` reproduces the paper's main
 /// configuration: α = 2, W = 4, priority queue, variable-width partitions,
@@ -84,6 +109,10 @@ pub struct NufftConfig {
     /// chosen automatically under a memory budget. See
     /// [`crate::windows::WindowMode`] and `benches/windows.rs`.
     pub window_mode: WindowMode,
+    /// Whole-operator scheduling: one fused task graph (default) or the
+    /// historical barrier-per-phase pipeline. Bitwise-identical output
+    /// either way.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for NufftConfig {
@@ -102,6 +131,7 @@ impl Default for NufftConfig {
             grain: 256,
             backend: ExecBackend::Persistent,
             window_mode: WindowMode::OnTheFly,
+            exec_mode: ExecMode::Fused,
         }
     }
 }
@@ -178,11 +208,33 @@ pub struct NufftPlan<const D: usize> {
     fft_scratch: WorkerLocal<Vec<Complex32>>,
     /// Reusable pointer staging for the batched operators.
     ptr_scratch: Vec<SendPtr<Complex32>>,
+    /// Second staging vector for operators that need two pointer sets at
+    /// once (fused batch: grids + outputs).
+    ptr_scratch2: Vec<SendPtr<Complex32>>,
+    /// Plan-owned FFT tile/grain decomposition (hoisted out of
+    /// `fft_parallel`'s per-call computation).
+    tile_plan: TilePlan,
+    /// Fused whole-operator graphs, cached per channel count: `(C, graph)`.
+    fused_fwd: Vec<(usize, FusedApply)>,
+    fused_adj: Vec<(usize, FusedApply)>,
+    /// Reusable fused-graph run state (shards, pending counters, node logs).
+    dag_scratch: DagScratch,
+    /// Conv-phase stats synthesized from the last fused adjoint's node log,
+    /// shaped like the phased scheduler's (for `last_run_stats`).
+    fused_stats: RunStats,
     preprocess_seconds: f64,
     last_forward: OpTimers,
     last_adjoint: OpTimers,
-    /// Whether `graph_scratch` holds stats from a completed adjoint run.
-    stats_valid: bool,
+    /// Which scratch holds the most recent adjoint-convolution stats.
+    stats_source: StatsSource,
+}
+
+/// Where `last_run_stats` should read from (nowhere until an adjoint ran).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsSource {
+    None,
+    Phased,
+    Fused,
 }
 
 impl<const D: usize> NufftPlan<D> {
@@ -286,9 +338,10 @@ impl<const D: usize> NufftPlan<D> {
             _ => None,
         };
 
-        let fft_scratch = WorkerLocal::new(threads, |_| {
-            vec![Complex32::ZERO; fft.batch_scratch_len(FftNd::batch_width())]
-        });
+        let tile_plan = TilePlan::new(&fft, threads);
+        let tile_b = tile_plan.b;
+        let fft_scratch =
+            WorkerLocal::new(threads, |_| vec![Complex32::ZERO; fft.batch_scratch_len(tile_b)]);
 
         let grid = vec![Complex32::ZERO; geo.grid_len()];
         NufftPlan {
@@ -310,10 +363,16 @@ impl<const D: usize> NufftPlan<D> {
             graph_scratch: GraphScratch::new(),
             fft_scratch,
             ptr_scratch: Vec::new(),
+            ptr_scratch2: Vec::new(),
+            tile_plan,
+            fused_fwd: Vec::new(),
+            fused_adj: Vec::new(),
+            dag_scratch: DagScratch::new(),
+            fused_stats: RunStats::default(),
             preprocess_seconds,
             last_forward: OpTimers::default(),
             last_adjoint: OpTimers::default(),
-            stats_valid: false,
+            stats_source: StatsSource::None,
         }
     }
 
@@ -359,13 +418,36 @@ impl<const D: usize> NufftPlan<D> {
     }
 
     /// Per-worker/per-task execution log of the most recent adjoint
-    /// convolution.
+    /// convolution. Under [`ExecMode::Fused`] this is synthesized from the
+    /// fused run's node log (conv/priv/reduce nodes only), so consumers see
+    /// the same shape either way.
     pub fn last_run_stats(&self) -> Option<&RunStats> {
-        if self.stats_valid {
-            Some(self.graph_scratch.stats())
-        } else {
-            None
+        match self.stats_source {
+            StatsSource::None => None,
+            StatsSource::Phased => Some(self.graph_scratch.stats()),
+            StatsSource::Fused => Some(&self.fused_stats),
         }
+    }
+
+    /// The active scheduling mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.cfg.exec_mode
+    }
+
+    /// Switches between the fused whole-operator graph and the historical
+    /// phased pipeline. Output is bitwise-identical in both modes; only
+    /// scheduling (and hence timing attribution) changes.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.cfg.exec_mode = mode;
+    }
+
+    /// The fused whole-operator graph for one direction and channel count,
+    /// building (and caching) it if this plan hasn't used it yet — consumed
+    /// by the `nufft-sim` fused-vs-phased replay experiments.
+    pub fn fused_dag(&mut self, adjoint: bool, channels: usize) -> &Dag {
+        let i = self.ensure_fused(adjoint, channels);
+        let cache = if adjoint { &self.fused_adj } else { &self.fused_fwd };
+        &cache[i].1.dag
     }
 
     /// The *effective* window mode after `Auto` resolution: `Precomputed`
@@ -430,6 +512,56 @@ impl<const D: usize> NufftPlan<D> {
         assert_eq!(out.len(), self.num_samples(), "sample buffer length mismatch");
         let t_start = Instant::now();
 
+        if self.cfg.exec_mode == ExecMode::Fused {
+            let idx = self.ensure_fused(false, 1);
+            let grid_ptrs = [SendPtr(self.grid.as_mut_ptr())];
+            let out_ptrs = [SendPtr(out.as_mut_ptr())];
+            let images = [image];
+            {
+                let Self {
+                    cfg,
+                    geo,
+                    exec,
+                    pre,
+                    fft,
+                    fft_scratch,
+                    scale,
+                    dag_scratch,
+                    tile_plan,
+                    fused_fwd,
+                    ..
+                } = self;
+                let fa = &fused_fwd[idx].1;
+                let source = match &self.windows {
+                    Some(table) => WindowSource::Table(table),
+                    None => WindowSource::Fly {
+                        coords: &pre.coords,
+                        wrad: cfg.w as f32,
+                        kernel: &self.kernel,
+                    },
+                };
+                Self::fused_forward_run(
+                    exec,
+                    cfg.policy,
+                    dag_scratch,
+                    fa,
+                    tile_plan,
+                    fft,
+                    geo,
+                    scale,
+                    pre,
+                    &source,
+                    fft_scratch,
+                    &images,
+                    &grid_ptrs,
+                    &out_ptrs,
+                );
+            }
+            self.last_forward = Self::fused_forward_timers(self.dag_scratch.stats(), t_start);
+            self.trace_fused(false);
+            return;
+        }
+
         // Phase 1: scale + embed.
         let t0 = Instant::now();
         self.grid.fill(Complex32::ZERO);
@@ -443,6 +575,7 @@ impl<const D: usize> NufftPlan<D> {
             &mut self.grid,
             &self.exec,
             &self.fft_scratch,
+            &self.tile_plan,
             Direction::Forward,
         );
         let fft_t = t0.elapsed().as_secs_f64();
@@ -480,6 +613,63 @@ impl<const D: usize> NufftPlan<D> {
         assert_eq!(out.len(), self.geo.image_len(), "image length mismatch");
         let t_start = Instant::now();
 
+        if self.cfg.exec_mode == ExecMode::Fused {
+            let idx = self.ensure_fused(true, 1);
+            self.refresh_priv_ptrs();
+            let grid_ptrs = [SendPtr(self.grid.as_mut_ptr())];
+            let out_ptrs = [SendPtr(out.as_mut_ptr())];
+            let samples_by_channel = [samples];
+            {
+                let Self {
+                    cfg,
+                    geo,
+                    exec,
+                    pre,
+                    fft,
+                    fft_scratch,
+                    scale,
+                    dag_scratch,
+                    tile_plan,
+                    fused_adj,
+                    priv_ptrs,
+                    buf_of_task,
+                    ..
+                } = self;
+                let fa = &fused_adj[idx].1;
+                let source = match &self.windows {
+                    Some(table) => WindowSource::Table(table),
+                    None => WindowSource::Fly {
+                        coords: &pre.coords,
+                        wrad: cfg.w as f32,
+                        kernel: &self.kernel,
+                    },
+                };
+                Self::fused_adjoint_run(
+                    exec,
+                    cfg.policy,
+                    dag_scratch,
+                    fa,
+                    tile_plan,
+                    fft,
+                    geo,
+                    scale,
+                    pre,
+                    &source,
+                    fft_scratch,
+                    &grid_ptrs,
+                    priv_ptrs,
+                    buf_of_task,
+                    &samples_by_channel,
+                    &out_ptrs,
+                );
+            }
+            Self::synth_conv_stats(self.dag_scratch.stats(), &mut self.fused_stats);
+            self.stats_source = StatsSource::Fused;
+            self.last_adjoint = Self::fused_adjoint_timers(self.dag_scratch.stats(), t_start);
+            self.trace_fused(true);
+            return;
+        }
+
         // Phase 1: scatter convolution under the task graph.
         let t0 = Instant::now();
         self.grid.fill(Complex32::ZERO);
@@ -493,6 +683,7 @@ impl<const D: usize> NufftPlan<D> {
             &mut self.grid,
             &self.exec,
             &self.fft_scratch,
+            &self.tile_plan,
             Direction::Backward,
         );
         let fft_t = t0.elapsed().as_secs_f64();
@@ -531,10 +722,76 @@ impl<const D: usize> NufftPlan<D> {
         for c in 0..channels {
             assert_eq!(images[c].len(), self.geo.image_len(), "image {c} length mismatch");
             assert_eq!(outs[c].len(), self.num_samples(), "output {c} length mismatch");
+        }
+
+        if self.cfg.exec_mode == ExecMode::Fused {
+            // One graph fuses all channels' embed + FFT with the shared
+            // gather — channel c's axis-1 chunks overlap channel c+1's
+            // axis-0 chunks instead of running as C sequential pipelines.
+            let idx = self.ensure_fused(false, channels);
+            self.ptr_scratch.clear();
+            self.ptr_scratch.extend(outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())));
+            self.ptr_scratch2.clear();
+            self.ptr_scratch2
+                .extend(self.batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())));
+            {
+                let Self {
+                    cfg,
+                    geo,
+                    exec,
+                    pre,
+                    fft,
+                    fft_scratch,
+                    scale,
+                    dag_scratch,
+                    tile_plan,
+                    fused_fwd,
+                    ptr_scratch,
+                    ptr_scratch2,
+                    ..
+                } = self;
+                let fa = &fused_fwd[idx].1;
+                let source = match &self.windows {
+                    Some(table) => WindowSource::Table(table),
+                    None => WindowSource::Fly {
+                        coords: &pre.coords,
+                        wrad: cfg.w as f32,
+                        kernel: &self.kernel,
+                    },
+                };
+                Self::fused_forward_run(
+                    exec,
+                    cfg.policy,
+                    dag_scratch,
+                    fa,
+                    tile_plan,
+                    fft,
+                    geo,
+                    scale,
+                    pre,
+                    &source,
+                    fft_scratch,
+                    images,
+                    ptr_scratch2,
+                    ptr_scratch,
+                );
+            }
+            self.trace_fused(false);
+            return;
+        }
+
+        for c in 0..channels {
             let grid = &mut self.batch_grids[c];
             grid.fill(Complex32::ZERO);
             embed_scaled(&self.geo, images[c], &self.scale, grid);
-            Self::fft_parallel(&self.fft, grid, &self.exec, &self.fft_scratch, Direction::Forward);
+            Self::fft_parallel(
+                &self.fft,
+                grid,
+                &self.exec,
+                &self.fft_scratch,
+                &self.tile_plan,
+                Direction::Forward,
+            );
         }
         self.ptr_scratch.clear();
         self.ptr_scratch.extend(outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())));
@@ -569,6 +826,69 @@ impl<const D: usize> NufftPlan<D> {
         self.ensure_batch_grids(channels);
         self.ensure_priv_channels(channels);
         self.refresh_priv_ptrs();
+
+        if self.cfg.exec_mode == ExecMode::Fused {
+            // One graph covers zeroing, the privatized scatter protocol,
+            // every channel's inverse FFT and the extracts — per-channel
+            // FFTs overlap each other and the scatter's tail.
+            let idx = self.ensure_fused(true, channels);
+            self.ptr_scratch.clear();
+            self.ptr_scratch
+                .extend(self.batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())));
+            self.ptr_scratch2.clear();
+            self.ptr_scratch2.extend(outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())));
+            {
+                let Self {
+                    cfg,
+                    geo,
+                    exec,
+                    pre,
+                    fft,
+                    fft_scratch,
+                    scale,
+                    dag_scratch,
+                    tile_plan,
+                    fused_adj,
+                    priv_ptrs,
+                    buf_of_task,
+                    ptr_scratch,
+                    ptr_scratch2,
+                    ..
+                } = self;
+                let fa = &fused_adj[idx].1;
+                let source = match &self.windows {
+                    Some(table) => WindowSource::Table(table),
+                    None => WindowSource::Fly {
+                        coords: &pre.coords,
+                        wrad: cfg.w as f32,
+                        kernel: &self.kernel,
+                    },
+                };
+                Self::fused_adjoint_run(
+                    exec,
+                    cfg.policy,
+                    dag_scratch,
+                    fa,
+                    tile_plan,
+                    fft,
+                    geo,
+                    scale,
+                    pre,
+                    &source,
+                    fft_scratch,
+                    ptr_scratch,
+                    priv_ptrs,
+                    buf_of_task,
+                    samples,
+                    ptr_scratch2,
+                );
+            }
+            Self::synth_conv_stats(self.dag_scratch.stats(), &mut self.fused_stats);
+            self.stats_source = StatsSource::Fused;
+            self.trace_fused(true);
+            return;
+        }
+
         for g in &mut self.batch_grids[..channels] {
             g.fill(Complex32::ZERO);
         }
@@ -610,10 +930,17 @@ impl<const D: usize> NufftPlan<D> {
                 samples,
             );
         }
-        self.stats_valid = true;
+        self.stats_source = StatsSource::Phased;
         for c in 0..channels {
             let grid = &mut self.batch_grids[c];
-            Self::fft_parallel(&self.fft, grid, &self.exec, &self.fft_scratch, Direction::Backward);
+            Self::fft_parallel(
+                &self.fft,
+                grid,
+                &self.exec,
+                &self.fft_scratch,
+                &self.tile_plan,
+                Direction::Backward,
+            );
             extract_scaled(&self.geo, grid, &self.scale, outs[c]);
         }
     }
@@ -723,7 +1050,7 @@ impl<const D: usize> NufftPlan<D> {
             buf_of_task,
             &[samples],
         );
-        self.stats_valid = true;
+        self.stats_source = StatsSource::Phased;
     }
 
     /// The unified gather (forward-convolution) driver: one Part 1 window
@@ -860,25 +1187,24 @@ impl<const D: usize> NufftPlan<D> {
     }
 
     /// Parallel n-dimensional FFT: SIMD-width tiles of adjacent lines per
-    /// axis, sharded over the executor. Tile scratch comes from the plan's
-    /// per-worker arena — no allocation at apply time.
+    /// axis, sharded over the executor. The tile/grain decomposition comes
+    /// from the plan-owned [`TilePlan`] and tile scratch from the plan's
+    /// per-worker arena — no computation or allocation at apply time.
     fn fft_parallel(
         fft: &FftNd,
         data: &mut [Complex32],
         exec: &Executor,
         scratch: &WorkerLocal<Vec<Complex32>>,
+        tp: &TilePlan,
         dir: Direction,
     ) {
         let base = SendPtr(data.as_mut_ptr());
-        let b = FftNd::batch_width();
-        // A tile is `b` adjacent lines; rounding tile-chunk boundaries to
-        // a full cache line of complex elements keeps two workers off the
-        // same line of line-starts.
-        let align = (LANE_ALIGN / b).max(1);
+        let b = tp.b;
         for axis in 0..fft.shape().len() {
-            let tiles = fft.num_tiles(axis, b);
-            let grain = (tiles / (4 * exec.threads())).clamp(1, 64);
-            exec.parallel_for_aligned(tiles, grain, align, |range, w| {
+            let ap = tp.axes[axis];
+            // Tile-chunk boundaries rounded to a full cache line of complex
+            // elements keep two workers off the same line of line-starts.
+            exec.parallel_for_aligned(ap.tiles, ap.grain, tp.align, |range, w| {
                 // SAFETY: the executor guarantees worker `w` is the only
                 // thread using slot `w` during this dispatch.
                 let scratch = unsafe { scratch.get(w) };
@@ -891,4 +1217,382 @@ impl<const D: usize> NufftPlan<D> {
             });
         }
     }
+
+    /// Builds (or finds the cached) fused graph for one direction and
+    /// channel count. Graph construction allocates; it happens at most once
+    /// per `(direction, C)` over a plan's lifetime, so warmed-up applies
+    /// stay allocation-free.
+    fn ensure_fused(&mut self, adjoint: bool, channels: usize) -> usize {
+        let cache = if adjoint { &self.fused_adj } else { &self.fused_fwd };
+        if let Some(i) = cache.iter().position(|(c, _)| *c == channels) {
+            return i;
+        }
+        let wc = self.cfg.w.ceil() as usize;
+        let threads = self.exec.threads();
+        let fa = if adjoint {
+            fused::build_adjoint(
+                &self.geo,
+                &self.fft,
+                &self.tile_plan,
+                &self.pre,
+                wc,
+                threads,
+                channels,
+            )
+        } else {
+            fused::build_forward(
+                &self.geo,
+                &self.fft,
+                &self.tile_plan,
+                &self.pre,
+                wc,
+                self.cfg.grain,
+                threads,
+                channels,
+            )
+        };
+        let cache = if adjoint { &mut self.fused_adj } else { &mut self.fused_fwd };
+        cache.push((channels, fa));
+        cache.len() - 1
+    }
+
+    /// Executes a fused forward graph: scale slabs, FFT tile chunks and
+    /// gather chunks dispatched as one DAG. Every node body is the same
+    /// code the phased drivers run over the same decomposition, so the
+    /// output is bitwise-identical to the phased pipeline.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_forward_run(
+        exec: &Executor,
+        policy: QueuePolicy,
+        scratch: &mut DagScratch,
+        fa: &FusedApply,
+        tp: &TilePlan,
+        fft: &FftNd,
+        geo: &Geometry<D>,
+        scale: &[f32],
+        pre: &Preprocess<D>,
+        source: &WindowSource<'_, D>,
+        fft_scratch: &WorkerLocal<Vec<Complex32>>,
+        images: &[&[Complex32]],
+        grid_ptrs: &[SendPtr<Complex32>],
+        out_ptrs: &[SendPtr<Complex32>],
+    ) {
+        let channels = grid_ptrs.len();
+        let grid_len = geo.grid_len();
+        let m = &geo.m;
+        let order = &pre.order;
+        let b = tp.b;
+        exec.run_dag_reuse(&fa.dag, policy, scratch, |_node, tag, w| {
+            match fused::kind_of(tag) {
+                fused::KIND_SCALE => {
+                    let c = fused::channel_of(tag);
+                    let lo = fused::index_of(tag) * fa.slab;
+                    let len = (grid_len - lo).min(fa.slab);
+                    // SAFETY: slabs of one channel partition its grid; only
+                    // this node writes this slab, and every reader is
+                    // ordered after it by graph edges.
+                    let slab =
+                        unsafe { core::slice::from_raw_parts_mut(grid_ptrs[c].get().add(lo), len) };
+                    embed_scaled_slab(geo, images[c], scale, slab, lo);
+                }
+                fused::KIND_FFT => {
+                    let axis = fused::axis_of(tag);
+                    let c = fused::channel_of(tag);
+                    let ap = tp.axes[axis];
+                    let t0 = fused::index_of(tag) * ap.grain;
+                    let t1 = (t0 + ap.grain).min(ap.tiles);
+                    // SAFETY: worker `w` owns scratch slot `w` while this
+                    // node runs.
+                    let scratch = unsafe { fft_scratch.get(w) };
+                    for tile in t0..t1 {
+                        // SAFETY: tiles of one axis are pairwise disjoint;
+                        // graph edges order this tile after all writers of
+                        // its elements and before all its readers.
+                        unsafe {
+                            fft.transform_tile_raw(
+                                grid_ptrs[c].get(),
+                                axis,
+                                tile,
+                                b,
+                                scratch,
+                                Direction::Forward,
+                            )
+                        };
+                    }
+                }
+                fused::KIND_GATHER => {
+                    let (lo, hi) = fa.chunks[fused::index_of(tag)];
+                    let mut stage = [Window::EMPTY; D];
+                    for i in lo as usize..hi as usize {
+                        let win = source.at(i, &mut stage);
+                        let slot = order[i] as usize;
+                        let mut c = 0;
+                        while c + 2 <= channels {
+                            // SAFETY: the chunk's task-box elements are
+                            // fully transformed (last-axis → gather edges)
+                            // and nothing writes the grids once their
+                            // readers start; concurrent gathers only read.
+                            let (ga, gb) = unsafe {
+                                (
+                                    core::slice::from_raw_parts(
+                                        grid_ptrs[c].get() as *const Complex32,
+                                        grid_len,
+                                    ),
+                                    core::slice::from_raw_parts(
+                                        grid_ptrs[c + 1].get() as *const Complex32,
+                                        grid_len,
+                                    ),
+                                )
+                            };
+                            let (va, vb) = forward_gather2(ga, gb, m, &win);
+                            // SAFETY: `order` is a permutation; each (c, i)
+                            // writes a distinct slot of channel c's output.
+                            unsafe {
+                                *out_ptrs[c].get().add(slot) = va;
+                                *out_ptrs[c + 1].get().add(slot) = vb;
+                            }
+                            c += 2;
+                        }
+                        if c < channels {
+                            // SAFETY: as above.
+                            let g = unsafe {
+                                core::slice::from_raw_parts(
+                                    grid_ptrs[c].get() as *const Complex32,
+                                    grid_len,
+                                )
+                            };
+                            let v = forward_gather(g, m, &win);
+                            // SAFETY: as above.
+                            unsafe { *out_ptrs[c].get().add(slot) = v };
+                        }
+                    }
+                }
+                k => unreachable!("node kind {k} in a forward graph"),
+            }
+        });
+    }
+
+    /// Executes a fused adjoint graph: zero slabs, the scatter task graph
+    /// (with the privatization protocol), per-channel inverse-FFT chunks
+    /// and extract chunks as one DAG. Bitwise-identical to the phased
+    /// pipeline — the Gray-code exclusion edges fix the accumulation order.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_adjoint_run(
+        exec: &Executor,
+        policy: QueuePolicy,
+        scratch: &mut DagScratch,
+        fa: &FusedApply,
+        tp: &TilePlan,
+        fft: &FftNd,
+        geo: &Geometry<D>,
+        scale: &[f32],
+        pre: &Preprocess<D>,
+        source: &WindowSource<'_, D>,
+        fft_scratch: &WorkerLocal<Vec<Complex32>>,
+        grid_ptrs: &[SendPtr<Complex32>],
+        priv_ptrs: &[(SendPtr<Complex32>, usize)],
+        buf_of_task: &[u32],
+        samples: &[&[Complex32]],
+        out_ptrs: &[SendPtr<Complex32>],
+    ) {
+        let channels = grid_ptrs.len();
+        let grid_len = geo.grid_len();
+        let image_len = geo.image_len();
+        let m = &geo.m;
+        let order = &pre.order;
+        let b = tp.b;
+        exec.run_dag_reuse(&fa.dag, policy, scratch, |_node, tag, w| {
+            match fused::kind_of(tag) {
+                fused::KIND_ZERO => {
+                    let lo = fused::index_of(tag) * fa.slab;
+                    let len = (grid_len - lo).min(fa.slab);
+                    for gp in grid_ptrs {
+                        // SAFETY: zero slabs partition the grids and every
+                        // other toucher of these elements is ordered after
+                        // this node (directly or via its covering task).
+                        unsafe { core::slice::from_raw_parts_mut(gp.get().add(lo), len) }
+                            .fill(Complex32::ZERO);
+                    }
+                }
+                fused::KIND_CONV => {
+                    let t = fused::index_of(tag);
+                    let mut stage = [Window::EMPTY; D];
+                    for i in pre.ranges[t].clone() {
+                        let win = source.at(i, &mut stage);
+                        let slot = order[i] as usize;
+                        for (c, gp) in grid_ptrs.iter().enumerate() {
+                            // SAFETY: the Gray-code edges serialize adjacent
+                            // tasks exactly as the phased scheduler does;
+                            // this task only touches its own halo box.
+                            let grid =
+                                unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
+                            adjoint_scatter(grid, m, &win, samples[c][slot]);
+                        }
+                    }
+                }
+                fused::KIND_PRIV => {
+                    let t = fused::index_of(tag);
+                    let region = pre.regions[t].expect("privatized task has region");
+                    let (base, clen) = priv_ptrs[buf_of_task[t] as usize];
+                    // SAFETY: each privatized task owns its buffer
+                    // exclusively; its reduce node is ordered after this
+                    // one by an edge.
+                    let buf_all =
+                        unsafe { core::slice::from_raw_parts_mut(base.get(), channels * clen) };
+                    buf_all.fill(Complex32::ZERO);
+                    let mut stage = [Window::EMPTY; D];
+                    for i in pre.ranges[t].clone() {
+                        let win = source.at(i, &mut stage);
+                        let slot = order[i] as usize;
+                        for c in 0..channels {
+                            adjoint_scatter_local(
+                                &mut buf_all[c * clen..(c + 1) * clen],
+                                &region.origin,
+                                &region.size,
+                                &win,
+                                samples[c][slot],
+                            );
+                        }
+                    }
+                }
+                fused::KIND_REDUCE => {
+                    let t = fused::index_of(tag);
+                    let region = pre.regions[t].expect("privatized task has region");
+                    let (base, clen) = priv_ptrs[buf_of_task[t] as usize];
+                    for (c, gp) in grid_ptrs.iter().enumerate() {
+                        // SAFETY: reductions carry the task's exclusion
+                        // edges; the private buffer was filled by the
+                        // convolve node this one depends on.
+                        let grid = unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
+                        let buf =
+                            unsafe { core::slice::from_raw_parts(base.get().add(c * clen), clen) };
+                        reduce_local(grid, m, buf, &region.origin, &region.size);
+                    }
+                }
+                fused::KIND_FFT => {
+                    let axis = fused::axis_of(tag);
+                    let c = fused::channel_of(tag);
+                    let ap = tp.axes[axis];
+                    let t0 = fused::index_of(tag) * ap.grain;
+                    let t1 = (t0 + ap.grain).min(ap.tiles);
+                    // SAFETY: worker `w` owns scratch slot `w` while this
+                    // node runs.
+                    let scratch = unsafe { fft_scratch.get(w) };
+                    for tile in t0..t1 {
+                        // SAFETY: tiles of one axis are pairwise disjoint;
+                        // graph edges order this tile after all writers of
+                        // its elements and before all its readers.
+                        unsafe {
+                            fft.transform_tile_raw(
+                                grid_ptrs[c].get(),
+                                axis,
+                                tile,
+                                b,
+                                scratch,
+                                Direction::Backward,
+                            )
+                        };
+                    }
+                }
+                fused::KIND_EXTRACT => {
+                    let c = fused::channel_of(tag);
+                    let lo = fused::index_of(tag) * fa.img_chunk;
+                    let len = (image_len - lo).min(fa.img_chunk);
+                    // SAFETY: reads are ordered after the last-axis FFT
+                    // chunks covering this image range; image chunks of one
+                    // channel are disjoint, so the write is exclusive.
+                    let grid = unsafe {
+                        core::slice::from_raw_parts(
+                            grid_ptrs[c].get() as *const Complex32,
+                            grid_len,
+                        )
+                    };
+                    let out =
+                        unsafe { core::slice::from_raw_parts_mut(out_ptrs[c].get().add(lo), len) };
+                    extract_scaled_range(geo, grid, scale, out, lo);
+                }
+                k => unreachable!("node kind {k} in an adjoint graph"),
+            }
+        });
+    }
+
+    /// Forward phase timers from a fused node log: each "phase" is the
+    /// wall-clock span its kind was in flight (spans overlap — that overlap
+    /// is exactly what fusion buys).
+    fn fused_forward_timers(
+        stats: &nufft_parallel::exec::DagRunStats,
+        t_start: Instant,
+    ) -> OpTimers {
+        OpTimers {
+            scale: fused::kind_span(stats, |k| k == fused::KIND_SCALE),
+            fft: fused::kind_span(stats, |k| k == fused::KIND_FFT),
+            conv: fused::kind_span(stats, |k| k == fused::KIND_GATHER),
+            total: t_start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Adjoint phase timers from a fused node log (conv includes zeroing,
+    /// as in the phased pipeline).
+    fn fused_adjoint_timers(
+        stats: &nufft_parallel::exec::DagRunStats,
+        t_start: Instant,
+    ) -> OpTimers {
+        OpTimers {
+            scale: fused::kind_span(stats, |k| k == fused::KIND_EXTRACT),
+            fft: fused::kind_span(stats, |k| k == fused::KIND_FFT),
+            conv: fused::kind_span(stats, |k| {
+                matches!(
+                    k,
+                    fused::KIND_ZERO | fused::KIND_CONV | fused::KIND_PRIV | fused::KIND_REDUCE
+                )
+            }),
+            total: t_start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Rebuilds `fused_stats` (shaped like the phased scheduler's
+    /// [`RunStats`]) from the conv/priv/reduce records of a fused run, so
+    /// `last_run_stats` serves the load-balance experiments in either mode.
+    /// Reuses the destination's capacity — allocation-free once warm.
+    fn synth_conv_stats(src: &nufft_parallel::exec::DagRunStats, dst: &mut RunStats) {
+        dst.worker_busy.clear();
+        dst.worker_busy.resize(src.worker_busy.len(), 0.0);
+        dst.log.clear();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for r in &src.log {
+            let phase = match fused::kind_of(r.tag) {
+                fused::KIND_CONV => TaskPhase::Normal,
+                fused::KIND_PRIV => TaskPhase::PrivateConvolve,
+                fused::KIND_REDUCE => TaskPhase::Reduce,
+                _ => continue,
+            };
+            dst.log.push(TaskRecord {
+                task: fused::index_of(r.tag),
+                phase,
+                worker: r.worker,
+                start: r.start,
+                end: r.end,
+            });
+            dst.worker_busy[r.worker] += r.end - r.start;
+            lo = lo.min(r.start);
+            hi = hi.max(r.end);
+        }
+        dst.makespan = if hi > lo { hi - lo } else { 0.0 };
+    }
+
+    /// Dumps the last fused run as Chrome `trace_event` JSON when
+    /// `NUFFT_TRACE=<path>` is set (load in `chrome://tracing` or Perfetto).
+    fn trace_fused(&self, adjoint: bool) {
+        if let Some(path) = trace_path() {
+            fused::write_trace(path, self.dag_scratch.stats(), adjoint);
+        }
+    }
+}
+
+/// The `NUFFT_TRACE` destination, read from the environment once per
+/// process (keeping warmed-up applies allocation-free).
+fn trace_path() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| std::env::var("NUFFT_TRACE").ok()).as_deref()
 }

@@ -119,6 +119,58 @@ impl FftNd {
         }
     }
 
+    /// The tile (of width `b`, indexed as in [`FftNd::num_tiles`]) whose
+    /// lines contain element `elem` for a transform along `axis`. Together
+    /// with [`FftNd::for_each_tile_element`] this is the tile read/write
+    /// footprint metadata a fused task graph needs: a consumer of element
+    /// `elem` after the axis pass must order itself behind exactly this
+    /// tile's task, instead of behind an all-axis join.
+    pub fn tile_of_element(&self, axis: usize, elem: usize, b: usize) -> usize {
+        debug_assert!(elem < self.len);
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        if stride == 1 {
+            // One contiguous line per tile.
+            elem / n
+        } else {
+            let outer = elem / (n * stride);
+            let inner = elem % stride;
+            outer * stride.div_ceil(b) + inner / b
+        }
+    }
+
+    /// Calls `f` for every element read (and written) by tile `tile` of
+    /// `axis` at width `b` — the inverse of [`FftNd::tile_of_element`].
+    /// Tiles of one axis partition the buffer, so iterating all tiles
+    /// visits every element exactly once.
+    pub fn for_each_tile_element(
+        &self,
+        axis: usize,
+        tile: usize,
+        b: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        if stride == 1 {
+            let start = tile * n;
+            for e in start..start + n {
+                f(e);
+            }
+        } else {
+            let tiles_per_outer = stride.div_ceil(b);
+            let outer = tile / tiles_per_outer;
+            let inner0 = (tile % tiles_per_outer) * b;
+            let lines_here = b.min(stride - inner0);
+            for j in 0..n {
+                let base = outer * n * stride + j * stride + inner0;
+                for e in base..base + lines_here {
+                    f(e);
+                }
+            }
+        }
+    }
+
     /// Transforms tile `tile` of `axis` (width `b`, indexed as in
     /// [`FftNd::num_tiles`]) through a raw base pointer. Full tiles of a
     /// Cooley–Tukey axis take the batched path; remainder tiles (fewer than
@@ -444,6 +496,34 @@ mod tests {
                     }
                 }
                 assert!(seen.iter().all(|&c| c == 1), "axis {axis} b={b}: line coverage {seen:?}");
+            }
+        }
+    }
+
+    /// `tile_of_element` and `for_each_tile_element` are mutually inverse
+    /// and partition the buffer for every axis and width.
+    #[test]
+    fn tile_element_footprints_partition_the_buffer() {
+        for shape in [&[3usize, 5, 4][..], &[6, 8], &[7], &[2, 2, 2, 3]] {
+            let plan = FftNd::new(shape);
+            for axis in 0..shape.len() {
+                for b in [1usize, 2, 3, 4, 7] {
+                    let mut seen = vec![0usize; plan.len()];
+                    for tile in 0..plan.num_tiles(axis, b) {
+                        plan.for_each_tile_element(axis, tile, b, |e| {
+                            seen[e] += 1;
+                            assert_eq!(
+                                plan.tile_of_element(axis, e, b),
+                                tile,
+                                "shape {shape:?} axis {axis} b={b} elem {e}"
+                            );
+                        });
+                    }
+                    assert!(
+                        seen.iter().all(|&c| c == 1),
+                        "shape {shape:?} axis {axis} b={b}: coverage {seen:?}"
+                    );
+                }
             }
         }
     }

@@ -40,7 +40,7 @@
 //! [`ExecBackend::SpawnPerCall`] so the `pool` benchmark can measure the
 //! improvement honestly (see `crates/bench/benches/pool.rs`).
 
-use crate::graph::{QueuePolicy, TaskGraph, TaskId};
+use crate::graph::{Dag, NodeId, QueuePolicy, TaskGraph, TaskId};
 use crate::queue::{Entry, ReadyQueue};
 use crate::scratch::CachePadded;
 use std::any::Any;
@@ -330,15 +330,22 @@ impl Drop for Pool {
 
 /// Mutable per-worker stats, written only by the owning worker during a
 /// run and harvested after quiescence — no locks on the fast path.
-struct StatSlot(UnsafeCell<WorkerStats>);
+/// Generic over the record type: [`TaskRecord`] for [`TaskGraph`] runs,
+/// [`DagRecord`] for heterogeneous [`Dag`] runs.
+struct StatSlot<R>(UnsafeCell<WorkerStats<R>>);
 // SAFETY: slot `w` is touched only by worker `w` while the job runs, and
 // only by the dispatcher after all workers have quiesced.
-unsafe impl Sync for StatSlot {}
+unsafe impl<R: Send> Sync for StatSlot<R> {}
 
-#[derive(Default)]
-struct WorkerStats {
+struct WorkerStats<R> {
     busy: f64,
-    log: Vec<TaskRecord>,
+    log: Vec<R>,
+}
+
+impl<R> Default for WorkerStats<R> {
+    fn default() -> Self {
+        WorkerStats { busy: 0.0, log: Vec::new() }
+    }
 }
 
 /// Reusable arenas for [`Executor::run_graph_reuse`]: ready-queue shards,
@@ -358,7 +365,7 @@ pub struct GraphScratch {
     /// decrement reaches zero publishes the task — no lock involved.
     pending: Vec<AtomicU32>,
     /// Per-worker stat slots, harvested into `stats` after quiescence.
-    slots: Vec<CachePadded<StatSlot>>,
+    slots: Vec<CachePadded<StatSlot<TaskRecord>>>,
     stats: RunStats,
 }
 
@@ -388,7 +395,12 @@ impl GraphScratch {
         }
         self.shards.truncate(threads);
         for s in &mut self.shards {
-            s.0.get_mut().unwrap_or_else(|e| e.into_inner()).reset(policy);
+            let q = s.0.get_mut().unwrap_or_else(|e| e.into_inner());
+            q.reset(policy);
+            // Worker↔shard traffic varies run to run; any shard can
+            // momentarily hold every ready unit (privatized tasks enqueue
+            // twice), so growth must never happen mid-run.
+            q.reserve(2 * n);
         }
         while self.pending.len() < n {
             self.pending.push(AtomicU32::new(0));
@@ -453,7 +465,7 @@ struct GraphJob<'g, F> {
     idle: Mutex<u64>,
     idle_cv: Condvar,
     t0: Instant,
-    slots: &'g [CachePadded<StatSlot>],
+    slots: &'g [CachePadded<StatSlot<TaskRecord>>],
 }
 
 impl<'g, F> GraphJob<'g, F>
@@ -705,6 +717,350 @@ fn run_graph_serial_reuse<F>(
 }
 
 // ---------------------------------------------------------------------------
+// run_dag on the pool: the heterogeneous-graph twin of run_graph
+// ---------------------------------------------------------------------------
+
+/// One executed [`Dag`] node with its timing, relative to run start.
+///
+/// The node's opaque `tag` is recorded alongside so consumers (phase
+/// breakdowns, the `NUFFT_TRACE` Chrome-trace dump, `nufft-sim`
+/// calibration) can classify records without the originating graph.
+#[derive(Clone, Copy, Debug)]
+pub struct DagRecord {
+    /// Which node ran.
+    pub node: NodeId,
+    /// The node's opaque tag (kind/axis/channel/index packing is the graph
+    /// builder's business).
+    pub tag: u64,
+    /// Worker index that ran it.
+    pub worker: usize,
+    /// Start time in seconds from run start.
+    pub start: f64,
+    /// End time in seconds from run start.
+    pub end: f64,
+}
+
+/// Timing summary of one [`Executor::run_dag`] call.
+#[derive(Clone, Debug, Default)]
+pub struct DagRunStats {
+    /// Wall-clock duration of the whole run in seconds.
+    pub makespan: f64,
+    /// Per-worker sum of node execution times in seconds.
+    pub worker_busy: Vec<f64>,
+    /// Every node execution with timings, unordered.
+    pub log: Vec<DagRecord>,
+}
+
+impl DagRunStats {
+    /// Parallel efficiency: total busy time / (T × makespan).
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0.0 || self.worker_busy.is_empty() {
+            return 1.0;
+        }
+        let busy: f64 = self.worker_busy.iter().sum();
+        busy / (self.makespan * self.worker_busy.len() as f64)
+    }
+}
+
+/// Reusable arenas for [`Executor::run_dag_reuse`] — the [`Dag`]
+/// counterpart of [`GraphScratch`], with the same zero-allocation
+/// steady-state contract: ready-queue shards, pending counters and stat
+/// slots are sized on first use and recycled on every subsequent run.
+#[derive(Default)]
+pub struct DagScratch {
+    shards: Vec<CachePadded<Mutex<ReadyQueue>>>,
+    /// Unsatisfied predecessor-edge count per node.
+    pending: Vec<AtomicU32>,
+    slots: Vec<CachePadded<StatSlot<DagRecord>>>,
+    stats: DagRunStats,
+}
+
+impl DagScratch {
+    /// An empty scratch; arenas grow on the first run that uses it.
+    pub fn new() -> Self {
+        DagScratch::default()
+    }
+
+    /// The stats of the most recent completed run through this scratch.
+    pub fn stats(&self) -> &DagRunStats {
+        &self.stats
+    }
+
+    /// Consumes the scratch, returning the last run's stats.
+    pub fn into_stats(self) -> DagRunStats {
+        self.stats
+    }
+
+    /// Sizes every arena for a `(dag, policy, threads)` run and resets the
+    /// cursors. Allocates only on first use or growth.
+    fn prepare(&mut self, dag: &Dag, policy: QueuePolicy, threads: usize) {
+        let n = dag.len();
+        while self.shards.len() < threads {
+            self.shards.push(CachePadded(Mutex::new(ReadyQueue::new(policy))));
+        }
+        self.shards.truncate(threads);
+        for s in &mut self.shards {
+            let q = s.0.get_mut().unwrap_or_else(|e| e.into_inner());
+            q.reset(policy);
+            // Worker↔shard traffic varies run to run; any shard can
+            // momentarily hold every ready node, so growth must never
+            // happen mid-run.
+            q.reserve(n);
+        }
+        while self.pending.len() < n {
+            self.pending.push(AtomicU32::new(0));
+        }
+        self.pending.truncate(n);
+        for v in 0..n {
+            // Relaxed: the dispatch protocol's locks order this store
+            // before any worker's first load.
+            self.pending[v].store(dag.pred_count(v as NodeId), Ordering::Relaxed);
+        }
+        while self.slots.len() < threads {
+            self.slots.push(CachePadded(StatSlot(UnsafeCell::new(WorkerStats::default()))));
+        }
+        self.slots.truncate(threads);
+        for slot in &mut self.slots {
+            let ws = slot.0 .0.get_mut();
+            ws.busy = 0.0;
+            ws.log.clear();
+            // Worker↔node assignment varies run to run, so each slot must
+            // be ready to hold every record; capacity sticks after run one.
+            ws.log.reserve(n);
+        }
+        self.stats.worker_busy.reserve(threads);
+        self.stats.log.reserve(n);
+    }
+
+    /// Harvests the per-worker slots into `stats` after quiescence.
+    fn harvest(&mut self, makespan: f64) {
+        self.stats.makespan = makespan;
+        self.stats.worker_busy.clear();
+        self.stats.log.clear();
+        for slot in &mut self.slots {
+            let ws = slot.0 .0.get_mut();
+            self.stats.worker_busy.push(ws.busy);
+            self.stats.log.extend_from_slice(&ws.log);
+        }
+    }
+}
+
+fn dag_entry(dag: &Dag, v: NodeId) -> Entry {
+    Entry { weight: dag.priority(v), payload: v as u64 }
+}
+
+/// The pool job for [`Executor::run_dag_reuse`]. Identical scheduling
+/// mechanics to [`GraphJob`] — sharded ready queues seeded round-robin in
+/// node order, lock-free atomic edge retirement publishing to the
+/// completing worker's own shard, eventcount parking, poison-on-panic —
+/// minus the privatization special case (a fused graph expresses
+/// privatized convolutions and their reductions as two ordinary nodes
+/// joined by an explicit edge).
+struct DagJob<'g, F> {
+    dag: &'g Dag,
+    node_fn: &'g F,
+    threads: usize,
+    shards: &'g [CachePadded<Mutex<ReadyQueue>>],
+    pending: &'g [AtomicU32],
+    completed: AtomicUsize,
+    poisoned: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    sleepers: AtomicUsize,
+    idle: Mutex<u64>,
+    idle_cv: Condvar,
+    t0: Instant,
+    slots: &'g [CachePadded<StatSlot<DagRecord>>],
+}
+
+impl<'g, F> DagJob<'g, F>
+where
+    F: Fn(NodeId, u64, usize) + Sync,
+{
+    /// Builds the job over a scratch already sized by [`DagScratch::prepare`].
+    fn new(dag: &'g Dag, threads: usize, node_fn: &'g F, scratch: &'g DagScratch) -> Self {
+        let job = DagJob {
+            dag,
+            node_fn,
+            threads,
+            shards: &scratch.shards,
+            pending: &scratch.pending,
+            completed: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            sleepers: AtomicUsize::new(0),
+            idle: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            t0: Instant::now(),
+            slots: &scratch.slots,
+        };
+        // Seed the root nodes round-robin across the shards in node order —
+        // the same deterministic placement `nufft-sim` replays.
+        let mut seed = 0usize;
+        for v in 0..dag.len() as NodeId {
+            if dag.pred_count(v) == 0 {
+                lock(&job.shards[seed % threads].0).push(dag_entry(dag, v));
+                seed += 1;
+            }
+        }
+        job
+    }
+
+    fn finished(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+            || self.completed.load(Ordering::SeqCst) >= self.dag.len()
+    }
+
+    /// Pops from the worker's own shard, else steals the policy-best entry
+    /// of the first non-empty victim shard, scanning `(w+1) % T` upward.
+    fn find_work(&self, w: usize) -> Option<Entry> {
+        if let Some(e) = lock(&self.shards[w].0).pop() {
+            return Some(e);
+        }
+        for d in 1..self.threads {
+            let v = (w + d) % self.threads;
+            if let Some(e) = lock(&self.shards[v].0).pop() {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    fn any_ready(&self) -> bool {
+        self.shards.iter().any(|s| !lock(&s.0).is_empty())
+    }
+
+    /// Wakes parked workers; cheap no-op while everyone is busy.
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut g = lock(&self.idle);
+            *g += 1;
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Parks until new work may exist. Returns `false` when the run is
+    /// over (all nodes retired, or poisoned).
+    fn park(&self) -> bool {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let seen = *lock(&self.idle);
+        let keep_going = if self.finished() {
+            false
+        } else if self.any_ready() {
+            true
+        } else {
+            let g = lock(&self.idle);
+            if *g == seen {
+                drop(self.idle_cv.wait(g).unwrap_or_else(|e| e.into_inner()));
+            }
+            !self.finished()
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        keep_going
+    }
+
+    /// Retires one predecessor edge of `v`; publishes the node to the
+    /// calling worker's own shard when the last edge falls.
+    fn retire_edge(&self, w: usize, v: NodeId) {
+        if self.pending[v as usize].fetch_sub(1, Ordering::SeqCst) == 1 {
+            lock(&self.shards[w].0).push(dag_entry(self.dag, v));
+            self.wake();
+        }
+    }
+
+    fn complete(&self, w: usize, v: NodeId) {
+        for &s in self.dag.succs(v) {
+            self.retire_edge(w, s);
+        }
+        if self.completed.fetch_add(1, Ordering::SeqCst) + 1 >= self.dag.len() {
+            self.wake();
+        }
+    }
+
+    fn poison(&self, payload: Box<dyn Any + Send + 'static>) {
+        {
+            let mut slot = lock(&self.panic_payload);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        let mut g = lock(&self.idle);
+        *g += 1;
+        self.idle_cv.notify_all();
+    }
+}
+
+impl<F> Job for DagJob<'_, F>
+where
+    F: Fn(NodeId, u64, usize) + Sync,
+{
+    fn run(&self, w: usize) {
+        // SAFETY: worker `w` is the only thread touching slot `w` until
+        // the dispatcher harvests after quiescence.
+        let slot = unsafe { &mut *self.slots[w].0 .0.get() };
+        loop {
+            if self.finished() {
+                return;
+            }
+            let Some(e) = self.find_work(w) else {
+                if self.park() {
+                    continue;
+                }
+                return;
+            };
+            let node = e.payload as NodeId;
+            let tag = self.dag.tag(node);
+            let start = self.t0.elapsed().as_secs_f64();
+            let result = catch_unwind(AssertUnwindSafe(|| (self.node_fn)(node, tag, w)));
+            if let Err(payload) = result {
+                self.poison(payload);
+                return;
+            }
+            let end = self.t0.elapsed().as_secs_f64();
+            slot.busy += end - start;
+            slot.log.push(DagRecord { node, tag, worker: w, start, end });
+            self.complete(w, node);
+        }
+    }
+}
+
+/// Single-threaded `run_dag` with identical policy semantics; used for
+/// 1-thread executors and reentrant calls from inside a pool job.
+/// Allocation-free once the scratch arenas are warm.
+fn run_dag_serial_reuse<F>(dag: &Dag, policy: QueuePolicy, scratch: &mut DagScratch, node_fn: &F)
+where
+    F: Fn(NodeId, u64, usize) + Sync,
+{
+    scratch.prepare(dag, policy, 1);
+    let t0 = Instant::now();
+    {
+        let DagScratch { shards, pending, slots, .. } = scratch;
+        let ready = shards[0].0.get_mut().unwrap_or_else(|e| e.into_inner());
+        for v in 0..dag.len() as NodeId {
+            if pending[v as usize].load(Ordering::Relaxed) == 0 {
+                ready.push(dag_entry(dag, v));
+            }
+        }
+        let ws = slots[0].0 .0.get_mut();
+        while let Some(e) = ready.pop() {
+            let node = e.payload as NodeId;
+            let tag = dag.tag(node);
+            let start = t0.elapsed().as_secs_f64();
+            node_fn(node, tag, 0);
+            let end = t0.elapsed().as_secs_f64();
+            ws.busy += end - start;
+            ws.log.push(DagRecord { node, tag, worker: 0, start, end });
+            for &s in dag.succs(node) {
+                if pending[s as usize].fetch_sub(1, Ordering::Relaxed) == 1 {
+                    ready.push(dag_entry(dag, s));
+                }
+            }
+        }
+    }
+    scratch.harvest(t0.elapsed().as_secs_f64());
+}
+
+// ---------------------------------------------------------------------------
 // parallel_for on the pool: per-worker range deques with steal-half
 // ---------------------------------------------------------------------------
 
@@ -871,8 +1227,8 @@ mod spawn {
     //! counter for `parallel_for`. Retained as [`super::ExecBackend::SpawnPerCall`]
     //! so `benches/pool.rs` can measure what the persistent pool buys.
 
-    use super::{entry, lock, RunStats, TaskPhase, TaskRecord};
-    use crate::graph::{QueuePolicy, TaskGraph, TaskId};
+    use super::{dag_entry, entry, lock, DagRecord, DagRunStats, RunStats, TaskPhase, TaskRecord};
+    use crate::graph::{Dag, NodeId, QueuePolicy, TaskGraph, TaskId};
     use crate::queue::{Entry, ReadyQueue};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Condvar, Mutex};
@@ -1022,6 +1378,112 @@ mod spawn {
             log.extend(l.into_inner().unwrap_or_else(|e| e.into_inner()));
         }
         RunStats { makespan, worker_busy, log }
+    }
+
+    /// The spawn-per-call twin of the pool's `DagJob`: scoped threads, one
+    /// global ready queue, blocking pops. Same edge-retirement semantics.
+    pub(super) fn run_dag<F>(
+        threads: usize,
+        dag: &Dag,
+        policy: QueuePolicy,
+        node_fn: &F,
+    ) -> DagRunStats
+    where
+        F: Fn(NodeId, u64, usize) + Sync,
+    {
+        struct DagInner {
+            ready: ReadyQueue,
+            pending: Vec<u32>,
+            completed: usize,
+            poisoned: bool,
+        }
+        struct DagShared<'g> {
+            dag: &'g Dag,
+            inner: Mutex<DagInner>,
+            cv: Condvar,
+        }
+        impl DagShared<'_> {
+            fn pop_blocking(&self) -> Option<Entry> {
+                let mut inner = lock(&self.inner);
+                loop {
+                    if inner.poisoned {
+                        return None;
+                    }
+                    if let Some(e) = inner.ready.pop() {
+                        return Some(e);
+                    }
+                    if inner.completed == self.dag.len() {
+                        return None;
+                    }
+                    inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+
+        let n = dag.len();
+        let mut ready = ReadyQueue::new(policy);
+        let mut pending = vec![0u32; n];
+        for v in 0..n as NodeId {
+            pending[v as usize] = dag.pred_count(v);
+            if pending[v as usize] == 0 {
+                ready.push(dag_entry(dag, v));
+            }
+        }
+        let shared = DagShared {
+            dag,
+            inner: Mutex::new(DagInner { ready, pending, completed: 0, poisoned: false }),
+            cv: Condvar::new(),
+        };
+
+        let t0 = Instant::now();
+        let busy: Vec<Mutex<f64>> = (0..threads).map(|_| Mutex::new(0.0)).collect();
+        let logs: Vec<Mutex<Vec<DagRecord>>> =
+            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let shared = &shared;
+                let busy = &busy[w];
+                let log = &logs[w];
+                scope.spawn(move || {
+                    while let Some(e) = shared.pop_blocking() {
+                        let node = e.payload as NodeId;
+                        let tag = dag.tag(node);
+                        let start = t0.elapsed().as_secs_f64();
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            node_fn(node, tag, w)
+                        }));
+                        if let Err(payload) = result {
+                            let mut inner = lock(&shared.inner);
+                            inner.poisoned = true;
+                            shared.cv.notify_all();
+                            drop(inner);
+                            std::panic::resume_unwind(payload);
+                        }
+                        let end = t0.elapsed().as_secs_f64();
+                        *lock(busy) += end - start;
+                        lock(log).push(DagRecord { node, tag, worker: w, start, end });
+                        let mut inner = lock(&shared.inner);
+                        inner.completed += 1;
+                        for &s in dag.succs(node) {
+                            inner.pending[s as usize] -= 1;
+                            if inner.pending[s as usize] == 0 {
+                                inner.ready.push(dag_entry(dag, s));
+                            }
+                        }
+                        shared.cv.notify_all();
+                    }
+                });
+            }
+        });
+
+        let makespan = t0.elapsed().as_secs_f64();
+        let worker_busy: Vec<f64> = busy.iter().map(|m| *lock(m)).collect();
+        let mut log = Vec::new();
+        for l in logs {
+            log.extend(l.into_inner().unwrap_or_else(|e| e.into_inner()));
+        }
+        DagRunStats { makespan, worker_busy, log }
     }
 
     pub(super) fn parallel_for<F>(threads: usize, n: usize, grain: usize, body: &F)
@@ -1184,6 +1646,58 @@ impl Executor {
                 let payload;
                 {
                     let job = GraphJob::new(graph, self.threads, &task_fn, scratch, total);
+                    pool.dispatch(&job);
+                    makespan = job.t0.elapsed().as_secs_f64();
+                    payload = lock(&job.panic_payload).take();
+                }
+                if let Some(payload) = payload {
+                    resume_unwind(payload);
+                }
+                scratch.harvest(makespan);
+            }
+        }
+    }
+
+    /// Runs every node of a heterogeneous [`Dag`] exactly once, respecting
+    /// its dependency edges — the fused-pipeline twin of
+    /// [`Executor::run_graph`]. `node_fn(node, tag, worker)` receives the
+    /// node's opaque tag so one closure can dispatch on task kind.
+    pub fn run_dag<F>(&self, dag: &Dag, policy: QueuePolicy, node_fn: F) -> DagRunStats
+    where
+        F: Fn(NodeId, u64, usize) + Sync,
+    {
+        let mut scratch = DagScratch::new();
+        self.run_dag_reuse(dag, policy, &mut scratch, node_fn);
+        scratch.into_stats()
+    }
+
+    /// [`Executor::run_dag`] against caller-owned [`DagScratch`]: all run
+    /// bookkeeping is recycled, so repeated dispatches of same-shaped DAGs
+    /// allocate nothing after the first. The run's [`DagRunStats`] are left
+    /// in [`DagScratch::stats`].
+    pub fn run_dag_reuse<F>(
+        &self,
+        dag: &Dag,
+        policy: QueuePolicy,
+        scratch: &mut DagScratch,
+        node_fn: F,
+    ) where
+        F: Fn(NodeId, u64, usize) + Sync,
+    {
+        match self.backend {
+            ExecBackend::SpawnPerCall => {
+                scratch.stats = spawn::run_dag(self.threads, dag, policy, &node_fn);
+            }
+            ExecBackend::Persistent => {
+                if self.threads == 1 || IN_POOL_JOB.with(|f| f.get()) {
+                    return run_dag_serial_reuse(dag, policy, scratch, &node_fn);
+                }
+                let pool = self.pool.as_ref().expect("persistent backend owns a pool");
+                scratch.prepare(dag, policy, self.threads);
+                let makespan;
+                let payload;
+                {
+                    let job = DagJob::new(dag, self.threads, &node_fn, scratch);
                     pool.dispatch(&job);
                     makespan = job.t0.elapsed().as_secs_f64();
                     payload = lock(&job.panic_payload).take();
@@ -1648,5 +2162,123 @@ mod tests {
             v
         };
         assert_eq!(collect(ExecBackend::Persistent), collect(ExecBackend::SpawnPerCall));
+    }
+
+    /// A small diamond-rich layered DAG for the run_dag tests: `layers`
+    /// layers of `width` nodes, every node depending on all nodes of the
+    /// previous layer. Tag = layer * 100 + position.
+    fn layered_dag(layers: usize, width: usize) -> Dag {
+        let mut b = crate::graph::DagBuilder::new();
+        let mut prev: Vec<NodeId> = Vec::new();
+        for l in 0..layers {
+            let cur: Vec<NodeId> =
+                (0..width).map(|p| b.add_node((l * 100 + p) as u64, (p + 1) as u64)).collect();
+            for &f in &prev {
+                for &t in &cur {
+                    b.add_edge(f, t);
+                }
+            }
+            prev = cur;
+        }
+        b.build()
+    }
+
+    #[test]
+    fn dag_every_node_runs_once_respecting_edges() {
+        let dag = layered_dag(4, 5);
+        let done: Vec<AtomicBool> = (0..dag.len()).map(|_| AtomicBool::new(false)).collect();
+        let counts: Vec<AtomicU32> = (0..dag.len()).map(|_| AtomicU32::new(0)).collect();
+        let exec = Executor::new(4);
+        let stats = exec.run_dag(&dag, QueuePolicy::Priority, |v, tag, _w| {
+            assert_eq!(tag, dag.tag(v));
+            let layer = tag / 100;
+            if layer > 0 {
+                // All previous-layer nodes must have completed.
+                for o in 0..dag.len() as NodeId {
+                    if dag.tag(o) / 100 == layer - 1 {
+                        assert!(done[o as usize].load(Ordering::SeqCst));
+                    }
+                }
+            }
+            done[v as usize].store(true, Ordering::SeqCst);
+            counts[v as usize].fetch_add(1, Ordering::SeqCst);
+        });
+        for (v, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "node {v}");
+        }
+        assert_eq!(stats.log.len(), dag.len());
+        assert_eq!(stats.worker_busy.len(), 4);
+    }
+
+    #[test]
+    fn dag_backends_and_thread_counts_agree() {
+        let dag = layered_dag(3, 4);
+        let collect = |backend, threads| {
+            let exec = Executor::with_backend(threads, backend);
+            let log = Mutex::new(Vec::new());
+            exec.run_dag(&dag, QueuePolicy::Fifo, |v, tag, _w| {
+                lock(&log).push((v, tag));
+            });
+            let mut v = log.into_inner().unwrap();
+            v.sort_unstable();
+            v
+        };
+        let reference = collect(ExecBackend::Persistent, 1);
+        for backend in [ExecBackend::Persistent, ExecBackend::SpawnPerCall] {
+            for threads in [2usize, 4] {
+                assert_eq!(collect(backend, threads), reference, "{backend:?} × {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_reuse_recycles_scratch_across_shapes() {
+        let exec = Executor::new(3);
+        let mut scratch = DagScratch::new();
+        for (layers, width) in [(4usize, 4usize), (4, 4), (2, 7), (5, 3)] {
+            let dag = layered_dag(layers, width);
+            let count = AtomicU32::new(0);
+            exec.run_dag_reuse(&dag, QueuePolicy::Priority, &mut scratch, |_v, _tag, _w| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), dag.len() as u32);
+            assert_eq!(scratch.stats().log.len(), dag.len());
+            assert_eq!(scratch.stats().worker_busy.len(), 3);
+        }
+    }
+
+    #[test]
+    fn dag_panic_propagates_and_pool_survives() {
+        let dag = layered_dag(3, 3);
+        let exec = Executor::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.run_dag(&dag, QueuePolicy::Fifo, |v, _tag, _w| {
+                if v == 4 {
+                    panic!("injected dag node failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+        let count = AtomicU32::new(0);
+        exec.run_dag(&dag, QueuePolicy::Fifo, |_v, _tag, _w| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn dag_serial_priority_pops_heaviest_root_first() {
+        // Independent roots only: with one worker the priority policy must
+        // pop the heaviest first.
+        let mut b = crate::graph::DagBuilder::new();
+        for (i, w) in [10u64, 90, 20, 70].into_iter().enumerate() {
+            b.add_node(i as u64, w);
+        }
+        let dag = b.build();
+        let order = Mutex::new(Vec::new());
+        Executor::new(1).run_dag(&dag, QueuePolicy::Priority, |v, _tag, _w| {
+            lock(&order).push(v);
+        });
+        assert_eq!(lock(&order).clone(), vec![1, 3, 2, 0]);
     }
 }

@@ -274,6 +274,276 @@ impl TaskGraph {
     }
 }
 
+/// Index of a node within a [`Dag`].
+pub type NodeId = u32;
+
+/// Builder for a heterogeneous [`Dag`]: add nodes (tag + weight), add
+/// edges, then [`DagBuilder::build`]. Duplicate edges are deduplicated at
+/// build time, so edge-construction passes may emit conservatively.
+#[derive(Clone, Debug, Default)]
+pub struct DagBuilder {
+    tags: Vec<u64>,
+    weights: Vec<u64>,
+    prios: Vec<u64>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        DagBuilder::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DagBuilder {
+            tags: Vec::with_capacity(nodes),
+            weights: Vec::with_capacity(nodes),
+            prios: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node carrying an opaque `tag` (interpreted by the caller's
+    /// task function — e.g. packed kind/axis/channel/index) and a priority
+    /// `weight`, returning its id. Ids are assigned sequentially.
+    pub fn add_node(&mut self, tag: u64, weight: u64) -> NodeId {
+        let id = self.tags.len();
+        assert!(id < u32::MAX as usize, "Dag node count overflows u32");
+        self.tags.push(tag);
+        self.weights.push(weight);
+        self.prios.push(weight);
+        id as NodeId
+    }
+
+    /// Overrides the node's *scheduling priority* (defaults to its
+    /// weight). Weight stays the node's work estimate — cost models read
+    /// it — while priority only orders the ready queue under
+    /// [`QueuePolicy::Priority`]. Builders use this to make the frontier
+    /// pop phase-major (oldest phase first, heaviest node within a phase):
+    /// at low parallelism that keeps grid traversal streaming axis-by-axis
+    /// instead of ping-ponging between phases, at no cost to overlap — a
+    /// worker still takes newer-phase work whenever nothing older is
+    /// ready.
+    pub fn set_priority(&mut self, v: NodeId, priority: u64) {
+        self.prios[v as usize] = priority;
+    }
+
+    /// The tag `v` was added with (for priority passes over built nodes).
+    pub fn node_tag(&self, v: NodeId) -> u64 {
+        self.tags[v as usize]
+    }
+
+    /// The weight `v` was added with.
+    pub fn node_weight(&self, v: NodeId) -> u64 {
+        self.weights[v as usize]
+    }
+
+    /// Adds a dependency edge: `to` may not start before `from` completes.
+    /// Self-edges are rejected; duplicates are fine (deduplicated in
+    /// [`DagBuilder::build`]).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        debug_assert_ne!(from, to, "self-edge {from}->{to}");
+        self.edges.push((from, to));
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True if no nodes were added.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Finalizes into an executable [`Dag`]: deduplicates edges, builds the
+    /// successor CSR and predecessor counts, and verifies acyclicity.
+    ///
+    /// # Panics
+    /// Panics if an edge references an unknown node or the graph has a
+    /// dependency cycle.
+    pub fn build(mut self) -> Dag {
+        let n = self.tags.len();
+        for &(f, t) in &self.edges {
+            assert!(
+                (f as usize) < n && (t as usize) < n,
+                "edge {f}->{t} references a node outside 0..{n}"
+            );
+            assert_ne!(f, t, "self-edge {f}->{t}");
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut succ_off = vec![0u32; n + 1];
+        for &(f, _) in &self.edges {
+            succ_off[f as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut pred_count = vec![0u32; n];
+        let mut succ = Vec::with_capacity(self.edges.len());
+        // Edges are sorted by `from`, so pushing in order fills the CSR.
+        for &(_, t) in &self.edges {
+            succ.push(t);
+            pred_count[t as usize] += 1;
+        }
+        let dag = Dag {
+            tags: self.tags,
+            weights: self.weights,
+            prios: self.prios,
+            pred_count,
+            succ_off,
+            succ,
+        };
+        // Kahn's algorithm: every node must be reachable from the roots.
+        let mut pending = dag.pred_count.clone();
+        let mut ready: Vec<NodeId> = (0..n as u32).filter(|&v| pending[v as usize] == 0).collect();
+        let mut done = 0usize;
+        while let Some(v) = ready.pop() {
+            done += 1;
+            for &s in dag.succs(v) {
+                pending[s as usize] -= 1;
+                if pending[s as usize] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        assert_eq!(done, n, "Dag contains a dependency cycle ({} nodes unreachable)", n - done);
+        dag
+    }
+}
+
+/// A general heterogeneous task DAG with arbitrary fan-in/fan-out,
+/// executed by `Executor::run_dag`.
+///
+/// Unlike [`TaskGraph`] — whose ≤ 2 predecessor/successor edges encode
+/// exactly the Gray-code partition ordering — a `Dag` carries explicit
+/// per-node edge lists in CSR form, so one graph can span every phase of an
+/// operator apply: scale slabs, per-axis FFT tiles, scatter/gather
+/// convolution tasks and privatized reductions, with data-flow edges
+/// between phases instead of executor-level joins.
+#[derive(Clone, Debug)]
+pub struct Dag {
+    /// Opaque per-node tag, handed to the task function.
+    tags: Vec<u64>,
+    /// Work estimate per node (cost models read this).
+    weights: Vec<u64>,
+    /// Scheduling priority per node (larger pops first under
+    /// [`QueuePolicy::Priority`]); defaults to the weight unless the
+    /// builder overrode it via [`DagBuilder::set_priority`].
+    prios: Vec<u64>,
+    /// Incoming-edge count per node.
+    pred_count: Vec<u32>,
+    /// CSR row offsets into `succ`.
+    succ_off: Vec<u32>,
+    /// Flattened successor lists.
+    succ: Vec<NodeId>,
+}
+
+impl Dag {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Number of (deduplicated) edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// The node's opaque tag.
+    pub fn tag(&self, v: NodeId) -> u64 {
+        self.tags[v as usize]
+    }
+
+    /// The node's work estimate.
+    pub fn weight(&self, v: NodeId) -> u64 {
+        self.weights[v as usize]
+    }
+
+    /// The node's scheduling priority (see [`DagBuilder::set_priority`]).
+    pub fn priority(&self, v: NodeId) -> u64 {
+        self.prios[v as usize]
+    }
+
+    /// Number of dependency edges into `v`.
+    pub fn pred_count(&self, v: NodeId) -> u32 {
+        self.pred_count[v as usize]
+    }
+
+    /// The successors of `v`.
+    pub fn succs(&self, v: NodeId) -> &[NodeId] {
+        &self.succ[self.succ_off[v as usize] as usize..self.succ_off[v as usize + 1] as usize]
+    }
+
+    /// Total weight across all nodes.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod dag_tests {
+    use super::*;
+
+    #[test]
+    fn builder_dedups_edges_and_counts_preds() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10, 1);
+        let c = b.add_node(20, 2);
+        let d = b.add_node(30, 3);
+        b.add_edge(a, c);
+        b.add_edge(a, c); // duplicate
+        b.add_edge(a, d);
+        b.add_edge(c, d);
+        let dag = b.build();
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.num_edges(), 3);
+        assert_eq!(dag.succs(a), &[c, d]);
+        assert_eq!(dag.succs(c), &[d]);
+        assert_eq!(dag.succs(d), &[] as &[NodeId]);
+        assert_eq!(dag.pred_count(a), 0);
+        assert_eq!(dag.pred_count(c), 1);
+        assert_eq!(dag.pred_count(d), 2);
+        assert_eq!(dag.tag(c), 20);
+        assert_eq!(dag.weight(d), 3);
+        assert_eq!(dag.total_weight(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn builder_rejects_cycles() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(0, 0);
+        let c = b.add_node(1, 0);
+        b.add_edge(a, c);
+        b.add_edge(c, a);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn builder_rejects_dangling_edges() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(0, 0);
+        b.add_edge(a, 7);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let dag = DagBuilder::new().build();
+        assert!(dag.is_empty());
+        assert_eq!(dag.num_edges(), 0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,9 @@ pub mod gray;
 pub mod queue;
 pub mod scratch;
 
-pub use exec::{ExecBackend, Executor, GraphScratch, RunStats, TaskPhase};
-pub use graph::{QueuePolicy, TaskGraph, TaskId};
+pub use exec::{
+    DagRecord, DagRunStats, DagScratch, ExecBackend, Executor, GraphScratch, RunStats, TaskPhase,
+};
+pub use graph::{Dag, DagBuilder, NodeId, QueuePolicy, TaskGraph, TaskId};
 pub use gray::{gray_code, gray_rank};
 pub use scratch::WorkerLocal;

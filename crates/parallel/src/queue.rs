@@ -61,6 +61,17 @@ impl ReadyQueue {
         }
     }
 
+    /// Reserves capacity for at least `n` queued entries. Worker↔shard
+    /// traffic is schedule-dependent, so zero-allocation steady-state runs
+    /// size every shard for the worst case (all ready entries in one
+    /// shard) up front.
+    pub fn reserve(&mut self, n: usize) {
+        match self {
+            ReadyQueue::Fifo(q) => q.reserve(n),
+            ReadyQueue::Priority(h) => h.reserve(n),
+        }
+    }
+
     /// Enqueues a ready entry.
     pub fn push(&mut self, e: Entry) {
         match self {

@@ -35,7 +35,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use nufft_parallel::exec::TaskPhase;
-use nufft_parallel::graph::{QueuePolicy, TaskGraph, TaskId};
+use nufft_parallel::graph::{Dag, NodeId, QueuePolicy, TaskGraph, TaskId};
 use nufft_parallel::queue::{Entry, ReadyQueue};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -469,6 +469,247 @@ pub fn speedup_curve(
     worker_counts.iter().map(|&w| (w, base / simulate(graph, policy, w, model).makespan)).collect()
 }
 
+/// Virtual-time cost provider for heterogeneous [`Dag`] nodes (the fused
+/// whole-operator graphs built by `nufft-core`).
+pub trait DagCostModel {
+    /// Execution cost (virtual seconds) of one node.
+    fn cost(&self, dag: &Dag, node: NodeId) -> f64;
+
+    /// Serial cost of one dequeue from a ready-queue shard.
+    fn queue_overhead(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Affine node cost: `per_node + per_unit · weight(node)`. Node weights in
+/// the fused graphs are already normalized work estimates (grid elements,
+/// sample-equivalents), so one linear model covers all kinds.
+#[derive(Clone, Copy, Debug)]
+pub struct DagLinearCost {
+    /// Fixed overhead per node (scheduling, dispatch).
+    pub per_node: f64,
+    /// Marginal cost per weight unit.
+    pub per_unit: f64,
+    /// Serial dequeue cost (shard-mutex contention).
+    pub queue_cost: f64,
+}
+
+impl DagLinearCost {
+    /// A convenient default: one weight unit ≈ `per_unit` seconds.
+    pub fn per_unit(per_unit: f64) -> Self {
+        DagLinearCost { per_node: per_unit * 4.0, per_unit, queue_cost: per_unit * 2.0 }
+    }
+}
+
+impl DagCostModel for DagLinearCost {
+    fn cost(&self, dag: &Dag, node: NodeId) -> f64 {
+        self.per_node + self.per_unit * dag.weight(node) as f64
+    }
+
+    fn queue_overhead(&self) -> f64 {
+        self.queue_cost
+    }
+}
+
+/// One simulated node execution.
+#[derive(Clone, Copy, Debug)]
+pub struct DagSimRecord {
+    /// Which node ran.
+    pub node: NodeId,
+    /// Its opaque tag (kind/axis/channel packing is the builder's).
+    pub tag: u64,
+    /// Virtual worker that ran it.
+    pub worker: usize,
+    /// Virtual start time.
+    pub start: f64,
+    /// Virtual end time.
+    pub end: f64,
+}
+
+/// Result of a virtual DAG run.
+#[derive(Clone, Debug)]
+pub struct DagSimResult {
+    /// Virtual makespan.
+    pub makespan: f64,
+    /// Per-worker busy time (node execution only, not queue waits).
+    pub worker_busy: Vec<f64>,
+    /// Full timeline, ordered by start time.
+    pub timeline: Vec<DagSimRecord>,
+}
+
+impl DagSimResult {
+    /// Busy time / (P × makespan).
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 1.0;
+        }
+        self.worker_busy.iter().sum::<f64>() / (self.makespan * self.worker_busy.len() as f64)
+    }
+}
+
+/// Core DAG event loop over the subset of nodes where `active` holds;
+/// edges with an inactive endpoint are dropped. Mechanics mirror
+/// [`simulate`] exactly (sharded queues, round-robin seeding,
+/// own-shard-then-scan stealing, per-shard serialized dequeues).
+fn simulate_dag_subset(
+    dag: &Dag,
+    policy: QueuePolicy,
+    workers: usize,
+    model: &dyn DagCostModel,
+    active: &dyn Fn(NodeId) -> bool,
+) -> DagSimResult {
+    assert!(workers > 0, "need at least one virtual worker");
+    let n = dag.len();
+    let mut pending: Vec<u32> = vec![0; n];
+    let mut remaining = 0usize;
+    for u in 0..n as NodeId {
+        if !active(u) {
+            continue;
+        }
+        remaining += 1;
+        for &v in dag.succs(u) {
+            if active(v) {
+                pending[v as usize] += 1;
+            }
+        }
+    }
+    let mut shards: Vec<ReadyQueue> = (0..workers).map(|_| ReadyQueue::new(policy)).collect();
+    let mut seed = 0usize;
+    for u in 0..n as NodeId {
+        if active(u) && pending[u as usize] == 0 {
+            shards[seed % workers].push(Entry { weight: dag.priority(u), payload: u as u64 });
+            seed += 1;
+        }
+    }
+
+    let mut events: BinaryHeap<Reverse<FinishEvent>> = BinaryHeap::new();
+    let key = |t: f64| -> u64 { (t * 1e12) as u64 };
+    let mut idle: Vec<(u64, usize)> = (0..workers).map(|w| (0u64, w)).collect();
+    let mut shard_free_at = vec![0.0f64; workers];
+    let mut busy = vec![0.0f64; workers];
+    let mut timeline = Vec::with_capacity(remaining);
+    let mut makespan = 0.0f64;
+    let mut now = 0.0f64;
+
+    loop {
+        idle.sort_unstable();
+        let mut still_idle = Vec::new();
+        for &(tfree_k, w) in &idle {
+            let tfree = tfree_k as f64 / 1e12;
+            let victim = (0..workers).map(|d| (w + d) % workers).find(|&v| !shards[v].is_empty());
+            let Some(v) = victim else {
+                still_idle.push((tfree_k, w));
+                continue;
+            };
+            let e = shards[v].pop().expect("checked non-empty");
+            let node = e.payload as NodeId;
+            let pop_start = tfree.max(now).max(shard_free_at[v]);
+            let start = pop_start + model.queue_overhead();
+            shard_free_at[v] = start;
+            let dur = model.cost(dag, node);
+            let end = start + dur;
+            busy[w] += dur;
+            timeline.push(DagSimRecord { node, tag: dag.tag(node), worker: w, start, end });
+            events.push(Reverse(FinishEvent {
+                time: end,
+                worker: w,
+                task: node as TaskId,
+                phase: TaskPhase::Normal,
+            }));
+        }
+        idle = still_idle;
+
+        let Some(Reverse(ev)) = events.pop() else { break };
+        makespan = makespan.max(ev.time);
+        now = ev.time;
+        idle.push((key(ev.time), ev.worker));
+        remaining -= 1;
+
+        for &s in dag.succs(ev.task as NodeId) {
+            if !active(s) {
+                continue;
+            }
+            pending[s as usize] -= 1;
+            if pending[s as usize] == 0 {
+                shards[ev.worker].push(Entry { weight: dag.priority(s), payload: s as u64 });
+            }
+        }
+    }
+    debug_assert_eq!(remaining, 0, "simulation finished with unscheduled work");
+
+    timeline.sort_by(|a, b| a.start.total_cmp(&b.start));
+    DagSimResult { makespan, worker_busy: busy, timeline }
+}
+
+/// Simulates a fused whole-operator [`Dag`] on `workers` virtual workers —
+/// the **barrier-free** schedule: a worker takes any node whose
+/// dependencies are retired, regardless of phase.
+pub fn simulate_dag(
+    dag: &Dag,
+    policy: QueuePolicy,
+    workers: usize,
+    model: &dyn DagCostModel,
+) -> DagSimResult {
+    simulate_dag_subset(dag, policy, workers, model, &|_| true)
+}
+
+/// Simulates the same node set as [`simulate_dag`] but with an executor
+/// join after every phase (the historical pipeline): nodes are grouped by
+/// `phases[node]`, each group runs as its own sharded simulation with only
+/// intra-phase edges, and the total is the **sum of group makespans** —
+/// every phase waits for the previous one's slowest worker. Returns that
+/// total virtual time.
+///
+/// `phases[v]` is the phase index of node `v` (see
+/// `nufft_core::fused::node_phase`); phase ids need not be dense.
+pub fn simulate_dag_phased(
+    dag: &Dag,
+    phases: &[usize],
+    policy: QueuePolicy,
+    workers: usize,
+    model: &dyn DagCostModel,
+) -> f64 {
+    assert_eq!(phases.len(), dag.len(), "one phase id per node");
+    let mut ids: Vec<usize> = phases.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.iter()
+        .map(|&p| {
+            simulate_dag_subset(dag, policy, workers, model, &|v| phases[v as usize] == p).makespan
+        })
+        .sum()
+}
+
+/// A point of the fused-vs-phased scaling comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct DagSpeedupPoint {
+    /// Virtual worker count.
+    pub workers: usize,
+    /// Barrier-free makespan ([`simulate_dag`]).
+    pub fused: f64,
+    /// Join-after-every-phase total ([`simulate_dag_phased`]).
+    pub phased: f64,
+}
+
+/// Sweeps worker counts, returning fused and phased virtual times per `P`
+/// — the data behind the fused-DAG speedup curves.
+pub fn dag_speedup_curve(
+    dag: &Dag,
+    phases: &[usize],
+    policy: QueuePolicy,
+    worker_counts: &[usize],
+    model: &dyn DagCostModel,
+) -> Vec<DagSpeedupPoint> {
+    worker_counts
+        .iter()
+        .map(|&workers| DagSpeedupPoint {
+            workers,
+            fused: simulate_dag(dag, policy, workers, model).makespan,
+            phased: simulate_dag_phased(dag, phases, policy, workers, model),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -742,5 +983,95 @@ mod tests {
         let b = simulate(&g, QueuePolicy::Priority, 8, &model);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.timeline.len(), b.timeline.len());
+    }
+
+    use nufft_parallel::graph::DagBuilder;
+
+    /// A synthetic fused-style pipeline: `phases` layers of `width` nodes
+    /// each, node (k, i) depending on nodes (k−1, i−1..=i+1) — local edges
+    /// like the tile graphs, not all-to-all. `skew` makes one lane of each
+    /// layer heavy (the straggler barriers amplify), alternating between
+    /// the layer's ends so the heavy nodes don't form a dependency chain.
+    fn pipeline_dag(layers: usize, width: usize, skew: u64) -> (Dag, Vec<usize>) {
+        let mut b = DagBuilder::new();
+        let mut phases = Vec::new();
+        for k in 0..layers {
+            let heavy = (k % 2) * (width - 1);
+            for i in 0..width {
+                let w = if i == heavy { skew } else { 10 };
+                b.add_node(((k * width + i) as u64) << 8, w);
+                phases.push(k);
+            }
+        }
+        for k in 1..layers {
+            for i in 0..width {
+                for j in i.saturating_sub(1)..(i + 2).min(width) {
+                    b.add_edge(((k - 1) * width + j) as NodeId, (k * width + i) as NodeId);
+                }
+            }
+        }
+        (b.build(), phases)
+    }
+
+    #[test]
+    fn dag_single_worker_time_is_total_work() {
+        let (dag, _) = pipeline_dag(3, 4, 10);
+        let model = DagLinearCost { per_node: 1.0, per_unit: 0.5, queue_cost: 0.0 };
+        let r = simulate_dag(&dag, QueuePolicy::Fifo, 1, &model);
+        let want = 12.0 * 1.0 + 0.5 * dag.total_weight() as f64;
+        assert!((r.makespan - want).abs() < 1e-9, "{} vs {want}", r.makespan);
+        assert!((r.efficiency() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dag_dependencies_respected_in_timeline() {
+        let (dag, _) = pipeline_dag(4, 6, 80);
+        let model = DagLinearCost::per_unit(0.1);
+        let r = simulate_dag(&dag, QueuePolicy::Priority, 4, &model);
+        assert_eq!(r.timeline.len(), dag.len());
+        let mut finish = vec![0.0f64; dag.len()];
+        for rec in &r.timeline {
+            finish[rec.node as usize] = rec.end;
+        }
+        for u in 0..dag.len() as NodeId {
+            for &v in dag.succs(u) {
+                let start = r.timeline.iter().find(|rec| rec.node == v).unwrap().start;
+                assert!(
+                    finish[u as usize] <= start + 1e-9,
+                    "node {v} started before pred {u} finished"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_phased_equals_fused_on_one_worker_without_overhead() {
+        // With P = 1 and no queue cost, barriers change nothing: both
+        // schedules serialize all work.
+        let (dag, phases) = pipeline_dag(4, 5, 60);
+        let model = DagLinearCost { per_node: 0.5, per_unit: 0.2, queue_cost: 0.0 };
+        let fused = simulate_dag(&dag, QueuePolicy::Priority, 1, &model).makespan;
+        let phased = simulate_dag_phased(&dag, &phases, QueuePolicy::Priority, 1, &model);
+        assert!((fused - phased).abs() < 1e-9, "{fused} vs {phased}");
+    }
+
+    #[test]
+    fn fused_dominates_phased_at_scale_on_skewed_pipelines() {
+        // One heavy lane per layer: under barriers every layer lasts the
+        // heavy node's duration; the fused DAG overlaps layer k's light
+        // nodes with layer k−1's straggler. Satellite requirement: fused
+        // simulated speedup dominates phased at P ≥ 4.
+        let (dag, phases) = pipeline_dag(6, 16, 400);
+        let model = DagLinearCost { per_node: 0.2, per_unit: 1.0, queue_cost: 0.01 };
+        for workers in [4usize, 8, 16] {
+            let curve = dag_speedup_curve(&dag, &phases, QueuePolicy::Priority, &[workers], &model);
+            let p = curve[0];
+            assert!(
+                p.fused < p.phased,
+                "P={workers}: fused {} should beat phased {}",
+                p.fused,
+                p.phased
+            );
+        }
     }
 }

@@ -6,6 +6,8 @@
 #                        (crates/bench/benches/pool.rs)
 #   BENCH_windows.json — precomputed window table vs on-the-fly Part 1
 #                        (crates/bench/benches/windows.rs)
+#   BENCH_fused.json   — fused single-DAG vs phased join-per-phase applies
+#                        (crates/bench/benches/fused.rs)
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
@@ -31,6 +33,9 @@ cargo bench --offline --bench pool
 echo "== bench: windows (precomputed table vs on-the-fly Part 1) =="
 cargo bench --offline --bench windows
 
+echo "== bench: fused (single-DAG dispatch vs join-per-phase pipeline) =="
+cargo bench --offline --bench fused
+
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
 
@@ -39,3 +44,6 @@ cat BENCH_pool.json
 
 echo "== BENCH_windows.json =="
 cat BENCH_windows.json
+
+echo "== BENCH_fused.json =="
+cat BENCH_fused.json

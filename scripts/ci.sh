@@ -29,6 +29,13 @@ echo "== parallel stress (oversubscribed, 16 workers) =="
 # exercised under real preemption.
 NUFFT_THREADS=16 cargo test -q --offline -p nufft-parallel
 
+echo "== fused-DAG stress (oversubscribed, 16 workers) =="
+# scheduler_consistency includes the fused-vs-phased bitwise equality
+# matrix (backend x ISA x threads) and the fused-DAG sim dominance check;
+# 16 workers oversubscribe the runner so the single-dispatch DAG path runs
+# under real preemption.
+NUFFT_THREADS=16 cargo test -q --offline --test scheduler_consistency
+
 echo "== convolution-engine contracts (allocation-free applies, window modes) =="
 # Named runs so a regression names the broken contract, not just "a test".
 # window_modes covers bitwise table-vs-fly equality across ISA levels and

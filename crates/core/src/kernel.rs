@@ -29,7 +29,7 @@ use nufft_math::special::kb_ft_shape;
 pub const DEFAULT_LUT_DENSITY: usize = 512;
 
 /// Which kernel family a plan interpolates with.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelChoice {
     /// Kaiser–Bessel with Beatty's β — the paper's kernel (default).
     KaiserBessel,

@@ -54,10 +54,16 @@ pub mod grid;
 pub mod kernel;
 pub mod partition;
 pub mod plan;
+pub mod registry;
 pub mod scale;
 pub mod tasks;
 pub mod windows;
 
 pub use kernel::{InterpKernel, KbKernel, KernelChoice};
+pub use nufft_parallel::exec::JobPriority;
 pub use plan::{ExecMode, NufftConfig, NufftPlan, OpTimers};
+pub use registry::{
+    ApplyHandle, ApplyOp, ApplyRequest, NufftService, PlanKey, PlanLease, PlanRegistry,
+    RegistryStats,
+};
 pub use windows::{WindowMode, WindowTable};

@@ -45,11 +45,11 @@ use crate::windows::{WindowMode, WindowSource, WindowTable};
 use nufft_fft::{Direction, FftNd};
 use nufft_math::Complex32;
 use nufft_parallel::exec::{
-    DagScratch, ExecBackend, Executor, GraphScratch, RunStats, TaskPhase, TaskRecord,
+    DagScratch, ExecBackend, Executor, GraphScratch, JobPriority, RunStats, TaskPhase, TaskRecord,
 };
 use nufft_parallel::graph::{Dag, QueuePolicy, TaskGraph};
 use nufft_parallel::scratch::WorkerLocal;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// How an operator application is scheduled.
@@ -113,6 +113,12 @@ pub struct NufftConfig {
     /// historical barrier-per-phase pipeline. Bitwise-identical output
     /// either way.
     pub exec_mode: ExecMode,
+    /// Admission priority of this plan's dispatches when several tenants
+    /// share one persistent pool: the fair-share scheduler grants runnable
+    /// jobs worker steps proportional to their priority tickets, so a
+    /// `High` 2D forward keeps progressing under a `Low` 3D adjoint flood.
+    /// Ignored by [`ExecBackend::SpawnPerCall`] (one job at a time there).
+    pub admission: JobPriority,
 }
 
 impl Default for NufftConfig {
@@ -132,6 +138,7 @@ impl Default for NufftConfig {
             backend: ExecBackend::Persistent,
             window_mode: WindowMode::OnTheFly,
             exec_mode: ExecMode::Fused,
+            admission: JobPriority::Normal,
         }
     }
 }
@@ -200,8 +207,10 @@ pub struct NufftPlan<const D: usize> {
     /// refreshed (without allocating) at the top of every adjoint apply.
     priv_ptrs: Vec<(SendPtr<Complex32>, usize)>,
     buf_of_task: Vec<u32>,
-    /// Precomputed Part 1 table (`WindowMode::Precomputed`/`Auto`).
-    windows: Option<WindowTable<D>>,
+    /// Precomputed Part 1 table (`WindowMode::Precomputed`/`Auto`),
+    /// shareable across plans on the same trajectory (registry callers
+    /// pass a prebuilt table to [`NufftPlan::from_grid_coords_shared`]).
+    windows: Option<Arc<WindowTable<D>>>,
     /// Reusable task-graph run state (shards, pending counters, stat logs).
     graph_scratch: GraphScratch,
     /// Per-worker FFT tile scratch, sized once at plan build.
@@ -248,8 +257,33 @@ impl<const D: usize> NufftPlan<D> {
     pub fn new(n: [usize; D], traj: &[[f64; D]], cfg: NufftConfig) -> Self {
         assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
         let geo = Geometry::new(n, cfg.alpha);
-        let coords: Vec<[f32; D]> = traj
-            .iter()
+        Self::from_grid_coords(n, Self::to_grid_coords(&geo, traj), cfg)
+    }
+
+    /// [`NufftPlan::new`] on a caller-supplied executor (several plans
+    /// interleave their applies on one shared worker pool) and an optional
+    /// prebuilt window table. Used by [`crate::registry::PlanRegistry`];
+    /// see [`NufftPlan::from_grid_coords_shared`] for the sharing rules.
+    ///
+    /// # Panics
+    /// See [`NufftPlan::new`]; additionally panics if a shared table's
+    /// sample count does not match the trajectory.
+    pub fn new_shared(
+        n: [usize; D],
+        traj: &[[f64; D]],
+        cfg: NufftConfig,
+        exec: Executor,
+        windows: Option<Arc<WindowTable<D>>>,
+    ) -> Self {
+        assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
+        let geo = Geometry::new(n, cfg.alpha);
+        Self::from_grid_coords_shared(n, Self::to_grid_coords(&geo, traj), cfg, exec, windows)
+    }
+
+    /// Normalized frequencies `ν ∈ [-1/2, 1/2)` → oversampled-grid units
+    /// `[0, M)` (the internal coordinate convention).
+    fn to_grid_coords(geo: &Geometry<D>, traj: &[[f64; D]]) -> Vec<[f32; D]> {
+        traj.iter()
             .map(|p| {
                 core::array::from_fn(|d| {
                     assert!(
@@ -265,8 +299,7 @@ impl<const D: usize> NufftPlan<D> {
                     u
                 })
             })
-            .collect();
-        Self::from_grid_coords(n, coords, cfg)
+            .collect()
     }
 
     /// Builds a plan from coordinates already in oversampled-grid units
@@ -275,7 +308,33 @@ impl<const D: usize> NufftPlan<D> {
     /// # Panics
     /// See [`NufftPlan::new`].
     pub fn from_grid_coords(n: [usize; D], coords: Vec<[f32; D]>, cfg: NufftConfig) -> Self {
+        let exec = Executor::with_backend(cfg.threads.max(1), cfg.backend);
+        Self::from_grid_coords_shared(n, coords, cfg, exec, None)
+    }
+
+    /// [`NufftPlan::from_grid_coords`] on a caller-supplied executor and an
+    /// optional prebuilt window table.
+    ///
+    /// The executor's thread count overrides `cfg.threads` (every plan on a
+    /// shared pool must agree with the pool's width; the stored config is
+    /// normalized so `config()` reflects reality). A shared table is only
+    /// valid when it was built by a plan with the *same* trajectory and
+    /// preprocessing configuration — the internal sample reordering must
+    /// match — which [`crate::registry::PlanRegistry`] guarantees by
+    /// keying tables on (grid, kernel params, trajectory fingerprint).
+    ///
+    /// # Panics
+    /// See [`NufftPlan::new`]; additionally panics if a shared table's
+    /// sample count does not match the trajectory.
+    pub fn from_grid_coords_shared(
+        n: [usize; D],
+        coords: Vec<[f32; D]>,
+        mut cfg: NufftConfig,
+        exec: Executor,
+        shared_windows: Option<Arc<WindowTable<D>>>,
+    ) -> Self {
         assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
+        cfg.threads = exec.threads();
         assert!(cfg.w > 0.0, "kernel radius must be positive");
         let taps = 2 * cfg.w.ceil() as usize + 1;
         assert!(
@@ -297,7 +356,6 @@ impl<const D: usize> NufftPlan<D> {
         let scale = build_scale(&geo, &kernel);
         let fft = FftNd::new(&geo.m);
         let threads = cfg.threads.max(1);
-        let exec = Executor::with_backend(threads, cfg.backend);
 
         let partitions = cfg.partitions_per_dim.unwrap_or_else(|| {
             // Aim for ~8 tasks per thread overall.
@@ -328,14 +386,28 @@ impl<const D: usize> NufftPlan<D> {
             }
         }
 
-        let windows = match cfg
-            .window_mode
-            .resolve(WindowTable::<D>::estimate_bytes(pre.coords.len(), cfg.w))
-        {
-            WindowMode::Precomputed => {
-                Some(WindowTable::build(&pre.coords, cfg.w as f32, &kernel, &exec, cfg.grain))
+        let windows = match shared_windows {
+            Some(table) => {
+                assert_eq!(
+                    table.len(),
+                    pre.coords.len(),
+                    "shared window table sample count mismatch"
+                );
+                Some(table)
             }
-            _ => None,
+            None => match cfg
+                .window_mode
+                .resolve(WindowTable::<D>::estimate_bytes(pre.coords.len(), cfg.w))
+            {
+                WindowMode::Precomputed => Some(Arc::new(WindowTable::build(
+                    &pre.coords,
+                    cfg.w as f32,
+                    &kernel,
+                    &exec,
+                    cfg.grain,
+                ))),
+                _ => None,
+            },
         };
 
         let tile_plan = TilePlan::new(&fft, threads);
@@ -477,17 +549,40 @@ impl<const D: usize> NufftPlan<D> {
         match resolved {
             WindowMode::Precomputed => {
                 if self.windows.is_none() {
-                    self.windows = Some(WindowTable::build(
+                    self.windows = Some(Arc::new(WindowTable::build(
                         &self.pre.coords,
                         self.cfg.w as f32,
                         &self.kernel,
                         &self.exec,
                         self.cfg.grain,
-                    ));
+                    )));
                 }
             }
             _ => self.windows = None,
         }
+    }
+
+    /// The plan's window table as a shareable handle, if one is held —
+    /// [`crate::registry::PlanRegistry`] stashes this after the first build
+    /// of a key so later plan instances skip Part 1 entirely.
+    pub fn shared_window_table(&self) -> Option<Arc<WindowTable<D>>> {
+        self.windows.clone()
+    }
+
+    /// The executor this plan dispatches on (clone to share the pool).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// This plan's admission priority on a shared pool.
+    pub fn admission_priority(&self) -> JobPriority {
+        self.cfg.admission
+    }
+
+    /// Sets the admission priority of subsequent applies — the per-request
+    /// quality-of-service knob of the service layer.
+    pub fn set_admission_priority(&mut self, priority: JobPriority) {
+        self.cfg.admission = priority;
     }
 
     /// The plan's current window source (table if held, else on the fly).
@@ -543,6 +638,7 @@ impl<const D: usize> NufftPlan<D> {
                 Self::fused_forward_run(
                     exec,
                     cfg.policy,
+                    cfg.admission,
                     dag_scratch,
                     fa,
                     tile_plan,
@@ -647,6 +743,7 @@ impl<const D: usize> NufftPlan<D> {
                 Self::fused_adjoint_run(
                     exec,
                     cfg.policy,
+                    cfg.admission,
                     dag_scratch,
                     fa,
                     tile_plan,
@@ -762,6 +859,7 @@ impl<const D: usize> NufftPlan<D> {
                 Self::fused_forward_run(
                     exec,
                     cfg.policy,
+                    cfg.admission,
                     dag_scratch,
                     fa,
                     tile_plan,
@@ -867,6 +965,7 @@ impl<const D: usize> NufftPlan<D> {
                 Self::fused_adjoint_run(
                     exec,
                     cfg.policy,
+                    cfg.admission,
                     dag_scratch,
                     fa,
                     tile_plan,
@@ -919,6 +1018,7 @@ impl<const D: usize> NufftPlan<D> {
             Self::scatter_driver(
                 exec,
                 cfg.policy,
+                cfg.admission,
                 graph_scratch,
                 pre,
                 &source,
@@ -1040,6 +1140,7 @@ impl<const D: usize> NufftPlan<D> {
         Self::scatter_driver(
             exec,
             cfg.policy,
+            cfg.admission,
             graph_scratch,
             pre,
             &source,
@@ -1114,6 +1215,7 @@ impl<const D: usize> NufftPlan<D> {
     fn scatter_driver(
         exec: &Executor,
         policy: QueuePolicy,
+        priority: JobPriority,
         scratch: &mut GraphScratch,
         pre: &Preprocess<D>,
         source: &WindowSource<'_, D>,
@@ -1127,7 +1229,7 @@ impl<const D: usize> NufftPlan<D> {
         assert_eq!(grid_ptrs.len(), samples.len(), "channel count mismatch");
         let channels = grid_ptrs.len();
         let order = &pre.order;
-        exec.run_graph_reuse(&pre.graph, policy, scratch, |t, phase, _w| {
+        exec.run_graph_reuse_prio(&pre.graph, policy, priority, scratch, |t, phase, _w| {
             match phase {
                 TaskPhase::Normal => {
                     let mut stage = [Window::EMPTY; D];
@@ -1264,6 +1366,7 @@ impl<const D: usize> NufftPlan<D> {
     fn fused_forward_run(
         exec: &Executor,
         policy: QueuePolicy,
+        priority: JobPriority,
         scratch: &mut DagScratch,
         fa: &FusedApply,
         tp: &TilePlan,
@@ -1282,7 +1385,7 @@ impl<const D: usize> NufftPlan<D> {
         let m = &geo.m;
         let order = &pre.order;
         let b = tp.b;
-        exec.run_dag_reuse(&fa.dag, policy, scratch, |_node, tag, w| {
+        exec.run_dag_reuse_prio(&fa.dag, policy, priority, scratch, |_node, tag, w| {
             match fused::kind_of(tag) {
                 fused::KIND_SCALE => {
                     let c = fused::channel_of(tag);
@@ -1380,6 +1483,7 @@ impl<const D: usize> NufftPlan<D> {
     fn fused_adjoint_run(
         exec: &Executor,
         policy: QueuePolicy,
+        priority: JobPriority,
         scratch: &mut DagScratch,
         fa: &FusedApply,
         tp: &TilePlan,
@@ -1401,7 +1505,7 @@ impl<const D: usize> NufftPlan<D> {
         let m = &geo.m;
         let order = &pre.order;
         let b = tp.b;
-        exec.run_dag_reuse(&fa.dag, policy, scratch, |_node, tag, w| {
+        exec.run_dag_reuse_prio(&fa.dag, policy, priority, scratch, |_node, tag, w| {
             match fused::kind_of(tag) {
                 fused::KIND_ZERO => {
                     let lo = fused::index_of(tag) * fa.slab;

@@ -25,16 +25,30 @@
 //! the owner's own (cache-line-padded) range word — no locks, no shared
 //! counter.
 //!
-//! ## Pool lifecycle
+//! ## Pool lifecycle and multi-tenant dispatch
 //!
 //! Workers are created **once** per [`Executor`] (lazily, on the first
-//! dispatch that can use them) and then parked on a condvar between
+//! dispatch that can use them) and then parked on an eventcount between
 //! operator applications; an iterative solver such as
 //! `nufft-mri`'s CG therefore pays thread creation once instead of on
 //! every one of the ~6 parallel regions per operator apply. The
-//! dispatching thread itself acts as worker 0, so a 1-thread executor
-//! never synchronizes at all. Dropping the last [`Executor`] clone shuts
-//! the pool down and joins its threads.
+//! dispatching thread itself acts as worker 0 of its own job, so a
+//! 1-thread executor never synchronizes at all.
+//!
+//! The pool accepts **concurrently submitted jobs**: every
+//! `run_graph`/`run_dag`/`parallel_for` call occupies one slot of a fixed
+//! job table, and background workers interleave units from every active
+//! job under a stride scheduler weighted by [`JobPriority`] — each job
+//! holds tickets, accumulates virtual *pass* inversely proportional to
+//! them as it is served, and workers always serve the active job with the
+//! smallest pass. A huge Low-priority 3D adjoint therefore cannot starve
+//! small High-priority 2D forwards, and no priority level is ever starved
+//! outright. Two tenants' tasks never share mutable state: all per-run
+//! bookkeeping (ready-queue shards, pending counters, stat slots) lives in
+//! each job's caller-owned scratch, and a job's stats are harvested at
+//! *per-job* quiescence (its table slot drains its worker pins before the
+//! submitter returns), not at pool quiescence. Dropping the last
+//! [`Executor`] clone shuts the pool down and joins its threads.
 //!
 //! The spawn-per-call scheduler this pool replaced is retained as
 //! [`ExecBackend::SpawnPerCall`] so the `pool` benchmark can measure the
@@ -143,44 +157,258 @@ pub enum ExecBackend {
     SpawnPerCall,
 }
 
-// ---------------------------------------------------------------------------
-// Persistent pool plumbing
-// ---------------------------------------------------------------------------
-
-/// A type-erased parallel job. `run(w)` is executed concurrently by every
-/// pool member; worker 0 is the dispatching thread itself. Implementations
-/// must never unwind out of `run` — panics from user closures are caught,
-/// stashed, and re-thrown by the dispatcher after quiescence.
-trait Job: Sync {
-    fn run(&self, worker: usize);
+/// Admission priority of a job submitted to the persistent pool,
+/// extending the per-node `DagBuilder::set_priority` channel (which orders
+/// ready nodes *within* one job) to ordering *between* concurrently
+/// submitted jobs. The pool runs a stride scheduler: each job holds
+/// [`JobPriority::tickets`] tickets, accumulates virtual *pass* inversely
+/// proportional to them as it is served, and workers always serve the
+/// active job with the smallest pass. Every level therefore gets a
+/// proportional share of worker steps — a High-priority 2D forward cuts
+/// ahead of a huge Low-priority 3D adjoint, but can never starve it
+/// outright.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum JobPriority {
+    /// Background work (1 ticket).
+    Low,
+    /// The default (4 tickets).
+    #[default]
+    Normal,
+    /// Latency-sensitive applies (16 tickets).
+    High,
 }
 
-/// Raw pointer to a job living on the dispatcher's stack. Sound because the
-/// dispatch protocol blocks the dispatcher until every worker has finished
-/// the epoch, so the pointee strictly outlives all uses.
+impl JobPriority {
+    /// Stride-scheduler share weight of this level.
+    pub fn tickets(self) -> u64 {
+        match self {
+            JobPriority::Low => 1,
+            JobPriority::Normal => 4,
+            JobPriority::High => 16,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent pool plumbing: a multi-job fair-share scheduler
+// ---------------------------------------------------------------------------
+
+/// Result of one [`Job::step`] call.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Ran one unit of work.
+    Ran,
+    /// Nothing ready right now, but the job is not over — more units
+    /// unlock when in-flight ones retire their dependency edges.
+    Idle,
+    /// The job is over for this worker (all units retired or claimed, or
+    /// the job is poisoned).
+    Done,
+}
+
+/// A type-erased parallel job, executed **one unit at a time** so the pool
+/// can interleave several concurrently submitted jobs on the same workers.
+/// `step(w)` runs at most one unit as worker `w`. Implementations must
+/// never unwind out of `step` — panics from user closures are caught,
+/// stashed, and re-thrown by the submitter after the job quiesces.
+trait Job: Sync {
+    fn step(&self, worker: usize) -> Step;
+    /// Whether a unit may be poppable right now; the pool's pre-park
+    /// recheck. Must never say `false` while a pop could succeed.
+    fn has_ready(&self) -> bool;
+    /// Whether the job is over (all units retired, or poisoned). For
+    /// [`ForJob`] this means "nothing left to pop" — in-flight chunks are
+    /// covered by the slot's pin drain at retirement.
+    fn done(&self) -> bool;
+}
+
+/// Raw pointer to a job living on the submitter's stack. Sound because the
+/// submit/retire protocol blocks the submitter until its table slot is
+/// freed and every worker pin on it has drained, so the pointee strictly
+/// outlives all uses (workers only dereference a `JobPtr` while holding a
+/// pin, or under the table lock while the slot is occupied).
 struct JobPtr(*const (dyn Job + 'static));
-// SAFETY: see type docs — lifetime is enforced by the dispatch protocol.
+// SAFETY: see type docs — lifetime is enforced by the submit/retire
+// protocol.
 unsafe impl Send for JobPtr {}
 
-struct PoolState {
-    /// Monotonically increasing job epoch; each bump publishes one job.
-    epoch: u64,
-    /// Highest epoch whose workers have all finished.
-    done_epoch: u64,
-    /// Background workers still inside the current epoch's job.
-    running: usize,
-    /// The published job for the current epoch.
-    job: Option<JobPtr>,
-    /// Set by the pool's destructor; workers exit instead of waiting.
+/// Cap on concurrently resident jobs (the table slot count and the width
+/// of its `occupied` bitmask). A 65th submitter blocks until a slot
+/// frees. Fixed so the job table never allocates after pool construction.
+const MAX_ACTIVE_JOBS: usize = 64;
+
+/// Units a worker runs on one job before re-consulting the fair-share
+/// table. Amortizes the table lock on the single-tenant fast path; any
+/// submit/retire bumps the table version and ends the lease early, so a
+/// new tenant is picked up after at most one unit.
+const STEPS_PER_LEASE: u64 = 32;
+
+/// Stride-scheduling scale: a job's pass advances by
+/// `STRIDE_SCALE / tickets` per executed unit.
+const STRIDE_SCALE: u64 = 1 << 16;
+
+/// One active job in the pool's table.
+struct JobSlot {
+    job: JobPtr,
+    /// Submission order — the min-pass tie-break, so equal-priority jobs
+    /// round-robin by age instead of racing.
+    seq: u64,
+    /// Pass increment per executed unit (`STRIDE_SCALE / tickets`).
+    stride: u64,
+    /// Virtual service received. Workers serve the smallest pass first;
+    /// only background-worker service counts (the submitting thread is its
+    /// job's own private resource and steps nothing else).
+    pass: u64,
+    /// Workers currently inside `job.step` for this slot. The submitter
+    /// frees the slot only after this drains to zero — the per-job
+    /// quiescence point where harvesting stats and re-throwing panics is
+    /// safe.
+    pins: u32,
+    /// Set at retirement: no new pins; pinned workers finish their unit.
+    retiring: bool,
+}
+
+struct JobTable {
+    /// Fixed-capacity slot array (`MAX_ACTIVE_JOBS` long, allocated once).
+    slots: Vec<Option<JobSlot>>,
+    /// Bitmask of live slots, so scans touch only active entries.
+    occupied: u64,
+    next_seq: u64,
+    /// Set by the pool's destructor; workers exit instead of parking.
     shutdown: bool,
 }
 
+/// Pool-wide eventcount: workers and submitters park here when no active
+/// job has ready work. `sleepers` gates the (cold) wake path; the
+/// generation counter under `gen` closes the lost-wakeup race.
+struct WakeHub {
+    sleepers: AtomicUsize,
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl WakeHub {
+    fn new() -> WakeHub {
+        WakeHub { sleepers: AtomicUsize::new(0), gen: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    /// Wakes parked threads; cheap no-op while everyone is busy.
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut g = lock(&self.gen);
+            *g += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Unconditional wake — submission, poison, shutdown.
+    fn wake_all(&self) {
+        let mut g = lock(&self.gen);
+        *g += 1;
+        self.cv.notify_all();
+    }
+}
+
 struct PoolShared {
-    state: Mutex<PoolState>,
-    /// Workers park here between jobs.
-    work_cv: Condvar,
-    /// The dispatcher parks here while workers drain an epoch.
-    done_cv: Condvar,
+    /// The multi-job admission table.
+    table: Mutex<JobTable>,
+    /// Bumped on every submit/retire; workers end their current lease and
+    /// re-consult the table when it changes, so new tenants are picked up
+    /// after at most one in-flight unit.
+    version: AtomicU64,
+    /// Signals slot-pin drains (retirement) and freed slots (submitters
+    /// waiting on a full table). Paired with `table`.
+    table_cv: Condvar,
+    /// Parking for idle workers and submitters awaiting in-flight units.
+    hub: WakeHub,
+}
+
+enum Pick {
+    /// A pinned job: slot index plus the raw job pointer.
+    Job(usize, *const (dyn Job + 'static)),
+    /// Every active job was already tried this round.
+    Nothing,
+    Shutdown,
+}
+
+enum Recheck {
+    Shutdown,
+    /// The table changed or some job has ready work — scan again.
+    TryAgain,
+    Park,
+}
+
+impl PoolShared {
+    /// Picks the untried active job with the smallest (pass, seq) — the
+    /// stride fair-share order — and pins it so its memory stays valid
+    /// while the worker steps it.
+    fn pick_and_pin(&self, tried: &mut u64) -> Pick {
+        let mut tb = lock(&self.table);
+        if tb.shutdown {
+            return Pick::Shutdown;
+        }
+        let mut best: Option<(u64, u64, usize)> = None;
+        let mut mask = tb.occupied & !*tried;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let s = tb.slots[i].as_ref().expect("occupied slot is vacant");
+            if s.retiring {
+                continue;
+            }
+            if best.is_none_or(|(p, q, _)| (s.pass, s.seq) < (p, q)) {
+                best = Some((s.pass, s.seq, i));
+            }
+        }
+        match best {
+            Some((_, _, i)) => {
+                *tried |= 1 << i;
+                let s = tb.slots[i].as_mut().expect("occupied slot is vacant");
+                s.pins += 1;
+                Pick::Job(i, s.job.0)
+            }
+            None => Pick::Nothing,
+        }
+    }
+
+    /// Drops a pin and credits `ran` executed units to the job's pass.
+    fn unpin(&self, idx: usize, ran: u64) {
+        let mut tb = lock(&self.table);
+        let s = tb.slots[idx].as_mut().expect("unpinning a vacant slot");
+        s.pins -= 1;
+        s.pass = s.pass.saturating_add(s.stride.saturating_mul(ran));
+        if s.pins == 0 && s.retiring {
+            self.table_cv.notify_all();
+        }
+    }
+
+    /// Pre-park recheck (the caller has already raised `hub.sleepers`):
+    /// park only if the table is unchanged since the fruitless scan and no
+    /// active job has a poppable unit.
+    fn recheck(&self, ver: u64) -> Recheck {
+        if self.version.load(Ordering::SeqCst) != ver {
+            return Recheck::TryAgain;
+        }
+        let tb = lock(&self.table);
+        if tb.shutdown {
+            return Recheck::Shutdown;
+        }
+        let mut mask = tb.occupied;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let s = tb.slots[i].as_ref().expect("occupied slot is vacant");
+            if s.retiring {
+                continue;
+            }
+            // SAFETY: an occupied slot's job is alive — its submitter
+            // cannot return before freeing the slot under this same lock.
+            if unsafe { (*s.job.0).has_ready() } {
+                return Recheck::TryAgain;
+            }
+        }
+        Recheck::Park
+    }
 }
 
 /// The resident worker pool. One per [`Executor`] lineage (clones share
@@ -191,13 +419,14 @@ struct Pool {
     shared: Arc<PoolShared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     threads: usize,
-    /// Serializes dispatches from multiple handles sharing this pool: a
-    /// second concurrent `run_graph`/`parallel_for` blocks here until the
-    /// first finishes (the workers are a single resource).
-    dispatch: Mutex<()>,
+    /// Serializes `parallel_for` dispatches from handles sharing this
+    /// pool: the pool-owned `for_slots` deque words are a single resource.
+    /// Graph/DAG jobs are *not* serialized — they interleave freely
+    /// through the job table, including with the loop job itself.
+    for_lock: Mutex<()>,
     /// Per-worker `parallel_for` deque words, owned by the pool so a
     /// steady-state loop dispatch allocates nothing. Seeded by
-    /// [`ForJob::new`] under the dispatch lock.
+    /// [`ForJob::new`] under `for_lock`.
     for_slots: Vec<CachePadded<AtomicU64>>,
 }
 
@@ -209,33 +438,66 @@ thread_local! {
 }
 
 fn worker_main(shared: Arc<PoolShared>, worker: usize) {
-    let mut seen = 0u64;
+    // Workers are permanently "inside the pool": a nested executor call
+    // from a task body runs inline instead of re-entering the dispatch.
+    IN_POOL_JOB.with(|f| f.set(true));
     loop {
-        let job: *const (dyn Job + 'static) = {
-            let mut st = lock(&shared.state);
-            loop {
-                if st.shutdown {
-                    return;
+        let ver = shared.version.load(Ordering::SeqCst);
+        let mut progress = false;
+        let mut tried: u64 = 0;
+        loop {
+            let (idx, job) = match shared.pick_and_pin(&mut tried) {
+                Pick::Job(idx, job) => (idx, job),
+                Pick::Nothing => break,
+                Pick::Shutdown => return,
+            };
+            let mut ran = 0u64;
+            // SAFETY: the pin taken by `pick_and_pin` keeps the job
+            // alive — its submitter blocks in retirement until the pin
+            // count drains.
+            while let Step::Ran = unsafe { (*job).step(worker) } {
+                ran += 1;
+                if ran >= STEPS_PER_LEASE || shared.version.load(Ordering::SeqCst) != ver {
+                    break;
                 }
-                if st.epoch > seen {
-                    seen = st.epoch;
-                    break st.job.as_ref().expect("epoch published without a job").0;
-                }
-                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
-        };
-        IN_POOL_JOB.with(|f| f.set(true));
-        // SAFETY: the dispatcher keeps the job alive until `running`
-        // returns to zero below.
-        unsafe { (*job).run(worker) };
-        IN_POOL_JOB.with(|f| f.set(false));
-        let mut st = lock(&shared.state);
-        st.running -= 1;
-        if st.running == 0 {
-            st.done_epoch = seen;
-            st.job = None;
-            shared.done_cv.notify_all();
+            shared.unpin(idx, ran);
+            if ran > 0 {
+                // Progress: restart the pick from scratch so the stride
+                // order — not the tried mask — decides who is served next.
+                progress = true;
+                tried = 0;
+            }
+            if shared.version.load(Ordering::SeqCst) != ver {
+                // Table changed; rescan against the fresh version.
+                progress = true;
+                break;
+            }
         }
+        if progress {
+            continue;
+        }
+        // Every active job is idle (their remaining units unlock when
+        // in-flight ones complete) — park on the pool eventcount. Raise
+        // `sleepers` and snapshot the generation BEFORE the recheck: any
+        // publish the recheck misses must then bump the generation (it
+        // sees `sleepers > 0`), so the wait cannot sleep through it.
+        shared.hub.sleepers.fetch_add(1, Ordering::SeqCst);
+        let seen = *lock(&shared.hub.gen);
+        match shared.recheck(ver) {
+            Recheck::Shutdown => {
+                shared.hub.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            Recheck::TryAgain => {}
+            Recheck::Park => {
+                let g = lock(&shared.hub.gen);
+                if *g == seen {
+                    drop(shared.hub.cv.wait(g).unwrap_or_else(|e| e.into_inner()));
+                }
+            }
+        }
+        shared.hub.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -243,21 +505,26 @@ impl Pool {
     fn new(threads: usize) -> Pool {
         Pool {
             shared: Arc::new(PoolShared {
-                state: Mutex::new(PoolState {
-                    epoch: 0,
-                    done_epoch: 0,
-                    running: 0,
-                    job: None,
+                table: Mutex::new(JobTable {
+                    slots: (0..MAX_ACTIVE_JOBS).map(|_| None).collect(),
+                    occupied: 0,
+                    next_seq: 0,
                     shutdown: false,
                 }),
-                work_cv: Condvar::new(),
-                done_cv: Condvar::new(),
+                version: AtomicU64::new(0),
+                table_cv: Condvar::new(),
+                hub: WakeHub::new(),
             }),
             workers: Mutex::new(Vec::new()),
             threads,
-            dispatch: Mutex::new(()),
+            for_lock: Mutex::new(()),
             for_slots: (0..threads).map(|_| CachePadded(AtomicU64::new(0))).collect(),
         }
+    }
+
+    /// The pool-wide eventcount jobs publish wakeups through.
+    fn hub(&self) -> &WakeHub {
+        &self.shared.hub
     }
 
     /// Spawns the background workers if they are not yet resident.
@@ -276,47 +543,114 @@ impl Pool {
         }
     }
 
-    /// Runs `job` on every pool member (this thread is worker 0) and
-    /// returns after all of them have finished it.
-    fn dispatch(&self, job: &dyn Job) {
-        let _serial = lock(&self.dispatch);
-        self.dispatch_locked(job);
-    }
-
-    /// [`Pool::dispatch`] body for callers that already hold the dispatch
-    /// lock (e.g. to seed pool-owned job state race-free first).
-    fn dispatch_locked(&self, job: &dyn Job) {
-        self.ensure_spawned();
-        // SAFETY: lifetime erasure only; `job` outlives the dispatch (we
-        // block until every worker is done with it below).
+    /// Admits `job` and steps it as worker 0 until it is over (parking
+    /// while its remaining units are in flight on background workers),
+    /// then retires its slot — waiting for every worker pin to drain, the
+    /// per-job quiescence point after which the submitter may harvest
+    /// stats and re-throw panics. Concurrent submitters interleave freely:
+    /// each steps only its own job, so worker index 0 never collides.
+    fn run_to_completion(&self, job: &dyn Job, priority: JobPriority) {
+        // SAFETY: lifetime erasure only; `job` outlives its table slot (we
+        // free the slot and drain its pins before returning).
         let ptr = JobPtr(unsafe {
             core::mem::transmute::<*const (dyn Job + '_), *const (dyn Job + 'static)>(job)
         });
-        let epoch = {
-            let mut st = lock(&self.shared.state);
-            st.epoch += 1;
-            st.running = self.threads - 1;
-            st.job = Some(ptr);
-            st.epoch
-        };
-        self.shared.work_cv.notify_all();
-        IN_POOL_JOB.with(|f| f.set(true));
-        job.run(0);
-        IN_POOL_JOB.with(|f| f.set(false));
-        let mut st = lock(&self.shared.state);
-        while st.done_epoch < epoch {
-            st = self.shared.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        let idx = self.submit(ptr, priority);
+        self.ensure_spawned();
+        let was_inside = IN_POOL_JOB.with(|f| f.replace(true));
+        loop {
+            match job.step(0) {
+                Step::Ran => continue,
+                Step::Done => break,
+                Step::Idle => {
+                    if !park_for_job(self.hub(), job) {
+                        break;
+                    }
+                }
+            }
         }
+        IN_POOL_JOB.with(|f| f.set(was_inside));
+        self.retire(idx);
     }
+
+    /// Inserts the job into the table (blocking while all
+    /// `MAX_ACTIVE_JOBS` slots are taken) and wakes the workers.
+    fn submit(&self, ptr: JobPtr, priority: JobPriority) -> usize {
+        let shared = &self.shared;
+        let mut tb = lock(&shared.table);
+        while tb.occupied == u64::MAX {
+            tb = shared.table_cv.wait(tb).unwrap_or_else(|e| e.into_inner());
+        }
+        let idx = (!tb.occupied).trailing_zeros() as usize;
+        // A newcomer starts at the current minimum pass: it competes
+        // fairly from now on, with no catch-up burst for service it never
+        // requested and no handicap against long-resident jobs.
+        let pass =
+            tb.slots.iter().flatten().filter(|s| !s.retiring).map(|s| s.pass).min().unwrap_or(0);
+        let seq = tb.next_seq;
+        tb.next_seq += 1;
+        tb.occupied |= 1 << idx;
+        tb.slots[idx] = Some(JobSlot {
+            job: ptr,
+            seq,
+            stride: STRIDE_SCALE / priority.tickets(),
+            pass,
+            pins: 0,
+            retiring: false,
+        });
+        drop(tb);
+        shared.version.fetch_add(1, Ordering::SeqCst);
+        shared.hub.wake_all();
+        idx
+    }
+
+    /// Marks the slot retiring, waits for worker pins to drain (per-job
+    /// quiescence), and frees the slot.
+    fn retire(&self, idx: usize) {
+        let shared = &self.shared;
+        let mut tb = lock(&shared.table);
+        tb.slots[idx].as_mut().expect("retiring a vacant slot").retiring = true;
+        shared.version.fetch_add(1, Ordering::SeqCst);
+        while tb.slots[idx].as_ref().expect("retiring slot vanished").pins > 0 {
+            tb = shared.table_cv.wait(tb).unwrap_or_else(|e| e.into_inner());
+        }
+        tb.slots[idx] = None;
+        tb.occupied &= !(1 << idx);
+        drop(tb);
+        // A submitter may be waiting for a free slot.
+        shared.table_cv.notify_all();
+    }
+}
+
+/// Parks the submitting thread until its job may have ready work again.
+/// Returns `false` when the job is over. Same eventcount discipline as
+/// the worker park: raise `sleepers`, snapshot the generation, recheck,
+/// then wait — a wake between recheck and wait is never lost.
+fn park_for_job(hub: &WakeHub, job: &dyn Job) -> bool {
+    hub.sleepers.fetch_add(1, Ordering::SeqCst);
+    let seen = *lock(&hub.gen);
+    let keep_going = if job.done() {
+        false
+    } else if job.has_ready() {
+        true
+    } else {
+        let g = lock(&hub.gen);
+        if *g == seen {
+            drop(hub.cv.wait(g).unwrap_or_else(|e| e.into_inner()));
+        }
+        !job.done()
+    };
+    hub.sleepers.fetch_sub(1, Ordering::SeqCst);
+    keep_going
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut st = lock(&self.shared.state);
-            st.shutdown = true;
+            let mut tb = lock(&self.shared.table);
+            tb.shutdown = true;
         }
-        self.shared.work_cv.notify_all();
+        self.shared.hub.wake_all();
         let workers = self.workers.get_mut().unwrap_or_else(|e| e.into_inner());
         for h in workers.drain(..) {
             let _ = h.join();
@@ -459,11 +793,8 @@ struct GraphJob<'g, F> {
     /// Set when a task panicked: workers drain out instead of waiting.
     poisoned: AtomicBool,
     panic_payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
-    /// Eventcount for idle workers: `sleepers` gates the (cold) wake path;
-    /// the generation counter under `idle` closes the lost-wakeup race.
-    sleepers: AtomicUsize,
-    idle: Mutex<u64>,
-    idle_cv: Condvar,
+    /// The pool-wide eventcount this job publishes wakeups through.
+    hub: &'g WakeHub,
     t0: Instant,
     slots: &'g [CachePadded<StatSlot<TaskRecord>>],
 }
@@ -480,6 +811,7 @@ where
         task_fn: &'g F,
         scratch: &'g GraphScratch,
         total: usize,
+        hub: &'g WakeHub,
     ) -> Self {
         let n = graph.len();
         let job = GraphJob {
@@ -492,9 +824,7 @@ where
             total,
             poisoned: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
-            sleepers: AtomicUsize::new(0),
-            idle: Mutex::new(0),
-            idle_cv: Condvar::new(),
+            hub,
             t0: Instant::now(),
             slots: &scratch.slots,
         };
@@ -543,38 +873,9 @@ where
         self.shards.iter().any(|s| !lock(&s.0).is_empty())
     }
 
-    /// Wakes parked workers; cheap no-op while everyone is busy.
+    /// Wakes parked threads; cheap no-op while everyone is busy.
     fn wake(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let mut g = lock(&self.idle);
-            *g += 1;
-            self.idle_cv.notify_all();
-        }
-    }
-
-    /// Parks until new work may exist. Returns `false` when the run is
-    /// over (all units retired, or poisoned).
-    fn park(&self) -> bool {
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        // Snapshot the generation BEFORE re-scanning: any push that our
-        // scan misses must then bump the generation (it sees `sleepers >
-        // 0`), so the wait below cannot sleep through it.
-        let seen = *lock(&self.idle);
-        let keep_going = if self.finished() {
-            false
-        } else if self.any_ready() {
-            true
-        } else {
-            let g = lock(&self.idle);
-            if *g == seen {
-                // One wait is enough: the caller loops back through the
-                // find-work scan, so a spurious wakeup costs one re-scan.
-                drop(self.idle_cv.wait(g).unwrap_or_else(|e| e.into_inner()));
-            }
-            !self.finished()
-        };
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
-        keep_going
+        self.hub.wake();
     }
 
     /// Retires one prerequisite of `t`; publishes the task to the calling
@@ -615,10 +916,8 @@ where
             }
         }
         self.poisoned.store(true, Ordering::SeqCst);
-        // Unconditional wake: parked workers must observe the poison.
-        let mut g = lock(&self.idle);
-        *g += 1;
-        self.idle_cv.notify_all();
+        // Unconditional wake: parked threads must observe the poison.
+        self.hub.wake_all();
     }
 }
 
@@ -630,36 +929,40 @@ impl<F> Job for GraphJob<'_, F>
 where
     F: Fn(TaskId, TaskPhase, usize) + Sync,
 {
-    fn run(&self, w: usize) {
-        // SAFETY: worker `w` is the only thread touching slot `w` until
-        // the dispatcher harvests after quiescence.
-        let slot = unsafe { &mut *self.slots[w].0 .0.get() };
-        loop {
-            if self.finished() {
-                return;
-            }
-            let Some(e) = self.find_work(w) else {
-                if self.park() {
-                    continue;
-                }
-                return;
-            };
-            let task = (e.payload / 4) as TaskId;
-            let phase = TaskPhase::decode(e.payload % 4);
-            let start = self.t0.elapsed().as_secs_f64();
-            // A panicking task must not leave other workers parked
-            // forever: poison first; the dispatcher re-throws after all
-            // workers have drained.
-            let result = catch_unwind(AssertUnwindSafe(|| (self.task_fn)(task, phase, w)));
-            if let Err(payload) = result {
-                self.poison(payload);
-                return;
-            }
-            let end = self.t0.elapsed().as_secs_f64();
-            slot.busy += end - start;
-            slot.log.push(TaskRecord { task, phase, worker: w, start, end });
-            self.complete(w, task, phase);
+    fn step(&self, w: usize) -> Step {
+        if self.finished() {
+            return Step::Done;
         }
+        let Some(e) = self.find_work(w) else {
+            return if self.finished() { Step::Done } else { Step::Idle };
+        };
+        // SAFETY: a worker steps one job at a time, two submitters are
+        // never worker 0 of the same job, and the submitter harvests only
+        // after the job's pins drain — so slot `w` has a single writer.
+        let slot = unsafe { &mut *self.slots[w].0 .0.get() };
+        let task = (e.payload / 4) as TaskId;
+        let phase = TaskPhase::decode(e.payload % 4);
+        let start = self.t0.elapsed().as_secs_f64();
+        // A panicking task must not leave other threads parked forever:
+        // poison first; the submitter re-throws after the job quiesces.
+        let result = catch_unwind(AssertUnwindSafe(|| (self.task_fn)(task, phase, w)));
+        if let Err(payload) = result {
+            self.poison(payload);
+            return Step::Done;
+        }
+        let end = self.t0.elapsed().as_secs_f64();
+        slot.busy += end - start;
+        slot.log.push(TaskRecord { task, phase, worker: w, start, end });
+        self.complete(w, task, phase);
+        Step::Ran
+    }
+
+    fn has_ready(&self) -> bool {
+        self.any_ready()
+    }
+
+    fn done(&self) -> bool {
+        self.finished()
     }
 }
 
@@ -865,9 +1168,8 @@ struct DagJob<'g, F> {
     completed: AtomicUsize,
     poisoned: AtomicBool,
     panic_payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
-    sleepers: AtomicUsize,
-    idle: Mutex<u64>,
-    idle_cv: Condvar,
+    /// The pool-wide eventcount this job publishes wakeups through.
+    hub: &'g WakeHub,
     t0: Instant,
     slots: &'g [CachePadded<StatSlot<DagRecord>>],
 }
@@ -877,7 +1179,13 @@ where
     F: Fn(NodeId, u64, usize) + Sync,
 {
     /// Builds the job over a scratch already sized by [`DagScratch::prepare`].
-    fn new(dag: &'g Dag, threads: usize, node_fn: &'g F, scratch: &'g DagScratch) -> Self {
+    fn new(
+        dag: &'g Dag,
+        threads: usize,
+        node_fn: &'g F,
+        scratch: &'g DagScratch,
+        hub: &'g WakeHub,
+    ) -> Self {
         let job = DagJob {
             dag,
             node_fn,
@@ -887,9 +1195,7 @@ where
             completed: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
-            sleepers: AtomicUsize::new(0),
-            idle: Mutex::new(0),
-            idle_cv: Condvar::new(),
+            hub,
             t0: Instant::now(),
             slots: &scratch.slots,
         };
@@ -929,33 +1235,9 @@ where
         self.shards.iter().any(|s| !lock(&s.0).is_empty())
     }
 
-    /// Wakes parked workers; cheap no-op while everyone is busy.
+    /// Wakes parked threads; cheap no-op while everyone is busy.
     fn wake(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let mut g = lock(&self.idle);
-            *g += 1;
-            self.idle_cv.notify_all();
-        }
-    }
-
-    /// Parks until new work may exist. Returns `false` when the run is
-    /// over (all nodes retired, or poisoned).
-    fn park(&self) -> bool {
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        let seen = *lock(&self.idle);
-        let keep_going = if self.finished() {
-            false
-        } else if self.any_ready() {
-            true
-        } else {
-            let g = lock(&self.idle);
-            if *g == seen {
-                drop(self.idle_cv.wait(g).unwrap_or_else(|e| e.into_inner()));
-            }
-            !self.finished()
-        };
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
-        keep_going
+        self.hub.wake();
     }
 
     /// Retires one predecessor edge of `v`; publishes the node to the
@@ -984,9 +1266,7 @@ where
             }
         }
         self.poisoned.store(true, Ordering::SeqCst);
-        let mut g = lock(&self.idle);
-        *g += 1;
-        self.idle_cv.notify_all();
+        self.hub.wake_all();
     }
 }
 
@@ -994,33 +1274,38 @@ impl<F> Job for DagJob<'_, F>
 where
     F: Fn(NodeId, u64, usize) + Sync,
 {
-    fn run(&self, w: usize) {
-        // SAFETY: worker `w` is the only thread touching slot `w` until
-        // the dispatcher harvests after quiescence.
-        let slot = unsafe { &mut *self.slots[w].0 .0.get() };
-        loop {
-            if self.finished() {
-                return;
-            }
-            let Some(e) = self.find_work(w) else {
-                if self.park() {
-                    continue;
-                }
-                return;
-            };
-            let node = e.payload as NodeId;
-            let tag = self.dag.tag(node);
-            let start = self.t0.elapsed().as_secs_f64();
-            let result = catch_unwind(AssertUnwindSafe(|| (self.node_fn)(node, tag, w)));
-            if let Err(payload) = result {
-                self.poison(payload);
-                return;
-            }
-            let end = self.t0.elapsed().as_secs_f64();
-            slot.busy += end - start;
-            slot.log.push(DagRecord { node, tag, worker: w, start, end });
-            self.complete(w, node);
+    fn step(&self, w: usize) -> Step {
+        if self.finished() {
+            return Step::Done;
         }
+        let Some(e) = self.find_work(w) else {
+            return if self.finished() { Step::Done } else { Step::Idle };
+        };
+        // SAFETY: a worker steps one job at a time, two submitters are
+        // never worker 0 of the same job, and the submitter harvests only
+        // after the job's pins drain — so slot `w` has a single writer.
+        let slot = unsafe { &mut *self.slots[w].0 .0.get() };
+        let node = e.payload as NodeId;
+        let tag = self.dag.tag(node);
+        let start = self.t0.elapsed().as_secs_f64();
+        let result = catch_unwind(AssertUnwindSafe(|| (self.node_fn)(node, tag, w)));
+        if let Err(payload) = result {
+            self.poison(payload);
+            return Step::Done;
+        }
+        let end = self.t0.elapsed().as_secs_f64();
+        slot.busy += end - start;
+        slot.log.push(DagRecord { node, tag, worker: w, start, end });
+        self.complete(w, node);
+        Step::Ran
+    }
+
+    fn has_ready(&self) -> bool {
+        self.any_ready()
+    }
+
+    fn done(&self) -> bool {
+        self.finished()
     }
 }
 
@@ -1191,11 +1476,14 @@ impl<F> Job for ForJob<'_, F>
 where
     F: Fn(core::ops::Range<usize>, usize) + Sync,
 {
-    fn run(&self, w: usize) {
+    fn step(&self, w: usize) -> Step {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Step::Done;
+        }
+        // Runs exactly one chunk per step; never `Idle` — loop work only
+        // shrinks, so once every slot is empty this worker is done (chunks
+        // still in flight elsewhere are covered by the slot's pin drain).
         loop {
-            if self.poisoned.load(Ordering::SeqCst) {
-                return;
-            }
             if let Some(range) = self.pop_own(w) {
                 let result = catch_unwind(AssertUnwindSafe(|| (self.body)(range, w)));
                 if let Err(payload) = result {
@@ -1206,14 +1494,25 @@ where
                         }
                     }
                     self.poisoned.store(true, Ordering::SeqCst);
-                    return;
+                    return Step::Done;
                 }
-                continue;
+                return Step::Ran;
             }
             if !self.steal_into(w) {
-                return;
+                return Step::Done;
             }
         }
+    }
+
+    fn has_ready(&self) -> bool {
+        self.slots.iter().take(self.threads).any(|s| {
+            let (lo, hi) = unpack(s.0.load(Ordering::SeqCst));
+            lo < hi
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst) || !self.has_ready()
     }
 }
 
@@ -1632,6 +1931,23 @@ impl Executor {
     ) where
         F: Fn(TaskId, TaskPhase, usize) + Sync,
     {
+        self.run_graph_reuse_prio(graph, policy, JobPriority::Normal, scratch, task_fn);
+    }
+
+    /// [`Executor::run_graph_reuse`] with an explicit admission priority
+    /// for the pool's fair-share scheduler. Priority only matters when
+    /// jobs from several threads are in flight on the shared pool; the
+    /// spawn-per-call baseline and the serial fast paths ignore it.
+    pub fn run_graph_reuse_prio<F>(
+        &self,
+        graph: &TaskGraph,
+        policy: QueuePolicy,
+        priority: JobPriority,
+        scratch: &mut GraphScratch,
+        task_fn: F,
+    ) where
+        F: Fn(TaskId, TaskPhase, usize) + Sync,
+    {
         match self.backend {
             ExecBackend::SpawnPerCall => {
                 scratch.stats = spawn::run_graph(self.threads, graph, policy, &task_fn);
@@ -1645,8 +1961,9 @@ impl Executor {
                 let makespan;
                 let payload;
                 {
-                    let job = GraphJob::new(graph, self.threads, &task_fn, scratch, total);
-                    pool.dispatch(&job);
+                    let job =
+                        GraphJob::new(graph, self.threads, &task_fn, scratch, total, pool.hub());
+                    pool.run_to_completion(&job, priority);
                     makespan = job.t0.elapsed().as_secs_f64();
                     payload = lock(&job.panic_payload).take();
                 }
@@ -1684,6 +2001,23 @@ impl Executor {
     ) where
         F: Fn(NodeId, u64, usize) + Sync,
     {
+        self.run_dag_reuse_prio(dag, policy, JobPriority::Normal, scratch, node_fn);
+    }
+
+    /// [`Executor::run_dag_reuse`] with an explicit admission priority for
+    /// the pool's fair-share scheduler. Priority only matters when jobs
+    /// from several threads are in flight on the shared pool; the
+    /// spawn-per-call baseline and the serial fast paths ignore it.
+    pub fn run_dag_reuse_prio<F>(
+        &self,
+        dag: &Dag,
+        policy: QueuePolicy,
+        priority: JobPriority,
+        scratch: &mut DagScratch,
+        node_fn: F,
+    ) where
+        F: Fn(NodeId, u64, usize) + Sync,
+    {
         match self.backend {
             ExecBackend::SpawnPerCall => {
                 scratch.stats = spawn::run_dag(self.threads, dag, policy, &node_fn);
@@ -1697,8 +2031,8 @@ impl Executor {
                 let makespan;
                 let payload;
                 {
-                    let job = DagJob::new(dag, self.threads, &node_fn, scratch);
-                    pool.dispatch(&job);
+                    let job = DagJob::new(dag, self.threads, &node_fn, scratch, pool.hub());
+                    pool.run_to_completion(&job, priority);
                     makespan = job.t0.elapsed().as_secs_f64();
                     payload = lock(&job.panic_payload).take();
                 }
@@ -1752,12 +2086,13 @@ impl Executor {
             }
             ExecBackend::Persistent => {
                 let pool = self.pool.as_ref().expect("persistent backend owns a pool");
-                // Seed the pool-owned deque words and dispatch under a
-                // single hold of the dispatch lock, so a concurrent
-                // dispatch from another handle cannot clobber the seeds.
-                let serial = lock(&pool.dispatch);
+                // Seed the pool-owned deque words and run under a single
+                // hold of the loop lock, so a concurrent `parallel_for`
+                // from another handle cannot clobber the seeds. Graph/DAG
+                // jobs still interleave: only loop dispatches serialize.
+                let serial = lock(&pool.for_lock);
                 let job = ForJob::new(&pool.for_slots, n, grain, align, self.threads, &body);
-                pool.dispatch_locked(&job);
+                pool.run_to_completion(&job, JobPriority::Normal);
                 drop(serial);
                 let payload = lock(&job.panic_payload).take();
                 if let Some(payload) = payload {
@@ -2280,5 +2615,198 @@ mod tests {
             lock(&order).push(v);
         });
         assert_eq!(lock(&order).clone(), vec![1, 3, 2, 0]);
+    }
+
+    /// Busy-waits (no sleep syscall) so task durations are controllable
+    /// even under heavy oversubscription.
+    fn spin(duration: std::time::Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < duration {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Two jobs submitted from two threads overlap on the shared pool:
+    /// every node of each runs exactly once, and the per-job stats are
+    /// disjoint — job A's scratch holds exactly A's records and job B's
+    /// exactly B's (the regression for the old pool-quiescence harvest,
+    /// which was only sound with one job in flight).
+    #[test]
+    fn overlapping_jobs_report_disjoint_stats() {
+        let exec = Executor::new(4);
+        let dag_a = layered_dag(6, 4);
+        let dag_b = layered_dag(3, 5);
+        let counts_a: Vec<AtomicU32> = (0..dag_a.len()).map(|_| AtomicU32::new(0)).collect();
+        let counts_b: Vec<AtomicU32> = (0..dag_b.len()).map(|_| AtomicU32::new(0)).collect();
+        let barrier = std::sync::Barrier::new(2);
+        let mut scratch_a = DagScratch::new();
+        let mut scratch_b = DagScratch::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                barrier.wait();
+                exec.run_dag_reuse(&dag_a, QueuePolicy::Priority, &mut scratch_a, |v, _tag, _w| {
+                    spin(std::time::Duration::from_micros(100));
+                    counts_a[v as usize].fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            s.spawn(|| {
+                barrier.wait();
+                exec.run_dag_reuse(&dag_b, QueuePolicy::Priority, &mut scratch_b, |v, _tag, _w| {
+                    spin(std::time::Duration::from_micros(100));
+                    counts_b[v as usize].fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        for (v, c) in counts_a.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "job A node {v}");
+        }
+        for (v, c) in counts_b.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "job B node {v}");
+        }
+        // Disjoint stats: each scratch holds its own job's record set, one
+        // record per node, with the node's own tag — no leakage.
+        for (name, dag, scratch) in [("A", &dag_a, &scratch_a), ("B", &dag_b, &scratch_b)] {
+            let stats = scratch.stats();
+            assert_eq!(stats.log.len(), dag.len(), "job {name} record count");
+            let mut seen = vec![0u32; dag.len()];
+            for r in &stats.log {
+                assert!((r.node as usize) < dag.len(), "job {name} foreign node {}", r.node);
+                assert_eq!(r.tag, dag.tag(r.node), "job {name} tag mismatch");
+                assert!(r.worker < 4, "job {name} worker index out of range");
+                seen[r.node as usize] += 1;
+            }
+            assert!(seen.iter().all(|&c| c == 1), "job {name} duplicate/missing records");
+            assert_eq!(stats.worker_busy.len(), 4, "job {name} worker_busy width");
+        }
+    }
+
+    /// A small High-priority job submitted while a much larger
+    /// Low-priority job is in flight must finish first: the stride
+    /// scheduler gives it 16× the worker share, so it cannot be starved
+    /// behind the flood.
+    #[test]
+    fn high_priority_job_overtakes_low_priority_flood() {
+        let exec = Executor::new(4);
+        // 800 independent nodes × 200µs ≈ 160ms of Low-priority work.
+        let mut b = crate::graph::DagBuilder::new();
+        for i in 0..800u64 {
+            b.add_node(i, 1);
+        }
+        let big = b.build();
+        let mut b = crate::graph::DagBuilder::new();
+        for i in 0..4u64 {
+            b.add_node(i, 1);
+        }
+        let small = b.build();
+        let big_started = AtomicBool::new(false);
+        let big_finished = AtomicBool::new(false);
+        let small_finished_first = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut scratch = DagScratch::new();
+                exec.run_dag_reuse_prio(
+                    &big,
+                    QueuePolicy::Fifo,
+                    JobPriority::Low,
+                    &mut scratch,
+                    |_v, _tag, _w| {
+                        big_started.store(true, Ordering::SeqCst);
+                        spin(std::time::Duration::from_micros(200));
+                    },
+                );
+                big_finished.store(true, Ordering::SeqCst);
+            });
+            s.spawn(|| {
+                while !big_started.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                let mut scratch = DagScratch::new();
+                exec.run_dag_reuse_prio(
+                    &small,
+                    QueuePolicy::Fifo,
+                    JobPriority::High,
+                    &mut scratch,
+                    |_v, _tag, _w| spin(std::time::Duration::from_micros(50)),
+                );
+                small_finished_first.store(!big_finished.load(Ordering::SeqCst), Ordering::SeqCst);
+            });
+        });
+        assert!(
+            small_finished_first.load(Ordering::SeqCst),
+            "High-priority job was starved behind the Low-priority flood"
+        );
+    }
+
+    /// parallel_for dispatches from two threads on one shared executor:
+    /// the loop lock serializes the pool-owned deque words, so both loops
+    /// must cover their ranges exactly once.
+    #[test]
+    fn concurrent_parallel_for_calls_do_not_interfere() {
+        let exec = Executor::new(4);
+        let n = 2000usize;
+        let hits_a: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let hits_b: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                barrier.wait();
+                exec.parallel_for(n, 16, |r, _w| {
+                    for i in r {
+                        hits_a[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            s.spawn(|| {
+                barrier.wait();
+                exec.parallel_for(n, 16, |r, _w| {
+                    for i in r {
+                        hits_b[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+        });
+        for i in 0..n {
+            assert_eq!(hits_a[i].load(Ordering::Relaxed), 1, "loop A index {i}");
+            assert_eq!(hits_b[i].load(Ordering::Relaxed), 1, "loop B index {i}");
+        }
+    }
+
+    /// A panic in one tenant's job must not leak into a concurrently
+    /// running healthy job, and the pool must survive both.
+    #[test]
+    fn poisoned_job_does_not_leak_into_concurrent_tenant() {
+        let exec = Executor::new(4);
+        let bad = layered_dag(3, 3);
+        let good = layered_dag(4, 4);
+        let good_count = AtomicU32::new(0);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                barrier.wait();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    exec.run_dag(&bad, QueuePolicy::Fifo, |v, _tag, _w| {
+                        spin(std::time::Duration::from_micros(50));
+                        if v == 4 {
+                            panic!("injected tenant failure");
+                        }
+                    });
+                }));
+                assert!(result.is_err(), "panic was swallowed");
+            });
+            s.spawn(|| {
+                barrier.wait();
+                exec.run_dag(&good, QueuePolicy::Fifo, |_v, _tag, _w| {
+                    spin(std::time::Duration::from_micros(50));
+                    good_count.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(good_count.load(Ordering::SeqCst), good.len() as u32);
+        // The pool is still healthy for everyone.
+        let after = AtomicU32::new(0);
+        exec.run_dag(&good, QueuePolicy::Fifo, |_v, _tag, _w| {
+            after.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(after.load(Ordering::SeqCst), good.len() as u32);
     }
 }

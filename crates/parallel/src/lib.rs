@@ -38,7 +38,8 @@ pub mod queue;
 pub mod scratch;
 
 pub use exec::{
-    DagRecord, DagRunStats, DagScratch, ExecBackend, Executor, GraphScratch, RunStats, TaskPhase,
+    DagRecord, DagRunStats, DagScratch, ExecBackend, Executor, GraphScratch, JobPriority, RunStats,
+    TaskPhase,
 };
 pub use graph::{Dag, DagBuilder, NodeId, QueuePolicy, TaskGraph, TaskId};
 pub use gray::{gray_code, gray_rank};

@@ -8,6 +8,9 @@
 #                        (crates/bench/benches/windows.rs)
 #   BENCH_fused.json   — fused single-DAG vs phased join-per-phase applies
 #                        (crates/bench/benches/fused.rs)
+#   BENCH_service.json — multi-tenant registry/service throughput and
+#                        request-latency quantiles at 1–16 tenants
+#                        (crates/bench/benches/service.rs)
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
@@ -36,6 +39,9 @@ cargo bench --offline --bench windows
 echo "== bench: fused (single-DAG dispatch vs join-per-phase pipeline) =="
 cargo bench --offline --bench fused
 
+echo "== bench: service (multi-tenant req/s + p50/p99 at 1-16 tenants) =="
+cargo bench --offline --bench service
+
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
 
@@ -47,3 +53,6 @@ cat BENCH_windows.json
 
 echo "== BENCH_fused.json =="
 cat BENCH_fused.json
+
+echo "== BENCH_service.json =="
+cat BENCH_service.json

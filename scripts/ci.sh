@@ -29,6 +29,12 @@ echo "== parallel stress (oversubscribed, 16 workers) =="
 # exercised under real preemption.
 NUFFT_THREADS=16 cargo test -q --offline -p nufft-parallel
 
+echo "== multi-tenant job isolation stress (oversubscribed, 16 workers) =="
+# Concurrently submitted DAG/graph jobs on one shared pool: exactly-once
+# execution, no cross-job tag leakage, and per-job stats harvested at
+# per-job quiescence, all under randomized seed-replayable delays.
+NUFFT_THREADS=16 cargo test -q --offline -p nufft-parallel --test job_isolation_stress
+
 echo "== fused-DAG stress (oversubscribed, 16 workers) =="
 # scheduler_consistency includes the fused-vs-phased bitwise equality
 # matrix (backend x ISA x threads) and the fused-DAG sim dominance check;

@@ -146,4 +146,42 @@ fn steady_state_applies_are_allocation_free() {
             );
         }
     }
+
+    // Registry cache hits must hold the same contract: a checkout that
+    // reuses a pooled instance (hash the key, pop the idle vector, apply,
+    // push it back on drop) may not touch the allocator either — the
+    // multi-tenant service sits on this path for every warm request.
+    let cfg = NufftConfig {
+        threads: 2,
+        w: 3.0,
+        partitions_per_dim: Some(4),
+        window_mode: WindowMode::Precomputed,
+        ..NufftConfig::default()
+    };
+    let registry = nufft::core::PlanRegistry::<3>::new(cfg);
+    // Warmup: the miss builds the plan, the first check-in grows the idle
+    // vector and the key's map entry, and two full rounds bring every
+    // plan-internal scratch vector to steady-state capacity.
+    for _ in 0..2 {
+        let mut lease = registry.checkout(n, &traj);
+        lease.forward(&image, &mut out_samples);
+        lease.adjoint(&samples, &mut out_image);
+    }
+
+    let before = ALLOC.snapshot();
+    for _ in 0..3 {
+        let mut lease = registry.checkout(n, &traj);
+        lease.forward(&image, &mut out_samples);
+        lease.adjoint(&samples, &mut out_image);
+    }
+    let delta = ALLOC.snapshot().since(&before);
+    assert_eq!(
+        delta.allocs, 0,
+        "registry cache-hit applies allocated {} times ({} bytes, {} frees)",
+        delta.allocs, delta.bytes, delta.deallocs
+    );
+    assert_eq!(delta.deallocs, 0, "registry cache-hit applies freed memory");
+    let stats = registry.stats();
+    assert_eq!(stats.misses, 1, "one cold build only");
+    assert_eq!(stats.hits, 4, "warm checkouts all hit the cache");
 }

@@ -7,7 +7,7 @@
 
 use crate::report::{secs, speedup, Table};
 use crate::{build_problem, calibrate_cost, time_median, RunScale, SIM_CORES};
-use nufft_core::{ExecMode, NufftConfig};
+use nufft_core::{ExecMode, NufftConfig, SortMode};
 use nufft_math::Complex32;
 use nufft_parallel::graph::QueuePolicy;
 use nufft_sim::simulate;
@@ -76,13 +76,15 @@ pub fn fig9(scale: &RunScale) {
     let mut simd_s = 1.0f64;
     let detected = nufft_simd::detect_isa();
     for kind in DatasetKind::ALL {
-        // Base: true-scalar ISA, no reorder (the paper's baseline).
+        // Base: true-scalar ISA, no bin sort (the paper's baseline).
         nufft_simd::set_isa_override(nufft_simd::IsaLevel::StrictScalar).unwrap();
-        let cfg = NufftConfig { threads: 1, w: 4.0, reorder: false, ..NufftConfig::default() };
+        let cfg =
+            NufftConfig { threads: 1, w: 4.0, sort: SortMode::None, ..NufftConfig::default() };
         let mut prob = build_problem(kind, &p, cfg);
         base_s *= time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
-        // + Reorder.
-        let cfg = NufftConfig { threads: 1, w: 4.0, reorder: true, ..NufftConfig::default() };
+        // + Tile sort.
+        let cfg =
+            NufftConfig { threads: 1, w: 4.0, sort: SortMode::TileMajor, ..NufftConfig::default() };
         let mut prob = build_problem(kind, &p, cfg);
         reorder_s *= time_median(scale.reps, || prob.plan.adjoint_convolution_only(&prob.samples));
         // + SIMD.
@@ -93,7 +95,7 @@ pub fn fig9(scale: &RunScale) {
     let g = 1.0 / 3.0;
     let (base_s, reorder_s, simd_s) = (base_s.powf(g), reorder_s.powf(g), simd_s.powf(g));
     t.row(&["Base (strict scalar, unordered)".into(), secs(base_s), speedup(1.0)]);
-    t.row(&["+ Reorder".into(), secs(reorder_s), speedup(base_s / reorder_s)]);
+    t.row(&["+ Tile sort".into(), secs(reorder_s), speedup(base_s / reorder_s)]);
     t.row(&[format!("+ SIMD ({})", detected.name()), secs(simd_s), speedup(base_s / simd_s)]);
 
     // Parallel stages: simulate on the SIMD-config radial graph (paper

@@ -66,4 +66,5 @@ pub use registry::{
     ApplyHandle, ApplyOp, ApplyRequest, NufftService, PlanKey, PlanLease, PlanRegistry,
     RegistryStats,
 };
+pub use tasks::SortMode;
 pub use windows::{WindowMode, WindowTable};

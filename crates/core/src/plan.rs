@@ -40,7 +40,7 @@ use crate::grid::{
 };
 use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
 use crate::scale::build_scale;
-use crate::tasks::{preprocess, Preprocess, PreprocessConfig};
+use crate::tasks::{preprocess, Preprocess, PreprocessConfig, SortMode};
 use crate::windows::{WindowMode, WindowSource, WindowTable};
 use nufft_fft::{Direction, FftNd};
 use nufft_math::Complex32;
@@ -73,7 +73,8 @@ pub enum ExecMode {
 
 /// Plan construction knobs. `Default` reproduces the paper's main
 /// configuration: α = 2, W = 4, priority queue, variable-width partitions,
-/// selective privatization and sample reordering all on.
+/// selective privatization on, and the §III-D sample sort on `Auto`
+/// (tile-major layout when the trajectory is disordered).
 #[derive(Clone, Copy, Debug)]
 pub struct NufftConfig {
     /// Grid oversampling factor α = M/N.
@@ -91,8 +92,13 @@ pub struct NufftConfig {
     pub fixed_partitions: bool,
     /// Enable selective privatization (Eq. 6).
     pub privatization: bool,
-    /// Reorder samples within tasks for cache locality (§III-D).
-    pub reorder: bool,
+    /// Bin-sort policy for the internal sample layout (§III-D + the
+    /// cuFINUFFT-style tile sort): [`SortMode::TileMajor`] permutes
+    /// storage so conv hot loops stream grid tiles, [`SortMode::None`]
+    /// keeps caller order, [`SortMode::Auto`] (default) decides from the
+    /// trajectory's measured disorder. Operator output is
+    /// bitwise-identical across all modes.
+    pub sort: SortMode,
     /// Kernel family (Kaiser–Bessel is the paper's; Gaussian is the
     /// Greengard–Lee comparison kernel).
     pub kernel: KernelChoice,
@@ -131,7 +137,7 @@ impl Default for NufftConfig {
             partitions_per_dim: None,
             fixed_partitions: false,
             privatization: true,
-            reorder: true,
+            sort: SortMode::Auto,
             kernel: KernelChoice::KaiserBessel,
             lut_density: DEFAULT_LUT_DENSITY,
             grain: 256,
@@ -319,9 +325,10 @@ impl<const D: usize> NufftPlan<D> {
     /// shared pool must agree with the pool's width; the stored config is
     /// normalized so `config()` reflects reality). A shared table is only
     /// valid when it was built by a plan with the *same* trajectory and
-    /// preprocessing configuration — the internal sample reordering must
-    /// match — which [`crate::registry::PlanRegistry`] guarantees by
-    /// keying tables on (grid, kernel params, trajectory fingerprint).
+    /// preprocessing configuration — the internal sample order (task
+    /// binning and [`SortMode`] layout) must match — which
+    /// [`crate::registry::PlanRegistry`] guarantees by keying tables on
+    /// (grid, kernel params, sort mode, trajectory fingerprint).
     ///
     /// # Panics
     /// See [`NufftPlan::new`]; additionally panics if a shared table's
@@ -368,7 +375,7 @@ impl<const D: usize> NufftPlan<D> {
             fixed_partitions: cfg.fixed_partitions,
             privatization: cfg.privatization,
             threads: cfg.threads,
-            reorder: cfg.reorder,
+            sort: cfg.sort,
             tile: (4.0 * cfg.w).ceil() as usize,
         };
         let t0 = Instant::now();
@@ -477,6 +484,29 @@ impl<const D: usize> NufftPlan<D> {
     /// by the `nufft-sim` scaling experiments.
     pub fn graph(&self) -> &TaskGraph {
         &self.pre.graph
+    }
+
+    /// The *effective* sort mode after [`SortMode::Auto`] resolution —
+    /// never `Auto`.
+    pub fn sort_mode(&self) -> SortMode {
+        self.pre.sort
+    }
+
+    /// Plan-time tile-revisit count of the forward gather's grid traversal
+    /// (storage order): the number of times a walk over the samples
+    /// re-enters a grid tile it already visited. 0 ⇒ perfect streaming;
+    /// ~`num_samples` ⇒ every sample is a cache-cold jump. Fixed per plan,
+    /// also stamped into [`NufftPlan::last_run_stats`] after adjoints.
+    pub fn gather_tile_revisits(&self) -> u64 {
+        self.pre.storage_revisits
+    }
+
+    /// Plan-time tile-revisit count of the adjoint scatter's canonical
+    /// (tile-major) traversal — identical across sort modes by the
+    /// determinism rule; under [`SortMode::None`] the scatter still pays
+    /// random *sample-data* reads through the scan indirection.
+    pub fn scatter_tile_revisits(&self) -> u64 {
+        self.pre.canonical_revisits
     }
 
     /// Phase breakdown of the most recent [`NufftPlan::forward`].
@@ -760,7 +790,11 @@ impl<const D: usize> NufftPlan<D> {
                     &out_ptrs,
                 );
             }
-            Self::synth_conv_stats(self.dag_scratch.stats(), &mut self.fused_stats);
+            Self::synth_conv_stats(
+                self.dag_scratch.stats(),
+                &mut self.fused_stats,
+                self.pre.canonical_revisits,
+            );
             self.stats_source = StatsSource::Fused;
             self.last_adjoint = Self::fused_adjoint_timers(self.dag_scratch.stats(), t_start);
             self.trace_fused(true);
@@ -982,7 +1016,11 @@ impl<const D: usize> NufftPlan<D> {
                     ptr_scratch2,
                 );
             }
-            Self::synth_conv_stats(self.dag_scratch.stats(), &mut self.fused_stats);
+            Self::synth_conv_stats(
+                self.dag_scratch.stats(),
+                &mut self.fused_stats,
+                self.pre.canonical_revisits,
+            );
             self.stats_source = StatsSource::Fused;
             self.trace_fused(true);
             return;
@@ -1174,8 +1212,11 @@ impl<const D: usize> NufftPlan<D> {
         assert_eq!(grids.len(), out_ptrs.len(), "channel count mismatch");
         let channels = grids.len();
         let order = &pre.order;
-        // Aligned boundaries: with reordering on, `order` is near-identity
-        // within a task, so chunk edges land on distinct output cache lines.
+        // Storage order IS the traversal here: under `SortMode::TileMajor`
+        // each chunk streams grid tiles; forward gathers are pure reads, so
+        // the result is permutation-invariant (each write lands at the
+        // original position `order[i]`) and no de-permutation pass is
+        // needed — outputs are bitwise-identical across sort modes.
         exec.parallel_for_aligned(pre.coords.len(), grain, LANE_ALIGN, |range, _w| {
             let mut stage = [Window::EMPTY; D];
             for i in range {
@@ -1211,6 +1252,11 @@ impl<const D: usize> NufftPlan<D> {
     /// path; the batched operators are the same code with a longer channel
     /// loop, so batch output is bitwise-identical to repeated single
     /// applies.
+    ///
+    /// Samples are visited in the **canonical tile-major order** via
+    /// [`Preprocess::visit`] regardless of sort mode, pinning the
+    /// floating-point accumulation order — sorted and unsorted plans
+    /// produce bitwise-identical grids (DESIGN.md §14).
     #[allow(clippy::too_many_arguments)]
     fn scatter_driver(
         exec: &Executor,
@@ -1233,7 +1279,8 @@ impl<const D: usize> NufftPlan<D> {
             match phase {
                 TaskPhase::Normal => {
                     let mut stage = [Window::EMPTY; D];
-                    for i in pre.ranges[t].clone() {
+                    for vi in pre.ranges[t].clone() {
+                        let i = pre.visit(vi);
                         let win = source.at(i, &mut stage);
                         let slot = order[i] as usize;
                         for (c, gp) in grid_ptrs.iter().enumerate() {
@@ -1257,7 +1304,8 @@ impl<const D: usize> NufftPlan<D> {
                         unsafe { core::slice::from_raw_parts_mut(base.get(), channels * clen) };
                     buf_all.fill(Complex32::ZERO);
                     let mut stage = [Window::EMPTY; D];
-                    for i in pre.ranges[t].clone() {
+                    for vi in pre.ranges[t].clone() {
+                        let i = pre.visit(vi);
                         let win = source.at(i, &mut stage);
                         let slot = order[i] as usize;
                         for c in 0..channels {
@@ -1286,6 +1334,10 @@ impl<const D: usize> NufftPlan<D> {
                 }
             }
         });
+        // The scatter traversal is fixed at plan time, so its tile-revisit
+        // count is a plan constant — stamp it into the freshly harvested
+        // stats so locality is observable next to the timing log.
+        scratch.stats_mut().tile_revisits = pre.canonical_revisits;
     }
 
     /// Parallel n-dimensional FFT: SIMD-width tiles of adjacent lines per
@@ -1521,7 +1573,8 @@ impl<const D: usize> NufftPlan<D> {
                 fused::KIND_CONV => {
                     let t = fused::index_of(tag);
                     let mut stage = [Window::EMPTY; D];
-                    for i in pre.ranges[t].clone() {
+                    for vi in pre.ranges[t].clone() {
+                        let i = pre.visit(vi);
                         let win = source.at(i, &mut stage);
                         let slot = order[i] as usize;
                         for (c, gp) in grid_ptrs.iter().enumerate() {
@@ -1545,7 +1598,8 @@ impl<const D: usize> NufftPlan<D> {
                         unsafe { core::slice::from_raw_parts_mut(base.get(), channels * clen) };
                     buf_all.fill(Complex32::ZERO);
                     let mut stage = [Window::EMPTY; D];
-                    for i in pre.ranges[t].clone() {
+                    for vi in pre.ranges[t].clone() {
+                        let i = pre.visit(vi);
                         let win = source.at(i, &mut stage);
                         let slot = order[i] as usize;
                         for c in 0..channels {
@@ -1658,7 +1712,12 @@ impl<const D: usize> NufftPlan<D> {
     /// [`RunStats`]) from the conv/priv/reduce records of a fused run, so
     /// `last_run_stats` serves the load-balance experiments in either mode.
     /// Reuses the destination's capacity — allocation-free once warm.
-    fn synth_conv_stats(src: &nufft_parallel::exec::DagRunStats, dst: &mut RunStats) {
+    fn synth_conv_stats(
+        src: &nufft_parallel::exec::DagRunStats,
+        dst: &mut RunStats,
+        tile_revisits: u64,
+    ) {
+        dst.tile_revisits = tile_revisits;
         dst.worker_busy.clear();
         dst.worker_busy.resize(src.worker_busy.len(), 0.0);
         dst.log.clear();

@@ -24,6 +24,7 @@
 //! fair-share admission tickets (DESIGN.md §13).
 
 use crate::plan::{NufftConfig, NufftPlan};
+use crate::tasks::SortMode;
 use crate::windows::WindowTable;
 use nufft_math::Complex32;
 use nufft_parallel::exec::{Executor, JobPriority};
@@ -49,10 +50,18 @@ pub struct PlanKey<const D: usize> {
     pub kernel: crate::kernel::KernelChoice,
     /// LUT entries per unit argument.
     pub lut_density: usize,
-    /// FNV-1a over the trajectory's `f64` bit patterns.
+    /// FNV-1a over the trajectory's `f64` bit patterns — always hashed in
+    /// **caller (pre-sort) order**: the bin sort permutes only a plan's
+    /// internal layout, never the key, so two configs that differ in
+    /// [`SortMode`] still hash the same trajectory identically and are
+    /// kept apart by the `sort` field below instead.
     pub traj_fp: u64,
     /// Sample count (cheap second factor against fingerprint collisions).
     pub traj_len: usize,
+    /// `NufftConfig::sort` as declared (pre-`Auto`-resolution): sorted and
+    /// unsorted plans lay out windows/coords differently and must never
+    /// alias, even though their outputs are bitwise-identical.
+    pub sort: SortMode,
 }
 
 /// FNV-1a over the trajectory's coordinate bit patterns, folding each
@@ -158,6 +167,7 @@ impl<const D: usize> PlanRegistry<D> {
             lut_density: self.cfg.lut_density,
             traj_fp: traj_fingerprint(traj),
             traj_len: traj.len(),
+            sort: self.cfg.sort,
         }
     }
 
@@ -483,6 +493,42 @@ mod tests {
             assert_eq!(g.im.to_bits(), w.im.to_bits(), "im bits at {i}");
         }
         assert_eq!(svc.registry().stats().misses, 1);
+    }
+
+    #[test]
+    fn sorted_and_unsorted_configs_never_alias_a_key() {
+        // Regression: a TileMajor registry and a None registry see the
+        // same trajectory — identical fingerprint, but the keys must
+        // differ so the registries' plans (different internal layouts)
+        // can never be confused by an embedding cache.
+        let traj = traj2(150);
+        let n = [16usize, 16];
+        let sorted = PlanRegistry::<2>::new(NufftConfig { sort: SortMode::TileMajor, ..cfg() });
+        let unsorted = PlanRegistry::<2>::new(NufftConfig { sort: SortMode::None, ..cfg() });
+        let ks = sorted.key_of(n, &traj);
+        let ku = unsorted.key_of(n, &traj);
+        assert_eq!(ks.traj_fp, ku.traj_fp, "fingerprint is sort-independent");
+        assert_ne!(ks, ku, "SortMode must be part of the key");
+        assert_eq!(ks, sorted.key_of(n, &traj), "keys stay deterministic");
+    }
+
+    #[test]
+    fn fingerprint_hashes_canonical_pre_sort_order() {
+        // The fingerprint must see the caller's order, not any internal
+        // tile order: a permuted trajectory is a *different* key even
+        // though a bin-sorting plan would lay both out identically.
+        let traj = traj2(150);
+        let mut permuted = traj.clone();
+        permuted.swap(3, 97);
+        permuted.swap(12, 51);
+        assert_ne!(
+            traj_fingerprint(&traj),
+            traj_fingerprint(&permuted),
+            "caller order must matter"
+        );
+        let reg = PlanRegistry::<2>::new(NufftConfig { sort: SortMode::TileMajor, ..cfg() });
+        let n = [16usize, 16];
+        assert_ne!(reg.key_of(n, &traj), reg.key_of(n, &permuted));
     }
 
     #[test]

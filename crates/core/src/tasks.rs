@@ -3,16 +3,58 @@
 //! Run once per trajectory and reused across every operator call:
 //!
 //! 1. partition the grid (variable- or fixed-width, [`crate::partition`]);
-//! 2. bin samples into partition tasks (stable counting sort) and reorder
-//!    them within each task in tiled scan-line order for cache locality
-//!    (§III-D);
+//! 2. bin samples into partition tasks (stable counting sort), then bin
+//!    them again *within* each task by the grid tile containing their
+//!    window footprint (the cuFINUFFT-style bin sort, [`SortMode`]) — a
+//!    second stable counting sort keyed by scan-line tile id, ties broken
+//!    by original sample index;
 //! 3. build the cyclic Gray-code [`TaskGraph`] with task weights;
 //! 4. apply the selective-privatization criterion (Eq. 6): tasks holding
 //!    more than `total / (threads · 2^{d+1})` samples get a private halo
 //!    buffer and a decoupled reduction.
+//!
+//! ## The determinism rule
+//!
+//! Adjoint scatters accumulate into shared grid cells, so their *visit
+//! order* fixes the floating-point summation order. To keep operator
+//! output bitwise-identical across sort modes, the **canonical scatter
+//! visit order is always the tile-major order** — [`SortMode`] only
+//! decides the *storage layout* (of `coords`, the window-table rows, and
+//! the forward gather traversal). Under [`SortMode::TileMajor`] storage
+//! *is* the canonical order and every hot loop streams sequentially;
+//! under [`SortMode::None`] storage keeps the task-binned original order
+//! and the scatter reaches canonical positions through the plan-time
+//! [`Preprocess::scan`] indirection. Same arithmetic order either way ⇒
+//! same bits, by construction (see DESIGN.md §14).
 
 use crate::partition::Partitions;
 use nufft_parallel::graph::TaskGraph;
+
+/// Plan-time sample-ordering policy: whether the bin sort permutes the
+/// internal sample storage into tile-major order.
+///
+/// Any mode produces bitwise-identical operator output (the scatter visit
+/// order is canonical regardless — see the module docs); the mode trades
+/// plan-time sorting work for per-apply memory locality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SortMode {
+    /// Task binning only: within a task, samples keep the caller's
+    /// original relative order. The adjoint still visits canonically via
+    /// an index indirection; the forward gather strides the grid in
+    /// trajectory order. The A/B baseline (`benches/sort.rs`).
+    None,
+    /// Bin sort: storage is permuted to the canonical tile-major order,
+    /// so window-table rows, coordinates and both conv drivers stream
+    /// each grid tile once instead of revisiting it per random sample.
+    TileMajor,
+    /// Pick per trajectory, deterministically: ordered acquisitions
+    /// (radial spokes, spirals) already step ~1 grid cell between
+    /// consecutive samples and keep `None`; disordered ones (random,
+    /// shuffled) get `TileMajor`. The decision is a pure function of the
+    /// coordinates (mean consecutive-sample jump vs. the tile edge).
+    #[default]
+    Auto,
+}
 
 /// A privatized task's local buffer geometry: the task cell grown by the
 /// kernel radius on every side, in *unwrapped* coordinates.
@@ -50,10 +92,10 @@ pub struct PreprocessConfig {
     pub privatization: bool,
     /// Worker count `P` used in the privatization threshold.
     pub threads: usize,
-    /// Reorder samples within tasks in tiled scan-line order (§III-D).
-    pub reorder: bool,
-    /// Tile edge (grid cells) for the reorder; the paper uses "one level of
-    /// tiling" over the scan-line order.
+    /// Bin-sort policy for the internal sample layout.
+    pub sort: SortMode,
+    /// Tile edge (grid cells) for the bin sort — one tile should cover a
+    /// few window footprints (the plan uses `⌈4W⌉`).
     pub tile: usize,
 }
 
@@ -65,7 +107,7 @@ impl Default for PreprocessConfig {
             fixed_partitions: false,
             privatization: true,
             threads: 1,
-            reorder: true,
+            sort: SortMode::Auto,
             tile: 16,
         }
     }
@@ -78,17 +120,85 @@ pub struct Preprocess<const D: usize> {
     pub parts: Partitions<D>,
     /// Cyclic Gray-code dependency graph; weights are task sample counts.
     pub graph: TaskGraph,
-    /// Permutation: internal position `i` holds original sample
+    /// Permutation: internal (storage) position `i` holds original sample
     /// `order[i]`.
     pub order: Vec<u32>,
-    /// Per task: the range of internal positions it owns.
+    /// Per task: the range of internal positions it owns (identical in
+    /// storage and canonical order — both are task-binned).
     pub ranges: Vec<core::ops::Range<usize>>,
-    /// Coordinates in internal order (grid units).
+    /// Coordinates in internal storage order (grid units).
     pub coords: Vec<[f32; D]>,
     /// Per task: the privatized halo region, if selected.
     pub regions: Vec<Option<Region<D>>>,
     /// The Eq. 6 threshold used (samples per task).
     pub threshold: usize,
+    /// The resolved sort mode (never [`SortMode::Auto`]).
+    pub sort: SortMode,
+    /// Canonical-order indirection: the `vi`-th canonically visited sample
+    /// lives at storage position `scan[vi]`. `None` when storage already
+    /// *is* the canonical order ([`SortMode::TileMajor`]).
+    pub scan: Option<Vec<u32>>,
+    /// Tile edge the bin sort used (grid cells).
+    pub tile: usize,
+    /// Tile re-entries (entering a grid tile already visited earlier) when
+    /// walking samples in **storage** order — the forward gather's grid
+    /// traversal. Plan-time constant; `benches/sort.rs` reports it.
+    pub storage_revisits: u64,
+    /// Tile re-entries when walking samples in **canonical** order — the
+    /// adjoint scatter's grid traversal in every mode.
+    pub canonical_revisits: u64,
+}
+
+impl<const D: usize> Preprocess<D> {
+    /// Storage position of the `vi`-th sample in canonical visit order —
+    /// the indirection every adjoint scatter loop goes through (identity
+    /// under [`SortMode::TileMajor`]).
+    #[inline]
+    pub fn visit(&self, vi: usize) -> usize {
+        match &self.scan {
+            Some(s) => s[vi] as usize,
+            None => vi,
+        }
+    }
+}
+
+/// Scan-line tile ids over the original coordinates: tile edge `tile`,
+/// `⌈m_d/tile⌉` tiles per dimension.
+fn tile_ids<const D: usize>(coords: &[[f32; D]], m: [usize; D], tile: usize) -> Vec<u32> {
+    let mut tdims = [0usize; D];
+    for d in 0..D {
+        tdims[d] = m[d].div_ceil(tile);
+    }
+    coords
+        .iter()
+        .map(|c| {
+            let mut id = 0usize;
+            for d in 0..D {
+                id = id * tdims[d] + ((c[d] as usize) / tile).min(tdims[d] - 1);
+            }
+            id as u32
+        })
+        .collect()
+}
+
+/// Tile re-entries of a sample walk: the number of transitions into a tile
+/// that was already visited earlier in the walk. 0 for a perfect
+/// tile-major walk over disjoint tiles; ~`len` for a shuffled one.
+fn count_revisits(walk: &[u32], tile_id: &[u32], n_tiles: usize) -> u64 {
+    let mut seen = vec![false; n_tiles];
+    let mut cur = u32::MAX;
+    let mut revisits = 0u64;
+    for &p in walk {
+        let t = tile_id[p as usize];
+        if t != cur {
+            if seen[t as usize] {
+                revisits += 1;
+            }
+            seen[t as usize] = true;
+            cur = t;
+        }
+    }
+    revisits
 }
 
 /// Runs the full preprocessing pipeline.
@@ -125,7 +235,8 @@ pub fn preprocess<const D: usize>(
     let mut graph = TaskGraph::new_cyclic(&dims, &[true; D]);
     let n_tasks = graph.len();
 
-    // Bin samples into tasks (counting sort, stable).
+    // Bin samples into tasks (counting sort, stable — within a task,
+    // samples stay in original caller order).
     let mut task_of = vec![0u32; coords.len()];
     let mut counts = vec![0usize; n_tasks];
     for (p, c) in coords.iter().enumerate() {
@@ -146,23 +257,89 @@ pub fn preprocess<const D: usize>(
         fill[t as usize] += 1;
     }
 
-    // Within-task tiled scan-line reorder (§III-D).
-    if cfg.reorder {
-        let tile = cfg.tile.max(1) as u32;
+    // The canonical (tile-major) order: within each task, a second stable
+    // counting sort keyed by scan-line tile id. Stability over the
+    // already-stable task binning makes ties resolve by original sample
+    // index, so the permutation is bitwise-deterministic — independent of
+    // partition shape details, thread count, and sort mode.
+    let tile = cfg.tile.max(1);
+    let tile_id = tile_ids(coords, m, tile);
+    let n_tiles: usize = m.iter().map(|&e| e.div_ceil(tile)).product();
+    let mut canonical = order.clone();
+    {
+        let mut tile_counts = vec![0u32; n_tiles];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut buf: Vec<u32> = Vec::new();
         for r in &ranges {
-            order[r.clone()].sort_by_key(|&p| {
-                let c = &coords[p as usize];
-                let mut key_hi = 0u64;
-                let mut key_lo = 0u64;
-                for d in 0..D {
-                    let cell = c[d] as u32;
-                    key_hi = key_hi * 4096 + (cell / tile) as u64;
-                    key_lo = key_lo * 4096 + cell as u64;
+            if r.len() < 2 {
+                continue;
+            }
+            touched.clear();
+            for &p in &order[r.clone()] {
+                let t = tile_id[p as usize] as usize;
+                if tile_counts[t] == 0 {
+                    touched.push(t as u32);
                 }
-                (key_hi, key_lo)
-            });
+                tile_counts[t] += 1;
+            }
+            touched.sort_unstable();
+            let mut acc = r.start as u32;
+            for &t in &touched {
+                let c = tile_counts[t as usize];
+                tile_counts[t as usize] = acc;
+                acc += c;
+            }
+            buf.clear();
+            buf.extend_from_slice(&order[r.clone()]);
+            for &p in &buf {
+                let t = tile_id[p as usize] as usize;
+                canonical[tile_counts[t] as usize] = p;
+                tile_counts[t] += 1;
+            }
+            for &t in &touched {
+                tile_counts[t as usize] = 0;
+            }
         }
     }
+
+    // Resolve `Auto` from the trajectory itself: the mean Manhattan jump
+    // (grid cells) between consecutive samples in caller order. Ordered
+    // acquisitions step a fraction of a cell; shuffled/random ones jump
+    // O(M). Half a tile edge separates the regimes (beyond it consecutive
+    // samples typically straddle tiles), and the metric is a pure function
+    // of the coordinates — same trajectory, same decision.
+    let sort = match cfg.sort {
+        SortMode::Auto => {
+            let mut acc = 0.0f64;
+            for w in coords.windows(2) {
+                for d in 0..D {
+                    acc += (w[1][d] - w[0][d]).abs() as f64;
+                }
+            }
+            let mean = acc / coords.len().saturating_sub(1).max(1) as f64;
+            if mean > tile as f64 / 2.0 {
+                SortMode::TileMajor
+            } else {
+                SortMode::None
+            }
+        }
+        explicit => explicit,
+    };
+
+    let canonical_revisits = count_revisits(&canonical, &tile_id, n_tiles);
+    let (order, scan, storage_revisits) = match sort {
+        SortMode::TileMajor => (canonical, None, canonical_revisits),
+        _ => {
+            let storage_revisits = count_revisits(&order, &tile_id, n_tiles);
+            // scan[vi] = storage position of the vi-th canonical sample.
+            let mut pos = vec![0u32; coords.len()];
+            for (i, &p) in order.iter().enumerate() {
+                pos[p as usize] = i as u32;
+            }
+            let scan: Vec<u32> = canonical.iter().map(|&p| pos[p as usize]).collect();
+            (order, Some(scan), storage_revisits)
+        }
+    };
 
     let permuted: Vec<[f32; D]> = order.iter().map(|&p| coords[p as usize]).collect();
 
@@ -199,7 +376,20 @@ pub fn preprocess<const D: usize>(
         }
     }
 
-    Preprocess { parts, graph, order, ranges, coords: permuted, regions, threshold }
+    Preprocess {
+        parts,
+        graph,
+        order,
+        ranges,
+        coords: permuted,
+        regions,
+        threshold,
+        sort,
+        scan,
+        tile,
+        storage_revisits,
+        canonical_revisits,
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +402,16 @@ mod tests {
                 let a = (i as f32 * 0.61803) % 1.0;
                 let b = (i as f32 * 0.41421) % 1.0;
                 [a * m as f32, b * m as f32]
+            })
+            .collect()
+    }
+
+    /// A scan-line-ordered (spectrally local) coordinate sweep.
+    fn ordered_coords(n: usize, m: usize) -> Vec<[f32; 2]> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32;
+                [(t * m as f32) % m as f32, ((t * m as f32 * 0.25) % m as f32)]
             })
             .collect()
     }
@@ -250,18 +450,22 @@ mod tests {
     }
 
     #[test]
-    fn reorder_improves_sortedness_within_tasks() {
+    fn tile_major_sort_improves_locality() {
         let coords = demo_coords(2000, 128);
         let base = PreprocessConfig {
             partitions_per_dim: 2,
             w: 2.0,
-            reorder: false,
+            sort: SortMode::None,
             ..Default::default()
         };
         let no = preprocess(&coords, [128, 128], &base);
-        let yes = preprocess(&coords, [128, 128], &PreprocessConfig { reorder: true, ..base });
+        let yes = preprocess(
+            &coords,
+            [128, 128],
+            &PreprocessConfig { sort: SortMode::TileMajor, ..base },
+        );
         // Measure locality as the mean jump distance between consecutive
-        // samples of a task.
+        // samples of a task, in storage order (the gather traversal).
         let jump = |pre: &Preprocess<2>| -> f64 {
             let mut acc = 0.0;
             let mut n = 0usize;
@@ -277,10 +481,84 @@ mod tests {
         };
         assert!(
             jump(&yes) < 0.5 * jump(&no),
-            "reorder should shrink consecutive-sample distance: {} vs {}",
+            "bin sort should shrink consecutive-sample distance: {} vs {}",
             jump(&yes),
             jump(&no)
         );
+        // And the observable mirrors it: fewer tile re-entries in storage
+        // order, while the canonical walk (shared) matches TileMajor's.
+        assert!(yes.storage_revisits < no.storage_revisits / 2);
+        assert_eq!(yes.storage_revisits, yes.canonical_revisits);
+        assert_eq!(no.canonical_revisits, yes.canonical_revisits);
+    }
+
+    #[test]
+    fn canonical_visit_order_is_sort_invariant() {
+        // The determinism rule: both modes visit original samples in the
+        // exact same (tile-major) sequence — None via `scan`, TileMajor
+        // directly — so adjoint accumulation order is identical.
+        let coords = demo_coords(800, 64);
+        let base = PreprocessConfig {
+            partitions_per_dim: 3,
+            w: 2.0,
+            sort: SortMode::None,
+            ..Default::default()
+        };
+        let none = preprocess(&coords, [64, 64], &base);
+        let tm =
+            preprocess(&coords, [64, 64], &PreprocessConfig { sort: SortMode::TileMajor, ..base });
+        assert_eq!(none.sort, SortMode::None);
+        assert_eq!(tm.sort, SortMode::TileMajor);
+        assert!(none.scan.is_some(), "None mode scatters through the indirection");
+        assert!(tm.scan.is_none(), "TileMajor storage is canonical already");
+        for vi in 0..coords.len() {
+            assert_eq!(
+                none.order[none.visit(vi)],
+                tm.order[tm.visit(vi)],
+                "visit sequence diverged at position {vi}"
+            );
+        }
+        // The scan stays inside each task's range: task boundaries are
+        // preserved by the within-task sort.
+        let scan = none.scan.as_ref().unwrap();
+        for r in &none.ranges {
+            for vi in r.clone() {
+                assert!(r.contains(&(scan[vi] as usize)), "scan escaped its task range");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_sort_is_stable_by_original_index() {
+        let coords = demo_coords(1200, 96);
+        let cfg = PreprocessConfig {
+            partitions_per_dim: 2,
+            w: 2.0,
+            sort: SortMode::TileMajor,
+            ..Default::default()
+        };
+        let pre = preprocess(&coords, [96, 96], &cfg);
+        let ids = tile_ids(&coords, [96, 96], pre.tile);
+        for r in &pre.ranges {
+            for i in r.start + 1..r.end {
+                let (pa, pb) = (pre.order[i - 1], pre.order[i]);
+                let (ta, tb) = (ids[pa as usize], ids[pb as usize]);
+                assert!(ta <= tb, "tile ids must be non-decreasing within a task");
+                if ta == tb {
+                    assert!(pa < pb, "ties must keep original sample order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_by_trajectory_disorder() {
+        let cfg = PreprocessConfig { partitions_per_dim: 2, w: 2.0, ..Default::default() };
+        assert_eq!(cfg.sort, SortMode::Auto);
+        let ordered = preprocess(&ordered_coords(2000, 128), [128, 128], &cfg);
+        assert_eq!(ordered.sort, SortMode::None, "sequential sweep stays unsorted");
+        let shuffled = preprocess(&demo_coords(2000, 128), [128, 128], &cfg);
+        assert_eq!(shuffled.sort, SortMode::TileMajor, "golden-ratio hops get the bin sort");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! that every scheduler/vectorization configuration computes the same
 //! numbers.
 
-use nufft_core::{NufftConfig, NufftPlan};
+use nufft_core::{NufftConfig, NufftPlan, SortMode};
 use nufft_math::error::rel_l2_mixed;
 use nufft_math::{Complex32, Complex64};
 use nufft_parallel::graph::QueuePolicy;
@@ -221,7 +221,8 @@ fn every_configuration_computes_the_same_operator() {
         ("fifo", NufftConfig { policy: QueuePolicy::Fifo, ..cfg(3, 3.0) }),
         ("fixed partitions", NufftConfig { fixed_partitions: true, ..cfg(3, 3.0) }),
         ("no privatization", NufftConfig { privatization: false, ..cfg(3, 3.0) }),
-        ("no reorder", NufftConfig { reorder: false, ..cfg(3, 3.0) }),
+        ("no sort", NufftConfig { sort: SortMode::None, ..cfg(3, 3.0) }),
+        ("tile sort", NufftConfig { sort: SortMode::TileMajor, ..cfg(3, 3.0) }),
         ("explicit partitions", NufftConfig { partitions_per_dim: Some(6), ..cfg(4, 3.0) }),
     ];
     for (name, c) in variants {

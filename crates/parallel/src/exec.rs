@@ -129,6 +129,11 @@ pub struct RunStats {
     pub worker_busy: Vec<f64>,
     /// Every (task, phase) execution with timings, unordered.
     pub log: Vec<TaskRecord>,
+    /// Grid-tile re-entries of the run's sample traversal — a memory
+    /// locality observable stamped by the caller (the NUFFT plan knows its
+    /// traversal at plan time; the executor itself leaves this 0). 0 means
+    /// the walk streamed each tile once.
+    pub tile_revisits: u64,
 }
 
 impl RunStats {
@@ -712,6 +717,13 @@ impl GraphScratch {
     /// The stats of the most recent completed run through this scratch.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Mutable access for callers that annotate the harvested stats with
+    /// run-invariant observables (e.g. the NUFFT plan's tile-revisit
+    /// count) without re-running the graph.
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
     }
 
     /// Consumes the scratch, returning the last run's stats.
@@ -1676,7 +1688,7 @@ mod spawn {
         for l in logs {
             log.extend(l.into_inner().unwrap_or_else(|e| e.into_inner()));
         }
-        RunStats { makespan, worker_busy, log }
+        RunStats { makespan, worker_busy, log, tile_revisits: 0 }
     }
 
     /// The spawn-per-call twin of the pool's `DagJob`: scoped threads, one

@@ -153,6 +153,37 @@ pub fn spiral_2d(k: usize, s: usize, turns: f64, seed: u64) -> Trajectory<2> {
     Trajectory::new(points, s, k)
 }
 
+/// Deterministic Fisher–Yates permutation of a trajectory's points —
+/// the cache-locality worst case: a shuffled acquisition preserves the
+/// sampling *density* of its source but destroys all sequential
+/// coherence, so consecutive samples land in unrelated grid tiles. This
+/// is the workload the plan-time bin sort (`SortMode::TileMajor`) is
+/// built for; `benches/sort.rs` uses it as the adversarial arm.
+///
+/// The interleave structure (`S×K`) is kept nominally — a shuffled
+/// "interleave" is just a window of the permuted stream.
+pub fn shuffle<const D: usize>(t: &Trajectory<D>, seed: u64) -> Trajectory<D> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut points = t.points.clone();
+    for i in (1..points.len()).rev() {
+        let j = rng.gen_usize(0..i + 1);
+        points.swap(i, j);
+    }
+    Trajectory::new(points, t.interleaves, t.samples_per_interleave)
+}
+
+/// The shuffled 3D random trajectory: [`random`] permuted by [`shuffle`]
+/// (both driven from the same `seed`).
+pub fn shuffled(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<3> {
+    shuffle(&random(k, s, sigma, seed), seed)
+}
+
+/// The shuffled 2D random trajectory: [`random_2d`] permuted by
+/// [`shuffle`].
+pub fn shuffled_2d(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<2> {
+    shuffle(&random_2d(k, s, sigma, seed), seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +334,24 @@ mod tests {
         }
     }
 
+    #[test]
+    fn shuffle_is_a_permutation_and_breaks_coherence() {
+        let src = random_2d(64, 16, 0.15, 3);
+        let sh = shuffled_2d(64, 16, 0.15, 3);
+        assert_eq!(sh.interleaves, src.interleaves);
+        assert_eq!(sh.samples_per_interleave, src.samples_per_interleave);
+        assert_ne!(src.points, sh.points, "shuffle must move points");
+        let mut a = src.points.clone();
+        let mut b = sh.points.clone();
+        let key = |p: &[f64; 2]| (p[0].to_bits(), p[1].to_bits());
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b, "same multiset of points");
+        // Deterministic per seed, distinct across seeds.
+        assert_eq!(sh.points, shuffled_2d(64, 16, 0.15, 3).points);
+        assert_ne!(sh.points, shuffle(&random_2d(64, 16, 0.15, 3), 4).points);
+    }
+
     /// Golden snapshot pinning fixed-seed output bit-exactly.
     ///
     /// Dataset seeds are part of the experiment definition (EXPERIMENTS.md):
@@ -368,6 +417,36 @@ mod tests {
             [-0.13268718652570724, -0.25637364112799416, -0.16666666666666669],
         ];
         for (p, w) in t.points.iter().zip(&want_3d) {
+            close(p[0], w[0]);
+            close(p[1], w[1]);
+            close(p[2], w[2]);
+        }
+
+        // The shuffled variants: same points as their `random` source
+        // (pinned above and by the permutation test), in the frozen
+        // Fisher–Yates order.
+        let t = shuffled_2d(2, 2, 0.15, 7);
+        let want_sh2 = [
+            [0.08945452487260781, 0.14575845194795542],
+            [0.16962974426542604, -0.1096466069723276],
+            [0.02537954097222794, 0.1471265714570092],
+            [-0.039869960970796404, -0.057982452636147694],
+        ];
+        for (p, w) in t.points.iter().zip(&want_sh2) {
+            close(p[0], w[0]);
+            close(p[1], w[1]);
+        }
+
+        let t = shuffled(3, 2, 0.12, 5);
+        let want_sh3 = [
+            [-0.14516937119136222, 0.12870419055076845, 0.20453720643432696],
+            [0.13616040502722412, 0.036214893227896304, 0.04058157857781966],
+            [-0.041438607106832656, 0.1205236988833372, -0.049169611894663],
+            [-0.2569578899122409, 0.01020648015277234, -0.10120588556545758],
+            [0.2810300895483877, 0.15703356492053985, 0.19759250030095893],
+            [-0.14398338865913743, 0.24132148278331592, -0.03935818602545998],
+        ];
+        for (p, w) in t.points.iter().zip(&want_sh3) {
             close(p[0], w[0]);
             close(p[1], w[1]);
             close(p[2], w[2]);

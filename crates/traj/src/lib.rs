@@ -26,7 +26,9 @@ pub mod dataset;
 pub mod generators;
 
 pub use dataset::{DatasetKind, DatasetParams, TABLE1};
-pub use generators::{radial, radial_2d, random, random_2d, spiral, spiral_2d};
+pub use generators::{
+    radial, radial_2d, random, random_2d, shuffle, shuffled, shuffled_2d, spiral, spiral_2d,
+};
 
 /// A non-Cartesian sampling trajectory in `D` dimensions.
 ///

@@ -11,6 +11,9 @@
 #   BENCH_service.json — multi-tenant registry/service throughput and
 #                        request-latency quantiles at 1–16 tenants
 #                        (crates/bench/benches/service.rs)
+#   BENCH_sort.json    — plan-time bin sort vs unsorted sample layout over
+#                        clustered/random/shuffled/radial trajectories
+#                        (crates/bench/benches/sort.rs)
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
@@ -42,6 +45,9 @@ cargo bench --offline --bench fused
 echo "== bench: service (multi-tenant req/s + p50/p99 at 1-16 tenants) =="
 cargo bench --offline --bench service
 
+echo "== bench: sort (bin-sorted vs unsorted sample layout) =="
+cargo bench --offline --bench sort
+
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
 
@@ -56,3 +62,6 @@ cat BENCH_fused.json
 
 echo "== BENCH_service.json =="
 cat BENCH_service.json
+
+echo "== BENCH_sort.json =="
+cat BENCH_sort.json

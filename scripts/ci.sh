@@ -42,6 +42,12 @@ echo "== fused-DAG stress (oversubscribed, 16 workers) =="
 # under real preemption.
 NUFFT_THREADS=16 cargo test -q --offline --test scheduler_consistency
 
+echo "== sort-mode equality stress (oversubscribed, 16 workers) =="
+# sorted-vs-unsorted bitwise equality across ISA levels, thread counts,
+# all four operators and both exec modes; 16 workers oversubscribe the
+# runner so the canonical-visit-order rule holds under real preemption.
+NUFFT_THREADS=16 cargo test -q --offline -p nufft-core --test sort_modes
+
 echo "== convolution-engine contracts (allocation-free applies, window modes) =="
 # Named runs so a regression names the broken contract, not just "a test".
 # window_modes covers bitwise table-vs-fly equality across ISA levels and

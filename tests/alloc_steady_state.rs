@@ -12,7 +12,7 @@
 //! One test function only: the global allocator counts process-wide, so
 //! concurrent tests would bleed counts into each other.
 
-use nufft::core::{ExecMode, NufftConfig, NufftPlan, WindowMode};
+use nufft::core::{ExecMode, NufftConfig, NufftPlan, SortMode, WindowMode};
 use nufft::math::Complex32;
 use nufft_testkit::alloc::CountingAlloc;
 
@@ -90,60 +90,67 @@ fn steady_state_applies_are_allocation_free() {
     // scratch (ready-queue shards, pred counters, span records) is
     // plan-owned and sized for the worst case in `prepare`, exactly like
     // the phased path's `GraphScratch`.
+    // The sort dimension rides along: the bin-sort permutation (and the
+    // unsorted mode's canonical-scan indirection) are built entirely at
+    // plan time, so both layouts must be invisible to the allocator at
+    // apply time.
     for exec_mode in [ExecMode::Fused, ExecMode::Phased] {
         for mode in [WindowMode::OnTheFly, WindowMode::Precomputed] {
-            let cfg = NufftConfig {
-                threads: 2,
-                w: 3.0,
-                partitions_per_dim: Some(4),
-                window_mode: mode,
-                exec_mode,
-                ..NufftConfig::default()
-            };
-            let mut plan = NufftPlan::new(n, &traj, cfg);
+            for sort in [SortMode::TileMajor, SortMode::None] {
+                let cfg = NufftConfig {
+                    threads: 2,
+                    w: 3.0,
+                    partitions_per_dim: Some(4),
+                    window_mode: mode,
+                    exec_mode,
+                    sort,
+                    ..NufftConfig::default()
+                };
+                let mut plan = NufftPlan::new(n, &traj, cfg);
 
-            // Warmup: note-taking allocations (FFT tables via OnceLock,
-            // scratch capacity growth, pool worker spawn, batch grids)
-            // happen here. The batch calls run twice so every reusable
-            // vector reaches its steady-state capacity before measurement.
-            for _ in 0..2 {
-                apply_all(
-                    &mut plan,
-                    &image,
-                    &samples,
-                    &images,
-                    &datas,
-                    &mut out_samples,
-                    &mut out_image,
-                    &mut bout_samples,
-                    &mut bout_images,
-                );
-            }
+                // Warmup: note-taking allocations (FFT tables via OnceLock,
+                // scratch capacity growth, pool worker spawn, batch grids)
+                // happen here. The batch calls run twice so every reusable
+                // vector reaches its steady-state capacity before measurement.
+                for _ in 0..2 {
+                    apply_all(
+                        &mut plan,
+                        &image,
+                        &samples,
+                        &images,
+                        &datas,
+                        &mut out_samples,
+                        &mut out_image,
+                        &mut bout_samples,
+                        &mut bout_images,
+                    );
+                }
 
-            let before = ALLOC.snapshot();
-            for _ in 0..3 {
-                apply_all(
-                    &mut plan,
-                    &image,
-                    &samples,
-                    &images,
-                    &datas,
-                    &mut out_samples,
-                    &mut out_image,
-                    &mut bout_samples,
-                    &mut bout_images,
-                );
-            }
-            let delta = ALLOC.snapshot().since(&before);
-            assert_eq!(
+                let before = ALLOC.snapshot();
+                for _ in 0..3 {
+                    apply_all(
+                        &mut plan,
+                        &image,
+                        &samples,
+                        &images,
+                        &datas,
+                        &mut out_samples,
+                        &mut out_image,
+                        &mut bout_samples,
+                        &mut bout_images,
+                    );
+                }
+                let delta = ALLOC.snapshot().since(&before);
+                assert_eq!(
                 delta.allocs, 0,
-                "{exec_mode:?}/{mode:?}: steady-state applies allocated {} times ({} bytes, {} frees)",
+                "{exec_mode:?}/{mode:?}/{sort:?}: steady-state applies allocated {} times ({} bytes, {} frees)",
                 delta.allocs, delta.bytes, delta.deallocs
             );
-            assert_eq!(
-                delta.deallocs, 0,
-                "{exec_mode:?}/{mode:?}: steady-state applies freed memory"
-            );
+                assert_eq!(
+                    delta.deallocs, 0,
+                    "{exec_mode:?}/{mode:?}/{sort:?}: steady-state applies freed memory"
+                );
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 
 use nufft::baselines::direct;
 use nufft::baselines::sequential::SequentialNufft;
-use nufft::core::{NufftConfig, NufftPlan};
+use nufft::core::{NufftConfig, NufftPlan, SortMode};
 use nufft::math::error::{rel_l2_c32, rel_l2_mixed};
 use nufft::math::Complex32;
 use nufft::traj::{dataset, generators, DatasetKind, DatasetParams, TABLE1};
@@ -113,13 +113,14 @@ fn interleave_structure_survives_the_pipeline() {
     // the caller's original order regardless of internal reordering.
     let t1 = generators::radial(16, 8, 2);
     assert_eq!(t1.len(), 128);
-    let cfg = NufftConfig { threads: 2, w: 2.0, reorder: true, ..NufftConfig::default() };
+    let cfg =
+        NufftConfig { threads: 2, w: 2.0, sort: SortMode::TileMajor, ..NufftConfig::default() };
     let mut plan = NufftPlan::new([12; 3], &t1.points, cfg);
     let image = demo_image(12usize.pow(3));
     let mut out_a = vec![Complex32::ZERO; 128];
     plan.forward(&image, &mut out_a);
-    // Same trajectory, reorder disabled: identical per-sample results.
-    let cfg = NufftConfig { threads: 1, w: 2.0, reorder: false, ..NufftConfig::default() };
+    // Same trajectory, bin sort disabled: identical per-sample results.
+    let cfg = NufftConfig { threads: 1, w: 2.0, sort: SortMode::None, ..NufftConfig::default() };
     let mut plan2 = NufftPlan::new([12; 3], &t1.points, cfg);
     let mut out_b = vec![Complex32::ZERO; 128];
     plan2.forward(&image, &mut out_b);

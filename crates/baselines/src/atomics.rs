@@ -144,6 +144,7 @@ impl<const D: usize> AtomicAdjoint<D> {
             fft: fft_t,
             conv: conv_t,
             total: t_start.elapsed().as_secs_f64(),
+            ..OpTimers::default()
         };
     }
 }

@@ -162,6 +162,7 @@ impl<const D: usize> PrivatizedAdjoint<D> {
             fft: fft_t,
             conv: conv_t,
             total: t_start.elapsed().as_secs_f64(),
+            ..OpTimers::default()
         };
     }
 }

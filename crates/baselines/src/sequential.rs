@@ -108,6 +108,7 @@ impl<const D: usize> SequentialNufft<D> {
             fft: fft_t,
             conv: conv_t,
             total: t_start.elapsed().as_secs_f64(),
+            ..OpTimers::default()
         };
     }
 
@@ -136,6 +137,7 @@ impl<const D: usize> SequentialNufft<D> {
             fft: fft_t,
             conv: conv_t,
             total: t_start.elapsed().as_secs_f64(),
+            ..OpTimers::default()
         };
     }
 }

@@ -91,6 +91,12 @@ pub const KIND_REDUCE: u8 = 5;
 pub const KIND_GATHER: u8 = 6;
 /// A contiguous image chunk of the adjoint's final extract.
 pub const KIND_EXTRACT: u8 = 7;
+/// A four-step sub-FFT shard: one column group of a run of tiles on a
+/// four-step axis (pass 1; reads the grid, writes the `fs` intermediate).
+pub const KIND_FFT_SUB: u8 = 8;
+/// A four-step transpose-and-combine shard: one k-block of a run of tiles
+/// (pass 2; reads `fs`, writes the finished spectrum back to the grid).
+pub const KIND_FFT_TRN: u8 = 9;
 
 /// Packs `(kind, axis, channel, index)` into an opaque node tag.
 pub fn tag(kind: u8, axis: usize, channel: usize, index: usize) -> u64 {
@@ -129,6 +135,8 @@ pub fn kind_name(kind: u8) -> &'static str {
         KIND_REDUCE => "reduce",
         KIND_GATHER => "gather",
         KIND_EXTRACT => "extract",
+        KIND_FFT_SUB => "fft_sub",
+        KIND_FFT_TRN => "fft_trn",
         _ => "?",
     }
 }
@@ -144,7 +152,7 @@ pub fn node_phase(tag: u64, adjoint: bool, ndim: usize) -> usize {
     match kind_of(tag) {
         KIND_SCALE | KIND_ZERO => 0,
         KIND_CONV | KIND_PRIV | KIND_REDUCE => 1,
-        KIND_FFT => axis_of(tag) + if adjoint { 2 } else { 1 },
+        KIND_FFT | KIND_FFT_SUB | KIND_FFT_TRN => axis_of(tag) + if adjoint { 2 } else { 1 },
         KIND_GATHER => 1 + ndim,
         KIND_EXTRACT => 2 + ndim,
         _ => unreachable!("unknown node kind"),
@@ -170,6 +178,11 @@ pub(crate) struct AxisPlan {
     pub(crate) tiles: usize,
     /// Tiles per executor chunk (and per fused FFT node).
     pub(crate) grain: usize,
+    /// Four-step shard counts `(col_groups, k_blocks)` per tile chunk, or
+    /// `None` for the recursive tile path. When set, a chunk splits into
+    /// `col_groups` sub-FFT nodes followed by `k_blocks` combine nodes
+    /// instead of one [`KIND_FFT`] node.
+    pub(crate) shards: Option<(usize, usize)>,
 }
 
 impl TilePlan {
@@ -182,15 +195,57 @@ impl TilePlan {
                 // ~4 chunks per worker for stealable slack, capped so one
                 // chunk never dominates an axis.
                 let grain = (tiles / (4 * threads)).clamp(1, 64);
-                AxisPlan { tiles, grain }
+                let shards = if fft.axis_fourstep(axis) {
+                    Some((fft.fs_col_groups(axis, b), fft.fs_k_blocks(axis)))
+                } else {
+                    None
+                };
+                AxisPlan { tiles, grain, shards }
             })
             .collect();
         TilePlan { b, align, axes }
     }
 
-    /// Fused FFT nodes (tile chunks) along `axis`.
+    /// Fused FFT tile chunks along `axis` (the [`KIND_FFT`] node count on a
+    /// recursive axis; four-step axes split each chunk into shards).
     pub(crate) fn nodes(&self, axis: usize) -> usize {
         self.axes[axis].tiles.div_ceil(self.axes[axis].grain)
+    }
+
+    /// Nodes whose input is the axis's *untransformed* grid data: tile
+    /// chunks on a recursive axis, chunk × column-group sub-FFT shards on a
+    /// four-step one. Producers of the axis's elements wire edges to these.
+    pub(crate) fn entry_shards(&self, axis: usize) -> usize {
+        self.nodes(axis) * self.axes[axis].shards.map_or(1, |(colg, _)| colg)
+    }
+
+    /// Nodes that write the axis's *finished* spectrum: tile chunks on a
+    /// recursive axis, chunk × k-block combine shards on a four-step one.
+    /// Consumers of the axis's elements wire edges from these.
+    pub(crate) fn writer_shards(&self, axis: usize) -> usize {
+        self.nodes(axis) * self.axes[axis].shards.map_or(1, |(_, kbg)| kbg)
+    }
+}
+
+/// The entry-shard id (see [`TilePlan::entry_shards`]) whose read set
+/// contains `elem` on `axis`.
+fn entry_shard_of(fft: &FftNd, tp: &TilePlan, axis: usize, elem: usize) -> usize {
+    let ap = &tp.axes[axis];
+    let chunk = fft.tile_of_element(axis, elem, tp.b) / ap.grain;
+    match ap.shards {
+        Some((colg, _)) => chunk * colg + fft.fs_col_group_of_element(axis, elem, tp.b),
+        None => chunk,
+    }
+}
+
+/// The writer-shard id (see [`TilePlan::writer_shards`]) that writes `elem`
+/// on `axis`.
+fn writer_shard_of(fft: &FftNd, tp: &TilePlan, axis: usize, elem: usize) -> usize {
+    let ap = &tp.axes[axis];
+    let chunk = fft.tile_of_element(axis, elem, tp.b) / ap.grain;
+    match ap.shards {
+        Some((_, kbg)) => chunk * kbg + fft.fs_kblock_of_element(axis, elem),
+        None => chunk,
     }
 }
 
@@ -311,10 +366,73 @@ fn fft_chunk_weight(fft: &FftNd, axis: usize, t0: usize, t1: usize, b: usize) ->
     (4 * n * lines * (t1 - t0)) as u64
 }
 
-/// Emits `writer → fft(axis, chunk)` edges for every channel: for each
-/// tile chunk of `axis`, the deduplicated set of writer ids under
-/// `writer_of(elem)`. `writer_node(c, id)` and `fft_node(c, chunk)` map to
-/// node ids.
+/// Emits the FFT node run of one `(channel, axis)` pair, plus — on a
+/// four-step axis — the intra-axis sub → combine edges. Returns the
+/// `(entry, writer)` node bases: producers of the axis's elements wire to
+/// `entry + entry_shard_of(..)`, consumers wire from
+/// `writer + writer_shard_of(..)` (the same base on a recursive axis).
+///
+/// A four-step chunk's combine shards each read every block of the chunk's
+/// `fs` region, and the chunk's sub-FFT shards together write exactly that
+/// region — so the intra-chunk wiring is complete bipartite and no
+/// cross-chunk edges exist (shards never straddle a tile chunk).
+fn add_axis_nodes(
+    builder: &mut DagBuilder,
+    fft: &FftNd,
+    tp: &TilePlan,
+    axis: usize,
+    c: usize,
+) -> (NodeId, NodeId) {
+    let ap = &tp.axes[axis];
+    let chunks = tp.nodes(axis);
+    let chunk_weight = |k: usize| {
+        let t0 = k * ap.grain;
+        let t1 = (t0 + ap.grain).min(ap.tiles);
+        fft_chunk_weight(fft, axis, t0, t1, tp.b)
+    };
+    match ap.shards {
+        None => {
+            let base = builder.len() as NodeId;
+            for k in 0..chunks {
+                builder.add_node(tag(KIND_FFT, axis, c, k), chunk_weight(k));
+            }
+            (base, base)
+        }
+        Some((colg, kbg)) => {
+            let sub = builder.len() as NodeId;
+            for k in 0..chunks {
+                let w = (chunk_weight(k) / colg as u64).max(1);
+                for cg in 0..colg {
+                    builder.add_node(tag(KIND_FFT_SUB, axis, c, k * colg + cg), w);
+                }
+            }
+            let trn = builder.len() as NodeId;
+            for k in 0..chunks {
+                let w = (chunk_weight(k) / kbg as u64).max(1);
+                for kb in 0..kbg {
+                    builder.add_node(tag(KIND_FFT_TRN, axis, c, k * kbg + kb), w);
+                }
+            }
+            for k in 0..chunks {
+                for cg in 0..colg {
+                    for kb in 0..kbg {
+                        builder.add_edge(
+                            sub + (k * colg + cg) as NodeId,
+                            trn + (k * kbg + kb) as NodeId,
+                        );
+                    }
+                }
+            }
+            (sub, trn)
+        }
+    }
+}
+
+/// Emits `writer → axis entry` edges for every channel: for each entry
+/// shard of `axis` (tile chunk, or chunk × column group on a four-step
+/// axis), the deduplicated set of writer ids under `writer_of(elem)` over
+/// the shard's read set. `writer_node(c, id)` and `entry_node(c, shard)`
+/// map to node ids.
 #[allow(clippy::too_many_arguments)]
 fn connect_axis_inputs(
     builder: &mut DagBuilder,
@@ -325,22 +443,37 @@ fn connect_axis_inputs(
     stamp: &mut Stamp,
     mut writer_of: impl FnMut(usize) -> usize,
     writer_node: impl Fn(usize, usize) -> NodeId,
-    fft_node: impl Fn(usize, usize) -> NodeId,
+    entry_node: impl Fn(usize, usize) -> NodeId,
 ) {
     let ap = &tp.axes[axis];
+    let colg = ap.shards.map_or(1, |(colg, _)| colg);
     for chunk in 0..tp.nodes(axis) {
-        stamp.next();
         let t0 = chunk * ap.grain;
         let t1 = (t0 + ap.grain).min(ap.tiles);
-        for tile in t0..t1 {
-            fft.for_each_tile_element(axis, tile, tp.b, |e| {
-                let w = writer_of(e);
-                if stamp.hit(w) {
-                    for c in 0..channels {
-                        builder.add_edge(writer_node(c, w), fft_node(c, chunk));
-                    }
+        for cg in 0..colg {
+            stamp.next();
+            let shard = chunk * colg + cg;
+            for tile in t0..t1 {
+                if ap.shards.is_some() {
+                    fft.for_each_fs_col_element(axis, tile, cg, tp.b, |e| {
+                        let w = writer_of(e);
+                        if stamp.hit(w) {
+                            for c in 0..channels {
+                                builder.add_edge(writer_node(c, w), entry_node(c, shard));
+                            }
+                        }
+                    });
+                } else {
+                    fft.for_each_tile_element(axis, tile, tp.b, |e| {
+                        let w = writer_of(e);
+                        if stamp.hit(w) {
+                            for c in 0..channels {
+                                builder.add_edge(writer_node(c, w), entry_node(c, shard));
+                            }
+                        }
+                    });
                 }
-            });
+            }
         }
     }
 }
@@ -394,23 +527,9 @@ pub(crate) fn build_forward<const D: usize>(
             base
         })
         .collect();
-    // …per-channel per-axis FFT chunks…
-    let fft_base: Vec<Vec<NodeId>> = (0..channels)
-        .map(|c| {
-            (0..D)
-                .map(|axis| {
-                    let base = builder.len() as NodeId;
-                    let ap = &tp.axes[axis];
-                    for k in 0..tp.nodes(axis) {
-                        let t0 = k * ap.grain;
-                        let t1 = (t0 + ap.grain).min(ap.tiles);
-                        let w = fft_chunk_weight(fft, axis, t0, t1, tp.b);
-                        builder.add_node(tag(KIND_FFT, axis, c, k), w);
-                    }
-                    base
-                })
-                .collect()
-        })
+    // …per-channel per-axis FFT nodes ((entry, writer) bases per axis)…
+    let fft_base: Vec<Vec<(NodeId, NodeId)>> = (0..channels)
+        .map(|c| (0..D).map(|axis| add_axis_nodes(&mut builder, fft, tp, axis, c)).collect())
         .collect();
     // …and gather chunks, shared across channels. Chunk boundaries land on
     // cache-line multiples (`order` is near-identity within a task) and
@@ -432,7 +551,7 @@ pub(crate) fn build_forward<const D: usize>(
     }
 
     // Edges: slab → axis 0, axis k−1 → axis k.
-    let max_writers = nslabs.max((0..D).map(|a| tp.nodes(a)).max().unwrap_or(1));
+    let max_writers = nslabs.max((0..D).map(|a| tp.writer_shards(a)).max().unwrap_or(1));
     let mut stamp = Stamp::new(max_writers);
     for axis in 0..D {
         if axis == 0 {
@@ -445,10 +564,9 @@ pub(crate) fn build_forward<const D: usize>(
                 &mut stamp,
                 |e| e / slab,
                 |c, s| scale_base[c] + s as NodeId,
-                |c, k| fft_base[c][0] + k as NodeId,
+                |c, k| fft_base[c][0].0 + k as NodeId,
             );
         } else {
-            let grain_prev = tp.axes[axis - 1].grain;
             connect_axis_inputs(
                 &mut builder,
                 fft,
@@ -456,20 +574,20 @@ pub(crate) fn build_forward<const D: usize>(
                 axis,
                 channels,
                 &mut stamp,
-                |e| fft.tile_of_element(axis - 1, e, tp.b) / grain_prev,
-                |c, k| fft_base[c][axis - 1] + k as NodeId,
-                |c, k| fft_base[c][axis] + k as NodeId,
+                |e| writer_shard_of(fft, tp, axis - 1, e),
+                |c, k| fft_base[c][axis - 1].1 + k as NodeId,
+                |c, k| fft_base[c][axis].0 + k as NodeId,
             );
         }
     }
 
     // Edges: last-axis FFT → gather. A task's chunks read its halo box, so
-    // they depend on the last-axis chunks containing the box's rows — in
-    // every channel (one gather chunk writes all channels' outputs).
+    // they depend on the last-axis writer shards containing the box's rows —
+    // in every channel (one gather chunk writes all channels' outputs).
     let last = D - 1;
     let grain_last = tp.axes[last].grain;
     let mut dep_chunks: Vec<u32> = Vec::new();
-    let mut task_stamp = Stamp::new(tp.nodes(last));
+    let mut task_stamp = Stamp::new(tp.writer_shards(last));
     for t in 0..pre.graph.len() {
         if task_chunks[t].is_empty() {
             continue;
@@ -477,17 +595,29 @@ pub(crate) fn build_forward<const D: usize>(
         task_stamp.next();
         dep_chunks.clear();
         let (lo, len) = task_box(pre, &geo.m, wc, t);
-        for_each_box_run(&geo.m, &gs, &lo, &len, |start, _len| {
-            // A last-dimension run lies within one last-axis line = tile.
-            let chunk = fft.tile_of_element(last, start, tp.b) / grain_last;
-            if task_stamp.hit(chunk) {
-                dep_chunks.push(chunk as u32);
+        for_each_box_run(&geo.m, &gs, &lo, &len, |start, rlen| {
+            if tp.axes[last].shards.is_some() {
+                // Four-step k-blocks stripe a line, so a contiguous run can
+                // cross writer shards: resolve per element.
+                for e in start..start + rlen {
+                    let shard = writer_shard_of(fft, tp, last, e);
+                    if task_stamp.hit(shard) {
+                        dep_chunks.push(shard as u32);
+                    }
+                }
+            } else {
+                // A last-dimension run lies within one last-axis line = tile.
+                let chunk = fft.tile_of_element(last, start, tp.b) / grain_last;
+                if task_stamp.hit(chunk) {
+                    dep_chunks.push(chunk as u32);
+                }
             }
         });
         for g in task_chunks[t].clone() {
             for &dep in &dep_chunks {
                 for c in 0..channels {
-                    builder.add_edge(fft_base[c][last] + dep as NodeId, gather_base + g as NodeId);
+                    builder
+                        .add_edge(fft_base[c][last].1 + dep as NodeId, gather_base + g as NodeId);
                 }
             }
         }
@@ -540,23 +670,9 @@ pub(crate) fn build_adjoint<const D: usize>(
             conv_shared.push(builder.add_node(tag(KIND_CONV, 0, 0, t), samples * W_SAMPLE));
         }
     }
-    // …per-channel per-axis FFT chunks…
-    let fft_base: Vec<Vec<NodeId>> = (0..channels)
-        .map(|c| {
-            (0..D)
-                .map(|axis| {
-                    let base = builder.len() as NodeId;
-                    let ap = &tp.axes[axis];
-                    for k in 0..tp.nodes(axis) {
-                        let t0 = k * ap.grain;
-                        let t1 = (t0 + ap.grain).min(ap.tiles);
-                        let w = fft_chunk_weight(fft, axis, t0, t1, tp.b);
-                        builder.add_node(tag(KIND_FFT, axis, c, k), w);
-                    }
-                    base
-                })
-                .collect()
-        })
+    // …per-channel per-axis FFT nodes ((entry, writer) bases per axis)…
+    let fft_base: Vec<Vec<(NodeId, NodeId)>> = (0..channels)
+        .map(|c| (0..D).map(|axis| add_axis_nodes(&mut builder, fft, tp, axis, c)).collect())
         .collect();
     // …and per-channel extract chunks.
     let extract_base: Vec<NodeId> = (0..channels)
@@ -585,7 +701,7 @@ pub(crate) fn build_adjoint<const D: usize>(
     let grain0 = tp.axes[0].grain;
     let stride0 = fft.axis_stride(0);
     let mut slab_stamp = Stamp::new(nslabs);
-    let mut chunk_stamp = Stamp::new(tp.nodes(0));
+    let mut chunk_stamp = Stamp::new(tp.entry_shards(0));
     let mut dep_chunks: Vec<u32> = Vec::new();
     for t in 0..graph.len() {
         slab_stamp.next();
@@ -598,35 +714,45 @@ pub(crate) fn build_adjoint<const D: usize>(
                     builder.add_edge(zero_base + s as NodeId, conv_shared[t]);
                 }
             }
-            // Axis-0 tiles of a last-dim run are contiguous (the run stays
-            // within one outer block and one inner window — see
-            // tile_of_element); stride-1 axis 0 means D == 1 and one line.
-            let (t_first, t_last) = if stride0 == 1 {
-                (fft.tile_of_element(0, start, tp.b), fft.tile_of_element(0, start, tp.b))
+            if tp.axes[0].shards.is_some() {
+                // Four-step column groups decimate a line, so a contiguous
+                // run can cross entry shards: resolve per element.
+                for e in start..start + rlen {
+                    let shard = entry_shard_of(fft, tp, 0, e);
+                    if chunk_stamp.hit(shard) {
+                        dep_chunks.push(shard as u32);
+                    }
+                }
             } else {
-                (
-                    fft.tile_of_element(0, start, tp.b),
-                    fft.tile_of_element(0, start + rlen - 1, tp.b),
-                )
-            };
-            for chunk in t_first / grain0..=t_last / grain0 {
-                if chunk_stamp.hit(chunk) {
-                    dep_chunks.push(chunk as u32);
+                // Axis-0 tiles of a last-dim run are contiguous (the run
+                // stays within one outer block and one inner window — see
+                // tile_of_element); stride-1 axis 0 means D == 1, one line.
+                let (t_first, t_last) = if stride0 == 1 {
+                    (fft.tile_of_element(0, start, tp.b), fft.tile_of_element(0, start, tp.b))
+                } else {
+                    (
+                        fft.tile_of_element(0, start, tp.b),
+                        fft.tile_of_element(0, start + rlen - 1, tp.b),
+                    )
+                };
+                for chunk in t_first / grain0..=t_last / grain0 {
+                    if chunk_stamp.hit(chunk) {
+                        dep_chunks.push(chunk as u32);
+                    }
                 }
             }
         });
         for &chunk in &dep_chunks {
             for c in 0..channels {
-                builder.add_edge(conv_shared[t], fft_base[c][0] + chunk as NodeId);
+                builder.add_edge(conv_shared[t], fft_base[c][0].0 + chunk as NodeId);
             }
         }
     }
 
     // Edges: axis k−1 → axis k.
-    let max_writers = (0..D).map(|a| tp.nodes(a)).max().unwrap_or(1);
+    let max_writers = (0..D).map(|a| tp.writer_shards(a)).max().unwrap_or(1);
     let mut stamp = Stamp::new(max_writers);
     for axis in 1..D {
-        let grain_prev = tp.axes[axis - 1].grain;
         connect_axis_inputs(
             &mut builder,
             fft,
@@ -634,17 +760,16 @@ pub(crate) fn build_adjoint<const D: usize>(
             axis,
             channels,
             &mut stamp,
-            |e| fft.tile_of_element(axis - 1, e, tp.b) / grain_prev,
-            |c, k| fft_base[c][axis - 1] + k as NodeId,
-            |c, k| fft_base[c][axis] + k as NodeId,
+            |e| writer_shard_of(fft, tp, axis - 1, e),
+            |c, k| fft_base[c][axis - 1].1 + k as NodeId,
+            |c, k| fft_base[c][axis].0 + k as NodeId,
         );
     }
 
     // Edges: last-axis FFT → extract. An image chunk reads the wrapped
     // embed positions of its flat range.
     let last = D - 1;
-    let grain_last = tp.axes[last].grain;
-    let mut ex_stamp = Stamp::new(tp.nodes(last));
+    let mut ex_stamp = Stamp::new(tp.writer_shards(last));
     for k in 0..nchunks {
         ex_stamp.next();
         let lo = k * img_chunk;
@@ -655,11 +780,11 @@ pub(crate) fn build_adjoint<const D: usize>(
                 let wrapped = (idx[d] + geo.m[d] - geo.n[d] / 2) % geo.m[d];
                 g += wrapped * gs[d];
             }
-            let chunk = fft.tile_of_element(last, g, tp.b) / grain_last;
-            if ex_stamp.hit(chunk) {
+            let shard = writer_shard_of(fft, tp, last, g);
+            if ex_stamp.hit(shard) {
                 for c in 0..channels {
                     builder.add_edge(
-                        fft_base[c][last] + chunk as NodeId,
+                        fft_base[c][last].1 + shard as NodeId,
                         extract_base[c] + k as NodeId,
                     );
                 }

@@ -42,13 +42,14 @@ use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
 use crate::scale::build_scale;
 use crate::tasks::{preprocess, Preprocess, PreprocessConfig, SortMode};
 use crate::windows::{WindowMode, WindowSource, WindowTable};
-use nufft_fft::{Direction, FftNd};
+use nufft_fft::{Direction, FftNd, FftStrategy};
 use nufft_math::Complex32;
 use nufft_parallel::exec::{
     DagScratch, ExecBackend, Executor, GraphScratch, JobPriority, RunStats, TaskPhase, TaskRecord,
 };
 use nufft_parallel::graph::{Dag, QueuePolicy, TaskGraph};
 use nufft_parallel::scratch::WorkerLocal;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -125,6 +126,16 @@ pub struct NufftConfig {
     /// `High` 2D forward keeps progressing under a `Low` 3D adjoint flood.
     /// Ignored by [`ExecBackend::SpawnPerCall`] (one job at a time there).
     pub admission: JobPriority,
+    /// Per-axis FFT execution strategy: `Auto` (default) runs the four-step
+    /// (sub-FFT + cache-blocked transpose) decomposition on axes whose
+    /// lines exceed [`NufftConfig::fft_llc_budget`] and the recursive path
+    /// otherwise; `Recursive`/`FourStep` force one path on every (eligible)
+    /// axis. Output is bitwise-identical across strategies.
+    pub fft_strategy: FftStrategy,
+    /// The `Auto` threshold in bytes: an axis whose single line of complex
+    /// data exceeds this budget (nominally the per-core LLC share) runs
+    /// four-step.
+    pub fft_llc_budget: usize,
 }
 
 impl Default for NufftConfig {
@@ -145,6 +156,8 @@ impl Default for NufftConfig {
             window_mode: WindowMode::OnTheFly,
             exec_mode: ExecMode::Fused,
             admission: JobPriority::Normal,
+            fft_strategy: FftStrategy::Auto,
+            fft_llc_budget: nufft_fft::DEFAULT_LLC_BUDGET,
         }
     }
 }
@@ -165,6 +178,28 @@ pub struct OpTimers {
     pub conv: f64,
     /// End-to-end operator time.
     pub total: f64,
+    /// Four-step sub-FFT pass portion of `fft` (wall-clock span; zero when
+    /// every axis runs the recursive path).
+    pub fft_sub: f64,
+    /// Four-step transpose-and-combine pass portion of `fft` (wall-clock
+    /// span; zero when every axis runs the recursive path).
+    pub fft_transpose: f64,
+    /// CPU-seconds summed across workers inside the combine pass's fused
+    /// twiddle/gather sweep — the transpose-read half of `fft_transpose`,
+    /// isolating the hoisted twiddle multiply from the in-cache butterflies.
+    pub fft_twiddle: f64,
+}
+
+/// Per-kind FFT timing split of one phased `fft_parallel` call, summed
+/// over axes (seconds; all zero on a recursive-only plan).
+#[derive(Clone, Copy, Debug, Default)]
+struct FftSplit {
+    /// Wall time of the sub-FFT dispatches.
+    sub: f64,
+    /// Wall time of the transpose-and-combine dispatches.
+    transpose: f64,
+    /// Worker CPU-seconds inside the combine gather/twiddle sweeps.
+    twiddle: f64,
 }
 
 /// Raw-pointer wrapper for disjoint-region writes from worker threads.
@@ -221,6 +256,10 @@ pub struct NufftPlan<const D: usize> {
     graph_scratch: GraphScratch,
     /// Per-worker FFT tile scratch, sized once at plan build.
     fft_scratch: WorkerLocal<Vec<Complex32>>,
+    /// Four-step intermediate spectrum buffer (`fs`): one grid-sized region
+    /// per concurrent channel, empty when every axis runs the recursive
+    /// path. Plan-owned so steady-state applies stay allocation-free.
+    fs_scratch: Vec<Complex32>,
     /// Reusable pointer staging for the batched operators.
     ptr_scratch: Vec<SendPtr<Complex32>>,
     /// Second staging vector for operators that need two pointer sets at
@@ -361,7 +400,7 @@ impl<const D: usize> NufftPlan<D> {
         }
         let kernel = InterpKernel::of(cfg.kernel, cfg.w, cfg.alpha, cfg.lut_density);
         let scale = build_scale(&geo, &kernel);
-        let fft = FftNd::new(&geo.m);
+        let fft = FftNd::with_strategy(&geo.m, cfg.fft_strategy, cfg.fft_llc_budget);
         let threads = cfg.threads.max(1);
 
         let partitions = cfg.partitions_per_dim.unwrap_or_else(|| {
@@ -421,6 +460,11 @@ impl<const D: usize> NufftPlan<D> {
         let tile_b = tile_plan.b;
         let fft_scratch =
             WorkerLocal::new(threads, |_| vec![Complex32::ZERO; fft.batch_scratch_len(tile_b)]);
+        // One grid-sized region **per four-step axis** (see
+        // `FftNd::fs_slots`): the fused DAG lets a later axis's sub-FFT
+        // shards start while an earlier axis's combine shards still read
+        // their sub-spectra, so axes may not share a region.
+        let fs_scratch = vec![Complex32::ZERO; geo.grid_len() * fft.fs_slots()];
 
         let grid = vec![Complex32::ZERO; geo.grid_len()];
         NufftPlan {
@@ -441,6 +485,7 @@ impl<const D: usize> NufftPlan<D> {
             windows,
             graph_scratch: GraphScratch::new(),
             fft_scratch,
+            fs_scratch,
             ptr_scratch: Vec::new(),
             ptr_scratch2: Vec::new(),
             tile_plan,
@@ -642,6 +687,7 @@ impl<const D: usize> NufftPlan<D> {
             let grid_ptrs = [SendPtr(self.grid.as_mut_ptr())];
             let out_ptrs = [SendPtr(out.as_mut_ptr())];
             let images = [image];
+            let twiddle_ns = AtomicU64::new(0);
             {
                 let Self {
                     cfg,
@@ -650,6 +696,7 @@ impl<const D: usize> NufftPlan<D> {
                     pre,
                     fft,
                     fft_scratch,
+                    fs_scratch,
                     scale,
                     dag_scratch,
                     tile_plan,
@@ -681,9 +728,15 @@ impl<const D: usize> NufftPlan<D> {
                     &images,
                     &grid_ptrs,
                     &out_ptrs,
+                    SendPtr(fs_scratch.as_mut_ptr()),
+                    &twiddle_ns,
                 );
             }
-            self.last_forward = Self::fused_forward_timers(self.dag_scratch.stats(), t_start);
+            self.last_forward = Self::fused_forward_timers(
+                self.dag_scratch.stats(),
+                t_start,
+                twiddle_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            );
             self.trace_fused(false);
             return;
         }
@@ -696,9 +749,10 @@ impl<const D: usize> NufftPlan<D> {
 
         // Phase 2: oversampled FFT (lines parallelized per axis).
         let t0 = Instant::now();
-        Self::fft_parallel(
+        let split = Self::fft_parallel(
             &self.fft,
             &mut self.grid,
+            &mut self.fs_scratch,
             &self.exec,
             &self.fft_scratch,
             &self.tile_plan,
@@ -725,6 +779,9 @@ impl<const D: usize> NufftPlan<D> {
             fft: fft_t,
             conv: conv_t,
             total: t_start.elapsed().as_secs_f64(),
+            fft_sub: split.sub,
+            fft_transpose: split.transpose,
+            fft_twiddle: split.twiddle,
         };
     }
 
@@ -745,6 +802,7 @@ impl<const D: usize> NufftPlan<D> {
             let grid_ptrs = [SendPtr(self.grid.as_mut_ptr())];
             let out_ptrs = [SendPtr(out.as_mut_ptr())];
             let samples_by_channel = [samples];
+            let twiddle_ns = AtomicU64::new(0);
             {
                 let Self {
                     cfg,
@@ -753,6 +811,7 @@ impl<const D: usize> NufftPlan<D> {
                     pre,
                     fft,
                     fft_scratch,
+                    fs_scratch,
                     scale,
                     dag_scratch,
                     tile_plan,
@@ -788,6 +847,8 @@ impl<const D: usize> NufftPlan<D> {
                     buf_of_task,
                     &samples_by_channel,
                     &out_ptrs,
+                    SendPtr(fs_scratch.as_mut_ptr()),
+                    &twiddle_ns,
                 );
             }
             Self::synth_conv_stats(
@@ -796,7 +857,11 @@ impl<const D: usize> NufftPlan<D> {
                 self.pre.canonical_revisits,
             );
             self.stats_source = StatsSource::Fused;
-            self.last_adjoint = Self::fused_adjoint_timers(self.dag_scratch.stats(), t_start);
+            self.last_adjoint = Self::fused_adjoint_timers(
+                self.dag_scratch.stats(),
+                t_start,
+                twiddle_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            );
             self.trace_fused(true);
             return;
         }
@@ -809,9 +874,10 @@ impl<const D: usize> NufftPlan<D> {
 
         // Phase 2: unnormalized backward FFT (the exact FFT adjoint).
         let t0 = Instant::now();
-        Self::fft_parallel(
+        let split = Self::fft_parallel(
             &self.fft,
             &mut self.grid,
+            &mut self.fs_scratch,
             &self.exec,
             &self.fft_scratch,
             &self.tile_plan,
@@ -829,6 +895,9 @@ impl<const D: usize> NufftPlan<D> {
             fft: fft_t,
             conv: conv_t,
             total: t_start.elapsed().as_secs_f64(),
+            fft_sub: split.sub,
+            fft_transpose: split.transpose,
+            fft_twiddle: split.twiddle,
         };
     }
 
@@ -865,6 +934,7 @@ impl<const D: usize> NufftPlan<D> {
             self.ptr_scratch2.clear();
             self.ptr_scratch2
                 .extend(self.batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())));
+            let twiddle_ns = AtomicU64::new(0);
             {
                 let Self {
                     cfg,
@@ -873,6 +943,7 @@ impl<const D: usize> NufftPlan<D> {
                     pre,
                     fft,
                     fft_scratch,
+                    fs_scratch,
                     scale,
                     dag_scratch,
                     tile_plan,
@@ -906,6 +977,8 @@ impl<const D: usize> NufftPlan<D> {
                     images,
                     ptr_scratch2,
                     ptr_scratch,
+                    SendPtr(fs_scratch.as_mut_ptr()),
+                    &twiddle_ns,
                 );
             }
             self.trace_fused(false);
@@ -919,6 +992,7 @@ impl<const D: usize> NufftPlan<D> {
             Self::fft_parallel(
                 &self.fft,
                 grid,
+                &mut self.fs_scratch,
                 &self.exec,
                 &self.fft_scratch,
                 &self.tile_plan,
@@ -969,6 +1043,7 @@ impl<const D: usize> NufftPlan<D> {
                 .extend(self.batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())));
             self.ptr_scratch2.clear();
             self.ptr_scratch2.extend(outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())));
+            let twiddle_ns = AtomicU64::new(0);
             {
                 let Self {
                     cfg,
@@ -977,6 +1052,7 @@ impl<const D: usize> NufftPlan<D> {
                     pre,
                     fft,
                     fft_scratch,
+                    fs_scratch,
                     scale,
                     dag_scratch,
                     tile_plan,
@@ -1014,6 +1090,8 @@ impl<const D: usize> NufftPlan<D> {
                     buf_of_task,
                     samples,
                     ptr_scratch2,
+                    SendPtr(fs_scratch.as_mut_ptr()),
+                    &twiddle_ns,
                 );
             }
             Self::synth_conv_stats(
@@ -1074,6 +1152,7 @@ impl<const D: usize> NufftPlan<D> {
             Self::fft_parallel(
                 &self.fft,
                 grid,
+                &mut self.fs_scratch,
                 &self.exec,
                 &self.fft_scratch,
                 &self.tile_plan,
@@ -1098,6 +1177,19 @@ impl<const D: usize> NufftPlan<D> {
                 buf.resize(channels * len, Complex32::ZERO);
             }
             self.priv_channels = channels;
+        }
+    }
+
+    /// Grows the four-step `fs` intermediate buffer to `channels`
+    /// concurrent copies of its per-axis slot set (no-op on recursive-only
+    /// plans — the buffer stays empty — or when already large enough).
+    fn ensure_fs_scratch(&mut self, channels: usize) {
+        if self.fs_scratch.is_empty() {
+            return;
+        }
+        let need = self.geo.grid_len() * self.fft.fs_slots() * channels;
+        if self.fs_scratch.len() < need {
+            self.fs_scratch.resize(need, Complex32::ZERO);
         }
     }
 
@@ -1344,18 +1436,81 @@ impl<const D: usize> NufftPlan<D> {
     /// axis, sharded over the executor. The tile/grain decomposition comes
     /// from the plan-owned [`TilePlan`] and tile scratch from the plan's
     /// per-worker arena — no computation or allocation at apply time.
+    ///
+    /// A four-step axis runs as two dispatches over finer shards — tile ×
+    /// column-group sub-FFTs into `fs`, then tile × k-block combines back —
+    /// with the join between them standing in for the fused graph's
+    /// sub → combine edges. Returns the per-kind timing split (zeros on a
+    /// recursive-only plan).
     fn fft_parallel(
         fft: &FftNd,
         data: &mut [Complex32],
+        fs: &mut [Complex32],
         exec: &Executor,
         scratch: &WorkerLocal<Vec<Complex32>>,
         tp: &TilePlan,
         dir: Direction,
-    ) {
+    ) -> FftSplit {
         let base = SendPtr(data.as_mut_ptr());
         let b = tp.b;
+        let mut split = FftSplit::default();
         for axis in 0..fft.shape().len() {
             let ap = tp.axes[axis];
+            if let Some((colg, kbg)) = ap.shards {
+                debug_assert!(fs.len() >= fft.len(), "fs scratch not sized for four-step");
+                let fsp = SendPtr(fs.as_mut_ptr());
+                let t0 = Instant::now();
+                exec.parallel_for_aligned(ap.tiles * colg, ap.grain, tp.align, |range, w| {
+                    // SAFETY: the executor guarantees worker `w` is the only
+                    // thread using slot `w` during this dispatch.
+                    let scratch = unsafe { scratch.get(w) };
+                    for i in range {
+                        // SAFETY: distinct (tile, column-group) shards read
+                        // and write disjoint regions.
+                        unsafe {
+                            fft.fs_sub_pass_raw(
+                                base.get(),
+                                fsp.get(),
+                                axis,
+                                i / colg,
+                                i % colg,
+                                b,
+                                scratch,
+                                dir,
+                            )
+                        };
+                    }
+                });
+                split.sub += t0.elapsed().as_secs_f64();
+                let twiddle_ns = AtomicU64::new(0);
+                let t0 = Instant::now();
+                exec.parallel_for_aligned(ap.tiles * kbg, ap.grain, tp.align, |range, w| {
+                    // SAFETY: as above.
+                    let scratch = unsafe { scratch.get(w) };
+                    let mut tw = 0.0;
+                    for i in range {
+                        // SAFETY: distinct (tile, k-block) shards touch
+                        // disjoint regions; every sub pass completed at the
+                        // join of the previous dispatch.
+                        tw += unsafe {
+                            fft.fs_combine_pass_raw(
+                                fsp.get(),
+                                base.get(),
+                                axis,
+                                i / kbg,
+                                i % kbg,
+                                b,
+                                scratch,
+                                dir,
+                            )
+                        };
+                    }
+                    twiddle_ns.fetch_add((tw * 1e9) as u64, Ordering::Relaxed);
+                });
+                split.transpose += t0.elapsed().as_secs_f64();
+                split.twiddle += twiddle_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+                continue;
+            }
             // Tile-chunk boundaries rounded to a full cache line of complex
             // elements keep two workers off the same line of line-starts.
             exec.parallel_for_aligned(ap.tiles, ap.grain, tp.align, |range, w| {
@@ -1370,6 +1525,7 @@ impl<const D: usize> NufftPlan<D> {
                 }
             });
         }
+        split
     }
 
     /// Builds (or finds the cached) fused graph for one direction and
@@ -1377,6 +1533,7 @@ impl<const D: usize> NufftPlan<D> {
     /// per `(direction, C)` over a plan's lifetime, so warmed-up applies
     /// stay allocation-free.
     fn ensure_fused(&mut self, adjoint: bool, channels: usize) -> usize {
+        self.ensure_fs_scratch(channels);
         let cache = if adjoint { &self.fused_adj } else { &self.fused_fwd };
         if let Some(i) = cache.iter().position(|(c, _)| *c == channels) {
             return i;
@@ -1410,6 +1567,73 @@ impl<const D: usize> NufftPlan<D> {
         cache.len() - 1
     }
 
+    /// Executes one fused four-step shard ([`fused::KIND_FFT_SUB`] or
+    /// [`fused::KIND_FFT_TRN`]): the pass over the node's tile-chunk run,
+    /// against channel `c`'s grid and its region of the plan-owned `fs`
+    /// buffer. Shared by the forward and adjoint dispatchers.
+    #[allow(clippy::too_many_arguments)]
+    fn run_fourstep_shard(
+        tag: u64,
+        tp: &TilePlan,
+        fft: &FftNd,
+        fft_scratch: &WorkerLocal<Vec<Complex32>>,
+        grid_ptrs: &[SendPtr<Complex32>],
+        fs: SendPtr<Complex32>,
+        grid_len: usize,
+        twiddle_ns: &AtomicU64,
+        w: usize,
+        dir: Direction,
+    ) {
+        let axis = fused::axis_of(tag);
+        let c = fused::channel_of(tag);
+        let ap = tp.axes[axis];
+        let (colg, kbg) = ap.shards.expect("four-step node on a recursive axis");
+        let idx = fused::index_of(tag);
+        // SAFETY: worker `w` owns scratch slot `w` while this node runs.
+        let scratch = unsafe { fft_scratch.get(w) };
+        // SAFETY: `ensure_fs_scratch` sized `fs` to `fs_slots()` grids per
+        // channel; each four-step axis owns a slot so a later axis's sub
+        // shards never overwrite spectra an earlier axis's combine shards
+        // are still reading.
+        let fsp = unsafe { fs.get().add((c * fft.fs_slots() + fft.fs_slot(axis)) * grid_len) };
+        if fused::kind_of(tag) == fused::KIND_FFT_SUB {
+            let (chunk, cg) = (idx / colg, idx % colg);
+            let t0 = chunk * ap.grain;
+            let t1 = (t0 + ap.grain).min(ap.tiles);
+            for tile in t0..t1 {
+                // SAFETY: distinct (tile, column-group) shards read and
+                // write disjoint regions; graph edges order this node after
+                // every writer of its read set.
+                unsafe {
+                    fft.fs_sub_pass_raw(grid_ptrs[c].get(), fsp, axis, tile, cg, tp.b, scratch, dir)
+                };
+            }
+        } else {
+            let (chunk, kblock) = (idx / kbg, idx % kbg);
+            let t0 = chunk * ap.grain;
+            let t1 = (t0 + ap.grain).min(ap.tiles);
+            let mut tw = 0.0;
+            for tile in t0..t1 {
+                // SAFETY: distinct (tile, k-block) shards touch disjoint
+                // regions; the chunk's sub shards are all edge-ordered
+                // before this node.
+                tw += unsafe {
+                    fft.fs_combine_pass_raw(
+                        fsp,
+                        grid_ptrs[c].get(),
+                        axis,
+                        tile,
+                        kblock,
+                        tp.b,
+                        scratch,
+                        dir,
+                    )
+                };
+            }
+            twiddle_ns.fetch_add((tw * 1e9) as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Executes a fused forward graph: scale slabs, FFT tile chunks and
     /// gather chunks dispatched as one DAG. Every node body is the same
     /// code the phased drivers run over the same decomposition, so the
@@ -1431,6 +1655,8 @@ impl<const D: usize> NufftPlan<D> {
         images: &[&[Complex32]],
         grid_ptrs: &[SendPtr<Complex32>],
         out_ptrs: &[SendPtr<Complex32>],
+        fs: SendPtr<Complex32>,
+        twiddle_ns: &AtomicU64,
     ) {
         let channels = grid_ptrs.len();
         let grid_len = geo.grid_len();
@@ -1474,6 +1700,20 @@ impl<const D: usize> NufftPlan<D> {
                             )
                         };
                     }
+                }
+                fused::KIND_FFT_SUB | fused::KIND_FFT_TRN => {
+                    Self::run_fourstep_shard(
+                        tag,
+                        tp,
+                        fft,
+                        fft_scratch,
+                        grid_ptrs,
+                        fs,
+                        grid_len,
+                        twiddle_ns,
+                        w,
+                        Direction::Forward,
+                    );
                 }
                 fused::KIND_GATHER => {
                     let (lo, hi) = fa.chunks[fused::index_of(tag)];
@@ -1550,6 +1790,8 @@ impl<const D: usize> NufftPlan<D> {
         buf_of_task: &[u32],
         samples: &[&[Complex32]],
         out_ptrs: &[SendPtr<Complex32>],
+        fs: SendPtr<Complex32>,
+        twiddle_ns: &AtomicU64,
     ) {
         let channels = grid_ptrs.len();
         let grid_len = geo.grid_len();
@@ -1652,6 +1894,20 @@ impl<const D: usize> NufftPlan<D> {
                         };
                     }
                 }
+                fused::KIND_FFT_SUB | fused::KIND_FFT_TRN => {
+                    Self::run_fourstep_shard(
+                        tag,
+                        tp,
+                        fft,
+                        fft_scratch,
+                        grid_ptrs,
+                        fs,
+                        grid_len,
+                        twiddle_ns,
+                        w,
+                        Direction::Backward,
+                    );
+                }
                 fused::KIND_EXTRACT => {
                     let c = fused::channel_of(tag);
                     let lo = fused::index_of(tag) * fa.img_chunk;
@@ -1680,12 +1936,18 @@ impl<const D: usize> NufftPlan<D> {
     fn fused_forward_timers(
         stats: &nufft_parallel::exec::DagRunStats,
         t_start: Instant,
+        twiddle: f64,
     ) -> OpTimers {
         OpTimers {
             scale: fused::kind_span(stats, |k| k == fused::KIND_SCALE),
-            fft: fused::kind_span(stats, |k| k == fused::KIND_FFT),
+            fft: fused::kind_span(stats, |k| {
+                matches!(k, fused::KIND_FFT | fused::KIND_FFT_SUB | fused::KIND_FFT_TRN)
+            }),
             conv: fused::kind_span(stats, |k| k == fused::KIND_GATHER),
             total: t_start.elapsed().as_secs_f64(),
+            fft_sub: fused::kind_span(stats, |k| k == fused::KIND_FFT_SUB),
+            fft_transpose: fused::kind_span(stats, |k| k == fused::KIND_FFT_TRN),
+            fft_twiddle: twiddle,
         }
     }
 
@@ -1694,10 +1956,13 @@ impl<const D: usize> NufftPlan<D> {
     fn fused_adjoint_timers(
         stats: &nufft_parallel::exec::DagRunStats,
         t_start: Instant,
+        twiddle: f64,
     ) -> OpTimers {
         OpTimers {
             scale: fused::kind_span(stats, |k| k == fused::KIND_EXTRACT),
-            fft: fused::kind_span(stats, |k| k == fused::KIND_FFT),
+            fft: fused::kind_span(stats, |k| {
+                matches!(k, fused::KIND_FFT | fused::KIND_FFT_SUB | fused::KIND_FFT_TRN)
+            }),
             conv: fused::kind_span(stats, |k| {
                 matches!(
                     k,
@@ -1705,6 +1970,9 @@ impl<const D: usize> NufftPlan<D> {
                 )
             }),
             total: t_start.elapsed().as_secs_f64(),
+            fft_sub: fused::kind_span(stats, |k| k == fused::KIND_FFT_SUB),
+            fft_transpose: fused::kind_span(stats, |k| k == fused::KIND_FFT_TRN),
+            fft_twiddle: twiddle,
         }
     }
 

@@ -62,6 +62,14 @@ pub struct PlanKey<const D: usize> {
     /// unsorted plans lay out windows/coords differently and must never
     /// alias, even though their outputs are bitwise-identical.
     pub sort: SortMode,
+    /// `NufftConfig::fft_strategy` as declared: a forced-four-step plan
+    /// owns an `fs` transpose buffer and a differently sharded fused DAG,
+    /// so it must never alias a recursive plan of the same geometry even
+    /// though the two are bitwise-identical in output.
+    pub fft_strategy: nufft_fft::FftStrategy,
+    /// `NufftConfig::fft_llc_budget` — under `Auto` the budget decides
+    /// which axes go four-step, so it is plan-shaping state too.
+    pub fft_llc_budget: usize,
 }
 
 /// FNV-1a over the trajectory's coordinate bit patterns, folding each
@@ -168,6 +176,8 @@ impl<const D: usize> PlanRegistry<D> {
             traj_fp: traj_fingerprint(traj),
             traj_len: traj.len(),
             sort: self.cfg.sort,
+            fft_strategy: self.cfg.fft_strategy,
+            fft_llc_budget: self.cfg.fft_llc_budget,
         }
     }
 

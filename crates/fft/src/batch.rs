@@ -21,9 +21,15 @@
 //! proptest_fft.rs` pins this under every ISA override.
 
 use crate::butterflies::{bfly2, bfly3, bfly4, bfly5, bfly_generic, MAX_RADIX};
-use crate::plan::{BwdTables, Direction, Fft, Stage, MIN_SIMD_M};
+use crate::plan::{Direction, Fft, Stage, MIN_SIMD_M};
 use nufft_math::Complex32;
 use nufft_simd::fft_rows;
+
+/// Backward-direction twiddle/root tables for a stage slice, indexed
+/// parallel to the `stages` passed to [`recurse`]. Callers running a stage
+/// *suffix* (the four-step sub-FFT pass) slice the plan's full tables with
+/// the same offset, so `twiddles[level]` always matches `stages[level]`.
+pub(crate) type BwdView<'a> = (&'a [Vec<Complex32>], &'a [Vec<Complex32>]);
 
 /// Transforms `b` interleaved lines held in `tile` (layout `[j·b + lane]`,
 /// `tile.len() == plan.len()·b`) in place. `work` is scratch of the same
@@ -46,16 +52,23 @@ pub(crate) fn transform_tile(
     work.copy_from_slice(tile);
     let bwd = match dir {
         Direction::Forward => None,
-        Direction::Backward => Some(plan.bwd_tables()),
+        Direction::Backward => {
+            let t = plan.bwd_tables();
+            Some((&t.twiddles[..], &t.roots[..]))
+        }
     };
     recurse(plan.stages(), 0, work, 0, 1, tile, b, bwd);
 }
 
 /// Decimation-in-time recursion over a `b`-line tile: the exact structure of
 /// `Fft::recurse` with every element index scaled by `b` (line-interleaved
-/// layout) and the combine loop running across lanes.
+/// layout) and the combine loop running across lanes. Exposed crate-wide so
+/// the four-step path (`crate::fourstep`) can run a stage *suffix* — the
+/// greedy factorizer guarantees `stages[j..]` is exactly the stage list of a
+/// plan for the suffix length, so the sub-FFT pass reuses these kernels
+/// unchanged.
 #[allow(clippy::too_many_arguments)]
-fn recurse(
+pub(crate) fn recurse(
     stages: &[Stage],
     level: usize,
     src: &[Complex32],
@@ -63,7 +76,7 @@ fn recurse(
     stride: usize,
     dst: &mut [Complex32],
     b: usize,
-    bwd: Option<&BwdTables>,
+    bwd: Option<BwdView<'_>>,
 ) {
     if level == stages.len() {
         debug_assert_eq!(dst.len(), b);
@@ -91,7 +104,7 @@ fn recurse(
     let forward = bwd.is_none();
     let tw = match bwd {
         None => &stage.twiddles[..],
-        Some(t) => &t.twiddles[level][..],
+        Some((tws, _)) => &tws[level][..],
     };
     match r {
         2 if m >= MIN_SIMD_M => {
@@ -109,7 +122,7 @@ fn recurse(
         _ => {
             let roots = match bwd {
                 None => &stage.roots[..],
-                Some(t) => &t.roots[level][..],
+                Some((_, rts)) => &rts[level][..],
             };
             let sign = if forward { -1.0f32 } else { 1.0 };
             let mut t = [Complex32::ZERO; MAX_RADIX];

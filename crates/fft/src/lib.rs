@@ -12,6 +12,10 @@
 //!   transforms, executed in SIMD-friendly tiles of adjacent lines for
 //!   strided axes, with raw per-tile/per-line entry points that
 //!   `nufft-core` uses to parallelize work across the task pool;
+//! * [`FftStrategy`] — per-plan choice between the depth-first recursive
+//!   path and the four-step (Bailey) decomposition of [`fourstep`], whose
+//!   sub-FFT + cache-blocked-transpose sweeps keep out-of-LLC axis lines
+//!   bandwidth-friendly while staying bit-identical to the recursive path;
 //! * [`shift`] — `fftshift` / index "chopping" utilities (§II-B of the
 //!   paper);
 //! * [`naive`] — `O(n²)` reference DFTs in `f64`, the oracle for every FFT
@@ -26,6 +30,7 @@
 // at once; clippy's iterator suggestion would obscure that.
 #![allow(clippy::needless_range_loop)]
 
+pub mod fourstep;
 pub mod naive;
 pub mod ndim;
 pub mod plan;
@@ -35,5 +40,6 @@ mod batch;
 mod bluestein;
 mod butterflies;
 
+pub use fourstep::{FftStrategy, DEFAULT_LLC_BUDGET};
 pub use ndim::FftNd;
 pub use plan::{Direction, Fft};

@@ -12,6 +12,7 @@
 //! across its worker pool — the plan itself is `Sync`, and the tiles (and
 //! lines) of one axis are pairwise disjoint.
 
+use crate::fourstep::{FftStrategy, FourStep, DEFAULT_LLC_BUDGET};
 use crate::plan::{Direction, Fft};
 use nufft_math::Complex32;
 
@@ -20,19 +21,88 @@ pub struct FftNd {
     shape: Vec<usize>,
     plans: Vec<Fft>,
     len: usize,
+    strategy: FftStrategy,
+    /// Per-axis four-step split; `None` runs the recursive path.
+    splits: Vec<Option<FourStep>>,
 }
 
 impl FftNd {
-    /// Prepares a plan for `shape` (row-major; last axis contiguous).
+    /// Prepares a plan for `shape` (row-major; last axis contiguous) with
+    /// the default [`FftStrategy::Auto`] selection.
     ///
     /// # Panics
     /// Panics if `shape` is empty or any extent is zero.
     pub fn new(shape: &[usize]) -> Self {
+        Self::with_strategy(shape, FftStrategy::Auto, DEFAULT_LLC_BUDGET)
+    }
+
+    /// Prepares a plan with an explicit per-axis execution strategy.
+    /// `llc_budget` (bytes) is the [`FftStrategy::Auto`] threshold: an axis
+    /// whose single line of complex data exceeds it runs four-step. Forced
+    /// [`FftStrategy::FourStep`] applies to every eligible axis regardless
+    /// of size; Bluestein and single-stage axes always stay recursive. Both
+    /// paths are bit-identical at a fixed ISA level, so the strategy is pure
+    /// execution policy.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty or any extent is zero.
+    pub fn with_strategy(shape: &[usize], strategy: FftStrategy, llc_budget: usize) -> Self {
         assert!(!shape.is_empty(), "shape must have at least one axis");
         assert!(shape.iter().all(|&n| n > 0), "all extents must be positive");
-        let plans = shape.iter().map(|&n| Fft::new(n)).collect();
+        let plans: Vec<Fft> = shape.iter().map(|&n| Fft::new(n)).collect();
         let len = shape.iter().product();
-        FftNd { shape: shape.to_vec(), plans, len }
+        let b = Self::batch_width();
+        let splits = shape
+            .iter()
+            .zip(&plans)
+            .map(|(&n, plan)| {
+                let want = match strategy {
+                    FftStrategy::Recursive => false,
+                    FftStrategy::FourStep => true,
+                    FftStrategy::Auto => n * core::mem::size_of::<Complex32>() > llc_budget,
+                };
+                if want {
+                    FourStep::plan(plan, b)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        FftNd { shape: shape.to_vec(), plans, len, strategy, splits }
+    }
+
+    /// The strategy this plan was built with.
+    pub fn strategy(&self) -> FftStrategy {
+        self.strategy
+    }
+
+    /// Whether `axis` runs the four-step (sub-FFT + blocked-transpose)
+    /// path. When false, the axis uses the recursive tile path and none of
+    /// the `fs_*` entry points may be called for it.
+    pub fn axis_fourstep(&self, axis: usize) -> bool {
+        self.splits[axis].is_some()
+    }
+
+    fn split(&self, axis: usize) -> &FourStep {
+        self.splits[axis].as_ref().expect("axis does not use the four-step path")
+    }
+
+    /// Number of four-step axes = number of `fs` scratch slots a caller
+    /// must provision. Each four-step axis needs its **own** `len()`-sized
+    /// region when passes of different axes may overlap (the fused DAG):
+    /// an axis's sub-FFT pass writes `fs` at different element positions
+    /// than it reads the grid, so reusing one region across axes would
+    /// race with the previous axis's combine pass still reading it.
+    pub fn fs_slots(&self) -> usize {
+        self.splits.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The `fs` scratch slot index of a four-step `axis` (its rank among
+    /// the four-step axes); callers offset their scratch by
+    /// `fs_slot(axis) · len()`.
+    pub fn fs_slot(&self, axis: usize) -> usize {
+        debug_assert!(self.axis_fourstep(axis));
+        self.splits[..axis].iter().filter(|s| s.is_some()).count()
     }
 
     /// The row-major shape this plan transforms.
@@ -171,6 +241,338 @@ impl FftNd {
         }
     }
 
+    /// Width (in columns) of one sub-FFT column group of a four-step axis.
+    /// Columns are split into at most four groups per tile so a fused task
+    /// graph gets intra-tile parallelism without exploding node count; on
+    /// the contiguous innermost axis the width is rounded up to a whole
+    /// number of `b`-column batches so no batch straddles a group boundary.
+    pub fn fs_col_group_width(&self, axis: usize, b: usize) -> usize {
+        assert!(b > 0, "batch width must be positive");
+        let p = self.split(axis).p;
+        let g = p.div_ceil(4);
+        if self.axis_stride(axis) == 1 {
+            g.next_multiple_of(b)
+        } else {
+            g
+        }
+    }
+
+    /// Number of sub-FFT column groups per tile of a four-step axis (the
+    /// first-pass shard count).
+    pub fn fs_col_groups(&self, axis: usize, b: usize) -> usize {
+        self.split(axis).p.div_ceil(self.fs_col_group_width(axis, b))
+    }
+
+    /// Number of combine k-blocks per tile of a four-step axis (the
+    /// second-pass shard count).
+    pub fn fs_k_blocks(&self, axis: usize) -> usize {
+        self.split(axis).k_blocks()
+    }
+
+    /// The sub-FFT column group of `axis` that *reads* element `elem` — the
+    /// read-side inverse of [`FftNd::for_each_fs_col_element`], used by a
+    /// fused task graph to order a four-step axis's first pass behind
+    /// exactly the writers of its columns.
+    pub fn fs_col_group_of_element(&self, axis: usize, elem: usize, b: usize) -> usize {
+        let four = self.split(axis);
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        let pos = if stride == 1 { elem % n } else { (elem / stride) % n };
+        (pos % four.p) / self.fs_col_group_width(axis, b)
+    }
+
+    /// The combine k-block of `axis` that *writes* element `elem` — the
+    /// writer-lookup a fused task graph needs to order consumers of a
+    /// four-step axis behind exactly one second-pass task (paired with
+    /// [`FftNd::tile_of_element`] for the tile coordinate).
+    pub fn fs_kblock_of_element(&self, axis: usize, elem: usize) -> usize {
+        let four = self.split(axis);
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        let pos = if stride == 1 { elem % n } else { (elem / stride) % n };
+        (pos % four.n2) / four.kb
+    }
+
+    /// Calls `f` for every grid element *read* by sub-FFT column group `cg`
+    /// of tile `tile` on four-step `axis`: the decimated sequences
+    /// `x[c + P·t]` of its columns, across the tile's lines. The groups of
+    /// one tile partition the tile's elements.
+    pub fn for_each_fs_col_element(
+        &self,
+        axis: usize,
+        tile: usize,
+        cg: usize,
+        b: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        let four = self.split(axis);
+        let (p, n2) = (four.p, four.n2);
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        let w = self.fs_col_group_width(axis, b);
+        let c_lo = cg * w;
+        let c_hi = (c_lo + w).min(p);
+        if stride == 1 {
+            let start = tile * n;
+            for c in c_lo..c_hi {
+                for t in 0..n2 {
+                    f(start + c + p * t);
+                }
+            }
+        } else {
+            let tiles_per_outer = stride.div_ceil(b);
+            let outer = tile / tiles_per_outer;
+            let inner0 = (tile % tiles_per_outer) * b;
+            let lines_here = b.min(stride - inner0);
+            let base = outer * n * stride + inner0;
+            for c in c_lo..c_hi {
+                for t in 0..n2 {
+                    let e0 = base + (c + p * t) * stride;
+                    for l in 0..lines_here {
+                        f(e0 + l);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Calls `f` for every grid element *written* by combine k-block
+    /// `kblock` of tile `tile` on four-step `axis` (axis positions `p` with
+    /// `p mod n2` inside the k-block, across all blocks). The same set is
+    /// the pass's read footprint of the intermediate buffer, and the
+    /// k-blocks of one tile partition the tile's elements.
+    pub fn for_each_fs_kblock_element(
+        &self,
+        axis: usize,
+        tile: usize,
+        kblock: usize,
+        b: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        let four = self.split(axis);
+        let (p, n2) = (four.p, four.n2);
+        let k0 = kblock * four.kb;
+        let kbw = four.kb.min(n2 - k0);
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        if stride == 1 {
+            let start = tile * n;
+            for beta in 0..p {
+                for k in k0..k0 + kbw {
+                    f(start + beta * n2 + k);
+                }
+            }
+        } else {
+            let tiles_per_outer = stride.div_ceil(b);
+            let outer = tile / tiles_per_outer;
+            let inner0 = (tile % tiles_per_outer) * b;
+            let lines_here = b.min(stride - inner0);
+            let base = outer * n * stride + inner0;
+            for beta in 0..p {
+                for k in k0..k0 + kbw {
+                    let e0 = base + (beta * n2 + k) * stride;
+                    for l in 0..lines_here {
+                        f(e0 + l);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Four-step pass 1 for column group `cg` of tile `tile`: gathers each
+    /// column's decimated sequence from `src`, runs the length-`n2`
+    /// stage-suffix sub-FFT through the batched kernels, and scatters the
+    /// spectrum into its digit-reversed block of `fs` (same line layout as
+    /// the grid). `scratch` must be at least [`FftNd::batch_scratch_len`]
+    /// `(b)` long.
+    ///
+    /// # Safety
+    /// `src` and `fs` must each point to buffers of [`FftNd::len`] elements
+    /// ([`FftNd::for_each_fs_col_element`] gives this call's `src` read set;
+    /// it writes the `fs` blocks of its columns), and no other thread may
+    /// concurrently write those regions. Distinct `(tile, cg)` pairs write
+    /// disjoint `fs` regions, so sharding them across threads is sound.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn fs_sub_pass_raw(
+        &self,
+        src: *const Complex32,
+        fs: *mut Complex32,
+        axis: usize,
+        tile: usize,
+        cg: usize,
+        b: usize,
+        scratch: &mut [Complex32],
+        dir: Direction,
+    ) {
+        let four = self.split(axis);
+        let plan = &self.plans[axis];
+        let stages = plan.stages();
+        let bwd = match dir {
+            Direction::Forward => None,
+            Direction::Backward => {
+                let t = plan.bwd_tables();
+                Some((&t.twiddles[..], &t.roots[..]))
+            }
+        };
+        let (p, n2) = (four.p, four.n2);
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        let w = self.fs_col_group_width(axis, b);
+        let c_lo = cg * w;
+        let c_hi = (c_lo + w).min(p);
+        if stride == 1 {
+            // Batch up to `b` *adjacent columns* per sub-FFT tile: element
+            // `t` of columns `c0..c0+w` is the contiguous run
+            // `src[c0 + P·t ..][..w]`, and `w ≤ P` keeps the runs disjoint.
+            let start = tile * n;
+            let mut c0 = c_lo;
+            while c0 < c_hi {
+                let cols = b.min(c_hi - c0);
+                let (seq, rest) = scratch.split_at_mut(n2 * cols);
+                let out = &mut rest[..n2 * cols];
+                let sv = core::slice::from_raw_parts(src.add(start + c0), (n2 - 1) * p + cols);
+                nufft_simd::gather_chunks(seq, sv, cols, p);
+                crate::batch::recurse(stages, four.j, seq, 0, 1, out, cols, bwd);
+                for lane in 0..cols {
+                    let beta = four.block_of_col(stages, c0 + lane);
+                    let dv = core::slice::from_raw_parts_mut(fs.add(start + beta * n2), n2);
+                    nufft_simd::gather_chunks(dv, &out[lane..], 1, cols);
+                }
+                c0 += cols;
+            }
+        } else {
+            // Strided axis: the tile's `lines_here` memory-adjacent lines
+            // ride as interleaved lanes, one column at a time.
+            let tiles_per_outer = stride.div_ceil(b);
+            let outer = tile / tiles_per_outer;
+            let inner0 = (tile % tiles_per_outer) * b;
+            let lanes = b.min(stride - inner0);
+            let base = outer * n * stride + inner0;
+            for c in c_lo..c_hi {
+                let (seq, rest) = scratch.split_at_mut(n2 * lanes);
+                let out = &mut rest[..n2 * lanes];
+                let sv = core::slice::from_raw_parts(
+                    src.add(base + c * stride),
+                    (n2 - 1) * p * stride + lanes,
+                );
+                nufft_simd::gather_chunks(seq, sv, lanes, p * stride);
+                crate::batch::recurse(stages, four.j, seq, 0, 1, out, lanes, bwd);
+                let beta = four.block_of_col(stages, c);
+                let dv = core::slice::from_raw_parts_mut(
+                    fs.add(base + beta * n2 * stride),
+                    (n2 - 1) * stride + lanes,
+                );
+                nufft_simd::scatter_chunks(out, dv, lanes, stride);
+            }
+        }
+    }
+
+    /// Four-step pass 2 for k-block `kblock` of tile `tile`: the
+    /// cache-blocked transpose-and-combine. Gathers one `kbw`-wide slab from
+    /// every block of `fs` — applying the innermost combine level's twiddles
+    /// during the gather when the split hoists them — runs combine levels
+    /// `j-1..0` in cache, and scatters the finished spectrum slab into
+    /// `dst`. Returns the seconds spent in the gather/twiddle sweep (the
+    /// transpose-read half of the pass) for the caller's timing split.
+    /// `scratch` must be at least [`FftNd::batch_scratch_len`]`(b)` long.
+    ///
+    /// # Safety
+    /// `fs` and `dst` must each point to buffers of [`FftNd::len`] elements;
+    /// this call reads and writes exactly the elements enumerated by
+    /// [`FftNd::for_each_fs_kblock_element`] (`fs` reads, `dst` writes), and
+    /// no other thread may concurrently access them. Distinct
+    /// `(tile, kblock)` pairs touch disjoint regions. Every sub-FFT pass of
+    /// the tile must have completed first.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn fs_combine_pass_raw(
+        &self,
+        fs: *const Complex32,
+        dst: *mut Complex32,
+        axis: usize,
+        tile: usize,
+        kblock: usize,
+        b: usize,
+        scratch: &mut [Complex32],
+        dir: Direction,
+    ) -> f64 {
+        let four = self.split(axis);
+        let plan = &self.plans[axis];
+        let stages = plan.stages();
+        let bwd = match dir {
+            Direction::Forward => None,
+            Direction::Backward => {
+                let t = plan.bwd_tables();
+                Some((&t.twiddles[..], &t.roots[..]))
+            }
+        };
+        let (p, n2) = (four.p, four.n2);
+        let k0 = kblock * four.kb;
+        let kbw = four.kb.min(n2 - k0);
+        let n = self.shape[axis];
+        let stride = self.axis_stride(axis);
+        let r_last = stages[four.j - 1].radix;
+        let tw_last = match bwd {
+            None => &stages[four.j - 1].twiddles[..],
+            Some((tws, _)) => &tws[four.j - 1][..],
+        };
+        if stride == 1 {
+            let start = tile * n;
+            let work = &mut scratch[..p * kbw];
+            let t0 = std::time::Instant::now();
+            for beta in 0..p {
+                let sv = core::slice::from_raw_parts(fs.add(start + beta * n2 + k0), kbw);
+                let drow = &mut work[beta * kbw..(beta + 1) * kbw];
+                let q = beta % r_last;
+                if four.fuse_gather && q != 0 {
+                    let tws = &tw_last[(q - 1) * n2 + k0..][..kbw];
+                    nufft_simd::gather_chunks_cmul(drow, sv, tws, 1, 1);
+                } else {
+                    drow.copy_from_slice(sv);
+                }
+            }
+            let gather_secs = t0.elapsed().as_secs_f64();
+            four.combine_work(stages, bwd, work, k0, kbw, 1);
+            for beta in 0..p {
+                let dv = core::slice::from_raw_parts_mut(dst.add(start + beta * n2 + k0), kbw);
+                dv.copy_from_slice(&work[beta * kbw..(beta + 1) * kbw]);
+            }
+            gather_secs
+        } else {
+            let tiles_per_outer = stride.div_ceil(b);
+            let outer = tile / tiles_per_outer;
+            let inner0 = (tile % tiles_per_outer) * b;
+            let lanes = b.min(stride - inner0);
+            let base = outer * n * stride + inner0;
+            let row = kbw * lanes;
+            let work = &mut scratch[..p * row];
+            let t0 = std::time::Instant::now();
+            for beta in 0..p {
+                let sv = core::slice::from_raw_parts(
+                    fs.add(base + (beta * n2 + k0) * stride),
+                    (kbw - 1) * stride + lanes,
+                );
+                let drow = &mut work[beta * row..(beta + 1) * row];
+                let q = beta % r_last;
+                if four.fuse_gather && q != 0 {
+                    let tws = &tw_last[(q - 1) * n2 + k0..][..kbw];
+                    nufft_simd::gather_chunks_cmul(drow, sv, tws, lanes, stride);
+                } else {
+                    nufft_simd::gather_chunks(drow, sv, lanes, stride);
+                }
+            }
+            let gather_secs = t0.elapsed().as_secs_f64();
+            four.combine_work(stages, bwd, work, k0, kbw, lanes);
+            for beta in 0..p {
+                let dv = core::slice::from_raw_parts_mut(
+                    dst.add(base + (beta * n2 + k0) * stride),
+                    (kbw - 1) * stride + lanes,
+                );
+                nufft_simd::scatter_chunks(&work[beta * row..(beta + 1) * row], dv, lanes, stride);
+            }
+            gather_secs
+        }
+    }
+
     /// Transforms tile `tile` of `axis` (width `b`, indexed as in
     /// [`FftNd::num_tiles`]) through a raw base pointer. Full tiles of a
     /// Cooley–Tukey axis take the batched path; remainder tiles (fewer than
@@ -281,6 +683,41 @@ impl FftNd {
         let b = Self::batch_width();
         let mut scratch = vec![Complex32::ZERO; self.batch_scratch_len(b)];
         let base = data.as_mut_ptr();
+        if self.axis_fourstep(axis) {
+            // Sequential four-step: sub-FFT sweep into a local intermediate
+            // buffer, then the blocked transpose-and-combine sweep back into
+            // `data`. (`nufft-core` drives the same passes with a plan-owned
+            // buffer and shards them across its pool.)
+            let mut fs = vec![Complex32::ZERO; self.len];
+            let fsp = fs.as_mut_ptr();
+            for tile in 0..self.num_tiles(axis, b) {
+                for cg in 0..self.fs_col_groups(axis, b) {
+                    // SAFETY: we hold &mut data and process shards one at a
+                    // time; `fs` is exclusively ours.
+                    unsafe {
+                        self.fs_sub_pass_raw(base, fsp, axis, tile, cg, b, &mut scratch, dir)
+                    };
+                }
+            }
+            for tile in 0..self.num_tiles(axis, b) {
+                for kblock in 0..self.fs_k_blocks(axis) {
+                    // SAFETY: as above; all sub-FFT passes completed.
+                    unsafe {
+                        self.fs_combine_pass_raw(
+                            fsp,
+                            base,
+                            axis,
+                            tile,
+                            kblock,
+                            b,
+                            &mut scratch,
+                            dir,
+                        )
+                    };
+                }
+            }
+            return;
+        }
         for tile in 0..self.num_tiles(axis, b) {
             // SAFETY: we hold &mut data and process tiles one at a time.
             unsafe { self.transform_tile_raw(base, axis, tile, b, &mut scratch, dir) };

@@ -86,6 +86,58 @@ pub fn bfly4_rows(
     }
 }
 
+/// Radix-2 combine with the twiddle multiply already applied (the
+/// four-step path hoists it into the transpose gather, see
+/// `crate::transpose`): `(d0[k], d1[k]) = (d0[k] + d1[k], d0[k] − d1[k])`.
+/// Addition/subtraction round identically at every level, so all arms are
+/// bitwise-equal; the `StrictScalar` arm still defeats auto-vectorization
+/// for the ISA comparison. Layout-agnostic (rows and interleaved columns
+/// alike — no per-element twiddle to line up).
+///
+/// # Panics
+/// Panics if `d0` and `d1` lengths differ.
+#[inline]
+pub fn bfly2_nt(d0: &mut [Complex32], d1: &mut [Complex32]) {
+    assert_eq!(d0.len(), d1.len(), "row length mismatch");
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: active_isa() only reports levels the host supports.
+        IsaLevel::Avx2Fma => unsafe { avx2::bfly2_nt(d0, d1) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        IsaLevel::Sse2 => unsafe { sse2::bfly2_nt(d0, d1) },
+        IsaLevel::StrictScalar => strict::bfly2_nt(d0, d1),
+        _ => scalar::bfly2_nt(d0, d1),
+    }
+}
+
+/// Radix-4 combine with twiddles already applied (see [`bfly2_nt`]); pure
+/// add/sub/±i-rotation, bitwise-equal across all arms.
+///
+/// # Panics
+/// Panics if any row length differs from `d0.len()`.
+#[inline]
+pub fn bfly4_nt(
+    d0: &mut [Complex32],
+    d1: &mut [Complex32],
+    d2: &mut [Complex32],
+    d3: &mut [Complex32],
+    forward: bool,
+) {
+    let m = d0.len();
+    assert!(d1.len() == m && d2.len() == m && d3.len() == m, "row length mismatch");
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: active_isa() only reports levels the host supports.
+        IsaLevel::Avx2Fma => unsafe { avx2::bfly4_nt(d0, d1, d2, d3, forward) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        IsaLevel::Sse2 => unsafe { sse2::bfly4_nt(d0, d1, d2, d3, forward) },
+        IsaLevel::StrictScalar => strict::bfly4_nt(d0, d1, d2, d3, forward),
+        _ => scalar::bfly4_nt(d0, d1, d2, d3, forward),
+    }
+}
+
 /// Radix-2 combine over `b` interleaved lines: element `k` of line `lane`
 /// lives at `d·[k·b + lane]`, and `tw[k]` is broadcast across all `b` lanes.
 ///
@@ -189,6 +241,36 @@ mod scalar {
         }
     }
 
+    pub(super) fn bfly2_nt(d0: &mut [Complex32], d1: &mut [Complex32]) {
+        for k in 0..d0.len() {
+            let (a, t) = (d0[k], d1[k]);
+            d0[k] = a + t;
+            d1[k] = a - t;
+        }
+    }
+
+    pub(super) fn bfly4_nt(
+        d0: &mut [Complex32],
+        d1: &mut [Complex32],
+        d2: &mut [Complex32],
+        d3: &mut [Complex32],
+        forward: bool,
+    ) {
+        let sign = if forward { -1.0f32 } else { 1.0 };
+        for k in 0..d0.len() {
+            let (a, b, c, d) = (d0[k], d1[k], d2[k], d3[k]);
+            let s02 = a + c;
+            let d02 = a - c;
+            let s13 = b + d;
+            let d13 = b - d;
+            let j = Complex32::new(-sign * d13.im, sign * d13.re);
+            d0[k] = s02 + s13;
+            d1[k] = d02 + j;
+            d2[k] = s02 - s13;
+            d3[k] = d02 - j;
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(super) fn bfly4_rows(
         d0: &mut [Complex32],
@@ -265,6 +347,40 @@ mod strict {
             let t = *black_box(&d1[k]) * tw[k];
             d0[k] = a + t;
             d1[k] = a - t;
+        }
+    }
+
+    pub(super) fn bfly2_nt(d0: &mut [Complex32], d1: &mut [Complex32]) {
+        for k in 0..d0.len() {
+            let a = *black_box(&d0[k]);
+            let t = *black_box(&d1[k]);
+            d0[k] = a + t;
+            d1[k] = a - t;
+        }
+    }
+
+    pub(super) fn bfly4_nt(
+        d0: &mut [Complex32],
+        d1: &mut [Complex32],
+        d2: &mut [Complex32],
+        d3: &mut [Complex32],
+        forward: bool,
+    ) {
+        let sign = if forward { -1.0f32 } else { 1.0 };
+        for k in 0..d0.len() {
+            let a = *black_box(&d0[k]);
+            let b = *black_box(&d1[k]);
+            let c = *black_box(&d2[k]);
+            let d = *black_box(&d3[k]);
+            let s02 = a + c;
+            let d02 = a - c;
+            let s13 = b + d;
+            let d13 = b - d;
+            let j = Complex32::new(-sign * d13.im, sign * d13.re);
+            d0[k] = s02 + s13;
+            d1[k] = d02 + j;
+            d2[k] = s02 - s13;
+            d3[k] = d02 - j;
         }
     }
 
@@ -452,6 +568,75 @@ mod sse2 {
             d1[k] = x1;
             d2[k] = x2;
             d3[k] = x3;
+            k += 1;
+        }
+    }
+
+    /// # Safety
+    /// See [`bfly2_rows`].
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn bfly2_nt(d0: &mut [Complex32], d1: &mut [Complex32]) {
+        let m = d0.len();
+        let p0 = d0.as_mut_ptr() as *mut f32;
+        let p1 = d1.as_mut_ptr() as *mut f32;
+        let mut k = 0;
+        while k + 2 <= m {
+            let a = _mm_loadu_ps(p0.add(2 * k));
+            let t = _mm_loadu_ps(p1.add(2 * k));
+            _mm_storeu_ps(p0.add(2 * k), _mm_add_ps(a, t));
+            _mm_storeu_ps(p1.add(2 * k), _mm_sub_ps(a, t));
+            k += 2;
+        }
+        while k < m {
+            let (a, t) = (d0[k], d1[k]);
+            d0[k] = a + t;
+            d1[k] = a - t;
+            k += 1;
+        }
+    }
+
+    /// # Safety
+    /// See [`bfly2_rows`].
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn bfly4_nt(
+        d0: &mut [Complex32],
+        d1: &mut [Complex32],
+        d2: &mut [Complex32],
+        d3: &mut [Complex32],
+        forward: bool,
+    ) {
+        let m = d0.len();
+        let sign = if forward { -1.0f32 } else { 1.0 };
+        let (p0, p1) = (d0.as_mut_ptr() as *mut f32, d1.as_mut_ptr() as *mut f32);
+        let (p2, p3) = (d2.as_mut_ptr() as *mut f32, d3.as_mut_ptr() as *mut f32);
+        let mut k = 0;
+        while k + 2 <= m {
+            let o = 2 * k;
+            let a = _mm_loadu_ps(p0.add(o));
+            let b = _mm_loadu_ps(p1.add(o));
+            let c = _mm_loadu_ps(p2.add(o));
+            let d = _mm_loadu_ps(p3.add(o));
+            let s02 = _mm_add_ps(a, c);
+            let d02 = _mm_sub_ps(a, c);
+            let s13 = _mm_add_ps(b, d);
+            let j = rot90_2(_mm_sub_ps(b, d), forward);
+            _mm_storeu_ps(p0.add(o), _mm_add_ps(s02, s13));
+            _mm_storeu_ps(p1.add(o), _mm_add_ps(d02, j));
+            _mm_storeu_ps(p2.add(o), _mm_sub_ps(s02, s13));
+            _mm_storeu_ps(p3.add(o), _mm_sub_ps(d02, j));
+            k += 2;
+        }
+        while k < m {
+            let (a, b, c, d) = (d0[k], d1[k], d2[k], d3[k]);
+            let s02 = a + c;
+            let d02 = a - c;
+            let s13 = b + d;
+            let d13 = b - d;
+            let j = Complex32::new(-sign * d13.im, sign * d13.re);
+            d0[k] = s02 + s13;
+            d1[k] = d02 + j;
+            d2[k] = s02 - s13;
+            d3[k] = d02 - j;
             k += 1;
         }
     }
@@ -716,6 +901,75 @@ mod avx2 {
     /// # Safety
     /// See [`bfly2_rows`].
     #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn bfly2_nt(d0: &mut [Complex32], d1: &mut [Complex32]) {
+        let m = d0.len();
+        let p0 = d0.as_mut_ptr() as *mut f32;
+        let p1 = d1.as_mut_ptr() as *mut f32;
+        let mut k = 0;
+        while k + 4 <= m {
+            let a = _mm256_loadu_ps(p0.add(2 * k));
+            let t = _mm256_loadu_ps(p1.add(2 * k));
+            _mm256_storeu_ps(p0.add(2 * k), _mm256_add_ps(a, t));
+            _mm256_storeu_ps(p1.add(2 * k), _mm256_sub_ps(a, t));
+            k += 4;
+        }
+        while k < m {
+            let (a, t) = (d0[k], d1[k]);
+            d0[k] = a + t;
+            d1[k] = a - t;
+            k += 1;
+        }
+    }
+
+    /// # Safety
+    /// See [`bfly2_rows`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn bfly4_nt(
+        d0: &mut [Complex32],
+        d1: &mut [Complex32],
+        d2: &mut [Complex32],
+        d3: &mut [Complex32],
+        forward: bool,
+    ) {
+        let m = d0.len();
+        let sign = if forward { -1.0f32 } else { 1.0 };
+        let (p0, p1) = (d0.as_mut_ptr() as *mut f32, d1.as_mut_ptr() as *mut f32);
+        let (p2, p3) = (d2.as_mut_ptr() as *mut f32, d3.as_mut_ptr() as *mut f32);
+        let mut k = 0;
+        while k + 4 <= m {
+            let o = 2 * k;
+            let a = _mm256_loadu_ps(p0.add(o));
+            let b = _mm256_loadu_ps(p1.add(o));
+            let c = _mm256_loadu_ps(p2.add(o));
+            let d = _mm256_loadu_ps(p3.add(o));
+            let s02 = _mm256_add_ps(a, c);
+            let d02 = _mm256_sub_ps(a, c);
+            let s13 = _mm256_add_ps(b, d);
+            let j = rot90_4(_mm256_sub_ps(b, d), forward);
+            _mm256_storeu_ps(p0.add(o), _mm256_add_ps(s02, s13));
+            _mm256_storeu_ps(p1.add(o), _mm256_add_ps(d02, j));
+            _mm256_storeu_ps(p2.add(o), _mm256_sub_ps(s02, s13));
+            _mm256_storeu_ps(p3.add(o), _mm256_sub_ps(d02, j));
+            k += 4;
+        }
+        while k < m {
+            let (a, b, c, d) = (d0[k], d1[k], d2[k], d3[k]);
+            let s02 = a + c;
+            let d02 = a - c;
+            let s13 = b + d;
+            let d13 = b - d;
+            let j = Complex32::new(-sign * d13.im, sign * d13.re);
+            d0[k] = s02 + s13;
+            d1[k] = d02 + j;
+            d2[k] = s02 - s13;
+            d3[k] = d02 - j;
+            k += 1;
+        }
+    }
+
+    /// # Safety
+    /// See [`bfly2_rows`].
+    #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn bfly2_cols(
         d0: &mut [Complex32],
         d1: &mut [Complex32],
@@ -933,6 +1187,46 @@ mod tests {
                             );
                         }
                     }
+                });
+            }
+        }
+    }
+
+    /// The no-twiddle butterflies equal the twiddled kernels at unit
+    /// twiddles, bitwise, at every level — multiplying by `1 + 0i` is exact
+    /// in every arm's arithmetic shape (including FMA), so this pins that
+    /// hoisting the twiddle out of the butterfly loses nothing.
+    #[test]
+    fn nt_butterflies_match_unit_twiddle_kernels_bitwise() {
+        for m in [1usize, 2, 3, 4, 5, 8, 13] {
+            let ones = vec![Complex32::ONE; m];
+            let blocks: Vec<Vec<Complex32>> = (0..4).map(|s| demo(m, s + 11)).collect();
+            for forward in [true, false] {
+                for_each_isa(|level| {
+                    let mut nt = blocks.clone();
+                    {
+                        let [n0, n1, n2, n3] = &mut nt[..] else { unreachable!() };
+                        bfly4_nt(n0, n1, n2, n3, forward);
+                    }
+                    let mut tw = blocks.clone();
+                    {
+                        let [t0, t1, t2, t3] = &mut tw[..] else { unreachable!() };
+                        bfly4_rows(t0, t1, t2, t3, &ones, &ones, &ones, forward);
+                    }
+                    for (nq, tq) in nt.iter().zip(&tw) {
+                        for (x, y) in nq.iter().zip(tq) {
+                            assert!(
+                                x.re.to_bits() == y.re.to_bits()
+                                    && x.im.to_bits() == y.im.to_bits(),
+                                "bfly4 m={m} fwd={forward} level={level:?}: {x:?} vs {y:?}"
+                            );
+                        }
+                    }
+                    let mut nt2 = (blocks[0].clone(), blocks[1].clone());
+                    bfly2_nt(&mut nt2.0, &mut nt2.1);
+                    let mut tw2 = (blocks[0].clone(), blocks[1].clone());
+                    bfly2_rows(&mut tw2.0, &mut tw2.1, &ones);
+                    assert_eq!(nt2, tw2, "bfly2 m={m} level={level:?}");
                 });
             }
         }

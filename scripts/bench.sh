@@ -2,6 +2,10 @@
 # Runs the FFT, operator, and runtime benchmarks. JSON summaries land at
 # the repo root, each written by its bench binary:
 #   BENCH_fft.json     — FFT execution-path sweep (crates/bench/benches/fft.rs)
+#   BENCH_fourstep.json— four-step vs recursive FFT decomposition: 1D
+#                        axis-length crossover sweep + strategy-forced A/B
+#                        on 256²/512²/64³/128³ grids with an Auto arm
+#                        (crates/bench/benches/fourstep.rs)
 #   BENCH_pool.json    — persistent-pool vs spawn-per-call operator applies
 #                        (crates/bench/benches/pool.rs)
 #   BENCH_windows.json — precomputed window table vs on-the-fly Part 1
@@ -30,6 +34,9 @@ fi
 echo "== bench: fft (1D lengths + strided-axis per-line vs batched sweep) =="
 cargo bench --offline --bench fft
 
+echo "== bench: fourstep (recursive→four-step crossover + forced A/B) =="
+cargo bench --offline --bench fourstep
+
 echo "== bench: operators =="
 cargo bench --offline --bench operators
 
@@ -50,6 +57,9 @@ cargo bench --offline --bench sort
 
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
+
+echo "== BENCH_fourstep.json =="
+cat BENCH_fourstep.json
 
 echo "== BENCH_pool.json =="
 cat BENCH_pool.json

@@ -42,6 +42,13 @@ echo "== fused-DAG stress (oversubscribed, 16 workers) =="
 # under real preemption.
 NUFFT_THREADS=16 cargo test -q --offline --test scheduler_consistency
 
+echo "== four-step FFT strategy stress (oversubscribed, 16 workers) =="
+# fourstep_modes pins forced-four-step == recursive bitwise across ISA
+# levels, thread counts, exec modes and mixed-radix/Bluestein axis lengths;
+# 16 workers oversubscribe the runner so the sub-FFT/transpose shard nodes
+# of the fused DAG race for real.
+NUFFT_THREADS=16 cargo test -q --offline --test fourstep_modes
+
 echo "== sort-mode equality stress (oversubscribed, 16 workers) =="
 # sorted-vs-unsorted bitwise equality across ISA levels, thread counts,
 # all four operators and both exec modes; 16 workers oversubscribe the

@@ -13,6 +13,7 @@
 //! concurrent tests would bleed counts into each other.
 
 use nufft::core::{ExecMode, NufftConfig, NufftPlan, SortMode, WindowMode};
+use nufft::fft::FftStrategy;
 use nufft::math::Complex32;
 use nufft_testkit::alloc::CountingAlloc;
 
@@ -94,9 +95,23 @@ fn steady_state_applies_are_allocation_free() {
     // unsorted mode's canonical-scan indirection) are built entirely at
     // plan time, so both layouts must be invisible to the allocator at
     // apply time.
+    // The FFT-strategy dimension too: a forced-four-step plan owns its
+    // transpose scratch (`fs`, one grid-sized slot per four-step axis,
+    // grown once per channel count in `ensure_fused`'s warmup), so the
+    // two-pass sub-FFT/combine applies must be exactly as allocation-free
+    // as the recursive path.
     for exec_mode in [ExecMode::Fused, ExecMode::Phased] {
         for mode in [WindowMode::OnTheFly, WindowMode::Precomputed] {
             for sort in [SortMode::TileMajor, SortMode::None] {
+                // Strategy paired with the sort axis (not a fourth nested
+                // loop) keeps the combination count at 8 while still
+                // exercising four-step under both exec modes and window
+                // modes.
+                let strategy = if sort == SortMode::TileMajor {
+                    FftStrategy::FourStep
+                } else {
+                    FftStrategy::Recursive
+                };
                 let cfg = NufftConfig {
                     threads: 2,
                     w: 3.0,
@@ -104,6 +119,7 @@ fn steady_state_applies_are_allocation_free() {
                     window_mode: mode,
                     exec_mode,
                     sort,
+                    fft_strategy: strategy,
                     ..NufftConfig::default()
                 };
                 let mut plan = NufftPlan::new(n, &traj, cfg);

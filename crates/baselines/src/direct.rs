@@ -71,6 +71,55 @@ pub fn adjoint<const D: usize>(
     out
 }
 
+/// Exact type-3 forward: `F(s_k) = Σ_j c_j·e^{-2πi s_k·x_j}` for arbitrary
+/// real source positions and target frequencies (no grid, no band limit).
+/// `O(J·K)` — the oracle for `tests/type3_accuracy.rs`.
+pub fn type3<const D: usize>(
+    strengths: &[Complex32],
+    sources: &[[f64; D]],
+    targets: &[[f64; D]],
+) -> Vec<Complex64> {
+    assert_eq!(strengths.len(), sources.len(), "strength/source length mismatch");
+    targets
+        .iter()
+        .map(|s| {
+            let mut acc = Complex64::ZERO;
+            for (x, &c) in sources.iter().zip(strengths) {
+                let mut phase = 0.0;
+                for d in 0..D {
+                    phase += s[d] * x[d];
+                }
+                acc += c.to_f64() * Complex64::cis(-core::f64::consts::TAU * phase);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Exact type-3 adjoint: `G(x_j) = Σ_k y_k·e^{+2πi s_k·x_j}` — the
+/// conjugate transpose of [`type3`].
+pub fn type3_adjoint<const D: usize>(
+    samples: &[Complex32],
+    sources: &[[f64; D]],
+    targets: &[[f64; D]],
+) -> Vec<Complex64> {
+    assert_eq!(samples.len(), targets.len(), "sample/target length mismatch");
+    sources
+        .iter()
+        .map(|x| {
+            let mut acc = Complex64::ZERO;
+            for (s, &y) in targets.iter().zip(samples) {
+                let mut phase = 0.0;
+                for d in 0..D {
+                    phase += s[d] * x[d];
+                }
+                acc += y.to_f64() * Complex64::cis(core::f64::consts::TAU * phase);
+            }
+            acc
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +139,35 @@ mod tests {
             let want = Complex64::cis(core::f64::consts::TAU * 0.25 * n);
             assert!((*z - want).abs() < 1e-12, "pos {pos}");
         }
+    }
+
+    #[test]
+    fn type3_reduces_to_forward_on_grid_sources() {
+        // Sources placed exactly on the centered integer grid with
+        // normalized targets must reproduce the on-grid forward DTFT.
+        let n = [4usize];
+        let image: Vec<Complex32> =
+            (0..4).map(|i| Complex32::new(i as f32 + 1.0, -(i as f32))).collect();
+        let sources: Vec<[f64; 1]> = (0..4).map(|i| [i as f64 - 2.0]).collect();
+        let targets = [[0.17], [-0.42], [0.0]];
+        let want = forward(&image, n, &targets);
+        let got = type3(&image, &sources, &targets);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-10, "{g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn type3_forward_adjoint_dot_test() {
+        let sources = [[1.7, -0.3], [0.2, 2.4], [-1.1, 0.8]];
+        let targets = [[0.9, 0.4], [-1.3, 0.6]];
+        let x = [Complex32::new(1.0, -0.5), Complex32::new(0.3, 0.7), Complex32::new(-0.2, 0.1)];
+        let y = [Complex32::new(0.6, 0.2), Complex32::new(-0.4, 0.9)];
+        let ax = type3(&x, &sources, &targets);
+        let aty = type3_adjoint(&y, &sources, &targets);
+        let lhs: Complex64 = ax.iter().zip(&y).map(|(&a, &b)| a.conj() * b.to_f64()).sum();
+        let rhs: Complex64 = x.iter().zip(&aty).map(|(&a, &b)| a.to_f64().conj() * b).sum();
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs:?} vs {rhs:?}");
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //!   channels;
 //! * **`Fft`** — a run of consecutive SIMD tiles of one axis of one
 //!   channel (the same tile/grain decomposition the phased
-//!   `fft_parallel` shards, hoisted into the plan-owned [`TilePlan`]);
+//!   [`crate::stage::FftOp`] shards, hoisted into the plan-owned
+//!   [`TilePlan`]);
 //! * **`Conv`/`Priv`/`Reduce`** — the adjoint scatter tasks with their
 //!   Gray-code exclusion edges carried over verbatim, privatized tasks
 //!   split into a dependency-free `Priv` convolve and a `Reduce` that
@@ -24,6 +25,17 @@
 //! * **`Gather`** (forward) — a chunk of one task's samples (so a chunk's
 //!   kernel windows stay inside that task's halo box);
 //! * **`Extract`** (adjoint) — a contiguous image chunk.
+//!
+//! ## Per-stage fragments
+//!
+//! Each stage operator contributes its node set through one `emit_*`
+//! fragment function and its data dependencies through one `connect_*`
+//! function; the whole-operator builders ([`build_forward`],
+//! [`build_adjoint`], [`build_spread`]) are thin compositions of those
+//! fragments instead of bespoke compilers. The spread-only graph is the
+//! adjoint's zero + scatter fragments with nothing downstream — same node
+//! bodies, same exclusion edges, so it stays bitwise-equal to the phased
+//! spread.
 //!
 //! ## Edge construction
 //!
@@ -497,27 +509,20 @@ fn apply_phase_priorities(builder: &mut DagBuilder, adjoint: bool, ndim: usize) 
     }
 }
 
-/// Builds the fused **forward** graph for `channels` channels:
-/// scale slabs → per-axis FFT chunks (per channel) → gather chunks.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn build_forward<const D: usize>(
-    geo: &Geometry<D>,
-    fft: &FftNd,
-    tp: &TilePlan,
-    pre: &Preprocess<D>,
-    wc: usize,
-    gather_grain: usize,
-    threads: usize,
-    channels: usize,
-) -> FusedApply {
-    let grid_len = geo.grid_len();
-    let slab = piece_len(grid_len, threads);
-    let nslabs = grid_len.div_ceil(slab);
-    let gs = geo.grid_strides();
-    let mut builder = DagBuilder::new();
+// ---------------------------------------------------------------------------
+// Per-stage DAG fragments
+// ---------------------------------------------------------------------------
 
-    // Nodes: per-channel scale slabs…
-    let scale_base: Vec<NodeId> = (0..channels)
+/// Scale-stage fragment (forward embed): one slab run per channel.
+/// Returns the per-channel node bases.
+fn emit_scale_fragment(
+    builder: &mut DagBuilder,
+    grid_len: usize,
+    slab: usize,
+    channels: usize,
+) -> Vec<NodeId> {
+    let nslabs = grid_len.div_ceil(slab);
+    (0..channels)
         .map(|c| {
             let base = builder.len() as NodeId;
             for s in 0..nslabs {
@@ -526,16 +531,84 @@ pub(crate) fn build_forward<const D: usize>(
             }
             base
         })
-        .collect();
-    // …per-channel per-axis FFT nodes ((entry, writer) bases per axis)…
-    let fft_base: Vec<Vec<(NodeId, NodeId)>> = (0..channels)
-        .map(|c| (0..D).map(|axis| add_axis_nodes(&mut builder, fft, tp, axis, c)).collect())
-        .collect();
-    // …and gather chunks, shared across channels. Chunk boundaries land on
-    // cache-line multiples (`order` is near-identity within a task) and
-    // never cross a task boundary, so a chunk's windows stay inside its
-    // task's halo box.
-    let gather_base = builder.len() as NodeId;
+        .collect()
+}
+
+/// Zero-stage fragment (adjoint grid clear): one slab run, each node
+/// zeroing every channel's slab. Returns the node base.
+fn emit_zero_fragment(
+    builder: &mut DagBuilder,
+    grid_len: usize,
+    slab: usize,
+    channels: usize,
+) -> NodeId {
+    let nslabs = grid_len.div_ceil(slab);
+    let base = builder.len() as NodeId;
+    for s in 0..nslabs {
+        let elems = (grid_len - s * slab).min(slab);
+        builder.add_node(tag(KIND_ZERO, 0, 0, s), (elems * channels) as u64);
+    }
+    base
+}
+
+/// Spread-stage fragment (adjoint scatter): privatized tasks as a
+/// `(Priv → Reduce)` pair, others as a single `Conv` node, plus the
+/// Gray-code exclusion edges **verbatim** — this is what fixes the
+/// per-cell summation order and hence bitwise output. Returns
+/// `conv_shared[t]`, the node carrying task `t`'s shared-grid writes (and
+/// hence its ordering edges).
+fn emit_spread_fragment<const D: usize>(
+    builder: &mut DagBuilder,
+    pre: &Preprocess<D>,
+    channels: usize,
+) -> Vec<NodeId> {
+    let graph = &pre.graph;
+    let mut conv_shared: Vec<NodeId> = Vec::with_capacity(graph.len());
+    for t in 0..graph.len() {
+        let samples = (pre.ranges[t].end - pre.ranges[t].start) as u64;
+        if let Some(region) = pre.regions[t] {
+            let p = builder.add_node(tag(KIND_PRIV, 0, 0, t), samples * W_SAMPLE);
+            let r = builder.add_node(tag(KIND_REDUCE, 0, 0, t), (region.len() * channels) as u64);
+            builder.add_edge(p, r);
+            conv_shared.push(r);
+        } else {
+            conv_shared.push(builder.add_node(tag(KIND_CONV, 0, 0, t), samples * W_SAMPLE));
+        }
+    }
+    for t in 0..graph.len() {
+        for p in graph.preds(t) {
+            builder.add_edge(conv_shared[p], conv_shared[t]);
+        }
+    }
+    conv_shared
+}
+
+/// FFT-stage fragment: per-channel, per-axis node runs (with the
+/// four-step sub → combine intra-axis edges). Returns the
+/// `(entry, writer)` bases indexed `[channel][axis]`.
+fn emit_fft_fragment(
+    builder: &mut DagBuilder,
+    fft: &FftNd,
+    tp: &TilePlan,
+    ndim: usize,
+    channels: usize,
+) -> Vec<Vec<(NodeId, NodeId)>> {
+    (0..channels)
+        .map(|c| (0..ndim).map(|axis| add_axis_nodes(builder, fft, tp, axis, c)).collect())
+        .collect()
+}
+
+/// Interp-stage fragment (forward gather): chunks of one task's samples,
+/// shared across channels. Chunk boundaries land on cache-line multiples
+/// (`order` is near-identity within a task) and never cross a task
+/// boundary, so a chunk's windows stay inside its task's halo box.
+/// Returns `(node base, chunk sample ranges, chunk ids per task)`.
+fn emit_interp_fragment<const D: usize>(
+    builder: &mut DagBuilder,
+    pre: &Preprocess<D>,
+    gather_grain: usize,
+) -> (NodeId, Vec<(u32, u32)>, Vec<core::ops::Range<usize>>) {
+    let base = builder.len() as NodeId;
     let mut chunks: Vec<(u32, u32)> = Vec::new();
     let mut task_chunks: Vec<core::ops::Range<usize>> = Vec::with_capacity(pre.graph.len());
     for r in &pre.ranges {
@@ -549,41 +622,163 @@ pub(crate) fn build_forward<const D: usize>(
         }
         task_chunks.push(first..chunks.len());
     }
+    (base, chunks, task_chunks)
+}
 
-    // Edges: slab → axis 0, axis k−1 → axis k.
-    let max_writers = nslabs.max((0..D).map(|a| tp.writer_shards(a)).max().unwrap_or(1));
-    let mut stamp = Stamp::new(max_writers);
-    for axis in 0..D {
-        if axis == 0 {
-            connect_axis_inputs(
-                &mut builder,
-                fft,
-                tp,
-                axis,
-                channels,
-                &mut stamp,
-                |e| e / slab,
-                |c, s| scale_base[c] + s as NodeId,
-                |c, k| fft_base[c][0].0 + k as NodeId,
-            );
-        } else {
-            connect_axis_inputs(
-                &mut builder,
-                fft,
-                tp,
-                axis,
-                channels,
-                &mut stamp,
-                |e| writer_shard_of(fft, tp, axis - 1, e),
-                |c, k| fft_base[c][axis - 1].1 + k as NodeId,
-                |c, k| fft_base[c][axis].0 + k as NodeId,
-            );
+/// Deconvolve-stage fragment (adjoint extract): per-channel contiguous
+/// image chunks. Returns the per-channel node bases.
+fn emit_extract_fragment(
+    builder: &mut DagBuilder,
+    image_len: usize,
+    img_chunk: usize,
+    channels: usize,
+) -> Vec<NodeId> {
+    let nchunks = image_len.div_ceil(img_chunk);
+    (0..channels)
+        .map(|c| {
+            let base = builder.len() as NodeId;
+            for k in 0..nchunks {
+                let elems = (image_len - k * img_chunk).min(img_chunk);
+                builder.add_node(tag(KIND_EXTRACT, 0, c, k), elems as u64);
+            }
+            base
+        })
+        .collect()
+}
+
+/// The downstream-FFT wiring of [`connect_spread_edges`]: which axis-0
+/// entry nodes each scatter task must precede (absent in the spread-only
+/// graph).
+struct Axis0Wiring<'a> {
+    fft: &'a FftNd,
+    tp: &'a TilePlan,
+    fft_base: &'a [Vec<(NodeId, NodeId)>],
+    channels: usize,
+}
+
+/// Wires the spread fragment's inputs and outputs in one halo-box pass per
+/// task: `zero slab → conv` (a task reads-modifies-writes its box) and —
+/// when an FFT stage follows — `conv → axis-0 entry` for the chunks
+/// covering the box. `Zero → Fft` is transitively covered (see module
+/// docs).
+#[allow(clippy::too_many_arguments)]
+fn connect_spread_edges<const D: usize>(
+    builder: &mut DagBuilder,
+    geo: &Geometry<D>,
+    pre: &Preprocess<D>,
+    wc: usize,
+    zero_base: NodeId,
+    conv_shared: &[NodeId],
+    slab: usize,
+    fft_out: Option<Axis0Wiring<'_>>,
+) {
+    let nslabs = geo.grid_len().div_ceil(slab);
+    let gs = geo.grid_strides();
+    let mut slab_stamp = Stamp::new(nslabs);
+    let mut chunk_stamp = fft_out.as_ref().map(|f| Stamp::new(f.tp.entry_shards(0)));
+    let mut dep_chunks: Vec<u32> = Vec::new();
+    for t in 0..pre.graph.len() {
+        slab_stamp.next();
+        if let Some(cs) = chunk_stamp.as_mut() {
+            cs.next();
+        }
+        dep_chunks.clear();
+        let (lo, len) = task_box(pre, &geo.m, wc, t);
+        for_each_box_run(&geo.m, &gs, &lo, &len, |start, rlen| {
+            for s in start / slab..=(start + rlen - 1) / slab {
+                if slab_stamp.hit(s) {
+                    builder.add_edge(zero_base + s as NodeId, conv_shared[t]);
+                }
+            }
+            let (Some(f), Some(cs)) = (&fft_out, chunk_stamp.as_mut()) else {
+                return;
+            };
+            if f.tp.axes[0].shards.is_some() {
+                // Four-step column groups decimate a line, so a contiguous
+                // run can cross entry shards: resolve per element.
+                for e in start..start + rlen {
+                    let shard = entry_shard_of(f.fft, f.tp, 0, e);
+                    if cs.hit(shard) {
+                        dep_chunks.push(shard as u32);
+                    }
+                }
+            } else {
+                // Axis-0 tiles of a last-dim run are contiguous (the run
+                // stays within one outer block and one inner window — see
+                // tile_of_element); stride-1 axis 0 means D == 1, one line.
+                let grain0 = f.tp.axes[0].grain;
+                let (t_first, t_last) = if f.fft.axis_stride(0) == 1 {
+                    (
+                        f.fft.tile_of_element(0, start, f.tp.b),
+                        f.fft.tile_of_element(0, start, f.tp.b),
+                    )
+                } else {
+                    (
+                        f.fft.tile_of_element(0, start, f.tp.b),
+                        f.fft.tile_of_element(0, start + rlen - 1, f.tp.b),
+                    )
+                };
+                for chunk in t_first / grain0..=t_last / grain0 {
+                    if cs.hit(chunk) {
+                        dep_chunks.push(chunk as u32);
+                    }
+                }
+            }
+        });
+        if let Some(f) = &fft_out {
+            for &chunk in &dep_chunks {
+                for c in 0..f.channels {
+                    builder.add_edge(conv_shared[t], f.fft_base[c][0].0 + chunk as NodeId);
+                }
+            }
         }
     }
+}
 
-    // Edges: last-axis FFT → gather. A task's chunks read its halo box, so
-    // they depend on the last-axis writer shards containing the box's rows —
-    // in every channel (one gather chunk writes all channels' outputs).
+/// Wires FFT axis `k−1` writers → axis `k` entries for every axis after
+/// the first (every channel), reusing the caller's stamp.
+fn connect_fft_chain(
+    builder: &mut DagBuilder,
+    fft: &FftNd,
+    tp: &TilePlan,
+    ndim: usize,
+    channels: usize,
+    stamp: &mut Stamp,
+    fft_base: &[Vec<(NodeId, NodeId)>],
+) {
+    for axis in 1..ndim {
+        connect_axis_inputs(
+            builder,
+            fft,
+            tp,
+            axis,
+            channels,
+            stamp,
+            |e| writer_shard_of(fft, tp, axis - 1, e),
+            |c, k| fft_base[c][axis - 1].1 + k as NodeId,
+            |c, k| fft_base[c][axis].0 + k as NodeId,
+        );
+    }
+}
+
+/// Wires last-axis FFT writers → gather chunks: a task's chunks read its
+/// halo box, so they depend on the last-axis writer shards containing the
+/// box's rows — in every channel (one gather chunk writes all channels'
+/// outputs).
+#[allow(clippy::too_many_arguments)]
+fn connect_interp_inputs<const D: usize>(
+    builder: &mut DagBuilder,
+    geo: &Geometry<D>,
+    fft: &FftNd,
+    tp: &TilePlan,
+    pre: &Preprocess<D>,
+    wc: usize,
+    channels: usize,
+    fft_base: &[Vec<(NodeId, NodeId)>],
+    gather_base: NodeId,
+    task_chunks: &[core::ops::Range<usize>],
+) {
+    let gs = geo.grid_strides();
     let last = D - 1;
     let grain_last = tp.axes[last].grain;
     let mut dep_chunks: Vec<u32> = Vec::new();
@@ -622,152 +817,24 @@ pub(crate) fn build_forward<const D: usize>(
             }
         }
     }
-
-    apply_phase_priorities(&mut builder, false, D);
-    FusedApply { dag: builder.build(), chunks, slab, img_chunk: 0 }
 }
 
-/// Builds the fused **adjoint** graph for `channels` channels:
-/// zero slabs → conv/priv/reduce tasks (Gray edges preserved) → per-axis
-/// FFT chunks (per channel) → extract chunks.
-pub(crate) fn build_adjoint<const D: usize>(
+/// Wires last-axis FFT writers → extract chunks: an image chunk reads the
+/// wrapped embed positions of its flat range.
+#[allow(clippy::too_many_arguments)]
+fn connect_extract_inputs<const D: usize>(
+    builder: &mut DagBuilder,
     geo: &Geometry<D>,
     fft: &FftNd,
     tp: &TilePlan,
-    pre: &Preprocess<D>,
-    wc: usize,
-    threads: usize,
     channels: usize,
-) -> FusedApply {
-    let grid_len = geo.grid_len();
-    let image_len = geo.image_len();
-    let slab = piece_len(grid_len, threads);
-    let nslabs = grid_len.div_ceil(slab);
-    let img_chunk = piece_len(image_len, threads);
-    let nchunks = image_len.div_ceil(img_chunk);
+    fft_base: &[Vec<(NodeId, NodeId)>],
+    extract_base: &[NodeId],
+    img_chunk: usize,
+) {
     let gs = geo.grid_strides();
-    let graph = &pre.graph;
-    let mut builder = DagBuilder::new();
-
-    // Nodes: zero slabs (each zeroes all channels' slab)…
-    let zero_base = builder.len() as NodeId;
-    for s in 0..nslabs {
-        let elems = (grid_len - s * slab).min(slab);
-        builder.add_node(tag(KIND_ZERO, 0, 0, s), (elems * channels) as u64);
-    }
-    // …the scatter tasks: privatized ones as a (Priv → Reduce) pair,
-    // others as a single Conv node. `conv_shared[t]` is the node carrying
-    // the task's shared-grid writes (and hence its exclusion edges).
-    let mut conv_shared: Vec<NodeId> = Vec::with_capacity(graph.len());
-    for t in 0..graph.len() {
-        let samples = (pre.ranges[t].end - pre.ranges[t].start) as u64;
-        if let Some(region) = pre.regions[t] {
-            let p = builder.add_node(tag(KIND_PRIV, 0, 0, t), samples * W_SAMPLE);
-            let r = builder.add_node(tag(KIND_REDUCE, 0, 0, t), (region.len() * channels) as u64);
-            builder.add_edge(p, r);
-            conv_shared.push(r);
-        } else {
-            conv_shared.push(builder.add_node(tag(KIND_CONV, 0, 0, t), samples * W_SAMPLE));
-        }
-    }
-    // …per-channel per-axis FFT nodes ((entry, writer) bases per axis)…
-    let fft_base: Vec<Vec<(NodeId, NodeId)>> = (0..channels)
-        .map(|c| (0..D).map(|axis| add_axis_nodes(&mut builder, fft, tp, axis, c)).collect())
-        .collect();
-    // …and per-channel extract chunks.
-    let extract_base: Vec<NodeId> = (0..channels)
-        .map(|c| {
-            let base = builder.len() as NodeId;
-            for k in 0..nchunks {
-                let elems = (image_len - k * img_chunk).min(img_chunk);
-                builder.add_node(tag(KIND_EXTRACT, 0, c, k), elems as u64);
-            }
-            base
-        })
-        .collect();
-
-    // Edges: the Gray-code exclusion edges, verbatim — this is what fixes
-    // the per-cell summation order and hence bitwise output.
-    for t in 0..graph.len() {
-        for p in graph.preds(t) {
-            builder.add_edge(conv_shared[p], conv_shared[t]);
-        }
-    }
-
-    // Edges: zero slab → conv (a task reads-modifies-writes its box) and
-    // conv → axis-0 FFT chunks covering the box. Computed once per task
-    // from its halo runs; `Zero → Fft` is transitively covered (see module
-    // docs).
-    let grain0 = tp.axes[0].grain;
-    let stride0 = fft.axis_stride(0);
-    let mut slab_stamp = Stamp::new(nslabs);
-    let mut chunk_stamp = Stamp::new(tp.entry_shards(0));
-    let mut dep_chunks: Vec<u32> = Vec::new();
-    for t in 0..graph.len() {
-        slab_stamp.next();
-        chunk_stamp.next();
-        dep_chunks.clear();
-        let (lo, len) = task_box(pre, &geo.m, wc, t);
-        for_each_box_run(&geo.m, &gs, &lo, &len, |start, rlen| {
-            for s in start / slab..=(start + rlen - 1) / slab {
-                if slab_stamp.hit(s) {
-                    builder.add_edge(zero_base + s as NodeId, conv_shared[t]);
-                }
-            }
-            if tp.axes[0].shards.is_some() {
-                // Four-step column groups decimate a line, so a contiguous
-                // run can cross entry shards: resolve per element.
-                for e in start..start + rlen {
-                    let shard = entry_shard_of(fft, tp, 0, e);
-                    if chunk_stamp.hit(shard) {
-                        dep_chunks.push(shard as u32);
-                    }
-                }
-            } else {
-                // Axis-0 tiles of a last-dim run are contiguous (the run
-                // stays within one outer block and one inner window — see
-                // tile_of_element); stride-1 axis 0 means D == 1, one line.
-                let (t_first, t_last) = if stride0 == 1 {
-                    (fft.tile_of_element(0, start, tp.b), fft.tile_of_element(0, start, tp.b))
-                } else {
-                    (
-                        fft.tile_of_element(0, start, tp.b),
-                        fft.tile_of_element(0, start + rlen - 1, tp.b),
-                    )
-                };
-                for chunk in t_first / grain0..=t_last / grain0 {
-                    if chunk_stamp.hit(chunk) {
-                        dep_chunks.push(chunk as u32);
-                    }
-                }
-            }
-        });
-        for &chunk in &dep_chunks {
-            for c in 0..channels {
-                builder.add_edge(conv_shared[t], fft_base[c][0].0 + chunk as NodeId);
-            }
-        }
-    }
-
-    // Edges: axis k−1 → axis k.
-    let max_writers = (0..D).map(|a| tp.writer_shards(a)).max().unwrap_or(1);
-    let mut stamp = Stamp::new(max_writers);
-    for axis in 1..D {
-        connect_axis_inputs(
-            &mut builder,
-            fft,
-            tp,
-            axis,
-            channels,
-            &mut stamp,
-            |e| writer_shard_of(fft, tp, axis - 1, e),
-            |c, k| fft_base[c][axis - 1].1 + k as NodeId,
-            |c, k| fft_base[c][axis].0 + k as NodeId,
-        );
-    }
-
-    // Edges: last-axis FFT → extract. An image chunk reads the wrapped
-    // embed positions of its flat range.
+    let image_len = geo.image_len();
+    let nchunks = image_len.div_ceil(img_chunk);
     let last = D - 1;
     let mut ex_stamp = Stamp::new(tp.writer_shards(last));
     for k in 0..nchunks {
@@ -791,9 +858,137 @@ pub(crate) fn build_adjoint<const D: usize>(
             }
         });
     }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-operator builders (fragment compositions)
+// ---------------------------------------------------------------------------
+
+/// Builds the fused **forward** graph for `channels` channels:
+/// scale slabs → per-axis FFT chunks (per channel) → gather chunks.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_forward<const D: usize>(
+    geo: &Geometry<D>,
+    fft: &FftNd,
+    tp: &TilePlan,
+    pre: &Preprocess<D>,
+    wc: usize,
+    gather_grain: usize,
+    threads: usize,
+    channels: usize,
+) -> FusedApply {
+    let grid_len = geo.grid_len();
+    let slab = piece_len(grid_len, threads);
+    let nslabs = grid_len.div_ceil(slab);
+    let mut builder = DagBuilder::new();
+
+    let scale_base = emit_scale_fragment(&mut builder, grid_len, slab, channels);
+    let fft_base = emit_fft_fragment(&mut builder, fft, tp, D, channels);
+    let (gather_base, chunks, task_chunks) = emit_interp_fragment(&mut builder, pre, gather_grain);
+
+    // Edges: slab → axis 0, then the axis chain.
+    let max_writers = nslabs.max((0..D).map(|a| tp.writer_shards(a)).max().unwrap_or(1));
+    let mut stamp = Stamp::new(max_writers);
+    connect_axis_inputs(
+        &mut builder,
+        fft,
+        tp,
+        0,
+        channels,
+        &mut stamp,
+        |e| e / slab,
+        |c, s| scale_base[c] + s as NodeId,
+        |c, k| fft_base[c][0].0 + k as NodeId,
+    );
+    connect_fft_chain(&mut builder, fft, tp, D, channels, &mut stamp, &fft_base);
+    connect_interp_inputs(
+        &mut builder,
+        geo,
+        fft,
+        tp,
+        pre,
+        wc,
+        channels,
+        &fft_base,
+        gather_base,
+        &task_chunks,
+    );
+
+    apply_phase_priorities(&mut builder, false, D);
+    FusedApply { dag: builder.build(), chunks, slab, img_chunk: 0 }
+}
+
+/// Builds the fused **adjoint** graph for `channels` channels:
+/// zero slabs → conv/priv/reduce tasks (Gray edges preserved) → per-axis
+/// FFT chunks (per channel) → extract chunks.
+pub(crate) fn build_adjoint<const D: usize>(
+    geo: &Geometry<D>,
+    fft: &FftNd,
+    tp: &TilePlan,
+    pre: &Preprocess<D>,
+    wc: usize,
+    threads: usize,
+    channels: usize,
+) -> FusedApply {
+    let grid_len = geo.grid_len();
+    let image_len = geo.image_len();
+    let slab = piece_len(grid_len, threads);
+    let img_chunk = piece_len(image_len, threads);
+    let mut builder = DagBuilder::new();
+
+    let zero_base = emit_zero_fragment(&mut builder, grid_len, slab, channels);
+    let conv_shared = emit_spread_fragment(&mut builder, pre, channels);
+    let fft_base = emit_fft_fragment(&mut builder, fft, tp, D, channels);
+    let extract_base = emit_extract_fragment(&mut builder, image_len, img_chunk, channels);
+
+    connect_spread_edges(
+        &mut builder,
+        geo,
+        pre,
+        wc,
+        zero_base,
+        &conv_shared,
+        slab,
+        Some(Axis0Wiring { fft, tp, fft_base: &fft_base, channels }),
+    );
+    let max_writers = (0..D).map(|a| tp.writer_shards(a)).max().unwrap_or(1);
+    let mut stamp = Stamp::new(max_writers);
+    connect_fft_chain(&mut builder, fft, tp, D, channels, &mut stamp, &fft_base);
+    connect_extract_inputs(
+        &mut builder,
+        geo,
+        fft,
+        tp,
+        channels,
+        &fft_base,
+        &extract_base,
+        img_chunk,
+    );
 
     apply_phase_priorities(&mut builder, true, D);
     FusedApply { dag: builder.build(), chunks: Vec::new(), slab, img_chunk }
+}
+
+/// Builds the fused **spread-only** graph: the adjoint's zero and scatter
+/// fragments with nothing downstream — consumed by
+/// [`NufftPlan::spread_only`](crate::plan::NufftPlan::spread_only). The
+/// Gray-code exclusion edges and `zero → conv` wiring are identical to the
+/// full adjoint's, so the scattered grid is bitwise-identical to the
+/// phased spread at any thread count.
+pub(crate) fn build_spread<const D: usize>(
+    geo: &Geometry<D>,
+    pre: &Preprocess<D>,
+    wc: usize,
+    threads: usize,
+) -> FusedApply {
+    let grid_len = geo.grid_len();
+    let slab = piece_len(grid_len, threads);
+    let mut builder = DagBuilder::new();
+    let zero_base = emit_zero_fragment(&mut builder, grid_len, slab, 1);
+    let conv_shared = emit_spread_fragment(&mut builder, pre, 1);
+    connect_spread_edges(&mut builder, geo, pre, wc, zero_base, &conv_shared, slab, None);
+    apply_phase_priorities(&mut builder, true, D);
+    FusedApply { dag: builder.build(), chunks: Vec::new(), slab, img_chunk: 0 }
 }
 
 /// Writes a Chrome `trace_event` JSON (load in `chrome://tracing` or

@@ -42,7 +42,9 @@
 //! | Fig. 2 convolution | [`conv`] |
 //! | §III-B1 / Fig. 5 partitioning | [`partition`] |
 //! | §III-B2–4 + §III-D preprocessing | [`tasks`] |
+//! | stage operators (spread/interp/FFT/deconvolve) | [`stage`] |
 //! | operators + timings | [`plan`] |
+//! | type-3 (nonuniform → nonuniform) | [`type3`] |
 
 // Index-based loops below frequently address several parallel arrays
 // at once; clippy's iterator suggestion would obscure that.
@@ -56,7 +58,9 @@ pub mod partition;
 pub mod plan;
 pub mod registry;
 pub mod scale;
+pub mod stage;
 pub mod tasks;
+pub mod type3;
 pub mod windows;
 
 pub use kernel::{InterpKernel, KbKernel, KernelChoice};
@@ -64,7 +68,9 @@ pub use nufft_parallel::exec::JobPriority;
 pub use plan::{ExecMode, NufftConfig, NufftPlan, OpTimers};
 pub use registry::{
     ApplyHandle, ApplyOp, ApplyRequest, NufftService, PlanKey, PlanLease, PlanRegistry,
-    RegistryStats,
+    RegistryStats, TransformKind, Type3Lease,
 };
+pub use stage::{DeconvOp, FftOp, InterpOp, SpreadOp};
 pub use tasks::SortMode;
+pub use type3::Type3Plan;
 pub use windows::{WindowMode, WindowTable};

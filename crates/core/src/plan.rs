@@ -1,29 +1,34 @@
 //! The NUFFT plan: preprocess once, apply forward/adjoint many times.
 //!
-//! [`NufftPlan`] owns everything an iterative solver reuses across calls:
-//! the Kaiser–Bessel kernel and LUT, the roll-off/chop scale array, FFT
-//! plans, the oversampled grid workspace, the partitioning + task graph +
-//! sample reordering, the privatized tasks' halo buffers, the (optional)
-//! precomputed window table, and per-worker scratch arenas. The two
-//! operators are exact adjoints of each other:
+//! [`NufftPlan`] is a **composition of the four stage operators** in
+//! [`crate::stage`]: a [`SpreadOp`] (adjoint scatter convolution), an
+//! [`InterpOp`] (forward gather convolution), an [`FftOp`] (oversampled
+//! n-dimensional FFT) and a [`DeconvOp`] (roll-off scale + embed/extract).
+//! The plan owns one instance of each, plus the oversampled grid
+//! workspace(s) and the fused whole-operator graphs. The two operators are
+//! exact adjoints of each other:
 //!
 //! * [`NufftPlan::forward`] (the paper's FWD, MRI "type 2"):
-//!   scale → oversampled FFT → gather interpolation onto the samples;
+//!   [`DeconvOp::embed`] → [`FftOp`] forward → [`InterpOp`] gather;
 //! * [`NufftPlan::adjoint`] (the paper's ADJ, "type 1"):
-//!   scatter interpolation → oversampled inverse FFT (unnormalized) →
-//!   scale.
+//!   [`SpreadOp`] scatter → [`FftOp`] backward (unnormalized) →
+//!   [`DeconvOp::extract`].
 //!
-//! All four operators (single and batched, forward and adjoint) run through
-//! *one* convolution engine: a gather driver (dynamic chunked loop) and a
-//! scatter driver (task-graph traversal with selective privatization), each
-//! parameterized over a channel set and a [`WindowSource`]. The batched
-//! variants are therefore bitwise-identical to a loop of single applies at
-//! `C = 1` by construction, and the privatization protocol applies to the
-//! batched adjoint as well.
+//! The standalone pieces are public too: [`NufftPlan::spread_only`] and
+//! [`NufftPlan::interp_only`] run just the convolution stage (density
+//! estimation / off-grid resampling workloads), and
+//! [`crate::type3::Type3Plan`] composes the same operators into a
+//! nonuniform→nonuniform (type-3) transform.
+//!
+//! All four transform paths (single and batched, forward and adjoint) run
+//! through *one* convolution engine — the stage drivers in `crate::stage` —
+//! so the batched variants are bitwise-identical to a loop of single
+//! applies at `C = 1` by construction, and the privatization protocol
+//! applies to the batched adjoint as well.
 //!
 //! Steady-state applies perform **zero heap allocations**: the task-graph
-//! run state lives in a plan-owned [`GraphScratch`], FFT tile scratch in a
-//! [`WorkerLocal`] arena, and pointer staging in reusable plan vectors
+//! run state, FFT tile scratch and four-step `fs` buffer live inside the
+//! stage operators, and pointer staging uses reusable plan vectors
 //! (verified by the umbrella crate's counting-allocator test).
 //!
 //! Every phase is timed ([`OpTimers`]) and the adjoint convolution records
@@ -32,20 +37,19 @@
 
 use crate::conv::{
     adjoint_scatter, adjoint_scatter_local, forward_gather, forward_gather2, reduce_local, Window,
-    MAX_TAPS,
 };
 use crate::fused::{self, FusedApply, TilePlan};
-use crate::grid::{
-    embed_scaled, embed_scaled_slab, extract_scaled, extract_scaled_range, Geometry,
-};
+use crate::grid::{embed_scaled_slab, extract_scaled_range, Geometry};
 use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
-use crate::scale::build_scale;
+use crate::stage::{
+    check_kernel_fit, default_partitions, DeconvOp, FftOp, InterpOp, SendPtr, SpreadOp,
+};
 use crate::tasks::{preprocess, Preprocess, PreprocessConfig, SortMode};
 use crate::windows::{WindowMode, WindowSource, WindowTable};
 use nufft_fft::{Direction, FftNd, FftStrategy};
 use nufft_math::Complex32;
 use nufft_parallel::exec::{
-    DagScratch, ExecBackend, Executor, GraphScratch, JobPriority, RunStats, TaskPhase, TaskRecord,
+    DagScratch, ExecBackend, Executor, JobPriority, RunStats, TaskPhase, TaskRecord,
 };
 use nufft_parallel::graph::{Dag, QueuePolicy, TaskGraph};
 use nufft_parallel::scratch::WorkerLocal;
@@ -162,10 +166,6 @@ impl Default for NufftConfig {
     }
 }
 
-/// Complex elements per 64-byte cache line: chunk boundaries of contiguous
-/// output loops are rounded to this so two workers never split a line.
-const LANE_ALIGN: usize = 64 / core::mem::size_of::<Complex32>();
-
 /// Wall-clock breakdown of one operator application, in seconds — the
 /// quantities behind Figures 3 and 8.
 #[derive(Clone, Copy, Debug, Default)]
@@ -190,87 +190,35 @@ pub struct OpTimers {
     pub fft_twiddle: f64,
 }
 
-/// Per-kind FFT timing split of one phased `fft_parallel` call, summed
-/// over axes (seconds; all zero on a recursive-only plan).
-#[derive(Clone, Copy, Debug, Default)]
-struct FftSplit {
-    /// Wall time of the sub-FFT dispatches.
-    sub: f64,
-    /// Wall time of the transpose-and-combine dispatches.
-    transpose: f64,
-    /// Worker CPU-seconds inside the combine gather/twiddle sweeps.
-    twiddle: f64,
-}
-
-/// Raw-pointer wrapper for disjoint-region writes from worker threads.
-///
-/// Soundness is established by the callers: grid writers are serialized by
-/// the task graph (adjacent tasks never run concurrently — see the
-/// exclusion tests in `nufft-parallel`), forward gathers write distinct
-/// output slots, and FFT lines are pairwise disjoint.
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
-// SAFETY: see type docs — all users write pairwise-disjoint regions.
-unsafe impl<T> Send for SendPtr<T> {}
-// SAFETY: as above.
-unsafe impl<T> Sync for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    /// Accessor (rather than field access) so closures capture the whole
-    /// `SendPtr` — edition-2021 precise capture would otherwise grab the
-    /// raw-pointer field itself, which is not `Sync`.
-    fn get(self) -> *mut T {
-        self.0
-    }
-}
-
 /// A reusable D-dimensional NUFFT plan (D ∈ {1, 2, 3}).
 pub struct NufftPlan<const D: usize> {
     cfg: NufftConfig,
     geo: Geometry<D>,
-    kernel: InterpKernel,
-    scale: Vec<f32>,
-    fft: FftNd,
     exec: Executor,
-    pre: Preprocess<D>,
+    /// Adjoint scatter-convolution stage (owns preprocessing, kernel,
+    /// window table, privatized halo buffers and the graph run scratch).
+    spread: SpreadOp<D>,
+    /// Forward gather-convolution stage (shares the spread's `Arc`s).
+    interp: InterpOp<D>,
+    /// Oversampled-FFT stage (owns the tile plan, per-worker tile scratch
+    /// and the four-step `fs` intermediate buffer).
+    fft_op: FftOp,
+    /// Roll-off correction stage (geometry + scale array).
+    deconv: DeconvOp<D>,
     grid: Vec<Complex32>,
     /// Extra grids for the batched (multi-coil) operators, grown on demand.
     batch_grids: Vec<Vec<Complex32>>,
-    /// Privatized tasks' halo buffers, indexed by `buf_of_task`. Each
-    /// buffer holds `priv_channels` back-to-back copies of its region so
-    /// the batched adjoint privatizes per channel.
-    priv_bufs: Vec<Vec<Complex32>>,
-    /// Per-channel region length of each privatized buffer.
-    priv_lens: Vec<usize>,
-    /// Channel capacity the privatized buffers are currently sized for.
-    priv_channels: usize,
-    /// Staged `(base, per_channel_len)` pointers into `priv_bufs`,
-    /// refreshed (without allocating) at the top of every adjoint apply.
-    priv_ptrs: Vec<(SendPtr<Complex32>, usize)>,
-    buf_of_task: Vec<u32>,
-    /// Precomputed Part 1 table (`WindowMode::Precomputed`/`Auto`),
-    /// shareable across plans on the same trajectory (registry callers
-    /// pass a prebuilt table to [`NufftPlan::from_grid_coords_shared`]).
-    windows: Option<Arc<WindowTable<D>>>,
-    /// Reusable task-graph run state (shards, pending counters, stat logs).
-    graph_scratch: GraphScratch,
-    /// Per-worker FFT tile scratch, sized once at plan build.
-    fft_scratch: WorkerLocal<Vec<Complex32>>,
-    /// Four-step intermediate spectrum buffer (`fs`): one grid-sized region
-    /// per concurrent channel, empty when every axis runs the recursive
-    /// path. Plan-owned so steady-state applies stay allocation-free.
-    fs_scratch: Vec<Complex32>,
     /// Reusable pointer staging for the batched operators.
     ptr_scratch: Vec<SendPtr<Complex32>>,
     /// Second staging vector for operators that need two pointer sets at
     /// once (fused batch: grids + outputs).
     ptr_scratch2: Vec<SendPtr<Complex32>>,
-    /// Plan-owned FFT tile/grain decomposition (hoisted out of
-    /// `fft_parallel`'s per-call computation).
-    tile_plan: TilePlan,
     /// Fused whole-operator graphs, cached per channel count: `(C, graph)`.
     fused_fwd: Vec<(usize, FusedApply)>,
     fused_adj: Vec<(usize, FusedApply)>,
+    /// Fused spread-only graph (zero slabs + scatter task graph, no FFT or
+    /// extract fragments), built on first [`NufftPlan::spread_only`].
+    fused_spread: Option<FusedApply>,
     /// Reusable fused-graph run state (shards, pending counters, node logs).
     dag_scratch: DagScratch,
     /// Conv-phase stats synthesized from the last fused adjoint's node log,
@@ -297,8 +245,8 @@ impl<const D: usize> NufftPlan<D> {
     ///
     /// # Panics
     /// Panics if `D ∉ {1,2,3}`, extents are zero, the kernel does not fit
-    /// the grid (`M < 2W+1`), the kernel is wider than [`MAX_TAPS`], or a
-    /// trajectory point is out of range.
+    /// the grid (`M < 2W+1`), the kernel is wider than
+    /// [`crate::conv::MAX_TAPS`], or a trajectory point is out of range.
     pub fn new(n: [usize; D], traj: &[[f64; D]], cfg: NufftConfig) -> Self {
         assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
         let geo = Geometry::new(n, cfg.alpha);
@@ -379,35 +327,15 @@ impl<const D: usize> NufftPlan<D> {
         exec: Executor,
         shared_windows: Option<Arc<WindowTable<D>>>,
     ) -> Self {
-        assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
         cfg.threads = exec.threads();
-        assert!(cfg.w > 0.0, "kernel radius must be positive");
-        let taps = 2 * cfg.w.ceil() as usize + 1;
-        assert!(
-            taps <= MAX_TAPS,
-            "kernel radius W={} needs {taps} taps per window, exceeding MAX_TAPS={MAX_TAPS}",
-            cfg.w
-        );
         let geo = Geometry::new(n, cfg.alpha);
-        let min_width = 2 * cfg.w.ceil() as usize + 1;
-        for d in 0..D {
-            assert!(
-                geo.m[d] >= min_width,
-                "grid extent {} too small for kernel radius W={}",
-                geo.m[d],
-                cfg.w
-            );
-        }
-        let kernel = InterpKernel::of(cfg.kernel, cfg.w, cfg.alpha, cfg.lut_density);
-        let scale = build_scale(&geo, &kernel);
-        let fft = FftNd::with_strategy(&geo.m, cfg.fft_strategy, cfg.fft_llc_budget);
+        check_kernel_fit(&geo.m, cfg.w);
+        let kernel = Arc::new(InterpKernel::of(cfg.kernel, cfg.w, cfg.alpha, cfg.lut_density));
+        let deconv = DeconvOp::plan(n, cfg.alpha, &kernel);
         let threads = cfg.threads.max(1);
+        let fft_op = FftOp::plan(&geo.m, cfg.fft_strategy, cfg.fft_llc_budget, threads);
 
-        let partitions = cfg.partitions_per_dim.unwrap_or_else(|| {
-            // Aim for ~8 tasks per thread overall.
-            let target = (8 * threads) as f64;
-            (target.powf(1.0 / D as f64).ceil() as usize).max(2)
-        });
+        let partitions = cfg.partitions_per_dim.unwrap_or_else(|| default_partitions(threads, D));
         let pcfg = PreprocessConfig {
             partitions_per_dim: partitions,
             w: cfg.w,
@@ -418,19 +346,8 @@ impl<const D: usize> NufftPlan<D> {
             tile: (4.0 * cfg.w).ceil() as usize,
         };
         let t0 = Instant::now();
-        let pre = preprocess(&coords, geo.m, &pcfg);
+        let pre = Arc::new(preprocess(&coords, geo.m, &pcfg));
         let preprocess_seconds = t0.elapsed().as_secs_f64();
-
-        let mut priv_bufs = Vec::new();
-        let mut priv_lens = Vec::new();
-        let mut buf_of_task = vec![u32::MAX; pre.graph.len()];
-        for (t, region) in pre.regions.iter().enumerate() {
-            if let Some(r) = region {
-                buf_of_task[t] = priv_bufs.len() as u32;
-                priv_bufs.push(vec![Complex32::ZERO; r.len()]);
-                priv_lens.push(r.len());
-            }
-        }
 
         let windows = match shared_windows {
             Some(table) => {
@@ -456,41 +373,25 @@ impl<const D: usize> NufftPlan<D> {
             },
         };
 
-        let tile_plan = TilePlan::new(&fft, threads);
-        let tile_b = tile_plan.b;
-        let fft_scratch =
-            WorkerLocal::new(threads, |_| vec![Complex32::ZERO; fft.batch_scratch_len(tile_b)]);
-        // One grid-sized region **per four-step axis** (see
-        // `FftNd::fs_slots`): the fused DAG lets a later axis's sub-FFT
-        // shards start while an earlier axis's combine shards still read
-        // their sub-spectra, so axes may not share a region.
-        let fs_scratch = vec![Complex32::ZERO; geo.grid_len() * fft.fs_slots()];
+        let spread = SpreadOp::from_parts(geo.m, pre, kernel, cfg.w as f32, cfg.policy, windows);
+        let interp = InterpOp::from_spread(&spread, cfg.grain);
 
         let grid = vec![Complex32::ZERO; geo.grid_len()];
         NufftPlan {
             cfg,
             geo,
-            kernel,
-            scale,
-            fft,
             exec,
-            pre,
+            spread,
+            interp,
+            fft_op,
+            deconv,
             grid,
             batch_grids: Vec::new(),
-            priv_bufs,
-            priv_lens,
-            priv_channels: 1,
-            priv_ptrs: Vec::new(),
-            buf_of_task,
-            windows,
-            graph_scratch: GraphScratch::new(),
-            fft_scratch,
-            fs_scratch,
             ptr_scratch: Vec::new(),
             ptr_scratch2: Vec::new(),
-            tile_plan,
             fused_fwd: Vec::new(),
             fused_adj: Vec::new(),
+            fused_spread: None,
             dag_scratch: DagScratch::new(),
             fused_stats: RunStats::default(),
             preprocess_seconds,
@@ -512,12 +413,18 @@ impl<const D: usize> NufftPlan<D> {
 
     /// Number of non-uniform samples.
     pub fn num_samples(&self) -> usize {
-        self.pre.coords.len()
+        self.spread.num_samples()
     }
 
     /// Image element count (`Π n_d`).
     pub fn image_len(&self) -> usize {
         self.geo.image_len()
+    }
+
+    /// Oversampled grid element count (`Π m_d`) — the buffer length
+    /// [`NufftPlan::spread_only`] / [`NufftPlan::interp_only`] work with.
+    pub fn grid_len(&self) -> usize {
+        self.geo.grid_len()
     }
 
     /// The preprocessing wall time (Figure 14).
@@ -528,13 +435,13 @@ impl<const D: usize> NufftPlan<D> {
     /// The task-dependency graph (weights = task sample counts) — consumed
     /// by the `nufft-sim` scaling experiments.
     pub fn graph(&self) -> &TaskGraph {
-        &self.pre.graph
+        &self.spread.pre.graph
     }
 
     /// The *effective* sort mode after [`SortMode::Auto`] resolution —
     /// never `Auto`.
     pub fn sort_mode(&self) -> SortMode {
-        self.pre.sort
+        self.spread.pre.sort
     }
 
     /// Plan-time tile-revisit count of the forward gather's grid traversal
@@ -543,7 +450,7 @@ impl<const D: usize> NufftPlan<D> {
     /// ~`num_samples` ⇒ every sample is a cache-cold jump. Fixed per plan,
     /// also stamped into [`NufftPlan::last_run_stats`] after adjoints.
     pub fn gather_tile_revisits(&self) -> u64 {
-        self.pre.storage_revisits
+        self.spread.pre.storage_revisits
     }
 
     /// Plan-time tile-revisit count of the adjoint scatter's canonical
@@ -551,7 +458,7 @@ impl<const D: usize> NufftPlan<D> {
     /// determinism rule; under [`SortMode::None`] the scatter still pays
     /// random *sample-data* reads through the scan indirection.
     pub fn scatter_tile_revisits(&self) -> u64 {
-        self.pre.canonical_revisits
+        self.spread.pre.canonical_revisits
     }
 
     /// Phase breakdown of the most recent [`NufftPlan::forward`].
@@ -571,7 +478,7 @@ impl<const D: usize> NufftPlan<D> {
     pub fn last_run_stats(&self) -> Option<&RunStats> {
         match self.stats_source {
             StatsSource::None => None,
-            StatsSource::Phased => Some(self.graph_scratch.stats()),
+            StatsSource::Phased => Some(self.spread.scratch.stats()),
             StatsSource::Fused => Some(&self.fused_stats),
         }
     }
@@ -600,7 +507,7 @@ impl<const D: usize> NufftPlan<D> {
     /// The *effective* window mode after `Auto` resolution: `Precomputed`
     /// when the plan holds a table, `OnTheFly` otherwise.
     pub fn window_mode(&self) -> WindowMode {
-        if self.windows.is_some() {
+        if self.spread.windows.is_some() {
             WindowMode::Precomputed
         } else {
             WindowMode::OnTheFly
@@ -609,31 +516,37 @@ impl<const D: usize> NufftPlan<D> {
 
     /// Heap footprint of the precomputed window table, if one is held.
     pub fn window_table_bytes(&self) -> Option<usize> {
-        self.windows.as_ref().map(|t| t.bytes())
+        self.spread.windows.as_ref().map(|t| t.bytes())
     }
 
     /// Switches the Part 1 window source after construction: building the
     /// table on a transition to `Precomputed` (or an `Auto` that resolves
     /// so — see [`WindowMode::resolve`]) and dropping it on a transition
     /// back to `OnTheFly`. Either source yields bitwise-identical operator
-    /// output; only apply time and memory footprint change.
+    /// output; only apply time and memory footprint change. Both conv
+    /// stages switch together.
     pub fn set_window_mode(&mut self, mode: WindowMode) {
         self.cfg.window_mode = mode;
-        let resolved =
-            mode.resolve(WindowTable::<D>::estimate_bytes(self.pre.coords.len(), self.cfg.w));
+        let resolved = mode
+            .resolve(WindowTable::<D>::estimate_bytes(self.spread.pre.coords.len(), self.cfg.w));
         match resolved {
             WindowMode::Precomputed => {
-                if self.windows.is_none() {
-                    self.windows = Some(Arc::new(WindowTable::build(
-                        &self.pre.coords,
+                if self.spread.windows.is_none() {
+                    let table = Arc::new(WindowTable::build(
+                        &self.spread.pre.coords,
                         self.cfg.w as f32,
-                        &self.kernel,
+                        &self.spread.kernel,
                         &self.exec,
                         self.cfg.grain,
-                    )));
+                    ));
+                    self.spread.windows = Some(Arc::clone(&table));
+                    self.interp.windows = Some(table);
                 }
             }
-            _ => self.windows = None,
+            _ => {
+                self.spread.windows = None;
+                self.interp.windows = None;
+            }
         }
     }
 
@@ -641,7 +554,7 @@ impl<const D: usize> NufftPlan<D> {
     /// [`crate::registry::PlanRegistry`] stashes this after the first build
     /// of a key so later plan instances skip Part 1 entirely.
     pub fn shared_window_table(&self) -> Option<Arc<WindowTable<D>>> {
-        self.windows.clone()
+        self.spread.windows.clone()
     }
 
     /// The executor this plan dispatches on (clone to share the pool).
@@ -660,16 +573,24 @@ impl<const D: usize> NufftPlan<D> {
         self.cfg.admission = priority;
     }
 
-    /// The plan's current window source (table if held, else on the fly).
-    fn window_source(&self) -> WindowSource<'_, D> {
-        match &self.windows {
-            Some(table) => WindowSource::Table(table),
-            None => WindowSource::Fly {
-                coords: &self.pre.coords,
-                wrad: self.cfg.w as f32,
-                kernel: &self.kernel,
-            },
-        }
+    /// The plan's spread (adjoint scatter-convolution) stage.
+    pub fn spread_op(&self) -> &SpreadOp<D> {
+        &self.spread
+    }
+
+    /// The plan's interpolation (forward gather-convolution) stage.
+    pub fn interp_op(&self) -> &InterpOp<D> {
+        &self.interp
+    }
+
+    /// The plan's FFT stage.
+    pub fn fft_op(&self) -> &FftOp {
+        &self.fft_op
+    }
+
+    /// The plan's deconvolution (roll-off scale) stage.
+    pub fn deconv_op(&self) -> &DeconvOp<D> {
+        &self.deconv
     }
 
     /// Forward NUFFT: image → samples. `out[p]` receives the DTFT
@@ -689,46 +610,28 @@ impl<const D: usize> NufftPlan<D> {
             let images = [image];
             let twiddle_ns = AtomicU64::new(0);
             {
-                let Self {
-                    cfg,
-                    geo,
-                    exec,
-                    pre,
-                    fft,
-                    fft_scratch,
-                    fs_scratch,
-                    scale,
-                    dag_scratch,
-                    tile_plan,
-                    fused_fwd,
-                    ..
-                } = self;
+                let Self { cfg, geo, exec, spread, fft_op, deconv, dag_scratch, fused_fwd, .. } =
+                    self;
                 let fa = &fused_fwd[idx].1;
-                let source = match &self.windows {
-                    Some(table) => WindowSource::Table(table),
-                    None => WindowSource::Fly {
-                        coords: &pre.coords,
-                        wrad: cfg.w as f32,
-                        kernel: &self.kernel,
-                    },
-                };
+                let fs_ptr = SendPtr(fft_op.fs.as_mut_ptr());
+                let source = spread.window_source();
                 Self::fused_forward_run(
                     exec,
                     cfg.policy,
                     cfg.admission,
                     dag_scratch,
                     fa,
-                    tile_plan,
-                    fft,
+                    &fft_op.tile_plan,
+                    &fft_op.fft,
                     geo,
-                    scale,
-                    pre,
+                    &deconv.scale,
+                    &spread.pre,
                     &source,
-                    fft_scratch,
+                    &fft_op.scratch,
                     &images,
                     &grid_ptrs,
                     &out_ptrs,
-                    SendPtr(fs_scratch.as_mut_ptr()),
+                    fs_ptr,
                     &twiddle_ns,
                 );
             }
@@ -743,35 +646,18 @@ impl<const D: usize> NufftPlan<D> {
 
         // Phase 1: scale + embed.
         let t0 = Instant::now();
-        self.grid.fill(Complex32::ZERO);
-        embed_scaled(&self.geo, image, &self.scale, &mut self.grid);
+        self.deconv.embed(image, &mut self.grid);
         let scale_t = t0.elapsed().as_secs_f64();
 
         // Phase 2: oversampled FFT (lines parallelized per axis).
         let t0 = Instant::now();
-        let split = Self::fft_parallel(
-            &self.fft,
-            &mut self.grid,
-            &mut self.fs_scratch,
-            &self.exec,
-            &self.fft_scratch,
-            &self.tile_plan,
-            Direction::Forward,
-        );
+        let split = self.fft_op.apply_split(&self.exec, &mut self.grid, Direction::Forward);
         let fft_t = t0.elapsed().as_secs_f64();
 
         // Phase 3: gather convolution, dynamic loop partitioning.
         let t0 = Instant::now();
         let out_ptrs = [SendPtr(out.as_mut_ptr())];
-        Self::gather_driver(
-            &self.exec,
-            self.cfg.grain,
-            &self.pre,
-            &self.window_source(),
-            &self.geo.m,
-            core::slice::from_ref(&self.grid),
-            &out_ptrs,
-        );
+        self.interp.gather_ptrs(&self.exec, core::slice::from_ref(&self.grid), &out_ptrs);
         let conv_t = t0.elapsed().as_secs_f64();
 
         self.last_forward = OpTimers {
@@ -798,63 +684,43 @@ impl<const D: usize> NufftPlan<D> {
 
         if self.cfg.exec_mode == ExecMode::Fused {
             let idx = self.ensure_fused(true, 1);
-            self.refresh_priv_ptrs();
+            self.spread.refresh_priv_ptrs();
             let grid_ptrs = [SendPtr(self.grid.as_mut_ptr())];
             let out_ptrs = [SendPtr(out.as_mut_ptr())];
             let samples_by_channel = [samples];
             let twiddle_ns = AtomicU64::new(0);
             {
-                let Self {
-                    cfg,
-                    geo,
-                    exec,
-                    pre,
-                    fft,
-                    fft_scratch,
-                    fs_scratch,
-                    scale,
-                    dag_scratch,
-                    tile_plan,
-                    fused_adj,
-                    priv_ptrs,
-                    buf_of_task,
-                    ..
-                } = self;
+                let Self { cfg, geo, exec, spread, fft_op, deconv, dag_scratch, fused_adj, .. } =
+                    self;
                 let fa = &fused_adj[idx].1;
-                let source = match &self.windows {
-                    Some(table) => WindowSource::Table(table),
-                    None => WindowSource::Fly {
-                        coords: &pre.coords,
-                        wrad: cfg.w as f32,
-                        kernel: &self.kernel,
-                    },
-                };
+                let fs_ptr = SendPtr(fft_op.fs.as_mut_ptr());
+                let source = spread.window_source();
                 Self::fused_adjoint_run(
                     exec,
                     cfg.policy,
                     cfg.admission,
                     dag_scratch,
                     fa,
-                    tile_plan,
-                    fft,
+                    &fft_op.tile_plan,
+                    &fft_op.fft,
                     geo,
-                    scale,
-                    pre,
+                    &deconv.scale,
+                    &spread.pre,
                     &source,
-                    fft_scratch,
+                    &fft_op.scratch,
                     &grid_ptrs,
-                    priv_ptrs,
-                    buf_of_task,
+                    &spread.priv_ptrs,
+                    &spread.buf_of_task,
                     &samples_by_channel,
                     &out_ptrs,
-                    SendPtr(fs_scratch.as_mut_ptr()),
+                    fs_ptr,
                     &twiddle_ns,
                 );
             }
             Self::synth_conv_stats(
                 self.dag_scratch.stats(),
                 &mut self.fused_stats,
-                self.pre.canonical_revisits,
+                self.spread.pre.canonical_revisits,
             );
             self.stats_source = StatsSource::Fused;
             self.last_adjoint = Self::fused_adjoint_timers(
@@ -874,20 +740,12 @@ impl<const D: usize> NufftPlan<D> {
 
         // Phase 2: unnormalized backward FFT (the exact FFT adjoint).
         let t0 = Instant::now();
-        let split = Self::fft_parallel(
-            &self.fft,
-            &mut self.grid,
-            &mut self.fs_scratch,
-            &self.exec,
-            &self.fft_scratch,
-            &self.tile_plan,
-            Direction::Backward,
-        );
+        let split = self.fft_op.apply_split(&self.exec, &mut self.grid, Direction::Backward);
         let fft_t = t0.elapsed().as_secs_f64();
 
         // Phase 3: extract + scale.
         let t0 = Instant::now();
-        extract_scaled(&self.geo, &self.grid, &self.scale, out);
+        self.deconv.extract(&self.grid, out);
         let scale_t = t0.elapsed().as_secs_f64();
 
         self.last_adjoint = OpTimers {
@@ -899,6 +757,80 @@ impl<const D: usize> NufftPlan<D> {
             fft_transpose: split.transpose,
             fft_twiddle: split.twiddle,
         };
+    }
+
+    /// Standalone adjoint **spread**: scatters `samples` onto the
+    /// oversampled grid `grid` (length [`NufftPlan::grid_len`]) — the
+    /// convolution stage alone, no FFT or deconvolution. `grid` is zeroed
+    /// first; the accumulation order is the canonical tile-major one, so
+    /// output is bitwise-deterministic across thread counts, sort modes
+    /// and exec modes (the fused spread graph carries the same Gray-code
+    /// exclusion edges as the full adjoint).
+    ///
+    /// # Panics
+    /// Panics if buffer lengths don't match the plan.
+    pub fn spread_only(&mut self, samples: &[Complex32], grid: &mut [Complex32]) {
+        assert_eq!(samples.len(), self.num_samples(), "sample buffer length mismatch");
+        assert_eq!(grid.len(), self.geo.grid_len(), "grid buffer length mismatch");
+
+        if self.cfg.exec_mode == ExecMode::Fused {
+            self.ensure_fused_spread();
+            self.spread.refresh_priv_ptrs();
+            let grid_ptrs = [SendPtr(grid.as_mut_ptr())];
+            let out_ptrs: [SendPtr<Complex32>; 0] = [];
+            let samples_by_channel = [samples];
+            let twiddle_ns = AtomicU64::new(0);
+            {
+                let Self {
+                    cfg, geo, exec, spread, fft_op, deconv, dag_scratch, fused_spread, ..
+                } = self;
+                let fa = fused_spread.as_ref().expect("spread graph just built");
+                let fs_ptr = SendPtr(fft_op.fs.as_mut_ptr());
+                let source = spread.window_source();
+                Self::fused_adjoint_run(
+                    exec,
+                    cfg.policy,
+                    cfg.admission,
+                    dag_scratch,
+                    fa,
+                    &fft_op.tile_plan,
+                    &fft_op.fft,
+                    geo,
+                    &deconv.scale,
+                    &spread.pre,
+                    &source,
+                    &fft_op.scratch,
+                    &grid_ptrs,
+                    &spread.priv_ptrs,
+                    &spread.buf_of_task,
+                    &samples_by_channel,
+                    &out_ptrs,
+                    fs_ptr,
+                    &twiddle_ns,
+                );
+            }
+            Self::synth_conv_stats(
+                self.dag_scratch.stats(),
+                &mut self.fused_stats,
+                self.spread.pre.canonical_revisits,
+            );
+            self.stats_source = StatsSource::Fused;
+            return;
+        }
+
+        self.spread.apply(&self.exec, self.cfg.admission, samples, grid);
+        self.stats_source = StatsSource::Phased;
+    }
+
+    /// Standalone forward **interpolation**: gathers every sample's value
+    /// from an oversampled grid (length [`NufftPlan::grid_len`]) into
+    /// `out` (original caller order). Pure reads of `grid`; the same
+    /// single dynamic-loop dispatch under either exec mode.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths don't match the plan.
+    pub fn interp_only(&self, grid: &[Complex32], out: &mut [Complex32]) {
+        self.interp.apply(&self.exec, grid, out);
     }
 
     /// Batched forward NUFFT over `C` images sharing this trajectory (the
@@ -940,44 +872,35 @@ impl<const D: usize> NufftPlan<D> {
                     cfg,
                     geo,
                     exec,
-                    pre,
-                    fft,
-                    fft_scratch,
-                    fs_scratch,
-                    scale,
+                    spread,
+                    fft_op,
+                    deconv,
                     dag_scratch,
-                    tile_plan,
                     fused_fwd,
                     ptr_scratch,
                     ptr_scratch2,
                     ..
                 } = self;
                 let fa = &fused_fwd[idx].1;
-                let source = match &self.windows {
-                    Some(table) => WindowSource::Table(table),
-                    None => WindowSource::Fly {
-                        coords: &pre.coords,
-                        wrad: cfg.w as f32,
-                        kernel: &self.kernel,
-                    },
-                };
+                let fs_ptr = SendPtr(fft_op.fs.as_mut_ptr());
+                let source = spread.window_source();
                 Self::fused_forward_run(
                     exec,
                     cfg.policy,
                     cfg.admission,
                     dag_scratch,
                     fa,
-                    tile_plan,
-                    fft,
+                    &fft_op.tile_plan,
+                    &fft_op.fft,
                     geo,
-                    scale,
-                    pre,
+                    &deconv.scale,
+                    &spread.pre,
                     &source,
-                    fft_scratch,
+                    &fft_op.scratch,
                     images,
                     ptr_scratch2,
                     ptr_scratch,
-                    SendPtr(fs_scratch.as_mut_ptr()),
+                    fs_ptr,
                     &twiddle_ns,
                 );
             }
@@ -986,30 +909,12 @@ impl<const D: usize> NufftPlan<D> {
         }
 
         for c in 0..channels {
-            let grid = &mut self.batch_grids[c];
-            grid.fill(Complex32::ZERO);
-            embed_scaled(&self.geo, images[c], &self.scale, grid);
-            Self::fft_parallel(
-                &self.fft,
-                grid,
-                &mut self.fs_scratch,
-                &self.exec,
-                &self.fft_scratch,
-                &self.tile_plan,
-                Direction::Forward,
-            );
+            self.deconv.embed(images[c], &mut self.batch_grids[c]);
+            self.fft_op.apply_split(&self.exec, &mut self.batch_grids[c], Direction::Forward);
         }
         self.ptr_scratch.clear();
         self.ptr_scratch.extend(outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())));
-        Self::gather_driver(
-            &self.exec,
-            self.cfg.grain,
-            &self.pre,
-            &self.window_source(),
-            &self.geo.m,
-            &self.batch_grids[..channels],
-            &self.ptr_scratch,
-        );
+        self.interp.gather_ptrs(&self.exec, &self.batch_grids[..channels], &self.ptr_scratch);
     }
 
     /// Batched adjoint NUFFT over `C` sample vectors sharing this
@@ -1030,8 +935,8 @@ impl<const D: usize> NufftPlan<D> {
             assert_eq!(outs[c].len(), self.geo.image_len(), "output {c} length mismatch");
         }
         self.ensure_batch_grids(channels);
-        self.ensure_priv_channels(channels);
-        self.refresh_priv_ptrs();
+        self.spread.ensure_priv_channels(channels);
+        self.spread.refresh_priv_ptrs();
 
         if self.cfg.exec_mode == ExecMode::Fused {
             // One graph covers zeroing, the privatized scatter protocol,
@@ -1049,55 +954,44 @@ impl<const D: usize> NufftPlan<D> {
                     cfg,
                     geo,
                     exec,
-                    pre,
-                    fft,
-                    fft_scratch,
-                    fs_scratch,
-                    scale,
+                    spread,
+                    fft_op,
+                    deconv,
                     dag_scratch,
-                    tile_plan,
                     fused_adj,
-                    priv_ptrs,
-                    buf_of_task,
                     ptr_scratch,
                     ptr_scratch2,
                     ..
                 } = self;
                 let fa = &fused_adj[idx].1;
-                let source = match &self.windows {
-                    Some(table) => WindowSource::Table(table),
-                    None => WindowSource::Fly {
-                        coords: &pre.coords,
-                        wrad: cfg.w as f32,
-                        kernel: &self.kernel,
-                    },
-                };
+                let fs_ptr = SendPtr(fft_op.fs.as_mut_ptr());
+                let source = spread.window_source();
                 Self::fused_adjoint_run(
                     exec,
                     cfg.policy,
                     cfg.admission,
                     dag_scratch,
                     fa,
-                    tile_plan,
-                    fft,
+                    &fft_op.tile_plan,
+                    &fft_op.fft,
                     geo,
-                    scale,
-                    pre,
+                    &deconv.scale,
+                    &spread.pre,
                     &source,
-                    fft_scratch,
+                    &fft_op.scratch,
                     ptr_scratch,
-                    priv_ptrs,
-                    buf_of_task,
+                    &spread.priv_ptrs,
+                    &spread.buf_of_task,
                     samples,
                     ptr_scratch2,
-                    SendPtr(fs_scratch.as_mut_ptr()),
+                    fs_ptr,
                     &twiddle_ns,
                 );
             }
             Self::synth_conv_stats(
                 self.dag_scratch.stats(),
                 &mut self.fused_stats,
-                self.pre.canonical_revisits,
+                self.spread.pre.canonical_revisits,
             );
             self.stats_source = StatsSource::Fused;
             self.trace_fused(true);
@@ -1107,58 +1001,17 @@ impl<const D: usize> NufftPlan<D> {
         for g in &mut self.batch_grids[..channels] {
             g.fill(Complex32::ZERO);
         }
+        self.ptr_scratch.clear();
+        self.ptr_scratch
+            .extend(self.batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())));
         {
-            let Self {
-                cfg,
-                geo,
-                exec,
-                pre,
-                batch_grids,
-                priv_ptrs,
-                buf_of_task,
-                graph_scratch,
-                ..
-            } = self;
-            let source = match &self.windows {
-                Some(table) => WindowSource::Table(table),
-                None => WindowSource::Fly {
-                    coords: &pre.coords,
-                    wrad: cfg.w as f32,
-                    kernel: &self.kernel,
-                },
-            };
-            let grid_len = geo.grid_len();
-            self.ptr_scratch.clear();
-            self.ptr_scratch
-                .extend(batch_grids[..channels].iter_mut().map(|g| SendPtr(g.as_mut_ptr())));
-            Self::scatter_driver(
-                exec,
-                cfg.policy,
-                cfg.admission,
-                graph_scratch,
-                pre,
-                &source,
-                &geo.m,
-                &self.ptr_scratch,
-                grid_len,
-                priv_ptrs,
-                buf_of_task,
-                samples,
-            );
+            let Self { cfg, exec, spread, ptr_scratch, .. } = self;
+            spread.accumulate_ptrs(exec, cfg.admission, ptr_scratch, samples);
         }
         self.stats_source = StatsSource::Phased;
         for c in 0..channels {
-            let grid = &mut self.batch_grids[c];
-            Self::fft_parallel(
-                &self.fft,
-                grid,
-                &mut self.fs_scratch,
-                &self.exec,
-                &self.fft_scratch,
-                &self.tile_plan,
-                Direction::Backward,
-            );
-            extract_scaled(&self.geo, grid, &self.scale, outs[c]);
+            self.fft_op.apply_split(&self.exec, &mut self.batch_grids[c], Direction::Backward);
+            self.deconv.extract(&self.batch_grids[c], outs[c]);
         }
     }
 
@@ -1167,41 +1020,6 @@ impl<const D: usize> NufftPlan<D> {
         while self.batch_grids.len() < channels {
             self.batch_grids.push(vec![Complex32::ZERO; glen]);
         }
-    }
-
-    /// Grows the privatized halo buffers to hold `channels` back-to-back
-    /// region copies each (no-op when already large enough).
-    fn ensure_priv_channels(&mut self, channels: usize) {
-        if channels > self.priv_channels {
-            for (buf, &len) in self.priv_bufs.iter_mut().zip(&self.priv_lens) {
-                buf.resize(channels * len, Complex32::ZERO);
-            }
-            self.priv_channels = channels;
-        }
-    }
-
-    /// Grows the four-step `fs` intermediate buffer to `channels`
-    /// concurrent copies of its per-axis slot set (no-op on recursive-only
-    /// plans — the buffer stays empty — or when already large enough).
-    fn ensure_fs_scratch(&mut self, channels: usize) {
-        if self.fs_scratch.is_empty() {
-            return;
-        }
-        let need = self.geo.grid_len() * self.fft.fs_slots() * channels;
-        if self.fs_scratch.len() < need {
-            self.fs_scratch.resize(need, Complex32::ZERO);
-        }
-    }
-
-    /// Restages the `(base, per_channel_len)` pointer cache into the
-    /// privatized buffers. Reuses the vector's capacity — allocation-free
-    /// after the first adjoint apply.
-    fn refresh_priv_ptrs(&mut self) {
-        self.priv_ptrs.clear();
-        let lens = &self.priv_lens;
-        self.priv_ptrs.extend(
-            self.priv_bufs.iter_mut().zip(lens).map(|(b, &l)| (SendPtr(b.as_mut_ptr()), l)),
-        );
     }
 
     /// Runs only the adjoint *convolution* (grid zeroing + scatter under
@@ -1223,15 +1041,7 @@ impl<const D: usize> NufftPlan<D> {
         assert_eq!(out.len(), self.num_samples(), "sample buffer length mismatch");
         let t0 = Instant::now();
         let out_ptrs = [SendPtr(out.as_mut_ptr())];
-        Self::gather_driver(
-            &self.exec,
-            self.cfg.grain,
-            &self.pre,
-            &self.window_source(),
-            &self.geo.m,
-            core::slice::from_ref(&self.grid),
-            &out_ptrs,
-        );
+        self.interp.gather_ptrs(&self.exec, core::slice::from_ref(&self.grid), &out_ptrs);
         t0.elapsed().as_secs_f64()
     }
 
@@ -1243,9 +1053,9 @@ impl<const D: usize> NufftPlan<D> {
         let wrad = self.cfg.w as f32;
         let t0 = Instant::now();
         let mut sink = 0.0f32;
-        for c in &self.pre.coords {
+        for c in &self.spread.pre.coords {
             for d in 0..D {
-                let w = Window::compute(c[d], wrad, &self.kernel);
+                let w = Window::compute(c[d], wrad, &self.spread.kernel);
                 sink += w.w[0] + w.w[w.len - 1];
             }
         }
@@ -1255,277 +1065,11 @@ impl<const D: usize> NufftPlan<D> {
 
     /// Scatter convolution of all samples into the (pre-zeroed) grid under
     /// the task graph, including the privatization protocol. Single-channel
-    /// entry point over the unified driver.
+    /// entry point over the spread stage.
     fn run_adjoint_convolution(&mut self, samples: &[Complex32]) {
-        self.refresh_priv_ptrs();
-        let Self { cfg, geo, exec, pre, grid, priv_ptrs, buf_of_task, graph_scratch, .. } = self;
-        let source = match &self.windows {
-            Some(table) => WindowSource::Table(table),
-            None => {
-                WindowSource::Fly { coords: &pre.coords, wrad: cfg.w as f32, kernel: &self.kernel }
-            }
-        };
-        let grid_len = grid.len();
-        let grid_ptrs = [SendPtr(grid.as_mut_ptr())];
-        Self::scatter_driver(
-            exec,
-            cfg.policy,
-            cfg.admission,
-            graph_scratch,
-            pre,
-            &source,
-            &geo.m,
-            &grid_ptrs,
-            grid_len,
-            priv_ptrs,
-            buf_of_task,
-            &[samples],
-        );
+        let grid_ptrs = [SendPtr(self.grid.as_mut_ptr())];
+        self.spread.accumulate_ptrs(&self.exec, self.cfg.admission, &grid_ptrs, &[samples]);
         self.stats_source = StatsSource::Phased;
-    }
-
-    /// The unified gather (forward-convolution) driver: one Part 1 window
-    /// fetch per sample, then a Part 2 gather per channel — channel pairs
-    /// go through [`forward_gather2`], which shares one weight expansion
-    /// across both grids while staying bitwise-equal to two single gathers.
-    ///
-    /// `grids[c]` is channel `c`'s oversampled spectrum; `out_ptrs[c]` its
-    /// output base pointer (written at permuted positions `order[i]`).
-    #[allow(clippy::too_many_arguments)]
-    fn gather_driver(
-        exec: &Executor,
-        grain: usize,
-        pre: &Preprocess<D>,
-        source: &WindowSource<'_, D>,
-        m: &[usize; D],
-        grids: &[Vec<Complex32>],
-        out_ptrs: &[SendPtr<Complex32>],
-    ) {
-        assert_eq!(grids.len(), out_ptrs.len(), "channel count mismatch");
-        let channels = grids.len();
-        let order = &pre.order;
-        // Storage order IS the traversal here: under `SortMode::TileMajor`
-        // each chunk streams grid tiles; forward gathers are pure reads, so
-        // the result is permutation-invariant (each write lands at the
-        // original position `order[i]`) and no de-permutation pass is
-        // needed — outputs are bitwise-identical across sort modes.
-        exec.parallel_for_aligned(pre.coords.len(), grain, LANE_ALIGN, |range, _w| {
-            let mut stage = [Window::EMPTY; D];
-            for i in range {
-                let win = source.at(i, &mut stage);
-                let slot = order[i] as usize;
-                let mut c = 0;
-                while c + 2 <= channels {
-                    let (va, vb) = forward_gather2(&grids[c], &grids[c + 1], m, &win);
-                    // SAFETY: `order` is a permutation; each (c, i) writes a
-                    // distinct slot of channel c's output.
-                    unsafe {
-                        *out_ptrs[c].get().add(slot) = va;
-                        *out_ptrs[c + 1].get().add(slot) = vb;
-                    }
-                    c += 2;
-                }
-                if c < channels {
-                    let v = forward_gather(&grids[c], m, &win);
-                    // SAFETY: as above.
-                    unsafe { *out_ptrs[c].get().add(slot) = v };
-                }
-            }
-        });
-    }
-
-    /// The unified scatter (adjoint-convolution) driver: a single
-    /// task-graph traversal scatters every channel, with the selective
-    /// privatization protocol applied per channel — a privatized task
-    /// convolves into `channels` back-to-back copies of its halo region and
-    /// its decoupled reduction folds each copy into the matching grid.
-    ///
-    /// At `channels == 1` this is exactly the historical single-operator
-    /// path; the batched operators are the same code with a longer channel
-    /// loop, so batch output is bitwise-identical to repeated single
-    /// applies.
-    ///
-    /// Samples are visited in the **canonical tile-major order** via
-    /// [`Preprocess::visit`] regardless of sort mode, pinning the
-    /// floating-point accumulation order — sorted and unsorted plans
-    /// produce bitwise-identical grids (DESIGN.md §14).
-    #[allow(clippy::too_many_arguments)]
-    fn scatter_driver(
-        exec: &Executor,
-        policy: QueuePolicy,
-        priority: JobPriority,
-        scratch: &mut GraphScratch,
-        pre: &Preprocess<D>,
-        source: &WindowSource<'_, D>,
-        m: &[usize; D],
-        grid_ptrs: &[SendPtr<Complex32>],
-        grid_len: usize,
-        priv_ptrs: &[(SendPtr<Complex32>, usize)],
-        buf_of_task: &[u32],
-        samples: &[&[Complex32]],
-    ) {
-        assert_eq!(grid_ptrs.len(), samples.len(), "channel count mismatch");
-        let channels = grid_ptrs.len();
-        let order = &pre.order;
-        exec.run_graph_reuse_prio(&pre.graph, policy, priority, scratch, |t, phase, _w| {
-            match phase {
-                TaskPhase::Normal => {
-                    let mut stage = [Window::EMPTY; D];
-                    for vi in pre.ranges[t].clone() {
-                        let i = pre.visit(vi);
-                        let win = source.at(i, &mut stage);
-                        let slot = order[i] as usize;
-                        for (c, gp) in grid_ptrs.iter().enumerate() {
-                            // SAFETY: the task graph serializes adjacent
-                            // tasks; this task only touches its own halo box
-                            // of each channel's grid.
-                            let grid =
-                                unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
-                            adjoint_scatter(grid, m, &win, samples[c][slot]);
-                        }
-                    }
-                }
-                TaskPhase::PrivateConvolve => {
-                    let region = pre.regions[t].expect("privatized task has region");
-                    let (base, clen) = priv_ptrs[buf_of_task[t] as usize];
-                    // SAFETY: each privatized task owns its buffer
-                    // exclusively; phases of one task never overlap. The
-                    // buffer holds ≥ `channels` region copies
-                    // (`ensure_priv_channels`).
-                    let buf_all =
-                        unsafe { core::slice::from_raw_parts_mut(base.get(), channels * clen) };
-                    buf_all.fill(Complex32::ZERO);
-                    let mut stage = [Window::EMPTY; D];
-                    for vi in pre.ranges[t].clone() {
-                        let i = pre.visit(vi);
-                        let win = source.at(i, &mut stage);
-                        let slot = order[i] as usize;
-                        for c in 0..channels {
-                            adjoint_scatter_local(
-                                &mut buf_all[c * clen..(c + 1) * clen],
-                                &region.origin,
-                                &region.size,
-                                &win,
-                                samples[c][slot],
-                            );
-                        }
-                    }
-                }
-                TaskPhase::Reduce => {
-                    let region = pre.regions[t].expect("privatized task has region");
-                    let (base, clen) = priv_ptrs[buf_of_task[t] as usize];
-                    for (c, gp) in grid_ptrs.iter().enumerate() {
-                        // SAFETY: reductions run under the same exclusion
-                        // edges as normal tasks; the buffer was filled by
-                        // this task's convolve phase which has completed.
-                        let grid = unsafe { core::slice::from_raw_parts_mut(gp.get(), grid_len) };
-                        let buf =
-                            unsafe { core::slice::from_raw_parts(base.get().add(c * clen), clen) };
-                        reduce_local(grid, m, buf, &region.origin, &region.size);
-                    }
-                }
-            }
-        });
-        // The scatter traversal is fixed at plan time, so its tile-revisit
-        // count is a plan constant — stamp it into the freshly harvested
-        // stats so locality is observable next to the timing log.
-        scratch.stats_mut().tile_revisits = pre.canonical_revisits;
-    }
-
-    /// Parallel n-dimensional FFT: SIMD-width tiles of adjacent lines per
-    /// axis, sharded over the executor. The tile/grain decomposition comes
-    /// from the plan-owned [`TilePlan`] and tile scratch from the plan's
-    /// per-worker arena — no computation or allocation at apply time.
-    ///
-    /// A four-step axis runs as two dispatches over finer shards — tile ×
-    /// column-group sub-FFTs into `fs`, then tile × k-block combines back —
-    /// with the join between them standing in for the fused graph's
-    /// sub → combine edges. Returns the per-kind timing split (zeros on a
-    /// recursive-only plan).
-    fn fft_parallel(
-        fft: &FftNd,
-        data: &mut [Complex32],
-        fs: &mut [Complex32],
-        exec: &Executor,
-        scratch: &WorkerLocal<Vec<Complex32>>,
-        tp: &TilePlan,
-        dir: Direction,
-    ) -> FftSplit {
-        let base = SendPtr(data.as_mut_ptr());
-        let b = tp.b;
-        let mut split = FftSplit::default();
-        for axis in 0..fft.shape().len() {
-            let ap = tp.axes[axis];
-            if let Some((colg, kbg)) = ap.shards {
-                debug_assert!(fs.len() >= fft.len(), "fs scratch not sized for four-step");
-                let fsp = SendPtr(fs.as_mut_ptr());
-                let t0 = Instant::now();
-                exec.parallel_for_aligned(ap.tiles * colg, ap.grain, tp.align, |range, w| {
-                    // SAFETY: the executor guarantees worker `w` is the only
-                    // thread using slot `w` during this dispatch.
-                    let scratch = unsafe { scratch.get(w) };
-                    for i in range {
-                        // SAFETY: distinct (tile, column-group) shards read
-                        // and write disjoint regions.
-                        unsafe {
-                            fft.fs_sub_pass_raw(
-                                base.get(),
-                                fsp.get(),
-                                axis,
-                                i / colg,
-                                i % colg,
-                                b,
-                                scratch,
-                                dir,
-                            )
-                        };
-                    }
-                });
-                split.sub += t0.elapsed().as_secs_f64();
-                let twiddle_ns = AtomicU64::new(0);
-                let t0 = Instant::now();
-                exec.parallel_for_aligned(ap.tiles * kbg, ap.grain, tp.align, |range, w| {
-                    // SAFETY: as above.
-                    let scratch = unsafe { scratch.get(w) };
-                    let mut tw = 0.0;
-                    for i in range {
-                        // SAFETY: distinct (tile, k-block) shards touch
-                        // disjoint regions; every sub pass completed at the
-                        // join of the previous dispatch.
-                        tw += unsafe {
-                            fft.fs_combine_pass_raw(
-                                fsp.get(),
-                                base.get(),
-                                axis,
-                                i / kbg,
-                                i % kbg,
-                                b,
-                                scratch,
-                                dir,
-                            )
-                        };
-                    }
-                    twiddle_ns.fetch_add((tw * 1e9) as u64, Ordering::Relaxed);
-                });
-                split.transpose += t0.elapsed().as_secs_f64();
-                split.twiddle += twiddle_ns.load(Ordering::Relaxed) as f64 * 1e-9;
-                continue;
-            }
-            // Tile-chunk boundaries rounded to a full cache line of complex
-            // elements keep two workers off the same line of line-starts.
-            exec.parallel_for_aligned(ap.tiles, ap.grain, tp.align, |range, w| {
-                // SAFETY: the executor guarantees worker `w` is the only
-                // thread using slot `w` during this dispatch.
-                let scratch = unsafe { scratch.get(w) };
-                for tile in range {
-                    // SAFETY: tiles of one axis are pairwise disjoint; the
-                    // axes are processed with a barrier between them
-                    // (parallel_for joins before returning).
-                    unsafe { fft.transform_tile_raw(base.get(), axis, tile, b, scratch, dir) };
-                }
-            });
-        }
-        split
     }
 
     /// Builds (or finds the cached) fused graph for one direction and
@@ -1533,7 +1077,7 @@ impl<const D: usize> NufftPlan<D> {
     /// per `(direction, C)` over a plan's lifetime, so warmed-up applies
     /// stay allocation-free.
     fn ensure_fused(&mut self, adjoint: bool, channels: usize) -> usize {
-        self.ensure_fs_scratch(channels);
+        self.fft_op.ensure_channels(channels);
         let cache = if adjoint { &self.fused_adj } else { &self.fused_fwd };
         if let Some(i) = cache.iter().position(|(c, _)| *c == channels) {
             return i;
@@ -1543,9 +1087,9 @@ impl<const D: usize> NufftPlan<D> {
         let fa = if adjoint {
             fused::build_adjoint(
                 &self.geo,
-                &self.fft,
-                &self.tile_plan,
-                &self.pre,
+                &self.fft_op.fft,
+                &self.fft_op.tile_plan,
+                &self.spread.pre,
                 wc,
                 threads,
                 channels,
@@ -1553,9 +1097,9 @@ impl<const D: usize> NufftPlan<D> {
         } else {
             fused::build_forward(
                 &self.geo,
-                &self.fft,
-                &self.tile_plan,
-                &self.pre,
+                &self.fft_op.fft,
+                &self.fft_op.tile_plan,
+                &self.spread.pre,
                 wc,
                 self.cfg.grain,
                 threads,
@@ -1567,9 +1111,19 @@ impl<const D: usize> NufftPlan<D> {
         cache.len() - 1
     }
 
+    /// Builds (once) the fused spread-only graph: the adjoint graph's zero
+    /// and scatter fragments with no FFT or extract stages downstream.
+    fn ensure_fused_spread(&mut self) {
+        if self.fused_spread.is_none() {
+            let wc = self.cfg.w.ceil() as usize;
+            self.fused_spread =
+                Some(fused::build_spread(&self.geo, &self.spread.pre, wc, self.exec.threads()));
+        }
+    }
+
     /// Executes one fused four-step shard ([`fused::KIND_FFT_SUB`] or
     /// [`fused::KIND_FFT_TRN`]): the pass over the node's tile-chunk run,
-    /// against channel `c`'s grid and its region of the plan-owned `fs`
+    /// against channel `c`'s grid and its region of the stage-owned `fs`
     /// buffer. Shared by the forward and adjoint dispatchers.
     #[allow(clippy::too_many_arguments)]
     fn run_fourstep_shard(
@@ -1591,10 +1145,10 @@ impl<const D: usize> NufftPlan<D> {
         let idx = fused::index_of(tag);
         // SAFETY: worker `w` owns scratch slot `w` while this node runs.
         let scratch = unsafe { fft_scratch.get(w) };
-        // SAFETY: `ensure_fs_scratch` sized `fs` to `fs_slots()` grids per
-        // channel; each four-step axis owns a slot so a later axis's sub
-        // shards never overwrite spectra an earlier axis's combine shards
-        // are still reading.
+        // SAFETY: `FftOp::ensure_channels` sized `fs` to `fs_slots()` grids
+        // per channel; each four-step axis owns a slot so a later axis's
+        // sub shards never overwrite spectra an earlier axis's combine
+        // shards are still reading.
         let fsp = unsafe { fs.get().add((c * fft.fs_slots() + fft.fs_slot(axis)) * grid_len) };
         if fused::kind_of(tag) == fused::KIND_FFT_SUB {
             let (chunk, cg) = (idx / colg, idx % colg);
@@ -1636,7 +1190,7 @@ impl<const D: usize> NufftPlan<D> {
 
     /// Executes a fused forward graph: scale slabs, FFT tile chunks and
     /// gather chunks dispatched as one DAG. Every node body is the same
-    /// code the phased drivers run over the same decomposition, so the
+    /// code the stage drivers run over the same decomposition, so the
     /// output is bitwise-identical to the phased pipeline.
     #[allow(clippy::too_many_arguments)]
     fn fused_forward_run(
@@ -1771,6 +1325,8 @@ impl<const D: usize> NufftPlan<D> {
     /// (with the privatization protocol), per-channel inverse-FFT chunks
     /// and extract chunks as one DAG. Bitwise-identical to the phased
     /// pipeline — the Gray-code exclusion edges fix the accumulation order.
+    /// A spread-only graph (no FFT/extract fragments) runs through the
+    /// same dispatcher with an empty `out_ptrs`.
     #[allow(clippy::too_many_arguments)]
     fn fused_adjoint_run(
         exec: &Executor,

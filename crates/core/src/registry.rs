@@ -25,6 +25,7 @@
 
 use crate::plan::{NufftConfig, NufftPlan};
 use crate::tasks::SortMode;
+use crate::type3::Type3Plan;
 use crate::windows::WindowTable;
 use nufft_math::Complex32;
 use nufft_parallel::exec::{Executor, JobPriority};
@@ -32,6 +33,27 @@ use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Which transform family a registry key caches — part of [`PlanKey`] so
+/// plans of different families with otherwise-identical parameters can
+/// never alias (a type-3 plan's fine-grid geometry depends on *both*
+/// clouds; a spread-only checkout is contractually never FFT'd).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// A full type-1/type-2 plan ([`PlanRegistry::checkout`]).
+    Type12,
+    /// A spread/interp-only checkout ([`PlanRegistry::checkout_spread`]).
+    SpreadOnly,
+    /// A type-3 plan ([`PlanRegistry::checkout_type3`]); the key's
+    /// `traj_fp`/`traj_len` fingerprint the *sources*, these fields the
+    /// targets.
+    Type3 {
+        /// FNV-1a over the target frequencies' bit patterns.
+        targets_fp: u64,
+        /// Target count (collision guard, like `traj_len`).
+        targets_len: usize,
+    },
+}
 
 /// Registry key: everything that determines a plan's precomputation.
 ///
@@ -70,6 +92,8 @@ pub struct PlanKey<const D: usize> {
     /// `NufftConfig::fft_llc_budget` — under `Auto` the budget decides
     /// which axes go four-step, so it is plan-shaping state too.
     pub fft_llc_budget: usize,
+    /// Transform family (and, for type-3, the target-cloud geometry).
+    pub kind: TransformKind,
 }
 
 /// FNV-1a over the trajectory's coordinate bit patterns, folding each
@@ -124,6 +148,18 @@ pub struct PlanRegistry<const D: usize> {
     exec: Executor,
     max_idle: usize,
     inner: Mutex<HashMap<PlanKey<D>, KeyPool<D>>>,
+    /// Type-3 instances pool separately ([`Type3Plan`] is a distinct
+    /// type); keys still carry [`TransformKind::Type3`] so the two maps'
+    /// key spaces are disjoint by construction.
+    inner3: Mutex<HashMap<PlanKey<D>, Type3Pool<D>>>,
+}
+
+/// Per-key state for pooled type-3 instances (no shared window table yet —
+/// a type-3 build's Part 1 lives inside its stage operators).
+struct Type3Pool<const D: usize> {
+    idle: Vec<Type3Plan<D>>,
+    hits: u64,
+    misses: u64,
 }
 
 impl<const D: usize> PlanRegistry<D> {
@@ -146,6 +182,7 @@ impl<const D: usize> PlanRegistry<D> {
             exec,
             max_idle: Self::DEFAULT_MAX_IDLE,
             inner: Mutex::new(HashMap::new()),
+            inner3: Mutex::new(HashMap::new()),
         }
     }
 
@@ -167,6 +204,33 @@ impl<const D: usize> PlanRegistry<D> {
 
     /// The key `checkout(n, traj)` would use.
     pub fn key_of(&self, n: [usize; D], traj: &[[f64; D]]) -> PlanKey<D> {
+        self.make_key(n, traj, TransformKind::Type12)
+    }
+
+    /// The key `checkout_spread(n, traj)` would use: identical parameters,
+    /// distinct [`TransformKind`] — never aliases a [`key_of`] key.
+    ///
+    /// [`key_of`]: PlanRegistry::key_of
+    pub fn key_of_spread(&self, n: [usize; D], traj: &[[f64; D]]) -> PlanKey<D> {
+        self.make_key(n, traj, TransformKind::SpreadOnly)
+    }
+
+    /// The key `checkout_type3(sources, targets)` would use: `traj_fp`
+    /// fingerprints the sources, the [`TransformKind::Type3`] payload the
+    /// targets, and `n` is zeroed (a type-3 plan derives its own fine-grid
+    /// extents) — never aliases a type-1/2 or spread-only key.
+    pub fn key_of_type3(&self, sources: &[[f64; D]], targets: &[[f64; D]]) -> PlanKey<D> {
+        self.make_key(
+            [0; D],
+            sources,
+            TransformKind::Type3 {
+                targets_fp: traj_fingerprint(targets),
+                targets_len: targets.len(),
+            },
+        )
+    }
+
+    fn make_key(&self, n: [usize; D], traj: &[[f64; D]], kind: TransformKind) -> PlanKey<D> {
         PlanKey {
             n,
             w_bits: self.cfg.w.to_bits(),
@@ -178,6 +242,7 @@ impl<const D: usize> PlanRegistry<D> {
             sort: self.cfg.sort,
             fft_strategy: self.cfg.fft_strategy,
             fft_llc_budget: self.cfg.fft_llc_budget,
+            kind,
         }
     }
 
@@ -189,7 +254,51 @@ impl<const D: usize> PlanRegistry<D> {
     /// # Panics
     /// Propagates [`NufftPlan::new`] panics on the miss path.
     pub fn checkout(&self, n: [usize; D], traj: &[[f64; D]]) -> PlanLease<'_, D> {
-        let key = self.key_of(n, traj);
+        self.checkout_keyed(self.key_of(n, traj), n, traj)
+    }
+
+    /// Checks out a plan instance reserved for spread/interp-only use
+    /// ([`NufftPlan::spread_only`] / [`NufftPlan::interp_only`]): same
+    /// construction, but pooled under a [`TransformKind::SpreadOnly`] key
+    /// so instances never migrate between full-transform and
+    /// deposition-only tenants.
+    pub fn checkout_spread(&self, n: [usize; D], traj: &[[f64; D]]) -> PlanLease<'_, D> {
+        self.checkout_keyed(self.key_of_spread(n, traj), n, traj)
+    }
+
+    /// Checks out a pooled [`Type3Plan`] for `(sources, targets)`: an idle
+    /// instance if one is cached, else a fresh build on the shared
+    /// executor — outside the registry lock, like [`checkout`].
+    ///
+    /// [`checkout`]: PlanRegistry::checkout
+    ///
+    /// # Panics
+    /// Propagates [`Type3Plan::new`] panics on the miss path.
+    pub fn checkout_type3(&self, sources: &[[f64; D]], targets: &[[f64; D]]) -> Type3Lease<'_, D> {
+        let key = self.key_of_type3(sources, targets);
+        {
+            let mut map = lock(&self.inner3);
+            let pool = map.entry(key).or_insert_with(|| Type3Pool {
+                idle: Vec::new(),
+                hits: 0,
+                misses: 0,
+            });
+            if let Some(plan) = pool.idle.pop() {
+                pool.hits += 1;
+                return Type3Lease { registry: self, key, plan: Some(plan) };
+            }
+            pool.misses += 1;
+        }
+        let plan = Type3Plan::new_shared(sources, targets, self.cfg, self.exec.clone());
+        Type3Lease { registry: self, key, plan: Some(plan) }
+    }
+
+    fn checkout_keyed(
+        &self,
+        key: PlanKey<D>,
+        n: [usize; D],
+        traj: &[[f64; D]],
+    ) -> PlanLease<'_, D> {
         let windows = {
             let mut map = lock(&self.inner);
             let pool = map.entry(key).or_insert_with(|| KeyPool {
@@ -218,11 +327,20 @@ impl<const D: usize> PlanRegistry<D> {
         PlanLease { registry: self, key, plan: Some(plan) }
     }
 
-    /// Current counters, aggregated over all keys.
+    /// Current counters, aggregated over all keys (type-1/2, spread-only,
+    /// and type-3 pools together).
     pub fn stats(&self) -> RegistryStats {
         let map = lock(&self.inner);
         let mut s = RegistryStats { keys: map.len(), ..RegistryStats::default() };
         for pool in map.values() {
+            s.hits += pool.hits;
+            s.misses += pool.misses;
+            s.cached_plans += pool.idle.len();
+        }
+        drop(map);
+        let map3 = lock(&self.inner3);
+        s.keys += map3.len();
+        for pool in map3.values() {
             s.hits += pool.hits;
             s.misses += pool.misses;
             s.cached_plans += pool.idle.len();
@@ -237,10 +355,24 @@ impl<const D: usize> PlanRegistry<D> {
         for pool in map.values_mut() {
             pool.idle.clear();
         }
+        drop(map);
+        let mut map3 = lock(&self.inner3);
+        for pool in map3.values_mut() {
+            pool.idle.clear();
+        }
     }
 
     fn check_in(&self, key: PlanKey<D>, plan: NufftPlan<D>) {
         let mut map = lock(&self.inner);
+        if let Some(pool) = map.get_mut(&key) {
+            if pool.idle.len() < self.max_idle {
+                pool.idle.push(plan);
+            }
+        }
+    }
+
+    fn check_in_type3(&self, key: PlanKey<D>, plan: Type3Plan<D>) {
+        let mut map = lock(&self.inner3);
         if let Some(pool) = map.get_mut(&key) {
             if pool.idle.len() < self.max_idle {
                 pool.idle.push(plan);
@@ -281,6 +413,42 @@ impl<const D: usize> Drop for PlanLease<'_, D> {
     fn drop(&mut self) {
         if let Some(plan) = self.plan.take() {
             self.registry.check_in(self.key, plan);
+        }
+    }
+}
+
+/// An exclusively held [`Type3Plan`] instance; derefs to the plan and
+/// checks itself back into the registry on drop.
+pub struct Type3Lease<'r, const D: usize> {
+    registry: &'r PlanRegistry<D>,
+    key: PlanKey<D>,
+    plan: Option<Type3Plan<D>>,
+}
+
+impl<const D: usize> Type3Lease<'_, D> {
+    /// The registry key this lease was checked out under.
+    pub fn key(&self) -> PlanKey<D> {
+        self.key
+    }
+}
+
+impl<const D: usize> Deref for Type3Lease<'_, D> {
+    type Target = Type3Plan<D>;
+    fn deref(&self) -> &Type3Plan<D> {
+        self.plan.as_ref().expect("lease holds a plan until drop")
+    }
+}
+
+impl<const D: usize> DerefMut for Type3Lease<'_, D> {
+    fn deref_mut(&mut self) -> &mut Type3Plan<D> {
+        self.plan.as_mut().expect("lease holds a plan until drop")
+    }
+}
+
+impl<const D: usize> Drop for Type3Lease<'_, D> {
+    fn drop(&mut self) {
+        if let Some(plan) = self.plan.take() {
+            self.registry.check_in_type3(self.key, plan);
         }
     }
 }
@@ -459,6 +627,49 @@ mod tests {
         drop(reg.checkout(n, &tb));
         let s = reg.stats();
         assert_eq!((s.keys, s.misses), (2, 2));
+    }
+
+    #[test]
+    fn transform_kinds_never_alias_a_key() {
+        // Regression: a type-1/2 plan, a spread-only plan and a type-3
+        // plan over the *same* coordinate set must occupy distinct pool
+        // entries — the `TransformKind` field is the only thing telling
+        // them apart, and dropping it would hand a caller a plan whose
+        // apply paths don't match the entry point it asked for.
+        let reg = PlanRegistry::<2>::new(cfg());
+        let traj = traj2(160);
+        let n = [16usize, 16];
+
+        let k12 = reg.key_of(n, &traj);
+        let ksp = reg.key_of_spread(n, &traj);
+        assert_ne!(k12, ksp, "type-1/2 and spread-only keys alias");
+        assert_eq!(k12.kind, TransformKind::Type12);
+        assert_eq!(ksp.kind, TransformKind::SpreadOnly);
+
+        // Type-3 with sources == traj: still its own key, and sensitive
+        // to the *target* geometry too (same sources, different targets).
+        let ta = traj2(90);
+        let mut tb = traj2(90);
+        tb[3][1] += 1e-9;
+        let k3a = reg.key_of_type3(&traj, &ta);
+        let k3b = reg.key_of_type3(&traj, &tb);
+        assert_ne!(k3a, k12);
+        assert_ne!(k3a, ksp);
+        assert_ne!(k3a, k3b, "type-3 keys must fingerprint the targets");
+
+        // Behavioral check: checking out all three kinds back-to-back
+        // builds three plans (three misses), and each warm re-checkout
+        // hits its own pool.
+        drop(reg.checkout(n, &traj));
+        drop(reg.checkout_spread(n, &traj));
+        drop(reg.checkout_type3(&traj, &ta));
+        let s = reg.stats();
+        assert_eq!((s.misses, s.hits, s.cached_plans), (3, 0, 3));
+        drop(reg.checkout(n, &traj));
+        drop(reg.checkout_spread(n, &traj));
+        drop(reg.checkout_type3(&traj, &ta));
+        let s = reg.stats();
+        assert_eq!((s.misses, s.hits, s.cached_plans), (3, 3, 3));
     }
 
     #[test]

@@ -43,3 +43,46 @@ mod butterflies;
 pub use fourstep::{FftStrategy, DEFAULT_LLC_BUDGET};
 pub use ndim::FftNd;
 pub use plan::{Direction, Fft};
+
+/// Smallest length `≥ n` whose prime factorization uses only the
+/// specialized butterfly radices (2, 3, 5, 7, 11, 13), so a plan of that
+/// length never falls back to Bluestein. Type-3 planning uses this to
+/// size intermediate fine grids: the grid is a free parameter there, so
+/// it may as well land on a fast length.
+pub fn next_fast_len(n: usize) -> usize {
+    let mut n = n.max(1);
+    loop {
+        let mut r = n;
+        for p in [2usize, 3, 5, 7, 11, 13] {
+            while r.is_multiple_of(p) {
+                r /= p;
+            }
+        }
+        if r == 1 {
+            return n;
+        }
+        n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn next_fast_len_is_smooth_and_minimal() {
+        assert_eq!(super::next_fast_len(0), 1);
+        assert_eq!(super::next_fast_len(13), 13);
+        assert_eq!(super::next_fast_len(17), 18);
+        assert_eq!(super::next_fast_len(101), 104); // 101 prime; 104 = 8·13
+        for n in [37usize, 241, 1031] {
+            let f = super::next_fast_len(n);
+            assert!(f >= n);
+            let mut r = f;
+            for p in [2usize, 3, 5, 7, 11, 13] {
+                while r.is_multiple_of(p) {
+                    r /= p;
+                }
+            }
+            assert_eq!(r, 1, "{f} not smooth");
+        }
+    }
+}

@@ -184,6 +184,47 @@ pub fn shuffled_2d(k: usize, s: usize, sigma: f64, seed: u64) -> Trajectory<2> {
     shuffle(&random_2d(k, s, sigma, seed), seed)
 }
 
+/// Uniform point cloud in `[-extent, extent)^D` — **arbitrary units**, not
+/// normalized frequencies, so the result is a plain point list rather than
+/// a [`Trajectory`]. This is the type-3 workload shape: source positions
+/// (or target frequencies) that live on no grid and respect no band.
+pub fn cloud<const D: usize>(count: usize, extent: f64, seed: u64) -> Vec<[f64; D]> {
+    assert!(extent > 0.0, "extent must be positive");
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count).map(|_| core::array::from_fn(|_| rng.gen_f64(-extent..extent))).collect()
+}
+
+/// Clustered point cloud: `count` points Gaussian-scattered (σ = `spread`)
+/// around cluster centers drawn uniformly in `[-extent, extent)^D`, round
+/// robin across `clusters` — the particle-deposition workload
+/// (`examples/density_estimation.rs`): heavy local density contrast, the
+/// adversarial case for spreading load balance. Arbitrary units, like
+/// [`cloud`].
+pub fn clustered_cloud<const D: usize>(
+    count: usize,
+    clusters: usize,
+    extent: f64,
+    spread: f64,
+    seed: u64,
+) -> Vec<[f64; D]> {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(extent > 0.0 && spread > 0.0, "extent and spread must be positive");
+    let mut rng = Rng::seed_from_u64(seed);
+    let centers: Vec<[f64; D]> =
+        (0..clusters).map(|_| core::array::from_fn(|_| rng.gen_f64(-extent..extent))).collect();
+    let gauss = move |rng: &mut Rng| -> f64 {
+        let u1: f64 = rng.gen_f64(1e-12..1.0);
+        let u2: f64 = rng.gen_f64(0.0..core::f64::consts::TAU);
+        (-2.0 * u1.ln()).sqrt() * u2.cos()
+    };
+    (0..count)
+        .map(|i| {
+            let c = &centers[i % clusters];
+            core::array::from_fn(|d| c[d] + gauss(&mut rng) * spread)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +391,33 @@ mod tests {
         // Deterministic per seed, distinct across seeds.
         assert_eq!(sh.points, shuffled_2d(64, 16, 0.15, 3).points);
         assert_ne!(sh.points, shuffle(&random_2d(64, 16, 0.15, 3), 4).points);
+    }
+
+    #[test]
+    fn clouds_are_deterministic_and_shaped() {
+        let a: Vec<[f64; 2]> = cloud(100, 3.0, 5);
+        let b: Vec<[f64; 2]> = cloud(100, 3.0, 5);
+        assert_eq!(a, b, "cloud must be seed-deterministic");
+        assert!(a.iter().all(|p| p.iter().all(|&x| (-3.0..3.0).contains(&x))));
+        assert_ne!(a, cloud::<2>(100, 3.0, 6));
+
+        let c: Vec<[f64; 3]> = clustered_cloud(300, 4, 5.0, 0.1, 9);
+        assert_eq!(c, clustered_cloud::<3>(300, 4, 5.0, 0.1, 9));
+        // Points huddle around 4 centers: the spread of each residual
+        // (point minus its round-robin center) is small relative to extent.
+        let centers: Vec<[f64; 3]> = (0..4).map(|k| c[k]).collect();
+        let mut far = 0usize;
+        for (i, p) in c.iter().enumerate() {
+            let ctr = &centers[i % 4];
+            let d2: f64 = (0..3).map(|d| (p[d] - ctr[d]).powi(2)).sum();
+            if d2.sqrt() > 1.0 {
+                far += 1;
+            }
+        }
+        // σ=0.1 per axis ⇒ residual radius ≪ 1 for essentially all points
+        // (the first 4 points are σ-perturbed centers, not the exact
+        // centers, which only widens the allowance needed — keep it loose).
+        assert!(far < 30, "{far} of 300 points far from their cluster");
     }
 
     /// Golden snapshot pinning fixed-seed output bit-exactly.

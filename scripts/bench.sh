@@ -18,6 +18,9 @@
 #   BENCH_sort.json    — plan-time bin sort vs unsorted sample layout over
 #                        clustered/random/shuffled/radial trajectories
 #                        (crates/bench/benches/sort.rs)
+#   BENCH_type3.json   — native type-3 apply vs the composed type-2∘type-1
+#                        baseline on shared fine grids (~32²/192²/64³)
+#                        (crates/bench/benches/type3.rs)
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
@@ -55,6 +58,9 @@ cargo bench --offline --bench service
 echo "== bench: sort (bin-sorted vs unsorted sample layout) =="
 cargo bench --offline --bench sort
 
+echo "== bench: type3 (native vs composed type-2∘type-1 baseline) =="
+cargo bench --offline --bench type3
+
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
 
@@ -75,3 +81,6 @@ cat BENCH_service.json
 
 echo "== BENCH_sort.json =="
 cat BENCH_sort.json
+
+echo "== BENCH_type3.json =="
+cat BENCH_type3.json

@@ -55,6 +55,24 @@ echo "== sort-mode equality stress (oversubscribed, 16 workers) =="
 # runner so the canonical-visit-order rule holds under real preemption.
 NUFFT_THREADS=16 cargo test -q --offline -p nufft-core --test sort_modes
 
+echo "== type-3 consistency stress (oversubscribed, 16 workers) =="
+# type3_modes pins fused-vs-phased bitwise equality, pinned-layout
+# cross-thread determinism and repeated-run stability for the type-3
+# pipeline (outer spread -> inner type-2 -> postscale); 16 workers
+# oversubscribe the runner so both stage drivers race for real.
+NUFFT_THREADS=16 cargo test -q --offline --test type3_modes
+
+echo "== stage-graph composition contracts =="
+# stage_ops pins that the public SpreadOp/InterpOp/FftOp/DeconvOp stages
+# compose bitwise into the monolithic forward/adjoint operators, and that
+# the standalone spread_only/interp_only entry points match the fused DAG.
+cargo test -q --offline --test stage_ops
+
+echo "== examples smoke (spread-only deposition pipeline) =="
+# density_estimation drives spread_only/interp_only directly and asserts
+# the fused-vs-phased deposition bitwise check plus the transpose dot-test.
+cargo run --release --offline --example density_estimation >/dev/null
+
 echo "== convolution-engine contracts (allocation-free applies, window modes) =="
 # Named runs so a regression names the broken contract, not just "a test".
 # window_modes covers bitwise table-vs-fly equality across ISA levels and

@@ -207,4 +207,94 @@ fn steady_state_applies_are_allocation_free() {
     let stats = registry.stats();
     assert_eq!(stats.misses, 1, "one cold build only");
     assert_eq!(stats.hits, 4, "warm checkouts all hit the cache");
+
+    // The standalone stage entry points hold the same contract: after the
+    // fused spread DAG is built lazily on the first `spread_only` (Fused)
+    // and the phased scatter's pointer staging reaches capacity, both
+    // spread-only and interp-only applies are allocation-free.
+    let mut grid = vec![Complex32::ZERO; 0];
+    for exec_mode in [ExecMode::Fused, ExecMode::Phased] {
+        let cfg = NufftConfig {
+            threads: 2,
+            w: 3.0,
+            partitions_per_dim: Some(4),
+            exec_mode,
+            ..NufftConfig::default()
+        };
+        let mut plan = NufftPlan::new(n, &traj, cfg);
+        grid.resize(plan.grid_len(), Complex32::ZERO);
+        for _ in 0..2 {
+            plan.spread_only(&samples, &mut grid);
+            plan.interp_only(&grid, &mut out_samples);
+        }
+        let before = ALLOC.snapshot();
+        for _ in 0..3 {
+            plan.spread_only(&samples, &mut grid);
+            plan.interp_only(&grid, &mut out_samples);
+        }
+        let delta = ALLOC.snapshot().since(&before);
+        assert_eq!(
+            delta.allocs, 0,
+            "{exec_mode:?}: steady-state spread/interp-only applies allocated {} times",
+            delta.allocs
+        );
+        assert_eq!(delta.deallocs, 0, "{exec_mode:?}: spread/interp-only applies freed memory");
+    }
+
+    // Type-3 applies: the fine grid, the inner type-2's buffers, the
+    // adjoint staging vector and the postscale table are all plan-owned,
+    // so forward and adjoint must go quiet after one warmup round — for a
+    // directly-built plan and through the registry's type-3 pool alike.
+    let sources: Vec<[f64; 3]> =
+        traj3(200).into_iter().map(|p| [p[0] * 4.0, p[1] * 4.0, p[2] * 4.0]).collect();
+    let targets: Vec<[f64; 3]> =
+        traj3(150).into_iter().map(|p| [p[0] * 3.0, p[1] * 3.0, p[2] * 3.0]).collect();
+    let strengths = signal(sources.len(), 4.0);
+    let t3_samples = signal(targets.len(), 5.0);
+    let mut t3_fwd = vec![Complex32::ZERO; targets.len()];
+    let mut t3_adj = vec![Complex32::ZERO; sources.len()];
+
+    let t3_cfg =
+        NufftConfig { threads: 2, w: 3.0, partitions_per_dim: Some(4), ..NufftConfig::default() };
+    let mut t3 = nufft::core::Type3Plan::new(&sources, &targets, t3_cfg);
+    for _ in 0..2 {
+        t3.forward(&strengths, &mut t3_fwd);
+        t3.adjoint(&t3_samples, &mut t3_adj);
+    }
+    let before = ALLOC.snapshot();
+    for _ in 0..3 {
+        t3.forward(&strengths, &mut t3_fwd);
+        t3.adjoint(&t3_samples, &mut t3_adj);
+    }
+    let delta = ALLOC.snapshot().since(&before);
+    assert_eq!(
+        delta.allocs, 0,
+        "steady-state type-3 applies allocated {} times ({} bytes)",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(delta.deallocs, 0, "steady-state type-3 applies freed memory");
+
+    // Warm type-3 registry checkouts: hash the key (stack FNV over the
+    // coordinate slices), pop the pool, apply, push back on drop.
+    for _ in 0..2 {
+        let mut lease = registry.checkout_type3(&sources, &targets);
+        lease.forward(&strengths, &mut t3_fwd);
+        lease.adjoint(&t3_samples, &mut t3_adj);
+    }
+    let before = ALLOC.snapshot();
+    for _ in 0..3 {
+        let mut lease = registry.checkout_type3(&sources, &targets);
+        lease.forward(&strengths, &mut t3_fwd);
+        lease.adjoint(&t3_samples, &mut t3_adj);
+    }
+    let delta = ALLOC.snapshot().since(&before);
+    assert_eq!(
+        delta.allocs, 0,
+        "type-3 registry cache-hit applies allocated {} times ({} bytes)",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(delta.deallocs, 0, "type-3 registry cache-hit applies freed memory");
+    let stats = registry.stats();
+    assert_eq!(stats.misses, 2, "one type-1/2 build plus one type-3 build");
+    assert_eq!(stats.hits, 8, "all warm checkouts of both kinds hit");
 }

@@ -1,0 +1,177 @@
+//! Golden-value accuracy tests for the type-3 transform against the
+//! brute-force direct DTFT oracle (`nufft-baselines::direct::type3`),
+//! mirroring `tests/golden_accuracy.rs`.
+//!
+//! A type-3 apply traverses **two** gridding kernels (the outer spread
+//! onto the fine grid, then the inner type-2's kernel), so its aliasing
+//! budget is a slightly larger safety multiple of the same `e^{-β}` decay
+//! the type-1/2 tests use, with the same f32 round-off floor scaled for
+//! the doubled pipeline depth. Several `(W, σ)` operating points are
+//! checked so a regression in either kernel's parameters or the fine-grid
+//! geometry (spacing `h`, extents `nf`) cannot hide under one setting.
+//!
+//! All inputs are generated from named seeds via `nufft-testkit`, so a
+//! failure is replayable bit-exactly.
+
+use nufft::baselines::direct;
+use nufft::core::kernel::beatty_beta;
+use nufft::core::{NufftConfig, NufftPlan, Type3Plan};
+use nufft::math::error::rel_l2_mixed;
+use nufft::math::{Complex32, Complex64};
+use nufft::traj::generators::{cloud, clustered_cloud};
+use nufft_testkit::Rng;
+
+/// Type-3 error budget at `(w, alpha)`: two KB kernels in series — `50·e^{-β}`
+/// headroom on the aliasing decay, floored by the f32 round-off of the
+/// doubled pipeline.
+fn type3_error_budget(w: f64, alpha: f64) -> f64 {
+    let beta = beatty_beta(w, alpha);
+    (50.0 * (-beta).exp()).max(1e-4)
+}
+
+fn cfg(threads: usize, w: f64, alpha: f64) -> NufftConfig {
+    NufftConfig { threads, w, alpha, ..NufftConfig::default() }
+}
+
+fn forward_case<const D: usize>(
+    num_sources: usize,
+    num_targets: usize,
+    w: f64,
+    alpha: f64,
+    seed: u64,
+) -> (f64, f64) {
+    let sources: Vec<[f64; D]> = cloud(num_sources, 3.0, seed);
+    let targets: Vec<[f64; D]> = cloud(num_targets, 2.5, seed ^ 0x7777);
+    let strengths = Rng::seed_from_u64(seed ^ 0xABCD).gen_c32_vec(num_sources, 1.0);
+    let mut plan = NufftPlan::type3(&sources, &targets, cfg(2, w, alpha));
+    let mut got = vec![Complex32::ZERO; num_targets];
+    plan.forward(&strengths, &mut got);
+    let want = direct::type3(&strengths, &sources, &targets);
+    (rel_l2_mixed(&got, &want), type3_error_budget(w, alpha))
+}
+
+#[test]
+fn type3_forward_1d_beats_kernel_bound() {
+    let (err, budget) = forward_case::<1>(150, 120, 4.0, 2.0, 11);
+    assert!(err < budget, "1D type-3 forward err {err} exceeds budget {budget}");
+}
+
+#[test]
+fn type3_forward_2d_beats_kernel_bound() {
+    let (err, budget) = forward_case::<2>(200, 150, 4.0, 2.0, 22);
+    assert!(err < budget, "2D type-3 forward err {err} exceeds budget {budget}");
+}
+
+#[test]
+fn type3_forward_3d_beats_kernel_bound() {
+    let (err, budget) = forward_case::<3>(250, 120, 4.0, 2.0, 33);
+    assert!(err < budget, "3D type-3 forward err {err} exceeds budget {budget}");
+}
+
+/// Second and third `(W, σ)` operating points: the narrower W=3 kernel and
+/// a tighter σ=1.5 oversampling both weaken the aliasing decay — the
+/// measured error must track each setting's own (looser) budget.
+#[test]
+fn type3_forward_2d_other_operating_points() {
+    for (w, alpha, seed) in [(3.0, 2.0, 44u64), (4.0, 1.5, 55), (5.0, 2.0, 66)] {
+        let (err, budget) = forward_case::<2>(180, 140, w, alpha, seed);
+        assert!(err < budget, "2D type-3 (W={w}, sigma={alpha}) err {err} exceeds budget {budget}");
+    }
+    assert!(beatty_beta(3.0, 2.0) < beatty_beta(4.0, 2.0));
+    assert!(beatty_beta(4.0, 1.5) < beatty_beta(4.0, 2.0));
+}
+
+fn adjoint_case<const D: usize>(
+    num_sources: usize,
+    num_targets: usize,
+    w: f64,
+    alpha: f64,
+    seed: u64,
+) -> (f64, f64) {
+    let sources: Vec<[f64; D]> = cloud(num_sources, 3.0, seed);
+    let targets: Vec<[f64; D]> = cloud(num_targets, 2.5, seed ^ 0x7777);
+    let samples = Rng::seed_from_u64(seed ^ 0x5A5A).gen_c32_vec(num_targets, 1.0);
+    let mut plan = Type3Plan::new(&sources, &targets, cfg(2, w, alpha));
+    let mut got = vec![Complex32::ZERO; num_sources];
+    plan.adjoint(&samples, &mut got);
+    let want: Vec<Complex64> = direct::type3_adjoint(&samples, &sources, &targets);
+    (rel_l2_mixed(&got, &want), type3_error_budget(w, alpha))
+}
+
+#[test]
+fn type3_adjoint_1d_beats_kernel_bound() {
+    let (err, budget) = adjoint_case::<1>(150, 120, 4.0, 2.0, 77);
+    assert!(err < budget, "1D type-3 adjoint err {err} exceeds budget {budget}");
+}
+
+#[test]
+fn type3_adjoint_2d_beats_kernel_bound() {
+    let (err, budget) = adjoint_case::<2>(200, 150, 4.0, 2.0, 88);
+    assert!(err < budget, "2D type-3 adjoint err {err} exceeds budget {budget}");
+}
+
+#[test]
+fn type3_adjoint_3d_beats_kernel_bound() {
+    let (err, budget) = adjoint_case::<3>(250, 120, 4.0, 2.0, 99);
+    assert!(err < budget, "3D type-3 adjoint err {err} exceeds budget {budget}");
+}
+
+/// Clustered sources (the particle-deposition shape, heavy local density
+/// contrast) must hit the same budget as the uniform cloud — spreading
+/// load imbalance may cost time, never accuracy.
+#[test]
+fn type3_forward_2d_clustered_sources() {
+    let sources: Vec<[f64; 2]> = clustered_cloud(240, 5, 4.0, 0.2, 123);
+    let targets: Vec<[f64; 2]> = cloud(160, 2.0, 124);
+    let strengths = Rng::seed_from_u64(125).gen_c32_vec(sources.len(), 1.0);
+    let mut plan = NufftPlan::type3(&sources, &targets, cfg(2, 4.0, 2.0));
+    let mut got = vec![Complex32::ZERO; targets.len()];
+    plan.forward(&strengths, &mut got);
+    let want = direct::type3(&strengths, &sources, &targets);
+    let err = rel_l2_mixed(&got, &want);
+    let budget = type3_error_budget(4.0, 2.0);
+    assert!(err < budget, "clustered type-3 err {err} exceeds budget {budget}");
+}
+
+/// Forward against the fast path, adjoint against the oracle: the dot
+/// test ⟨Ax, y⟩ == ⟨x, A†y⟩ through the oracle's numbers couples the two
+/// directions so matched sign/centering bugs cannot cancel.
+#[test]
+fn type3_cross_dot_test_2d() {
+    let sources: Vec<[f64; 2]> = cloud(150, 3.0, 200);
+    let targets: Vec<[f64; 2]> = cloud(110, 2.5, 201);
+    let x = Rng::seed_from_u64(202).gen_c32_vec(sources.len(), 1.0);
+    let y = Rng::seed_from_u64(203).gen_c32_vec(targets.len(), 1.0);
+    let mut plan = NufftPlan::type3(&sources, &targets, cfg(2, 4.0, 2.0));
+
+    let mut ax = vec![Complex32::ZERO; targets.len()];
+    plan.forward(&x, &mut ax);
+    let aty_oracle = direct::type3_adjoint(&y, &sources, &targets);
+
+    let lhs: Complex64 = ax.iter().zip(&y).map(|(&a, &b)| a.to_f64().conj() * b.to_f64()).sum();
+    let rhs: Complex64 = x.iter().zip(&aty_oracle).map(|(&a, &b)| a.to_f64().conj() * b).sum();
+    let scale = lhs.abs().max(rhs.abs()).max(1e-9);
+    let budget = type3_error_budget(4.0, 2.0);
+    assert!(
+        (lhs - rhs).abs() / scale < budget,
+        "type-3 cross dot-test mismatch: {lhs:?} vs {rhs:?} (budget {budget})"
+    );
+}
+
+/// A dimension with zero target bandwidth (all `s_d = 0`) degenerates to
+/// spacing `h = 1`; the transform must still match the oracle.
+#[test]
+fn type3_degenerate_flat_dimension() {
+    let sources: Vec<[f64; 2]> =
+        cloud::<1>(80, 3.0, 300).into_iter().map(|p| [p[0], 0.7 * p[0].sin()]).collect();
+    let targets: Vec<[f64; 2]> =
+        cloud::<1>(60, 2.0, 301).into_iter().map(|p| [p[0], 0.0]).collect();
+    let strengths = Rng::seed_from_u64(302).gen_c32_vec(sources.len(), 1.0);
+    let mut plan = NufftPlan::type3(&sources, &targets, cfg(2, 4.0, 2.0));
+    let mut got = vec![Complex32::ZERO; targets.len()];
+    plan.forward(&strengths, &mut got);
+    let want = direct::type3(&strengths, &sources, &targets);
+    let err = rel_l2_mixed(&got, &want);
+    let budget = type3_error_budget(4.0, 2.0);
+    assert!(err < budget, "degenerate-dim type-3 err {err} exceeds budget {budget}");
+}

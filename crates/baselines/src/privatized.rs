@@ -16,7 +16,7 @@
 
 use nufft_core::conv::{adjoint_scatter, win_refs, Window};
 use nufft_core::grid::{extract_scaled, Geometry};
-use nufft_core::kernel::{beatty_beta, KbKernel};
+use nufft_core::kernel::{beatty_beta, InterpKernel};
 use nufft_core::scale::build_scale;
 use nufft_core::OpTimers;
 use nufft_fft::FftNd;
@@ -27,7 +27,7 @@ use std::time::Instant;
 /// Adjoint NUFFT with full-grid-per-thread privatization.
 pub struct PrivatizedAdjoint<const D: usize> {
     geo: Geometry<D>,
-    kernel: KbKernel,
+    kernel: InterpKernel,
     scale: Vec<f32>,
     fft: FftNd,
     coords: Vec<[f32; D]>,
@@ -44,7 +44,7 @@ impl<const D: usize> PrivatizedAdjoint<D> {
     pub fn new(n: [usize; D], traj: &[[f64; D]], alpha: f64, w: f64, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
         let geo = Geometry::new(n, alpha);
-        let kernel = KbKernel::with_density(
+        let kernel = InterpKernel::with_density(
             w,
             beatty_beta(w, alpha),
             nufft_core::kernel::DEFAULT_LUT_DENSITY,

@@ -10,7 +10,7 @@
 
 use nufft_core::conv::Window;
 use nufft_core::grid::{embed_scaled, extract_scaled, Geometry};
-use nufft_core::kernel::{beatty_beta, KbKernel};
+use nufft_core::kernel::{beatty_beta, InterpKernel};
 use nufft_core::scale::build_scale;
 use nufft_core::OpTimers;
 use nufft_fft::FftNd;
@@ -20,7 +20,7 @@ use std::time::Instant;
 /// A sequential scalar NUFFT plan.
 pub struct SequentialNufft<const D: usize> {
     geo: Geometry<D>,
-    kernel: KbKernel,
+    kernel: InterpKernel,
     scale: Vec<f32>,
     fft: FftNd,
     coords: Vec<[f32; D]>,
@@ -34,7 +34,7 @@ impl<const D: usize> SequentialNufft<D> {
     /// Builds the baseline plan (trajectory in ν ∈ `[-1/2, 1/2)`).
     pub fn new(n: [usize; D], traj: &[[f64; D]], alpha: f64, w: f64) -> Self {
         let geo = Geometry::new(n, alpha);
-        let kernel = KbKernel::with_density(
+        let kernel = InterpKernel::with_density(
             w,
             beatty_beta(w, alpha),
             nufft_core::kernel::DEFAULT_LUT_DENSITY,

@@ -3,7 +3,7 @@
 //! `nufft-testkit` harness.
 
 use nufft_core::conv::{adjoint_scatter, forward_gather, win_refs, Window};
-use nufft_core::kernel::KbKernel;
+use nufft_core::kernel::InterpKernel;
 use nufft_math::Complex32;
 use nufft_simd::{detect_isa, set_isa_override, IsaLevel};
 use nufft_testkit::bench::{black_box, BenchGroup};
@@ -53,7 +53,7 @@ fn bench_sample_conv() {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
     for wrad in [2.0f64, 4.0, 8.0] {
-        let kernel = KbKernel::new(wrad, 2.0);
+        let kernel = InterpKernel::new(wrad, 2.0);
         let mut u = 13.7f32;
         g.bench_function(format!("adjoint_scatter_w{wrad}"), |b| {
             b.iter(|| {

@@ -13,7 +13,7 @@
 //! arithmetic is needed there); the reduction adds the buffer back into the
 //! global grid with wrapping.
 
-use crate::kernel::KbKernel;
+use crate::kernel::InterpKernel;
 use nufft_math::Complex32;
 use nufft_simd::{gather_row, gather_row2, scatter_row, scatter_row2};
 
@@ -28,7 +28,7 @@ pub struct Window {
     pub start: i32,
     /// Number of taps `lx = x2 − x1 + 1` (`2W` or `2W+1`).
     pub len: usize,
-    /// LUT kernel weights for each tap.
+    /// Kernel weights for each tap.
     pub w: [f32; MAX_TAPS],
 }
 
@@ -37,20 +37,22 @@ impl Window {
     /// per sample before use.
     pub const EMPTY: Window = Window { start: 0, len: 0, w: [0.0; MAX_TAPS] };
 
-    /// Part 1 for one coordinate: neighbor range and LUT weights.
+    /// Part 1 for one coordinate: neighbor range and kernel weights, via
+    /// the kernel's row evaluator (LUT lerp or the fitted Horner fast
+    /// path, whichever the family provides).
     ///
     /// `wrad` is the kernel radius `W`; `u` must lie in `[0, M)`. The
     /// bounds are computed in `f64`, where `u ± W` is exact — an `f32`
     /// `u + W` can round *up* across an integer and admit a tap just
     /// outside the true support, overflowing privatized halo buffers.
     #[inline]
-    pub fn compute(u: f32, wrad: f32, kernel: &KbKernel) -> Window {
+    pub fn compute(u: f32, wrad: f32, kernel: &InterpKernel) -> Window {
         let x1 = (u as f64 - wrad as f64).ceil() as i32;
         let x2 = (u as f64 + wrad as f64).floor() as i32;
         let len = (x2 - x1 + 1) as usize;
         debug_assert!(len <= MAX_TAPS, "window of {len} taps exceeds MAX_TAPS");
         let mut w = [0.0f32; MAX_TAPS];
-        kernel.eval_lut_row(x1, len, u, &mut w);
+        kernel.eval_row(x1, len, u, &mut w);
         Window { start: x1, len, w }
     }
 
@@ -426,10 +428,10 @@ fn add_wrapped_row(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::KbKernel;
+    use crate::kernel::InterpKernel;
 
-    fn kernel() -> KbKernel {
-        KbKernel::new(2.0, 2.0)
+    fn kernel() -> InterpKernel {
+        InterpKernel::new(2.0, 2.0)
     }
 
     #[test]
@@ -456,7 +458,7 @@ mod tests {
         // (binade-crossing, e.g. u = 121 − 2⁻¹⁷, W = 8: f32(u+8) = 129.0)
         // and admit a tap outside [u−W, u+W], overflowing privatized halo
         // buffers. Bounds must be computed exactly.
-        let k8 = KbKernel::new(8.0, 2.0);
+        let k8 = InterpKernel::new(8.0, 2.0);
         let hazardous = 121.0f32 - 2.0f32.powi(-17);
         let w = Window::compute(hazardous, 8.0, &k8);
         let last = (w.start + w.len as i32 - 1) as f64;

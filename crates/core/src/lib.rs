@@ -63,7 +63,9 @@ pub mod tasks;
 pub mod type3;
 pub mod windows;
 
-pub use kernel::{InterpKernel, KbKernel, KernelChoice};
+#[allow(deprecated)]
+pub use kernel::KbKernel;
+pub use kernel::{InterpKernel, KernelChoice};
 pub use nufft_parallel::exec::JobPriority;
 pub use plan::{ExecMode, NufftConfig, NufftPlan, OpTimers};
 pub use registry::{

@@ -40,7 +40,7 @@ use crate::conv::{
 };
 use crate::fused::{self, FusedApply, TilePlan};
 use crate::grid::{embed_scaled_slab, extract_scaled_range, Geometry};
-use crate::kernel::{InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
+use crate::kernel::{beatty_beta, InterpKernel, KernelChoice, DEFAULT_LUT_DENSITY};
 use crate::stage::{
     check_kernel_fit, default_partitions, DeconvOp, FftOp, InterpOp, SendPtr, SpreadOp,
 };
@@ -166,6 +166,82 @@ impl Default for NufftConfig {
     }
 }
 
+impl NufftConfig {
+    /// Tolerance-driven configuration: maps a requested relative accuracy
+    /// `eps` to a kernel family and its `(W, α, LUT density)` operating
+    /// point, leaving every other knob at its default. The default family
+    /// is the ES kernel with the FINUFFT width rule
+    /// `ns = ⌈log₁₀(1/eps)⌉ + 1` at α = 2 — the narrowest kernel (and the
+    /// Horner fast path) for the requested accuracy. Explicit `(W, α)`
+    /// construction is untouched: a config built by hand behaves exactly
+    /// as before.
+    ///
+    /// # Panics
+    /// Panics unless `0 < eps < 1`.
+    pub fn tolerance(eps: f64) -> Self {
+        Self::default().with_tolerance(eps)
+    }
+
+    /// Re-derives this config's kernel parameters from a tolerance,
+    /// keeping all non-kernel knobs (threads, sort, exec mode, …). Uses
+    /// the default ES family; see [`NufftConfig::with_tolerance_family`]
+    /// for the per-family mapping rules.
+    ///
+    /// # Panics
+    /// Panics unless `0 < eps < 1`.
+    pub fn with_tolerance(self, eps: f64) -> Self {
+        self.with_tolerance_family(eps, KernelChoice::EsKernel)
+    }
+
+    /// Re-derives this config's kernel parameters from a tolerance for a
+    /// chosen family, at the config's current oversampling α:
+    ///
+    /// * **ES** — width `ns = 2W = ⌈log₁₀(1/eps)⌉ + 1` (clamped to the
+    ///   supported 2..=16 cells), the FINUFFT rule;
+    /// * **Kaiser–Bessel** — the narrowest half-cell width whose aliasing
+    ///   model `10·e^{−β(W,α)}` meets `eps`, with the LUT density raised
+    ///   as `√(1/eps)` so table interpolation error (≈ 5·10⁻⁵ at the
+    ///   default 512) never swamps the budget;
+    /// * **Gaussian** — the Greengard–Lee truncation model
+    ///   `eps ≈ 10·e^{−πW(1−1/(2α))}`, rounded up to a half cell.
+    ///
+    /// The derived `(kernel, W, lut_density)` are all part of the plan
+    /// registry key, so plans at different tolerances never alias; equal
+    /// tolerances map to equal keys and share one plan.
+    ///
+    /// # Panics
+    /// Panics unless `0 < eps < 1`.
+    pub fn with_tolerance_family(mut self, eps: f64, family: KernelChoice) -> Self {
+        assert!(
+            eps > 0.0 && eps < 1.0,
+            "tolerance must be a relative accuracy in (0, 1), got {eps}"
+        );
+        self.kernel = family;
+        match family {
+            KernelChoice::EsKernel => {
+                let ns = ((1.0 / eps).log10().ceil() + 1.0).clamp(2.0, 16.0);
+                self.w = ns / 2.0;
+            }
+            KernelChoice::KaiserBessel => {
+                let mut w = 1.0f64;
+                while w < 8.0 && 10.0 * (-beatty_beta(w, self.alpha)).exp() > eps {
+                    w += 0.5;
+                }
+                self.w = w;
+                let density = (DEFAULT_LUT_DENSITY as f64 * (5e-5 / eps).sqrt())
+                    .max(DEFAULT_LUT_DENSITY as f64) as usize;
+                self.lut_density = density.next_power_of_two().clamp(512, 8192);
+            }
+            KernelChoice::Gaussian => {
+                let decay = core::f64::consts::PI * (1.0 - 1.0 / (2.0 * self.alpha));
+                let w = ((10.0 / eps).ln() / decay).clamp(1.0, 8.0);
+                self.w = (w * 2.0).ceil() / 2.0;
+            }
+        }
+        self
+    }
+}
+
 /// Wall-clock breakdown of one operator application, in seconds — the
 /// quantities behind Figures 3 and 8.
 #[derive(Clone, Copy, Debug, Default)]
@@ -251,6 +327,18 @@ impl<const D: usize> NufftPlan<D> {
         assert!((1..=3).contains(&D), "only 1D/2D/3D supported");
         let geo = Geometry::new(n, cfg.alpha);
         Self::from_grid_coords(n, Self::to_grid_coords(&geo, traj), cfg)
+    }
+
+    /// Tolerance-driven planning: [`NufftPlan::new`] with the kernel
+    /// family and its parameters derived from the requested relative
+    /// accuracy (the ES kernel by default — see
+    /// [`NufftConfig::with_tolerance`]) and every other knob at its
+    /// default.
+    ///
+    /// # Panics
+    /// See [`NufftPlan::new`]; additionally panics unless `0 < eps < 1`.
+    pub fn with_tolerance(n: [usize; D], traj: &[[f64; D]], eps: f64) -> Self {
+        Self::new(n, traj, NufftConfig::tolerance(eps))
     }
 
     /// [`NufftPlan::new`] on a caller-supplied executor (several plans
@@ -517,6 +605,15 @@ impl<const D: usize> NufftPlan<D> {
     /// Heap footprint of the precomputed window table, if one is held.
     pub fn window_table_bytes(&self) -> Option<usize> {
         self.spread.windows.as_ref().map(|t| t.bytes())
+    }
+
+    /// Heap bytes of the kernel-evaluation structure the Part 1 hot path
+    /// reads per window: the fitted Horner coefficient table when the
+    /// kernel family provides the fast-eval path, the interpolation LUT
+    /// otherwise. The cache-pressure observable of the matched-accuracy
+    /// kernel A/B (`benches/kernels.rs`).
+    pub fn kernel_eval_bytes(&self) -> usize {
+        self.spread.kernel.eval_table_bytes()
     }
 
     /// Switches the Part 1 window source after construction: building the
@@ -1582,4 +1679,59 @@ impl<const D: usize> NufftPlan<D> {
 fn trace_path() -> Option<&'static str> {
     static PATH: OnceLock<Option<String>> = OnceLock::new();
     PATH.get_or_init(|| std::env::var("NUFFT_TRACE").ok()).as_deref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_mapping_reference_points() {
+        // ES width rule ns = ⌈log₁₀(1/eps)⌉ + 1 at α = 2, clamped to the
+        // supported cell range.
+        let c = NufftConfig::tolerance(1e-6);
+        assert_eq!(c.kernel, KernelChoice::EsKernel);
+        assert_eq!(c.w, 3.5);
+        assert_eq!(NufftConfig::tolerance(1e-2).w, 1.5);
+        assert_eq!(NufftConfig::tolerance(0.5).w, 1.0);
+        assert_eq!(NufftConfig::tolerance(1e-30).w, 8.0);
+
+        // KB: narrowest half-cell width meeting the 10·e^{−β} aliasing
+        // model, with the LUT densified ∝ √(1/eps) past the default.
+        let kb = NufftConfig::default().with_tolerance_family(1e-6, KernelChoice::KaiserBessel);
+        assert_eq!(kb.w, 3.5);
+        assert_eq!(kb.lut_density, 4096);
+        let kb = NufftConfig::default().with_tolerance_family(1e-2, KernelChoice::KaiserBessel);
+        assert_eq!(kb.w, 2.0);
+        assert_eq!(kb.lut_density, DEFAULT_LUT_DENSITY);
+
+        // At matched accuracy the ES kernel is never wider than KB — the
+        // headline of the matched-accuracy A/B (`benches/kernels.rs`).
+        for eps in [1e-2, 1e-3, 1e-4, 1e-5, 1e-6] {
+            let es = NufftConfig::default().with_tolerance(eps);
+            let kb = NufftConfig::default().with_tolerance_family(eps, KernelChoice::KaiserBessel);
+            assert!(es.w <= kb.w, "eps={eps}: ES W={} > KB W={}", es.w, kb.w);
+        }
+
+        // Gaussian: Greengard–Lee truncation model, half-cell rounding —
+        // visibly wider than both at tight eps (the reason it is not the
+        // tolerance default).
+        let g = NufftConfig::default().with_tolerance_family(1e-4, KernelChoice::Gaussian);
+        assert_eq!(g.kernel, KernelChoice::Gaussian);
+        assert_eq!(g.w, 5.0); // ln(10/eps)/(π·(1−1/4)) ≈ 4.89
+    }
+
+    #[test]
+    fn tolerance_keeps_non_kernel_knobs() {
+        let c =
+            NufftConfig { threads: 3, grain: 99, ..NufftConfig::default() }.with_tolerance(1e-3);
+        assert_eq!((c.threads, c.grain), (3, 99));
+        assert_eq!(c.kernel, KernelChoice::EsKernel);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be")]
+    fn tolerance_rejects_out_of_range() {
+        let _ = NufftConfig::tolerance(0.0);
+    }
 }

@@ -673,6 +673,40 @@ mod tests {
     }
 
     #[test]
+    fn kernel_families_and_tolerances_never_alias_a_key() {
+        // Regression: the tolerance planner folds its derived parameters
+        // (kernel family, W, LUT density) into the registry key. Plans of
+        // different accuracy — or the same accuracy via different families
+        // — must never share a pool entry, or a caller asking for 1e-6
+        // could be handed a 1e-2 plan.
+        use crate::kernel::KernelChoice;
+        let traj = traj2(140);
+        let n = [16usize, 16];
+        let base = cfg();
+        let mut keys = Vec::new();
+        for family in [KernelChoice::EsKernel, KernelChoice::KaiserBessel, KernelChoice::Gaussian] {
+            for eps in [1e-2, 1e-4, 1e-6] {
+                let c = base.with_tolerance_family(eps, family);
+                keys.push(((family, eps), PlanRegistry::<2>::new(c).key_of(n, &traj)));
+            }
+        }
+        for i in 0..keys.len() {
+            for j in 0..i {
+                assert_ne!(
+                    keys[i].1, keys[j].1,
+                    "{:?} and {:?} alias one registry key",
+                    keys[i].0, keys[j].0
+                );
+            }
+        }
+        // Equal tolerances produce equal keys — sharing the plan across
+        // tenants that asked for the same accuracy is the point.
+        let a = PlanRegistry::<2>::new(base.with_tolerance(1e-4)).key_of(n, &traj);
+        let b = PlanRegistry::<2>::new(base.with_tolerance(1e-4)).key_of(n, &traj);
+        assert_eq!(a, b, "identical tolerances must share a key");
+    }
+
+    #[test]
     fn max_idle_caps_cached_instances() {
         let mut reg = PlanRegistry::<2>::new(cfg());
         reg.set_max_idle(1);

@@ -17,13 +17,13 @@
 //!   the adjoint stays the exact conjugate-transpose of the forward.
 
 use crate::grid::{for_each_index, Geometry};
-use crate::kernel::KbKernel;
+use crate::kernel::InterpKernel;
 
 /// Builds the combined scale array (roll-off ⁻¹ × chop) over the image.
 ///
 /// Entry at row-major position `pos` is
 /// `(−1)^{Σ(pos_d − N_d/2)} · Π_d 1/Â((pos_d − N_d/2)/M_d)`.
-pub fn build_scale<const D: usize>(geo: &Geometry<D>, kernel: &KbKernel) -> Vec<f32> {
+pub fn build_scale<const D: usize>(geo: &Geometry<D>, kernel: &InterpKernel) -> Vec<f32> {
     // Precompute per-dimension 1D factors, then take the outer product.
     let mut per_dim: Vec<Vec<f64>> = Vec::with_capacity(D);
     for d in 0..D {
@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn scale_is_symmetric_in_magnitude() {
         let geo = Geometry::new([16], 2.0);
-        let k = KbKernel::new(4.0, 2.0);
+        let k = InterpKernel::new(4.0, 2.0);
         let s = build_scale(&geo, &k);
         // |s| is symmetric about the center index N/2.
         for i in 1..8 {
@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn chop_sign_alternates() {
         let geo = Geometry::new([8], 2.0);
-        let k = KbKernel::new(4.0, 2.0);
+        let k = InterpKernel::new(4.0, 2.0);
         let s = build_scale(&geo, &k);
         for i in 0..7 {
             assert!(s[i] * s[i + 1] < 0.0, "no alternation at {i}");
@@ -91,7 +91,7 @@ mod tests {
         // The roll-off correction compensates edge attenuation, so |s| is
         // minimal at the center and grows monotonically outward.
         let geo = Geometry::new([32], 2.0);
-        let k = KbKernel::new(4.0, 2.0);
+        let k = InterpKernel::new(4.0, 2.0);
         let s = build_scale(&geo, &k);
         let mags: Vec<f32> = s.iter().map(|x| x.abs()).collect();
         for i in 16..31 {
@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn separable_outer_product_in_2d() {
         let geo2 = Geometry::new([4, 8], 2.0);
-        let k = KbKernel::new(2.0, 2.0);
+        let k = InterpKernel::new(2.0, 2.0);
         let s2 = build_scale(&geo2, &k);
         let sa = build_scale(&Geometry::new([4], 2.0), &k);
         let sb = build_scale(&Geometry::new([8], 2.0), &k);
@@ -125,7 +125,7 @@ mod tests {
         let alpha = 2.0;
         let m = (n as f64 * alpha) as usize;
         let w = 4.0;
-        let k = KbKernel::new(w, alpha);
+        let k = InterpKernel::new(w, alpha);
         let geo = Geometry::new([n], alpha);
         let s = build_scale(&geo, &k);
 

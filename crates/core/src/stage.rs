@@ -173,6 +173,22 @@ impl<const D: usize> SpreadOp<D> {
     /// Panics if `D ∉ {1,2,3}`, the kernel does not fit the grid
     /// (`m < 2⌈W⌉+1`), the kernel is wider than [`MAX_TAPS`], or a
     /// coordinate is out of range.
+    /// [`SpreadOp::plan`] with the kernel family and its parameters derived
+    /// from a relative-accuracy tolerance (the ES kernel by default — see
+    /// [`NufftConfig::with_tolerance`]); `cfg`'s non-kernel knobs are kept.
+    ///
+    /// # Panics
+    /// See [`SpreadOp::plan`]; additionally panics unless `0 < eps < 1`.
+    pub fn plan_with_tolerance(
+        m: [usize; D],
+        coords: Vec<[f32; D]>,
+        cfg: &NufftConfig,
+        eps: f64,
+        exec: &Executor,
+    ) -> Self {
+        Self::plan(m, coords, &(*cfg).with_tolerance(eps), exec)
+    }
+
     pub fn plan(m: [usize; D], coords: Vec<[f32; D]>, cfg: &NufftConfig, exec: &Executor) -> Self {
         check_kernel_fit(&m, cfg.w);
         let kernel = Arc::new(InterpKernel::of(cfg.kernel, cfg.w, cfg.alpha, cfg.lut_density));
@@ -399,6 +415,21 @@ impl<const D: usize> InterpOp<D> {
     /// for the coordinate convention and panics).
     pub fn plan(m: [usize; D], coords: Vec<[f32; D]>, cfg: &NufftConfig, exec: &Executor) -> Self {
         Self::from_spread(&SpreadOp::plan(m, coords, cfg, exec), cfg.grain)
+    }
+
+    /// [`InterpOp::plan`] with kernel parameters derived from a
+    /// relative-accuracy tolerance (see [`NufftConfig::with_tolerance`]).
+    ///
+    /// # Panics
+    /// See [`SpreadOp::plan`]; additionally panics unless `0 < eps < 1`.
+    pub fn plan_with_tolerance(
+        m: [usize; D],
+        coords: Vec<[f32; D]>,
+        cfg: &NufftConfig,
+        eps: f64,
+        exec: &Executor,
+    ) -> Self {
+        Self::plan(m, coords, &(*cfg).with_tolerance(eps), exec)
     }
 
     /// Number of non-uniform samples this operator was planned for.

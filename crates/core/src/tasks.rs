@@ -610,12 +610,12 @@ mod tests {
     #[test]
     fn windows_of_task_samples_stay_inside_region() {
         use crate::conv::Window;
-        use crate::kernel::KbKernel;
+        use crate::kernel::InterpKernel;
         let coords = demo_coords(1500, 64);
         let cfg =
             PreprocessConfig { partitions_per_dim: 4, w: 2.0, threads: 16, ..Default::default() };
         let pre = preprocess(&coords, [64, 64], &cfg);
-        let kernel = KbKernel::new(2.0, 2.0);
+        let kernel = InterpKernel::new(2.0, 2.0);
         let mut checked = 0;
         for t in 0..pre.graph.len() {
             let Some(region) = pre.regions[t] else { continue };

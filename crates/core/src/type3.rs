@@ -116,6 +116,18 @@ impl<const D: usize> Type3Plan<D> {
         Self::new_shared(sources, targets, cfg, exec)
     }
 
+    /// Tolerance-driven type-3 planning: [`Type3Plan::new`] with the
+    /// kernel family and its parameters derived from the requested
+    /// relative accuracy (the ES kernel by default — see
+    /// [`NufftConfig::with_tolerance`]) and every other knob at its
+    /// default.
+    ///
+    /// # Panics
+    /// See [`Type3Plan::new`]; additionally panics unless `0 < eps < 1`.
+    pub fn with_tolerance(sources: &[[f64; D]], targets: &[[f64; D]], eps: f64) -> Self {
+        Self::new(sources, targets, NufftConfig::tolerance(eps))
+    }
+
     /// [`Type3Plan::new`] on a caller-supplied executor (the registry's
     /// shared-pool path). `cfg.threads` is normalized to the executor's
     /// worker count.

@@ -9,6 +9,8 @@
 //!   Kaiser–Bessel interpolation kernel;
 //! * [`special`] — `sinh(x)/x`-style shape functions used by the closed-form
 //!   Fourier transform of the Kaiser–Bessel window, plus `sinc`;
+//! * [`quad`] — Gauss–Legendre quadrature rules for kernels whose continuous
+//!   Fourier transform has no closed form (the ES kernel layer);
 //! * [`stats`] — streaming mean/variance and percentiles for benchmark
 //!   reporting;
 //! * [`error`] — relative L2/L∞ error metrics between complex signals.
@@ -19,6 +21,7 @@
 pub mod bessel;
 pub mod complex;
 pub mod error;
+pub mod quad;
 pub mod special;
 pub mod stats;
 

@@ -1,0 +1,132 @@
+//! Gauss–Legendre quadrature nodes and weights.
+//!
+//! The "exponential of semicircle" kernel has no closed-form continuous
+//! Fourier transform, so the kernel layer tabulates `Â(ξ)` by numeric
+//! quadrature at plan-build time (the same approach FINUFFT takes). An
+//! `n`-node Gauss–Legendre rule integrates polynomials up to degree
+//! `2n − 1` exactly and converges geometrically for analytic integrands;
+//! the ES kernel's square-root derivative singularity at the support edge
+//! is damped by the kernel value there (`e^{−β}`, i.e. at the accuracy
+//! floor already), so a fixed modest node count serves every operating
+//! point.
+//!
+//! Nodes are the roots of the Legendre polynomial `P_n`, found by Newton
+//! iteration from the Chebyshev-root initial guesses; weights are
+//! `2 / ((1 − x²)·P_n'(x)²)`. Everything is `f64` and dependency-free.
+
+/// Returns the `n` Gauss–Legendre `(node, weight)` pairs on `[-1, 1]`,
+/// nodes in ascending order.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn gauss_legendre(n: usize) -> Vec<(f64, f64)> {
+    assert!(n > 0, "quadrature rule needs at least one node");
+    let mut out = vec![(0.0f64, 0.0f64); n];
+    let nf = n as f64;
+    for i in 0..n.div_ceil(2) {
+        // Chebyshev-root initial guess for the i-th root from the top.
+        let mut x = (core::f64::consts::PI * (i as f64 + 0.75) / (nf + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            let (p, d) = legendre_pd(n, x);
+            dp = d;
+            let dx = p / d;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                let (p2, d2) = legendre_pd(n, x);
+                dp = d2;
+                x -= p2 / d2; // one polishing step at convergence
+                break;
+            }
+        }
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        out[n - 1 - i] = (x, w);
+        out[i] = (-x, w);
+    }
+    // Odd n: the middle node is exactly 0 (set by the symmetric write);
+    // enforce the sign bit so callers see +0.0.
+    if n % 2 == 1 {
+        out[n / 2].0 = 0.0;
+    }
+    out
+}
+
+/// Returns the `n` Gauss–Legendre `(node, weight)` pairs mapped to `[a, b]`.
+///
+/// # Panics
+/// Panics if `n == 0` or `b ≤ a`.
+pub fn gauss_legendre_on(n: usize, a: f64, b: f64) -> Vec<(f64, f64)> {
+    assert!(b > a, "integration interval must be nonempty");
+    let half = 0.5 * (b - a);
+    let mid = 0.5 * (a + b);
+    gauss_legendre(n).into_iter().map(|(x, w)| (mid + half * x, half * w)).collect()
+}
+
+/// `(P_n(x), P_n'(x))` by the three-term recurrence.
+fn legendre_pd(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0f64; // P_{k-1}
+    let mut p1 = x; // P_k
+    for k in 1..n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf + 1.0) * x * p1 - kf * p0) / (kf + 1.0);
+        p0 = p1;
+        p1 = p2;
+    }
+    // (x² − 1)·P_n'(x) = n·(x·P_n(x) − P_{n−1}(x)).
+    let d = n as f64 * (p0 - x * p1) / (1.0 - x * x);
+    (p1, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate(rule: &[(f64, f64)], f: impl Fn(f64) -> f64) -> f64 {
+        rule.iter().map(|&(x, w)| w * f(x)).sum()
+    }
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in [1, 2, 3, 8, 33, 64] {
+            let s: f64 = gauss_legendre(n).iter().map(|&(_, w)| w).sum();
+            assert!((s - 2.0).abs() < 1e-13, "n={n}: Σw = {s}");
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_2n_minus_1() {
+        let rule = gauss_legendre(5);
+        // x^9 integrates to 0 by symmetry, x^8 to 2/9.
+        assert!(integrate(&rule, |x| x.powi(9)).abs() < 1e-14);
+        assert!((integrate(&rule, |x| x.powi(8)) - 2.0 / 9.0).abs() < 1e-14);
+        // Degree 2n = 10 is the first non-exact degree: the rule has a
+        // definite (positive) error there.
+        let e10 = integrate(&rule, |x| x.powi(10)) - 2.0 / 11.0;
+        assert!(e10.abs() > 1e-9, "degree-2n error unexpectedly small: {e10}");
+    }
+
+    #[test]
+    fn oscillatory_integrand_on_mapped_interval() {
+        // ∫₀^8 cos(4x) dx = sin(32)/4.
+        let rule = gauss_legendre_on(64, 0.0, 8.0);
+        let got = integrate(&rule, |x| (4.0 * x).cos());
+        let want = (32.0f64).sin() / 4.0;
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_interior() {
+        let rule = gauss_legendre(33);
+        for pair in rule.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "nodes out of order");
+        }
+        assert!(rule[0].0 > -1.0 && rule[32].0 < 1.0);
+        assert_eq!(rule[16].0, 0.0, "odd rule has an exact center node");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = gauss_legendre(0);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod dispatch;
 pub mod fft_rows;
+pub mod horner;
 pub mod rows;
 pub mod transpose;
 pub mod vecops;
@@ -32,6 +33,7 @@ mod scalar;
 mod sse;
 
 pub use dispatch::{active_isa, detect_isa, set_isa_override, IsaLevel};
+pub use horner::horner_row;
 pub use rows::{gather_row, gather_row2, scatter_row, scatter_row2};
 pub use transpose::{gather_chunks, gather_chunks_cmul, scatter_chunks};
 pub use vecops::{accumulate, dotc, scale_by_real, sum_norm_sqr};

@@ -21,6 +21,10 @@
 #   BENCH_type3.json   — native type-3 apply vs the composed type-2∘type-1
 #                        baseline on shared fine grids (~32²/192²/64³)
 #                        (crates/bench/benches/type3.rs)
+#   BENCH_kernels.json — matched-accuracy ES-vs-KB kernel A/B at
+#                        eps ∈ {1e-2, 1e-4, 1e-6}: per-apply medians,
+#                        planned half-widths, hot-table bytes
+#                        (crates/bench/benches/kernels.rs)
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   smoke mode (NUFFT_BENCH_FAST=1): minimal warmup and samples,
@@ -61,6 +65,9 @@ cargo bench --offline --bench sort
 echo "== bench: type3 (native vs composed type-2∘type-1 baseline) =="
 cargo bench --offline --bench type3
 
+echo "== bench: kernels (matched-accuracy ES vs Kaiser-Bessel A/B) =="
+cargo bench --offline --bench kernels
+
 echo "== BENCH_fft.json =="
 cat BENCH_fft.json
 
@@ -84,3 +91,6 @@ cat BENCH_sort.json
 
 echo "== BENCH_type3.json =="
 cat BENCH_type3.json
+
+echo "== BENCH_kernels.json =="
+cat BENCH_kernels.json

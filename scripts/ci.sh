@@ -73,6 +73,24 @@ echo "== examples smoke (spread-only deposition pipeline) =="
 # the fused-vs-phased deposition bitwise check plus the transpose dot-test.
 cargo run --release --offline --example density_estimation >/dev/null
 
+echo "== kernel-family determinism matrix (ES Horner vs KB LUT) =="
+# kernel_families pins per-ISA fused-vs-phased bitwise equality for both
+# families, cross-ISA bitwise identity of Part 1 windows (the ES Horner
+# evaluator's own contract), and the ES 3D cross-worker-count guarantee.
+cargo test -q --offline -p nufft-core --test kernel_families
+
+echo "== tolerance-driven planning accuracy =="
+# tolerance checks eps -> (family, W, sigma) plans against the direct DTFT
+# oracle at eps in {1e-2, 1e-4, 1e-6} for ES and KB in 1D/2D/3D, plus the
+# type-3 tolerance entry point.
+cargo test -q --offline -p nufft --test tolerance
+
+echo "== tolerance stress (oversubscribed, 16 workers) =="
+# The same accuracy sweep with 16 workers oversubscribing the runner: the
+# tolerance-planned ES Horner path must hold its budgets under real
+# preemption and arbitrary work interleavings.
+NUFFT_THREADS=16 cargo test -q --offline -p nufft --test tolerance
+
 echo "== convolution-engine contracts (allocation-free applies, window modes) =="
 # Named runs so a regression names the broken contract, not just "a test".
 # window_modes covers bitwise table-vs-fly equality across ISA levels and

@@ -241,6 +241,33 @@ fn steady_state_applies_are_allocation_free() {
         assert_eq!(delta.deallocs, 0, "{exec_mode:?}: spread/interp-only applies freed memory");
     }
 
+    // A tolerance-built ES plan holds the same contract: the Horner
+    // coefficient table and the Fourier-transform quadrature tabulation
+    // are fitted once at plan-build time, so tolerance-driven applies are
+    // exactly as allocation-free as explicit-parameter ones. (Plain plan,
+    // not a registry checkout, so the registry stats assertions above and
+    // below keep their exact miss/hit counts.)
+    {
+        let cfg = NufftConfig { threads: 2, partitions_per_dim: Some(4), ..NufftConfig::default() };
+        let mut plan = NufftPlan::new(n, &traj, cfg.with_tolerance(1e-6));
+        for _ in 0..2 {
+            plan.forward(&image, &mut out_samples);
+            plan.adjoint(&samples, &mut out_image);
+        }
+        let before = ALLOC.snapshot();
+        for _ in 0..3 {
+            plan.forward(&image, &mut out_samples);
+            plan.adjoint(&samples, &mut out_image);
+        }
+        let delta = ALLOC.snapshot().since(&before);
+        assert_eq!(
+            delta.allocs, 0,
+            "ES tolerance-plan applies allocated {} times ({} bytes)",
+            delta.allocs, delta.bytes
+        );
+        assert_eq!(delta.deallocs, 0, "ES tolerance-plan applies freed memory");
+    }
+
     // Type-3 applies: the fine grid, the inner type-2's buffers, the
     // adjoint staging vector and the postscale table are all plan-owned,
     // so forward and adjoint must go quiet after one warmup round — for a

@@ -1,0 +1,208 @@
+//! Tolerance-driven planning accuracy: plans built from a requested
+//! relative accuracy `eps` (no kernel parameters in sight) against the
+//! brute-force direct DTFT oracle, at eps ∈ {1e-2, 1e-4, 1e-6} for both
+//! the ES and Kaiser–Bessel families, in 1D/2D/3D.
+//!
+//! The asserted budget is `2·√D·eps`, floored by the single-precision
+//! pipeline round-off (the same 5e-5 floor `golden_accuracy.rs` uses).
+//! The 2× headroom is the honest reading of the width rules: FINUFFT's
+//! `ns = ⌈log₁₀(1/eps)⌉ + 1` targets the *order* of the request and is
+//! documented (Barnett et al.) to land within a small constant of it —
+//! measured here at worst 1.35·eps — and the f32 floor is the one thing
+//! no kernel choice can plan away. Note this is far tighter than the 10×
+//! model headroom `kb_error_budget` grants the explicit-parameter tests.
+//!
+//! All inputs are generated from named seeds via `nufft-testkit`, so a
+//! failure is replayable bit-exactly.
+
+use nufft::baselines::direct;
+use nufft::core::{KernelChoice, NufftConfig, NufftPlan, Type3Plan};
+use nufft::math::error::rel_l2_mixed;
+use nufft::math::{Complex32, Complex64};
+use nufft::traj::generators::cloud;
+use nufft_testkit::Rng;
+
+/// Accuracy budget for a `D`-dimensional tolerance-planned transform in
+/// an f32 pipeline (see the module docs for the 2× headroom and the 5e-5
+/// floor). Per-dimension kernel errors accumulate roughly in quadrature
+/// across the separable window product, hence the √D factor.
+fn budget<const D: usize>(eps: f64) -> f64 {
+    (2.0 * (D as f64).sqrt() * eps).max(5e-5)
+}
+
+/// Center-dense seeded trajectory (triangular density per component).
+fn seeded_traj<const D: usize>(count: usize, seed: u64) -> Vec<[f64; D]> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            core::array::from_fn(|_| (rng.gen_f64(0.0..1.0) + rng.gen_f64(0.0..1.0)) / 2.0 - 0.5)
+        })
+        .collect()
+}
+
+fn seeded_image(len: usize, seed: u64) -> Vec<Complex32> {
+    Rng::seed_from_u64(seed).gen_c32_vec(len, 1.0)
+}
+
+fn forward_err<const D: usize>(
+    n: [usize; D],
+    count: usize,
+    eps: f64,
+    family: KernelChoice,
+    seed: u64,
+) -> f64 {
+    let len: usize = n.iter().product();
+    let traj = seeded_traj::<D>(count, seed);
+    let image = seeded_image(len, seed ^ 0xABCD);
+    let cfg =
+        NufftConfig { threads: 2, ..NufftConfig::default() }.with_tolerance_family(eps, family);
+    let mut plan = NufftPlan::new(n, &traj, cfg);
+    let mut got = vec![Complex32::ZERO; count];
+    plan.forward(&image, &mut got);
+    let want = direct::forward(&image, n, &traj);
+    rel_l2_mixed(&got, &want)
+}
+
+fn adjoint_err<const D: usize>(
+    n: [usize; D],
+    count: usize,
+    eps: f64,
+    family: KernelChoice,
+    seed: u64,
+) -> f64 {
+    let len: usize = n.iter().product();
+    let traj = seeded_traj::<D>(count, seed);
+    let samples = Rng::seed_from_u64(seed ^ 0x5A5A).gen_c32_vec(count, 1.0);
+    let cfg =
+        NufftConfig { threads: 2, ..NufftConfig::default() }.with_tolerance_family(eps, family);
+    let mut plan = NufftPlan::new(n, &traj, cfg);
+    let mut got = vec![Complex32::ZERO; len];
+    plan.adjoint(&samples, &mut got);
+    let want: Vec<Complex64> = direct::adjoint(&samples, n, &traj);
+    rel_l2_mixed(&got, &want)
+}
+
+const SWEEP: [f64; 3] = [1e-2, 1e-4, 1e-6];
+const FAMILIES: [KernelChoice; 2] = [KernelChoice::EsKernel, KernelChoice::KaiserBessel];
+
+#[test]
+fn tolerance_sweep_forward_2d_meets_budget() {
+    for family in FAMILIES {
+        for eps in SWEEP {
+            let err = forward_err::<2>([20, 20], 250, eps, family, 7001);
+            assert!(
+                err < budget::<2>(eps),
+                "{family:?} eps={eps}: 2D forward err {err} exceeds budget {}",
+                budget::<2>(eps)
+            );
+        }
+    }
+}
+
+#[test]
+fn tolerance_sweep_adjoint_2d_meets_budget() {
+    for family in FAMILIES {
+        for eps in SWEEP {
+            let err = adjoint_err::<2>([20, 20], 250, eps, family, 7002);
+            assert!(
+                err < budget::<2>(eps),
+                "{family:?} eps={eps}: 2D adjoint err {err} exceeds budget {}",
+                budget::<2>(eps)
+            );
+        }
+    }
+}
+
+#[test]
+fn tolerance_sweep_forward_1d_meets_budget() {
+    for family in FAMILIES {
+        for eps in SWEEP {
+            let err = forward_err::<1>([64], 150, eps, family, 7003);
+            assert!(
+                err < budget::<1>(eps),
+                "{family:?} eps={eps}: 1D forward err {err} exceeds budget {}",
+                budget::<1>(eps)
+            );
+        }
+    }
+}
+
+#[test]
+fn tolerance_sweep_forward_3d_meets_budget() {
+    for family in FAMILIES {
+        for eps in SWEEP {
+            let err = forward_err::<3>([10, 10, 10], 300, eps, family, 7004);
+            assert!(
+                err < budget::<3>(eps),
+                "{family:?} eps={eps}: 3D forward err {err} exceeds budget {}",
+                budget::<3>(eps)
+            );
+        }
+    }
+}
+
+/// The headline acceptance point: `NufftPlan::with_tolerance(1e-6)` — the
+/// one-argument public entry, ES family, default knobs — matches the DTFT
+/// oracle within budget in every dimensionality, forward and adjoint.
+#[test]
+fn with_tolerance_1e6_matches_oracle_in_all_dims() {
+    let eps = 1e-6;
+
+    let t1 = seeded_traj::<1>(150, 7101);
+    let img1 = seeded_image(64, 7102);
+    let mut p1 = NufftPlan::with_tolerance([64], &t1, eps);
+    let mut got1 = vec![Complex32::ZERO; 150];
+    p1.forward(&img1, &mut got1);
+    let err1 = rel_l2_mixed(&got1, &direct::forward(&img1, [64], &t1));
+    assert!(err1 < budget::<1>(eps), "1D forward err {err1}");
+
+    let t2 = seeded_traj::<2>(250, 7103);
+    let img2 = seeded_image(400, 7104);
+    let mut p2 = NufftPlan::with_tolerance([20, 20], &t2, eps);
+    let mut got2 = vec![Complex32::ZERO; 250];
+    p2.forward(&img2, &mut got2);
+    let err2 = rel_l2_mixed(&got2, &direct::forward(&img2, [20, 20], &t2));
+    assert!(err2 < budget::<2>(eps), "2D forward err {err2}");
+    let samples2 = Rng::seed_from_u64(7105).gen_c32_vec(250, 1.0);
+    let mut adj2 = vec![Complex32::ZERO; 400];
+    p2.adjoint(&samples2, &mut adj2);
+    let werr2: Vec<Complex64> = direct::adjoint(&samples2, [20, 20], &t2);
+    assert!(rel_l2_mixed(&adj2, &werr2) < budget::<2>(eps), "2D adjoint err");
+
+    let t3 = seeded_traj::<3>(300, 7106);
+    let img3 = seeded_image(1000, 7107);
+    let mut p3 = NufftPlan::with_tolerance([10, 10, 10], &t3, eps);
+    let mut got3 = vec![Complex32::ZERO; 300];
+    p3.forward(&img3, &mut got3);
+    let err3 = rel_l2_mixed(&got3, &direct::forward(&img3, [10, 10, 10], &t3));
+    assert!(err3 < budget::<3>(eps), "3D forward err {err3}");
+}
+
+/// Tightening the tolerance must actually tighten the observed error —
+/// the loose plan's kernel error (≈1e-2 regime) dwarfs the tight plan's
+/// (floored at f32 round-off), so this holds with a wide margin.
+#[test]
+fn tighter_tolerance_is_more_accurate() {
+    for family in FAMILIES {
+        let loose = forward_err::<2>([20, 20], 250, 1e-2, family, 7201);
+        let tight = forward_err::<2>([20, 20], 250, 1e-6, family, 7201);
+        assert!(tight < loose, "{family:?}: tight err {tight} not below loose err {loose}");
+    }
+}
+
+/// Type-3 tolerance planning against the type-3 direct oracle.
+#[test]
+fn type3_with_tolerance_meets_budget() {
+    let sources: Vec<[f64; 2]> = cloud(160, 3.0, 7301);
+    let targets: Vec<[f64; 2]> = cloud(140, 2.5, 7302);
+    let strengths = Rng::seed_from_u64(7303).gen_c32_vec(160, 1.0);
+    for eps in [1e-2, 1e-4] {
+        let mut plan = Type3Plan::with_tolerance(&sources, &targets, eps);
+        let mut got = vec![Complex32::ZERO; 140];
+        plan.forward(&strengths, &mut got);
+        let want = direct::type3(&strengths, &sources, &targets);
+        let err = rel_l2_mixed(&got, &want);
+        // Type-3 runs two gridding passes, so allow the budget twice.
+        assert!(err < 2.0 * budget::<2>(eps), "type-3 eps={eps}: err {err}");
+    }
+}
